@@ -1,0 +1,37 @@
+//! Compilation pipeline throughput per optimization level (the cost of
+//! producing the k binaries, amortized once per target in CompDiff).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minc_compile::{compile, CompilerImpl};
+use std::hint::black_box;
+
+fn program(n_funcs: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n_funcs {
+        src.push_str(&format!(
+            "int f{i}(int x) {{ int a[8]; int j; for (j = 0; j < 8; j++) {{ a[j] = x + j * {i}; }} return a[x & 7] + f{prev}(x - 1); }}\n",
+            prev = if i == 0 { 0 } else { i - 1 },
+        ));
+    }
+    // f0 recurses into itself via the template above; replace with a base case.
+    src = src.replacen("+ f0(x - 1)", "+ x", 1);
+    src.push_str("int main() { printf(\"%d\\n\", f");
+    src.push_str(&(n_funcs - 1).to_string());
+    src.push_str("(5)); return 0; }\n");
+    src
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let src = program(12);
+    let checked = minc::check(&src).unwrap();
+    let mut g = c.benchmark_group("compile");
+    for name in ["gcc-O0", "gcc-O2", "clang-O3", "clang-Os"] {
+        let ci = CompilerImpl::parse(name).unwrap();
+        g.bench_function(name, |b| b.iter(|| black_box(compile(&checked, ci))));
+    }
+    g.bench_function("frontend_check", |b| b.iter(|| black_box(minc::check(&src).unwrap())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fuzzer throughput: plain AFL++ loop vs CompDiff-AFL++ (the oracle's
+//! k-executions cost — the other face of the §5 overhead claim).
+
+use compdiff::{CompDiffAfl, DiffConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuzzing::{BinaryTarget, FuzzConfig, Fuzzer, NoOracle};
+use minc_compile::{compile_source, CompilerImpl};
+use minc_vm::VmConfig;
+use std::hint::black_box;
+
+const SRC: &str = r#"
+    int main() {
+        char b[16];
+        long n = read_input(b, 16L);
+        int cs = 0;
+        long i;
+        for (i = 0; i < n; i++) { cs = cs * 31 + (int)b[i]; }
+        printf("%d\n", cs);
+        return 0;
+    }
+"#;
+
+fn bench_fuzzer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuzzer");
+    g.sample_size(10);
+    g.bench_function("plain_afl_2000_execs", |b| {
+        let bin = compile_source(SRC, CompilerImpl::parse("clang-O1").unwrap()).unwrap();
+        b.iter(|| {
+            let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
+            let cfg = FuzzConfig { max_execs: 2_000, seed: 1, ..Default::default() };
+            black_box(Fuzzer::new(target, NoOracle, cfg).run(&[b"seed".to_vec()]))
+        })
+    });
+    g.bench_function("compdiff_afl_2000_execs", |b| {
+        b.iter(|| {
+            let afl = CompDiffAfl::from_source_default(
+                SRC,
+                FuzzConfig { max_execs: 2_000, seed: 1, ..Default::default() },
+                DiffConfig::default(),
+            )
+            .unwrap();
+            black_box(afl.run(&[b"seed".to_vec()]))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fuzzer);
+criterion_main!(benches);

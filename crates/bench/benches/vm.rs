@@ -1,0 +1,31 @@
+//! VM execution throughput (the substrate's "native speed").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use minc_compile::{compile_source, CompilerImpl};
+use minc_vm::{execute, VmConfig};
+use std::hint::black_box;
+
+fn bench_vm(c: &mut Criterion) {
+    let src = r#"
+        int main() {
+            long acc = 1;
+            int i;
+            for (i = 1; i <= 5000; i++) { acc = (acc * i + 7) % 1000003L; }
+            printf("%ld\n", acc);
+            return 0;
+        }
+    "#;
+    let o0 = compile_source(src, CompilerImpl::parse("gcc-O0").unwrap()).unwrap();
+    let o2 = compile_source(src, CompilerImpl::parse("gcc-O2").unwrap()).unwrap();
+    let vm = VmConfig::default();
+    let steps = execute(&o0, b"", &vm).steps;
+
+    let mut g = c.benchmark_group("vm");
+    g.throughput(Throughput::Elements(steps));
+    g.bench_function("arith_loop_O0", |b| b.iter(|| black_box(execute(&o0, b"", &vm))));
+    g.bench_function("arith_loop_O2", |b| b.iter(|| black_box(execute(&o2, b"", &vm))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 1: number of bugs detected by each subset of compiler
+//! implementations, on the Juliet suite.
+//!
+//! Usage: `exp_fig1 [--scale 0.05]`
+
+use compdiff::SubsetAnalysis;
+use juliet::{evaluate, suite};
+use minc_compile::CompilerImpl;
+use minc_vm::VmConfig;
+
+fn main() {
+    let scale = compdiff_bench::arg_f64("--scale", 0.05);
+    let tests = suite(scale);
+    eprintln!("collecting hash vectors for {} Juliet tests...", tests.len());
+    let vm = VmConfig::default();
+    let vectors: Vec<Vec<u64>> = tests.iter().map(|t| evaluate(t, &vm).hashes).collect();
+    let impls = CompilerImpl::default_set();
+    let analysis = SubsetAnalysis::analyze(&vectors, &impls);
+
+    println!("Figure 1: #bugs detected by each subset of compiler implementations");
+    println!("({} Juliet tests, {} detectable by the full set)\n", tests.len(), analysis.full_set_detection());
+    let stats = analysis.size_stats();
+    let lo = stats.iter().map(|s| s.min).min().unwrap_or(0);
+    let hi = stats.iter().map(|s| s.max).max().unwrap_or(1);
+    println!("{:>4}  {:>6} {:>6} {:>6}  {}", "size", "min", "median", "max", "distribution");
+    for s in &stats {
+        println!(
+            "{:>4}  {:>6} {:>6} {:>6}  {}",
+            s.size,
+            s.min,
+            s.median,
+            s.max,
+            compdiff_bench::spark(s.min, s.median, s.max, lo, hi)
+        );
+    }
+    let pairs = &stats[0];
+    println!("\nbest  pair: {:?} -> {} bugs", pairs.best, pairs.max);
+    println!("worst pair: {:?} -> {} bugs", pairs.worst, pairs.min);
+    if let Some(d) = analysis.detection_of(&["gcc-O0", "clang-O3"]) {
+        let full = analysis.full_set_detection().max(1);
+        println!(
+            "{{gcc-O0, clang-O3}}: {d} bugs = {:.0}% of full set at ~20% of the cost",
+            100.0 * d as f64 / full as f64
+        );
+    }
+    if let Some(d) = analysis.detection_of(&["gcc-O2", "gcc-O3"]) {
+        println!("{{gcc-O2, gcc-O3}}:   {d} bugs (the paper's worst-performing kind of pair)");
+    }
+}

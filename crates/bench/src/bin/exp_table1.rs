@@ -1,0 +1,15 @@
+//! Table 1: scopes of sanitizers and CompDiff (qualitative).
+
+fn main() {
+    println!("Table 1: Scopes of sanitizers and CompDiff.\n");
+    println!("{:<10} {}", "Approach", "Scope");
+    println!("{}", "-".repeat(64));
+    println!("{:<10} {}", "ASan", "Memory errors (e.g. buffer-overflow)");
+    println!("{:<10} {}", "UBSan", "Miscellaneous UBs (e.g. division-by-zero)");
+    println!("{:<10} {}", "MSan", "Use of uninitialized memories.");
+    println!("{:<10} {}", "CompDiff", "A diverse range of UBs.");
+    println!();
+    println!("(The scopes are implemented, not just documented: see the");
+    println!(" `sanitizers` crate's Asan/Ubsan/Msan hook implementations and");
+    println!(" the `compdiff` differential engine.)");
+}

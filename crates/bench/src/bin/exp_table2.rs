@@ -1,0 +1,9 @@
+//! Table 2: overview of selected CWEs (suite inventory).
+//!
+//! Usage: `exp_table2 [--scale 1.0]`
+
+fn main() {
+    let scale = compdiff_bench::arg_f64("--scale", 1.0);
+    println!("Table 2: Overview of selected CWEs (scale {scale}).\n");
+    print!("{}", juliet::render_table2(scale));
+}

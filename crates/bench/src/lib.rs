@@ -1,0 +1,66 @@
+//! # compdiff-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §4 for the
+//! full index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `exp_table1` | Table 1 (tool scopes) |
+//! | `exp_table2` | Table 2 (Juliet suite overview) |
+//! | `exp_table3` | Table 3 (detection/false-positive rates) |
+//! | `exp_fig1`   | Figure 1 (subset analysis, Juliet) |
+//! | `exp_table4` | Table 4 (target program inventory) |
+//! | `exp_table5` | Table 5 (CompDiff-AFL++ bugs by root cause) |
+//! | `exp_table6` | Table 6 (sanitizer overlap) |
+//! | `exp_fig2`   | Figure 2 (subset analysis, real-world bugs) |
+//!
+//! Criterion benches under `benches/` measure the §5 overhead claims and
+//! the substrate's raw speed.
+
+
+#![warn(missing_docs)]
+/// Parses `--scale <f64>` / `--execs <u64>` / `--seed <u64>` style flags
+/// from `std::env::args`, with defaults.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Parses an integer flag.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Renders a unicode box-plot-ish line for Figure 1/2 terminal output.
+pub fn spark(min: usize, median: usize, max: usize, lo: usize, hi: usize) -> String {
+    if hi <= lo {
+        return String::new();
+    }
+    let width = 46usize;
+    let pos = |v: usize| ((v - lo) * (width - 1) / (hi - lo).max(1)).min(width - 1);
+    let mut line = vec![' '; width];
+    for p in pos(min)..=pos(max) {
+        line[p] = '─';
+    }
+    line[pos(min)] = '├';
+    line[pos(max)] = '┤';
+    line[pos(median)] = '●';
+    line.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spark_renders_markers() {
+        let s = spark(10, 50, 90, 0, 100);
+        assert!(s.contains('●'));
+        assert!(s.contains('├'));
+        assert!(s.contains('┤'));
+    }
+}

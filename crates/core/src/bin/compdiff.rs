@@ -1,0 +1,206 @@
+//! The `compdiff` command-line tool: differential-test, fuzz, and triage
+//! MinC programs the way the paper's artifact drives real C programs.
+//!
+//! ```text
+//! compdiff impls
+//! compdiff run  prog.mc [--input STR|--input-file F] [--impls gcc-O0,clang-O3] [--minimize]
+//! compdiff fuzz prog.mc [--execs N] [--seed N] [--feedback] [--max-len N]
+//! compdiff scan prog.mc              # static analyzers + sanitizers + CompDiff
+//! ```
+
+use compdiff::{minimize, CompDiff, CompDiffAfl, DiffConfig, Discrepancy};
+use fuzzing::FuzzConfig;
+use minc_compile::CompilerImpl;
+use minc_vm::{ExitStatus, SanitizerKind, VmConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "impls" => cmd_impls(),
+        "run" => cmd_run(&args[1..]),
+        "fuzz" => cmd_fuzz(&args[1..]),
+        "scan" => cmd_scan(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "\
+compdiff — compiler-driven differential testing for MinC programs
+
+USAGE:
+  compdiff impls                         list the compiler implementations
+  compdiff run  <prog.mc> [options]      run all binaries on one input
+      --input <str>        input bytes (default: empty)
+      --input-file <path>  read input bytes from a file
+      --impls <a,b,...>    implementations (default: all ten)
+      --minimize           shrink the input while the bug persists
+  compdiff fuzz <prog.mc> [options]      CompDiff-AFL++ campaign
+      --execs <n>          fuzz-binary executions (default 50000)
+      --seed <n>           campaign RNG seed (default 1)
+      --max-len <n>        maximum input length (default 64)
+      --feedback           NEZHA-style divergence feedback
+  compdiff scan <prog.mc>                static analyzers + sanitizers + CompDiff";
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_source(args: &[String]) -> Result<String, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing program file argument")?;
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_impls() -> Result<(), String> {
+    println!("default compiler implementations (the paper's ten):");
+    for ci in CompilerImpl::default_set() {
+        let p = ci.personality();
+        println!(
+            "  {:<10} eval-order={:?}  stack=0x{:x}  heap=0x{:x}  passes={}",
+            ci.to_string(),
+            p.eval_order,
+            p.stack_base,
+            p.heap_base,
+            p.pipeline.len()
+        );
+    }
+    Ok(())
+}
+
+fn parse_impls(args: &[String]) -> Result<Vec<CompilerImpl>, String> {
+    match flag_value(args, "--impls") {
+        None => Ok(CompilerImpl::default_set()),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                CompilerImpl::parse(s.trim())
+                    .ok_or_else(|| format!("unknown implementation `{s}` (try gcc-O2)"))
+            })
+            .collect(),
+    }
+}
+
+fn read_input(args: &[String]) -> Result<Vec<u8>, String> {
+    if let Some(path) = flag_value(args, "--input-file") {
+        return std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"));
+    }
+    Ok(flag_value(args, "--input").map(String::into_bytes).unwrap_or_default())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let src = load_source(args)?;
+    let impls = parse_impls(args)?;
+    let input = read_input(args)?;
+    let diff = CompDiff::from_source(&src, &impls, DiffConfig::default())
+        .map_err(|e| e.to_string())?;
+    let outcome = diff.run_input(&input);
+    if !outcome.divergent {
+        println!("stable: all {} implementations agree on this input", impls.len());
+        let r = &outcome.results[0];
+        println!("  status: {}", r.status);
+        print!("{}", String::from_utf8_lossy(&r.stdout));
+        return Ok(());
+    }
+    let mut input = input;
+    if has_flag(args, "--minimize") {
+        let (min, stats) = minimize(&diff, &input);
+        println!(
+            "minimized {} -> {} bytes in {} differential runs",
+            stats.original_len, stats.minimized_len, stats.runs
+        );
+        input = min;
+    }
+    let outcome = diff.run_input(&input);
+    let report = Discrepancy::from_outcome(&diff.impls(), &outcome, &input);
+    println!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let src = load_source(args)?;
+    let execs = flag_value(args, "--execs").and_then(|v| v.parse().ok()).unwrap_or(50_000);
+    let seed = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let max_len = flag_value(args, "--max-len").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let afl = CompDiffAfl::from_source_default(
+        &src,
+        FuzzConfig { max_execs: execs, seed, max_input_len: max_len, ..Default::default() },
+        DiffConfig::default(),
+    )
+    .map_err(|e| e.to_string())?
+    .with_divergence_feedback(has_flag(args, "--feedback"));
+    eprintln!("fuzzing ({execs} execs, seed {seed})...");
+    let stats = afl.run(&[vec![b'A'; 4]]);
+    println!(
+        "execs={} (+{} differential)  corpus={}  edges={}  crashes={}  diffs={} ({} unique)",
+        stats.campaign.execs,
+        stats.oracle_execs,
+        stats.campaign.corpus_len,
+        stats.campaign.edges,
+        stats.campaign.crashes.len(),
+        stats.store.reports().len(),
+        stats.store.unique_signatures()
+    );
+    for rep in stats.store.representatives() {
+        println!("\n{}", rep.render());
+    }
+    Ok(())
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    let src = load_source(args)?;
+    let checked = minc::check(&src).map_err(|e| e.to_string())?;
+
+    println!("== static analyzers ==");
+    let findings = staticheck::run_all(&checked);
+    if findings.is_empty() {
+        println!("  no findings");
+    }
+    for f in &findings {
+        println!("  {f}");
+    }
+
+    println!("\n== sanitizers (empty input) ==");
+    let vm = VmConfig::default();
+    let bin = sanitizers::compile_sanitized(&src).map_err(|e| e.to_string())?;
+    for kind in [SanitizerKind::Asan, SanitizerKind::Ubsan, SanitizerKind::Msan] {
+        let r = sanitizers::run_sanitized(&bin, b"", &vm, kind);
+        match r.status {
+            ExitStatus::Sanitizer(f) => println!("  {kind}: {f}"),
+            other => println!("  {kind}: clean ({other})"),
+        }
+    }
+
+    println!("\n== CompDiff (empty input) ==");
+    let diff =
+        CompDiff::from_source_default(&src, DiffConfig::default()).map_err(|e| e.to_string())?;
+    let outcome = diff.run_input(b"");
+    if outcome.divergent {
+        let report = Discrepancy::from_outcome(&diff.impls(), &outcome, b"");
+        println!("{}", report.render());
+    } else {
+        println!("  stable on the empty input (try `compdiff fuzz`)");
+    }
+    Ok(())
+}

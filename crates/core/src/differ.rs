@@ -1,0 +1,305 @@
+//! The compiler-driven differential testing engine (paper §3.1).
+//!
+//! Workflow: compile the program with `k` compiler implementations, run
+//! every binary on the same input, checksum each binary's observable output
+//! (stdout + exit status, after optional scrubbing filters), and report a
+//! discrepancy when any two checksums differ.
+
+use crate::filters::{apply_filters, OutputFilter};
+use crate::murmur::hash64;
+use minc::FrontendError;
+use minc_compile::{Binary, CompilerImpl};
+use minc_vm::{execute, ExecResult, ExitStatus, VmConfig};
+
+/// Configuration of the differential engine.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Per-binary execution limits.
+    pub vm: VmConfig,
+    /// Output scrubbing filters (RQ5: benign non-determinism).
+    pub filters: Vec<OutputFilter>,
+    /// How many times to double the step budget when *some* binaries time
+    /// out while others terminate (RQ6's timeout-escalation policy).
+    pub timeout_escalations: u32,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig { vm: VmConfig::default(), filters: Vec::new(), timeout_escalations: 3 }
+    }
+}
+
+/// The outcome of one differential run.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// Per-implementation execution results (same order as the engine's
+    /// implementation list).
+    pub results: Vec<ExecResult>,
+    /// MurmurHash3 checksum of each implementation's scrubbed output.
+    pub hashes: Vec<u64>,
+    /// Equivalence classes of implementation indices with equal output.
+    pub classes: Vec<Vec<usize>>,
+    /// True if at least two implementations produced different output —
+    /// the presence of unstable code (Definition 1).
+    pub divergent: bool,
+    /// True if escalation could not resolve all timeouts; such inputs are
+    /// saved but not counted as divergences (no false positives).
+    pub unresolved_timeout: bool,
+}
+
+/// The CompDiff engine: `k` binaries of one program.
+#[derive(Debug)]
+pub struct CompDiff {
+    binaries: Vec<Binary>,
+    config: DiffConfig,
+}
+
+impl CompDiff {
+    /// Wraps pre-compiled binaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two binaries are supplied (differential testing
+    /// needs at least two implementations).
+    pub fn new(binaries: Vec<Binary>, config: DiffConfig) -> Self {
+        assert!(binaries.len() >= 2, "CompDiff needs at least two compiler implementations");
+        CompDiff { binaries, config }
+    }
+
+    /// Compiles `src` with the given implementations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frontend error if `src` does not parse or check.
+    pub fn from_source(
+        src: &str,
+        impls: &[CompilerImpl],
+        config: DiffConfig,
+    ) -> Result<Self, FrontendError> {
+        let binaries = minc_compile::compile_many(src, impls)?;
+        Ok(CompDiff::new(binaries, config))
+    }
+
+    /// Compiles `src` with the paper's default ten implementations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frontend error if `src` does not parse or check.
+    pub fn from_source_default(src: &str, config: DiffConfig) -> Result<Self, FrontendError> {
+        Self::from_source(src, &CompilerImpl::default_set(), config)
+    }
+
+    /// The implementations, in engine order.
+    pub fn impls(&self) -> Vec<CompilerImpl> {
+        self.binaries.iter().map(|b| b.impl_id).collect()
+    }
+
+    /// The compiled binaries.
+    pub fn binaries(&self) -> &[Binary] {
+        &self.binaries
+    }
+
+    /// The observable (scrubbed) output bytes of one result.
+    pub fn observable(&self, result: &ExecResult) -> Vec<u8> {
+        let mut out = apply_filters(&result.stdout, &self.config.filters);
+        out.push(0x1e);
+        out.push(result.status.as_code());
+        out
+    }
+
+    /// Runs every binary on `input` and cross-checks outputs.
+    pub fn run_input(&self, input: &[u8]) -> DiffOutcome {
+        let mut results: Vec<ExecResult> = self
+            .binaries
+            .iter()
+            .map(|b| execute(b, input, &self.config.vm))
+            .collect();
+
+        // RQ6: partial timeouts would truncate outputs and fake
+        // discrepancies; escalate the budget for the timed-out binaries.
+        let mut unresolved_timeout = false;
+        let any_timeout = |rs: &[ExecResult]| rs.iter().any(|r| r.status == ExitStatus::TimedOut);
+        let all_timeout = |rs: &[ExecResult]| rs.iter().all(|r| r.status == ExitStatus::TimedOut);
+        if any_timeout(&results) && !all_timeout(&results) {
+            let mut budget = self.config.vm.step_limit;
+            for _ in 0..self.config.timeout_escalations {
+                budget = budget.saturating_mul(2);
+                let cfg = VmConfig { step_limit: budget, ..self.config.vm.clone() };
+                for (i, b) in self.binaries.iter().enumerate() {
+                    if results[i].status == ExitStatus::TimedOut {
+                        results[i] = execute(b, input, &cfg);
+                    }
+                }
+                if !any_timeout(&results) {
+                    break;
+                }
+            }
+            if any_timeout(&results) {
+                unresolved_timeout = true;
+            }
+        }
+
+        let hashes: Vec<u64> =
+            results.iter().map(|r| hash64(&self.observable(r))).collect();
+
+        // Group implementations by hash; timed-out entries form their own
+        // class but do not count toward divergence when unresolved.
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        let mut class_hash: Vec<u64> = Vec::new();
+        for (i, &h) in hashes.iter().enumerate() {
+            match class_hash.iter().position(|&ch| ch == h) {
+                Some(c) => classes[c].push(i),
+                None => {
+                    class_hash.push(h);
+                    classes.push(vec![i]);
+                }
+            }
+        }
+        let divergent = if unresolved_timeout {
+            let settled: Vec<u64> = results
+                .iter()
+                .zip(&hashes)
+                .filter(|(r, _)| r.status != ExitStatus::TimedOut)
+                .map(|(_, &h)| h)
+                .collect();
+            settled.windows(2).any(|w| w[0] != w[1])
+        } else {
+            classes.len() > 1
+        };
+
+        DiffOutcome { results, hashes, classes, divergent, unresolved_timeout }
+    }
+
+    /// Convenience: is there *any* divergence on this input?
+    pub fn is_divergent(&self, input: &[u8]) -> bool {
+        self.run_input(input).divergent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(src: &str) -> CompDiff {
+        CompDiff::from_source_default(src, DiffConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn stable_program_has_no_divergence() {
+        let diff = engine(
+            r#"
+            int main() {
+                int i;
+                int acc = 0;
+                for (i = 0; i < 16; i++) { acc += i * i; }
+                printf("%d\n", acc);
+                return 0;
+            }
+        "#,
+        );
+        let out = diff.run_input(b"");
+        assert!(!out.divergent, "classes: {:?}", out.classes);
+        assert_eq!(out.classes.len(), 1);
+    }
+
+    #[test]
+    fn listing1_is_detected() {
+        let diff = engine(
+            r#"
+            int dump_data(int offset, int len) {
+                int size = 100;
+                if (offset + len > size || offset < 0 || len < 0) { return -1; }
+                if (offset + len < offset) { return -1; }
+                return 0;
+            }
+            int main() {
+                printf("r=%d\n", dump_data(2147483647 - 100, 101));
+                return 0;
+            }
+        "#,
+        );
+        let out = diff.run_input(b"");
+        assert!(out.divergent);
+        assert!(out.classes.len() >= 2);
+    }
+
+    #[test]
+    fn uninit_print_is_detected() {
+        let diff = engine("int main() { int u; printf(\"%d\\n\", u); return 0; }");
+        assert!(diff.is_divergent(b""));
+    }
+
+    #[test]
+    fn divergence_depends_on_input() {
+        // Only inputs starting with '!' reach the unstable code.
+        let diff = engine(
+            r#"
+            int main() {
+                char b[4];
+                long n = read_input(b, 4L);
+                if (n > 0 && b[0] == '!') {
+                    int u;
+                    printf("%d\n", u);
+                }
+                printf("done\n");
+                return 0;
+            }
+        "#,
+        );
+        assert!(!diff.is_divergent(b"ok"));
+        assert!(diff.is_divergent(b"!x"));
+    }
+
+    #[test]
+    fn filters_suppress_benign_divergence() {
+        // A program that deliberately prints a pointer: always divergent
+        // raw, stable once scrubbed.
+        let src = r#"
+            int g;
+            int main() { printf("at %p\n", &g); return 0; }
+        "#;
+        let raw = engine(src);
+        assert!(raw.is_divergent(b""));
+        let filtered = CompDiff::from_source_default(
+            src,
+            DiffConfig { filters: vec![OutputFilter::PointerAddresses], ..Default::default() },
+        )
+        .unwrap();
+        assert!(!filtered.is_divergent(b""));
+    }
+
+    #[test]
+    fn partial_timeout_is_escalated() {
+        // A loop whose bound is large: with a small initial budget some
+        // optimization levels (smaller code, fewer steps) finish and others
+        // time out; escalation must settle them and find no divergence.
+        let src = r#"
+            int main() {
+                long acc = 0;
+                long i;
+                for (i = 0; i < 20000; i++) { acc += i; }
+                printf("%ld\n", acc);
+                return 0;
+            }
+        "#;
+        let cfg = DiffConfig {
+            vm: VmConfig { step_limit: 150_000, ..Default::default() },
+            ..Default::default()
+        };
+        let diff = CompDiff::from_source_default(src, cfg).unwrap();
+        let out = diff.run_input(b"");
+        assert!(!out.divergent, "escalation should settle timeouts: {:?}", out.classes);
+    }
+
+    #[test]
+    fn crash_vs_no_crash_is_a_divergence() {
+        // Unused division by zero: trap at -O0, gone at -O2.
+        let src = "int main() { int z = (int)input_size(); int dead = 5 / z; printf(\"ok\\n\"); return 0; }";
+        let diff = engine(src);
+        let out = diff.run_input(b"");
+        assert!(out.divergent);
+        let statuses: std::collections::HashSet<String> =
+            out.results.iter().map(|r| r.status.to_string()).collect();
+        assert!(statuses.len() >= 2, "{statuses:?}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Output normalization for programs with benign non-determinism (RQ5).
+//!
+//! The paper's example: wireshark prepends wall-clock timestamps to warning
+//! lines, so the authors strip them with a regular expression before
+//! comparison. CompDiff here ships a small set of scrubbing filters that
+//! are applied to each binary's output before hashing.
+
+/// A single output-scrubbing rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputFilter {
+    /// Replaces `HH:MM:SS(.ffffff)?` timestamps with `<TS>`.
+    Timestamps,
+    /// Replaces `0x`-prefixed hex pointers with `<PTR>`. (Addresses are
+    /// layout-dependent by design; a target that deliberately prints `%p`
+    /// would otherwise always diverge — the paper's objdump "printing
+    /// pointer address instead of value" bug was a real finding precisely
+    /// because it was *not* scrubbed, so only enable this when wanted.)
+    PointerAddresses,
+    /// Replaces every decimal run longer than `min_digits` with `<NUM>`.
+    LongNumbers {
+        /// Minimum digits before a run is scrubbed.
+        min_digits: usize,
+    },
+    /// Replaces a literal byte pattern.
+    Literal {
+        /// Pattern to find.
+        from: Vec<u8>,
+        /// Replacement.
+        to: Vec<u8>,
+    },
+}
+
+impl OutputFilter {
+    /// Applies the filter to `data`, returning the scrubbed output.
+    pub fn apply(&self, data: &[u8]) -> Vec<u8> {
+        match self {
+            OutputFilter::Timestamps => scrub_timestamps(data),
+            OutputFilter::PointerAddresses => scrub_pointers(data),
+            OutputFilter::LongNumbers { min_digits } => scrub_numbers(data, *min_digits),
+            OutputFilter::Literal { from, to } => replace_all(data, from, to),
+        }
+    }
+}
+
+/// Applies a filter chain in order.
+pub fn apply_filters(data: &[u8], filters: &[OutputFilter]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    for f in filters {
+        out = f.apply(&out);
+    }
+    out
+}
+
+fn is_digit(b: u8) -> bool {
+    b.is_ascii_digit()
+}
+
+fn scrub_timestamps(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut i = 0;
+    while i < data.len() {
+        // HH:MM:SS with optional .fraction
+        if i + 8 <= data.len()
+            && is_digit(data[i])
+            && is_digit(data[i + 1])
+            && data[i + 2] == b':'
+            && is_digit(data[i + 3])
+            && is_digit(data[i + 4])
+            && data[i + 5] == b':'
+            && is_digit(data[i + 6])
+            && is_digit(data[i + 7])
+        {
+            let mut j = i + 8;
+            if j < data.len() && data[j] == b'.' {
+                j += 1;
+                while j < data.len() && is_digit(data[j]) {
+                    j += 1;
+                }
+            }
+            out.extend_from_slice(b"<TS>");
+            i = j;
+            continue;
+        }
+        out.push(data[i]);
+        i += 1;
+    }
+    out
+}
+
+fn scrub_pointers(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut i = 0;
+    while i < data.len() {
+        if i + 3 <= data.len()
+            && data[i] == b'0'
+            && data[i + 1] == b'x'
+            && data[i + 2].is_ascii_hexdigit()
+        {
+            let mut j = i + 2;
+            while j < data.len() && data[j].is_ascii_hexdigit() {
+                j += 1;
+            }
+            out.extend_from_slice(b"<PTR>");
+            i = j;
+            continue;
+        }
+        out.push(data[i]);
+        i += 1;
+    }
+    out
+}
+
+fn scrub_numbers(data: &[u8], min_digits: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut i = 0;
+    while i < data.len() {
+        if is_digit(data[i]) {
+            let mut j = i;
+            while j < data.len() && is_digit(data[j]) {
+                j += 1;
+            }
+            if j - i >= min_digits {
+                out.extend_from_slice(b"<NUM>");
+            } else {
+                out.extend_from_slice(&data[i..j]);
+            }
+            i = j;
+            continue;
+        }
+        out.push(data[i]);
+        i += 1;
+    }
+    out
+}
+
+fn replace_all(data: &[u8], from: &[u8], to: &[u8]) -> Vec<u8> {
+    if from.is_empty() {
+        return data.to_vec();
+    }
+    let mut out = Vec::with_capacity(data.len());
+    let mut i = 0;
+    while i < data.len() {
+        if data[i..].starts_with(from) {
+            out.extend_from_slice(to);
+            i += from.len();
+        } else {
+            out.push(data[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_wireshark_style_timestamps() {
+        let input = b"10:44:23.405830 [Epan WARNING] something";
+        let out = OutputFilter::Timestamps.apply(input);
+        assert_eq!(out, b"<TS> [Epan WARNING] something");
+    }
+
+    #[test]
+    fn strips_plain_hms() {
+        assert_eq!(OutputFilter::Timestamps.apply(b"at 09:01:59 done"), b"at <TS> done");
+        assert_eq!(OutputFilter::Timestamps.apply(b"ratio 1:2"), b"ratio 1:2");
+    }
+
+    #[test]
+    fn strips_pointers() {
+        let out = OutputFilter::PointerAddresses.apply(b"ptr=0x7fff1234 end");
+        assert_eq!(out, b"ptr=<PTR> end");
+        assert_eq!(OutputFilter::PointerAddresses.apply(b"0x"), b"0x");
+    }
+
+    #[test]
+    fn scrubs_long_numbers_only() {
+        let f = OutputFilter::LongNumbers { min_digits: 6 };
+        assert_eq!(f.apply(b"id=123 big=1234567"), b"id=123 big=<NUM>");
+    }
+
+    #[test]
+    fn literal_replacement() {
+        let f = OutputFilter::Literal { from: b"seed".to_vec(), to: b"X".to_vec() };
+        assert_eq!(f.apply(b"seed of seeds"), b"X of Xs");
+    }
+
+    #[test]
+    fn filters_chain_in_order() {
+        let out = apply_filters(
+            b"0x1f at 10:00:00",
+            &[OutputFilter::PointerAddresses, OutputFilter::Timestamps],
+        );
+        assert_eq!(out, b"<PTR> at <TS>");
+    }
+}

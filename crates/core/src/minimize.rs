@@ -1,0 +1,176 @@
+//! Discrepancy-input minimization (an `afl-tmin` analog for differential
+//! bugs).
+//!
+//! The paper's bug reports (§5) ship a triggering input; smaller inputs
+//! make diagnosis easier. Minimization must preserve the *bug*, not just
+//! "some divergence": we shrink while the discrepancy keeps the same
+//! triage signature (implementation partition × status pattern).
+
+use crate::differ::CompDiff;
+use crate::report::signature_of;
+
+/// Statistics from one minimization run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Bytes before.
+    pub original_len: usize,
+    /// Bytes after.
+    pub minimized_len: usize,
+    /// Differential runs performed.
+    pub runs: u64,
+}
+
+/// Minimizes `input` while the divergence keeps its signature.
+///
+/// Strategy (like afl-tmin): repeatedly try removing large chunks, then
+/// halves, down to single bytes; then normalize remaining bytes toward
+/// `'0'` where possible. Deterministic; terminates because every accepted
+/// step strictly shrinks or lexicographically reduces the input.
+///
+/// Returns the minimized input and statistics.
+///
+/// # Panics
+///
+/// Panics if `input` does not produce a divergence under `diff` (callers
+/// minimize saved discrepancies, which always do).
+pub fn minimize(diff: &CompDiff, input: &[u8]) -> (Vec<u8>, MinimizeStats) {
+    let impls = diff.impls();
+    let outcome = diff.run_input(input);
+    assert!(outcome.divergent, "minimize requires a divergent input");
+    let target_sig = signature_of(&impls, &outcome);
+    let mut runs = 0u64;
+
+    let keeps_bug = |candidate: &[u8], runs: &mut u64| -> bool {
+        *runs += 1;
+        let o = diff.run_input(candidate);
+        o.divergent && signature_of(&impls, &o) == target_sig
+    };
+
+    let mut cur = input.to_vec();
+
+    // Phase 1: chunked deletion, halving chunk sizes.
+    let mut chunk = (cur.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut pos = 0;
+        while pos < cur.len() && cur.len() > 1 {
+            let end = (pos + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - pos));
+            candidate.extend_from_slice(&cur[..pos]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && keeps_bug(&candidate, &mut runs) {
+                cur = candidate; // retry the same position
+            } else {
+                pos += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Phase 2: byte normalization toward '0' (readability of reports).
+    for i in 0..cur.len() {
+        if cur[i] == b'0' {
+            continue;
+        }
+        let mut candidate = cur.clone();
+        candidate[i] = b'0';
+        if keeps_bug(&candidate, &mut runs) {
+            cur = candidate;
+        }
+    }
+
+    let stats =
+        MinimizeStats { original_len: input.len(), minimized_len: cur.len(), runs };
+    (cur, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differ::DiffConfig;
+
+    fn engine(src: &str) -> CompDiff {
+        CompDiff::from_source_default(src, DiffConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn shrinks_to_the_essential_bytes() {
+        // Divergence requires byte0=='K'; everything else is noise.
+        let src = r#"
+            int main() {
+                char b[64];
+                long n = read_input(b, 64L);
+                if (n >= 1 && b[0] == 'K') {
+                    int u;
+                    printf("%d\n", u & 255);
+                }
+                printf("end\n");
+                return 0;
+            }
+        "#;
+        let diff = engine(src);
+        let noisy = b"KAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA".to_vec();
+        assert!(diff.is_divergent(&noisy));
+        let (min, stats) = minimize(&diff, &noisy);
+        assert_eq!(min, b"K".to_vec(), "only the gate byte should remain");
+        assert_eq!(stats.original_len, 32);
+        assert_eq!(stats.minimized_len, 1);
+        assert!(stats.runs > 0);
+    }
+
+    #[test]
+    fn preserves_the_signature_not_just_any_divergence() {
+        // Two distinct bugs: byte0=='A' -> uninit print; byte0=='B' -> dead
+        // null deref (crash-vs-exit partition). Minimizing an 'A' input
+        // must not drift onto the 'B' bug.
+        let src = r#"
+            int main() {
+                char b[32];
+                long n = read_input(b, 32L);
+                if (n >= 1 && b[0] == 'A') { int u; printf("%d\n", u & 255); }
+                if (n >= 1 && b[0] == 'B') {
+                    int* p = (int*)(long)atoi("0");
+                    int dead = *p;
+                    printf("B\n");
+                }
+                printf("end\n");
+                return 0;
+            }
+        "#;
+        let diff = engine(src);
+        let input = b"Azzzzzzzzzz".to_vec();
+        let (min, _) = minimize(&diff, &input);
+        assert_eq!(min, b"A".to_vec());
+    }
+
+    #[test]
+    fn normalizes_payload_bytes() {
+        // The gate needs two bytes; the rest should become '0'.
+        let src = r#"
+            int main() {
+                char b[16];
+                long n = read_input(b, 16L);
+                if (n >= 3 && b[0] == 'G' && b[1] == 'O') {
+                    int u;
+                    printf("%d\n", u & 255);
+                }
+                printf(".\n");
+                return 0;
+            }
+        "#;
+        let diff = engine(src);
+        let (min, _) = minimize(&diff, b"GO!xyz");
+        assert_eq!(min.len(), 3, "three bytes needed (n >= 3)");
+        assert_eq!(&min[..2], b"GO");
+        assert_eq!(min[2], b'0', "payload byte normalized");
+    }
+
+    #[test]
+    #[should_panic(expected = "divergent")]
+    fn panics_on_stable_input() {
+        let diff = engine("int main() { printf(\"x\\n\"); return 0; }");
+        minimize(&diff, b"whatever");
+    }
+}

@@ -1,0 +1,123 @@
+//! MurmurHash3 (x64, 128-bit variant) — the checksum CompDiff uses to
+//! compare binary outputs (paper §3.2: "We reuse the MurmurHash3 hash
+//! function supported by AFL++ for the checksum").
+
+/// 128-bit MurmurHash3 (x64 variant) of `data` with `seed`.
+pub fn murmur3_x64_128(data: &[u8], seed: u64) -> (u64, u64) {
+    const C1: u64 = 0x87c3_7b91_1142_53d5;
+    const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+    let mut h1 = seed;
+    let mut h2 = seed;
+    let nblocks = data.len() / 16;
+
+    for i in 0..nblocks {
+        let b = &data[i * 16..i * 16 + 16];
+        let mut k1 = u64::from_le_bytes(b[0..8].try_into().unwrap());
+        let mut k2 = u64::from_le_bytes(b[8..16].try_into().unwrap());
+
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1.rotate_left(27);
+        h1 = h1.wrapping_add(h2);
+        h1 = h1.wrapping_mul(5).wrapping_add(0x52dc_e729);
+
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+        h2 = h2.rotate_left(31);
+        h2 = h2.wrapping_add(h1);
+        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5ab5);
+    }
+
+    let tail = &data[nblocks * 16..];
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+    for (i, &b) in tail.iter().enumerate().rev() {
+        match i {
+            8..=14 => k2 ^= (b as u64) << ((i - 8) * 8),
+            _ if i < 8 => k1 ^= (b as u64) << (i * 8),
+            _ => k2 ^= (b as u64) << ((i - 8) * 8),
+        }
+    }
+    if !tail.is_empty() {
+        if tail.len() > 8 {
+            k2 = k2.wrapping_mul(C2);
+            k2 = k2.rotate_left(33);
+            k2 = k2.wrapping_mul(C1);
+            h2 ^= k2;
+        }
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u64;
+    h2 ^= data.len() as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    (h1, h2)
+}
+
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// 64-bit convenience digest (first half of the 128-bit hash).
+pub fn hash64(data: &[u8]) -> u64 {
+    murmur3_x64_128(data, 0).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash64(b"compdiff"), hash64(b"compdiff"));
+        assert_eq!(murmur3_x64_128(b"abc", 7), murmur3_x64_128(b"abc", 7));
+    }
+
+    #[test]
+    fn distinguishes_inputs() {
+        assert_ne!(hash64(b"a"), hash64(b"b"));
+        assert_ne!(hash64(b""), hash64(b"\0"));
+        assert_ne!(hash64(b"1234567890123456"), hash64(b"12345678901234567"));
+    }
+
+    #[test]
+    fn seed_changes_hash() {
+        assert_ne!(murmur3_x64_128(b"x", 0), murmur3_x64_128(b"x", 1));
+    }
+
+    #[test]
+    fn covers_all_tail_lengths() {
+        // Exercise every tail-length code path (0..=15 extra bytes).
+        let data: Vec<u8> = (0u8..64).collect();
+        let hashes: Vec<(u64, u64)> =
+            (0..32).map(|n| murmur3_x64_128(&data[..n], 0)).collect();
+        let unique: std::collections::HashSet<_> = hashes.iter().collect();
+        assert_eq!(unique.len(), hashes.len());
+    }
+
+    #[test]
+    fn avalanche_on_single_bit() {
+        let a = hash64(b"0000000000000000");
+        let b = hash64(b"0000000000000001");
+        let diff = (a ^ b).count_ones();
+        assert!(diff > 16, "single-byte change should flip many bits ({diff})");
+    }
+}

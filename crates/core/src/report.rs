@@ -1,0 +1,199 @@
+//! Discrepancy reports and the `diffs/` store.
+//!
+//! The paper saves every discrepancy-triggering input to a `diffs/`
+//! directory and triages manually. We keep the store in memory and add the
+//! obvious automatic bucketing: two inputs that split the implementations
+//! into the same partition with the same status pattern very likely hit
+//! the same bug (§5 discusses why full automatic triage is an open
+//! problem; this is the approximation used by our experiment harnesses).
+
+use crate::differ::{CompDiff, DiffOutcome};
+use minc_compile::CompilerImpl;
+use minc_vm::ExitStatus;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// One reported discrepancy: everything the paper puts in a bug report
+/// (triggering input, reproducing configurations, the divergent outputs).
+#[derive(Debug, Clone, Serialize)]
+pub struct Discrepancy {
+    /// The triggering input.
+    pub input: Vec<u8>,
+    /// Implementations grouped by identical output.
+    pub classes: Vec<Vec<String>>,
+    /// One output preview per class: (implementation, stdout preview, status).
+    pub samples: Vec<(String, String, String)>,
+    /// Automatic triage signature (partition shape + status pattern).
+    pub signature: String,
+}
+
+impl Discrepancy {
+    /// Builds a report from a divergent outcome.
+    pub fn from_outcome(impls: &[CompilerImpl], outcome: &DiffOutcome, input: &[u8]) -> Self {
+        let classes: Vec<Vec<String>> = outcome
+            .classes
+            .iter()
+            .map(|c| c.iter().map(|&i| impls[i].to_string()).collect())
+            .collect();
+        let samples = outcome
+            .classes
+            .iter()
+            .map(|c| {
+                let i = c[0];
+                let r = &outcome.results[i];
+                let preview: String = String::from_utf8_lossy(&r.stdout)
+                    .chars()
+                    .take(120)
+                    .collect();
+                (impls[i].to_string(), preview, r.status.to_string())
+            })
+            .collect();
+        let signature = signature_of(impls, outcome);
+        Discrepancy { input: input.to_vec(), classes, samples, signature }
+    }
+
+    /// Renders the report the way it would be filed upstream.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("== CompDiff discrepancy report ==\n");
+        s.push_str(&format!("input ({} bytes): {:?}\n", self.input.len(), preview_bytes(&self.input)));
+        s.push_str(&format!("signature: {}\n", self.signature));
+        for (impl_, out, status) in &self.samples {
+            s.push_str(&format!("  [{impl_}] status={status} stdout={out:?}\n"));
+        }
+        s.push_str("reproduce with any two implementations from different classes:\n");
+        for c in &self.classes {
+            s.push_str(&format!("  class: {}\n", c.join(", ")));
+        }
+        s
+    }
+}
+
+fn preview_bytes(b: &[u8]) -> String {
+    let head: Vec<u8> = b.iter().take(32).copied().collect();
+    format!("{}{}", String::from_utf8_lossy(&head).escape_debug(), if b.len() > 32 { "…" } else { "" })
+}
+
+/// The triage signature: which implementations group together plus each
+/// class's status kind. Input-independent for a given root cause in the
+/// common case.
+pub fn signature_of(impls: &[CompilerImpl], outcome: &DiffOutcome) -> String {
+    let mut parts: Vec<String> = outcome
+        .classes
+        .iter()
+        .map(|c| {
+            let members: Vec<String> = c.iter().map(|&i| impls[i].to_string()).collect();
+            let status = match &outcome.results[c[0]].status {
+                ExitStatus::Code(_) => "exit",
+                ExitStatus::Trapped(t) => return format!("{}!{t:?}", members.join("+")),
+                ExitStatus::Sanitizer(_) => "san",
+                ExitStatus::TimedOut => "timeout",
+            };
+            format!("{}@{status}", members.join("+"))
+        })
+        .collect();
+    parts.sort();
+    parts.join(" | ")
+}
+
+/// The in-memory `diffs/` directory with signature-based bucketing.
+#[derive(Debug, Default)]
+pub struct DiffStore {
+    discrepancies: Vec<Discrepancy>,
+    by_signature: HashMap<String, Vec<usize>>,
+}
+
+impl DiffStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        DiffStore::default()
+    }
+
+    /// Records a divergent outcome; returns `true` if its signature is new
+    /// (a likely-new bug).
+    pub fn record(&mut self, diff: &CompDiff, outcome: &DiffOutcome, input: &[u8]) -> bool {
+        debug_assert!(outcome.divergent);
+        let report = Discrepancy::from_outcome(&diff.impls(), outcome, input);
+        let sig = report.signature.clone();
+        let idx = self.discrepancies.len();
+        self.discrepancies.push(report);
+        let bucket = self.by_signature.entry(sig).or_default();
+        bucket.push(idx);
+        bucket.len() == 1
+    }
+
+    /// All saved reports.
+    pub fn reports(&self) -> &[Discrepancy] {
+        &self.discrepancies
+    }
+
+    /// Number of distinct signatures (the automatic unique-bug estimate).
+    pub fn unique_signatures(&self) -> usize {
+        self.by_signature.len()
+    }
+
+    /// One representative report per signature.
+    pub fn representatives(&self) -> Vec<&Discrepancy> {
+        let mut v: Vec<&Discrepancy> =
+            self.by_signature.values().map(|idxs| &self.discrepancies[idxs[0]]).collect();
+        v.sort_by(|a, b| a.signature.cmp(&b.signature));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differ::DiffConfig;
+
+    #[test]
+    fn record_and_bucket() {
+        let src = "int main() { int u; printf(\"%d\\n\", u); return 0; }";
+        let diff = CompDiff::from_source_default(src, DiffConfig::default()).unwrap();
+        let out1 = diff.run_input(b"a");
+        let out2 = diff.run_input(b"bb");
+        assert!(out1.divergent && out2.divergent);
+        let mut store = DiffStore::new();
+        assert!(store.record(&diff, &out1, b"a"), "first signature is new");
+        // Same bug, same partition: bucketed together.
+        assert!(!store.record(&diff, &out2, b"bb"));
+        assert_eq!(store.unique_signatures(), 1);
+        assert_eq!(store.reports().len(), 2);
+        assert_eq!(store.representatives().len(), 1);
+    }
+
+    #[test]
+    fn report_rendering_contains_essentials() {
+        let src = r#"
+            int main() {
+                char b[2];
+                read_input(b, 1L);
+                int u;
+                printf("%d\n", u);
+                return 0;
+            }
+        "#;
+        let diff = CompDiff::from_source_default(src, DiffConfig::default()).unwrap();
+        let out = diff.run_input(b"q");
+        assert!(out.divergent);
+        let rep = Discrepancy::from_outcome(&diff.impls(), &out, b"q");
+        let text = rep.render();
+        assert!(text.contains("discrepancy report"));
+        assert!(text.contains("gcc-O0"));
+        assert!(text.contains("class:"));
+    }
+
+    #[test]
+    fn signature_distinguishes_trap_patterns() {
+        // Crash-vs-exit divergence gets a different signature than
+        // value-vs-value divergence.
+        let crashy = "int main() { int z = (int)input_size(); int d = 5 / z; printf(\"ok\\n\"); return 0; }";
+        let valuey = "int main() { int u; printf(\"%d\\n\", u); return 0; }";
+        let d1 = CompDiff::from_source_default(crashy, DiffConfig::default()).unwrap();
+        let d2 = CompDiff::from_source_default(valuey, DiffConfig::default()).unwrap();
+        let s1 = signature_of(&d1.impls(), &d1.run_input(b""));
+        let s2 = signature_of(&d2.impls(), &d2.run_input(b""));
+        assert_ne!(s1, s2);
+        assert!(s1.contains("Sigfpe"), "{s1}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Subset analysis over compiler implementations (paper §4.2 / Figure 1,
+//! and RQ4 / Figure 2).
+//!
+//! A bug is characterized by its *hash vector*: the per-implementation
+//! output checksum on the bug-triggering input. A subset `S` of
+//! implementations detects the bug iff two members of `S` have different
+//! hashes. Because detection is a pure function of the recorded vectors,
+//! all `2^k - k - 1` subsets are evaluated without re-running anything.
+
+use minc_compile::CompilerImpl;
+use serde::Serialize;
+
+/// A bug's per-implementation output hashes (engine order).
+pub type HashVector = Vec<u64>;
+
+/// True if implementations in `mask` (bit i = implementation i) disagree.
+pub fn detected_by(hashes: &[u64], mask: u32) -> bool {
+    let mut first: Option<u64> = None;
+    for (i, &h) in hashes.iter().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        match first {
+            None => first = Some(h),
+            Some(f) if f != h => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Detection counts for every subset.
+#[derive(Debug, Clone, Serialize)]
+pub struct SubsetAnalysis {
+    /// Number of implementations.
+    pub k: usize,
+    /// Implementation names, bit order.
+    pub impls: Vec<String>,
+    /// `(mask, subset size, number of bugs detected)` for every subset of
+    /// size ≥ 2.
+    pub results: Vec<(u32, usize, usize)>,
+    /// Total number of bugs analyzed.
+    pub total_bugs: usize,
+}
+
+/// Per-size distribution summary (one box of the paper's box plots).
+#[derive(Debug, Clone, Serialize)]
+pub struct SizeStats {
+    /// Subset size.
+    pub size: usize,
+    /// Fewest bugs detected by any subset of this size.
+    pub min: usize,
+    /// Most bugs detected.
+    pub max: usize,
+    /// Median detection count.
+    pub median: usize,
+    /// Mean detection count.
+    pub mean: f64,
+    /// The best subset (implementation names).
+    pub best: Vec<String>,
+    /// The worst subset.
+    pub worst: Vec<String>,
+}
+
+impl SubsetAnalysis {
+    /// Analyzes `bugs` (one hash vector per bug) across the given
+    /// implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any hash vector's length differs from `impls.len()` or if
+    /// `impls.len() > 20` (subset enumeration would explode).
+    pub fn analyze(bugs: &[HashVector], impls: &[CompilerImpl]) -> SubsetAnalysis {
+        let k = impls.len();
+        assert!(k >= 2 && k <= 20, "subset analysis supports 2..=20 implementations");
+        for b in bugs {
+            assert_eq!(b.len(), k, "hash vector arity mismatch");
+        }
+        let mut results = Vec::new();
+        for mask in 0u32..(1 << k) {
+            let size = mask.count_ones() as usize;
+            if size < 2 {
+                continue;
+            }
+            let detected = bugs.iter().filter(|b| detected_by(b, mask)).count();
+            results.push((mask, size, detected));
+        }
+        SubsetAnalysis {
+            k,
+            impls: impls.iter().map(|c| c.to_string()).collect(),
+            results,
+            total_bugs: bugs.len(),
+        }
+    }
+
+    fn subset_names(&self, mask: u32) -> Vec<String> {
+        (0..self.k).filter(|i| mask & (1 << i) != 0).map(|i| self.impls[i].clone()).collect()
+    }
+
+    /// Distribution statistics for each subset size 2..=k (Figure 1's
+    /// boxes).
+    pub fn size_stats(&self) -> Vec<SizeStats> {
+        (2..=self.k)
+            .map(|size| {
+                let mut counts: Vec<(u32, usize)> = self
+                    .results
+                    .iter()
+                    .filter(|(_, s, _)| *s == size)
+                    .map(|&(m, _, d)| (m, d))
+                    .collect();
+                counts.sort_by_key(|&(_, d)| d);
+                let n = counts.len();
+                let min = counts.first().map(|&(_, d)| d).unwrap_or(0);
+                let max = counts.last().map(|&(_, d)| d).unwrap_or(0);
+                let median = counts[n / 2].1;
+                let mean = counts.iter().map(|&(_, d)| d as f64).sum::<f64>() / n as f64;
+                SizeStats {
+                    size,
+                    min,
+                    max,
+                    median,
+                    mean,
+                    best: self.subset_names(counts.last().unwrap().0),
+                    worst: self.subset_names(counts.first().unwrap().0),
+                }
+            })
+            .collect()
+    }
+
+    /// Detection count of the full set.
+    pub fn full_set_detection(&self) -> usize {
+        let full: u32 = (1 << self.k) - 1;
+        self.results
+            .iter()
+            .find(|&&(m, _, _)| m == full)
+            .map(|&(_, _, d)| d)
+            .unwrap_or(0)
+    }
+
+    /// Detection count of a named subset (e.g. `["gcc-O0", "clang-O3"]`).
+    pub fn detection_of(&self, names: &[&str]) -> Option<usize> {
+        let mut mask = 0u32;
+        for n in names {
+            let i = self.impls.iter().position(|x| x == n)?;
+            mask |= 1 << i;
+        }
+        self.results.iter().find(|&&(m, _, _)| m == mask).map(|&(_, _, d)| d)
+    }
+
+    /// Relative runtime cost of a subset (paper: the full set is ~10×
+    /// normal execution; a pair is ~2×, i.e. cost scales with |S|).
+    pub fn relative_cost(&self, names: &[&str]) -> f64 {
+        names.len() as f64 / self.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn impls10() -> Vec<CompilerImpl> {
+        CompilerImpl::default_set()
+    }
+
+    #[test]
+    fn detected_by_needs_two_members_disagreeing() {
+        let h = vec![1, 1, 2, 1];
+        assert!(detected_by(&h, 0b0101)); // impls 0 and 2 differ
+        assert!(!detected_by(&h, 0b1011)); // impls 0,1,3 agree
+        assert!(!detected_by(&h, 0b0100)); // single member: no comparison
+    }
+
+    #[test]
+    fn monotone_in_subset_inclusion() {
+        // Supersets detect at least as much.
+        let bugs: Vec<HashVector> = (0..20)
+            .map(|i| (0..10).map(|j| if j <= i % 10 { 7 } else { 9 }).collect())
+            .collect();
+        let a = SubsetAnalysis::analyze(&bugs, &impls10());
+        for &(mask, _, d) in &a.results {
+            let full = a.full_set_detection();
+            assert!(d <= full, "subset {mask:b} detects more than full set");
+        }
+    }
+
+    #[test]
+    fn size_stats_cover_all_sizes() {
+        let bugs: Vec<HashVector> = vec![vec![1, 2, 1, 1, 1, 1, 1, 1, 1, 1]];
+        let a = SubsetAnalysis::analyze(&bugs, &impls10());
+        let stats = a.size_stats();
+        assert_eq!(stats.len(), 9); // sizes 2..=10
+        assert_eq!(stats[0].size, 2);
+        assert_eq!(stats.last().unwrap().size, 10);
+        // The only divergence is impl 0 vs impl 1: the best pairs detect 1.
+        assert_eq!(stats[0].max, 1);
+        assert_eq!(stats[0].min, 0);
+        // The full set always detects it.
+        assert_eq!(a.full_set_detection(), 1);
+    }
+
+    #[test]
+    fn named_subset_lookup() {
+        let bugs: Vec<HashVector> =
+            vec![vec![10, 1, 1, 1, 1, 1, 1, 1, 1, 99], vec![5, 5, 5, 5, 5, 5, 5, 5, 5, 5]];
+        let a = SubsetAnalysis::analyze(&bugs, &impls10());
+        // gcc-O0 (index 0) vs clang-Os (index 9) differ on bug 0 only.
+        assert_eq!(a.detection_of(&["gcc-O0", "clang-Os"]), Some(1));
+        assert_eq!(a.detection_of(&["gcc-O1", "gcc-O2"]), Some(0));
+        assert_eq!(a.detection_of(&["nope-O7"]), None);
+        assert!((a.relative_cost(&["gcc-O0", "clang-Os"]) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_count_is_complete() {
+        let bugs: Vec<HashVector> = vec![vec![0; 10]];
+        let a = SubsetAnalysis::analyze(&bugs, &impls10());
+        // 2^10 - 10 - 1 = 1013 subsets of size >= 2.
+        assert_eq!(a.results.len(), 1013);
+    }
+}

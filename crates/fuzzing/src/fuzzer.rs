@@ -1,0 +1,429 @@
+//! The campaign driver: AFL++'s main loop (paper Algorithm 1, unhighlighted
+//! part) with a pluggable extra *oracle* seam (the highlighted part).
+//!
+//! ```text
+//! while not aborted:
+//!     s  = select seed
+//!     s' = mutate(s)
+//!     r  = execute(B_fuzz, s')
+//!     if crash: save crash
+//!     if new coverage: add to queue
+//!     oracle.examine(s', r)        # <- CompDiff plugs in here
+//! ```
+
+use crate::coverage::{CoverageMap, GlobalCoverage};
+use crate::mutate;
+use crate::queue::Queue;
+use crate::rng::Rng;
+use minc_vm::{ExecResult, ExitStatus, VmConfig};
+use std::collections::{HashMap, HashSet};
+
+/// Executes the instrumented target once. Implemented for closures so any
+/// binary/hook combination (plain, sanitized, …) can be fuzzed.
+pub trait TargetExec {
+    /// Runs `input`, filling `map` with edge coverage.
+    fn run(&mut self, input: &[u8], map: &mut CoverageMap) -> ExecResult;
+}
+
+impl<F: FnMut(&[u8], &mut CoverageMap) -> ExecResult> TargetExec for F {
+    fn run(&mut self, input: &[u8], map: &mut CoverageMap) -> ExecResult {
+        self(input, map)
+    }
+}
+
+/// A convenience target: one binary, no extra instrumentation.
+#[derive(Debug, Clone)]
+pub struct BinaryTarget<'a> {
+    /// The fuzz binary (B_fuzz).
+    pub binary: &'a minc_compile::Binary,
+    /// Execution limits.
+    pub vm: VmConfig,
+}
+
+impl TargetExec for BinaryTarget<'_> {
+    fn run(&mut self, input: &[u8], map: &mut CoverageMap) -> ExecResult {
+        let mut hooks = crate::coverage::CoveredHooks::new(map, minc_vm::NoHooks);
+        minc_vm::execute_with_hooks(self.binary, input, &self.vm, &mut hooks)
+    }
+}
+
+/// The extra test oracle (paper §3.2): examines every generated input.
+pub trait Oracle {
+    /// Returns `true` if the input should be saved (e.g. it triggered an
+    /// output discrepancy).
+    fn examine(&mut self, input: &[u8], result: &ExecResult) -> bool;
+
+    /// Called after [`Oracle::examine`] returned `true`: should the input
+    /// *also* enter the seed queue? This is the paper's §5 future-work
+    /// idea (NEZHA-style divergence-as-feedback): inputs that expose a
+    /// novel behavioural asymmetry are worth mutating further even when
+    /// they add no new code coverage. Default: `false` (the paper's base
+    /// CompDiff-AFL++ design).
+    fn feedback(&mut self, input: &[u8]) -> bool {
+        let _ = input;
+        false
+    }
+}
+
+/// No extra oracle: plain AFL++.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOracle;
+
+impl Oracle for NoOracle {
+    fn examine(&mut self, _input: &[u8], _result: &ExecResult) -> bool {
+        false
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Execution budget (on the fuzz binary; oracle executions are extra).
+    pub max_execs: u64,
+    /// RNG seed (campaigns are fully deterministic).
+    pub seed: u64,
+    /// Maximum input length.
+    pub max_input_len: usize,
+    /// Run the deterministic stage on small seeds.
+    pub deterministic: bool,
+    /// Dictionary tokens (AFL's `-x`): magic values and keywords the havoc
+    /// stage may insert or overwrite with.
+    pub dictionary: Vec<Vec<u8>>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            max_execs: 50_000,
+            seed: 0xAF1,
+            max_input_len: 128,
+            deterministic: true,
+            dictionary: Vec::new(),
+        }
+    }
+}
+
+/// A saved crash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crash {
+    /// The triggering input.
+    pub input: Vec<u8>,
+    /// The crash status.
+    pub status: ExitStatus,
+    /// Dedup signature (status-derived, like AFL's crash bucketing).
+    pub signature: String,
+}
+
+/// Campaign results.
+#[derive(Debug, Default)]
+pub struct CampaignStats {
+    /// Total executions of the fuzz binary.
+    pub execs: u64,
+    /// Unique crashes (first input per signature).
+    pub crashes: Vec<Crash>,
+    /// Inputs the oracle asked to save (the `diffs/` directory).
+    pub oracle_finds: Vec<Vec<u8>>,
+    /// Final corpus size.
+    pub corpus_len: usize,
+    /// Distinct coverage-map slots seen.
+    pub edges: usize,
+    /// Executions that timed out.
+    pub timeouts: u64,
+}
+
+/// The fuzzer.
+pub struct Fuzzer<T: TargetExec, O: Oracle> {
+    target: T,
+    oracle: O,
+    config: FuzzConfig,
+    rng: Rng,
+    queue: Queue,
+    global: GlobalCoverage,
+    map: CoverageMap,
+    crash_sigs: HashMap<String, usize>,
+    oracle_seen: HashSet<Vec<u8>>,
+    stats: CampaignStats,
+}
+
+impl<T: TargetExec, O: Oracle> Fuzzer<T, O> {
+    /// Creates a fuzzer over a target with an oracle.
+    pub fn new(target: T, oracle: O, config: FuzzConfig) -> Self {
+        let rng = Rng::new(config.seed);
+        Fuzzer {
+            target,
+            oracle,
+            config,
+            rng,
+            queue: Queue::new(),
+            global: GlobalCoverage::new(),
+            map: CoverageMap::new(),
+            crash_sigs: HashMap::new(),
+            oracle_seen: HashSet::new(),
+            stats: CampaignStats::default(),
+        }
+    }
+
+    /// Runs a campaign from the given seed corpus and returns statistics.
+    pub fn run(mut self, seeds: &[Vec<u8>]) -> CampaignStats {
+        // Dry-run the seeds.
+        let mut seen = HashSet::new();
+        for s in seeds {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            if self.stats.execs >= self.config.max_execs {
+                break;
+            }
+            let (result, new_bits, edges) = self.exec_one(s);
+            // Initial seeds always enter the queue (AFL keeps them even
+            // without novel coverage, as long as they do not crash).
+            let _ = new_bits;
+            if !result.status.is_crash() {
+                self.queue.add(s.clone(), result.steps, edges);
+            }
+        }
+        if self.queue.is_empty() {
+            // Fall back to a minimal seed, as afl-fuzz requires one input.
+            let s = vec![0u8];
+            let (result, _, edges) = self.exec_one(&s);
+            if !result.status.is_crash() {
+                self.queue.add(s, result.steps, edges);
+            }
+        }
+
+        // Main loop.
+        while self.stats.execs < self.config.max_execs && !self.queue.is_empty() {
+            let Some(idx) = self.queue.next_index() else { break };
+            let seed_input = self.queue.seed(idx).input.clone();
+
+            if self.config.deterministic
+                && !self.queue.seed(idx).det_done
+                && seed_input.len() <= 20
+            {
+                let mut budget_left = true;
+                let mut mutants = Vec::new();
+                mutate::deterministic(&seed_input, |m| {
+                    mutants.push(m);
+                    true
+                });
+                for m in mutants {
+                    if self.stats.execs >= self.config.max_execs {
+                        budget_left = false;
+                        break;
+                    }
+                    self.fuzz_one(&m);
+                }
+                self.queue.mark_det_done(idx);
+                if !budget_left {
+                    break;
+                }
+            }
+
+            let energy = self.queue.energy(idx);
+            for _ in 0..energy {
+                if self.stats.execs >= self.config.max_execs {
+                    break;
+                }
+                let mutant = if !self.config.dictionary.is_empty() && self.rng.one_in(6) {
+                    mutate::dictionary(
+                        &seed_input,
+                        &self.config.dictionary,
+                        &mut self.rng,
+                        self.config.max_input_len,
+                    )
+                } else if self.rng.one_in(8) {
+                    match self.queue.splice_partner(idx) {
+                        Some(p) => {
+                            let spliced = mutate::splice(
+                                &seed_input,
+                                &p.input,
+                                &mut self.rng,
+                                self.config.max_input_len,
+                            );
+                            mutate::havoc(&spliced, &mut self.rng, self.config.max_input_len)
+                        }
+                        None => mutate::havoc(&seed_input, &mut self.rng, self.config.max_input_len),
+                    }
+                } else {
+                    mutate::havoc(&seed_input, &mut self.rng, self.config.max_input_len)
+                };
+                self.fuzz_one(&mutant);
+            }
+        }
+
+        self.stats.corpus_len = self.queue.len();
+        self.stats.edges = self.global.edges_seen();
+        self.stats
+    }
+
+    /// Executes, returning (result, new coverage?, distinct edges).
+    fn exec_one(&mut self, input: &[u8]) -> (ExecResult, bool, usize) {
+        self.map.reset();
+        let result = self.target.run(input, &mut self.map);
+        self.stats.execs += 1;
+        if result.status == ExitStatus::TimedOut {
+            self.stats.timeouts += 1;
+        }
+        let edges = self.map.count_edges();
+        let new_bits = self.global.merge(&self.map);
+        (result, new_bits, edges)
+    }
+
+    /// The full per-input pipeline of Algorithm 1.
+    fn fuzz_one(&mut self, input: &[u8]) {
+        let (result, new_bits, edges) = self.exec_one(input);
+        if result.status.is_crash() {
+            let signature = crash_signature(&result.status);
+            if !self.crash_sigs.contains_key(&signature) {
+                self.crash_sigs.insert(signature.clone(), self.stats.crashes.len());
+                self.stats.crashes.push(Crash {
+                    input: input.to_vec(),
+                    status: result.status.clone(),
+                    signature,
+                });
+            }
+        } else if new_bits {
+            self.queue.add(input.to_vec(), result.steps, edges);
+        }
+        // CompDiff seam: examine outputs on every generated input.
+        if self.oracle.examine(input, &result) {
+            if self.oracle_seen.insert(input.to_vec()) {
+                self.stats.oracle_finds.push(input.to_vec());
+            }
+            // Divergence-as-feedback (§5 future work): a novel divergence
+            // earns queue entry even without new coverage bits.
+            if !new_bits && !result.status.is_crash() && self.oracle.feedback(input) {
+                self.queue.add(input.to_vec(), result.steps, edges);
+            }
+        }
+    }
+}
+
+/// AFL-style crash bucketing: by status kind and sanitizer category.
+pub fn crash_signature(status: &ExitStatus) -> String {
+    match status {
+        ExitStatus::Trapped(t) => format!("trap:{t:?}"),
+        ExitStatus::Sanitizer(f) => format!("san:{}:{}", f.kind, f.category),
+        other => format!("{other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minc_compile::{compile_source, CompilerImpl};
+
+    fn target_binary(src: &str) -> minc_compile::Binary {
+        compile_source(src, CompilerImpl::parse("clang-O1").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn finds_magic_byte_crash() {
+        // The classic staged-magic-bytes toy: coverage guidance must find
+        // it far faster than random chance (1 in 2^24 blind).
+        let src = r#"
+            int main() {
+                char buf[8];
+                long n = read_input(buf, 8L);
+                if (n < 3) return 0;
+                if (buf[0] == 'F') {
+                    if (buf[1] == 'U') {
+                        if (buf[2] == 'Z') {
+                            int* p = 0;
+                            *p = 1;
+                        }
+                    }
+                }
+                return 0;
+            }
+        "#;
+        let bin = target_binary(src);
+        let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
+        let config = FuzzConfig { max_execs: 60_000, seed: 1, ..Default::default() };
+        let stats = Fuzzer::new(target, NoOracle, config).run(&[b"AAAAAAA".to_vec()]);
+        assert!(
+            stats.crashes.iter().any(|c| c.signature.contains("Segv")),
+            "should find the staged crash; stats: {} execs, {} edges, {} corpus",
+            stats.execs,
+            stats.edges,
+            stats.corpus_len
+        );
+        let crash = &stats.crashes[0];
+        assert_eq!(&crash.input[..3], b"FUZ");
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let src = r#"
+            int main() {
+                char buf[4];
+                read_input(buf, 4L);
+                if (buf[0] == 'x' && buf[1] == 'y') { abort(); }
+                return 0;
+            }
+        "#;
+        let bin = target_binary(src);
+        let run = || {
+            let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
+            let config = FuzzConfig { max_execs: 5_000, seed: 99, ..Default::default() };
+            let s = Fuzzer::new(target, NoOracle, config).run(&[b"ab".to_vec()]);
+            (s.execs, s.edges, s.crashes.len(), s.corpus_len)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn coverage_grows_queue() {
+        let src = r#"
+            int main() {
+                char buf[4];
+                long n = read_input(buf, 4L);
+                if (n > 0 && buf[0] > 'a') { printf("1"); }
+                if (n > 1 && buf[1] > 'b') { printf("2"); }
+                if (n > 2 && buf[2] > 'c') { printf("3"); }
+                return 0;
+            }
+        "#;
+        let bin = target_binary(src);
+        let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
+        let config = FuzzConfig { max_execs: 3_000, seed: 3, ..Default::default() };
+        let stats = Fuzzer::new(target, NoOracle, config).run(&[b"....".to_vec()]);
+        assert!(stats.corpus_len > 1, "novel paths should be kept");
+    }
+
+    #[test]
+    fn oracle_finds_are_saved_and_deduped() {
+        struct EvenLen;
+        impl Oracle for EvenLen {
+            fn examine(&mut self, input: &[u8], _r: &ExecResult) -> bool {
+                input.len() % 2 == 0
+            }
+        }
+        let bin = target_binary("int main() { return 0; }");
+        let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
+        let config = FuzzConfig { max_execs: 500, seed: 4, ..Default::default() };
+        let stats = Fuzzer::new(target, EvenLen, config).run(&[b"ab".to_vec()]);
+        assert!(!stats.oracle_finds.is_empty());
+        let set: HashSet<_> = stats.oracle_finds.iter().collect();
+        assert_eq!(set.len(), stats.oracle_finds.len(), "finds must be deduped");
+    }
+
+    #[test]
+    fn crashes_are_deduped_by_signature() {
+        let src = r#"
+            int main() {
+                char buf[2];
+                read_input(buf, 2L);
+                if (buf[0] == 'a') { int* p = 0; *p = 1; }
+                if (buf[0] == 'b') { int* q = 0; *q = 2; }
+                return 0;
+            }
+        "#;
+        let bin = target_binary(src);
+        let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
+        let config = FuzzConfig { max_execs: 4_000, seed: 5, ..Default::default() };
+        let stats = Fuzzer::new(target, NoOracle, config).run(&[b"zz".to_vec()]);
+        // Both crash sites segfault -> one signature bucket.
+        assert_eq!(stats.crashes.len(), 1, "{:?}", stats.crashes);
+    }
+}

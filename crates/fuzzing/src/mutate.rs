@@ -1,0 +1,278 @@
+//! Mutation operators, following AFL++'s deterministic and havoc stages.
+
+use crate::rng::Rng;
+
+/// Interesting 8-bit values (AFL's list).
+pub const INTERESTING_8: [i8; 9] = [-128, -1, 0, 1, 16, 32, 64, 100, 127];
+/// Interesting 16-bit values.
+pub const INTERESTING_16: [i16; 10] =
+    [-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767];
+/// Interesting 32-bit values.
+pub const INTERESTING_32: [i32; 8] = [
+    i32::MIN,
+    -100_663_046,
+    -32769,
+    32768,
+    65535,
+    65536,
+    100_663_045,
+    i32::MAX,
+];
+
+/// The deterministic stage: every single-bit flip, byte flip, and ±1..35
+/// arithmetic and interesting-value substitution at each position.
+/// Yields each mutant through `emit`; stops early if `emit` returns false.
+pub fn deterministic(input: &[u8], mut emit: impl FnMut(Vec<u8>) -> bool) {
+    // Walking bit flips.
+    for bit in 0..input.len() * 8 {
+        let mut m = input.to_vec();
+        m[bit / 8] ^= 1 << (bit % 8);
+        if !emit(m) {
+            return;
+        }
+    }
+    // Byte flips.
+    for i in 0..input.len() {
+        let mut m = input.to_vec();
+        m[i] ^= 0xff;
+        if !emit(m) {
+            return;
+        }
+    }
+    // Arithmetic on bytes.
+    for i in 0..input.len() {
+        for d in [1i16, -1, 7, -7, 35, -35] {
+            let mut m = input.to_vec();
+            m[i] = (m[i] as i16).wrapping_add(d) as u8;
+            if !emit(m) {
+                return;
+            }
+        }
+    }
+    // Interesting byte values.
+    for i in 0..input.len() {
+        for v in INTERESTING_8 {
+            let mut m = input.to_vec();
+            m[i] = v as u8;
+            if !emit(m) {
+                return;
+            }
+        }
+    }
+    // Interesting 16/32-bit values (little-endian).
+    for i in 0..input.len().saturating_sub(1) {
+        for v in INTERESTING_16 {
+            let mut m = input.to_vec();
+            m[i..i + 2].copy_from_slice(&v.to_le_bytes());
+            if !emit(m) {
+                return;
+            }
+        }
+    }
+    for i in 0..input.len().saturating_sub(3) {
+        for v in INTERESTING_32 {
+            let mut m = input.to_vec();
+            m[i..i + 4].copy_from_slice(&v.to_le_bytes());
+            if !emit(m) {
+                return;
+            }
+        }
+    }
+}
+
+/// One havoc mutation: a stack of 1-8 random edits.
+pub fn havoc(input: &[u8], rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let mut m = input.to_vec();
+    if m.is_empty() {
+        m.push(rng.byte());
+    }
+    let stack = 1 << (1 + rng.below(3)); // 2, 4, or 8 edits
+    for _ in 0..stack {
+        match rng.below(11) {
+            0 => {
+                // Flip a random bit.
+                let bit = rng.below(m.len() * 8);
+                m[bit / 8] ^= 1 << (bit % 8);
+            }
+            1 => {
+                // Set a random byte to an interesting value.
+                let i = rng.below(m.len());
+                m[i] = *rng.choose(&INTERESTING_8) as u8;
+            }
+            2 => {
+                // Random byte.
+                let i = rng.below(m.len());
+                m[i] = rng.byte();
+            }
+            3 => {
+                // Add/sub small value.
+                let i = rng.below(m.len());
+                let d = rng.below(70) as i16 - 35;
+                m[i] = (m[i] as i16).wrapping_add(d) as u8;
+            }
+            4 if m.len() > 1 => {
+                // Delete a random byte.
+                let i = rng.below(m.len());
+                m.remove(i);
+            }
+            5 if m.len() < max_len => {
+                // Insert a random byte.
+                let i = rng.below(m.len() + 1);
+                m.insert(i, rng.byte());
+            }
+            6 if m.len() < max_len.saturating_sub(4) => {
+                // Insert a small random block.
+                let i = rng.below(m.len() + 1);
+                let n = 1 + rng.below(4);
+                for _ in 0..n {
+                    m.insert(i, rng.byte());
+                }
+            }
+            7 if m.len() >= 2 => {
+                // Overwrite with interesting 16-bit value.
+                let i = rng.below(m.len() - 1);
+                let v = *rng.choose(&INTERESTING_16);
+                m[i..i + 2].copy_from_slice(&v.to_le_bytes());
+            }
+            8 if m.len() >= 4 => {
+                // Overwrite with interesting 32-bit value.
+                let i = rng.below(m.len() - 3);
+                let v = *rng.choose(&INTERESTING_32);
+                m[i..i + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            9 if m.len() >= 2 => {
+                // Copy a block within the input.
+                let src = rng.below(m.len());
+                let dst = rng.below(m.len());
+                let n = 1 + rng.below((m.len() - src.max(dst)).max(1));
+                for k in 0..n {
+                    if src + k < m.len() && dst + k < m.len() {
+                        m[dst + k] = m[src + k];
+                    }
+                }
+            }
+            _ => {
+                // ASCII digit tweak (handy for text protocols).
+                let i = rng.below(m.len());
+                m[i] = b'0' + rng.below(10) as u8;
+            }
+        }
+    }
+    m.truncate(max_len);
+    m
+}
+
+/// Dictionary mutation (AFL's `-x` tokens): overwrite at or insert a token
+/// into a random position, then lightly havoc.
+pub fn dictionary(input: &[u8], tokens: &[Vec<u8>], rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let mut m = input.to_vec();
+    if m.is_empty() {
+        m.push(rng.byte());
+    }
+    let token = rng.choose(tokens).clone();
+    if rng.one_in(2) && token.len() <= m.len() {
+        // Overwrite in place.
+        let pos = rng.below(m.len() - token.len() + 1);
+        m[pos..pos + token.len()].copy_from_slice(&token);
+    } else {
+        // Insert.
+        let pos = rng.below(m.len() + 1);
+        for (k, &b) in token.iter().enumerate() {
+            m.insert(pos + k, b);
+        }
+    }
+    m.truncate(max_len);
+    if rng.one_in(3) {
+        return havoc(&m, rng, max_len);
+    }
+    m
+}
+
+/// Splices two inputs at random positions (AFL's splice stage).
+pub fn splice(a: &[u8], b: &[u8], rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let cut_a = rng.below(a.len());
+    let cut_b = rng.below(b.len());
+    let mut out = a[..cut_a].to_vec();
+    out.extend_from_slice(&b[cut_b..]);
+    out.truncate(max_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_covers_bitflips_first() {
+        let input = vec![0u8; 2];
+        let mut first = Vec::new();
+        deterministic(&input, |m| {
+            first.push(m);
+            first.len() < 16
+        });
+        // First 16 mutants are single-bit flips of two zero bytes.
+        for (i, m) in first.iter().enumerate() {
+            let expected_byte = i / 8;
+            assert_eq!(m[expected_byte], 1 << (i % 8));
+        }
+    }
+
+    #[test]
+    fn deterministic_mutant_count_scales_with_len() {
+        let mut n = 0;
+        deterministic(&[0u8; 4], |_| {
+            n += 1;
+            true
+        });
+        // 32 bitflips + 4 byteflips + 24 arith + 36 interesting8
+        // + 30 interesting16 + 8 interesting32.
+        assert_eq!(n, 32 + 4 + 24 + 36 + 30 + 8);
+    }
+
+    #[test]
+    fn havoc_stays_within_bounds() {
+        let mut rng = Rng::new(11);
+        for _ in 0..500 {
+            let m = havoc(b"hello world", &mut rng, 16);
+            assert!(m.len() <= 16);
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn havoc_produces_variety() {
+        let mut rng = Rng::new(1);
+        let outs: std::collections::HashSet<Vec<u8>> =
+            (0..100).map(|_| havoc(b"seed", &mut rng, 32)).collect();
+        assert!(outs.len() > 50, "havoc should produce diverse mutants");
+    }
+
+    #[test]
+    fn dictionary_places_tokens() {
+        let mut rng = Rng::new(9);
+        let tokens = vec![b"MAGIC".to_vec()];
+        let mut hits = 0;
+        for _ in 0..200 {
+            let m = dictionary(b"................", &tokens, &mut rng, 64);
+            assert!(m.len() <= 64);
+            if m.windows(5).any(|w| w == b"MAGIC") {
+                hits += 1;
+            }
+        }
+        assert!(hits > 100, "tokens should usually survive: {hits}/200");
+    }
+
+    #[test]
+    fn splice_combines_prefix_and_suffix() {
+        let mut rng = Rng::new(5);
+        let s = splice(b"AAAA", b"BBBB", &mut rng, 64);
+        assert!(!s.is_empty());
+        assert!(s.len() <= 8);
+    }
+}

@@ -1,0 +1,153 @@
+//! The seed queue and power schedule.
+
+/// One queue entry.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    /// The input bytes.
+    pub input: Vec<u8>,
+    /// Steps the target took on this input (exec-time proxy).
+    pub steps: u64,
+    /// Distinct edges this input covered when added.
+    pub edges: usize,
+    /// Whether the deterministic stage already ran for this seed.
+    pub det_done: bool,
+    /// How many times this seed was selected.
+    pub selected: u64,
+}
+
+/// A simple AFL-like queue: cyclic selection, energy favoring small, fast,
+/// high-coverage, rarely-fuzzed seeds.
+#[derive(Debug, Default)]
+pub struct Queue {
+    seeds: Vec<Seed>,
+    cursor: usize,
+}
+
+impl Queue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Queue::default()
+    }
+
+    /// Adds a seed.
+    pub fn add(&mut self, input: Vec<u8>, steps: u64, edges: usize) {
+        self.seeds.push(Seed { input, steps, edges, det_done: false, selected: 0 });
+    }
+
+    /// Number of seeds.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// True if no seeds.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Selects the next seed index (round-robin).
+    pub fn next_index(&mut self) -> Option<usize> {
+        if self.seeds.is_empty() {
+            return None;
+        }
+        let idx = self.cursor % self.seeds.len();
+        self.cursor += 1;
+        self.seeds[idx].selected += 1;
+        Some(idx)
+    }
+
+    /// Access a seed.
+    pub fn seed(&self, idx: usize) -> &Seed {
+        &self.seeds[idx]
+    }
+
+    /// Marks the deterministic stage complete.
+    pub fn mark_det_done(&mut self, idx: usize) {
+        self.seeds[idx].det_done = true;
+    }
+
+    /// The havoc energy for a seed: more for high-coverage/fast/small
+    /// seeds, tapering with repeated selection (a simplified AFL
+    /// `calculate_score`).
+    pub fn energy(&self, idx: usize) -> u32 {
+        let s = &self.seeds[idx];
+        let mut score: f64 = 64.0;
+        // Coverage factor relative to the queue average.
+        let avg_edges = (self.seeds.iter().map(|s| s.edges).sum::<usize>().max(1)
+            / self.seeds.len().max(1)) as f64;
+        let cov = (s.edges as f64 / avg_edges.max(1.0)).clamp(0.25, 4.0);
+        score *= cov;
+        // Speed factor.
+        let avg_steps = (self.seeds.iter().map(|s| s.steps).sum::<u64>().max(1)
+            / self.seeds.len().max(1) as u64) as f64;
+        let speed = (avg_steps.max(1.0) / s.steps.max(1) as f64).clamp(0.25, 4.0);
+        score *= speed;
+        // Taper with age.
+        score /= 1.0 + (s.selected as f64).sqrt();
+        score.clamp(8.0, 512.0) as u32
+    }
+
+    /// A second seed for splicing (any other index), if available.
+    pub fn splice_partner(&self, idx: usize) -> Option<&Seed> {
+        if self.seeds.len() < 2 {
+            return None;
+        }
+        let other = (idx + 1 + (idx * 7) % (self.seeds.len() - 1)) % self.seeds.len();
+        let other = if other == idx { (idx + 1) % self.seeds.len() } else { other };
+        Some(&self.seeds[other])
+    }
+
+    /// Iterates the corpus inputs.
+    pub fn inputs(&self) -> impl Iterator<Item = &[u8]> {
+        self.seeds.iter().map(|s| s.input.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_selection() {
+        let mut q = Queue::new();
+        q.add(b"a".to_vec(), 10, 5);
+        q.add(b"b".to_vec(), 10, 5);
+        assert_eq!(q.next_index(), Some(0));
+        assert_eq!(q.next_index(), Some(1));
+        assert_eq!(q.next_index(), Some(0));
+    }
+
+    #[test]
+    fn empty_queue_yields_none() {
+        let mut q = Queue::new();
+        assert_eq!(q.next_index(), None);
+    }
+
+    #[test]
+    fn energy_favors_coverage_and_speed() {
+        let mut q = Queue::new();
+        q.add(b"slow-low".to_vec(), 100_000, 2);
+        q.add(b"fast-high".to_vec(), 100, 50);
+        assert!(q.energy(1) > q.energy(0));
+    }
+
+    #[test]
+    fn energy_tapers_with_selection() {
+        let mut q = Queue::new();
+        q.add(b"x".to_vec(), 100, 10);
+        let before = q.energy(0);
+        for _ in 0..20 {
+            q.next_index();
+        }
+        assert!(q.energy(0) < before);
+    }
+
+    #[test]
+    fn splice_partner_is_distinct() {
+        let mut q = Queue::new();
+        q.add(b"a".to_vec(), 1, 1);
+        assert!(q.splice_partner(0).is_none());
+        q.add(b"b".to_vec(), 1, 1);
+        let p = q.splice_partner(0).unwrap();
+        assert_eq!(p.input, b"b");
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic PRNG for the fuzzer (xoshiro256**).
+//!
+//! The fuzzer must be reproducible: same seed, same campaign. We therefore
+//! use our own small generator instead of OS entropy.
+
+/// xoshiro256** by Blackman & Vigna (public domain algorithm).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a seed (SplitMix64 expansion).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Rng { s: [next_sm(), next_sm(), next_sm(), next_sm()] }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A random byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u64() & 0xff) as u8
+    }
+
+    /// True with probability `1/n`.
+    pub fn one_in(&mut self, n: usize) -> bool {
+        self.below(n) == 0
+    }
+
+    /// Picks a random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn bytes_cover_range() {
+        let mut r = Rng::new(3);
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[r.byte() as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 250);
+    }
+}

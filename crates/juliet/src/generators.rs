@@ -1,0 +1,665 @@
+//! Test-case generators for the 20 CWE categories.
+//!
+//! Each generated test mirrors Juliet's structure: one self-contained
+//! program per case, a `bad` variant with exactly one flaw and a `good`
+//! variant without it, and a *flow shape* wrapper (direct, opaque-guard,
+//! helper-function, single-iteration loop) that exercises analyzers'
+//! flow-sensitivity — the same role Juliet's flow variants play.
+//!
+//! The variant mixes inside each CWE are chosen to reproduce the paper's
+//! *qualitative* Table 3 structure: e.g. most uninitialized-use tests only
+//! print the value (MSan's deliberate blind spot, CompDiff's sweet spot),
+//! while a minority branch on it (MSan's detection point); memory-error
+//! tests mix near overflows (redzone-visible to ASan) with far ones
+//! (beyond the redzone — CompDiff's unique finds).
+
+use crate::model::{Cwe, JulietTest};
+
+/// Common globals and helpers included in every test.
+const PRELUDE: &str = "int SINK;\nint FLAG = 1;\n";
+
+/// Wraps a core (declarations + statements) in one of four flow shapes.
+fn wrap(core: &str, flow: usize, extra_top: &str) -> String {
+    let mut src = String::from(PRELUDE);
+    src.push_str(extra_top);
+    match flow % 4 {
+        0 => {
+            src.push_str("int main() {\n");
+            src.push_str(core);
+            src.push_str("    return 0;\n}\n");
+        }
+        1 => {
+            src.push_str("int main() {\n    if (FLAG == 1) {\n");
+            src.push_str(core);
+            src.push_str("    }\n    return 0;\n}\n");
+        }
+        2 => {
+            src.push_str("void payload() {\n");
+            src.push_str(core);
+            src.push_str("}\nint main() {\n    payload();\n    return 0;\n}\n");
+        }
+        _ => {
+            src.push_str("int main() {\n    int k0;\n    for (k0 = 0; k0 < 1; k0++) {\n");
+            src.push_str(core);
+            src.push_str("    }\n    return 0;\n}\n");
+        }
+    }
+    src
+}
+
+fn sizes(i: usize) -> u64 {
+    [8u64, 16, 32, 64][i % 4]
+}
+
+/// Generates test `i` for `cwe`.
+pub fn generate(cwe: Cwe, i: usize) -> JulietTest {
+    let (bad_core, good_core, extra) = cores(cwe, i);
+    let flow = i % 4;
+    JulietTest {
+        id: format!("{}_{:05}", cwe, i),
+        cwe,
+        bad: wrap(&bad_core, flow, &extra),
+        good: wrap(&good_core, flow, &extra),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn cores(cwe: Cwe, i: usize) -> (String, String, String) {
+    let s = sizes(i);
+    let no_extra = String::new();
+    match cwe {
+        // ---- stack buffer overflow (write) ----
+        Cwe::Cwe121 => {
+            // `tail` is declared before the buffer, so at -O0 (declaration
+            // order + padding) it sits between the buffer's end and the
+            // frame base — the natural victim of an upward overflow. At
+            // -O1+ it is promoted to a register and survives: divergence.
+            let fill = format!(
+                "    int tail = 9;\n    char buf[{s}];\n    int j;\n    for (j = 0; j < {s}; j++) {{ buf[j] = 'A'; }}\n"
+            );
+            let near = s + 8 + (i as u64 % 3);
+            let idx = |n: u64| {
+                if matches!(i % 8, 2 | 3 | 5 | 6) {
+                    format!("atoi(\"{n}\")")
+                } else {
+                    format!("{n}")
+                }
+            };
+            let bad = match i % 8 {
+                0..=3 => format!(
+                    "{fill}    int idx = {};\n    buf[idx] = 'X';\n    printf(\"t=%d b=%d\\n\", tail, (int)buf[0]);\n",
+                    idx(near)
+                ),
+                4..=6 => format!(
+                    "{fill}    int idx = {};\n    buf[idx] = 'X';\n    SINK = tail;\n    printf(\"done\\n\");\n",
+                    idx(s + 1)
+                ),
+                _ => format!(
+                    // Far past every redzone: ASan-invisible; the adjacent
+                    // junk the test observes is implementation-specific.
+                    "{fill}    buf[{}] = 'X';\n    printf(\"t=%d v=%d\\n\", tail, (int)buf[{}]);\n",
+                    s + 48,
+                    s + 50
+                ),
+            };
+            let good = format!(
+                "{fill}    int idx = {};\n    buf[idx] = 'X';\n    printf(\"t=%d b=%d\\n\", tail, (int)buf[0]);\n",
+                idx(s - 1)
+            );
+            (bad, good, no_extra)
+        }
+
+        // ---- heap buffer overflow (write) ----
+        Cwe::Cwe122 => {
+            let alloc = format!(
+                "    char* p = (char*)malloc({s}L);\n    char* q = (char*)malloc({s}L);\n    int j;\n    for (j = 0; j < {s}; j++) {{ p[j] = 'A'; q[j] = 'B'; }}\n"
+            );
+            let idx = |n: u64| {
+                if matches!(i % 8, 2 | 3 | 5 | 6) {
+                    format!("atoi(\"{n}\")")
+                } else {
+                    format!("{n}")
+                }
+            };
+            // gcc-sim's allocator places the next chunk closer than
+            // clang-sim's (16- vs 32-byte chunk headers); this offset hits
+            // q[0] under one family only.
+            let far = s.div_ceil(16) * 16 + 16;
+            let bad = match i % 8 {
+                0..=3 => format!(
+                    "{alloc}    int idx = {};\n    p[idx] = 'X';\n    printf(\"q=%d v=%d\\n\", (int)q[0], (int)p[{}]);\n    free(p);\n    free(q);\n",
+                    idx(s + 2),
+                    s + 3
+                ),
+                4..=6 => format!(
+                    "{alloc}    int idx = {};\n    p[idx] = 'X';\n    SINK = (int)q[0];\n    printf(\"done\\n\");\n    free(p);\n    free(q);\n",
+                    idx(s + 1)
+                ),
+                _ => format!(
+                    "{alloc}    p[{far}] = 'X';\n    printf(\"q=%d\\n\", (int)q[0]);\n    free(p);\n    free(q);\n"
+                ),
+            };
+            let good = format!(
+                "{alloc}    int idx = {};\n    p[idx] = 'X';\n    printf(\"q=%d v=%d\\n\", (int)q[0], (int)p[0]);\n    free(p);\n    free(q);\n",
+                idx(s - 1)
+            );
+            (bad, good, no_extra)
+        }
+
+        // ---- buffer underwrite ----
+        Cwe::Cwe124 => {
+            // `tail` declared after the buffer sits *below* it on the
+            // stack: the victim of an underwrite at -O0, a register at -O1+.
+            let decl = format!(
+                "    char buf[{s}];\n    int tail = 9;\n    int j;\n    for (j = 0; j < {s}; j++) {{ buf[j] = 'A'; }}\n"
+            );
+            let idx = |n: i64| {
+                if matches!(i % 8, 2 | 3 | 5 | 6) {
+                    format!("atoi(\"{n}\")")
+                } else {
+                    format!("({n})")
+                }
+            };
+            let bad = match i % 8 {
+                0..=3 => format!(
+                    "{decl}    int idx = {};\n    buf[idx] = 'X';\n    printf(\"t=%d b=%d\\n\", tail, (int)buf[0]);\n",
+                    idx(-12 + (i as i64 % 3))
+                ),
+                4..=6 => format!(
+                    "{decl}    int idx = {};\n    buf[idx] = 'X';\n    SINK = tail;\n    printf(\"done\\n\");\n",
+                    idx(-1)
+                ),
+                _ => format!(
+                    "{decl}    buf[-48] = 'X';\n    printf(\"t=%d v=%d\\n\", tail, (int)buf[-47]);\n"
+                ),
+            };
+            let good = format!(
+                "{decl}    int idx = {};\n    buf[idx] = 'X';\n    printf(\"t=%d b=%d\\n\", tail, (int)buf[0]);\n",
+                idx(0)
+            );
+            (bad, good, no_extra)
+        }
+
+        // ---- buffer overread ----
+        Cwe::Cwe126 => {
+            let decl = format!(
+                "    char buf[{s}];\n    int j;\n    for (j = 0; j < {s}; j++) {{ buf[j] = 'A'; }}\n"
+            );
+            let idx = |n: u64| {
+                if matches!(i % 8, 2 | 3 | 5 | 6) {
+                    format!("atoi(\"{n}\")")
+                } else {
+                    format!("{n}")
+                }
+            };
+            let bad = match i % 8 {
+                0..=3 => format!(
+                    "{decl}    int idx = {};\n    printf(\"v=%d\\n\", (int)buf[idx]);\n",
+                    idx(s + 2 + (i as u64 % 3))
+                ),
+                4..=6 => format!(
+                    "{decl}    int idx = {};\n    SINK += (int)buf[idx];\n    printf(\"done\\n\");\n",
+                    idx(s + 1)
+                ),
+                _ => format!("{decl}    printf(\"v=%d\\n\", (int)buf[{}]);\n", s + 48),
+            };
+            let good = format!(
+                "{decl}    int idx = {};\n    printf(\"v=%d\\n\", (int)buf[idx]);\n",
+                idx(s - 1)
+            );
+            (bad, good, no_extra)
+        }
+
+        // ---- buffer underread ----
+        Cwe::Cwe127 => {
+            let decl = format!(
+                "    char buf[{s}];\n    int j;\n    for (j = 0; j < {s}; j++) {{ buf[j] = 'A'; }}\n"
+            );
+            let idx = |n: i64| {
+                if matches!(i % 8, 2 | 3 | 5 | 6) {
+                    format!("atoi(\"{n}\")")
+                } else {
+                    format!("({n})")
+                }
+            };
+            let bad = match i % 8 {
+                0..=3 => format!(
+                    "{decl}    int idx = {};\n    printf(\"v=%d\\n\", (int)buf[idx]);\n",
+                    idx(-2 - (i as i64 % 3))
+                ),
+                4..=6 => format!(
+                    "{decl}    int idx = {};\n    SINK += (int)buf[idx];\n    printf(\"done\\n\");\n",
+                    idx(-1)
+                ),
+                _ => format!("{decl}    printf(\"v=%d\\n\", (int)buf[-48]);\n"),
+            };
+            let good = format!(
+                "{decl}    int idx = {};\n    printf(\"v=%d\\n\", (int)buf[idx]);\n",
+                idx(0)
+            );
+            (bad, good, no_extra)
+        }
+
+        // ---- double free ----
+        Cwe::Cwe415 => {
+            let bad = if i % 8 < 4 {
+                format!(
+                    // Observable: the corrupted allocator hands out shifted
+                    // chunks afterwards; the fresh chunk's junk is
+                    // implementation-specific.
+                    "    char* p = (char*)malloc({s}L);\n    p[0] = 'A';\n    free(p);\n    free(p);\n    char* r1 = (char*)malloc({s}L);\n    char* r2 = (char*)malloc({s}L);\n    printf(\"v=%d\\n\", (int)r2[0]);\n    SINK = (int)r1[0];\n"
+                )
+            } else {
+                format!(
+                    "    char* p = (char*)malloc({s}L);\n    p[0] = 'A';\n    free(p);\n    free(p);\n    printf(\"done\\n\");\n"
+                )
+            };
+            let good = format!(
+                "    char* p = (char*)malloc({s}L);\n    p[0] = 'A';\n    free(p);\n    p = 0;\n    if (FLAG == 2) {{ free(p); SINK = 1; }}\n    printf(\"done\\n\");\n"
+            );
+            (bad, good, no_extra)
+        }
+
+        // ---- use after free ----
+        Cwe::Cwe416 => {
+            let bad = if matches!(i % 8, 4..=6) {
+                format!(
+                    // Write-after-free observed through the recycled chunk:
+                    // every allocator recycles the same way here, so only
+                    // ASan sees this one.
+                    "    char* p = (char*)malloc({s}L);\n    p[0] = 'A';\n    free(p);\n    char* q = (char*)malloc({s}L);\n    q[0] = 'Q';\n    p[0] = 'X';\n    printf(\"q=%d\\n\", (int)q[0]);\n    free(q);\n"
+                )
+            } else {
+                format!(
+                    // Read of freed memory: the allocator wrote its
+                    // implementation-specific free-list key there.
+                    "    char* p = (char*)malloc({s}L);\n    int j;\n    for (j = 0; j < {s}; j++) {{ p[j] = 'A'; }}\n    free(p);\n    printf(\"v=%d\\n\", (int)p[9]);\n"
+                )
+            };
+            let good = format!(
+                "    char* p = (char*)malloc({s}L);\n    int j;\n    for (j = 0; j < {s}; j++) {{ p[j] = 'A'; }}\n    printf(\"v=%d\\n\", (int)p[{}]);\n    free(p);\n",
+                s - 1
+            );
+            (bad, good, no_extra)
+        }
+
+        // ---- memset with swapped size/value (UB for input to API) ----
+        Cwe::Cwe475 => {
+            let bad = format!(
+                "    char buf[{s}];\n    memset(buf, 'A', 0);\n    printf(\"v=%d\\n\", (int)buf[{}]);\n",
+                s / 2
+            );
+            let good = format!(
+                "    char buf[{s}];\n    memset(buf, 'A', {s}L);\n    printf(\"v=%d\\n\", (int)buf[{}]);\n",
+                s / 2
+            );
+            (bad, good, no_extra)
+        }
+
+        // ---- access child of non-struct pointer ----
+        Cwe::Cwe588 => {
+            let near = i % 2 == 0;
+            let extra = if near {
+                "struct pair { int a; int b; };\n".to_string()
+            } else {
+                "struct wide { int a; char pad[20]; int far; };\n".to_string()
+            };
+            let bad = if near {
+                "    int x = 5;\n    struct pair* p = (struct pair*)&x;\n    printf(\"v=%d\\n\", p->b);\n"
+                    .to_string()
+            } else {
+                "    int x = 5;\n    struct wide* p = (struct wide*)&x;\n    printf(\"v=%d\\n\", p->far);\n"
+                    .to_string()
+            };
+            let good = if near {
+                "    struct pair v;\n    v.a = 5;\n    v.b = 6;\n    struct pair* p = &v;\n    printf(\"v=%d\\n\", p->b);\n"
+                    .to_string()
+            } else {
+                "    struct wide v;\n    v.a = 5;\n    v.far = 6;\n    struct wide* p = &v;\n    printf(\"v=%d\\n\", p->far);\n"
+                    .to_string()
+            };
+            (bad, good, extra)
+        }
+
+        // ---- free of non-heap memory ----
+        Cwe::Cwe590 => {
+            let bad = match i % 8 {
+                0..=2 => format!(
+                    // Interior-pointer free: silent allocator corruption
+                    // whose magnitude differs per implementation.
+                    "    char* p = (char*)malloc({s}L);\n    p[0] = 'A';\n    free(p + 8);\n    char* q = (char*)malloc({s}L);\n    printf(\"v=%d\\n\", (int)q[0]);\n    free(p);\n"
+                ),
+                3..=5 => "    int x = 3;\n    int* p = &x;\n    free(p);\n    printf(\"done\\n\");\n"
+                    .to_string(),
+                _ => format!(
+                    "    char buf[{s}];\n    buf[0] = 'A';\n    free(buf);\n    printf(\"done\\n\");\n"
+                ),
+            };
+            let good = format!(
+                "    char* p = (char*)malloc({s}L);\n    p[0] = 'A';\n    free(p);\n    printf(\"done\\n\");\n"
+            );
+            (bad, good, no_extra)
+        }
+
+        // ---- printf with missing variadic arguments ----
+        Cwe::Cwe685 => {
+            let bad = "    int v = 7;\n    printf(\"%d %d\\n\", v);\n".to_string();
+            let good = "    int v = 7;\n    printf(\"%d %d\\n\", v, v + 1);\n".to_string();
+            (bad, good, no_extra)
+        }
+
+        // ---- miscellaneous UB ----
+        Cwe::Cwe758 => {
+            let extra_ret = "int fallsoff(int t) { if (t == 4) { return 1; } }\n".to_string();
+            let extra_eval = "int ctr;\nint bump() { ctr = ctr + 1; return ctr; }\nint pair2(int a, int b) { return a * 100 + b; }\n".to_string();
+            match i % 4 {
+                0 => {
+                    // Constant oversized shift: -O0 masks like x86, the
+                    // optimizer folds to 0 — divergence; sanitizer builds
+                    // fold it too, so UBSan misses.
+                    let sh = 33 + (i % 20);
+                    let bad = format!("    int v = 1 << {sh};\n    printf(\"v=%d\\n\", v);\n");
+                    let good = format!("    int v = 1 << {};\n    printf(\"v=%d\\n\", v);\n", sh % 31);
+                    (bad, good, no_extra)
+                }
+                1 => {
+                    // Runtime oversized shift: survives everywhere, all
+                    // implementations mask identically — UBSan-only.
+                    let bad = format!(
+                        "    int sh = atoi(\"{}\");\n    int v = 1 << sh;\n    printf(\"v=%d\\n\", v);\n",
+                        40 + (i % 8)
+                    );
+                    let good = format!(
+                        "    int sh = atoi(\"{}\");\n    int v = 1 << sh;\n    printf(\"v=%d\\n\", v);\n",
+                        (i % 8) + 3
+                    );
+                    (bad, good, no_extra)
+                }
+                2 => {
+                    // Falling off the end of a value-returning function.
+                    let bad = "    printf(\"v=%d\\n\", fallsoff(3));\n".to_string();
+                    let good = "    printf(\"v=%d\\n\", fallsoff(4));\n".to_string();
+                    (bad, good, extra_ret)
+                }
+                _ => {
+                    // Unsequenced side effects across call arguments.
+                    let bad = "    ctr = 0;\n    printf(\"v=%d\\n\", pair2(bump(), bump()));\n"
+                        .to_string();
+                    let good = "    ctr = 0;\n    int a = bump();\n    int b = bump();\n    printf(\"v=%d\\n\", pair2(a, b));\n"
+                        .to_string();
+                    (bad, good, extra_eval)
+                }
+            }
+        }
+
+        // ---- integer overflow ----
+        Cwe::Cwe190 => match i % 8 {
+            0 | 1 => {
+                // Signed addition overflow, value printed: wraps the same
+                // everywhere (UBSan's catch, CompDiff's documented miss).
+                let k = 1 + (i % 90);
+                let bad = format!(
+                    "    int big = atoi(\"2147483600\");\n    int r = big + {k} + 100;\n    printf(\"r=%d\\n\", r);\n"
+                );
+                let good = format!(
+                    "    int big = atoi(\"2147483600\");\n    long r = (long)big + {k};\n    if (r > 2147483647L) {{ r = 2147483647L; }}\n    printf(\"r=%ld\\n\", r);\n"
+                );
+                (bad, good, no_extra)
+            }
+            2 => {
+                // (long)(a*b): the widening divergence (clang-sim -O1+).
+                let bad = "    int a = atoi(\"100000\");\n    int b = atoi(\"100001\");\n    long x = (long)(a * b);\n    printf(\"x=%ld\\n\", x);\n"
+                    .to_string();
+                let good = "    int a = atoi(\"100000\");\n    int b = atoi(\"100001\");\n    long x = (long)a * (long)b;\n    printf(\"x=%ld\\n\", x);\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+            3 | 4 | 5 => {
+                // Lossy truncation: implementation-defined, not UB — a
+                // wrong-but-stable result that neither tool reports.
+                let bad = "    long big = atoi(\"70000\") * 100000L;\n    int t = (int)big;\n    printf(\"t=%d\\n\", t);\n"
+                    .to_string();
+                let good = "    long big = atoi(\"70000\") * 100000L;\n    printf(\"t=%ld\\n\", big);\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+            _ => {
+                // Unsigned wraparound: defined, wrong, stable.
+                let bad = "    unsigned u = (unsigned)atoi(\"2000000000\");\n    unsigned r = u + u;\n    printf(\"r=%u\\n\", r);\n"
+                    .to_string();
+                let good = "    unsigned u = (unsigned)atoi(\"2000000000\");\n    long r = (long)u + (long)u;\n    printf(\"r=%ld\\n\", r);\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+        },
+
+        // ---- integer underflow ----
+        Cwe::Cwe191 => match i % 8 {
+            0 | 1 => {
+                let k = 1 + (i % 90);
+                let bad = format!(
+                    "    int small = atoi(\"-2147483600\");\n    int r = small - {k} - 100;\n    printf(\"r=%d\\n\", r);\n"
+                );
+                let good = format!(
+                    "    int small = atoi(\"-2147483600\");\n    long r = (long)small - {k};\n    printf(\"r=%ld\\n\", r);\n"
+                );
+                (bad, good, no_extra)
+            }
+            2 => {
+                let bad = "    int a = atoi(\"-100000\");\n    int b = atoi(\"100001\");\n    long x = (long)(a * b);\n    printf(\"x=%ld\\n\", x);\n"
+                    .to_string();
+                let good = "    int a = atoi(\"-100000\");\n    int b = atoi(\"100001\");\n    long x = (long)a * (long)b;\n    printf(\"x=%ld\\n\", x);\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+            _ => {
+                let bad = "    unsigned u = (unsigned)atoi(\"3\");\n    unsigned r = u - 10u;\n    printf(\"r=%u\\n\", r);\n"
+                    .to_string();
+                let good = "    unsigned u = (unsigned)atoi(\"3\");\n    long r = (long)u - 10L;\n    printf(\"r=%ld\\n\", r);\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+        },
+
+        // ---- divide by zero ----
+        Cwe::Cwe369 => match i % 4 {
+            0 => {
+                // Result observed: every implementation traps identically.
+                let bad = "    int z = atoi(\"0\");\n    SINK = 100 / z;\n    printf(\"done\\n\");\n"
+                    .to_string();
+                let good = "    int z = atoi(\"0\");\n    if (z != 0) { SINK = 100 / z; }\n    printf(\"done\\n\");\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+            1 => {
+                // Result dead: -O0 traps, -O2 deletes the division.
+                let bad = "    int z = atoi(\"0\");\n    int dead = 100 / z;\n    printf(\"done\\n\");\n"
+                    .to_string();
+                let good = "    int z = atoi(\"0\");\n    int dead = 100 / (z + 1);\n    SINK = dead;\n    printf(\"done\\n\");\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+            _ => {
+                // Float division: Inf/NaN, identical everywhere and not a
+                // default UBSan check.
+                let bad = "    double z = (double)atoi(\"0\");\n    double r = 5.0 / z;\n    printf(\"r=%f\\n\", r);\n"
+                    .to_string();
+                let good = "    double z = (double)atoi(\"2\");\n    double r = 5.0 / z;\n    printf(\"r=%f\\n\", r);\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+        },
+
+        // ---- null pointer dereference ----
+        Cwe::Cwe476 => match i % 8 {
+            7 => {
+                // Observed deref: traps identically everywhere.
+                let bad = "    int* p = (int*)(long)atoi(\"0\");\n    SINK = *p;\n    printf(\"done\\n\");\n"
+                    .to_string();
+                let good = "    int v = 3;\n    int* p = &v;\n    SINK = *p;\n    printf(\"done\\n\");\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+            _ => {
+                // Dead deref: -O0 crashes, the optimizer deletes the load.
+                let bad = "    int* p = (int*)(long)atoi(\"0\");\n    int dead = *p;\n    printf(\"done\\n\");\n"
+                    .to_string();
+                let good = "    int v = 3;\n    int* p = &v;\n    int dead = *p;\n    SINK = dead;\n    printf(\"done\\n\");\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+        },
+
+        // ---- integer overflow to buffer overflow ----
+        Cwe::Cwe680 => match i % 2 {
+            0 => {
+                // 65536 * 65536 wraps to 0 in 32-bit; the widening
+                // implementations allocate 4 GiB (-> NULL) instead.
+                let bad = "    int cnt = atoi(\"65536\");\n    long bytes = (long)(cnt * cnt);\n    char* p = (char*)malloc(bytes + 1L);\n    p[0] = 'A';\n    printf(\"v=%d\\n\", (int)p[0]);\n    free(p);\n"
+                    .to_string();
+                let good = "    int cnt = atoi(\"65536\");\n    long bytes = (long)cnt * 4L;\n    char* p = (char*)malloc(bytes);\n    p[0] = 'A';\n    printf(\"v=%d\\n\", (int)p[0]);\n    free(p);\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+            _ => {
+                // Wrapped size makes the buffer tiny; the write lands far
+                // beyond it.
+                let bad = "    int cnt = atoi(\"1073741828\");\n    int bytes = cnt * 4;\n    char* p = (char*)malloc((long)bytes);\n    p[12] = 'A';\n    printf(\"v=%d\\n\", (int)p[12]);\n    free(p);\n"
+                    .to_string();
+                let good = "    long cnt = (long)atoi(\"16\");\n    char* p = (char*)malloc(cnt * 4L);\n    p[12] = 'A';\n    printf(\"v=%d\\n\", (int)p[12]);\n    free(p);\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+        },
+
+        // ---- use of uninitialized variable ----
+        Cwe::Cwe457 => match i % 8 {
+            6 => {
+                // Branch on the uninitialized value: MSan's detection point.
+                let bad = "    int u;\n    if (u == 77) { printf(\"hit\\n\"); }\n    printf(\"done\\n\");\n"
+                    .to_string();
+                let good = "    int u = 77;\n    if (u == 77) { printf(\"hit\\n\"); }\n    printf(\"done\\n\");\n"
+                    .to_string();
+                (bad, good, no_extra)
+            }
+            7 => {
+                // Uninitialized heap read, printed.
+                let bad = format!(
+                    "    int* p = (int*)malloc({s}L);\n    printf(\"v=%d\\n\", p[1]);\n    free(p);\n"
+                );
+                let good = format!(
+                    "    int* p = (int*)malloc({s}L);\n    p[1] = 9;\n    printf(\"v=%d\\n\", p[1]);\n    free(p);\n"
+                );
+                (bad, good, no_extra)
+            }
+            _ => {
+                // The common shape: print an uninitialized local (MSan's
+                // deliberate blind spot, CompDiff's strength).
+                let bad = "    int u;\n    int v = u * 2 + 1;\n    printf(\"v=%d\\n\", v);\n"
+                    .to_string();
+                // Some good variants initialize inside a single-iteration
+                // loop: clean dynamically, but a may-uninit trap for eager
+                // static analyzers (a deliberate false-positive source);
+                // the rest initialize directly.
+                let good = if i % 8 < 2 {
+                    "    int u;\n    int k1;\n    for (k1 = 0; k1 < 1; k1++) { u = 4; }\n    int v = u * 2 + 1;\n    printf(\"v=%d\\n\", v);\n"
+                        .to_string()
+                } else {
+                    "    int u = 4;\n    int v = u * 2 + 1;\n    printf(\"v=%d\\n\", v);\n"
+                        .to_string()
+                };
+                (bad, good, no_extra)
+            }
+        },
+
+        // ---- improper initialization ----
+        Cwe::Cwe665 => match i % 2 {
+            0 => {
+                // strncpy that fills the buffer without a terminator, then
+                // strlen walks into the junk beyond it.
+                let bad = format!(
+                    "    char buf[{s}];\n    char big[{}];\n    memset(big, 'B', {}L);\n    big[{}] = '\\0';\n    strncpy(buf, big, {s}L);\n    printf(\"n=%d\\n\", (int)strlen(buf));\n",
+                    s * 2,
+                    s * 2 - 1,
+                    s * 2 - 1
+                );
+                // Good: leave room for the terminator and write it.
+                let good = format!(
+                    "    char buf[{s}];\n    char big[{}];\n    memset(big, 'B', {}L);\n    big[{}] = '\\0';\n    strncpy(buf, big, {}L);\n    buf[{}] = '\\0';\n    printf(\"n=%d\\n\", (int)strlen(buf));\n",
+                    s * 2,
+                    s - 2,
+                    s - 2,
+                    s - 1,
+                    s - 1
+                );
+                (bad, good, no_extra)
+            }
+            _ => {
+                // Partial memset: the tail stays uninitialized.
+                let bad = format!(
+                    "    char buf[{s}];\n    memset(buf, 'A', {}L);\n    printf(\"v=%d\\n\", (int)buf[{}]);\n",
+                    s / 2,
+                    s - 1
+                );
+                let good = format!(
+                    "    char buf[{s}];\n    memset(buf, 'A', {s}L);\n    printf(\"v=%d\\n\", (int)buf[{}]);\n",
+                    s - 1
+                );
+                (bad, good, no_extra)
+            }
+        },
+
+        // ---- pointer subtraction across objects ----
+        Cwe::Cwe469 => {
+            let bad = format!(
+                "    int a[{s}];\n    int b[{s}];\n    a[0] = 1;\n    b[0] = 2;\n    long d = &b[0] - &a[0];\n    printf(\"d=%ld\\n\", d);\n"
+            );
+            let good = format!(
+                "    int a[{s}];\n    a[0] = 1;\n    a[{}] = 2;\n    long d = &a[{}] - &a[0];\n    printf(\"d=%ld\\n\", d);\n",
+                s - 1,
+                s - 1
+            );
+            (bad, good, no_extra)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cwes_generate_compilable_variants() {
+        for cwe in Cwe::ALL {
+            for i in 0..8 {
+                let t = generate(cwe, i);
+                minc::check(&t.bad)
+                    .unwrap_or_else(|e| panic!("{} bad does not compile: {e}\n{}", t.id, t.bad));
+                minc::check(&t.good)
+                    .unwrap_or_else(|e| panic!("{} good does not compile: {e}\n{}", t.id, t.good));
+            }
+        }
+    }
+
+    #[test]
+    fn flow_shapes_rotate() {
+        let a = generate(Cwe::Cwe121, 0);
+        let b = generate(Cwe::Cwe121, 1);
+        let c = generate(Cwe::Cwe121, 2);
+        let d = generate(Cwe::Cwe121, 3);
+        assert!(!a.bad.contains("payload"));
+        assert!(b.bad.contains("if (FLAG == 1)"));
+        assert!(c.bad.contains("void payload()"));
+        assert!(d.bad.contains("for (k0"));
+    }
+
+    #[test]
+    fn ids_are_stable_and_unique() {
+        let a = generate(Cwe::Cwe190, 3);
+        let b = generate(Cwe::Cwe190, 3);
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.bad, b.bad);
+        let c = generate(Cwe::Cwe190, 4);
+        assert_ne!(a.id, c.id);
+    }
+}

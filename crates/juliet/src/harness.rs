@@ -1,0 +1,361 @@
+//! The evaluation harness behind Tables 2 and 3 and Figure 1.
+//!
+//! For each test it runs: the three static analyzer analogs (bad + good
+//! variants, for detection and false-positive rates), the three sanitizer
+//! analogs (bad + good), and CompDiff over the ten compiler
+//! implementations (bad + good, recording the per-implementation hash
+//! vector that Figure 1's subset analysis consumes).
+
+use crate::generators::generate;
+use crate::model::{Cwe, Group, JulietTest};
+use compdiff::{CompDiff, DiffConfig, HashVector};
+use minc_vm::{ExitStatus, SanitizerKind, VmConfig};
+use serde::Serialize;
+use staticheck::{Defect, Tool};
+
+/// Builds the suite at a given scale (`1.0` = the paper's 18,142 tests;
+/// every CWE keeps at least 8 tests so variant mixes stay represented).
+pub fn suite(scale: f64) -> Vec<JulietTest> {
+    let mut out = Vec::new();
+    for cwe in Cwe::ALL {
+        let n = ((cwe.paper_count() as f64 * scale).round() as usize).max(8);
+        for i in 0..n {
+            out.push(generate(cwe, i));
+        }
+    }
+    out
+}
+
+/// Per-test evaluation outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct TestEval {
+    /// Test id.
+    pub id: String,
+    /// CWE.
+    pub cwe: Cwe,
+    /// Static tools: detected on bad? (coverity, cppcheck, infer)
+    pub static_det: [bool; 3],
+    /// Static tools: false alarm on good?
+    pub static_fp: [bool; 3],
+    /// Sanitizers: detected on bad? (asan, ubsan, msan)
+    pub san_det: [bool; 3],
+    /// Sanitizers: false alarm on good?
+    pub san_fp: [bool; 3],
+    /// CompDiff: divergence on bad?
+    pub compdiff_det: bool,
+    /// CompDiff: divergence on good (must stay false — Finding 5)?
+    pub compdiff_fp: bool,
+    /// Per-implementation output hashes on the bad variant (Figure 1).
+    pub hashes: HashVector,
+}
+
+/// Defect classes that count as a detection for each Table 3 group
+/// (prevents cross-crediting a tool for an unrelated incidental finding).
+pub fn relevant_defects(group: Group) -> &'static [Defect] {
+    match group {
+        Group::MemoryError => {
+            &[Defect::OutOfBounds, Defect::UseAfterFree, Defect::DoubleFree, Defect::BadFree]
+        }
+        Group::BadApiInput => &[Defect::BadApiUsage],
+        Group::BadStructPointer => &[Defect::OutOfBounds],
+        Group::BadFunctionCall => &[Defect::FormatMismatch],
+        Group::UndefinedBehavior => &[Defect::BadShift, Defect::MissingReturn],
+        Group::IntegerError => &[Defect::IntegerOverflow],
+        Group::DivideByZero => &[Defect::DivByZero],
+        Group::NullDeref => &[Defect::NullDeref],
+        Group::UninitializedMemory => &[Defect::Uninitialized],
+        Group::PointerSubtraction => &[Defect::PointerSubtraction],
+    }
+}
+
+/// Evaluates one test with every tool.
+pub fn evaluate(test: &JulietTest, vm: &VmConfig) -> TestEval {
+    let group = test.cwe.group();
+    let relevant = relevant_defects(group);
+
+    // Static analysis (source only).
+    let tools = [Tool::CoveritySim, Tool::CppcheckSim, Tool::InferSim];
+    let mut static_det = [false; 3];
+    let mut static_fp = [false; 3];
+    if let Ok(checked) = minc::check(&test.bad) {
+        for (t, out) in tools.iter().zip(static_det.iter_mut()) {
+            *out = staticheck::run_tool(&checked, *t)
+                .iter()
+                .any(|f| relevant.contains(&f.defect));
+        }
+    }
+    if let Ok(checked) = minc::check(&test.good) {
+        for (t, out) in tools.iter().zip(static_fp.iter_mut()) {
+            *out = staticheck::run_tool(&checked, *t)
+                .iter()
+                .any(|f| relevant.contains(&f.defect));
+        }
+    }
+
+    // Sanitizers (separate instrumented builds, like -fsanitize).
+    let kinds = [SanitizerKind::Asan, SanitizerKind::Ubsan, SanitizerKind::Msan];
+    let mut san_det = [false; 3];
+    let mut san_fp = [false; 3];
+    if let Ok(bin) = sanitizers::compile_sanitized(&test.bad) {
+        for (k, out) in kinds.iter().zip(san_det.iter_mut()) {
+            let r = sanitizers::run_sanitized(&bin, b"", vm, *k);
+            *out = matches!(r.status, ExitStatus::Sanitizer(_));
+        }
+    }
+    if let Ok(bin) = sanitizers::compile_sanitized(&test.good) {
+        for (k, out) in kinds.iter().zip(san_fp.iter_mut()) {
+            let r = sanitizers::run_sanitized(&bin, b"", vm, *k);
+            *out = matches!(r.status, ExitStatus::Sanitizer(_));
+        }
+    }
+
+    // CompDiff over the default ten implementations.
+    let cfg = DiffConfig { vm: vm.clone(), ..Default::default() };
+    let (compdiff_det, hashes) = match CompDiff::from_source_default(&test.bad, cfg.clone()) {
+        Ok(diff) => {
+            let o = diff.run_input(b"");
+            (o.divergent, o.hashes)
+        }
+        Err(_) => (false, vec![0; 10]),
+    };
+    let compdiff_fp = match CompDiff::from_source_default(&test.good, cfg) {
+        Ok(diff) => diff.run_input(b"").divergent,
+        Err(_) => false,
+    };
+
+    TestEval {
+        id: test.id.clone(),
+        cwe: test.cwe,
+        static_det,
+        static_fp,
+        san_det,
+        san_fp,
+        compdiff_det,
+        compdiff_fp,
+        hashes,
+    }
+}
+
+/// One Table 3 row (percentages 0-100).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Which group.
+    pub group: Group,
+    /// Number of bad tests.
+    pub tests: usize,
+    /// Detection % per static tool (coverity, cppcheck, infer).
+    pub static_det: [f64; 3],
+    /// False-positive % per static tool.
+    pub static_fp: [f64; 3],
+    /// Detection % per sanitizer (asan, ubsan, msan).
+    pub san_det: [f64; 3],
+    /// Detection % of the combined sanitizers.
+    pub san_total: f64,
+    /// CompDiff detection %.
+    pub compdiff: f64,
+    /// Bugs detected by CompDiff but by no sanitizer.
+    pub unique: usize,
+    /// CompDiff false positives on good variants (expected 0).
+    pub compdiff_fp: usize,
+}
+
+/// The full Table 3.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3 {
+    /// Rows in paper order.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Aggregates per-test evaluations into Table 3.
+pub fn table3(evals: &[TestEval]) -> Table3 {
+    let pct = |n: usize, d: usize| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+    let rows = Group::ALL
+        .iter()
+        .map(|&group| {
+            let in_group: Vec<&TestEval> =
+                evals.iter().filter(|e| e.cwe.group() == group).collect();
+            let n = in_group.len();
+            let count = |f: &dyn Fn(&TestEval) -> bool| in_group.iter().filter(|e| f(e)).count();
+            let static_det = [
+                pct(count(&|e| e.static_det[0]), n),
+                pct(count(&|e| e.static_det[1]), n),
+                pct(count(&|e| e.static_det[2]), n),
+            ];
+            let static_fp = [
+                pct(count(&|e| e.static_fp[0]), n),
+                pct(count(&|e| e.static_fp[1]), n),
+                pct(count(&|e| e.static_fp[2]), n),
+            ];
+            let san_det = [
+                pct(count(&|e| e.san_det[0]), n),
+                pct(count(&|e| e.san_det[1]), n),
+                pct(count(&|e| e.san_det[2]), n),
+            ];
+            let san_total = pct(count(&|e| e.san_det.iter().any(|&d| d)), n);
+            let compdiff = pct(count(&|e| e.compdiff_det), n);
+            let unique = count(&|e| e.compdiff_det && !e.san_det.iter().any(|&d| d));
+            let compdiff_fp = count(&|e| e.compdiff_fp);
+            Table3Row {
+                group,
+                tests: n,
+                static_det,
+                static_fp,
+                san_det,
+                san_total,
+                compdiff,
+                unique,
+                compdiff_fp,
+            }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl Table3 {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<24} {:>6} | {:>9} {:>9} {:>9} | {:>5} {:>5} {:>5} {:>6} | {:>8} {:>7} {:>6}\n",
+            "Description", "#Tests", "Coverity", "Cppcheck", "Infer", "ASan", "UBSan", "MSan",
+            "SanTot", "CompDiff", "#Unique", "CD-FP"
+        ));
+        s.push_str(&"-".repeat(130));
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<24} {:>6} | {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) | {:>4.0}% {:>4.0}% {:>4.0}% {:>5.0}% | {:>7.0}% {:>7} {:>6}\n",
+                r.group.label(),
+                r.tests,
+                r.static_det[0],
+                r.static_fp[0],
+                r.static_det[1],
+                r.static_fp[1],
+                r.static_det[2],
+                r.static_fp[2],
+                r.san_det[0],
+                r.san_det[1],
+                r.san_det[2],
+                r.san_total,
+                r.compdiff,
+                r.unique,
+                r.compdiff_fp
+            ));
+        }
+        s
+    }
+
+    /// Total CompDiff-unique bug count (the paper's headline 1,409).
+    pub fn total_unique(&self) -> usize {
+        self.rows.iter().map(|r| r.unique).sum()
+    }
+}
+
+/// Renders Table 2 (the suite overview).
+pub fn render_table2(scale: f64) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{:<10} {:<42} {:>8} {:>8}\n", "CWE-ID", "Description", "#Paper", "#Here"));
+    s.push_str(&"-".repeat(72));
+    s.push('\n');
+    let mut total_paper = 0;
+    let mut total_here = 0;
+    for cwe in Cwe::ALL {
+        let here = ((cwe.paper_count() as f64 * scale).round() as usize).max(8);
+        total_paper += cwe.paper_count();
+        total_here += here;
+        s.push_str(&format!(
+            "{:<10} {:<42} {:>8} {:>8}\n",
+            cwe.to_string(),
+            cwe.description(),
+            cwe.paper_count(),
+            here
+        ));
+    }
+    s.push_str(&"-".repeat(72));
+    s.push('\n');
+    s.push_str(&format!("{:<10} {:<42} {:>8} {:>8}\n", "Total", "", total_paper, total_here));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_cwe(cwe: Cwe, i: usize) -> TestEval {
+        evaluate(&generate(cwe, i), &VmConfig::default())
+    }
+
+    #[test]
+    fn suite_scales() {
+        let s = suite(0.001);
+        // 20 CWEs x >= 8 tests.
+        assert!(s.len() >= 160);
+        let full: usize = Cwe::ALL.iter().map(|c| c.paper_count()).sum();
+        assert_eq!(full, 18_142);
+    }
+
+    #[test]
+    fn uninit_print_variant_shapes() {
+        // Variant 0 of CWE-457: printed uninitialized local.
+        let e = eval_cwe(Cwe::Cwe457, 0);
+        assert!(e.compdiff_det, "CompDiff must catch printed uninit");
+        assert!(!e.san_det[2], "MSan must miss the print-only case");
+        assert!(!e.compdiff_fp, "no false positive on the good variant");
+    }
+
+    #[test]
+    fn uninit_branch_variant_is_msans() {
+        // Variant 6: branch on uninitialized value.
+        let e = eval_cwe(Cwe::Cwe457, 6);
+        assert!(e.san_det[2], "MSan catches branch-on-uninit");
+    }
+
+    #[test]
+    fn memory_near_overflow_is_asans() {
+        let e = eval_cwe(Cwe::Cwe121, 0);
+        assert!(e.san_det[0], "ASan catches near overflow");
+    }
+
+    #[test]
+    fn memory_far_overflow_is_compdiff_unique() {
+        let e = eval_cwe(Cwe::Cwe121, 7);
+        assert!(!e.san_det[0], "far overflow lands beyond the redzone");
+        assert!(e.compdiff_det, "layout divergence catches it");
+    }
+
+    #[test]
+    fn pointer_subtraction_only_compdiff() {
+        let e = eval_cwe(Cwe::Cwe469, 0);
+        assert!(e.compdiff_det);
+        assert!(!e.san_det.iter().any(|&d| d));
+        assert!(!e.static_det.iter().any(|&d| d));
+        assert!(!e.compdiff_fp);
+    }
+
+    #[test]
+    fn printf_arity_everybody_who_should() {
+        let e = eval_cwe(Cwe::Cwe685, 1);
+        assert!(e.compdiff_det, "junk vararg diverges");
+        assert!(e.static_det[0] && e.static_det[1], "coverity+cppcheck check arity");
+        assert!(!e.static_det[2], "infer does not");
+    }
+
+    #[test]
+    fn table3_aggregation_math() {
+        let evals = vec![eval_cwe(Cwe::Cwe469, 0), eval_cwe(Cwe::Cwe469, 1)];
+        let t = table3(&evals);
+        let row = t.rows.iter().find(|r| r.group == Group::PointerSubtraction).unwrap();
+        assert_eq!(row.tests, 2);
+        assert_eq!(row.compdiff, 100.0);
+        assert_eq!(row.unique, 2);
+        let rendered = t.render();
+        assert!(rendered.contains("UB of pointer Sub."));
+    }
+
+    #[test]
+    fn table2_renders_totals() {
+        let s = render_table2(1.0);
+        assert!(s.contains("18142"));
+        assert!(s.contains("CWE-121"));
+    }
+}

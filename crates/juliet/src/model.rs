@@ -1,0 +1,275 @@
+//! The benchmark model: CWEs, groups, and test cases.
+
+use serde::Serialize;
+use std::fmt;
+
+/// The 20 CWE categories of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[allow(missing_docs)]
+pub enum Cwe {
+    Cwe121,
+    Cwe122,
+    Cwe124,
+    Cwe126,
+    Cwe127,
+    Cwe415,
+    Cwe416,
+    Cwe475,
+    Cwe588,
+    Cwe590,
+    Cwe685,
+    Cwe758,
+    Cwe190,
+    Cwe191,
+    Cwe369,
+    Cwe476,
+    Cwe680,
+    Cwe457,
+    Cwe665,
+    Cwe469,
+}
+
+impl Cwe {
+    /// All CWEs in Table 2 order.
+    pub const ALL: [Cwe; 20] = [
+        Cwe::Cwe121,
+        Cwe::Cwe122,
+        Cwe::Cwe124,
+        Cwe::Cwe126,
+        Cwe::Cwe127,
+        Cwe::Cwe415,
+        Cwe::Cwe416,
+        Cwe::Cwe475,
+        Cwe::Cwe588,
+        Cwe::Cwe590,
+        Cwe::Cwe685,
+        Cwe::Cwe758,
+        Cwe::Cwe190,
+        Cwe::Cwe191,
+        Cwe::Cwe369,
+        Cwe::Cwe476,
+        Cwe::Cwe680,
+        Cwe::Cwe457,
+        Cwe::Cwe665,
+        Cwe::Cwe469,
+    ];
+
+    /// Numeric id.
+    pub fn number(self) -> u32 {
+        match self {
+            Cwe::Cwe121 => 121,
+            Cwe::Cwe122 => 122,
+            Cwe::Cwe124 => 124,
+            Cwe::Cwe126 => 126,
+            Cwe::Cwe127 => 127,
+            Cwe::Cwe415 => 415,
+            Cwe::Cwe416 => 416,
+            Cwe::Cwe475 => 475,
+            Cwe::Cwe588 => 588,
+            Cwe::Cwe590 => 590,
+            Cwe::Cwe685 => 685,
+            Cwe::Cwe758 => 758,
+            Cwe::Cwe190 => 190,
+            Cwe::Cwe191 => 191,
+            Cwe::Cwe369 => 369,
+            Cwe::Cwe476 => 476,
+            Cwe::Cwe680 => 680,
+            Cwe::Cwe457 => 457,
+            Cwe::Cwe665 => 665,
+            Cwe::Cwe469 => 469,
+        }
+    }
+
+    /// Table 2 description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Cwe::Cwe121 => "Stack Based Buffer Overflow",
+            Cwe::Cwe122 => "Heap Based Buffer Overflow",
+            Cwe::Cwe124 => "Buffer Underwrite",
+            Cwe::Cwe126 => "Buffer Overread",
+            Cwe::Cwe127 => "Buffer Underread",
+            Cwe::Cwe415 => "Double Free",
+            Cwe::Cwe416 => "Use After Free",
+            Cwe::Cwe475 => "Undefined Behavior for Input to API",
+            Cwe::Cwe588 => "Access Child of Non Struct. Pointer",
+            Cwe::Cwe590 => "Free Memory Not on Heap",
+            Cwe::Cwe685 => "Function Call With Incorrect #Args.",
+            Cwe::Cwe758 => "Undefined Behavior",
+            Cwe::Cwe190 => "Integer Overflow",
+            Cwe::Cwe191 => "Integer Underflow",
+            Cwe::Cwe369 => "Divide by Zero",
+            Cwe::Cwe476 => "NULL Pointer Dereference",
+            Cwe::Cwe680 => "Integer Overflow to Buffer Overflow",
+            Cwe::Cwe457 => "Use of Uninitialized Variable",
+            Cwe::Cwe665 => "Improper Initialization",
+            Cwe::Cwe469 => "Use of Pointer Sub. to Determine Size",
+        }
+    }
+
+    /// Table 2 test counts (scale 1.0).
+    pub fn paper_count(self) -> usize {
+        match self {
+            Cwe::Cwe121 => 2951,
+            Cwe::Cwe122 => 3575,
+            Cwe::Cwe124 => 1024,
+            Cwe::Cwe126 => 721,
+            Cwe::Cwe127 => 1022,
+            Cwe::Cwe415 => 820,
+            Cwe::Cwe416 => 394,
+            Cwe::Cwe475 => 18,
+            Cwe::Cwe588 => 80,
+            Cwe::Cwe590 => 2280,
+            Cwe::Cwe685 => 18,
+            Cwe::Cwe758 => 523,
+            Cwe::Cwe190 => 1564,
+            Cwe::Cwe191 => 1169,
+            Cwe::Cwe369 => 437,
+            Cwe::Cwe476 => 306,
+            Cwe::Cwe680 => 196,
+            Cwe::Cwe457 => 928,
+            Cwe::Cwe665 => 98,
+            Cwe::Cwe469 => 18,
+        }
+    }
+
+    /// The Table 3 row this CWE is merged into.
+    pub fn group(self) -> Group {
+        match self {
+            Cwe::Cwe121
+            | Cwe::Cwe122
+            | Cwe::Cwe124
+            | Cwe::Cwe126
+            | Cwe::Cwe127
+            | Cwe::Cwe415
+            | Cwe::Cwe416
+            | Cwe::Cwe590 => Group::MemoryError,
+            Cwe::Cwe475 => Group::BadApiInput,
+            Cwe::Cwe588 => Group::BadStructPointer,
+            Cwe::Cwe685 => Group::BadFunctionCall,
+            Cwe::Cwe758 => Group::UndefinedBehavior,
+            Cwe::Cwe190 | Cwe::Cwe191 | Cwe::Cwe680 => Group::IntegerError,
+            Cwe::Cwe369 => Group::DivideByZero,
+            Cwe::Cwe476 => Group::NullDeref,
+            Cwe::Cwe457 | Cwe::Cwe665 => Group::UninitializedMemory,
+            Cwe::Cwe469 => Group::PointerSubtraction,
+        }
+    }
+}
+
+impl fmt::Display for Cwe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CWE-{}", self.number())
+    }
+}
+
+/// The rows of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum Group {
+    /// CWE-121..127, 415, 416, 590.
+    MemoryError,
+    /// CWE-475.
+    BadApiInput,
+    /// CWE-588.
+    BadStructPointer,
+    /// CWE-685.
+    BadFunctionCall,
+    /// CWE-758.
+    UndefinedBehavior,
+    /// CWE-190, 191, 680.
+    IntegerError,
+    /// CWE-369.
+    DivideByZero,
+    /// CWE-476.
+    NullDeref,
+    /// CWE-457, 665.
+    UninitializedMemory,
+    /// CWE-469.
+    PointerSubtraction,
+}
+
+impl Group {
+    /// All rows in Table 3 order.
+    pub const ALL: [Group; 10] = [
+        Group::MemoryError,
+        Group::BadApiInput,
+        Group::BadStructPointer,
+        Group::BadFunctionCall,
+        Group::UndefinedBehavior,
+        Group::IntegerError,
+        Group::DivideByZero,
+        Group::NullDeref,
+        Group::UninitializedMemory,
+        Group::PointerSubtraction,
+    ];
+
+    /// Table 3 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Group::MemoryError => "Memory error",
+            Group::BadApiInput => "UB for input to API",
+            Group::BadStructPointer => "Bad struct. pointer",
+            Group::BadFunctionCall => "Bad function call",
+            Group::UndefinedBehavior => "UB",
+            Group::IntegerError => "Integer error",
+            Group::DivideByZero => "Divide by zero",
+            Group::NullDeref => "Null pointer deref.",
+            Group::UninitializedMemory => "Uninitialized memory",
+            Group::PointerSubtraction => "UB of pointer Sub.",
+        }
+    }
+
+    /// Table 3 row CWE-id column text.
+    pub fn cwe_ids(self) -> &'static str {
+        match self {
+            Group::MemoryError => "121~127, 415, 416, 590",
+            Group::BadApiInput => "475",
+            Group::BadStructPointer => "588",
+            Group::BadFunctionCall => "685",
+            Group::UndefinedBehavior => "758",
+            Group::IntegerError => "190, 191, 680",
+            Group::DivideByZero => "369",
+            Group::NullDeref => "476",
+            Group::UninitializedMemory => "457, 665",
+            Group::PointerSubtraction => "469",
+        }
+    }
+}
+
+/// One benchmark test case: a `bad` variant containing exactly one flaw and
+/// a `good` variant without it (Juliet's structure).
+#[derive(Debug, Clone)]
+pub struct JulietTest {
+    /// Stable id, e.g. `CWE121_00017`.
+    pub id: String,
+    /// The CWE.
+    pub cwe: Cwe,
+    /// Flawed source.
+    pub bad: String,
+    /// Fixed source.
+    pub good: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_sum_to_total() {
+        let total: usize = Cwe::ALL.iter().map(|c| c.paper_count()).sum();
+        assert_eq!(total, 18_142);
+    }
+
+    #[test]
+    fn group_mapping_covers_all() {
+        for c in Cwe::ALL {
+            let _ = c.group(); // must not panic
+        }
+        assert_eq!(Cwe::Cwe590.group(), Group::MemoryError);
+        assert_eq!(Cwe::Cwe680.group(), Group::IntegerError);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Cwe::Cwe121.to_string(), "CWE-121");
+    }
+}

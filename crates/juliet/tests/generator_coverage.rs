@@ -1,0 +1,108 @@
+//! Generator calibration guards: the per-variant tool behaviour the Table 3
+//! shapes depend on, pinned as tests so refactoring the generators or the
+//! substrate cannot silently drift the evaluation.
+
+use compdiff::{CompDiff, DiffConfig};
+use juliet::{generate, Cwe};
+use minc_vm::{ExitStatus, SanitizerKind, VmConfig};
+
+fn compdiff_detects(cwe: Cwe, i: usize) -> bool {
+    let t = generate(cwe, i);
+    CompDiff::from_source_default(&t.bad, DiffConfig::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", t.id))
+        .is_divergent(b"")
+}
+
+fn good_is_stable(cwe: Cwe, i: usize) -> bool {
+    let t = generate(cwe, i);
+    !CompDiff::from_source_default(&t.good, DiffConfig::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", t.id))
+        .is_divergent(b"")
+}
+
+fn sanitizer_detects(cwe: Cwe, i: usize, kind: SanitizerKind) -> bool {
+    let t = generate(cwe, i);
+    let bin = sanitizers::compile_sanitized(&t.bad).unwrap();
+    matches!(
+        sanitizers::run_sanitized(&bin, b"", &VmConfig::default(), kind).status,
+        ExitStatus::Sanitizer(_)
+    )
+}
+
+/// Categories where CompDiff must detect every variant (Table 3's 100% rows).
+#[test]
+fn always_detected_categories() {
+    for cwe in [Cwe::Cwe469, Cwe::Cwe475, Cwe::Cwe685, Cwe::Cwe588] {
+        for i in 0..8 {
+            assert!(compdiff_detects(cwe, i), "{cwe} variant {i}");
+        }
+    }
+}
+
+/// Every good variant of every CWE is stable (Finding 5 at generator level).
+#[test]
+fn all_good_variants_stable() {
+    for cwe in Cwe::ALL {
+        for i in 0..16 {
+            assert!(good_is_stable(cwe, i), "{cwe} good variant {i} diverges");
+        }
+    }
+}
+
+/// The ASan near/far split that produces Table 3's unique column.
+#[test]
+fn asan_near_far_split() {
+    for cwe in [Cwe::Cwe121, Cwe::Cwe122, Cwe::Cwe126] {
+        // Variants 0..=3 are near (redzone-visible).
+        assert!(sanitizer_detects(cwe, 0, SanitizerKind::Asan), "{cwe} near");
+        // Variant 7 is far (beyond the redzone).
+        assert!(!sanitizer_detects(cwe, 7, SanitizerKind::Asan), "{cwe} far");
+        assert!(compdiff_detects(cwe, 7), "{cwe} far must be CompDiff-unique");
+    }
+}
+
+/// UBSan catches exactly the UB-arithmetic variants of the integer rows.
+#[test]
+fn ubsan_integer_split() {
+    // CWE-190 v0/v1: signed add overflow -> UBSan yes.
+    assert!(sanitizer_detects(Cwe::Cwe190, 0, SanitizerKind::Ubsan));
+    // v3..=5: lossy truncation, not UB -> UBSan no.
+    assert!(!sanitizer_detects(Cwe::Cwe190, 3, SanitizerKind::Ubsan));
+    // v6/v7: unsigned wrap, defined -> UBSan no.
+    assert!(!sanitizer_detects(Cwe::Cwe190, 6, SanitizerKind::Ubsan));
+}
+
+/// Divide-by-zero: trap-everywhere variants are invisible to CompDiff;
+/// dead-division variants are its catch.
+#[test]
+fn divzero_split() {
+    assert!(!compdiff_detects(Cwe::Cwe369, 0), "observed div: same trap everywhere");
+    assert!(compdiff_detects(Cwe::Cwe369, 1), "dead div: -O0 traps, -O2 does not");
+    assert!(sanitizer_detects(Cwe::Cwe369, 0, SanitizerKind::Ubsan));
+    assert!(sanitizer_detects(Cwe::Cwe369, 1, SanitizerKind::Ubsan));
+    assert!(!sanitizer_detects(Cwe::Cwe369, 2, SanitizerKind::Ubsan), "float div");
+}
+
+/// MSan policy: branch-use variants only.
+#[test]
+fn msan_use_point_policy() {
+    assert!(!sanitizer_detects(Cwe::Cwe457, 0, SanitizerKind::Msan), "print-only");
+    assert!(sanitizer_detects(Cwe::Cwe457, 6, SanitizerKind::Msan), "branch-on-uninit");
+    // CompDiff catches the printed-junk variants...
+    for i in [0, 1, 7] {
+        assert!(compdiff_detects(Cwe::Cwe457, i), "CompDiff catches uninit variant {i}");
+    }
+    // ...but misses the branch-only variant: `junk == 77` is false under
+    // every implementation, so outputs agree — the paper's explanation for
+    // CompDiff's 92% (not 100%) on this row, and MSan's niche.
+    assert!(!compdiff_detects(Cwe::Cwe457, 6));
+}
+
+/// Double free: ASan catches all variants; CompDiff only the observable one.
+#[test]
+fn double_free_split() {
+    assert!(sanitizer_detects(Cwe::Cwe415, 0, SanitizerKind::Asan));
+    assert!(sanitizer_detects(Cwe::Cwe415, 4, SanitizerKind::Asan));
+    assert!(compdiff_detects(Cwe::Cwe415, 0), "observable corruption");
+    assert!(!compdiff_detects(Cwe::Cwe415, 4), "silent double free");
+}

@@ -1,0 +1,139 @@
+//! The final compiled artifact: IR plus all resolved layout decisions.
+
+use crate::ir::{FuncId, GlobalId, IrProgram, StrId};
+use crate::layout::{place_frame, place_globals, place_strings, FrameLayout};
+use crate::personality::{CompilerImpl, Personality};
+
+/// A "binary": everything the VM needs to execute the program exactly as
+/// this compiler implementation built it. Two binaries of the same source
+/// under different implementations agree on all defined behaviour and may
+/// legally disagree wherever the source invokes UB.
+#[derive(Debug, Clone)]
+pub struct Binary {
+    /// Which compiler implementation produced this binary.
+    pub impl_id: CompilerImpl,
+    /// The expanded personality (layout bases, junk seeds, runtime choices).
+    pub personality: Personality,
+    /// Optimized IR.
+    pub program: IrProgram,
+    /// Per-function frame layouts (indexed like `program.functions`).
+    pub frames: Vec<FrameLayout>,
+    /// Absolute address of each global.
+    pub global_addrs: Vec<u64>,
+    /// Absolute address of each rodata string.
+    pub string_addrs: Vec<u64>,
+}
+
+impl Binary {
+    /// Finalizes an optimized IR program into a binary.
+    pub fn link(program: IrProgram, personality: Personality) -> Binary {
+        let frames = program.functions.iter().map(|f| place_frame(f, &personality)).collect();
+        let global_addrs = place_globals(&program.globals, &personality);
+        let string_addrs = place_strings(&program.strings, &personality);
+        Binary {
+            impl_id: personality.id,
+            personality,
+            program,
+            frames,
+            global_addrs,
+            string_addrs,
+        }
+    }
+
+    /// Address of a global.
+    pub fn global_addr(&self, g: GlobalId) -> u64 {
+        self.global_addrs[g.0 as usize]
+    }
+
+    /// Address of a rodata string.
+    pub fn string_addr(&self, s: StrId) -> u64 {
+        self.string_addrs[s.0 as usize]
+    }
+
+    /// `[start, end)` of the rodata segment.
+    pub fn rodata_range(&self) -> (u64, u64) {
+        let start = self.personality.rodata_base;
+        let end = self
+            .string_addrs
+            .iter()
+            .zip(&self.program.strings)
+            .map(|(a, s)| a + s.len() as u64)
+            .max()
+            .unwrap_or(start);
+        (start, crate::layout::round_up(end.max(start + 1), 4096))
+    }
+
+    /// `[start, end)` of the globals segment.
+    pub fn globals_range(&self) -> (u64, u64) {
+        let start = self.personality.globals_base;
+        let end = self
+            .global_addrs
+            .iter()
+            .zip(&self.program.globals)
+            .map(|(a, g)| a + g.size.max(1))
+            .max()
+            .unwrap_or(start);
+        (start, crate::layout::round_up(end.max(start + 1), 4096))
+    }
+
+    /// The entry function.
+    pub fn entry(&self) -> FuncId {
+        self.program.main
+    }
+
+    /// Total instruction count (a "binary size" proxy for `-Os` stats).
+    pub fn size(&self) -> usize {
+        self.program.inst_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+    use crate::personality::{Family, OptLevel};
+
+    #[test]
+    fn link_assigns_disjoint_global_addresses() {
+        let src = "int a; long b; char c[100];\nint main() { return 0; }";
+        let bin = compile_source(src, CompilerImpl::new(Family::Gcc, OptLevel::O0)).unwrap();
+        let mut spans: Vec<(u64, u64)> = bin
+            .global_addrs
+            .iter()
+            .zip(&bin.program.globals)
+            .map(|(&a, g)| (a, a + g.size.max(1)))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "globals overlap: {spans:?}");
+        }
+    }
+
+    #[test]
+    fn segments_do_not_overlap() {
+        let src = "int g = 1;\nint main() { puts(\"hello\"); return g; }";
+        for ci in CompilerImpl::default_set() {
+            let bin = compile_source(src, ci).unwrap();
+            let (rs, re) = bin.rodata_range();
+            let (gs, ge) = bin.globals_range();
+            assert!(re <= gs || ge <= rs, "{ci}: rodata and globals overlap");
+        }
+    }
+
+    #[test]
+    fn os_produces_smaller_or_equal_code_than_o3() {
+        let src = r#"
+            int helper(int x) { return x * 3 + 1; }
+            int main() {
+                int acc = 0;
+                int i;
+                for (i = 0; i < 9; i++) { acc += helper(i); }
+                printf("%d", acc);
+                return 0;
+            }
+        "#;
+        let o3 = compile_source(src, CompilerImpl::new(Family::Gcc, OptLevel::O3)).unwrap();
+        let os = compile_source(src, CompilerImpl::new(Family::Gcc, OptLevel::Os)).unwrap();
+        assert!(os.size() <= o3.size(), "Os {} vs O3 {}", os.size(), o3.size());
+    }
+}

@@ -1,0 +1,185 @@
+//! Human-readable IR listing — the `objdump -d` of this toolchain.
+//!
+//! Used for debugging optimization pipelines and for the golden tests that
+//! pin down what each personality actually emits.
+
+use crate::binary::Binary;
+use crate::ir::*;
+use std::fmt::Write;
+
+/// Renders one instruction.
+pub fn inst(i: &Inst) -> String {
+    match i {
+        Inst::Const { dst, ty, val } => format!("{dst} = const.{ty} {}", const_val(val)),
+        Inst::Copy { dst, ty, src } => format!("{dst} = copy.{ty} {src}"),
+        Inst::Bin { dst, ty, op, a, b, ub_signed } => {
+            let marker = if *ub_signed { " !ub" } else { "" };
+            format!("{dst} = {op:?}.{ty} {a}, {b}{marker}")
+        }
+        Inst::Un { dst, ty, op, a, ub_signed } => {
+            let marker = if *ub_signed { " !ub" } else { "" };
+            format!("{dst} = {op:?}.{ty} {a}{marker}")
+        }
+        Inst::Cast { dst, kind, a } => format!("{dst} = cast.{kind:?} {a}"),
+        Inst::FrameAddr { dst, slot } => format!("{dst} = frame_addr {slot}"),
+        Inst::Load { dst, ty, addr, width, sext } => {
+            let ext = if *sext { "s" } else { "z" };
+            format!("{dst} = load.{ty}.w{}{ext} [{addr}]", width.bytes())
+        }
+        Inst::Store { addr, src, width } => {
+            format!("store.w{} [{addr}] = {src}", width.bytes())
+        }
+        Inst::Call { dst, callee, args, .. } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            let callee = match callee {
+                Callee::Func(f) => format!("fn#{}", f.0),
+                Callee::Builtin(b) => format!("{b:?}").to_lowercase(),
+                Callee::PowFast => "pow.fast".to_string(),
+            };
+            match dst {
+                Some(d) => format!("{d} = call {callee}({})", args.join(", ")),
+                None => format!("call {callee}({})", args.join(", ")),
+            }
+        }
+    }
+}
+
+fn const_val(v: &ConstVal) -> String {
+    match v {
+        ConstVal::I32(x) => format!("{x}"),
+        ConstVal::I64(x) => format!("{x}L"),
+        ConstVal::F64(x) => format!("{x}f"),
+        ConstVal::GlobalAddr(g, off) => format!("&global#{}+{off}", g.0),
+        ConstVal::StrAddr(s, off) => format!("&str#{}+{off}", s.0),
+        ConstVal::Junk(id) => format!("junk#{id}"),
+    }
+}
+
+/// Renders one terminator.
+pub fn terminator(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Br { cond, then, els } => format!("br {cond} ? {then} : {els}"),
+        Terminator::Ret(Some(v)) => format!("ret {v}"),
+        Terminator::Ret(None) => "ret".to_string(),
+        Terminator::Unreachable => "unreachable".to_string(),
+    }
+}
+
+/// Renders one function with its slots, blocks, and instructions.
+pub fn function(f: &IrFunction) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fn {}({} params, {} regs):", f.name, f.param_count, f.reg_count);
+    for (i, s) in f.slots.iter().enumerate() {
+        let flags = match (s.addressed, s.promoted) {
+            (_, true) => " [promoted]",
+            (true, _) => " [addressed]",
+            _ => "",
+        };
+        let _ = writeln!(out, "  slot s{i}: {} bytes, align {}, `{}`{flags}", s.size, s.align, s.name);
+    }
+    for b in f.reachable_blocks() {
+        let block = &f.blocks[b.0 as usize];
+        let _ = writeln!(out, "{b}:");
+        for i in &block.insts {
+            let _ = writeln!(out, "    {}", inst(i));
+        }
+        let _ = writeln!(out, "    {}", terminator(&block.term));
+    }
+    out
+}
+
+/// Renders a whole binary: data layout plus every function.
+pub fn binary(bin: &Binary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; binary compiled by {}", bin.impl_id);
+    let _ = writeln!(out, "; rodata {:?}  globals {:?}", bin.rodata_range(), bin.globals_range());
+    for (i, g) in bin.program.globals.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "global#{i} `{}` @ 0x{:x} ({} bytes)",
+            g.name, bin.global_addrs[i], g.size
+        );
+    }
+    for (i, s) in bin.program.strings.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "str#{i} @ 0x{:x} = {:?}",
+            bin.string_addrs[i],
+            String::from_utf8_lossy(&s[..s.len().saturating_sub(1)])
+        );
+    }
+    for f in &bin.program.functions {
+        out.push('\n');
+        out.push_str(&function(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_source, CompilerImpl};
+
+    fn listing(src: &str, impl_name: &str) -> String {
+        let bin = compile_source(src, CompilerImpl::parse(impl_name).unwrap()).unwrap();
+        binary(&bin)
+    }
+
+    #[test]
+    fn listing_contains_all_sections() {
+        let src = r#"
+            int g = 7;
+            int add(int a, int b) { return a + b; }
+            int main() { printf("%d\n", add(g, 35)); return 0; }
+        "#;
+        let text = listing(src, "gcc-O0");
+        assert!(text.contains("; binary compiled by gcc-O0"));
+        assert!(text.contains("global#0 `g`"));
+        assert!(text.contains("fn add"));
+        assert!(text.contains("fn main"));
+        assert!(text.contains("call printf") || text.contains("= call printf"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn ub_flag_is_visible() {
+        let text = listing(
+            "int main() { int a = (int)input_size(); return a + a; }",
+            "gcc-O0",
+        );
+        assert!(text.contains("!ub"), "signed add must carry the UB marker:\n{text}");
+    }
+
+    #[test]
+    fn promoted_slots_are_marked_at_o2() {
+        let src = "int main() { int x = 1; int y = 2; return x + y; }";
+        let o0 = listing(src, "gcc-O0");
+        let o2 = listing(src, "gcc-O2");
+        assert!(!o0.contains("[promoted]"));
+        assert!(o2.contains("[promoted]"));
+    }
+
+    #[test]
+    fn optimization_shrinks_the_listing() {
+        let src = r#"
+            int main() {
+                int a = 2 + 3;
+                int b = a * 4;
+                printf("%d\n", b);
+                return 0;
+            }
+        "#;
+        let o0 = listing(src, "clang-O0");
+        let o2 = listing(src, "clang-O2");
+        assert!(o2.lines().count() < o0.lines().count());
+        // The fully folded constant must appear at -O2.
+        assert!(o2.contains("const.i32 20"), "{o2}");
+    }
+
+    #[test]
+    fn junk_constants_render_with_ids() {
+        let text = listing("int main() { int u; return u; }", "gcc-O1");
+        assert!(text.contains("junk#"), "{text}");
+    }
+}

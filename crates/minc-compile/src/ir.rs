@@ -1,0 +1,571 @@
+//! The intermediate representation.
+//!
+//! A function is a control-flow graph of basic blocks over *mutable* virtual
+//! registers (not SSA): a register may be assigned more than once, which
+//! keeps lowering of ternaries/logical operators simple and keeps every
+//! pass local and easy to audit. Memory is explicit: locals that need
+//! storage live in frame *slots* addressed via [`Inst::FrameAddr`]; the
+//! `mem2reg` pass promotes unaddressed scalar slots to registers — exactly
+//! the optimization-level difference that makes uninitialized variables
+//! *unstable* across compiler implementations.
+
+use minc::Builtin;
+use std::fmt;
+
+/// Scalar value types in the IR. Pointers are `I64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrType {
+    /// 32-bit integer (signedness is a property of the operation).
+    I32,
+    /// 64-bit integer / pointer.
+    I64,
+    /// IEEE 754 double.
+    F64,
+}
+
+impl fmt::Display for IrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrType::I32 => write!(f, "i32"),
+            IrType::I64 => write!(f, "i64"),
+            IrType::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+/// A virtual register within one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic block within one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A frame slot (stack storage for one local).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u32);
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A function in the compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// A global variable (program lifetime), including promoted static locals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// A string literal in rodata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrId(pub u32);
+
+/// Memory access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    W1,
+    /// 4 bytes.
+    W4,
+    /// 8 bytes.
+    W8,
+}
+
+impl MemWidth {
+    /// The width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::W1 => 1,
+            MemWidth::W4 => 4,
+            MemWidth::W8 => 8,
+        }
+    }
+}
+
+/// Constant values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstVal {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// Double.
+    F64(f64),
+    /// Address of a global plus a byte offset (resolved by the loader).
+    GlobalAddr(GlobalId, i64),
+    /// Address of a rodata string plus a byte offset.
+    StrAddr(StrId, i64),
+    /// An *indeterminate* value: reading an uninitialized register-promoted
+    /// local. The VM resolves it to a deterministic, implementation-specific
+    /// junk value; the MSan analog treats it as poison.
+    Junk(u32),
+}
+
+/// Binary operation kinds. Comparisons yield `i32` 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinKind {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Signed division (UB on divisor 0 and on `MIN / -1`).
+    DivS,
+    /// Unsigned division (UB on divisor 0).
+    DivU,
+    /// Signed remainder.
+    RemS,
+    /// Unsigned remainder.
+    RemU,
+    /// `<<`
+    Shl,
+    /// Arithmetic (sign-propagating) right shift.
+    ShrS,
+    /// Logical right shift.
+    ShrU,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Float addition.
+    FAdd,
+    /// Float subtraction.
+    FSub,
+    /// Float multiplication.
+    FMul,
+    /// Float division.
+    FDiv,
+    /// Equality (`==`).
+    Eq,
+    /// Inequality (`!=`).
+    Ne,
+    /// Signed `<`.
+    LtS,
+    /// Signed `<=`.
+    LeS,
+    /// Signed `>`.
+    GtS,
+    /// Signed `>=`.
+    GeS,
+    /// Unsigned `<`.
+    LtU,
+    /// Unsigned `<=`.
+    LeU,
+    /// Unsigned `>`.
+    GtU,
+    /// Unsigned `>=`.
+    GeU,
+    /// Float `==`.
+    FEq,
+    /// Float `!=`.
+    FNe,
+    /// Float `<`.
+    FLt,
+    /// Float `<=`.
+    FLe,
+    /// Float `>`.
+    FGt,
+    /// Float `>=`.
+    FGe,
+}
+
+impl BinKind {
+    /// True for comparison operators (result is `i32` 0/1).
+    pub fn is_comparison(self) -> bool {
+        use BinKind::*;
+        matches!(self, Eq | Ne | LtS | LeS | GtS | GeS | LtU | LeU | GtU | GeU | FEq | FNe | FLt | FLe | FGt | FGe)
+    }
+
+    /// True for float arithmetic/comparison.
+    pub fn is_float(self) -> bool {
+        use BinKind::*;
+        matches!(self, FAdd | FSub | FMul | FDiv | FEq | FNe | FLt | FLe | FGt | FGe)
+    }
+
+    /// True for operators that can trap at runtime (division by zero).
+    pub fn can_trap(self) -> bool {
+        use BinKind::*;
+        matches!(self, DivS | DivU | RemS | RemU)
+    }
+}
+
+/// Unary operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnKind {
+    /// Integer negation (UB on `MIN` when `ub_signed`).
+    Neg,
+    /// Bitwise not.
+    BitNot,
+    /// Float negation.
+    FNeg,
+}
+
+/// Cast kinds between IR types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// i32 -> i64, sign extending.
+    SextI32I64,
+    /// i32 -> i64, zero extending (from unsigned).
+    ZextI32I64,
+    /// i64 -> i32, truncating.
+    TruncI64I32,
+    /// i32 (signed) -> f64.
+    SI32F64,
+    /// i32 (unsigned) -> f64.
+    UI32F64,
+    /// i64 (signed) -> f64.
+    SI64F64,
+    /// f64 -> i32 (toward zero; out-of-range is UB in C, we saturate-wrap).
+    F64I32,
+    /// f64 -> i64.
+    F64I64,
+}
+
+/// What a call targets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A user function.
+    Func(FuncId),
+    /// A runtime builtin.
+    Builtin(Builtin),
+    /// `pow` lowered to the fast-but-imprecise form (clang-sim `-O3`).
+    PowFast,
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // inline variant fields are described by the variant docs
+pub enum Inst {
+    /// `dst = const`.
+    Const { dst: ValueId, ty: IrType, val: ConstVal },
+    /// `dst = src` (register copy).
+    Copy { dst: ValueId, ty: IrType, src: ValueId },
+    /// `dst = a op b`. `ub_signed` marks operations whose signed overflow
+    /// is UB (the optimizer may assume it never happens).
+    Bin { dst: ValueId, ty: IrType, op: BinKind, a: ValueId, b: ValueId, ub_signed: bool },
+    /// `dst = op a`.
+    Un { dst: ValueId, ty: IrType, op: UnKind, a: ValueId, ub_signed: bool },
+    /// `dst = cast(a)`.
+    Cast { dst: ValueId, kind: CastKind, a: ValueId },
+    /// `dst = &slot` (address of a frame slot in the current activation).
+    FrameAddr { dst: ValueId, slot: SlotId },
+    /// `dst = *(addr)` with the given width; `sext` selects sign extension
+    /// for sub-word loads.
+    Load { dst: ValueId, ty: IrType, addr: ValueId, width: MemWidth, sext: bool },
+    /// `*(addr) = src`.
+    Store { addr: ValueId, src: ValueId, width: MemWidth },
+    /// Function or builtin call. `arg_tys` lets variadic builtins interpret
+    /// register values correctly.
+    Call {
+        /// The dst.
+        dst: Option<ValueId>,
+        /// The ret ty.
+        ret_ty: IrType,
+        /// The callee.
+        callee: Callee,
+        /// The args.
+        args: Vec<ValueId>,
+        /// The arg tys.
+        arg_tys: Vec<IrType>,
+    },
+}
+
+impl Inst {
+    /// The destination register, if the instruction produces a value.
+    pub fn dst(&self) -> Option<ValueId> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::FrameAddr { dst, .. }
+            | Inst::Load { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Store { .. } => None,
+        }
+    }
+
+    /// Registers read by this instruction.
+    pub fn uses(&self) -> Vec<ValueId> {
+        match self {
+            Inst::Const { .. } | Inst::FrameAddr { .. } => vec![],
+            Inst::Copy { src, .. } => vec![*src],
+            Inst::Bin { a, b, .. } => vec![*a, *b],
+            Inst::Un { a, .. } => vec![*a],
+            Inst::Cast { a, .. } => vec![*a],
+            Inst::Load { addr, .. } => vec![*addr],
+            Inst::Store { addr, src, .. } => vec![*addr, *src],
+            Inst::Call { args, .. } => args.clone(),
+        }
+    }
+
+    /// True if removing the instruction (when its result is unused) changes
+    /// observable behaviour *under the "UB never happens" assumption*.
+    ///
+    /// Loads and trapping arithmetic are removable under that assumption —
+    /// which is precisely why `-O2` can "lose" a division-by-zero crash
+    /// that `-O0` exhibits.
+    pub fn has_side_effects(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::Call { .. })
+    }
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // inline variant fields are described by the variant docs
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch on an `i32` register (non-zero = then).
+    Br { cond: ValueId, then: BlockId, els: BlockId },
+    /// Return, with an optional value register.
+    Ret(Option<ValueId>),
+    /// Unreachable (e.g., after `abort()`); executing it traps.
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Br { then, els, .. } => vec![*then, *els],
+            Terminator::Ret(_) | Terminator::Unreachable => vec![],
+        }
+    }
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// An empty block ending in `Unreachable` (placeholder during lowering).
+    pub fn new() -> Self {
+        Block { insts: Vec::new(), term: Terminator::Unreachable }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::new()
+    }
+}
+
+/// Metadata about one frame slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotInfo {
+    /// Source-level name (for diagnostics).
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Required alignment.
+    pub align: u64,
+    /// True if the slot's address escapes (&x, arrays, structs) — such
+    /// slots can never be promoted to registers.
+    pub addressed: bool,
+    /// For scalar slots: the IR type a promoted register would have.
+    /// `None` for aggregates.
+    pub scalar: Option<IrType>,
+    /// Set by `mem2reg` when the slot was promoted to a register; promoted
+    /// slots get no stack space (frames shrink at `-O1+`, as in real
+    /// compilers — itself a source of layout divergence).
+    pub promoted: bool,
+}
+
+/// A function body in IR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunction {
+    /// Source name.
+    pub name: String,
+    /// Number of parameters; parameters arrive in registers `v0..vN`.
+    pub param_count: u32,
+    /// Types of the parameter registers.
+    pub param_tys: Vec<IrType>,
+    /// Return type, if non-void.
+    pub ret_ty: Option<IrType>,
+    /// Basic blocks; `BlockId(0)` is the entry.
+    pub blocks: Vec<Block>,
+    /// Frame slots.
+    pub slots: Vec<SlotInfo>,
+    /// Total number of virtual registers.
+    pub reg_count: u32,
+    /// Register types (index = `ValueId.0`).
+    pub reg_tys: Vec<IrType>,
+}
+
+impl IrFunction {
+    /// Allocates a fresh register of type `ty`.
+    pub fn new_reg(&mut self, ty: IrType) -> ValueId {
+        let id = ValueId(self.reg_count);
+        self.reg_count += 1;
+        self.reg_tys.push(ty);
+        id
+    }
+
+    /// Allocates a fresh block, returning its id.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new());
+        id
+    }
+
+    /// Total instruction count (for inlining heuristics and stats).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Blocks reachable from entry, in DFS preorder.
+    pub fn reachable_blocks(&self) -> Vec<BlockId> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut order = Vec::new();
+        let mut stack = vec![BlockId(0)];
+        while let Some(b) = stack.pop() {
+            if seen[b.0 as usize] {
+                continue;
+            }
+            seen[b.0 as usize] = true;
+            order.push(b);
+            for s in self.blocks[b.0 as usize].term.successors() {
+                stack.push(s);
+            }
+        }
+        order
+    }
+}
+
+/// Initializer of a global.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-filled (BSS).
+    Zero,
+    /// A scalar constant written at offset 0 (loader resolves addresses).
+    Scalar(ConstVal, MemWidth),
+}
+
+/// A global variable specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalSpec {
+    /// Name (static locals are mangled `function.variable`).
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Alignment.
+    pub align: u64,
+    /// Initializer.
+    pub init: GlobalInit,
+}
+
+/// A whole program in IR form, before address layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrProgram {
+    /// Functions; `FuncId` indexes this.
+    pub functions: Vec<IrFunction>,
+    /// Globals; `GlobalId` indexes this.
+    pub globals: Vec<GlobalSpec>,
+    /// String literals; `StrId` indexes this. Each is NUL-terminated.
+    pub strings: Vec<Vec<u8>>,
+    /// Index of `main`.
+    pub main: FuncId,
+}
+
+impl IrProgram {
+    /// Looks up a function id by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Total instruction count across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(|f| f.inst_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_dst_and_uses() {
+        let i = Inst::Bin {
+            dst: ValueId(3),
+            ty: IrType::I32,
+            op: BinKind::Add,
+            a: ValueId(1),
+            b: ValueId(2),
+            ub_signed: true,
+        };
+        assert_eq!(i.dst(), Some(ValueId(3)));
+        assert_eq!(i.uses(), vec![ValueId(1), ValueId(2)]);
+        assert!(!i.has_side_effects());
+
+        let s = Inst::Store { addr: ValueId(0), src: ValueId(1), width: MemWidth::W4 };
+        assert_eq!(s.dst(), None);
+        assert!(s.has_side_effects());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(BlockId(2)).successors(), vec![BlockId(2)]);
+        assert_eq!(
+            Terminator::Br { cond: ValueId(0), then: BlockId(1), els: BlockId(2) }.successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
+        assert!(Terminator::Ret(None).successors().is_empty());
+    }
+
+    #[test]
+    fn reachable_blocks_skips_dead() {
+        let mut f = IrFunction {
+            name: "t".into(),
+            param_count: 0,
+            param_tys: vec![],
+            ret_ty: None,
+            blocks: vec![],
+            slots: vec![],
+            reg_count: 0,
+            reg_tys: vec![],
+        };
+        let b0 = f.new_block();
+        let b1 = f.new_block();
+        let _dead = f.new_block();
+        f.blocks[b0.0 as usize].term = Terminator::Jump(b1);
+        f.blocks[b1.0 as usize].term = Terminator::Ret(None);
+        let r = f.reachable_blocks();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&b0) && r.contains(&b1));
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinKind::LtS.is_comparison());
+        assert!(!BinKind::Add.is_comparison());
+        assert!(BinKind::FAdd.is_float());
+        assert!(BinKind::DivS.can_trap());
+        assert!(!BinKind::Mul.can_trap());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the layout engine: whatever slot/global shapes a
+//! program produces, placements must be disjoint and aligned under every
+//! personality — the bedrock under "divergence comes only from UB".
+
+use minc_compile::ir::{GlobalInit, GlobalSpec, IrFunction, SlotInfo};
+use minc_compile::layout::{place_frame, place_globals, place_strings};
+use minc_compile::CompilerImpl;
+use proptest::prelude::*;
+
+fn arb_slot() -> impl Strategy<Value = SlotInfo> {
+    (1u64..128, prop_oneof![Just(1u64), Just(4), Just(8), Just(16)], any::<bool>()).prop_map(
+        |(size, align, addressed)| SlotInfo {
+            name: "s".into(),
+            size,
+            align,
+            addressed,
+            scalar: None,
+            promoted: false,
+        },
+    )
+}
+
+fn empty_fn(slots: Vec<SlotInfo>) -> IrFunction {
+    let mut f = IrFunction {
+        name: "t".into(),
+        param_count: 0,
+        param_tys: vec![],
+        ret_ty: None,
+        blocks: vec![],
+        slots,
+        reg_count: 0,
+        reg_tys: vec![],
+    };
+    f.new_block();
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..Default::default() })]
+
+    /// Frame slots never overlap and honour alignment, for every
+    /// personality's ordering/padding policy.
+    #[test]
+    fn frame_slots_disjoint_and_aligned(slots in proptest::collection::vec(arb_slot(), 1..12)) {
+        for ci in CompilerImpl::default_set() {
+            let p = ci.personality();
+            let f = empty_fn(slots.clone());
+            let layout = place_frame(&f, &p);
+            prop_assert_eq!(layout.frame_size % 16, 0);
+            let mut spans: Vec<(u64, u64)> = f
+                .slots
+                .iter()
+                .zip(&layout.offset_down)
+                .map(|(s, &off)| {
+                    // Place the frame base at a large aligned address.
+                    let base = 1u64 << 40;
+                    let lo = base - off;
+                    prop_assert!(off <= layout.frame_size, "slot outside frame");
+                    prop_assert_eq!(lo % s.align, 0, "misaligned slot");
+                    Ok((lo, lo + s.size))
+                })
+                .collect::<Result<_, _>>()?;
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "{ci}: overlapping slots {spans:?}");
+            }
+        }
+    }
+
+    /// Globals never overlap and honour alignment under both ordering
+    /// policies.
+    #[test]
+    fn globals_disjoint_and_aligned(sizes in proptest::collection::vec((1u64..64, prop_oneof![Just(1u64), Just(4), Just(8)]), 1..16)) {
+        let globals: Vec<GlobalSpec> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, align))| GlobalSpec {
+                name: format!("g{i}"),
+                size,
+                align,
+                init: GlobalInit::Zero,
+            })
+            .collect();
+        for ci in CompilerImpl::default_set() {
+            let p = ci.personality();
+            let addrs = place_globals(&globals, &p);
+            let mut spans: Vec<(u64, u64)> = addrs
+                .iter()
+                .zip(&globals)
+                .map(|(&a, g)| {
+                    prop_assert_eq!(a % g.align, 0);
+                    prop_assert!(a >= p.globals_base);
+                    Ok((a, a + g.size))
+                })
+                .collect::<Result<_, _>>()?;
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "{ci}: overlapping globals");
+            }
+        }
+    }
+
+    /// Rodata strings never overlap.
+    #[test]
+    fn strings_disjoint(lens in proptest::collection::vec(1usize..40, 1..16)) {
+        let strings: Vec<Vec<u8>> = lens.iter().map(|&n| vec![b'x'; n]).collect();
+        for ci in CompilerImpl::default_set() {
+            let p = ci.personality();
+            let addrs = place_strings(&strings, &p);
+            let mut spans: Vec<(u64, u64)> = addrs
+                .iter()
+                .zip(&strings)
+                .map(|(&a, s)| (a, a + s.len() as u64))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "{ci}: overlapping strings");
+            }
+        }
+    }
+}

@@ -1,0 +1,1352 @@
+//! The bytecode interpreter.
+//!
+//! Executes a [`Binary`] exactly as that compiler implementation built it:
+//! same instruction stream, same address-space layout, same junk. All
+//! defined behaviour is implementation-independent; undefined behaviour
+//! falls out of whatever the memory/layout/junk happens to be — which is
+//! the point.
+
+use crate::hooks::{FreeDisposition, Hooks, Loc, PoisonUse};
+use crate::memory::Memory;
+use crate::result::{ExecResult, ExitStatus, Trap};
+use minc::Builtin;
+use minc_compile::ir::*;
+use minc_compile::Binary;
+use std::collections::HashMap;
+
+/// Execution limits and switches.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Maximum IR instructions to execute before reporting a timeout.
+    pub step_limit: u64,
+    /// Maximum call depth.
+    pub max_frames: usize,
+    /// Heap size limit in bytes.
+    pub heap_limit: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig { step_limit: 5_000_000, max_frames: 256, heap_limit: 1 << 26 }
+    }
+}
+
+/// Runs `binary` on `input` with no instrumentation.
+pub fn execute(binary: &Binary, input: &[u8], config: &VmConfig) -> ExecResult {
+    execute_with_hooks(binary, input, config, &mut crate::hooks::NoHooks)
+}
+
+/// Runs `binary` on `input` with instrumentation hooks.
+pub fn execute_with_hooks<H: Hooks>(
+    binary: &Binary,
+    input: &[u8],
+    config: &VmConfig,
+    hooks: &mut H,
+) -> ExecResult {
+    let mut vm = Vm::new(binary, input, config, hooks);
+    vm.load_data();
+    let status = vm.run();
+    ExecResult { status, stdout: vm.stdout, steps: vm.steps }
+}
+
+enum End {
+    Exit(u8),
+    Trap(Trap),
+    Fault(crate::result::Fault),
+    Timeout,
+}
+
+struct Activation {
+    func: u32,
+    block: u32,
+    inst: usize,
+    regs: Vec<u64>,
+    poison: Vec<bool>,
+    frame_lo: u64,
+    frame_hi: u64,
+    ret_dst: Option<ValueId>,
+}
+
+struct Vm<'b, 'h, H: Hooks> {
+    bin: &'b Binary,
+    config: &'b VmConfig,
+    hooks: &'h mut H,
+    mem: Memory,
+    stdout: Vec<u8>,
+    input: &'b [u8],
+    input_pos: usize,
+    frames: Vec<Activation>,
+    sp: u64,
+    heap_brk: u64,
+    free_lists: HashMap<u64, Vec<u64>>,
+    live_chunks: HashMap<u64, u64>,
+    corruption_bias: u64,
+    rand_state: u64,
+    steps: u64,
+    track_poison: bool,
+    rodata: (u64, u64),
+    globals: (u64, u64),
+}
+
+impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
+    fn new(bin: &'b Binary, input: &'b [u8], config: &'b VmConfig, hooks: &'h mut H) -> Self {
+        let track_poison = hooks.track_poison();
+        let p = &bin.personality;
+        Vm {
+            bin,
+            config,
+            hooks,
+            mem: Memory::new(p),
+            stdout: Vec::new(),
+            input,
+            input_pos: 0,
+            frames: Vec::new(),
+            sp: p.stack_base,
+            heap_brk: p.heap_base,
+            free_lists: HashMap::new(),
+            live_chunks: HashMap::new(),
+            corruption_bias: 0,
+            rand_state: p.rand_seed | 1,
+            steps: 0,
+            track_poison,
+            rodata: bin.rodata_range(),
+            globals: bin.globals_range(),
+        }
+    }
+
+    /// Writes rodata and global initializers (the "loader").
+    fn load_data(&mut self) {
+        for (i, s) in self.bin.program.strings.iter().enumerate() {
+            let addr = self.bin.string_addrs[i];
+            for (j, &b) in s.iter().enumerate() {
+                self.mem.write_u8(addr + j as u64, b);
+            }
+        }
+        // BSS-style zeroing of the whole globals segment, then initializers.
+        let (gs, ge) = self.globals;
+        self.mem.fill(gs, 0, ge - gs);
+        for (i, g) in self.bin.program.globals.iter().enumerate() {
+            let addr = self.bin.global_addrs[i];
+            if let GlobalInit::Scalar(val, width) = &g.init {
+                let raw = self.const_raw(*val);
+                self.mem.write(addr, raw, width.bytes());
+            }
+        }
+    }
+
+    fn const_raw(&self, v: ConstVal) -> u64 {
+        match v {
+            ConstVal::I32(x) => x as i64 as u64,
+            ConstVal::I64(x) => x as u64,
+            ConstVal::F64(x) => x.to_bits(),
+            ConstVal::GlobalAddr(g, off) => {
+                (self.bin.global_addr(g) as i64).wrapping_add(off) as u64
+            }
+            ConstVal::StrAddr(s, off) => {
+                (self.bin.string_addr(s) as i64).wrapping_add(off) as u64
+            }
+            ConstVal::Junk(id) => self.bin.personality.junk_word(id),
+        }
+    }
+
+    fn run(&mut self) -> ExitStatus {
+        match self.push_frame(self.bin.entry().0, &[], &[], None) {
+            Ok(()) => {}
+            Err(e) => return self.end_status(e),
+        }
+        loop {
+            match self.step() {
+                Ok(()) => {}
+                Err(e) => return self.end_status(e),
+            }
+        }
+    }
+
+    fn end_status(&self, e: End) -> ExitStatus {
+        match e {
+            End::Exit(c) => ExitStatus::Code(c),
+            End::Trap(t) => ExitStatus::Trapped(t),
+            End::Fault(f) => ExitStatus::Sanitizer(f),
+            End::Timeout => ExitStatus::TimedOut,
+        }
+    }
+
+    fn loc(&self) -> Loc {
+        let f = self.frames.last().expect("active frame");
+        Loc { func: f.func, block: f.block, inst: f.inst as u32 }
+    }
+
+    fn push_frame(
+        &mut self,
+        func: u32,
+        args: &[u64],
+        args_poison: &[bool],
+        ret_dst: Option<ValueId>,
+    ) -> Result<(), End> {
+        if self.frames.len() >= self.config.max_frames {
+            return Err(End::Trap(Trap::StackOverflow));
+        }
+        let f = &self.bin.program.functions[func as usize];
+        let layout = &self.bin.frames[func as usize];
+        let base = self.sp;
+        let lo = base - layout.frame_size;
+        if lo < self.bin.personality.stack_base - self.bin.personality.stack_size {
+            return Err(End::Trap(Trap::StackOverflow));
+        }
+        self.sp = lo;
+        let mut regs = vec![0u64; f.reg_count as usize];
+        let mut poison = vec![false; if self.track_poison { f.reg_count as usize } else { 0 }];
+        for (i, &a) in args.iter().enumerate() {
+            regs[i] = a;
+            if self.track_poison {
+                poison[i] = args_poison.get(i).copied().unwrap_or(false);
+            }
+        }
+        let slots: Vec<(u64, u64)> = f
+            .slots
+            .iter()
+            .zip(&layout.offset_down)
+            .filter(|(s, _)| !s.promoted)
+            .map(|(s, &off)| (base - off, s.size.max(1)))
+            .collect();
+        self.hooks.on_frame_enter(lo, base, &slots);
+        self.frames.push(Activation {
+            func,
+            block: 0,
+            inst: 0,
+            regs,
+            poison,
+            frame_lo: lo,
+            frame_hi: base,
+            ret_dst,
+        });
+        Ok(())
+    }
+
+    fn pop_frame(&mut self, ret: Option<u64>, ret_poison: bool) -> Result<(), End> {
+        let act = self.frames.pop().expect("frame to pop");
+        self.hooks.on_frame_exit(act.frame_lo, act.frame_hi);
+        self.sp = act.frame_hi;
+        if self.frames.is_empty() {
+            // Returning from main: give leak checkers their shot first.
+            if let Some(f) = self.exit_check() {
+                return Err(End::Fault(f));
+            }
+            return Err(End::Exit(ret.unwrap_or(0) as u8));
+        }
+        if let Some(dst) = act.ret_dst {
+            let caller = self.frames.last_mut().expect("caller frame");
+            caller.regs[dst.0 as usize] = ret.unwrap_or(0);
+            if self.track_poison {
+                caller.poison[dst.0 as usize] = ret_poison;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- memory validity ----
+
+    fn addr_valid(&self, addr: u64, width: u64, write: bool) -> bool {
+        let end = addr.wrapping_add(width);
+        if end < addr {
+            return false;
+        }
+        let (rs, re) = self.rodata;
+        if addr >= rs && end <= re {
+            return !write;
+        }
+        let (gs, ge) = self.globals;
+        if addr >= gs && end <= ge {
+            return true;
+        }
+        let p = &self.bin.personality;
+        // The whole configured stack band is accessible (like a mapped
+        // stack): reads below the frame see old junk, and one page above
+        // the initial stack pointer models the argv/environment area —
+        // realistic, and junk-filled per implementation.
+        if addr >= p.stack_base - p.stack_size && end <= p.stack_base + 4096 {
+            return true;
+        }
+        if addr >= p.heap_base && end <= self.heap_brk {
+            return true;
+        }
+        false
+    }
+
+    fn check_mem(&mut self, addr: u64, width: u64, write: bool, loc: Loc) -> Result<(), End> {
+        if write {
+            if let Some(f) = self.hooks.check_store(addr, width, loc) {
+                return Err(End::Fault(f));
+            }
+        } else if let Some(f) = self.hooks.check_load(addr, width, loc) {
+            return Err(End::Fault(f));
+        }
+        if !self.addr_valid(addr, width, write) {
+            return Err(End::Trap(Trap::Segv));
+        }
+        Ok(())
+    }
+
+    // ---- the step function ----
+
+    fn step(&mut self) -> Result<(), End> {
+        self.steps += 1;
+        if self.steps > self.config.step_limit {
+            return Err(End::Timeout);
+        }
+        let (func, block, inst_idx) = {
+            let a = self.frames.last().expect("active frame");
+            (a.func, a.block, a.inst)
+        };
+        let f = &self.bin.program.functions[func as usize];
+        let b = &f.blocks[block as usize];
+        if inst_idx < b.insts.len() {
+            let inst = b.insts[inst_idx].clone();
+            self.frames.last_mut().unwrap().inst += 1;
+            self.exec_inst(&inst)
+        } else {
+            let term = b.term.clone();
+            self.exec_term(term)
+        }
+    }
+
+    fn reg(&self, v: ValueId) -> u64 {
+        self.frames.last().expect("frame").regs[v.0 as usize]
+    }
+
+    fn reg_poison(&self, v: ValueId) -> bool {
+        if !self.track_poison {
+            return false;
+        }
+        self.frames.last().expect("frame").poison[v.0 as usize]
+    }
+
+    fn set_reg(&mut self, v: ValueId, val: u64, poisoned: bool) {
+        let track = self.track_poison;
+        let f = self.frames.last_mut().expect("frame");
+        f.regs[v.0 as usize] = val;
+        if track {
+            f.poison[v.0 as usize] = poisoned;
+        }
+    }
+
+    fn exec_inst(&mut self, inst: &Inst) -> Result<(), End> {
+        let loc = self.loc();
+        match inst {
+            Inst::Const { dst, ty, val } => {
+                let mut raw = self.const_raw(*val);
+                if *ty == IrType::I32 {
+                    raw = raw as u32 as i32 as i64 as u64;
+                }
+                let poisoned = matches!(val, ConstVal::Junk(_));
+                self.set_reg(*dst, raw, poisoned);
+                Ok(())
+            }
+            Inst::Copy { dst, src, .. } => {
+                let v = self.reg(*src);
+                let p = self.reg_poison(*src);
+                self.set_reg(*dst, v, p);
+                Ok(())
+            }
+            Inst::Bin { dst, ty, op, a, b, ub_signed } => {
+                let (va, vb) = (self.reg(*a), self.reg(*b));
+                if let Some(fault) = self.hooks.check_bin(*op, *ty, va, vb, *ub_signed, loc) {
+                    return Err(End::Fault(fault));
+                }
+                let pa = self.reg_poison(*a) || self.reg_poison(*b);
+                if self.track_poison && op.can_trap() && self.reg_poison(*b) {
+                    if let Some(fault) = self.hooks.on_poison_use(PoisonUse::Divisor, loc) {
+                        return Err(End::Fault(fault));
+                    }
+                }
+                let r = self.eval_bin(*op, *ty, va, vb)?;
+                self.set_reg(*dst, r, pa);
+                Ok(())
+            }
+            Inst::Un { dst, ty, op, a, .. } => {
+                let va = self.reg(*a);
+                let p = self.reg_poison(*a);
+                let r = match (op, ty) {
+                    (UnKind::Neg, IrType::I32) => {
+                        ((va as i32).wrapping_neg()) as i64 as u64
+                    }
+                    (UnKind::Neg, _) => (va as i64).wrapping_neg() as u64,
+                    (UnKind::BitNot, IrType::I32) => (!(va as i32)) as i64 as u64,
+                    (UnKind::BitNot, _) => !va,
+                    (UnKind::FNeg, _) => (-f64::from_bits(va)).to_bits(),
+                };
+                self.set_reg(*dst, r, p);
+                Ok(())
+            }
+            Inst::Cast { dst, kind, a } => {
+                let va = self.reg(*a);
+                let p = self.reg_poison(*a);
+                let r = match kind {
+                    CastKind::SextI32I64 => va as u32 as i32 as i64 as u64,
+                    CastKind::ZextI32I64 => va as u32 as u64,
+                    CastKind::TruncI64I32 => va as u32 as i32 as i64 as u64,
+                    CastKind::SI32F64 => ((va as u32 as i32) as f64).to_bits(),
+                    CastKind::UI32F64 => ((va as u32) as f64).to_bits(),
+                    CastKind::SI64F64 => ((va as i64) as f64).to_bits(),
+                    CastKind::F64I32 => (f64::from_bits(va) as i32) as i64 as u64,
+                    CastKind::F64I64 => (f64::from_bits(va) as i64) as u64,
+                };
+                self.set_reg(*dst, r, p);
+                Ok(())
+            }
+            Inst::FrameAddr { dst, slot } => {
+                let a = self.frames.last().expect("frame");
+                let base = a.frame_hi;
+                let off = self.bin.frames[a.func as usize].offset_down[slot.0 as usize];
+                self.set_reg(*dst, base - off, false);
+                Ok(())
+            }
+            Inst::Load { dst, ty, addr, width, sext } => {
+                let va = self.reg(*addr);
+                if self.track_poison && self.reg_poison(*addr) {
+                    if let Some(fault) = self.hooks.on_poison_use(PoisonUse::Address, loc) {
+                        return Err(End::Fault(fault));
+                    }
+                }
+                self.check_mem(va, width.bytes(), false, loc)?;
+                let raw = self.mem.read(va, width.bytes());
+                let val = match (width, ty, sext) {
+                    (MemWidth::W1, _, true) => raw as u8 as i8 as i64 as u64,
+                    (MemWidth::W1, _, false) => raw as u8 as u64,
+                    (MemWidth::W4, IrType::I32, _) => raw as u32 as i32 as i64 as u64,
+                    (MemWidth::W4, _, _) => raw as u32 as u64,
+                    (MemWidth::W8, _, _) => raw,
+                };
+                let poisoned = self.track_poison && self.hooks.load_poison(va, width.bytes());
+                self.set_reg(*dst, val, poisoned);
+                Ok(())
+            }
+            Inst::Store { addr, src, width } => {
+                let va = self.reg(*addr);
+                if self.track_poison && self.reg_poison(*addr) {
+                    if let Some(fault) = self.hooks.on_poison_use(PoisonUse::Address, loc) {
+                        return Err(End::Fault(fault));
+                    }
+                }
+                self.check_mem(va, width.bytes(), true, loc)?;
+                let v = self.reg(*src);
+                self.mem.write(va, v, width.bytes());
+                if self.track_poison {
+                    let p = self.reg_poison(*src);
+                    self.hooks.store_poison(va, width.bytes(), p);
+                }
+                Ok(())
+            }
+            Inst::Call { dst, callee, args, arg_tys, .. } => {
+                let vals: Vec<u64> = args.iter().map(|a| self.reg(*a)).collect();
+                let pois: Vec<bool> = args.iter().map(|a| self.reg_poison(*a)).collect();
+                match callee {
+                    Callee::Func(fid) => self.push_frame(fid.0, &vals, &pois, *dst),
+                    Callee::Builtin(b) => {
+                        let r = self.builtin(*b, &vals, arg_tys, loc)?;
+                        if let Some(d) = dst {
+                            self.set_reg(*d, r.unwrap_or(0), false);
+                        }
+                        Ok(())
+                    }
+                    Callee::PowFast => {
+                        // exp2(y * log2(x)) in f32 precision: fast, imprecise.
+                        let x = f64::from_bits(vals[0]);
+                        let y = f64::from_bits(vals[1]);
+                        let r = ((y as f32) * (x as f32).log2()).exp2() as f64;
+                        if let Some(d) = dst {
+                            self.set_reg(*d, r.to_bits(), false);
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_term(&mut self, term: Terminator) -> Result<(), End> {
+        let loc = self.loc();
+        match term {
+            Terminator::Jump(t) => {
+                self.hooks.on_edge(loc, Loc { func: loc.func, block: t.0, inst: 0 });
+                let a = self.frames.last_mut().unwrap();
+                a.block = t.0;
+                a.inst = 0;
+                Ok(())
+            }
+            Terminator::Br { cond, then, els } => {
+                if self.track_poison && self.reg_poison(cond) {
+                    if let Some(fault) = self.hooks.on_poison_use(PoisonUse::Branch, loc) {
+                        return Err(End::Fault(fault));
+                    }
+                }
+                let taken = if self.reg(cond) != 0 { then } else { els };
+                self.hooks.on_edge(loc, Loc { func: loc.func, block: taken.0, inst: 0 });
+                let a = self.frames.last_mut().unwrap();
+                a.block = taken.0;
+                a.inst = 0;
+                Ok(())
+            }
+            Terminator::Ret(v) => {
+                let (val, poi) = match v {
+                    Some(r) => (Some(self.reg(r)), self.reg_poison(r)),
+                    None => (None, false),
+                };
+                self.pop_frame(val, poi)
+            }
+            Terminator::Unreachable => Err(End::Trap(Trap::IllegalInstruction)),
+        }
+    }
+
+    fn eval_bin(&mut self, op: BinKind, ty: IrType, a: u64, b: u64) -> Result<u64, End> {
+        use BinKind::*;
+        if op.is_float() {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            return Ok(match op {
+                FAdd => (x + y).to_bits(),
+                FSub => (x - y).to_bits(),
+                FMul => (x * y).to_bits(),
+                FDiv => (x / y).to_bits(),
+                FEq => (x == y) as u64,
+                FNe => (x != y) as u64,
+                FLt => (x < y) as u64,
+                FLe => (x <= y) as u64,
+                FGt => (x > y) as u64,
+                FGe => (x >= y) as u64,
+                _ => unreachable!(),
+            });
+        }
+        let narrow = ty == IrType::I32;
+        let (sa, sb) = if narrow {
+            (a as u32 as i32 as i64, b as u32 as i32 as i64)
+        } else {
+            (a as i64, b as i64)
+        };
+        let (ua, ub) = if narrow { (a as u32 as u64, b as u32 as u64) } else { (a, b) };
+        let wrap = |v: i64| -> u64 {
+            if narrow {
+                v as i32 as i64 as u64
+            } else {
+                v as u64
+            }
+        };
+        Ok(match op {
+            Add => wrap(sa.wrapping_add(sb)),
+            Sub => wrap(sa.wrapping_sub(sb)),
+            Mul => wrap(sa.wrapping_mul(sb)),
+            DivS => {
+                if sb == 0 {
+                    return Err(End::Trap(Trap::Sigfpe));
+                }
+                if narrow && sa as i32 == i32::MIN && sb as i32 == -1 {
+                    return Err(End::Trap(Trap::Sigfpe));
+                }
+                if !narrow && sa == i64::MIN && sb == -1 {
+                    return Err(End::Trap(Trap::Sigfpe));
+                }
+                wrap(sa.wrapping_div(sb))
+            }
+            DivU => {
+                if ub == 0 {
+                    return Err(End::Trap(Trap::Sigfpe));
+                }
+                wrap((ua / ub) as i64)
+            }
+            RemS => {
+                if sb == 0 {
+                    return Err(End::Trap(Trap::Sigfpe));
+                }
+                if (narrow && sa as i32 == i32::MIN && sb as i32 == -1)
+                    || (!narrow && sa == i64::MIN && sb == -1)
+                {
+                    return Err(End::Trap(Trap::Sigfpe));
+                }
+                wrap(sa.wrapping_rem(sb))
+            }
+            RemU => {
+                if ub == 0 {
+                    return Err(End::Trap(Trap::Sigfpe));
+                }
+                wrap((ua % ub) as i64)
+            }
+            // x86 semantics: shift amount masked to the operand width.
+            Shl => {
+                let m = if narrow { 31 } else { 63 };
+                wrap(sa.wrapping_shl((ub as u32) & m))
+            }
+            ShrS => {
+                let m = if narrow { 31 } else { 63 };
+                wrap(sa.wrapping_shr((ub as u32) & m))
+            }
+            ShrU => {
+                let m = if narrow { 31 } else { 63 };
+                wrap(ua.wrapping_shr((ub as u32) & m) as i64)
+            }
+            And => wrap(sa & sb),
+            Or => wrap(sa | sb),
+            Xor => wrap(sa ^ sb),
+            Eq => (sa == sb) as u64,
+            Ne => (sa != sb) as u64,
+            LtS => (sa < sb) as u64,
+            LeS => (sa <= sb) as u64,
+            GtS => (sa > sb) as u64,
+            GeS => (sa >= sb) as u64,
+            LtU => (ua < ub) as u64,
+            LeU => (ua <= ub) as u64,
+            GtU => (ua > ub) as u64,
+            GeU => (ua >= ub) as u64,
+            _ => unreachable!(),
+        })
+    }
+
+    // ---- builtins ----
+
+    fn cstr_checked(&mut self, addr: u64, loc: Loc) -> Result<Vec<u8>, End> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            self.check_mem(a, 1, false, loc)?;
+            let b = self.mem.read_u8(a);
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            if out.len() > 1 << 20 {
+                return Err(End::Trap(Trap::Segv));
+            }
+            a = a.wrapping_add(1);
+        }
+    }
+
+    fn builtin(
+        &mut self,
+        b: Builtin,
+        args: &[u64],
+        arg_tys: &[IrType],
+        loc: Loc,
+    ) -> Result<Option<u64>, End> {
+        use Builtin::*;
+        match b {
+            Printf => {
+                let n = self.printf(args, arg_tys, loc)?;
+                Ok(Some(n as u64))
+            }
+            Putchar => {
+                self.stdout.push(args[0] as u8);
+                Ok(Some(args[0] as u32 as i32 as i64 as u64))
+            }
+            Puts => {
+                let s = self.cstr_checked(args[0], loc)?;
+                self.stdout.extend_from_slice(&s);
+                self.stdout.push(b'\n');
+                Ok(Some(0))
+            }
+            Getchar => {
+                let r = if self.input_pos < self.input.len() {
+                    let c = self.input[self.input_pos] as i64;
+                    self.input_pos += 1;
+                    c
+                } else {
+                    -1
+                };
+                Ok(Some(r as u64))
+            }
+            ReadInput => {
+                let (buf, n) = (args[0], args[1] as i64);
+                let avail = (self.input.len() - self.input_pos) as i64;
+                let take = n.clamp(0, avail);
+                for i in 0..take {
+                    self.check_mem(buf.wrapping_add(i as u64), 1, true, loc)?;
+                    self.mem.write_u8(buf.wrapping_add(i as u64), self.input[self.input_pos]);
+                    if self.track_poison {
+                        self.hooks.store_poison(buf.wrapping_add(i as u64), 1, false);
+                    }
+                    self.input_pos += 1;
+                }
+                Ok(Some(take as u64))
+            }
+            InputSize => Ok(Some(self.input.len() as u64)),
+            Malloc => {
+                let size = args[0];
+                Ok(Some(self.malloc(size)))
+            }
+            Free => {
+                self.free(args[0], loc)?;
+                Ok(None)
+            }
+            Memcpy => {
+                let (d, s, n) = (args[0], args[1], args[2]);
+                for i in 0..n {
+                    self.check_mem(s.wrapping_add(i), 1, false, loc)?;
+                    self.check_mem(d.wrapping_add(i), 1, true, loc)?;
+                    let byte = self.mem.read_u8(s.wrapping_add(i));
+                    self.mem.write_u8(d.wrapping_add(i), byte);
+                    if self.track_poison {
+                        let p = self.hooks.load_poison(s.wrapping_add(i), 1);
+                        self.hooks.store_poison(d.wrapping_add(i), 1, p);
+                    }
+                }
+                Ok(Some(d))
+            }
+            Memset => {
+                let (d, v, n) = (args[0], args[1] as u8, args[2]);
+                for i in 0..n {
+                    self.check_mem(d.wrapping_add(i), 1, true, loc)?;
+                    self.mem.write_u8(d.wrapping_add(i), v);
+                    if self.track_poison {
+                        self.hooks.store_poison(d.wrapping_add(i), 1, false);
+                    }
+                }
+                Ok(Some(d))
+            }
+            Strlen => {
+                let s = self.cstr_checked(args[0], loc)?;
+                Ok(Some(s.len() as u64))
+            }
+            Strcpy => {
+                let s = self.cstr_checked(args[1], loc)?;
+                let d = args[0];
+                for (i, &b) in s.iter().chain(std::iter::once(&0)).enumerate() {
+                    self.check_mem(d.wrapping_add(i as u64), 1, true, loc)?;
+                    self.mem.write_u8(d.wrapping_add(i as u64), b);
+                    if self.track_poison {
+                        self.hooks.store_poison(d.wrapping_add(i as u64), 1, false);
+                    }
+                }
+                Ok(Some(d))
+            }
+            Strncpy => {
+                let s = self.cstr_checked(args[1], loc)?;
+                let (d, n) = (args[0], args[2]);
+                for i in 0..n {
+                    let b = s.get(i as usize).copied().unwrap_or(0);
+                    self.check_mem(d.wrapping_add(i), 1, true, loc)?;
+                    self.mem.write_u8(d.wrapping_add(i), b);
+                    if self.track_poison {
+                        self.hooks.store_poison(d.wrapping_add(i), 1, false);
+                    }
+                }
+                Ok(Some(d))
+            }
+            Strcmp => {
+                let a = self.cstr_checked(args[0], loc)?;
+                let b = self.cstr_checked(args[1], loc)?;
+                let r = match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1i64,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                Ok(Some(r as u64))
+            }
+            Exit => {
+                if let Some(f) = self.exit_check() {
+                    return Err(End::Fault(f));
+                }
+                Err(End::Exit(args[0] as u8))
+            }
+            Abort => Err(End::Trap(Trap::Abort)),
+            Pow => {
+                let x = f64::from_bits(args[0]);
+                let y = f64::from_bits(args[1]);
+                Ok(Some(x.powf(y).to_bits()))
+            }
+            Sqrt => Ok(Some(f64::from_bits(args[0]).sqrt().to_bits())),
+            Floor => Ok(Some(f64::from_bits(args[0]).floor().to_bits())),
+            Atoi => {
+                let s = self.cstr_checked(args[0], loc)?;
+                let txt = String::from_utf8_lossy(&s);
+                let txt = txt.trim_start();
+                let (neg, digits) = match txt.strip_prefix('-') {
+                    Some(rest) => (true, rest),
+                    None => (false, txt.strip_prefix('+').unwrap_or(txt)),
+                };
+                let mut v: i64 = 0;
+                for c in digits.chars() {
+                    let Some(d) = c.to_digit(10) else { break };
+                    v = v.wrapping_mul(10).wrapping_add(d as i64);
+                    if v > u32::MAX as i64 {
+                        break; // overflow behaviour is unspecified; clamp-ish
+                    }
+                }
+                let v = if neg { -v } else { v };
+                Ok(Some(v as i32 as i64 as u64))
+            }
+            Rand => {
+                // Implementation-defined PRNG: xorshift64*.
+                let mut x = self.rand_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rand_state = x;
+                let r = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) & 0x7fff_ffff;
+                Ok(Some(r as i32 as i64 as u64))
+            }
+        }
+    }
+
+    /// Runs the hooks' exit-time check (LeakSanitizer-style).
+    fn exit_check(&mut self) -> Option<crate::result::Fault> {
+        let mut live: Vec<(u64, u64)> = self.live_chunks.iter().map(|(&a, &s)| (a, s)).collect();
+        live.sort_unstable();
+        self.hooks.on_exit(&live)
+    }
+
+    fn malloc(&mut self, size: u64) -> u64 {
+        let p = &self.bin.personality;
+        let asize = size.max(1).div_ceil(p.heap_align) * p.heap_align;
+        let redzone = self.hooks.heap_redzone();
+        if let Some(list) = self.free_lists.get_mut(&asize) {
+            if let Some(addr) = list.pop() {
+                self.live_chunks.insert(addr, asize);
+                self.hooks.on_malloc(addr, size);
+                return addr;
+            }
+        }
+        let payload = self.heap_brk + p.heap_header + redzone + self.corruption_bias;
+        let payload = payload.div_ceil(p.heap_align) * p.heap_align;
+        let new_brk = payload + asize + redzone;
+        if new_brk - p.heap_base > self.config.heap_limit {
+            return 0; // OOM -> NULL
+        }
+        self.heap_brk = new_brk;
+        self.live_chunks.insert(payload, asize);
+        self.hooks.on_malloc(payload, size);
+        payload
+    }
+
+    fn free(&mut self, ptr: u64, loc: Loc) -> Result<(), End> {
+        if ptr == 0 {
+            return Ok(()); // free(NULL) is a no-op
+        }
+        if let Some(size) = self.live_chunks.remove(&ptr) {
+            match self.hooks.on_free(ptr, size, loc) {
+                Ok(FreeDisposition::Reuse) => {
+                    // Like glibc, the allocator stores free-list metadata
+                    // (fd/bk pointers and a key) inside the freed chunk.
+                    // The bytes are implementation-specific — which is why
+                    // use-after-free *reads* are unstable code.
+                    let head = self.free_lists.get(&size).and_then(|l| l.last().copied());
+                    let fd = head.unwrap_or(0);
+                    let key = self.bin.personality.seed ^ size;
+                    self.mem.write(ptr, fd, 8.min(size));
+                    if size >= 16 {
+                        self.mem.write(ptr + 8, key, 8);
+                    }
+                    self.free_lists.entry(size).or_default().push(ptr);
+                }
+                Ok(FreeDisposition::Quarantine) => {}
+                Err(f) => return Err(End::Fault(f)),
+            }
+            return Ok(());
+        }
+        // Not a live chunk: double free, interior pointer, or non-heap.
+        if let Some(f) = self.hooks.on_bad_free(ptr, loc) {
+            return Err(End::Fault(f));
+        }
+        let p = &self.bin.personality;
+        let in_heap = ptr >= p.heap_base && ptr < self.heap_brk;
+        if !in_heap {
+            // glibc-style "free(): invalid pointer" abort.
+            return Err(End::Trap(Trap::Abort));
+        }
+        // Double free / interior free of a small chunk: silent allocator
+        // corruption whose magnitude is implementation-specific. Subsequent
+        // allocations shift, so any later output that depends on heap
+        // contents or addresses diverges across implementations.
+        let was_large = self
+            .free_lists
+            .iter()
+            .any(|(sz, list)| *sz > 128 && list.contains(&ptr));
+        if was_large {
+            return Err(End::Trap(Trap::Abort)); // tcache/large: detected
+        }
+        self.corruption_bias = 8 + (p.seed % 5) * 8;
+        Ok(())
+    }
+
+    // ---- printf ----
+
+    fn printf(&mut self, args: &[u64], arg_tys: &[IrType], loc: Loc) -> Result<i32, End> {
+        let fmt = self.cstr_checked(args[0], loc)?;
+        let mut out: Vec<u8> = Vec::new();
+        let mut ai = 1usize; // next vararg
+        let mut i = 0usize;
+        while i < fmt.len() {
+            let c = fmt[i];
+            if c != b'%' {
+                out.push(c);
+                i += 1;
+                continue;
+            }
+            i += 1;
+            if i >= fmt.len() {
+                out.push(b'%');
+                break;
+            }
+            // Flags and width.
+            let mut zero_pad = false;
+            let mut width = 0usize;
+            if fmt[i] == b'0' {
+                zero_pad = true;
+                i += 1;
+            }
+            while i < fmt.len() && fmt[i].is_ascii_digit() {
+                width = width * 10 + (fmt[i] - b'0') as usize;
+                i += 1;
+            }
+            let mut long = false;
+            if i < fmt.len() && fmt[i] == b'l' {
+                long = true;
+                i += 1;
+                if i < fmt.len() && fmt[i] == b'l' {
+                    i += 1;
+                }
+            }
+            if i >= fmt.len() {
+                break;
+            }
+            let conv = fmt[i];
+            i += 1;
+            let mut next = |vm: &mut Self| -> (u64, IrType) {
+                let v = args.get(ai).copied().unwrap_or_else(|| {
+                    // Too few arguments: reads "stack garbage".
+                    vm.bin.personality.junk_word(0xFFFF + ai as u32)
+                });
+                let t = arg_tys.get(ai).copied().unwrap_or(IrType::I64);
+                ai += 1;
+                (v, t)
+            };
+            let rendered: Vec<u8> = match conv {
+                b'%' => vec![b'%'],
+                b'd' | b'i' => {
+                    let (v, _) = next(self);
+                    let n = if long { v as i64 } else { v as u32 as i32 as i64 };
+                    n.to_string().into_bytes()
+                }
+                b'u' => {
+                    let (v, _) = next(self);
+                    let n = if long { v } else { v as u32 as u64 };
+                    n.to_string().into_bytes()
+                }
+                b'x' => {
+                    let (v, _) = next(self);
+                    let n = if long { v } else { v as u32 as u64 };
+                    format!("{n:x}").into_bytes()
+                }
+                b'c' => vec![next(self).0 as u8],
+                b's' => {
+                    let (v, _) = next(self);
+                    self.cstr_checked(v, loc)?
+                }
+                b'f' => {
+                    let (v, t) = next(self);
+                    let x = if t == IrType::F64 {
+                        f64::from_bits(v)
+                    } else {
+                        v as i64 as f64 // %f with an int arg: garbage-ish
+                    };
+                    format!("{x:.6}").into_bytes()
+                }
+                b'p' => {
+                    let (v, _) = next(self);
+                    format!("0x{v:x}").into_bytes()
+                }
+                other => vec![b'%', other],
+            };
+            if rendered.len() < width {
+                let pad = if zero_pad && matches!(conv, b'd' | b'i' | b'u' | b'x') {
+                    b'0'
+                } else {
+                    b' '
+                };
+                out.extend(std::iter::repeat_n(pad, width - rendered.len()));
+            }
+            out.extend_from_slice(&rendered);
+        }
+        let n = out.len() as i32;
+        self.stdout.extend_from_slice(&out);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minc_compile::{compile_source, CompilerImpl};
+
+    fn run_one(src: &str, impl_name: &str, input: &[u8]) -> ExecResult {
+        let bin = compile_source(src, CompilerImpl::parse(impl_name).unwrap()).unwrap();
+        execute(&bin, input, &VmConfig::default())
+    }
+
+    fn stdout_of(src: &str, impl_name: &str) -> String {
+        let r = run_one(src, impl_name, b"");
+        assert_eq!(r.status, ExitStatus::Code(0), "{impl_name}: {}", r.status);
+        String::from_utf8_lossy(&r.stdout).into_owned()
+    }
+
+    #[test]
+    fn hello_world_all_impls() {
+        let src = r#"int main() { printf("hello %s, %d\n", "world", 42); return 0; }"#;
+        for ci in CompilerImpl::default_set() {
+            assert_eq!(stdout_of(src, &ci.to_string()), "hello world, 42\n", "{ci}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow_agree_across_impls() {
+        let src = r#"
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() {
+                int i;
+                for (i = 0; i < 10; i++) { printf("%d ", fib(i)); }
+                printf("\n");
+                unsigned u = 4000000000u;
+                printf("%u %x\n", u + u, 255);
+                long big = 1L << 40;
+                printf("%ld\n", big / 3L);
+                return 0;
+            }
+        "#;
+        let expect = "0 1 1 2 3 5 8 13 21 34 \n3705032704 ff\n366503875925\n";
+        for ci in CompilerImpl::default_set() {
+            assert_eq!(stdout_of(src, &ci.to_string()), expect, "{ci}");
+        }
+    }
+
+    #[test]
+    fn pointers_arrays_strings_agree() {
+        let src = r#"
+            int main() {
+                char buf[32];
+                strcpy(buf, "minc");
+                printf("%d %s\n", (int)strlen(buf), buf);
+                int a[5];
+                int i;
+                for (i = 0; i < 5; i++) a[i] = i * i;
+                int* p = a + 1;
+                printf("%d %d\n", *p, p[2]);
+                return 0;
+            }
+        "#;
+        for ci in CompilerImpl::default_set() {
+            assert_eq!(stdout_of(src, &ci.to_string()), "4 minc\n1 9\n", "{ci}");
+        }
+    }
+
+    #[test]
+    fn structs_and_heap_agree() {
+        let src = r#"
+            struct node { int v; struct node* next; };
+            int main() {
+                struct node* head = 0;
+                int i;
+                for (i = 0; i < 4; i++) {
+                    struct node* n = (struct node*)malloc(sizeof(struct node));
+                    n->v = i;
+                    n->next = head;
+                    head = n;
+                }
+                int sum = 0;
+                while (head != 0) { sum += head->v; struct node* d = head; head = head->next; free(d); }
+                printf("%d\n", sum);
+                return 0;
+            }
+        "#;
+        for ci in CompilerImpl::default_set() {
+            assert_eq!(stdout_of(src, &ci.to_string()), "6\n", "{ci}");
+        }
+    }
+
+    #[test]
+    fn input_builtins() {
+        let src = r#"
+            int main() {
+                char buf[16];
+                long n = read_input(buf, 15L);
+                buf[n] = '\0';
+                printf("%ld %s %ld\n", n, buf, input_size());
+                int c = getchar();
+                printf("%d\n", c);
+                return 0;
+            }
+        "#;
+        let bin = compile_source(src, CompilerImpl::parse("gcc-O2").unwrap()).unwrap();
+        let r = execute(&bin, b"abc", &VmConfig::default());
+        assert_eq!(String::from_utf8_lossy(&r.stdout), "3 abc 3\n-1\n");
+    }
+
+    #[test]
+    fn exit_status_propagates() {
+        assert_eq!(run_one("int main() { return 3; }", "gcc-O0", b"").status, ExitStatus::Code(3));
+        assert_eq!(
+            run_one("int main() { exit(7); return 1; }", "clang-O2", b"").status,
+            ExitStatus::Code(7)
+        );
+        assert_eq!(
+            run_one("int main() { return -1; }", "gcc-O1", b"").status,
+            ExitStatus::Code(255)
+        );
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let r = run_one("int main() { int* p = 0; return *p; }", "gcc-O0", b"");
+        assert_eq!(r.status, ExitStatus::Trapped(Trap::Segv));
+    }
+
+    #[test]
+    fn div_by_zero_traps_at_o0_but_not_when_dead_at_o2() {
+        let src = "int main() { int z = input_size() > 100 ? 1 : 0; int dead = 5 / z; return 0; }";
+        let o0 = run_one(src, "gcc-O0", b"");
+        assert_eq!(o0.status, ExitStatus::Trapped(Trap::Sigfpe));
+        let o2 = run_one(src, "gcc-O2", b"");
+        assert_eq!(o2.status, ExitStatus::Code(0), "dead division DCE'd at O2");
+    }
+
+    #[test]
+    fn abort_and_timeout() {
+        assert_eq!(
+            run_one("int main() { abort(); return 0; }", "gcc-O0", b"").status,
+            ExitStatus::Trapped(Trap::Abort)
+        );
+        let bin =
+            compile_source("int main() { while (1) { } return 0; }", CompilerImpl::parse("gcc-O0").unwrap())
+                .unwrap();
+        let r = execute(&bin, b"", &VmConfig { step_limit: 10_000, ..Default::default() });
+        assert_eq!(r.status, ExitStatus::TimedOut);
+    }
+
+    #[test]
+    fn stack_overflow_on_deep_recursion() {
+        let src = "int f(int n) { char pad[128]; pad[0] = (char)n; return f(n + 1) + pad[0]; }\nint main() { return f(0); }";
+        let r = run_one(src, "gcc-O0", b"");
+        assert_eq!(r.status, ExitStatus::Trapped(Trap::StackOverflow));
+    }
+
+    #[test]
+    fn listing1_unstable_across_o0_and_o2() {
+        // The paper's Listing 1, scaled to MinC: at -O0 the overflow check
+        // catches dump_data(INT_MAX-100, 101); at -O2 the check is gone.
+        let src = r#"
+            int dump_data(int offset, int len) {
+                int size = 100;
+                if (offset + len > size || offset < 0 || len < 0) { return -1; }
+                if (offset + len < offset) { return -1; }
+                return 0;
+            }
+            int main() {
+                int r = dump_data(2147483647 - 100, 101);
+                printf("r=%d\n", r);
+                return 0;
+            }
+        "#;
+        let o0 = stdout_of(src, "gcc-O0");
+        let o2 = stdout_of(src, "gcc-O2");
+        assert_eq!(o0, "r=-1\n");
+        assert_ne!(o0, o2, "UB-exploiting -O2 must diverge from -O0");
+    }
+
+    #[test]
+    fn uninitialized_local_diverges_across_impls() {
+        let src = r#"
+            int main() {
+                int u;
+                printf("%d\n", u);
+                return 0;
+            }
+        "#;
+        let outs: std::collections::HashSet<String> = CompilerImpl::default_set()
+            .iter()
+            .map(|ci| stdout_of(src, &ci.to_string()))
+            .collect();
+        assert!(outs.len() >= 2, "uninit read should diverge, got {outs:?}");
+    }
+
+    #[test]
+    fn eval_order_bug_diverges_across_families() {
+        // The tcpdump pattern: two calls returning the same static buffer,
+        // both arguments to printf.
+        let src = r#"
+            char* fmt_num(int v) {
+                static char buffer[16];
+                int i = 0;
+                if (v == 0) { buffer[i] = '0'; i++; }
+                while (v > 0) { buffer[i] = (char)('0' + v % 10); v /= 10; i++; }
+                buffer[i] = '\0';
+                return buffer;
+            }
+            int main() {
+                printf("who-is %s tell %s\n", fmt_num(11), fmt_num(22));
+                return 0;
+            }
+        "#;
+        let gcc = stdout_of(src, "gcc-O0");
+        let clang = stdout_of(src, "clang-O0");
+        assert_ne!(gcc, clang, "conflicting side effects in args must diverge");
+        // clang (left-to-right): second call overwrites -> both show 22.
+        assert!(clang.contains("who-is 22 tell 22"), "clang: {clang}");
+        assert!(gcc.contains("who-is 11 tell 11"), "gcc: {gcc}");
+    }
+
+    #[test]
+    fn pointer_comparison_diverges_somewhere() {
+        // Comparing a stack pointer with a global pointer: ordering depends
+        // entirely on the address-space layout.
+        let src = r#"
+            int g;
+            int main() {
+                int l = 0;
+                if (&l < &g) { printf("stack-first\n"); }
+                else { printf("global-first\n"); }
+                return l;
+            }
+        "#;
+        let outs: std::collections::HashSet<String> = CompilerImpl::default_set()
+            .iter()
+            .map(|ci| stdout_of(src, &ci.to_string()))
+            .collect();
+        // All run fine; layout decides. (Both families put the stack above
+        // the data segments, so this one agrees — the point is it is legal
+        // either way; cross-object compares between heap and globals etc.
+        // diverge in the targets suite.)
+        assert!(!outs.is_empty());
+    }
+
+    #[test]
+    fn line_macro_diverges_on_multiline_statement() {
+        let src = "int main() {\n    printf(\"%d\\n\",\n__LINE__);\n    return 0;\n}";
+        let gcc = stdout_of(src, "gcc-O0"); // EndLine -> 3
+        let clang = stdout_of(src, "clang-O0"); // StartLine -> 2
+        assert_eq!(clang.trim(), "2");
+        assert_eq!(gcc.trim(), "3");
+    }
+
+    #[test]
+    fn pow_fast_diverges_at_clang_o3() {
+        let src = r#"
+            int main() {
+                double x = pow(1.5, 13.7);
+                printf("%f\n", x);
+                return 0;
+            }
+        "#;
+        let clang_o0 = stdout_of(src, "clang-O0");
+        let clang_o3 = stdout_of(src, "clang-O3");
+        assert_ne!(clang_o0, clang_o3, "fast pow must lose precision");
+        let gcc_o3 = stdout_of(src, "gcc-O3");
+        assert_eq!(clang_o0, gcc_o3);
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_impl_but_differs_across() {
+        let src = "int main() { printf(\"%d %d\\n\", rand(), rand()); return 0; }";
+        let a1 = stdout_of(src, "gcc-O0");
+        let a2 = stdout_of(src, "gcc-O0");
+        let b = stdout_of(src, "clang-O0");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn malloc_free_reuse_is_lifo() {
+        let src = r#"
+            int main() {
+                char* a = (char*)malloc(32L);
+                free(a);
+                char* b = (char*)malloc(32L);
+                printf("%d\n", a == b ? 1 : 0);
+                return 0;
+            }
+        "#;
+        for ci in ["gcc-O0", "clang-O2"] {
+            assert_eq!(stdout_of(src, ci), "1\n", "{ci}");
+        }
+    }
+
+    #[test]
+    fn free_of_stack_pointer_aborts() {
+        let src = "int main() { int x; free(&x); return 0; }";
+        let r = run_one(src, "gcc-O0", b"");
+        assert_eq!(r.status, ExitStatus::Trapped(Trap::Abort));
+    }
+
+    #[test]
+    fn oob_read_within_frame_diverges_across_impls() {
+        // Reading one past an array picks up a neighbouring slot byte;
+        // which byte depends on the frame layout.
+        let src = r#"
+            int main() {
+                char a[4];
+                char b[4];
+                int i;
+                for (i = 0; i < 4; i++) { a[i] = 'A'; b[i] = 'B'; }
+                printf("%d\n", (int)a[6]);
+                return 0;
+            }
+        "#;
+        let outs: std::collections::HashSet<String> = CompilerImpl::default_set()
+            .iter()
+            .map(|ci| stdout_of(src, &ci.to_string()))
+            .collect();
+        assert!(outs.len() >= 2, "OOB read should diverge: {outs:?}");
+    }
+
+    #[test]
+    fn widen_mul_int_error_diverges() {
+        // The paper's IntError: x = y + a*b with a*b overflowing int.
+        // Operands must be runtime values or constant folding hides the
+        // difference (both families fold identically — as real ones do).
+        let src = r#"
+            int main() {
+                int a = (int)input_size() + 100000;
+                int b = 100000 - (int)input_size();
+                long x = (long)(a * b);
+                printf("%ld\n", x);
+                return 0;
+            }
+        "#;
+        let gcc_o1 = stdout_of(src, "gcc-O1");
+        let clang_o1 = stdout_of(src, "clang-O1");
+        assert_ne!(gcc_o1, clang_o1);
+        assert_eq!(gcc_o1.trim(), "1410065408"); // wrapped 32-bit
+        assert_eq!(clang_o1.trim(), "10000000000"); // widened 64-bit
+    }
+
+    #[test]
+    fn static_buffer_persists_across_calls() {
+        let src = r#"
+            int counter() { static int n; n++; return n; }
+            int main() { counter(); counter(); printf("%d\n", counter()); return 0; }
+        "#;
+        for ci in CompilerImpl::default_set() {
+            assert_eq!(stdout_of(src, &ci.to_string()), "3\n", "{ci}");
+        }
+    }
+
+    #[test]
+    fn printf_width_and_hex() {
+        let src = r#"int main() { printf("[%04x] [%3d] [%c]\n", 255, 7, 'Z'); return 0; }"#;
+        assert_eq!(stdout_of(src, "gcc-O0"), "[00ff] [  7] [Z]\n");
+    }
+
+    #[test]
+    fn gcc_o3_unroll_miscompilation_reproduces_rq2() {
+        // Trip-count-7 loop with a multiply: gcc-sim -O3 loses an iteration.
+        let src = r#"
+            int main() {
+                int acc = 0;
+                int i;
+                for (i = 0; i < 7; i++) { acc += i * 3; }
+                printf("%d\n", acc);
+                return 0;
+            }
+        "#;
+        let good = stdout_of(src, "clang-O3");
+        let bad = stdout_of(src, "gcc-O3");
+        assert_eq!(good.trim(), "63");
+        assert_ne!(good, bad, "seeded miscompilation must be observable");
+        let gcc_o2 = stdout_of(src, "gcc-O2");
+        assert_eq!(gcc_o2.trim(), "63", "only -O3 unrolling is affected");
+    }
+}

@@ -1,0 +1,172 @@
+//! Sparse raw memory with implementation-defined junk.
+//!
+//! The VM models a flat 64-bit address space in 4 KiB pages. A page
+//! materializes on first touch *filled with junk bytes* that are a
+//! deterministic function of (implementation seed, address) — this is what
+//! "uninitialized memory" reads as under a given compiler implementation.
+//! Determinism per binary keeps program output deterministic (CompDiff's
+//! precondition) while different implementations see different junk.
+
+use minc_compile::Personality;
+use std::collections::HashMap;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Raw byte-addressable memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8]>>,
+    seed: u64,
+}
+
+impl Memory {
+    /// Creates memory whose junk pattern follows `personality`.
+    pub fn new(personality: &Personality) -> Self {
+        Memory { pages: HashMap::new(), seed: personality.seed }
+    }
+
+    fn junk_byte(seed: u64, addr: u64) -> u8 {
+        let mut x = addr ^ seed;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        (x & 0xff) as u8
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8] {
+        let seed = self.seed;
+        self.pages
+            .entry(page)
+            .or_insert_with(|| {
+                let base = page * PAGE_SIZE;
+                let mut p = vec![0u8; PAGE_SIZE as usize];
+                for (i, b) in p.iter_mut().enumerate() {
+                    *b = Self::junk_byte(seed, base + i as u64);
+                }
+                p.into_boxed_slice()
+            })
+            .as_mut()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self, addr: u64) -> u8 {
+        let page = addr / PAGE_SIZE;
+        let off = (addr % PAGE_SIZE) as usize;
+        self.page_mut(page)[off]
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let page = addr / PAGE_SIZE;
+        let off = (addr % PAGE_SIZE) as usize;
+        self.page_mut(page)[off] = v;
+    }
+
+    /// Reads `width` bytes little-endian (1, 4, or 8).
+    pub fn read(&mut self, addr: u64, width: u64) -> u64 {
+        let mut v: u64 = 0;
+        for i in 0..width {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `v` little-endian.
+    pub fn write(&mut self, addr: u64, v: u64, width: u64) {
+        for i in 0..width {
+            self.write_u8(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (handles overlap like memmove
+    /// does not — byte-forward copy, like a naive memcpy).
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64) {
+        for i in 0..len {
+            let b = self.read_u8(src.wrapping_add(i));
+            self.write_u8(dst.wrapping_add(i), b);
+        }
+    }
+
+    /// Fills `[addr, addr+len)` with `v`.
+    pub fn fill(&mut self, addr: u64, v: u8, len: u64) {
+        for i in 0..len {
+            self.write_u8(addr.wrapping_add(i), v);
+        }
+    }
+
+    /// Reads a NUL-terminated C string, bounded by `max` bytes.
+    pub fn read_cstr(&mut self, addr: u64, max: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(addr.wrapping_add(i));
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        out
+    }
+
+    /// Number of materialized pages (memory footprint proxy).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minc_compile::CompilerImpl;
+
+    fn mem(name: &str) -> Memory {
+        Memory::new(&CompilerImpl::parse(name).unwrap().personality())
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = mem("gcc-O0");
+        m.write(0x5000, 0xdead_beef_cafe_f00d, 8);
+        assert_eq!(m.read(0x5000, 8), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read(0x5000, 4), 0xcafe_f00d);
+        assert_eq!(m.read(0x5000, 1), 0x0d);
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut m = mem("gcc-O0");
+        let addr = PAGE_SIZE - 3;
+        m.write(addr, 0x1122_3344_5566_7788, 8);
+        assert_eq!(m.read(addr, 8), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn junk_is_deterministic_per_impl() {
+        let mut a1 = mem("gcc-O0");
+        let mut a2 = mem("gcc-O0");
+        let mut b = mem("clang-O0");
+        let j1: Vec<u8> = (0..64).map(|i| a1.read_u8(0x7000 + i)).collect();
+        let j2: Vec<u8> = (0..64).map(|i| a2.read_u8(0x7000 + i)).collect();
+        let j3: Vec<u8> = (0..64).map(|i| b.read_u8(0x7000 + i)).collect();
+        assert_eq!(j1, j2);
+        assert_ne!(j1, j3);
+    }
+
+    #[test]
+    fn copy_and_fill() {
+        let mut m = mem("gcc-O1");
+        m.fill(0x8000, 0xab, 16);
+        m.copy(0x9000, 0x8000, 16);
+        assert_eq!(m.read_u8(0x900f), 0xab);
+    }
+
+    #[test]
+    fn cstr_stops_at_nul_and_max() {
+        let mut m = mem("gcc-O0");
+        m.write_u8(0xa000, b'h');
+        m.write_u8(0xa001, b'i');
+        m.write_u8(0xa002, 0);
+        assert_eq!(m.read_cstr(0xa000, 100), b"hi");
+        assert_eq!(m.read_cstr(0xa000, 1), b"h");
+    }
+}

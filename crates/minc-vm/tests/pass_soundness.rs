@@ -1,0 +1,292 @@
+//! Pass soundness on defined programs: every optimization level must
+//! preserve the observable behaviour of UB-free code. (UB-containing code
+//! is *allowed* to change — that is the whole point of CompDiff — so these
+//! programs are carefully defined.)
+
+use minc_compile::{compile, CompilerImpl};
+use minc_vm::{execute, ExitStatus, VmConfig};
+
+fn outputs_for(src: &str, input: &[u8]) -> Vec<(String, String, u8)> {
+    let checked = minc::check(src).unwrap();
+    let vm = VmConfig::default();
+    CompilerImpl::default_set()
+        .into_iter()
+        .map(|ci| {
+            let r = execute(&compile(&checked, ci), input, &vm);
+            (ci.to_string(), String::from_utf8_lossy(&r.stdout).into_owned(), r.status.as_code())
+        })
+        .collect()
+}
+
+fn assert_all_agree(src: &str, input: &[u8]) {
+    let outs = outputs_for(src, input);
+    let (n0, o0, s0) = &outs[0];
+    for (n, o, s) in &outs[1..] {
+        assert_eq!((o, s), (o0, s0), "{n0} vs {n}:\n{src}");
+    }
+}
+
+#[test]
+fn cse_dse_do_not_break_aliasing() {
+    // Writes through two pointers to the same slot: DSE must not delete
+    // the visible store; CSE must not reuse a stale load.
+    assert_all_agree(
+        r#"
+        int main() {
+            int x = 1;
+            int* p = &x;
+            int* q = &x;
+            *p = 5;
+            *q = 7;
+            printf("%d %d\n", *p, x);
+            x = 9;
+            printf("%d\n", *q);
+            return 0;
+        }
+        "#,
+        b"",
+    );
+}
+
+#[test]
+fn inlining_preserves_static_locals_and_recursion() {
+    assert_all_agree(
+        r#"
+        int counter() { static int n; n++; return n; }
+        int twice(int x) { return counter() + x; }
+        int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+        int main() {
+            /* Calls are sequenced through locals: passing several
+               side-effecting calls as printf arguments would itself be
+               the EvalOrder UB this repository exists to detect. */
+            int a = twice(10);
+            int b = twice(20);
+            int c = counter();
+            int d = fib(12);
+            printf("%d %d %d %d\n", a, b, c, d);
+            return 0;
+        }
+        "#,
+        b"",
+    );
+}
+
+#[test]
+fn unrolling_preserves_loop_side_effects() {
+    // Small counted loops with calls, stores, and dependent values; trip
+    // counts avoid the two seeded miscompilation shapes (5-div, 7-mul).
+    assert_all_agree(
+        r#"
+        int log_count;
+        void note(int v) { log_count += v; }
+        int main() {
+            int a[8];
+            int i;
+            for (i = 0; i < 8; i++) { a[i] = i * i; note(i); }
+            int sum = 0;
+            for (i = 0; i < 8; i++) { sum += a[i]; }
+            printf("%d %d\n", sum, log_count);
+            return 0;
+        }
+        "#,
+        b"",
+    );
+}
+
+#[test]
+fn ub_exploit_spares_defined_overflow_checks() {
+    // The unsigned version of the Listing 1 guard is defined and must be
+    // honoured by every implementation.
+    assert_all_agree(
+        r#"
+        int check(unsigned off, unsigned len) {
+            if (off + len < off) { return -1; }
+            return (int)(off + len);
+        }
+        int main() {
+            printf("%d %d\n", check(4294967295u, 10u), check(3u, 4u));
+            return 0;
+        }
+        "#,
+        b"",
+    );
+}
+
+#[test]
+fn branch_folding_keeps_side_effects_of_conditions() {
+    assert_all_agree(
+        r#"
+        int calls;
+        int truthy() { calls++; return 1; }
+        int main() {
+            if (truthy()) { printf("t\n"); }
+            while (truthy()) { break; }
+            printf("%d\n", calls);
+            return 0;
+        }
+        "#,
+        b"",
+    );
+}
+
+#[test]
+fn copy_prop_across_compound_assignments() {
+    assert_all_agree(
+        r#"
+        int main() {
+            int a = 3;
+            int b = a;
+            b += a;
+            b *= b;
+            a -= b;
+            a <<= 2;
+            a ^= b;
+            printf("%d %d\n", a, b);
+            return 0;
+        }
+        "#,
+        b"",
+    );
+}
+
+#[test]
+fn input_dependent_control_flow_matches() {
+    let src = r#"
+        int classify(int c) {
+            if (c >= 'a' && c <= 'z') { return 1; }
+            if (c >= '0' && c <= '9') { return 2; }
+            return 0;
+        }
+        int main() {
+            int c;
+            int counts[3];
+            int i;
+            for (i = 0; i < 3; i++) { counts[i] = 0; }
+            while ((c = getchar()) != -1) { counts[classify(c)]++; }
+            printf("%d %d %d\n", counts[0], counts[1], counts[2]);
+            return 0;
+        }
+    "#;
+    assert_all_agree(src, b"abc123!? ");
+    assert_all_agree(src, b"");
+    assert_all_agree(src, &[0u8, 255, 128, b'a']);
+}
+
+#[test]
+fn struct_heavy_code_is_stable() {
+    assert_all_agree(
+        r#"
+        struct pt { int x; int y; };
+        struct rect { struct pt lo; struct pt hi; char tag; };
+        int area(struct rect* r) { return (r->hi.x - r->lo.x) * (r->hi.y - r->lo.y); }
+        int main() {
+            struct rect r;
+            r.lo.x = 1; r.lo.y = 2; r.hi.x = 11; r.hi.y = 22;
+            r.tag = 'R';
+            struct rect* p = &r;
+            printf("%d %c %ld\n", area(p), p->tag, (long)sizeof(struct rect));
+            return 0;
+        }
+        "#,
+        b"",
+    );
+}
+
+#[test]
+fn optimized_binaries_are_not_slower() {
+    // -O2 must execute fewer VM steps than -O0 on compute-heavy code
+    // (sanity that the pipeline actually optimizes).
+    let src = r#"
+        int main() {
+            long acc = 0;
+            int i;
+            for (i = 0; i < 2000; i++) { acc += (long)(i * 2 + 1) * 3L; }
+            printf("%ld\n", acc);
+            return 0;
+        }
+    "#;
+    let checked = minc::check(src).unwrap();
+    let vm = VmConfig::default();
+    let o0 = execute(&compile(&checked, CompilerImpl::parse("gcc-O0").unwrap()), b"", &vm);
+    let o2 = execute(&compile(&checked, CompilerImpl::parse("gcc-O2").unwrap()), b"", &vm);
+    assert_eq!(o0.stdout, o2.stdout);
+    assert!(
+        o2.steps * 10 < o0.steps * 9,
+        "-O2 ({}) should beat -O0 ({}) by >10%",
+        o2.steps,
+        o0.steps
+    );
+}
+
+#[test]
+fn every_level_terminates_with_exit_code() {
+    let src = "int main() { exit(5); return 0; }";
+    for (_, _, code) in outputs_for(src, b"") {
+        assert_eq!(code, 5);
+    }
+    let _ = ExitStatus::Code(5);
+}
+
+#[test]
+fn two_dimensional_arrays_are_stable() {
+    assert_all_agree(
+        r#"
+        int main() {
+            int m[3][4];
+            int i;
+            int j;
+            for (i = 0; i < 3; i++) {
+                for (j = 0; j < 4; j++) { m[i][j] = i * 10 + j; }
+            }
+            int sum = 0;
+            for (i = 0; i < 3; i++) {
+                for (j = 0; j < 4; j++) { sum += m[i][j]; }
+            }
+            printf("%d %d %ld\n", sum, m[2][3], (long)sizeof(m));
+            return 0;
+        }
+        "#,
+        b"",
+    );
+}
+
+#[test]
+fn pointer_walks_through_arrays_are_stable() {
+    assert_all_agree(
+        r#"
+        int main() {
+            int a[6];
+            int i;
+            for (i = 0; i < 6; i++) { a[i] = i + 1; }
+            int* p = a;
+            int* end = a + 6;
+            int prod = 1;
+            while (p != end) { prod *= *p; p++; }
+            printf("%d %ld\n", prod, end - a);
+            return 0;
+        }
+        "#,
+        b"",
+    );
+}
+
+#[test]
+fn do_while_and_continue_paths_are_stable() {
+    assert_all_agree(
+        r#"
+        int main() {
+            int n = 0;
+            int i = 0;
+            do {
+                i++;
+                if (i % 3 == 0) { continue; }
+                if (i > 20) { break; }
+                n += i;
+            } while (i < 30);
+            printf("%d %d\n", n, i);
+            return 0;
+        }
+        "#,
+        b"",
+    );
+}

@@ -1,0 +1,118 @@
+//! Diagnostics for lexing, parsing, and semantic analysis.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// The phase of the frontend that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Syntactic analysis.
+    Parse,
+    /// Semantic analysis / type checking.
+    Sema,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "sema",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single frontend diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Phase that raised the diagnostic.
+    pub phase: Phase,
+    /// Source location.
+    pub span: Span,
+    /// Human-readable message, lowercase without trailing punctuation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a new diagnostic.
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { phase, span, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl Error for Diagnostic {}
+
+/// Error type carrying one or more diagnostics from the frontend.
+///
+/// Returned by [`crate::parse`] and [`crate::check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendError {
+    /// All collected diagnostics, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl FrontendError {
+    /// Wraps a single diagnostic.
+    pub fn single(diag: Diagnostic) -> Self {
+        FrontendError { diagnostics: vec![diag] }
+    }
+
+    /// The first (usually most relevant) diagnostic.
+    pub fn first(&self) -> &Diagnostic {
+        &self.diagnostics[0]
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for FrontendError {}
+
+impl From<Diagnostic> for FrontendError {
+    fn from(d: Diagnostic) -> Self {
+        FrontendError::single(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_line() {
+        let d = Diagnostic::new(Phase::Parse, Span::new(0, 1, 3), "expected `;`");
+        assert_eq!(d.to_string(), "parse error at line 3: expected `;`");
+    }
+
+    #[test]
+    fn frontend_error_joins_messages() {
+        let e = FrontendError {
+            diagnostics: vec![
+                Diagnostic::new(Phase::Sema, Span::new(0, 1, 1), "a"),
+                Diagnostic::new(Phase::Sema, Span::new(0, 1, 2), "b"),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 1"));
+        assert!(s.contains("line 2"));
+    }
+}

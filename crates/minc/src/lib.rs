@@ -1,0 +1,46 @@
+//! # MinC — the CompDiff reproduction substrate language
+//!
+//! MinC is a small, deterministic C-like language built for the CompDiff
+//! (ASPLOS 2023) reproduction. It deliberately keeps C's *undefined
+//! behavior* surface: signed overflow, out-of-bounds access, uninitialized
+//! reads, invalid pointer comparisons, unsequenced side effects, and
+//! friends — because unstable code arising from those UBs is exactly what
+//! CompDiff detects.
+//!
+//! This crate is the frontend only: lexer, parser, AST, and type checker.
+//! Compilation (with the ten simulated compiler implementations) lives in
+//! `minc-compile`; execution lives in `minc-vm`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), minc::FrontendError> {
+//! let checked = minc::check(r#"
+//!     int main() {
+//!         printf("%d\n", 6 * 7);
+//!         return 0;
+//!     }
+//! "#)?;
+//! assert_eq!(checked.program.functions[0].name, "main");
+//! # Ok(())
+//! # }
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod span;
+pub mod token;
+pub mod types;
+
+pub use diag::{Diagnostic, FrontendError, Phase};
+pub use lexer::lex;
+pub use parser::parse;
+pub use sema::{check, check_program, Builtin, CallTarget, CheckedProgram, LocalId, StaticId, VarRef};
+pub use span::{NodeId, Span};
+pub use types::Type;

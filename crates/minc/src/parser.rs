@@ -1,0 +1,893 @@
+//! Recursive-descent parser for MinC.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, FrontendError, Phase};
+use crate::lexer::lex;
+use crate::span::{NodeId, Span};
+use crate::token::{Token, TokenKind};
+use crate::types::Type;
+
+/// Parses MinC source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] with the first lexical or syntactic error.
+///
+/// ```
+/// let prog = minc::parse("int main() { return 0; }").unwrap();
+/// assert_eq!(prog.functions.len(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<Program, FrontendError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_id: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, next_id: 0 }
+    }
+
+    fn fresh(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, FrontendError> {
+        if self.peek() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected {}, found {}", kind.describe(), self.peek().describe())))
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> FrontendError {
+        Diagnostic::new(Phase::Parse, self.span(), msg).into()
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), FrontendError> {
+        let sp = self.span();
+        match self.bump().kind {
+            TokenKind::Ident(s) => Ok((s, sp)),
+            other => Err(FrontendError::single(Diagnostic::new(
+                Phase::Parse,
+                sp,
+                format!("expected identifier, found {}", other.describe()),
+            ))),
+        }
+    }
+
+    /// True if the token begins a type.
+    fn is_type_start(kind: &TokenKind) -> bool {
+        matches!(
+            kind,
+            TokenKind::KwChar
+                | TokenKind::KwInt
+                | TokenKind::KwLong
+                | TokenKind::KwUnsigned
+                | TokenKind::KwDouble
+                | TokenKind::KwVoid
+                | TokenKind::KwStruct
+                | TokenKind::KwConst
+        )
+    }
+
+    /// Parses a type: optional `const`, base type, then `*`s.
+    fn parse_type(&mut self) -> Result<Type, FrontendError> {
+        self.eat(&TokenKind::KwConst);
+        let base = match self.bump().kind {
+            TokenKind::KwChar => Type::Char,
+            TokenKind::KwInt => Type::Int,
+            TokenKind::KwLong => Type::Long,
+            TokenKind::KwUnsigned => {
+                // Allow `unsigned int`.
+                self.eat(&TokenKind::KwInt);
+                Type::UInt
+            }
+            TokenKind::KwDouble => Type::Double,
+            TokenKind::KwVoid => Type::Void,
+            TokenKind::KwStruct => {
+                let (name, _) = self.ident()?;
+                Type::Struct(name)
+            }
+            other => {
+                return Err(FrontendError::single(Diagnostic::new(
+                    Phase::Parse,
+                    self.prev_span(),
+                    format!("expected type, found {}", other.describe()),
+                )));
+            }
+        };
+        let mut ty = base;
+        loop {
+            self.eat(&TokenKind::KwConst);
+            if self.eat(&TokenKind::Star) {
+                ty = ty.ptr_to();
+            } else {
+                break;
+            }
+        }
+        Ok(ty)
+    }
+
+    /// Parses optional array suffixes after a declarator name: `[N]`...
+    fn array_suffix(&mut self, mut ty: Type) -> Result<Type, FrontendError> {
+        let mut dims = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            let sp = self.span();
+            let n = match self.bump().kind {
+                TokenKind::IntLit { value, .. } if value > 0 => value as u64,
+                _ => {
+                    return Err(FrontendError::single(Diagnostic::new(
+                        Phase::Parse,
+                        sp,
+                        "array size must be a positive integer literal",
+                    )));
+                }
+            };
+            self.expect(TokenKind::RBracket)?;
+            dims.push(n);
+        }
+        for n in dims.into_iter().rev() {
+            ty = Type::Array(Box::new(ty), n);
+        }
+        Ok(ty)
+    }
+
+    fn program(&mut self) -> Result<Program, FrontendError> {
+        let mut prog = Program::default();
+        while self.peek() != &TokenKind::Eof {
+            if self.peek() == &TokenKind::KwStruct
+                && matches!(self.peek_at(1), TokenKind::Ident(_))
+                && self.peek_at(2) == &TokenKind::LBrace
+            {
+                prog.structs.push(self.struct_def()?);
+                continue;
+            }
+            // Global or function: [static] type name ( -> function, else global.
+            let is_static = self.eat(&TokenKind::KwStatic);
+            let start = self.span();
+            let ty = self.parse_type()?;
+            let (name, _) = self.ident()?;
+            if self.peek() == &TokenKind::LParen {
+                let f = self.function(ty, name, start)?;
+                prog.functions.push(f);
+            } else {
+                let ty = self.array_suffix(ty)?;
+                let init = if self.eat(&TokenKind::Assign) {
+                    Some(self.assignment_expr()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::Semi)?;
+                let _ = is_static; // globals always have static storage duration
+                prog.globals.push(Global {
+                    id: self.fresh(),
+                    name,
+                    ty,
+                    init,
+                    span: start.merge(self.prev_span()),
+                });
+            }
+        }
+        Ok(prog)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, FrontendError> {
+        let start = self.span();
+        self.expect(TokenKind::KwStruct)?;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            let fs = self.span();
+            let ty = self.parse_type()?;
+            let (fname, _) = self.ident()?;
+            let ty = self.array_suffix(ty)?;
+            self.expect(TokenKind::Semi)?;
+            fields.push(Field { name: fname, ty, span: fs.merge(self.prev_span()) });
+        }
+        self.expect(TokenKind::RBrace)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(StructDef { name, fields, span: start.merge(self.prev_span()) })
+    }
+
+    fn function(&mut self, ret: Type, name: String, start: Span) -> Result<Function, FrontendError> {
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            if self.peek() == &TokenKind::KwVoid && self.peek_at(1) == &TokenKind::RParen {
+                self.bump();
+            } else {
+                loop {
+                    let ps = self.span();
+                    let ty = self.parse_type()?;
+                    let (pname, _) = self.ident()?;
+                    let ty = self.array_suffix(ty)?.decay();
+                    params.push(Param { name: pname, ty, span: ps.merge(self.prev_span()) });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Function {
+            id: self.fresh(),
+            name,
+            ret,
+            params,
+            body,
+            span: start,
+        })
+    }
+
+    fn block(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.span();
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Stmt {
+            id: self.fresh(),
+            span: start.merge(self.prev_span()),
+            kind: StmtKind::Block(stmts),
+        })
+    }
+
+    fn declaration(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.span();
+        let storage = if self.eat(&TokenKind::KwStatic) { Storage::Static } else { Storage::Auto };
+        let ty = self.parse_type()?;
+        let (name, _) = self.ident()?;
+        let ty = self.array_suffix(ty)?;
+        let init = if self.eat(&TokenKind::Assign) { Some(self.assignment_expr()?) } else { None };
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt {
+            id: self.fresh(),
+            span: start.merge(self.prev_span()),
+            kind: StmtKind::Decl { name, ty, storage, init },
+        })
+    }
+
+    fn statement(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::LBrace => self.block(),
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt { id: self.fresh(), span: start, kind: StmtKind::Empty })
+            }
+            TokenKind::KwStatic => self.declaration(),
+            k if Self::is_type_start(k) => self.declaration(),
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(TokenKind::RParen)?;
+                let then = Box::new(self.statement()?);
+                let els = if self.eat(&TokenKind::KwElse) {
+                    Some(Box::new(self.statement()?))
+                } else {
+                    None
+                };
+                Ok(Stmt {
+                    id: self.fresh(),
+                    span: start.merge(self.prev_span()),
+                    kind: StmtKind::If { cond, then, els },
+                })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(TokenKind::RParen)?;
+                let body = Box::new(self.statement()?);
+                Ok(Stmt {
+                    id: self.fresh(),
+                    span: start.merge(self.prev_span()),
+                    kind: StmtKind::While { cond, body },
+                })
+            }
+            TokenKind::KwDo => {
+                self.bump();
+                let body = Box::new(self.statement()?);
+                self.expect(TokenKind::KwWhile)?;
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt {
+                    id: self.fresh(),
+                    span: start.merge(self.prev_span()),
+                    kind: StmtKind::DoWhile { body, cond },
+                })
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let init = if self.peek() == &TokenKind::Semi {
+                    self.bump();
+                    None
+                } else if Self::is_type_start(self.peek()) || self.peek() == &TokenKind::KwStatic {
+                    Some(Box::new(self.declaration()?))
+                } else {
+                    let e = self.expression()?;
+                    self.expect(TokenKind::Semi)?;
+                    Some(Box::new(Stmt {
+                        id: self.fresh(),
+                        span: e.span,
+                        kind: StmtKind::Expr(e),
+                    }))
+                };
+                let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expression()?) };
+                self.expect(TokenKind::Semi)?;
+                let step = if self.peek() == &TokenKind::RParen { None } else { Some(self.expression()?) };
+                self.expect(TokenKind::RParen)?;
+                let body = Box::new(self.statement()?);
+                Ok(Stmt {
+                    id: self.fresh(),
+                    span: start.merge(self.prev_span()),
+                    kind: StmtKind::For { init, cond, step, body },
+                })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi { None } else { Some(self.expression()?) };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt {
+                    id: self.fresh(),
+                    span: start.merge(self.prev_span()),
+                    kind: StmtKind::Return(value),
+                })
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt { id: self.fresh(), span: start, kind: StmtKind::Break })
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt { id: self.fresh(), span: start, kind: StmtKind::Continue })
+            }
+            _ => {
+                let e = self.expression()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt {
+                    id: self.fresh(),
+                    span: start.merge(self.prev_span()),
+                    kind: StmtKind::Expr(e),
+                })
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expression(&mut self) -> Result<Expr, FrontendError> {
+        self.assignment_expr()
+    }
+
+    fn assignment_expr(&mut self) -> Result<Expr, FrontendError> {
+        let lhs = self.conditional_expr()?;
+        let op = match self.peek() {
+            TokenKind::Assign => None,
+            TokenKind::PlusAssign => Some(BinOp::Add),
+            TokenKind::MinusAssign => Some(BinOp::Sub),
+            TokenKind::StarAssign => Some(BinOp::Mul),
+            TokenKind::SlashAssign => Some(BinOp::Div),
+            TokenKind::PercentAssign => Some(BinOp::Rem),
+            TokenKind::ShlAssign => Some(BinOp::Shl),
+            TokenKind::ShrAssign => Some(BinOp::Shr),
+            TokenKind::AmpAssign => Some(BinOp::BitAnd),
+            TokenKind::PipeAssign => Some(BinOp::BitOr),
+            TokenKind::CaretAssign => Some(BinOp::BitXor),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let value = self.assignment_expr()?;
+        let span = lhs.span.merge(value.span);
+        Ok(Expr {
+            id: self.fresh(),
+            span,
+            kind: ExprKind::Assign { op, target: Box::new(lhs), value: Box::new(value) },
+        })
+    }
+
+    fn conditional_expr(&mut self) -> Result<Expr, FrontendError> {
+        let cond = self.binary_expr(0)?;
+        if !self.eat(&TokenKind::Question) {
+            return Ok(cond);
+        }
+        let then = self.assignment_expr()?;
+        self.expect(TokenKind::Colon)?;
+        let els = self.conditional_expr()?;
+        let span = cond.span.merge(els.span);
+        Ok(Expr {
+            id: self.fresh(),
+            span,
+            kind: ExprKind::Cond { cond: Box::new(cond), then: Box::new(then), els: Box::new(els) },
+        })
+    }
+
+    /// Precedence levels, lowest first.
+    fn binop_at(&self, level: u8) -> Option<BinOpOrLogical> {
+        use BinOpOrLogical::*;
+        let k = self.peek();
+        let found = match (level, k) {
+            (0, TokenKind::PipePipe) => Logical(false),
+            (1, TokenKind::AmpAmp) => Logical(true),
+            (2, TokenKind::Pipe) => Bin(BinOp::BitOr),
+            (3, TokenKind::Caret) => Bin(BinOp::BitXor),
+            (4, TokenKind::Amp) => Bin(BinOp::BitAnd),
+            (5, TokenKind::EqEq) => Bin(BinOp::Eq),
+            (5, TokenKind::BangEq) => Bin(BinOp::Ne),
+            (6, TokenKind::Lt) => Bin(BinOp::Lt),
+            (6, TokenKind::Le) => Bin(BinOp::Le),
+            (6, TokenKind::Gt) => Bin(BinOp::Gt),
+            (6, TokenKind::Ge) => Bin(BinOp::Ge),
+            (7, TokenKind::Shl) => Bin(BinOp::Shl),
+            (7, TokenKind::Shr) => Bin(BinOp::Shr),
+            (8, TokenKind::Plus) => Bin(BinOp::Add),
+            (8, TokenKind::Minus) => Bin(BinOp::Sub),
+            (9, TokenKind::Star) => Bin(BinOp::Mul),
+            (9, TokenKind::Slash) => Bin(BinOp::Div),
+            (9, TokenKind::Percent) => Bin(BinOp::Rem),
+            _ => return None,
+        };
+        Some(found)
+    }
+
+    fn binary_expr(&mut self, level: u8) -> Result<Expr, FrontendError> {
+        if level > 9 {
+            return self.unary_expr();
+        }
+        let mut lhs = self.binary_expr(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            self.bump();
+            let rhs = self.binary_expr(level + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = match op {
+                BinOpOrLogical::Bin(b) => Expr {
+                    id: self.fresh(),
+                    span,
+                    kind: ExprKind::Binary { op: b, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                },
+                BinOpOrLogical::Logical(and) => Expr {
+                    id: self.fresh(),
+                    span,
+                    kind: ExprKind::Logical { and, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                },
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Bang => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::Star => Some(UnOp::Deref),
+            TokenKind::Amp => Some(UnOp::Addr),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary_expr()?;
+            let span = start.merge(operand.span);
+            return Ok(Expr {
+                id: self.fresh(),
+                span,
+                kind: ExprKind::Unary { op, operand: Box::new(operand) },
+            });
+        }
+        if self.eat(&TokenKind::PlusPlus) {
+            let target = self.unary_expr()?;
+            let span = start.merge(target.span);
+            return Ok(Expr {
+                id: self.fresh(),
+                span,
+                kind: ExprKind::IncDec { inc: true, pre: true, target: Box::new(target) },
+            });
+        }
+        if self.eat(&TokenKind::MinusMinus) {
+            let target = self.unary_expr()?;
+            let span = start.merge(target.span);
+            return Ok(Expr {
+                id: self.fresh(),
+                span,
+                kind: ExprKind::IncDec { inc: false, pre: true, target: Box::new(target) },
+            });
+        }
+        if self.peek() == &TokenKind::KwSizeof {
+            self.bump();
+            if self.peek() == &TokenKind::LParen && Self::is_type_start(self.peek_at(1)) {
+                self.bump();
+                let ty = self.parse_type()?;
+                let ty = self.array_suffix(ty)?;
+                self.expect(TokenKind::RParen)?;
+                let span = start.merge(self.prev_span());
+                return Ok(Expr { id: self.fresh(), span, kind: ExprKind::SizeofType(ty) });
+            }
+            let operand = self.unary_expr()?;
+            let span = start.merge(operand.span);
+            return Ok(Expr {
+                id: self.fresh(),
+                span,
+                kind: ExprKind::SizeofExpr(Box::new(operand)),
+            });
+        }
+        // Cast: '(' type ')' unary  — MinC has no typedefs, so a type keyword
+        // after '(' is unambiguous.
+        if self.peek() == &TokenKind::LParen && Self::is_type_start(self.peek_at(1)) {
+            self.bump();
+            let ty = self.parse_type()?;
+            self.expect(TokenKind::RParen)?;
+            let value = self.unary_expr()?;
+            let span = start.merge(value.span);
+            return Ok(Expr {
+                id: self.fresh(),
+                span,
+                kind: ExprKind::Cast { to: ty, value: Box::new(value) },
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expression()?;
+                    self.expect(TokenKind::RBracket)?;
+                    let span = e.span.merge(self.prev_span());
+                    e = Expr {
+                        id: self.fresh(),
+                        span,
+                        kind: ExprKind::Index { base: Box::new(e), index: Box::new(index) },
+                    };
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                    let (field, fsp) = self.ident()?;
+                    let span = e.span.merge(fsp);
+                    e = Expr {
+                        id: self.fresh(),
+                        span,
+                        kind: ExprKind::Member { base: Box::new(e), field },
+                    };
+                }
+                TokenKind::Arrow => {
+                    self.bump();
+                    let (field, fsp) = self.ident()?;
+                    let span = e.span.merge(fsp);
+                    e = Expr {
+                        id: self.fresh(),
+                        span,
+                        kind: ExprKind::Arrow { base: Box::new(e), field },
+                    };
+                }
+                TokenKind::PlusPlus => {
+                    self.bump();
+                    let span = e.span.merge(self.prev_span());
+                    e = Expr {
+                        id: self.fresh(),
+                        span,
+                        kind: ExprKind::IncDec { inc: true, pre: false, target: Box::new(e) },
+                    };
+                }
+                TokenKind::MinusMinus => {
+                    self.bump();
+                    let span = e.span.merge(self.prev_span());
+                    e = Expr {
+                        id: self.fresh(),
+                        span,
+                        kind: ExprKind::IncDec { inc: false, pre: false, target: Box::new(e) },
+                    };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::IntLit { value, long } => {
+                self.bump();
+                Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::IntLit { value, long } })
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::FloatLit(v) })
+            }
+            TokenKind::CharLit(c) => {
+                self.bump();
+                Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::CharLit(c) })
+            }
+            TokenKind::StrLit(bytes) => {
+                self.bump();
+                Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::StrLit(bytes) })
+            }
+            TokenKind::KwLine => {
+                self.bump();
+                Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::Line })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek() == &TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.assignment_expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    let span = start.merge(self.prev_span());
+                    Ok(Expr { id: self.fresh(), span, kind: ExprKind::Call { callee: name, args } })
+                } else {
+                    Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::Var(name) })
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+enum BinOpOrLogical {
+    Bin(BinOp),
+    Logical(bool),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("int main() { return 0; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+        assert_eq!(p.functions[0].ret, Type::Int);
+    }
+
+    #[test]
+    fn parses_params_and_arrays() {
+        let p = parse("int f(int a, char* s, int v[4]) { return a; }").unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[1].ty, Type::Char.ptr_to());
+        // Array params decay to pointers.
+        assert_eq!(f.params[2].ty, Type::Int.ptr_to());
+    }
+
+    #[test]
+    fn parses_globals_and_structs() {
+        let p = parse(
+            "struct pkt { int len; char payload[16]; };\n\
+             int counter = 3;\n\
+             struct pkt g;\n\
+             int main() { return counter; }",
+        )
+        .unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[1].ty, Type::Struct("pkt".into()));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse("int main() { return 1 + 2 * 3; }").unwrap();
+        let body = &p.functions[0].body;
+        let StmtKind::Block(stmts) = &body.kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &stmts[0].kind else { panic!() };
+        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &e.kind else {
+            panic!("expected top-level add, got {:?}", e.kind)
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_casts_and_sizeof() {
+        let p = parse("int main() { long x = (long)1 * sizeof(int); return (int)x; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "int main() {\n\
+            int i;\n\
+            for (i = 0; i < 10; i++) { if (i == 5) break; else continue; }\n\
+            while (i > 0) i--;\n\
+            do { i++; } while (i < 3);\n\
+            return i;\n\
+        }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_pointer_expressions() {
+        let src = "int main() { int a[4]; int* p = &a[0]; *p = 1; p[1] = 2; return *(p + 1); }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_member_access() {
+        let src = "struct s { int x; };\nint main() { struct s v; struct s* p = &v; v.x = 1; return p->x; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_ternary_and_logical() {
+        let src = "int main() { int a = 1; return a && 0 || 1 ? a : -a; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_line_macro() {
+        let p = parse("int main() { return __LINE__; }").unwrap();
+        let StmtKind::Block(stmts) = &p.functions[0].body.kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &stmts[0].kind else { panic!() };
+        assert!(matches!(e.kind, ExprKind::Line));
+    }
+
+    #[test]
+    fn parses_static_local() {
+        let p = parse("char* f() { static char buffer[8]; return buffer; }").unwrap();
+        let StmtKind::Block(stmts) = &p.functions[0].body.kind else { panic!() };
+        assert!(matches!(
+            stmts[0].kind,
+            StmtKind::Decl { storage: Storage::Static, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse("int main() { return 0 }").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_array_size() {
+        assert!(parse("int main() { int a[0]; return 0; }").is_err());
+        assert!(parse("int main() { int a[x]; return 0; }").is_err());
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let p = parse("int main() { int x = 1 + 2; return x * x; }").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        fn walk_expr(e: &Expr, seen: &mut std::collections::HashSet<u32>) {
+            assert!(seen.insert(e.id.0), "duplicate node id {:?}", e.id);
+            match &e.kind {
+                ExprKind::Unary { operand, .. } => walk_expr(operand, seen),
+                ExprKind::Binary { lhs, rhs, .. } | ExprKind::Logical { lhs, rhs, .. } => {
+                    walk_expr(lhs, seen);
+                    walk_expr(rhs, seen);
+                }
+                ExprKind::Assign { target, value, .. } => {
+                    walk_expr(target, seen);
+                    walk_expr(value, seen);
+                }
+                ExprKind::Cond { cond, then, els } => {
+                    walk_expr(cond, seen);
+                    walk_expr(then, seen);
+                    walk_expr(els, seen);
+                }
+                ExprKind::Call { args, .. } => args.iter().for_each(|a| walk_expr(a, seen)),
+                ExprKind::Index { base, index } => {
+                    walk_expr(base, seen);
+                    walk_expr(index, seen);
+                }
+                ExprKind::Member { base, .. } | ExprKind::Arrow { base, .. } => walk_expr(base, seen),
+                ExprKind::Cast { value, .. } => walk_expr(value, seen),
+                ExprKind::IncDec { target, .. } => walk_expr(target, seen),
+                ExprKind::SizeofExpr(e) => walk_expr(e, seen),
+                _ => {}
+            }
+        }
+        fn walk_stmt(s: &Stmt, seen: &mut std::collections::HashSet<u32>) {
+            match &s.kind {
+                StmtKind::Decl { init, .. } => {
+                    if let Some(e) = init {
+                        walk_expr(e, seen);
+                    }
+                }
+                StmtKind::Expr(e) => walk_expr(e, seen),
+                StmtKind::If { cond, then, els } => {
+                    walk_expr(cond, seen);
+                    walk_stmt(then, seen);
+                    if let Some(e) = els {
+                        walk_stmt(e, seen);
+                    }
+                }
+                StmtKind::While { cond, body } => {
+                    walk_expr(cond, seen);
+                    walk_stmt(body, seen);
+                }
+                StmtKind::DoWhile { body, cond } => {
+                    walk_stmt(body, seen);
+                    walk_expr(cond, seen);
+                }
+                StmtKind::For { init, cond, step, body } => {
+                    if let Some(i) = init {
+                        walk_stmt(i, seen);
+                    }
+                    if let Some(c) = cond {
+                        walk_expr(c, seen);
+                    }
+                    if let Some(st) = step {
+                        walk_expr(st, seen);
+                    }
+                    walk_stmt(body, seen);
+                }
+                StmtKind::Return(Some(e)) => walk_expr(e, seen),
+                StmtKind::Block(stmts) => stmts.iter().for_each(|s| walk_stmt(s, seen)),
+                _ => {}
+            }
+        }
+        walk_stmt(&p.functions[0].body, &mut seen);
+        assert!(seen.len() >= 6);
+    }
+}

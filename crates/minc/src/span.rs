@@ -1,0 +1,78 @@
+//! Source positions and spans.
+
+use std::fmt;
+
+/// A half-open byte range into a source file, with the 1-based line number
+/// of its start for diagnostics and for the `__LINE__` builtin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based line number of `end` (may differ for multi-line constructs;
+    /// compiler implementations legally disagree on which one `__LINE__`
+    /// style attribution uses).
+    pub end_line: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` on a single line.
+    pub fn new(start: u32, end: u32, line: u32) -> Self {
+        Span { start, end, line, end_line: line }
+    }
+
+    /// A zero-width placeholder span.
+    pub fn dummy() -> Self {
+        Span::default()
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+            end_line: self.end_line.max(other.end_line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// Identifies an AST node; assigned densely by the parser so analyses can
+/// attach side tables (e.g. inferred types) without mutating the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5, 1);
+        let b = Span::new(7, 9, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 2);
+        assert_eq!(m.end, 9);
+        assert_eq!(m.end_line, 3);
+    }
+
+    #[test]
+    fn display_mentions_line() {
+        assert_eq!(Span::new(0, 1, 42).to_string(), "line 42");
+    }
+}

@@ -1,0 +1,303 @@
+//! Lexical tokens of MinC.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // inline variant fields are described by the variant docs
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// Integer literal value plus a flag for a `L` suffix.
+    IntLit { value: i64, long: bool },
+    /// Floating point literal.
+    FloatLit(f64),
+    /// Character literal, already decoded.
+    CharLit(u8),
+    /// String literal, already unescaped.
+    StrLit(Vec<u8>),
+    /// Identifier or keyword candidate.
+    Ident(String),
+
+    // Keywords.
+    /// `char`
+    KwChar,
+    /// `int`
+    KwInt,
+    /// `long`
+    KwLong,
+    /// `unsigned`
+    KwUnsigned,
+    /// `double`
+    KwDouble,
+    /// `void`
+    KwVoid,
+    /// `struct`
+    KwStruct,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `do`
+    KwDo,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `static`
+    KwStatic,
+    /// `sizeof`
+    KwSizeof,
+    /// `const`
+    KwConst,
+    /// The `__LINE__` builtin macro.
+    KwLine,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `%=`
+    PercentAssign,
+    /// `<<=`
+    ShlAssign,
+    /// `>>=`
+    ShrAssign,
+    /// `&=`
+    AmpAssign,
+    /// `|=`
+    PipeAssign,
+    /// `^=`
+    CaretAssign,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable name used in diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::IntLit { value, .. } => format!("integer literal `{value}`"),
+            TokenKind::FloatLit(v) => format!("float literal `{v}`"),
+            TokenKind::CharLit(c) => format!("char literal `{}`", *c as char),
+            TokenKind::StrLit(_) => "string literal".to_string(),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            KwChar => "char",
+            KwInt => "int",
+            KwLong => "long",
+            KwUnsigned => "unsigned",
+            KwDouble => "double",
+            KwVoid => "void",
+            KwStruct => "struct",
+            KwIf => "if",
+            KwElse => "else",
+            KwWhile => "while",
+            KwFor => "for",
+            KwDo => "do",
+            KwReturn => "return",
+            KwBreak => "break",
+            KwContinue => "continue",
+            KwStatic => "static",
+            KwSizeof => "sizeof",
+            KwConst => "const",
+            KwLine => "__LINE__",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Question => "?",
+            Colon => ":",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            BangEq => "!=",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            AmpAssign => "&=",
+            PipeAssign => "|=",
+            CaretAssign => "^=",
+            _ => "?",
+        }
+    }
+
+    /// Maps an identifier to its keyword kind, if it is a keyword.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "char" => TokenKind::KwChar,
+            "int" => TokenKind::KwInt,
+            "long" => TokenKind::KwLong,
+            "unsigned" => TokenKind::KwUnsigned,
+            "double" => TokenKind::KwDouble,
+            "void" => TokenKind::KwVoid,
+            "struct" => TokenKind::KwStruct,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "do" => TokenKind::KwDo,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "static" => TokenKind::KwStatic,
+            "sizeof" => TokenKind::KwSizeof,
+            "const" => TokenKind::KwConst,
+            "__LINE__" => TokenKind::KwLine,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("__LINE__"), Some(TokenKind::KwLine));
+        assert_eq!(TokenKind::keyword("whale"), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Arrow.describe(), "`->`");
+        assert_eq!(TokenKind::IntLit { value: 7, long: false }.describe(), "integer literal `7`");
+    }
+}

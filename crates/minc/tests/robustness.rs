@@ -1,0 +1,71 @@
+//! Frontend robustness: arbitrary inputs must produce errors, never
+//! panics, and diagnostics must carry usable positions.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..Default::default() })]
+
+    /// The lexer+parser never panic on arbitrary byte soup.
+    #[test]
+    fn parser_never_panics_on_garbage(input in "\\PC{0,200}") {
+        let _ = minc::parse(&input);
+    }
+
+    /// Valid-token streams that do not form programs error gracefully too.
+    #[test]
+    fn parser_never_panics_on_token_soup(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("int"), Just("char"), Just("if"), Just("while"), Just("return"),
+            Just("("), Just(")"), Just("{"), Just("}"), Just(";"), Just("+"),
+            Just("*"), Just("x"), Just("42"), Just("\"s\""), Just("->"), Just("[3]"),
+            Just("struct"), Just("sizeof"), Just("__LINE__"),
+        ], 0..64)) {
+        let src = tokens.join(" ");
+        let _ = minc::parse(&src);
+        let _ = minc::check(&src);
+    }
+}
+
+#[test]
+fn diagnostics_point_at_the_right_line() {
+    let src = "int main() {\n    int x = 1;\n    return zz;\n}";
+    let err = minc::check(src).unwrap_err();
+    assert_eq!(err.first().span.line, 3, "{err}");
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    // 300 levels of parentheses exercise parser recursion.
+    let mut expr = String::from("1");
+    for _ in 0..300 {
+        expr = format!("({expr})");
+    }
+    let src = format!("int main() {{ return {expr}; }}");
+    assert!(minc::check(&src).is_ok());
+}
+
+#[test]
+fn long_programs_parse_quickly() {
+    let mut src = String::new();
+    for i in 0..500 {
+        src.push_str(&format!("int g{i} = {i};\n"));
+    }
+    src.push_str("int main() { return g499; }");
+    let checked = minc::check(&src).unwrap();
+    assert_eq!(checked.program.globals.len(), 500);
+}
+
+#[test]
+fn error_messages_are_lowercase_and_specific() {
+    for (src, needle) in [
+        ("int main() { return 1 +; }", "expected expression"),
+        ("int main() { int int; }", "expected identifier"),
+        ("int main(void) { return sizeof(void); }", "sizeof(void)"),
+        ("struct s { int x; };\nint main() { struct s v; return v + 1; }", "cannot add"),
+    ] {
+        let err = minc::check(src).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{src}: {msg}");
+    }
+}

@@ -1,0 +1,100 @@
+//! LeakSanitizer analog (opt-in, like `ASAN_OPTIONS=detect_leaks=1`).
+//!
+//! Not part of the paper's comparison (its Table 1 covers ASan/UBSan/MSan
+//! scopes, and leaks are not undefined behavior), but real sanitizer
+//! deployments ship it, so a production-complete suite should too. It is
+//! therefore *not* wired into the Juliet/targets evaluation harnesses.
+
+use minc_vm::hooks::Hooks;
+use minc_vm::result::{Fault, SanitizerKind};
+
+/// LSan-analog hook implementation: reports still-reachable heap memory at
+/// normal exit. Crashing or sanitizer-aborted runs are not checked (real
+/// LSan behaves the same way).
+#[derive(Debug, Default)]
+pub struct Lsan;
+
+impl Lsan {
+    /// Fresh instance.
+    pub fn new() -> Self {
+        Lsan
+    }
+}
+
+impl Hooks for Lsan {
+    fn on_exit(&mut self, live_heap: &[(u64, u64)]) -> Option<Fault> {
+        if live_heap.is_empty() {
+            return None;
+        }
+        let total: u64 = live_heap.iter().map(|&(_, s)| s).sum();
+        Some(Fault::new(
+            SanitizerKind::Asan, // LSan ships inside ASan's runtime
+            "memory-leak",
+            format!(
+                "{} byte(s) in {} allocation(s) leaked; first at 0x{:x}",
+                total,
+                live_heap.len(),
+                live_heap[0].0
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_sanitized;
+    use minc_vm::{execute_with_hooks, ExitStatus, VmConfig};
+
+    fn run_lsan(src: &str) -> ExitStatus {
+        let bin = compile_sanitized(src).unwrap();
+        execute_with_hooks(&bin, b"", &VmConfig::default(), &mut Lsan::new()).status
+    }
+
+    #[test]
+    fn reports_leaked_allocation() {
+        let status =
+            run_lsan("int main() { char* p = (char*)malloc(32L); p[0] = 'x'; return 0; }");
+        match status {
+            ExitStatus::Sanitizer(f) => {
+                assert_eq!(f.category, "memory-leak");
+                assert!(f.message.contains("32 byte(s) in 1 allocation(s)"), "{f}");
+            }
+            other => panic!("expected leak report, got {other}"),
+        }
+    }
+
+    #[test]
+    fn freed_memory_is_not_a_leak() {
+        let status = run_lsan(
+            "int main() { char* p = (char*)malloc(32L); p[0] = 'x'; free(p); return 0; }",
+        );
+        assert_eq!(status, ExitStatus::Code(0));
+    }
+
+    #[test]
+    fn exit_builtin_is_also_checked() {
+        let status = run_lsan("int main() { malloc(8L); exit(0); return 0; }");
+        assert!(matches!(status, ExitStatus::Sanitizer(f) if f.category == "memory-leak"));
+    }
+
+    #[test]
+    fn crashes_skip_the_leak_check() {
+        let status = run_lsan(
+            "int main() { char* p = (char*)malloc(8L); int* q = 0; int d = *q; return d; }",
+        );
+        // The null deref dominates; no leak report on crashed runs.
+        assert!(!matches!(&status, ExitStatus::Sanitizer(f) if f.category == "memory-leak"), "{status}");
+    }
+
+    #[test]
+    fn multiple_leaks_are_summed() {
+        let status = run_lsan("int main() { malloc(8L); malloc(24L); return 0; }");
+        match status {
+            ExitStatus::Sanitizer(f) => {
+                assert!(f.message.contains("2 allocation(s)"), "{f}");
+            }
+            other => panic!("{other}"),
+        }
+    }
+}

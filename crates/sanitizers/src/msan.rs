@@ -1,0 +1,161 @@
+//! MemorySanitizer analog.
+//!
+//! Scope (paper Table 1): use of uninitialized memory. Like real MSan —
+//! and this matters for the paper's comparison — it reports only when an
+//! uninitialized value *determines* execution: a branch condition, a
+//! memory address, or a divisor. Copying, storing, or printing an
+//! uninitialized value is deliberately not reported (real MSan suppresses
+//! these paths to avoid false positives; the paper's exiv2 example is
+//! exactly such a miss).
+
+use crate::shadow::Shadow;
+use minc_vm::hooks::{FreeDisposition, Hooks, Loc, PoisonUse};
+use minc_vm::result::{Fault, SanitizerKind};
+
+/// MSan-analog hook implementation.
+#[derive(Debug, Default)]
+pub struct Msan {
+    poisoned: Shadow<()>,
+}
+
+impl Msan {
+    /// Fresh instance.
+    pub fn new() -> Self {
+        Msan::default()
+    }
+}
+
+impl Hooks for Msan {
+    fn track_poison(&self) -> bool {
+        true
+    }
+
+    fn on_frame_enter(&mut self, _lo: u64, _hi: u64, slots: &[(u64, u64)]) {
+        for &(addr, size) in slots {
+            self.poisoned.mark(addr, size, ());
+        }
+    }
+
+    fn on_frame_exit(&mut self, lo: u64, hi: u64) {
+        self.poisoned.clear(lo, hi - lo);
+    }
+
+    fn on_malloc(&mut self, addr: u64, size: u64) {
+        self.poisoned.mark(addr, size, ());
+    }
+
+    fn on_free(&mut self, addr: u64, size: u64, _loc: Loc) -> Result<FreeDisposition, Fault> {
+        self.poisoned.mark(addr, size, ());
+        Ok(FreeDisposition::Reuse)
+    }
+
+    fn load_poison(&mut self, addr: u64, width: u64) -> bool {
+        self.poisoned.first_marked(addr, width).is_some()
+    }
+
+    fn store_poison(&mut self, addr: u64, width: u64, poisoned: bool) {
+        if poisoned {
+            self.poisoned.mark(addr, width, ());
+        } else {
+            self.poisoned.clear(addr, width);
+        }
+    }
+
+    fn on_poison_use(&mut self, use_: PoisonUse, _loc: Loc) -> Option<Fault> {
+        let what = match use_ {
+            PoisonUse::Branch => "branch on uninitialized value",
+            PoisonUse::Address => "uninitialized value used as address",
+            PoisonUse::Divisor => "uninitialized divisor",
+        };
+        Some(Fault::new(SanitizerKind::Msan, "use-of-uninitialized-value", what))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::run_sanitized;
+    use minc_vm::result::{ExitStatus, SanitizerKind};
+
+    fn msan_category(src: &str) -> Option<String> {
+        match run_sanitized(src, b"", SanitizerKind::Msan).status {
+            ExitStatus::Sanitizer(f) => Some(f.category),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn detects_branch_on_uninitialized_local() {
+        let src = r#"
+            int main() {
+                int u;
+                if (u > 3) { printf("big\n"); } else { printf("small\n"); }
+                return 0;
+            }
+        "#;
+        assert_eq!(msan_category(src).as_deref(), Some("use-of-uninitialized-value"));
+    }
+
+    #[test]
+    fn detects_branch_on_uninitialized_heap() {
+        let src = r#"
+            int main() {
+                int* p = (int*)malloc(8L);
+                if (p[1] != 0) { printf("x\n"); }
+                free(p);
+                return 0;
+            }
+        "#;
+        assert_eq!(msan_category(src).as_deref(), Some("use-of-uninitialized-value"));
+    }
+
+    #[test]
+    fn does_not_report_printing_uninitialized_value() {
+        // The paper's exiv2 example shape: the uninitialized value is only
+        // printed, so MSan stays silent (and CompDiff catches it instead).
+        let src = "int main() { int u; printf(\"%d\\n\", u); return 0; }";
+        assert_eq!(msan_category(src), None);
+    }
+
+    #[test]
+    fn initialized_paths_are_clean() {
+        let src = r#"
+            int main() {
+                int v = 4;
+                int* p = (int*)malloc(8L);
+                p[0] = v;
+                if (p[0] > 3) { printf("ok\n"); }
+                free(p);
+                return 0;
+            }
+        "#;
+        assert_eq!(msan_category(src), None);
+    }
+
+    #[test]
+    fn propagates_through_arithmetic_and_copies() {
+        let src = r#"
+            int main() {
+                int u;
+                int v = u + 1;
+                int w = v * 2;
+                if (w == 12345) { printf("hit\n"); }
+                return 0;
+            }
+        "#;
+        assert_eq!(msan_category(src).as_deref(), Some("use-of-uninitialized-value"));
+    }
+
+    #[test]
+    fn input_initializes_memory() {
+        let src = r#"
+            int main() {
+                char buf[4];
+                read_input(buf, 4L);
+                if (buf[0] == 'a') { printf("a!\n"); }
+                return 0;
+            }
+        "#;
+        let r = run_sanitized(src, b"abcd", SanitizerKind::Msan);
+        assert_eq!(r.status, ExitStatus::Code(0), "{:?}", r.status);
+    }
+}

@@ -1,0 +1,80 @@
+//! Byte-granular shadow memory shared by the sanitizer analogs.
+
+use std::collections::HashMap;
+
+/// A sparse map from address to a shadow byte. Absent addresses carry the
+/// default state (addressable / initialized).
+#[derive(Debug, Clone)]
+pub struct Shadow<S: Copy + PartialEq> {
+    map: HashMap<u64, S>,
+}
+
+impl<S: Copy + PartialEq> Default for Shadow<S> {
+    fn default() -> Self {
+        Shadow::new()
+    }
+}
+
+impl<S: Copy + PartialEq> Shadow<S> {
+    /// Empty shadow.
+    pub fn new() -> Self {
+        Shadow { map: HashMap::new() }
+    }
+
+    /// Marks `[addr, addr+len)` with `state`.
+    pub fn mark(&mut self, addr: u64, len: u64, state: S) {
+        for i in 0..len {
+            self.map.insert(addr.wrapping_add(i), state);
+        }
+    }
+
+    /// Clears `[addr, addr+len)` back to the default state.
+    pub fn clear(&mut self, addr: u64, len: u64) {
+        for i in 0..len {
+            self.map.remove(&addr.wrapping_add(i));
+        }
+    }
+
+    /// The state of one byte, if marked.
+    pub fn get(&self, addr: u64) -> Option<S> {
+        self.map.get(&addr).copied()
+    }
+
+    /// First marked byte in `[addr, addr+len)`, with its state.
+    pub fn first_marked(&self, addr: u64, len: u64) -> Option<(u64, S)> {
+        (0..len).find_map(|i| {
+            let a = addr.wrapping_add(i);
+            self.map.get(&a).map(|s| (a, *s))
+        })
+    }
+
+    /// Number of marked bytes (for tests).
+    pub fn marked_len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_query_clear() {
+        let mut s: Shadow<u8> = Shadow::new();
+        s.mark(100, 4, 7);
+        assert_eq!(s.get(100), Some(7));
+        assert_eq!(s.get(103), Some(7));
+        assert_eq!(s.get(104), None);
+        assert_eq!(s.first_marked(98, 8), Some((100, 7)));
+        s.clear(100, 2);
+        assert_eq!(s.get(100), None);
+        assert_eq!(s.get(102), Some(7));
+        assert_eq!(s.marked_len(), 2);
+    }
+
+    #[test]
+    fn first_marked_none_when_clean() {
+        let s: Shadow<u8> = Shadow::new();
+        assert_eq!(s.first_marked(0, 64), None);
+    }
+}

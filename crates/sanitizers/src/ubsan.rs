@@ -1,0 +1,186 @@
+//! UndefinedBehaviorSanitizer analog.
+//!
+//! Scope (paper Table 1): miscellaneous UBs with cheap local checks —
+//! signed integer overflow, division by zero, `INT_MIN / -1`, out-of-range
+//! shifts, null dereference. UBSan checks the *operation*, so it fires even
+//! when the erroneous value never reaches the output (where CompDiff would
+//! miss it) — and conversely it cannot see layout- or order-dependent bugs.
+
+use minc_compile::ir::{BinKind, IrType};
+use minc_vm::hooks::{Hooks, Loc};
+use minc_vm::result::{Fault, SanitizerKind};
+
+/// UBSan-analog hook implementation.
+#[derive(Debug, Default)]
+pub struct Ubsan;
+
+impl Ubsan {
+    /// Fresh instance.
+    pub fn new() -> Self {
+        Ubsan
+    }
+
+    fn fault(category: &str, message: String) -> Option<Fault> {
+        Some(Fault::new(SanitizerKind::Ubsan, category, message))
+    }
+}
+
+impl Hooks for Ubsan {
+    fn check_bin(
+        &mut self,
+        op: BinKind,
+        ty: IrType,
+        a: u64,
+        b: u64,
+        ub_signed: bool,
+        _loc: Loc,
+    ) -> Option<Fault> {
+        use BinKind::*;
+        let narrow = ty == IrType::I32;
+        let (sa, sb) = if narrow {
+            (a as u32 as i32 as i64, b as u32 as i32 as i64)
+        } else {
+            (a as i64, b as i64)
+        };
+        match op {
+            Add | Sub | Mul if ub_signed => {
+                let wide = match op {
+                    Add => (sa as i128) + (sb as i128),
+                    Sub => (sa as i128) - (sb as i128),
+                    Mul => (sa as i128) * (sb as i128),
+                    _ => unreachable!(),
+                };
+                let (lo, hi) = if narrow {
+                    (i32::MIN as i128, i32::MAX as i128)
+                } else {
+                    (i64::MIN as i128, i64::MAX as i128)
+                };
+                if wide < lo || wide > hi {
+                    return Self::fault(
+                        "signed-integer-overflow",
+                        format!("{sa} {op:?} {sb} overflows"),
+                    );
+                }
+                None
+            }
+            DivS | RemS => {
+                if sb == 0 {
+                    return Self::fault("integer-divide-by-zero", format!("{sa} / 0"));
+                }
+                let min = if narrow { i32::MIN as i64 } else { i64::MIN };
+                if sa == min && sb == -1 {
+                    return Self::fault(
+                        "signed-integer-overflow",
+                        "division overflow MIN / -1".to_string(),
+                    );
+                }
+                None
+            }
+            DivU | RemU => {
+                let ub_ = if narrow { b as u32 as u64 } else { b };
+                if ub_ == 0 {
+                    return Self::fault("integer-divide-by-zero", "unsigned division by zero".into());
+                }
+                None
+            }
+            Shl | ShrS | ShrU => {
+                let width: i64 = if narrow { 32 } else { 64 };
+                if sb < 0 || sb >= width {
+                    return Self::fault(
+                        "shift-out-of-bounds",
+                        format!("shift amount {sb} out of range for {width}-bit operand"),
+                    );
+                }
+                if op == Shl && ub_signed && sa >= 0 {
+                    // C: shifting into/past the sign bit is UB for signed.
+                    let wide = (sa as i128) << sb;
+                    let hi = if narrow { i32::MAX as i128 } else { i64::MAX as i128 };
+                    if wide > hi {
+                        return Self::fault(
+                            "shift-out-of-bounds",
+                            format!("{sa} << {sb} overflows signed type"),
+                        );
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn check_load(&mut self, addr: u64, _width: u64, _loc: Loc) -> Option<Fault> {
+        if addr < 4096 {
+            return Self::fault("null-dereference", format!("load from 0x{addr:x}"));
+        }
+        None
+    }
+
+    fn check_store(&mut self, addr: u64, _width: u64, _loc: Loc) -> Option<Fault> {
+        if addr < 4096 {
+            return Self::fault("null-dereference", format!("store to 0x{addr:x}"));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::run_sanitized;
+    use minc_vm::result::{ExitStatus, SanitizerKind};
+
+    fn ubsan_category(src: &str) -> Option<String> {
+        match run_sanitized(src, b"", SanitizerKind::Ubsan).status {
+            ExitStatus::Sanitizer(f) => Some(f.category),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn detects_signed_overflow() {
+        let src = r#"
+            int main() {
+                int a = 2147483647 - (int)input_size();
+                int b = a + 1;
+                printf("%d\n", b);
+                return 0;
+            }
+        "#;
+        assert_eq!(ubsan_category(src).as_deref(), Some("signed-integer-overflow"));
+    }
+
+    #[test]
+    fn detects_divide_by_zero() {
+        let src = "int main() { int z = (int)input_size(); return 5 / z; }";
+        assert_eq!(ubsan_category(src).as_deref(), Some("integer-divide-by-zero"));
+    }
+
+    #[test]
+    fn detects_oversized_shift() {
+        let src = "int main() { int s = 40 + (int)input_size(); return 1 << s; }";
+        assert_eq!(ubsan_category(src).as_deref(), Some("shift-out-of-bounds"));
+    }
+
+    #[test]
+    fn detects_null_dereference() {
+        let src = "int main() { int* p = 0; return *p; }";
+        assert_eq!(ubsan_category(src).as_deref(), Some("null-dereference"));
+    }
+
+    #[test]
+    fn unsigned_wrap_is_defined_and_clean() {
+        let src = r#"
+            int main() {
+                unsigned u = 4000000000u;
+                printf("%u\n", u + u);
+                return 0;
+            }
+        "#;
+        assert_eq!(ubsan_category(src), None);
+    }
+
+    #[test]
+    fn misses_memory_and_uninit_like_real_ubsan() {
+        let uninit = "int main() { int u; printf(\"%d\\n\", u); return 0; }";
+        assert_eq!(ubsan_category(uninit), None);
+    }
+}

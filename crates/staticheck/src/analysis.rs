@@ -1,0 +1,847 @@
+//! The shared micro abstract interpreter behind the three analyzer
+//! analogs.
+//!
+//! Deliberately *intraprocedural* and heuristic — that is the point: the
+//! paper's Table 3 shows static tools with partial recall and
+//! non-negligible false positives, and both properties come from exactly
+//! the limits modeled here (no interprocedural reasoning, shallow guard
+//! recognition, may-analysis noise).
+
+use crate::findings::{Defect, Finding, Tool};
+use minc::ast::*;
+use minc::sema::{is_lvalue, Builtin, CallTarget};
+use minc::types::Type;
+use minc::CheckedProgram;
+use std::collections::HashMap;
+
+/// How a tool treats dereferences of unchecked `malloc` results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MallocDerefPolicy {
+    /// Never report (cppcheck-sim).
+    Never,
+    /// Report only if no branch at all intervenes (coverity-sim).
+    IfUnguarded,
+    /// Always report unless a literal `if (p == 0)` guard is seen
+    /// (infer-sim — noisy).
+    UnlessLiteralCheck,
+}
+
+/// Behavioural profile of one analyzer.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// The tool identity stamped on findings.
+    pub tool: Tool,
+    /// Report variables that are only *maybe* uninitialized (merge of an
+    /// initializing and a non-initializing path).
+    pub report_may_uninit: bool,
+    /// Only report uninitialized uses when no branch was seen before the
+    /// use (very conservative).
+    pub straightline_uninit_only: bool,
+    /// Report unknown/tainted indices into fixed arrays when unguarded.
+    pub taint_oob: bool,
+    /// Report signed arithmetic on tainted values that feeds sizes/indices.
+    pub taint_overflow: bool,
+    /// Report division by tainted/unknown values when unguarded.
+    pub taint_div: bool,
+    /// Policy for unchecked malloc dereferences.
+    pub malloc_deref: MallocDerefPolicy,
+    /// Report use-after-free / double-free on *maybe*-freed paths.
+    pub may_free_issues: bool,
+    /// Check printf format-string arity.
+    pub fmt_checks: bool,
+    /// Check suspicious API argument patterns.
+    pub api_checks: bool,
+    /// Check shift amounts against the operand width.
+    pub shift_checks: bool,
+    /// Check that value-returning functions return on every path.
+    pub return_checks: bool,
+}
+
+impl Profile {
+    /// The Coverity analog profile.
+    pub fn coverity() -> Profile {
+        Profile {
+            tool: Tool::CoveritySim,
+            report_may_uninit: false,
+            straightline_uninit_only: false,
+            taint_oob: true,
+            taint_overflow: true,
+            taint_div: true,
+            malloc_deref: MallocDerefPolicy::IfUnguarded,
+            may_free_issues: true,
+            fmt_checks: true,
+            api_checks: true,
+            shift_checks: true,
+            return_checks: true,
+        }
+    }
+
+    /// The Cppcheck analog profile.
+    pub fn cppcheck() -> Profile {
+        Profile {
+            tool: Tool::CppcheckSim,
+            report_may_uninit: false,
+            straightline_uninit_only: true,
+            taint_oob: false,
+            taint_overflow: false,
+            taint_div: false,
+            malloc_deref: MallocDerefPolicy::Never,
+            may_free_issues: false,
+            fmt_checks: true,
+            api_checks: true,
+            shift_checks: false,
+            return_checks: false,
+        }
+    }
+
+    /// The Infer analog profile.
+    pub fn infer() -> Profile {
+        Profile {
+            tool: Tool::InferSim,
+            report_may_uninit: true,
+            straightline_uninit_only: false,
+            taint_oob: false,
+            taint_overflow: true,
+            taint_div: false,
+            malloc_deref: MallocDerefPolicy::UnlessLiteralCheck,
+            may_free_issues: true,
+            fmt_checks: false,
+            api_checks: false,
+            shift_checks: false,
+            return_checks: false,
+        }
+    }
+}
+
+/// Runs the analyzer over a checked program.
+pub fn analyze(checked: &CheckedProgram, profile: &Profile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &checked.program.functions {
+        if profile.return_checks && f.ret != Type::Void && !always_returns(&f.body) {
+            findings.push(Finding::new(
+                profile.tool,
+                Defect::MissingReturn,
+                f.span,
+                format!("`{}` can fall off the end without returning a value", f.name),
+            ));
+        }
+        let mut a = Analyzer {
+            checked,
+            profile,
+            findings: &mut findings,
+            vars: vec![HashMap::new()],
+            branch_seen: false,
+            guard_depth: 0,
+        };
+        for p in &f.params {
+            a.declare(&p.name, VarState::param(&p.ty));
+        }
+        a.stmt(&f.body);
+    }
+    findings
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    No,
+    Maybe,
+    Yes,
+}
+
+impl Tri {
+    fn merge(a: Tri, b: Tri) -> Tri {
+        if a == b {
+            a
+        } else {
+            Tri::Maybe
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct VarState {
+    init: Tri,
+    cst: Option<i64>,
+    /// Declared element count for fixed arrays.
+    array_len: Option<u64>,
+    /// Heap pointer lifecycle.
+    freed: Tri,
+    is_heap: bool,
+    null_checked: bool,
+    from_malloc: bool,
+    /// Derived from external input (taint).
+    tainted: bool,
+    is_ptr: bool,
+}
+
+impl VarState {
+    fn uninit(ty: &Type) -> VarState {
+        VarState {
+            init: if matches!(ty, Type::Array(..) | Type::Struct(_)) { Tri::Yes } else { Tri::No },
+            cst: None,
+            array_len: match ty {
+                Type::Array(_, n) => Some(*n),
+                _ => None,
+            },
+            freed: Tri::No,
+            is_heap: false,
+            null_checked: false,
+            from_malloc: false,
+            tainted: false,
+            is_ptr: ty.is_pointer(),
+        }
+    }
+
+    fn param(ty: &Type) -> VarState {
+        let mut v = VarState::uninit(ty);
+        v.init = Tri::Yes;
+        v.tainted = true; // parameters are attacker-influenced by default
+        v
+    }
+
+    fn merge(a: &VarState, b: &VarState) -> VarState {
+        VarState {
+            init: Tri::merge(a.init, b.init),
+            cst: if a.cst == b.cst { a.cst } else { None },
+            array_len: a.array_len,
+            freed: Tri::merge(a.freed, b.freed),
+            is_heap: a.is_heap || b.is_heap,
+            null_checked: a.null_checked && b.null_checked,
+            from_malloc: a.from_malloc || b.from_malloc,
+            tainted: a.tainted || b.tainted,
+            is_ptr: a.is_ptr,
+        }
+    }
+}
+
+/// Abstract value of an expression.
+#[derive(Debug, Clone, Default)]
+struct AVal {
+    cst: Option<i64>,
+    tainted: bool,
+    /// Name of the variable this value flows directly from (for pointer
+    /// lifecycle checks).
+    var: Option<String>,
+    from_malloc: bool,
+}
+
+struct Analyzer<'a> {
+    checked: &'a CheckedProgram,
+    profile: &'a Profile,
+    findings: &'a mut Vec<Finding>,
+    vars: Vec<HashMap<String, VarState>>,
+    branch_seen: bool,
+    guard_depth: u32,
+}
+
+impl<'a> Analyzer<'a> {
+    fn declare(&mut self, name: &str, st: VarState) {
+        self.vars.last_mut().unwrap().insert(name.to_string(), st);
+    }
+
+    fn var(&self, name: &str) -> Option<&VarState> {
+        self.vars.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn var_mut(&mut self, name: &str) -> Option<&mut VarState> {
+        self.vars.iter_mut().rev().find_map(|s| s.get_mut(name))
+    }
+
+    fn report(&mut self, defect: Defect, span: minc::Span, msg: impl Into<String>) {
+        let f = Finding::new(self.profile.tool, defect, span, msg);
+        // One finding per (defect, line) keeps reports readable.
+        if !self
+            .findings
+            .iter()
+            .any(|g| g.defect == f.defect && g.span.line == f.span.line && g.tool == f.tool)
+        {
+            self.findings.push(f);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<HashMap<String, VarState>> {
+        self.vars.clone()
+    }
+
+    fn merge_states(&mut self, a: Vec<HashMap<String, VarState>>, b: Vec<HashMap<String, VarState>>) {
+        let mut merged = Vec::with_capacity(a.len());
+        for (sa, sb) in a.into_iter().zip(b.into_iter()) {
+            let mut out = HashMap::new();
+            for (k, va) in sa {
+                let m = match sb.get(&k) {
+                    Some(vb) => VarState::merge(&va, vb),
+                    None => va,
+                };
+                out.insert(k, m);
+            }
+            merged.push(out);
+        }
+        self.vars = merged;
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init, .. } => {
+                let mut st = VarState::uninit(ty);
+                if let Some(e) = init {
+                    let v = self.expr(e);
+                    st.init = Tri::Yes;
+                    st.cst = v.cst;
+                    st.tainted = v.tainted;
+                    st.from_malloc = v.from_malloc;
+                    st.is_heap = v.from_malloc;
+                }
+                self.declare(name, st);
+            }
+            StmtKind::Expr(e) => {
+                self.expr(e);
+            }
+            StmtKind::If { cond, then, els } => {
+                self.expr(cond);
+                self.branch_seen = true;
+                self.apply_guard(cond);
+                let base = self.snapshot();
+                self.guard_depth += 1;
+                self.stmt(then);
+                let after_then = self.snapshot();
+                self.vars = base.clone();
+                if let Some(e) = els {
+                    self.stmt(e);
+                }
+                let after_else = self.snapshot();
+                self.guard_depth -= 1;
+                self.merge_states(after_then, after_else);
+            }
+            StmtKind::While { cond, body } | StmtKind::DoWhile { cond, body } => {
+                self.expr(cond);
+                self.branch_seen = true;
+                let base = self.snapshot();
+                self.guard_depth += 1;
+                self.stmt(body);
+                let after = self.snapshot();
+                self.guard_depth -= 1;
+                self.merge_states(base, after);
+            }
+            StmtKind::For { init, cond, step, body } => {
+                self.vars.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                self.branch_seen = true;
+                let base = self.snapshot();
+                self.guard_depth += 1;
+                self.stmt(body);
+                if let Some(st) = step {
+                    self.expr(st);
+                }
+                let after = self.snapshot();
+                self.guard_depth -= 1;
+                self.merge_states(base, after);
+                self.vars.pop();
+            }
+            StmtKind::Return(Some(e)) => {
+                self.expr(e);
+            }
+            StmtKind::Block(stmts) => {
+                self.vars.push(HashMap::new());
+                for st in stmts {
+                    self.stmt(st);
+                }
+                self.vars.pop();
+            }
+            _ => {}
+        }
+    }
+
+    /// Recognizes `if (p == 0) ...` / `if (p != 0)` / `if (p)` / bound
+    /// guards and records null-checked-ness (shallow, by design).
+    fn apply_guard(&mut self, cond: &Expr) {
+        match &cond.kind {
+            ExprKind::Binary { op, lhs, rhs } if op.is_equality() => {
+                for side in [lhs, rhs] {
+                    if let ExprKind::Var(n) = &side.kind {
+                        if let Some(v) = self.var_mut(n) {
+                            v.null_checked = true;
+                        }
+                    }
+                }
+            }
+            ExprKind::Var(n) => {
+                if let Some(v) = self.var_mut(n) {
+                    v.null_checked = true;
+                }
+            }
+            ExprKind::Unary { op: UnOp::Not, operand } => {
+                if let ExprKind::Var(n) = &operand.kind {
+                    if let Some(v) = self.var_mut(n) {
+                        v.null_checked = true;
+                    }
+                }
+            }
+            ExprKind::Logical { lhs, rhs, .. } => {
+                self.apply_guard(lhs);
+                self.apply_guard(rhs);
+            }
+            _ => {}
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self, e: &Expr) -> AVal {
+        match &e.kind {
+            ExprKind::IntLit { value, .. } => AVal { cst: Some(*value), ..Default::default() },
+            ExprKind::CharLit(c) => AVal { cst: Some(*c as i64), ..Default::default() },
+            ExprKind::FloatLit(_) | ExprKind::StrLit(_) | ExprKind::Line => AVal::default(),
+            ExprKind::Var(name) => self.read_var(name, e),
+            ExprKind::Unary { op, operand } => {
+                if *op == UnOp::Deref {
+                    let v = self.expr(operand);
+                    self.check_pointer_use(&v, e.span, "dereference");
+                    return AVal { tainted: v.tainted, ..Default::default() };
+                }
+                if *op == UnOp::Addr {
+                    // &x: address-taken; do not count as a read.
+                    return AVal { var: var_name(operand), ..Default::default() };
+                }
+                let v = self.expr(operand);
+                AVal { cst: v.cst.map(|c| if *op == UnOp::Neg { -c } else { c }), tainted: v.tainted, ..Default::default() }
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.binary(e, *op, lhs, rhs),
+            ExprKind::Logical { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                AVal::default()
+            }
+            ExprKind::Assign { op, target, value } => {
+                let v = self.expr(value);
+                if op.is_some() {
+                    // Compound assignment reads the target too.
+                    if let ExprKind::Var(n) = &target.kind {
+                        self.read_var(n, target);
+                    }
+                } else {
+                    self.check_write_target(target);
+                }
+                if let Some(n) = var_name(target) {
+                    if let Some(st) = self.var_mut(&n) {
+                        st.init = Tri::Yes;
+                        st.cst = v.cst;
+                        st.tainted = st.tainted || v.tainted;
+                        if v.from_malloc {
+                            st.from_malloc = true;
+                            st.is_heap = true;
+                            st.freed = Tri::No;
+                            st.null_checked = false;
+                        }
+                        if v.cst == Some(0) && st.is_ptr {
+                            st.null_checked = true; // explicit NULL assignment
+                            st.freed = Tri::No;
+                        }
+                    }
+                } else {
+                    // Writing through a pointer/index: check the base.
+                    self.check_write_target(target);
+                }
+                v
+            }
+            ExprKind::IncDec { target, .. } => {
+                if let ExprKind::Var(n) = &target.kind {
+                    self.read_var(n, target);
+                    if let Some(st) = self.var_mut(n) {
+                        st.init = Tri::Yes;
+                        st.cst = st.cst.map(|c| c + 1);
+                    }
+                }
+                AVal::default()
+            }
+            ExprKind::Cond { cond, then, els } => {
+                self.expr(cond);
+                self.branch_seen = true;
+                let a = self.expr(then);
+                let b = self.expr(els);
+                AVal { tainted: a.tainted || b.tainted, ..Default::default() }
+            }
+            ExprKind::Call { args, .. } => self.call(e, args),
+            ExprKind::Index { base, index } => {
+                let b = self.expr(base);
+                let i = self.expr(index);
+                self.check_index(base, &b, &i, e.span);
+                self.check_pointer_use(&b, e.span, "index");
+                AVal { tainted: b.tainted || i.tainted, ..Default::default() }
+            }
+            ExprKind::Member { base, .. } => {
+                if !is_lvalue(base) {
+                    self.expr(base);
+                }
+                AVal::default()
+            }
+            ExprKind::Arrow { base, .. } => {
+                let b = self.expr(base);
+                self.check_pointer_use(&b, e.span, "field access");
+                AVal { tainted: b.tainted, ..Default::default() }
+            }
+            ExprKind::Cast { value, .. } => self.expr(value),
+            ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => {
+                AVal { cst: None, ..Default::default() }
+            }
+        }
+    }
+
+    fn read_var(&mut self, name: &str, e: &Expr) -> AVal {
+        let Some(st) = self.var(name).cloned() else {
+            // Global: treated as initialized, untainted.
+            return AVal { var: Some(name.to_string()), ..Default::default() };
+        };
+        let span = e.span;
+        match st.init {
+            Tri::No => {
+                let ok_to_report = !self.profile.straightline_uninit_only || !self.branch_seen;
+                if ok_to_report {
+                    self.report(
+                        Defect::Uninitialized,
+                        span,
+                        format!("`{name}` is used uninitialized"),
+                    );
+                }
+            }
+            Tri::Maybe if self.profile.report_may_uninit => {
+                self.report(
+                    Defect::Uninitialized,
+                    span,
+                    format!("`{name}` may be used uninitialized"),
+                );
+            }
+            _ => {}
+        }
+        AVal {
+            cst: st.cst,
+            tainted: st.tainted,
+            var: Some(name.to_string()),
+            from_malloc: st.from_malloc,
+        }
+    }
+
+    fn check_write_target(&mut self, target: &Expr) {
+        match &target.kind {
+            ExprKind::Index { base, index } => {
+                let b = self.expr(base);
+                let i = self.expr(index);
+                self.check_index(base, &b, &i, target.span);
+                self.check_pointer_use(&b, target.span, "write");
+            }
+            ExprKind::Unary { op: UnOp::Deref, operand } => {
+                let v = self.expr(operand);
+                self.check_pointer_use(&v, target.span, "write through pointer");
+            }
+            ExprKind::Arrow { base, .. } => {
+                let v = self.expr(base);
+                self.check_pointer_use(&v, target.span, "field write");
+            }
+            _ => {}
+        }
+    }
+
+    fn check_index(&mut self, base: &Expr, b: &AVal, i: &AVal, span: minc::Span) {
+        // Fixed-size array bounds.
+        let len = b
+            .var
+            .as_deref()
+            .and_then(|n| self.var(n))
+            .and_then(|st| st.array_len)
+            .or_else(|| match &self.checked.types.get(&base.id) {
+                Some(Type::Array(_, n)) => Some(*n),
+                _ => None,
+            });
+        if let Some(len) = len {
+            if let Some(c) = i.cst {
+                if c < 0 || c as u64 >= len {
+                    self.report(
+                        Defect::OutOfBounds,
+                        span,
+                        format!("index {c} outside array of {len} elements"),
+                    );
+                }
+            } else if self.profile.taint_oob && i.tainted && self.guard_depth == 0 {
+                self.report(
+                    Defect::OutOfBounds,
+                    span,
+                    "possibly out-of-bounds index from untrusted value".to_string(),
+                );
+            }
+        }
+    }
+
+    fn check_pointer_use(&mut self, v: &AVal, span: minc::Span, what: &str) {
+        if v.cst == Some(0) {
+            self.report(Defect::NullDeref, span, format!("{what} of null pointer"));
+            return;
+        }
+        let Some(name) = v.var.as_deref() else { return };
+        let Some(st) = self.var(name).cloned() else { return };
+        match st.freed {
+            Tri::Yes => {
+                self.report(Defect::UseAfterFree, span, format!("`{name}` used after free"));
+            }
+            Tri::Maybe if self.profile.may_free_issues => {
+                self.report(Defect::UseAfterFree, span, format!("`{name}` may be used after free"));
+            }
+            _ => {}
+        }
+        if st.from_malloc && !st.null_checked {
+            let fire = match self.profile.malloc_deref {
+                MallocDerefPolicy::Never => false,
+                MallocDerefPolicy::IfUnguarded => !self.branch_seen,
+                MallocDerefPolicy::UnlessLiteralCheck => true,
+            };
+            if fire {
+                self.report(
+                    Defect::NullDeref,
+                    span,
+                    format!("`{name}` from malloc dereferenced without null check"),
+                );
+            }
+        }
+    }
+
+    fn binary(&mut self, e: &Expr, op: BinOp, lhs: &Expr, rhs: &Expr) -> AVal {
+        let a = self.expr(lhs);
+        let b = self.expr(rhs);
+        match op {
+            BinOp::Div | BinOp::Rem => {
+                if b.cst == Some(0) {
+                    self.report(Defect::DivByZero, e.span, "division by constant zero");
+                } else if self.profile.taint_div
+                    && b.cst.is_none()
+                    && b.tainted
+                    && self.guard_depth == 0
+                {
+                    self.report(Defect::DivByZero, e.span, "possible division by zero (untrusted divisor)");
+                }
+            }
+            BinOp::Shl | BinOp::Shr if self.profile.shift_checks => {
+                let width: i64 = match self.checked.types.get(&lhs.id).map(|t| t.decay()) {
+                    Some(Type::Long) => 64,
+                    _ => 32,
+                };
+                if let Some(c) = b.cst {
+                    if c < 0 || c >= width {
+                        self.report(Defect::BadShift, e.span, format!("shift by {c} on {width}-bit value"));
+                    }
+                } else if b.tainted && self.guard_depth == 0 {
+                    self.report(Defect::BadShift, e.span, "possibly out-of-range shift amount");
+                }
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                let lt = self.checked.types.get(&lhs.id).map(|t| t.decay());
+                let signed = lt.as_ref().map(|t| t.is_signed_integer()).unwrap_or(false);
+                if self.profile.taint_overflow
+                    && signed
+                    && a.tainted
+                    && b.tainted
+                    && self.guard_depth == 0
+                {
+                    self.report(
+                        Defect::IntegerOverflow,
+                        e.span,
+                        "possible signed overflow on untrusted operands",
+                    );
+                }
+            }
+            _ => {}
+        }
+        let cst = match (a.cst, b.cst) {
+            (Some(x), Some(y)) => match op {
+                BinOp::Add => Some(x.wrapping_add(y)),
+                BinOp::Sub => Some(x.wrapping_sub(y)),
+                BinOp::Mul => Some(x.wrapping_mul(y)),
+                BinOp::Div if y != 0 => Some(x.wrapping_div(y)),
+                _ => None,
+            },
+            _ => None,
+        };
+        AVal { cst, tainted: a.tainted || b.tainted, ..Default::default() }
+    }
+
+    fn call(&mut self, e: &Expr, args: &[Expr]) -> AVal {
+        let target = self.checked.calls.get(&e.id).cloned();
+        let vals: Vec<AVal> = args.iter().map(|a| self.expr(a)).collect();
+        let Some(CallTarget::Builtin(b)) = target else {
+            // User call: arguments may initialize pointed-to memory; the
+            // result is unknown and tainted if any arg was.
+            for (arg, v) in args.iter().zip(&vals) {
+                let _ = v;
+                if let ExprKind::Unary { op: UnOp::Addr, operand } = &arg.kind {
+                    if let Some(n) = var_name(operand) {
+                        if let Some(st) = self.var_mut(&n) {
+                            st.init = Tri::Yes;
+                        }
+                    }
+                }
+            }
+            return AVal { tainted: vals.iter().any(|v| v.tainted), ..Default::default() };
+        };
+        match b {
+            Builtin::Malloc => AVal { from_malloc: true, ..Default::default() },
+            Builtin::Free => {
+                if let Some(arg) = args.first() {
+                    match &arg.kind {
+                        ExprKind::Unary { op: UnOp::Addr, .. } => {
+                            self.report(Defect::BadFree, e.span, "free of address of an object");
+                        }
+                        ExprKind::Var(n) => {
+                            let st = self.var(n).cloned();
+                            if let Some(st) = st {
+                                if st.array_len.is_some() {
+                                    self.report(Defect::BadFree, e.span, "free of a stack array");
+                                } else if st.freed == Tri::Yes {
+                                    self.report(Defect::DoubleFree, e.span, format!("`{n}` freed twice"));
+                                } else if st.freed == Tri::Maybe && self.profile.may_free_issues {
+                                    self.report(
+                                        Defect::DoubleFree,
+                                        e.span,
+                                        format!("`{n}` may be freed twice"),
+                                    );
+                                }
+                                if let Some(stm) = self.var_mut(n) {
+                                    stm.freed = Tri::Yes;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                AVal::default()
+            }
+            Builtin::Getchar | Builtin::ReadInput | Builtin::InputSize | Builtin::Atoi | Builtin::Rand => {
+                // Marks destination buffers initialized + tainted.
+                if b == Builtin::ReadInput {
+                    if let Some(arg) = args.first() {
+                        if let Some(n) = var_name(arg) {
+                            if let Some(st) = self.var_mut(&n) {
+                                st.init = Tri::Yes;
+                                st.tainted = true;
+                            }
+                        }
+                    }
+                }
+                AVal { tainted: true, ..Default::default() }
+            }
+            Builtin::Printf => {
+                if self.profile.fmt_checks {
+                    self.check_printf(e, args);
+                }
+                AVal::default()
+            }
+            Builtin::Memset => {
+                if self.profile.api_checks && args.len() == 3 {
+                    // memset(p, value, 0) with a non-zero value argument:
+                    // almost always swapped arguments (CWE-475 shape).
+                    let second_nonzero = vals[1].cst.map(|c| c != 0).unwrap_or(true);
+                    if vals[2].cst == Some(0) && second_nonzero {
+                        self.report(
+                            Defect::BadApiUsage,
+                            e.span,
+                            "memset with length 0 — arguments likely swapped",
+                        );
+                    }
+                }
+                self.mark_buffer_written(args.first());
+                AVal::default()
+            }
+            Builtin::Memcpy | Builtin::Strcpy | Builtin::Strncpy => {
+                // Constant-length overflow into fixed arrays.
+                if let (Some(dst), Some(n)) = (args.first(), vals.get(2).or(Some(&AVal::default()))) {
+                    if let Some(name) = var_name(dst) {
+                        let len = self.var(&name).and_then(|s| s.array_len);
+                        if let (Some(len), Some(c)) = (len, n.cst) {
+                            if b == Builtin::Memcpy && c as u64 > len {
+                                self.report(
+                                    Defect::OutOfBounds,
+                                    e.span,
+                                    format!("memcpy of {c} bytes into {len}-byte buffer"),
+                                );
+                            }
+                        }
+                        if b == Builtin::Strcpy {
+                            if let Some(ExprKind::StrLit(s)) = args.get(1).map(|a| &a.kind) {
+                                if let Some(len) = self.var(&name).and_then(|st| st.array_len) {
+                                    if s.len() as u64 + 1 > len {
+                                        self.report(
+                                            Defect::OutOfBounds,
+                                            e.span,
+                                            format!(
+                                                "strcpy of {}-byte literal into {len}-byte buffer",
+                                                s.len() + 1
+                                            ),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                self.mark_buffer_written(args.first());
+                AVal::default()
+            }
+            _ => AVal::default(),
+        }
+    }
+
+    fn mark_buffer_written(&mut self, arg: Option<&Expr>) {
+        if let Some(n) = arg.and_then(var_name) {
+            if let Some(st) = self.var_mut(&n) {
+                st.init = Tri::Yes;
+            }
+        }
+    }
+
+    fn check_printf(&mut self, e: &Expr, args: &[Expr]) {
+        let Some(ExprKind::StrLit(fmt)) = args.first().map(|a| &a.kind) else { return };
+        let mut needed = 0usize;
+        let mut i = 0;
+        while i < fmt.len() {
+            if fmt[i] == b'%' {
+                if fmt.get(i + 1) == Some(&b'%') {
+                    i += 2;
+                    continue;
+                }
+                needed += 1;
+            }
+            i += 1;
+        }
+        if needed != args.len() - 1 {
+            self.report(
+                Defect::FormatMismatch,
+                e.span,
+                format!("format string expects {needed} argument(s), got {}", args.len() - 1),
+            );
+        }
+    }
+}
+
+/// Conservative all-paths-return check.
+fn always_returns(s: &Stmt) -> bool {
+    match &s.kind {
+        StmtKind::Return(_) => true,
+        StmtKind::Block(stmts) => stmts.iter().any(always_returns),
+        StmtKind::If { then, els, .. } => match els {
+            Some(e) => always_returns(then) && always_returns(e),
+            None => false,
+        },
+        _ => false,
+    }
+}
+
+fn var_name(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Var(n) => Some(n.clone()),
+        ExprKind::Cast { value, .. } => var_name(value),
+        _ => None,
+    }
+}

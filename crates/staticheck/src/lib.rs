@@ -1,0 +1,260 @@
+//! # staticheck — static analyzer analogs for the Juliet comparison
+//!
+//! The CompDiff paper (Table 3) compares against three widely used static
+//! C/C++ analyzers: Coverity, Cppcheck, and Infer. Those tools are
+//! proprietary or impractical to run against MinC, so this crate provides
+//! behavioural analogs with the characteristics the paper measures:
+//!
+//! * **coverity-sim** — value-range/taint heuristics; decent recall on
+//!   arithmetic classes, non-negligible false positives;
+//! * **cppcheck-sim** — conservative syntactic checks; few false
+//!   positives, low recall, strong on API-usage patterns;
+//! * **infer-sim** — memory-shape (malloc/free/null) may-analysis; high
+//!   recall on pointer classes, the noisiest of the three.
+//!
+//! All three are deliberately intraprocedural — the single most important
+//! reason real static tools miss bugs that dynamic tools catch.
+//!
+//! ```
+//! let checked = minc::check(
+//!     "int main() { int a[4]; a[9] = 1; return 0; }",
+//! ).unwrap();
+//! let findings = staticheck::run_tool(&checked, staticheck::Tool::CppcheckSim);
+//! assert!(findings.iter().any(|f| f.defect == staticheck::Defect::OutOfBounds));
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod analysis;
+pub mod findings;
+
+pub use analysis::{analyze, MallocDerefPolicy, Profile};
+pub use findings::{Defect, Finding, Tool};
+
+use minc::CheckedProgram;
+
+/// Runs one analyzer analog over a checked program.
+pub fn run_tool(checked: &CheckedProgram, tool: Tool) -> Vec<Finding> {
+    let profile = match tool {
+        Tool::CoveritySim => Profile::coverity(),
+        Tool::CppcheckSim => Profile::cppcheck(),
+        Tool::InferSim => Profile::infer(),
+    };
+    analyze(checked, &profile)
+}
+
+/// Runs all three analyzers.
+pub fn run_all(checked: &CheckedProgram) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for tool in [Tool::CoveritySim, Tool::CppcheckSim, Tool::InferSim] {
+        out.extend(run_tool(checked, tool));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_for(src: &str, tool: Tool) -> Vec<Finding> {
+        let checked = minc::check(src).unwrap();
+        run_tool(&checked, tool)
+    }
+
+    fn has(findings: &[Finding], defect: Defect) -> bool {
+        findings.iter().any(|f| f.defect == defect)
+    }
+
+    #[test]
+    fn constant_oob_found_by_all() {
+        let src = "int main() { int a[4]; a[7] = 1; return a[7]; }";
+        for tool in [Tool::CoveritySim, Tool::CppcheckSim, Tool::InferSim] {
+            assert!(has(&findings_for(src, tool), Defect::OutOfBounds), "{tool}");
+        }
+    }
+
+    #[test]
+    fn straightline_uninit_found_by_all() {
+        let src = "int main() { int u; return u + 1; }";
+        for tool in [Tool::CoveritySim, Tool::CppcheckSim, Tool::InferSim] {
+            assert!(has(&findings_for(src, tool), Defect::Uninitialized), "{tool}");
+        }
+    }
+
+    #[test]
+    fn branchy_uninit_lost_by_cppcheck() {
+        let src = r#"
+            int main() {
+                int u;
+                if (input_size() > 3) { u = 1; }
+                return u;
+            }
+        "#;
+        assert!(!has(&findings_for(src, Tool::CppcheckSim), Defect::Uninitialized));
+        // Infer reports may-uninit.
+        assert!(has(&findings_for(src, Tool::InferSim), Defect::Uninitialized));
+    }
+
+    #[test]
+    fn infer_may_uninit_is_a_false_positive_on_full_init() {
+        // Both branches initialize; the merge is Yes, not Maybe — no FP here.
+        let both = r#"
+            int main() {
+                int u;
+                if (input_size() > 3) { u = 1; } else { u = 2; }
+                return u;
+            }
+        "#;
+        assert!(!has(&findings_for(both, Tool::InferSim), Defect::Uninitialized));
+        // Initialization through a helper is invisible intraprocedurally:
+        // a classic static-analysis false positive (on a *good* variant).
+        let helper = r#"
+            void init(int* p) { *p = 5; }
+            int main() {
+                int u;
+                init(&u);
+                if (input_size() > 100) { u = 1; }
+                return u;
+            }
+        "#;
+        // &u passed to a call marks it initialized in our model — so no FP
+        // here; the FP case is Maybe-merges, covered above.
+        assert!(!has(&findings_for(helper, Tool::InferSim), Defect::Uninitialized));
+    }
+
+    #[test]
+    fn division_by_zero_paths() {
+        let direct = "int main() { int z = 0; return 5 / z; }";
+        assert!(has(&findings_for(direct, Tool::CppcheckSim), Defect::DivByZero));
+        // Tainted divisor: only coverity-sim speculates.
+        let tainted = "int main() { int z = getchar(); return 5 / z; }";
+        assert!(has(&findings_for(tainted, Tool::CoveritySim), Defect::DivByZero));
+        assert!(!has(&findings_for(tainted, Tool::CppcheckSim), Defect::DivByZero));
+        // Guarded: coverity-sim stays quiet (guard_depth heuristic).
+        let guarded = "int main() { int z = getchar(); if (z != 0) { return 5 / z; } return 0; }";
+        assert!(!has(&findings_for(guarded, Tool::CoveritySim), Defect::DivByZero));
+    }
+
+    #[test]
+    fn use_after_free_and_double_free() {
+        let uaf = r#"
+            int main() {
+                int* p = (int*)malloc(8L);
+                p[0] = 1;
+                free(p);
+                return p[0];
+            }
+        "#;
+        assert!(has(&findings_for(uaf, Tool::InferSim), Defect::UseAfterFree));
+        assert!(has(&findings_for(uaf, Tool::CoveritySim), Defect::UseAfterFree));
+
+        let df = r#"
+            int main() {
+                int* p = (int*)malloc(8L);
+                free(p);
+                free(p);
+                return 0;
+            }
+        "#;
+        assert!(has(&findings_for(df, Tool::InferSim), Defect::DoubleFree));
+    }
+
+    #[test]
+    fn bad_free_of_stack() {
+        let src = "int main() { int x; int a[2]; free(&x); free(a); return 0; }";
+        let f = findings_for(src, Tool::CppcheckSim);
+        assert!(has(&f, Defect::BadFree));
+    }
+
+    #[test]
+    fn infer_null_deref_is_aggressive() {
+        let src = r#"
+            int main() {
+                int* p = (int*)malloc(8L);
+                p[0] = 1;
+                free(p);
+                return 0;
+            }
+        "#;
+        // No null check after malloc: infer reports, cppcheck never does.
+        assert!(has(&findings_for(src, Tool::InferSim), Defect::NullDeref));
+        assert!(!has(&findings_for(src, Tool::CppcheckSim), Defect::NullDeref));
+        // With a check, infer is satisfied.
+        let checked_src = r#"
+            int main() {
+                int* p = (int*)malloc(8L);
+                if (p == 0) { return 1; }
+                p[0] = 1;
+                free(p);
+                return 0;
+            }
+        "#;
+        assert!(!has(&findings_for(checked_src, Tool::InferSim), Defect::NullDeref));
+    }
+
+    #[test]
+    fn printf_arity_check() {
+        let src = r#"int main() { printf("%d %d\n", 1); return 0; }"#;
+        assert!(has(&findings_for(src, Tool::CppcheckSim), Defect::FormatMismatch));
+        assert!(!has(&findings_for(src, Tool::InferSim), Defect::FormatMismatch));
+    }
+
+    #[test]
+    fn memset_swapped_args() {
+        let src = "int main() { char b[8]; memset(b, 8, 0); return 0; }";
+        assert!(has(&findings_for(src, Tool::CppcheckSim), Defect::BadApiUsage));
+    }
+
+    #[test]
+    fn strcpy_literal_overflow() {
+        let src = r#"int main() { char b[4]; strcpy(b, "too long for four"); return 0; }"#;
+        assert!(has(&findings_for(src, Tool::CppcheckSim), Defect::OutOfBounds));
+    }
+
+    #[test]
+    fn coverity_tainted_index_speculation() {
+        // Unguarded tainted index: coverity-sim flags (FP-prone heuristic).
+        let src = r#"
+            int main() {
+                int a[8];
+                int i = getchar();
+                a[0] = 0;
+                return a[i];
+            }
+        "#;
+        assert!(has(&findings_for(src, Tool::CoveritySim), Defect::OutOfBounds));
+        assert!(!has(&findings_for(src, Tool::CppcheckSim), Defect::OutOfBounds));
+        // Guarded version quiets it (and is the FP test for weaker guards).
+        let guarded = r#"
+            int main() {
+                int a[8];
+                int i = getchar();
+                if (i >= 0) { if (i < 8) { return a[i]; } }
+                return 0;
+            }
+        "#;
+        assert!(!has(&findings_for(guarded, Tool::CoveritySim), Defect::OutOfBounds));
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let src = r#"
+            int sum(int* v, int n) {
+                int i;
+                int acc = 0;
+                for (i = 0; i < n; i++) { acc += v[i]; }
+                return acc;
+            }
+            int main() {
+                int a[4];
+                int i;
+                for (i = 0; i < 4; i++) { a[i] = i; }
+                printf("%d\n", sum(a, 4));
+                return 0;
+            }
+        "#;
+        let checked = minc::check(src).unwrap();
+        let all = run_all(&checked);
+        assert!(all.is_empty(), "{all:?}");
+    }
+}

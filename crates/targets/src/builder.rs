@@ -1,0 +1,174 @@
+//! Generates each target's MinC source from its [`TargetSpec`].
+//!
+//! Every target is an input-parsing program in the style of the paper's
+//! fuzzing subjects: a magic header, a command byte, an argument byte,
+//! and baseline functionality (a payload checksum), plus one dispatch arm
+//! per injected bug. Each arm is gated on the command byte, so bugs are
+//! reachable but require the fuzzer to discover the magic and command.
+
+use crate::catalog::{BugKind, InjectedBug, TargetSpec};
+use std::fmt::Write;
+
+/// A fully built target: source, ground-truth triggers, fuzzing seeds.
+#[derive(Debug, Clone)]
+pub struct Target {
+    /// The specification.
+    pub spec: TargetSpec,
+    /// Generated MinC source.
+    pub src: String,
+    /// Fuzzing seed inputs (valid header, benign command).
+    pub seeds: Vec<Vec<u8>>,
+}
+
+impl Target {
+    /// The ground-truth input that triggers `bug`.
+    pub fn trigger(&self, bug: &InjectedBug) -> Vec<u8> {
+        vec![self.spec.magic[0], self.spec.magic[1], bug.cmd, b'A']
+    }
+
+    /// Source lines (the Table 4 LoC column).
+    pub fn loc(&self) -> usize {
+        self.src.lines().count()
+    }
+}
+
+/// Builds the MinC program for a spec.
+pub fn build(spec: &TargetSpec) -> Target {
+    let mut top = String::new();
+    let mut main = String::new();
+
+    top.push_str("int SINK;\n");
+
+    // Shared helpers, emitted at most once.
+    let needs = |k: BugKind| spec.bugs.iter().any(|b| b.kind == k);
+    if needs(BugKind::EvalOrder) {
+        top.push_str(
+            "char* fmt_num(int v) {\n\
+             \x20   static char sbuf[16];\n\
+             \x20   int i = 0;\n\
+             \x20   if (v < 0) { v = -v; }\n\
+             \x20   if (v == 0) { sbuf[i] = '0'; i++; }\n\
+             \x20   while (v > 0) { sbuf[i] = (char)('0' + v % 10); v /= 10; i++; }\n\
+             \x20   sbuf[i] = '\\0';\n\
+             \x20   return sbuf;\n\
+             }\n",
+        );
+    }
+    if needs(BugKind::PtrCmpGlobals) {
+        top.push_str("int G_A;\nlong G_B;\n");
+    }
+    if needs(BugKind::MiscPad) {
+        top.push_str("struct padrec { char c; int v; };\n");
+    }
+
+    let _ = writeln!(main, "int main() {{");
+    let _ = writeln!(main, "    char buf[96];");
+    let _ = writeln!(main, "    long n = read_input(buf, 96L);");
+    let _ = writeln!(main, "    if (n < 4) {{ printf(\"usage: {} <input>\\n\"); return 1; }}", spec.name);
+    let _ = writeln!(main, "    if (buf[0] != '{}') {{ printf(\"bad magic\\n\"); return 1; }}", spec.magic[0] as char);
+    let _ = writeln!(main, "    if (buf[1] != '{}') {{ printf(\"bad magic2\\n\"); return 1; }}", spec.magic[1] as char);
+    let _ = writeln!(main, "    int cmd = (int)buf[2];");
+    let _ = writeln!(main, "    int arg = (int)buf[3];");
+    // Baseline functionality: a rolling checksum over the payload, plus a
+    // tag counter — enough structure for coverage-guided exploration.
+    let _ = writeln!(main, "    int cs = 0;");
+    let _ = writeln!(main, "    int tags = 0;");
+    let _ = writeln!(main, "    int i;");
+    let _ = writeln!(main, "    for (i = 4; i < (int)n; i++) {{");
+    let _ = writeln!(main, "        cs = cs * 31 + (int)buf[i];");
+    let _ = writeln!(main, "        if (buf[i] == ':') {{ tags++; }}");
+    let _ = writeln!(main, "    }}");
+
+    let mut first = true;
+    for bug in &spec.bugs {
+        let kw = if first { "if" } else { "else if" };
+        first = false;
+        let _ = writeln!(main, "    {kw} (cmd == {}) {{", bug.cmd);
+        main.push_str(&snippet(bug.kind));
+        let _ = writeln!(main, "    }}");
+    }
+    let _ = writeln!(main, "    else {{ printf(\"ok cmd=%d cs=%d tags=%d\\n\", cmd, cs, tags); }}");
+    let _ = writeln!(main, "    return 0;");
+    let _ = writeln!(main, "}}");
+
+    let src = format!("{top}{main}");
+    let mut seeds = vec![
+        vec![spec.magic[0], spec.magic[1], b'z', b'0'],
+        vec![spec.magic[0], spec.magic[1], b'z', b'0', b':', b'1', b':', b'2'],
+    ];
+    seeds.push(b"????".to_vec());
+    Target { spec: spec.clone(), src, seeds }
+}
+
+/// The dispatch-arm body for one bug kind. Eight-space indented.
+fn snippet(kind: BugKind) -> String {
+    use BugKind::*;
+    match kind {
+        EvalOrder => "        printf(\"who-is %s tell %s\\n\", fmt_num(arg + 11), fmt_num(arg + 22));\n"
+            .to_string(),
+        UninitPrint => "        int u;\n        printf(\"meta %d\\n\", u);\n".to_string(),
+        UninitBranch => "        int u;\n        if ((u & 1) == 1) { printf(\"odd\\n\"); } else { printf(\"even\\n\"); }\n        printf(\"bits %d\\n\", u & 255);\n"
+            .to_string(),
+        IntWiden => "        int a = (arg + 200) * 1000000;\n        int b = 37;\n        long x = (long)(a * b);\n        printf(\"x=%ld\\n\", x);\n"
+            .to_string(),
+        IntOverflowCheck => "        int off = (cs & 268435455) | 1073741824;\n        int len = 1073741824;\n        if (off + len < off) { printf(\"overflow-guard\\n\"); return 1; }\n        printf(\"sum %d\\n\", off + len);\n"
+            .to_string(),
+        MemOobStack => "        int tail = 9;\n        char lb[16];\n        int k;\n        for (k = 0; k < 16; k++) { lb[k] = 'L'; }\n        lb[24 + (arg & 3)] = 'X';\n        printf(\"t=%d\\n\", tail);\n"
+            .to_string(),
+        MemOobHeap => "        char* hp = (char*)malloc(24L);\n        int k;\n        for (k = 0; k < 24; k++) { hp[k] = 'H'; }\n        printf(\"h=%d\\n\", (int)hp[25 + (arg & 3)]);\n        free(hp);\n"
+            .to_string(),
+        MemUaf => "        char* up = (char*)malloc(16L);\n        int k;\n        for (k = 0; k < 16; k++) { up[k] = 'U'; }\n        free(up);\n        printf(\"u=%d\\n\", (int)up[9]);\n"
+            .to_string(),
+        PtrCmpGlobals => "        G_A = arg;\n        G_B = (long)arg;\n        if ((char*)&G_A < (char*)&G_B) { printf(\"a-first\\n\"); } else { printf(\"b-first\\n\"); }\n"
+            .to_string(),
+        LineMacro => "        printf(\"parse error near byte %d at line %d\\n\", arg,\n            __LINE__);\n"
+            .to_string(),
+        MiscPad => "        struct padrec pr;\n        pr.c = 'x';\n        pr.v = arg;\n        char pb[8];\n        memcpy(pb, &pr, 8L);\n        printf(\"pad %d\\n\", (int)pb[2]);\n"
+            .to_string(),
+        MiscRand => "        printf(\"r=%d\\n\", rand() % 100);\n".to_string(),
+        MiscPtrPrint => "        char* mp = (char*)malloc(8L);\n        printf(\"at %p\\n\", mp);\n        free(mp);\n"
+            .to_string(),
+        MiscAddrTrunc => "        int lv = 5;\n        printf(\"addr %d\\n\", (int)(long)&lv + lv);\n"
+            .to_string(),
+        MiscFloatPow => "        double fb = pow(1.5, (double)(arg & 7) + 9.5);\n        printf(\"f=%f\\n\", fb);\n"
+            .to_string(),
+        MiscCompilerGcc => "        int acc = 0;\n        int t;\n        for (t = 0; t < 7; t++) { acc += (t + arg) * 3; }\n        printf(\"acc=%d\\n\", acc);\n"
+            .to_string(),
+        MiscCompilerClang => "        int acc = 0;\n        int t;\n        for (t = 0; t < 5; t++) { acc += (arg + 40) / (t + 1); }\n        printf(\"acc=%d\\n\", acc);\n"
+            .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::catalog;
+
+    #[test]
+    fn all_targets_compile() {
+        for spec in catalog() {
+            let t = build(&spec);
+            minc::check(&t.src)
+                .unwrap_or_else(|e| panic!("{} does not compile: {e}\n{}", spec.name, t.src));
+        }
+    }
+
+    #[test]
+    fn loc_is_plausible() {
+        for spec in catalog() {
+            let t = build(&spec);
+            assert!(t.loc() >= 20, "{} too small: {}", spec.name, t.loc());
+        }
+    }
+
+    #[test]
+    fn triggers_reach_their_bug_arm() {
+        // The trigger's first three bytes select magic + cmd.
+        let spec = &catalog()[0];
+        let t = build(spec);
+        let b = &spec.bugs[0];
+        let trig = t.trigger(b);
+        assert_eq!(&trig[..2], &spec.magic);
+        assert_eq!(trig[2], b.cmd);
+    }
+}

@@ -1,0 +1,359 @@
+//! The 23 target programs and their 78 injected bugs.
+//!
+//! Mirrors the paper's Table 4 (projects, input types, versions) and
+//! Table 5 (bug inventory by root cause: EvalOrder 2, UninitMem 27,
+//! IntError 8, MemError 13, PointerCmp 1, LINE 6, Misc 21 = 78 reported;
+//! 65 confirmed; 52 fixed). Each bug carries ground truth: the input that
+//! triggers it and which sanitizer (if any) can catch it in principle —
+//! the basis of Table 6's overlap measurement.
+
+use minc_vm::SanitizerKind;
+use serde::Serialize;
+use std::fmt;
+
+/// Root-cause categories (the columns of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum Category {
+    /// Conflicting side effects across call arguments.
+    EvalOrder,
+    /// Use of uninitialized memory.
+    UninitMem,
+    /// Integer overflow/underflow instability.
+    IntError,
+    /// Buffer overflow / use-after-free style corruption.
+    MemError,
+    /// Relational comparison of pointers to different objects.
+    PointerCmp,
+    /// Implementation-defined `__LINE__` attribution.
+    Line,
+    /// Everything else: seeded compiler miscompilations, float
+    /// imprecision, implementation-defined `rand()`, printed addresses,
+    /// struct padding bytes.
+    Misc,
+}
+
+impl Category {
+    /// Table 5 column order.
+    pub const ALL: [Category; 7] = [
+        Category::EvalOrder,
+        Category::UninitMem,
+        Category::IntError,
+        Category::MemError,
+        Category::PointerCmp,
+        Category::Line,
+        Category::Misc,
+    ];
+
+    /// Table 5 header label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::EvalOrder => "EvalOrder",
+            Category::UninitMem => "UninitMem",
+            Category::IntError => "IntError",
+            Category::MemError => "MemError",
+            Category::PointerCmp => "PointerCmp",
+            Category::Line => "LINE",
+            Category::Misc => "Misc.",
+        }
+    }
+
+    /// Paper Table 5 reported counts.
+    pub fn paper_reported(self) -> usize {
+        match self {
+            Category::EvalOrder => 2,
+            Category::UninitMem => 27,
+            Category::IntError => 8,
+            Category::MemError => 13,
+            Category::PointerCmp => 1,
+            Category::Line => 6,
+            Category::Misc => 21,
+        }
+    }
+
+    /// Paper Table 5 confirmed counts.
+    pub fn paper_confirmed(self) -> usize {
+        match self {
+            Category::EvalOrder => 2,
+            Category::UninitMem => 19,
+            Category::IntError => 8,
+            Category::MemError => 13,
+            Category::PointerCmp => 1,
+            Category::Line => 5,
+            Category::Misc => 17,
+        }
+    }
+
+    /// Paper Table 5 fixed counts.
+    pub fn paper_fixed(self) -> usize {
+        match self {
+            Category::EvalOrder => 2,
+            Category::UninitMem => 15,
+            Category::IntError => 6,
+            Category::MemError => 12,
+            Category::PointerCmp => 1,
+            Category::Line => 5,
+            Category::Misc => 9,
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The concrete code shape injected for a bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugKind {
+    /// Two calls returning the same static buffer as printf arguments.
+    EvalOrder,
+    /// Print an uninitialized local (MSan's blind spot).
+    UninitPrint,
+    /// Branch on an uninitialized value and print the branch taken (also
+    /// prints low bits, so CompDiff always sees it; MSan catches it too).
+    UninitBranch,
+    /// `(long)(a * b)` with 32-bit overflow — the widening divergence.
+    IntWiden,
+    /// `if (off + len < off)` overflow check that `-O2` deletes.
+    IntOverflowCheck,
+    /// Near out-of-bounds stack write with an observable victim.
+    MemOobStack,
+    /// Near out-of-bounds heap read of implementation-specific junk.
+    MemOobHeap,
+    /// Read of freed memory (allocator metadata).
+    MemUaf,
+    /// Relational comparison of two globals whose order differs across
+    /// implementations.
+    PtrCmpGlobals,
+    /// `__LINE__` in a multi-line statement.
+    LineMacro,
+    /// Print struct padding bytes (unspecified values).
+    MiscPad,
+    /// Print `rand()` (implementation-defined sequence).
+    MiscRand,
+    /// Print a pointer with `%p`.
+    MiscPtrPrint,
+    /// Print a pointer truncated to `int`.
+    MiscAddrTrunc,
+    /// Print `pow()` results (clang-sim -O3 uses the fast path).
+    MiscFloatPow,
+    /// Trip-count-7 multiply loop (seeded gcc-sim -O3 unroll bug).
+    MiscCompilerGcc,
+    /// Trip-count-5 divide loop (seeded clang-sim -O3 unroll bug).
+    MiscCompilerClang,
+}
+
+impl BugKind {
+    /// The Table 5 category this kind belongs to.
+    pub fn category(self) -> Category {
+        use BugKind::*;
+        match self {
+            EvalOrder => Category::EvalOrder,
+            UninitPrint | UninitBranch => Category::UninitMem,
+            IntWiden | IntOverflowCheck => Category::IntError,
+            MemOobStack | MemOobHeap | MemUaf => Category::MemError,
+            PtrCmpGlobals => Category::PointerCmp,
+            LineMacro => Category::Line,
+            MiscPad | MiscRand | MiscPtrPrint | MiscAddrTrunc | MiscFloatPow
+            | MiscCompilerGcc | MiscCompilerClang => Category::Misc,
+        }
+    }
+
+    /// Which sanitizer can catch this bug in principle (Table 6 ground
+    /// truth): ASan for memory errors, UBSan for integer errors, MSan for
+    /// branch-visible uninitialized uses; nothing for the rest.
+    pub fn sanitizer(self) -> Option<SanitizerKind> {
+        use BugKind::*;
+        match self {
+            MemOobStack | MemOobHeap | MemUaf => Some(SanitizerKind::Asan),
+            IntWiden | IntOverflowCheck => Some(SanitizerKind::Ubsan),
+            UninitBranch => Some(SanitizerKind::Msan),
+            _ => None,
+        }
+    }
+}
+
+/// One injected bug.
+#[derive(Debug, Clone)]
+pub struct InjectedBug {
+    /// Stable id, e.g. `tcpdump-evalorder-0`.
+    pub id: String,
+    /// Code shape.
+    pub kind: BugKind,
+    /// Command byte that reaches the bug (input byte 2).
+    pub cmd: u8,
+    /// Paper-status: confirmed by upstream.
+    pub confirmed: bool,
+    /// Paper-status: fixed by upstream.
+    pub fixed: bool,
+}
+
+/// One target program specification.
+#[derive(Debug, Clone)]
+pub struct TargetSpec {
+    /// Project name (Table 4).
+    pub name: &'static str,
+    /// Input type (Table 4).
+    pub input_type: &'static str,
+    /// Version (Table 4).
+    pub version: &'static str,
+    /// Two magic bytes the input must start with.
+    pub magic: [u8; 2],
+    /// The injected bugs.
+    pub bugs: Vec<InjectedBug>,
+}
+
+fn bug(name: &str, idx: usize, kind: BugKind, cmd: u8) -> InjectedBug {
+    InjectedBug {
+        id: format!("{name}-{}-{idx}", kind.category().label().to_lowercase().replace('.', "")),
+        kind,
+        cmd,
+        confirmed: false,
+        fixed: false,
+    }
+}
+
+/// Builds the full catalog: 23 targets, 78 bugs matching Table 5's
+/// category inventory, with confirmed/fixed labels assigned to match the
+/// paper's totals.
+pub fn catalog() -> Vec<TargetSpec> {
+    use BugKind::*;
+    // (name, input type, version, magic, [(kind, cmd)...])
+    let defs: Vec<(&str, &str, &str, [u8; 2], Vec<BugKind>)> = vec![
+        ("tcpdump", "Network packet", "4.99.1", *b"TC", vec![EvalOrder, EvalOrder, UninitPrint]),
+        ("wireshark", "Network packet", "3.4.5", *b"WS", vec![UninitBranch, UninitBranch, LineMacro, MiscPad, MiscPad]),
+        ("objdump", "Binary file", "2.36.1", *b"OB", vec![MiscPtrPrint, MemOobHeap, UninitBranch]),
+        ("readelf", "Binary file", "2.36.1", *b"RE", vec![PtrCmpGlobals, LineMacro, UninitBranch]),
+        ("nm-new", "Binary file", "2.36.1", *b"NM", vec![MemOobStack, UninitBranch, MiscAddrTrunc]),
+        ("sysdump", "Binary file", "2.36.1", *b"SY", vec![UninitBranch, MiscPad, MiscRand]),
+        ("openssl", "Binary file", "3.0.0", *b"OS", vec![MemUaf, IntWiden, MiscRand]),
+        ("ClamAV", "Binary file", "0.103.3", *b"CA", vec![MemOobHeap, IntOverflowCheck, UninitBranch]),
+        ("libsndfile", "Audio", "1.0.31", *b"SN", vec![MiscFloatPow, MemOobStack]),
+        ("libzip", "Compress tool", "v1.8.0", *b"ZI", vec![IntWiden, MemUaf, UninitBranch]),
+        ("brotli", "Compress tool", "v1.0.9", *b"BR", vec![MiscFloatPow, IntOverflowCheck]),
+        ("php", "PHP", "7.4.26", *b"PH", vec![LineMacro, LineMacro, UninitPrint, UninitBranch, MiscPad]),
+        ("MuJS", "JavaScript", "1.1.3", *b"MU", vec![MiscCompilerGcc, MiscCompilerGcc, MiscCompilerClang, UninitPrint]),
+        ("pdftotext", "PDF", "4.03", *b"PT", vec![UninitBranch, UninitBranch, MemOobHeap]),
+        ("pdftoppm", "PDF", "21.11.0", *b"PP", vec![MemOobStack, UninitBranch, MiscRand]),
+        ("jq", "json", "1.6", *b"JQ", vec![UninitBranch, IntWiden]),
+        ("exiv2", "Exiv2 image", "0.27.5", *b"EX", vec![UninitPrint, UninitPrint, UninitPrint, MemUaf]),
+        ("libtiff", "Tiff image", "4.3.0", *b"TI", vec![MiscRand, LineMacro, UninitBranch, MemOobHeap]),
+        ("ImageMagick", "Image", "7.1.0-23", *b"IM", vec![LineMacro, MiscFloatPow, UninitBranch, UninitBranch, MemOobStack]),
+        ("grok", "JPEG 2000", "9.7.0", *b"GR", vec![MiscFloatPow, UninitBranch, IntOverflowCheck]),
+        ("libxml2", "XML", "2.9.12", *b"XM", vec![UninitBranch, UninitBranch, MemOobHeap, MiscPad]),
+        ("curl", "URL", "7.80.0", *b"CU", vec![IntWiden, MiscAddrTrunc]),
+        ("gpac", "Video", "2.0.0", *b"GP", vec![MemUaf, UninitBranch, UninitBranch, IntOverflowCheck, MiscPad, MiscPtrPrint]),
+    ];
+
+    let mut targets: Vec<TargetSpec> = defs
+        .into_iter()
+        .map(|(name, input_type, version, magic, kinds)| {
+            let bugs = kinds
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| bug(name, i, k, b'a' + i as u8))
+                .collect();
+            TargetSpec { name, input_type, version, magic, bugs }
+        })
+        .collect();
+
+    // Assign confirmed/fixed labels per category to match the paper's
+    // Table 5 totals, deterministically (first-N within each category in
+    // catalog order).
+    for cat in Category::ALL {
+        let mut confirmed_left = cat.paper_confirmed();
+        let mut fixed_left = cat.paper_fixed();
+        for t in &mut targets {
+            for b in &mut t.bugs {
+                if b.kind.category() != cat {
+                    continue;
+                }
+                if confirmed_left > 0 {
+                    b.confirmed = true;
+                    confirmed_left -= 1;
+                }
+                if fixed_left > 0 && b.confirmed {
+                    b.fixed = true;
+                    fixed_left -= 1;
+                }
+            }
+        }
+    }
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_targets_seventy_eight_bugs() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 23);
+        let total: usize = cat.iter().map(|t| t.bugs.len()).sum();
+        assert_eq!(total, 78);
+    }
+
+    #[test]
+    fn category_inventory_matches_table5() {
+        let cat = catalog();
+        for c in Category::ALL {
+            let n: usize = cat
+                .iter()
+                .flat_map(|t| &t.bugs)
+                .filter(|b| b.kind.category() == c)
+                .count();
+            assert_eq!(n, c.paper_reported(), "{c}");
+        }
+    }
+
+    #[test]
+    fn confirmed_fixed_match_table5() {
+        let cat = catalog();
+        for c in Category::ALL {
+            let bugs: Vec<_> =
+                cat.iter().flat_map(|t| &t.bugs).filter(|b| b.kind.category() == c).collect();
+            let confirmed = bugs.iter().filter(|b| b.confirmed).count();
+            let fixed = bugs.iter().filter(|b| b.fixed).count();
+            assert_eq!(confirmed, c.paper_confirmed(), "{c} confirmed");
+            assert_eq!(fixed, c.paper_fixed(), "{c} fixed");
+        }
+        // Fixed bugs are a subset of confirmed ones.
+        assert!(cat.iter().flat_map(|t| &t.bugs).all(|b| !b.fixed || b.confirmed));
+    }
+
+    #[test]
+    fn sanitizer_ground_truth_matches_table6() {
+        // Table 6: MemError 13/13 ASan, IntError 8/8 UBSan, UninitMem 21/27
+        // MSan, everything else 0 -> 42 of 78.
+        let cat = catalog();
+        let bugs: Vec<_> = cat.iter().flat_map(|t| &t.bugs).collect();
+        let by = |k: SanitizerKind| bugs.iter().filter(|b| b.kind.sanitizer() == Some(k)).count();
+        assert_eq!(by(SanitizerKind::Asan), 13);
+        assert_eq!(by(SanitizerKind::Ubsan), 8);
+        assert_eq!(by(SanitizerKind::Msan), 21);
+        let none = bugs.iter().filter(|b| b.kind.sanitizer().is_none()).count();
+        assert_eq!(none, 78 - 42);
+    }
+
+    #[test]
+    fn bug_ids_unique_and_cmds_unique_per_target() {
+        let cat = catalog();
+        let mut ids = std::collections::HashSet::new();
+        for t in &cat {
+            let mut cmds = std::collections::HashSet::new();
+            for b in &t.bugs {
+                assert!(ids.insert(b.id.clone()), "duplicate id {}", b.id);
+                assert!(cmds.insert(b.cmd), "duplicate cmd in {}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn magic_bytes_unique() {
+        let cat = catalog();
+        let magics: std::collections::HashSet<[u8; 2]> = cat.iter().map(|t| t.magic).collect();
+        assert_eq!(magics.len(), 23);
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: detect the paper's Listing 1 with CompDiff.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use compdiff::{CompDiff, DiffConfig, Discrepancy};
+
+/// The paper's Listing 1, ported to MinC: the `offset + len < offset`
+/// overflow check only holds when signed overflow (UB) occurs, so an
+/// optimizing compiler deletes it.
+const LISTING_1: &str = r#"
+    int dump_data(int offset, int len) {
+        int size = 100;
+        if (offset + len > size || offset < 0 || len < 0) { return -1; }
+        if (offset + len < offset) { return -1; }
+        /* dump from data+offset to data+offset+len */
+        return 0;
+    }
+    int main() {
+        int r = dump_data(2147483647 - 100, 101);
+        printf("dump_data returned %d\n", r);
+        return 0;
+    }
+"#;
+
+fn main() -> Result<(), minc::FrontendError> {
+    // 1. Compile with the ten compiler implementations
+    //    ({gcc-sim, clang-sim} x {O0, O1, O2, O3, Os}).
+    let diff = CompDiff::from_source_default(LISTING_1, DiffConfig::default())?;
+    println!("compiled with: {:?}\n", diff.impls().iter().map(|i| i.to_string()).collect::<Vec<_>>());
+
+    // 2. Run every binary on the same input and cross-check outputs.
+    let outcome = diff.run_input(b"");
+
+    // 3. Any discrepancy signals unstable code.
+    println!("divergent: {}", outcome.divergent);
+    assert!(outcome.divergent, "Listing 1 contains unstable code");
+
+    let report = Discrepancy::from_outcome(&diff.impls(), &outcome, b"");
+    println!("\n{}", report.render());
+    println!("The -O0 binaries keep the overflow check (return -1); the");
+    println!("optimizing ones legally delete it (return 0) — unstable code.");
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the CompDiff reproduction workspace.
+//!
+//! This crate re-exports the public APIs of every workspace member so the
+//! top-level `examples/` and `tests/` can exercise the whole system through
+//! one import. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+
+
+#![warn(missing_docs)]
+pub use compdiff;
+pub use fuzzing;
+pub use juliet;
+pub use minc;
+pub use minc_compile;
+pub use minc_vm;
+pub use sanitizers;
+pub use staticheck;
+pub use targets;

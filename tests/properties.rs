@@ -1,0 +1,232 @@
+//! Property-based tests (proptest) for the core invariants.
+//!
+//! The headline property is *optimization soundness*: randomly generated
+//! **UB-free** MinC programs must produce byte-identical output under all
+//! ten compiler implementations. This is exactly CompDiff's zero-false-
+//! positive precondition, checked against thousands of random programs —
+//! a differential test of the compiler and VM themselves.
+
+use compdiff::{apply_filters, hash64, detected_by, OutputFilter};
+use minc_compile::{compile, CompilerImpl};
+use minc_vm::{execute, ExitStatus, VmConfig};
+use proptest::prelude::*;
+
+/// A random UB-free statement over the unsigned variables u0..u3.
+/// Unsigned arithmetic wraps (defined); divisors are forced odd; shift
+/// amounts are masked below the width.
+#[derive(Debug, Clone)]
+enum Op {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Div,
+    Rem,
+    ShlK(u8),
+    ShrK(u8),
+}
+
+#[derive(Debug, Clone)]
+enum DefinedStmt {
+    Assign { dst: u8, a: u8, b: u8, op: Op },
+    LoopAccum { dst: u8, src: u8, trips: u8 },
+    IfSwap { a: u8, b: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Div),
+        Just(Op::Rem),
+        (0u8..31).prop_map(Op::ShlK),
+        (0u8..31).prop_map(Op::ShrK),
+    ]
+}
+
+fn stmt_strategy() -> impl Strategy<Value = DefinedStmt> {
+    prop_oneof![
+        (0u8..4, 0u8..4, 0u8..4, op_strategy())
+            .prop_map(|(dst, a, b, op)| DefinedStmt::Assign { dst, a, b, op }),
+        // Trip counts 5 and 7 are excluded: they trigger the two
+        // *deliberately seeded* -O3 unroller miscompilations (the paper's
+        // RQ2 compiler bugs). `seeded_miscompilations_are_the_only_unsoundness`
+        // below pins down that those are the only soundness violations.
+        (0u8..4, 0u8..4, 1u8..9).prop_filter("seeded miscompile trips", |(_, _, t)| *t != 5 && *t != 7)
+            .prop_map(|(dst, src, trips)| DefinedStmt::LoopAccum { dst, src, trips }),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| DefinedStmt::IfSwap { a, b }),
+    ]
+}
+
+fn render_program(inits: &[u32; 4], stmts: &[DefinedStmt]) -> String {
+    let mut src = String::from("int main() {\n");
+    for (i, v) in inits.iter().enumerate() {
+        src.push_str(&format!("    unsigned u{i} = {v}u;\n"));
+    }
+    src.push_str("    int k;\n");
+    for (si, s) in stmts.iter().enumerate() {
+        match s {
+            DefinedStmt::Assign { dst, a, b, op } => {
+                let expr = match op {
+                    Op::Add => format!("u{a} + u{b}"),
+                    Op::Sub => format!("u{a} - u{b}"),
+                    Op::Mul => format!("u{a} * u{b}"),
+                    Op::And => format!("u{a} & u{b}"),
+                    Op::Or => format!("u{a} | u{b}"),
+                    Op::Xor => format!("u{a} ^ u{b}"),
+                    // `| 1` keeps the divisor non-zero: defined.
+                    Op::Div => format!("u{a} / (u{b} | 1u)"),
+                    Op::Rem => format!("u{a} % (u{b} | 1u)"),
+                    Op::ShlK(k) => format!("u{a} << {k}"),
+                    Op::ShrK(k) => format!("u{a} >> {k}"),
+                };
+                src.push_str(&format!("    u{dst} = {expr};\n"));
+            }
+            DefinedStmt::LoopAccum { dst, src: s2, trips } => {
+                src.push_str(&format!(
+                    "    for (k = 0; k < {trips}; k++) {{ u{dst} = u{dst} * 31u + u{s2} + (unsigned)k; }}\n"
+                ));
+            }
+            DefinedStmt::IfSwap { a, b } => {
+                src.push_str(&format!(
+                    "    if (u{a} > u{b}) {{ unsigned t{si} = u{a}; u{a} = u{b}; u{b} = t{si}; }}\n"
+                ));
+            }
+        }
+    }
+    src.push_str("    printf(\"%u %u %u %u\\n\", u0, u1, u2, u3);\n");
+    src.push_str("    return 0;\n}\n");
+    src
+}
+
+/// The two seeded -O3 miscompilations (gcc-sim: trip-7 multiply loops;
+/// clang-sim: trip-5 divide loops) are the *only* soundness violations:
+/// the same loops compiled at every other level agree with -O0.
+#[test]
+fn seeded_miscompilations_are_the_only_unsoundness() {
+    for (trips, body) in [(7u8, "u0 = u0 * 31u + (unsigned)k;"), (5u8, "u0 = u0 + 100u / ((unsigned)k + 1u);")] {
+        let src = format!(
+            "int main() {{\n    unsigned u0 = 3u;\n    int k;\n    for (k = 0; k < {trips}; k++) {{ {body} }}\n    printf(\"%u\\n\", u0);\n    return 0;\n}}\n"
+        );
+        let checked = minc::check(&src).unwrap();
+        let vm = VmConfig::default();
+        let reference = execute(&compile(&checked, CompilerImpl::parse("gcc-O0").unwrap()), b"", &vm);
+        let mut miscompiled = Vec::new();
+        for ci in CompilerImpl::default_set() {
+            let r = execute(&compile(&checked, ci), b"", &vm);
+            if r.stdout != reference.stdout {
+                miscompiled.push(ci.to_string());
+            }
+        }
+        // Exactly one family's -O3 is affected per seeded bug.
+        assert_eq!(miscompiled.len(), 1, "trips={trips}: {miscompiled:?}");
+        assert!(miscompiled[0].ends_with("-O3"), "{miscompiled:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    /// UB-free programs are stable: all ten implementations agree.
+    #[test]
+    fn defined_programs_never_diverge(
+        inits in proptest::array::uniform4(0u32..1_000_000),
+        stmts in proptest::collection::vec(stmt_strategy(), 1..12),
+    ) {
+        let inits = [inits[0], inits[1], inits[2], inits[3]];
+        let src = render_program(&inits, &stmts);
+        let checked = minc::check(&src)
+            .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{src}"));
+        let vm = VmConfig::default();
+        let mut outputs: Vec<(String, Vec<u8>, ExitStatus)> = Vec::new();
+        for ci in CompilerImpl::default_set() {
+            let bin = compile(&checked, ci);
+            let r = execute(&bin, b"", &vm);
+            outputs.push((ci.to_string(), r.stdout, r.status));
+        }
+        let (ref name0, ref out0, ref st0) = outputs[0];
+        for (name, out, st) in &outputs[1..] {
+            prop_assert_eq!(
+                (out, st),
+                (out0, st0),
+                "{} and {} disagree on a defined program:\n{}",
+                name0, name, src
+            );
+        }
+    }
+
+    /// Pretty-printed programs re-parse to an equivalent tree.
+    #[test]
+    fn pretty_print_round_trips(
+        inits in proptest::array::uniform4(0u32..1_000_000),
+        stmts in proptest::collection::vec(stmt_strategy(), 1..10),
+    ) {
+        let inits = [inits[0], inits[1], inits[2], inits[3]];
+        let src = render_program(&inits, &stmts);
+        let p1 = minc::parse(&src).unwrap();
+        let printed = minc::pretty::program(&p1);
+        let p2 = minc::parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        prop_assert_eq!(printed.clone(), minc::pretty::program(&p2));
+    }
+
+    /// MurmurHash3 is deterministic and single-byte changes never collide
+    /// in practice.
+    #[test]
+    fn murmur_sensitivity(data in proptest::collection::vec(any::<u8>(), 0..256), flip in any::<u8>()) {
+        prop_assert_eq!(hash64(&data), hash64(&data));
+        if !data.is_empty() {
+            let mut other = data.clone();
+            let idx = (flip as usize) % other.len();
+            other[idx] ^= 0x5a;
+            if other != data {
+                prop_assert_ne!(hash64(&data), hash64(&other));
+            }
+        }
+    }
+
+    /// Output filters are idempotent: scrubbing twice equals scrubbing once.
+    #[test]
+    fn filters_idempotent(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let filters = [
+            OutputFilter::Timestamps,
+            OutputFilter::PointerAddresses,
+            OutputFilter::LongNumbers { min_digits: 6 },
+        ];
+        let once = apply_filters(&data, &filters);
+        let twice = apply_filters(&once, &filters);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Subset detection is monotone under inclusion.
+    #[test]
+    fn subset_detection_monotone(
+        hashes in proptest::collection::vec(0u64..8, 10),
+        small_mask in 0u32..1024,
+        extra in 0u32..1024,
+    ) {
+        let big_mask = small_mask | extra;
+        if detected_by(&hashes, small_mask) {
+            prop_assert!(detected_by(&hashes, big_mask));
+        }
+    }
+
+    /// Havoc mutants respect the length bound and campaigns of the RNG are
+    /// reproducible.
+    #[test]
+    fn havoc_respects_bounds(seed in any::<u64>(), input in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut r1 = fuzzing::Rng::new(seed);
+        let mut r2 = fuzzing::Rng::new(seed);
+        let a = fuzzing::mutate::havoc(&input, &mut r1, 64);
+        let b = fuzzing::mutate::havoc(&input, &mut r2, 64);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.len() <= 64);
+        prop_assert!(!a.is_empty());
+    }
+}
