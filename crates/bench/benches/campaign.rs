@@ -1,0 +1,44 @@
+//! Campaign scaling: the same fixed workload at 1 worker vs 4 workers.
+//!
+//! On a multi-core machine 4 workers should finish the (embarrassingly
+//! parallel) job set at least 2x faster; on a single hardware thread the
+//! ratio honestly reports ~1x, so the >=2x assertion is gated on
+//! `available_parallelism() >= 4`.
+
+use campaign::CampaignConfig;
+use compdiff_bench::harness::BenchGroup;
+
+fn workload(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        workers,
+        execs_per_target: 400,
+        shards_per_target: 4,
+        target_filter: Some(
+            ["tcpdump", "MuJS", "openssl", "php"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ),
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let mut g = BenchGroup::new("campaign");
+    g.sample_size(5);
+    let one = g.bench("workers_1", || campaign::run(&workload(1)).unwrap());
+    let four = g.bench("workers_4", || campaign::run(&workload(4)).unwrap());
+    g.finish();
+
+    let speedup = one.median.as_secs_f64() / four.median.as_secs_f64();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("campaign 4-worker speedup: {speedup:.2}x on {cores} hardware threads");
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x at 4 workers on {cores} cores, got {speedup:.2}x"
+        );
+    }
+}

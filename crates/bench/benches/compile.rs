@@ -1,9 +1,8 @@
 //! Compilation pipeline throughput per optimization level (the cost of
 //! producing the k binaries, amortized once per target in CompDiff).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use compdiff_bench::harness::BenchGroup;
 use minc_compile::{compile, CompilerImpl};
-use std::hint::black_box;
 
 fn program(n_funcs: usize) -> String {
     let mut src = String::new();
@@ -21,17 +20,14 @@ fn program(n_funcs: usize) -> String {
     src
 }
 
-fn bench_compile(c: &mut Criterion) {
+fn main() {
     let src = program(12);
     let checked = minc::check(&src).unwrap();
-    let mut g = c.benchmark_group("compile");
+    let mut g = BenchGroup::new("compile");
     for name in ["gcc-O0", "gcc-O2", "clang-O3", "clang-Os"] {
         let ci = CompilerImpl::parse(name).unwrap();
-        g.bench_function(name, |b| b.iter(|| black_box(compile(&checked, ci))));
+        g.bench(name, || compile(&checked, ci));
     }
-    g.bench_function("frontend_check", |b| b.iter(|| black_box(minc::check(&src).unwrap())));
+    g.bench("frontend_check", || minc::check(&src).unwrap());
     g.finish();
 }
-
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);

@@ -2,11 +2,10 @@
 //! k-executions cost — the other face of the §5 overhead claim).
 
 use compdiff::{CompDiffAfl, DiffConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use compdiff_bench::harness::BenchGroup;
 use fuzzing::{BinaryTarget, FuzzConfig, Fuzzer, NoOracle};
 use minc_compile::{compile_source, CompilerImpl};
 use minc_vm::VmConfig;
-use std::hint::black_box;
 
 const SRC: &str = r#"
     int main() {
@@ -20,30 +19,34 @@ const SRC: &str = r#"
     }
 "#;
 
-fn bench_fuzzer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fuzzer");
+fn main() {
+    let mut g = BenchGroup::new("fuzzer");
     g.sample_size(10);
-    g.bench_function("plain_afl_2000_execs", |b| {
-        let bin = compile_source(SRC, CompilerImpl::parse("clang-O1").unwrap()).unwrap();
-        b.iter(|| {
-            let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
-            let cfg = FuzzConfig { max_execs: 2_000, seed: 1, ..Default::default() };
-            black_box(Fuzzer::new(target, NoOracle, cfg).run(&[b"seed".to_vec()]))
-        })
+    let bin = compile_source(SRC, CompilerImpl::parse("clang-O1").unwrap()).unwrap();
+    g.bench("plain_afl_2000_execs", || {
+        let target = BinaryTarget {
+            binary: &bin,
+            vm: VmConfig::default(),
+        };
+        let cfg = FuzzConfig {
+            max_execs: 2_000,
+            seed: 1,
+            ..Default::default()
+        };
+        Fuzzer::new(target, NoOracle, cfg).run(&[b"seed".to_vec()])
     });
-    g.bench_function("compdiff_afl_2000_execs", |b| {
-        b.iter(|| {
-            let afl = CompDiffAfl::from_source_default(
-                SRC,
-                FuzzConfig { max_execs: 2_000, seed: 1, ..Default::default() },
-                DiffConfig::default(),
-            )
-            .unwrap();
-            black_box(afl.run(&[b"seed".to_vec()]))
-        })
+    g.bench("compdiff_afl_2000_execs", || {
+        let afl = CompDiffAfl::from_source_default(
+            SRC,
+            FuzzConfig {
+                max_execs: 2_000,
+                seed: 1,
+                ..Default::default()
+            },
+            DiffConfig::default(),
+        )
+        .unwrap();
+        afl.run(&[b"seed".to_vec()])
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_fuzzer);
-criterion_main!(benches);

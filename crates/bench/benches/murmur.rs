@@ -3,10 +3,10 @@
 //! decision #1.
 
 use compdiff::hash64;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use compdiff_bench::harness::{BenchGroup, Throughput};
 use std::hint::black_box;
 
-fn bench_murmur(c: &mut Criterion) {
+fn main() {
     let outputs: Vec<Vec<u8>> = (0..10u8)
         .map(|i| {
             let mut v = vec![i; 4096];
@@ -15,19 +15,14 @@ fn bench_murmur(c: &mut Criterion) {
         })
         .collect();
 
-    let mut g = c.benchmark_group("output_compare");
+    let mut g = BenchGroup::new("output_compare");
     g.throughput(Throughput::Bytes((outputs.len() * 4096) as u64));
-    g.bench_function("murmur3_hash_then_compare", |b| {
-        b.iter(|| {
-            let hashes: Vec<u64> = outputs.iter().map(|o| hash64(o)).collect();
-            black_box(hashes.windows(2).all(|w| w[0] == w[1]))
-        })
+    g.bench("murmur3_hash_then_compare", || {
+        let hashes: Vec<u64> = outputs.iter().map(|o| hash64(o)).collect();
+        black_box(hashes.windows(2).all(|w| w[0] == w[1]))
     });
-    g.bench_function("full_byte_compare", |b| {
-        b.iter(|| black_box(outputs.windows(2).all(|w| w[0] == w[1])))
+    g.bench("full_byte_compare", || {
+        black_box(outputs.windows(2).all(|w| w[0] == w[1]))
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_murmur);
-criterion_main!(benches);

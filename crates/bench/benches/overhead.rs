@@ -1,7 +1,7 @@
 //! The §5 overhead claim: full-set CompDiff costs ~10x one execution;
 //! a cross-family pair costs ~2x. Measured, not assumed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use compdiff_bench::harness::BenchGroup;
 use minc_compile::{compile_many, CompilerImpl};
 use minc_vm::{execute, VmConfig};
 use std::hint::black_box;
@@ -21,10 +21,12 @@ const SRC: &str = r#"
     }
 "#;
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
     let all = CompilerImpl::default_set();
-    let pair: Vec<CompilerImpl> =
-        vec![CompilerImpl::parse("gcc-O0").unwrap(), CompilerImpl::parse("clang-Os").unwrap()];
+    let pair: Vec<CompilerImpl> = vec![
+        CompilerImpl::parse("gcc-O0").unwrap(),
+        CompilerImpl::parse("clang-Os").unwrap(),
+    ];
     let bins_all = compile_many(SRC, &all).unwrap();
     let bins_pair = compile_many(SRC, &pair).unwrap();
     let vm = VmConfig::default();
@@ -34,32 +36,21 @@ fn bench_overhead(c: &mut Criterion) {
         .iter()
         .find(|b| b.impl_id.to_string() == "clang-O2")
         .expect("clang-O2 in default set");
-    let mut g = c.benchmark_group("overhead");
+    let mut g = BenchGroup::new("overhead");
     // Two baselines: the slowest binary (gcc-O0) and a typical release
     // build (clang-O2). The paper's "10x normal execution" is relative to
     // the user's ordinary binary, i.e. the release-build baseline.
-    g.bench_function("single_binary_gcc_O0", |b| {
-        b.iter(|| black_box(execute(&bins_all[0], input, &vm)))
+    g.bench("single_binary_gcc_O0", || execute(&bins_all[0], input, &vm));
+    g.bench("single_binary_clang_O2", || execute(o2, input, &vm));
+    g.bench("compdiff_pair_2x", || {
+        for bin in &bins_pair {
+            black_box(execute(bin, input, &vm));
+        }
     });
-    g.bench_function("single_binary_clang_O2", |b| {
-        b.iter(|| black_box(execute(o2, input, &vm)))
-    });
-    g.bench_function("compdiff_pair_2x", |b| {
-        b.iter(|| {
-            for bin in &bins_pair {
-                black_box(execute(bin, input, &vm));
-            }
-        })
-    });
-    g.bench_function("compdiff_full_10x", |b| {
-        b.iter(|| {
-            for bin in &bins_all {
-                black_box(execute(bin, input, &vm));
-            }
-        })
+    g.bench("compdiff_full_10x", || {
+        for bin in &bins_all {
+            black_box(execute(bin, input, &vm));
+        }
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

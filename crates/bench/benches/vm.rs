@@ -1,11 +1,10 @@
 //! VM execution throughput (the substrate's "native speed").
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use compdiff_bench::harness::{BenchGroup, Throughput};
 use minc_compile::{compile_source, CompilerImpl};
 use minc_vm::{execute, VmConfig};
-use std::hint::black_box;
 
-fn bench_vm(c: &mut Criterion) {
+fn main() {
     let src = r#"
         int main() {
             long acc = 1;
@@ -20,12 +19,9 @@ fn bench_vm(c: &mut Criterion) {
     let vm = VmConfig::default();
     let steps = execute(&o0, b"", &vm).steps;
 
-    let mut g = c.benchmark_group("vm");
+    let mut g = BenchGroup::new("vm");
     g.throughput(Throughput::Elements(steps));
-    g.bench_function("arith_loop_O0", |b| b.iter(|| black_box(execute(&o0, b"", &vm))));
-    g.bench_function("arith_loop_O2", |b| b.iter(|| black_box(execute(&o2, b"", &vm))));
+    g.bench("arith_loop_O0", || execute(&o0, b"", &vm));
+    g.bench("arith_loop_O2", || execute(&o2, b"", &vm));
     g.finish();
 }
-
-criterion_group!(benches, bench_vm);
-criterion_main!(benches);

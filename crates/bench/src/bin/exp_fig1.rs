@@ -11,18 +11,28 @@ use minc_vm::VmConfig;
 fn main() {
     let scale = compdiff_bench::arg_f64("--scale", 0.05);
     let tests = suite(scale);
-    eprintln!("collecting hash vectors for {} Juliet tests...", tests.len());
+    eprintln!(
+        "collecting hash vectors for {} Juliet tests...",
+        tests.len()
+    );
     let vm = VmConfig::default();
     let vectors: Vec<Vec<u64>> = tests.iter().map(|t| evaluate(t, &vm).hashes).collect();
     let impls = CompilerImpl::default_set();
     let analysis = SubsetAnalysis::analyze(&vectors, &impls);
 
     println!("Figure 1: #bugs detected by each subset of compiler implementations");
-    println!("({} Juliet tests, {} detectable by the full set)\n", tests.len(), analysis.full_set_detection());
+    println!(
+        "({} Juliet tests, {} detectable by the full set)\n",
+        tests.len(),
+        analysis.full_set_detection()
+    );
     let stats = analysis.size_stats();
     let lo = stats.iter().map(|s| s.min).min().unwrap_or(0);
     let hi = stats.iter().map(|s| s.max).max().unwrap_or(1);
-    println!("{:>4}  {:>6} {:>6} {:>6}  {}", "size", "min", "median", "max", "distribution");
+    println!(
+        "{:>4}  {:>6} {:>6} {:>6}  {}",
+        "size", "min", "median", "max", "distribution"
+    );
     for s in &stats {
         println!(
             "{:>4}  {:>6} {:>6} {:>6}  {}",

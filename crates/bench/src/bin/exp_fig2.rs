@@ -14,11 +14,17 @@ fn main() {
     let analysis = SubsetAnalysis::analyze(&vectors, &impls);
 
     println!("Figure 2: #bugs detected by each subset of compiler implementations");
-    println!("(78 injected bugs; full set detects {})\n", analysis.full_set_detection());
+    println!(
+        "(78 injected bugs; full set detects {})\n",
+        analysis.full_set_detection()
+    );
     let stats = analysis.size_stats();
     let lo = stats.iter().map(|s| s.min).min().unwrap_or(0);
     let hi = stats.iter().map(|s| s.max).max().unwrap_or(1);
-    println!("{:>4}  {:>5} {:>6} {:>5}  {}", "size", "min", "median", "max", "distribution");
+    println!(
+        "{:>4}  {:>5} {:>6} {:>5}  {}",
+        "size", "min", "median", "max", "distribution"
+    );
     for s in &stats {
         println!(
             "{:>4}  {:>5} {:>6} {:>5}  {}",
@@ -32,7 +38,11 @@ fn main() {
     let pairs = &stats[0];
     println!("\nbest  pair: {:?} -> {} bugs", pairs.best, pairs.max);
     println!("worst pair: {:?} -> {} bugs", pairs.worst, pairs.min);
-    for named in [["gcc-O0", "clang-Os"], ["gcc-Os", "clang-O0"], ["clang-O0", "clang-O1"]] {
+    for named in [
+        ["gcc-O0", "clang-Os"],
+        ["gcc-Os", "clang-O0"],
+        ["clang-O0", "clang-O1"],
+    ] {
         if let Some(d) = analysis.detection_of(&named.map(|s| s)) {
             println!("{named:?}: {d} bugs");
         }

@@ -5,7 +5,10 @@ fn main() {
     println!("{:<10} {}", "Approach", "Scope");
     println!("{}", "-".repeat(64));
     println!("{:<10} {}", "ASan", "Memory errors (e.g. buffer-overflow)");
-    println!("{:<10} {}", "UBSan", "Miscellaneous UBs (e.g. division-by-zero)");
+    println!(
+        "{:<10} {}",
+        "UBSan", "Miscellaneous UBs (e.g. division-by-zero)"
+    );
     println!("{:<10} {}", "MSan", "Use of uninitialized memories.");
     println!("{:<10} {}", "CompDiff", "A diverse range of UBs.");
     println!();

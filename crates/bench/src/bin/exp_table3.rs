@@ -27,13 +27,15 @@ fn main() {
     println!("Table 3: bug detection rates (%) and false positive rates (%) on the Juliet tests.");
     println!("(static tools show detection%(FP%); sanitizers and CompDiff have zero FPs)\n");
     print!("{}", table.render());
-    println!("\nTotal bugs uniquely detected by CompDiff vs sanitizers: {}", table.total_unique());
+    println!(
+        "\nTotal bugs uniquely detected by CompDiff vs sanitizers: {}",
+        table.total_unique()
+    );
     let fp_total: usize = table.rows.iter().map(|r| r.compdiff_fp).sum();
     println!("CompDiff false positives on good variants: {fp_total} (paper: 0)");
 
     if let Some(path) = std::env::args().skip_while(|a| a != "--json").nth(1) {
-        let json = serde_json::to_string_pretty(&table).expect("serialize");
-        std::fs::write(&path, json).expect("write json");
+        std::fs::write(&path, table.to_json().render_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -2,7 +2,10 @@
 
 fn main() {
     println!("Table 4: details of selected target projects (synthetic stand-ins).\n");
-    println!("{:<14} {:<16} {:<10} {:>10}", "Target", "Input type", "Version", "Size(LoC)");
+    println!(
+        "{:<14} {:<16} {:<10} {:>10}",
+        "Target", "Input type", "Version", "Size(LoC)"
+    );
     println!("{}", "-".repeat(54));
     for t in targets::build_all() {
         println!(

@@ -14,25 +14,34 @@
 //! | `exp_table6` | Table 6 (sanitizer overlap) |
 //! | `exp_fig2`   | Figure 2 (subset analysis, real-world bugs) |
 //!
-//! Criterion benches under `benches/` measure the §5 overhead claims and
-//! the substrate's raw speed.
-
+//! Benches under `benches/` (driven by the in-tree [`harness`] module —
+//! no criterion, so everything builds offline) measure the §5 overhead
+//! claims, the substrate's raw speed, and the campaign orchestrator's
+//! scaling.
 
 #![warn(missing_docs)]
+pub mod harness;
+
 /// Parses `--scale <f64>` / `--execs <u64>` / `--seed <u64>` style flags
 /// from `std::env::args`, with defaults.
 pub fn arg_f64(name: &str, default: f64) -> f64 {
-    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    arg_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Parses an integer flag.
 pub fn arg_u64(name: &str, default: u64) -> u64 {
-    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    arg_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Renders a unicode box-plot-ish line for Figure 1/2 terminal output.

@@ -1,17 +1,21 @@
-//! The `compdiff` command-line tool: differential-test, fuzz, and triage
-//! MinC programs the way the paper's artifact drives real C programs.
+//! The `compdiff` command-line tool: differential-test, fuzz, triage, and
+//! campaign-orchestrate MinC programs the way the paper's artifact drives
+//! real C programs.
 //!
 //! ```text
 //! compdiff impls
 //! compdiff run  prog.mc [--input STR|--input-file F] [--impls gcc-O0,clang-O3] [--minimize]
 //! compdiff fuzz prog.mc [--execs N] [--seed N] [--feedback] [--max-len N]
 //! compdiff scan prog.mc              # static analyzers + sanitizers + CompDiff
+//! compdiff campaign [--workers N] [--execs-per-target N] [--resume DIR]
 //! ```
 
+use campaign::{CampaignConfig, StateError};
 use compdiff::{minimize, CompDiff, CompDiffAfl, DiffConfig, Discrepancy};
 use fuzzing::FuzzConfig;
 use minc_compile::CompilerImpl;
 use minc_vm::{ExitStatus, SanitizerKind, VmConfig};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,6 +29,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "fuzz" => cmd_fuzz(&args[1..]),
         "scan" => cmd_scan(&args[1..]),
+        "campaign" => cmd_campaign(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -55,10 +60,22 @@ USAGE:
       --seed <n>           campaign RNG seed (default 1)
       --max-len <n>        maximum input length (default 64)
       --feedback           NEZHA-style divergence feedback
-  compdiff scan <prog.mc>                static analyzers + sanitizers + CompDiff";
+  compdiff scan <prog.mc>                static analyzers + sanitizers + CompDiff
+  compdiff campaign [options]            parallel campaign over the target catalog
+      --workers <n>          worker threads (default 4)
+      --execs-per-target <n> fuzz-binary budget per target (default 2000)
+      --shards <n>           seed shards per target (default 4)
+      --seed <n>             campaign RNG seed (default 0xCA3D)
+      --max-len <n>          maximum input length (default 64)
+      --targets <a,b,...>    restrict to these catalog targets
+      --checkpoint <dir>     write checkpoint.jsonl under <dir>
+      --resume <dir>         resume a checkpointed campaign from <dir>
+      --stop-after <n>       abort after n jobs (checkpoint/kill testing)";
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -106,18 +123,23 @@ fn read_input(args: &[String]) -> Result<Vec<u8>, String> {
     if let Some(path) = flag_value(args, "--input-file") {
         return std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"));
     }
-    Ok(flag_value(args, "--input").map(String::into_bytes).unwrap_or_default())
+    Ok(flag_value(args, "--input")
+        .map(String::into_bytes)
+        .unwrap_or_default())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let src = load_source(args)?;
     let impls = parse_impls(args)?;
     let input = read_input(args)?;
-    let diff = CompDiff::from_source(&src, &impls, DiffConfig::default())
-        .map_err(|e| e.to_string())?;
+    let diff =
+        CompDiff::from_source(&src, &impls, DiffConfig::default()).map_err(|e| e.to_string())?;
     let outcome = diff.run_input(&input);
     if !outcome.divergent {
-        println!("stable: all {} implementations agree on this input", impls.len());
+        println!(
+            "stable: all {} implementations agree on this input",
+            impls.len()
+        );
         let r = &outcome.results[0];
         println!("  status: {}", r.status);
         print!("{}", String::from_utf8_lossy(&r.stdout));
@@ -140,12 +162,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     let src = load_source(args)?;
-    let execs = flag_value(args, "--execs").and_then(|v| v.parse().ok()).unwrap_or(50_000);
-    let seed = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
-    let max_len = flag_value(args, "--max-len").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let execs = flag_value(args, "--execs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    let seed = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let max_len = flag_value(args, "--max-len")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
     let afl = CompDiffAfl::from_source_default(
         &src,
-        FuzzConfig { max_execs: execs, seed, max_input_len: max_len, ..Default::default() },
+        FuzzConfig {
+            max_execs: execs,
+            seed,
+            max_input_len: max_len,
+            ..Default::default()
+        },
         DiffConfig::default(),
     )
     .map_err(|e| e.to_string())?
@@ -184,7 +217,11 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     println!("\n== sanitizers (empty input) ==");
     let vm = VmConfig::default();
     let bin = sanitizers::compile_sanitized(&src).map_err(|e| e.to_string())?;
-    for kind in [SanitizerKind::Asan, SanitizerKind::Ubsan, SanitizerKind::Msan] {
+    for kind in [
+        SanitizerKind::Asan,
+        SanitizerKind::Ubsan,
+        SanitizerKind::Msan,
+    ] {
         let r = sanitizers::run_sanitized(&bin, b"", &vm, kind);
         match r.status {
             ExitStatus::Sanitizer(f) => println!("  {kind}: {f}"),
@@ -201,6 +238,61 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
         println!("{}", report.render());
     } else {
         println!("  stable on the empty input (try `compdiff fuzz`)");
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let mut cfg = CampaignConfig {
+        quiet: has_flag(args, "--quiet"),
+        ..Default::default()
+    };
+    if let Some(v) = flag_value(args, "--workers") {
+        cfg.workers = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--execs-per-target") {
+        cfg.execs_per_target = v
+            .parse()
+            .map_err(|_| format!("bad --execs-per-target `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--shards") {
+        cfg.shards_per_target = v.parse().map_err(|_| format!("bad --shards `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--seed") {
+        cfg.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--max-len") {
+        cfg.max_input_len = v.parse().map_err(|_| format!("bad --max-len `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--stop-after") {
+        cfg.stop_after_jobs = Some(v.parse().map_err(|_| format!("bad --stop-after `{v}`"))?);
+    }
+    if let Some(list) = flag_value(args, "--targets") {
+        cfg.target_filter = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+    }
+    match (
+        flag_value(args, "--resume"),
+        flag_value(args, "--checkpoint"),
+    ) {
+        (Some(dir), _) => {
+            cfg.checkpoint_dir = Some(PathBuf::from(dir));
+            cfg.resume = true;
+        }
+        (None, Some(dir)) => cfg.checkpoint_dir = Some(PathBuf::from(dir)),
+        (None, None) => {}
+    }
+
+    let report = campaign::run(&cfg).map_err(|e| match e {
+        // A mismatched header most often means a stale checkpoint dir.
+        campaign::CampaignError::State(StateError::HeaderMismatch(m)) => m,
+        other => other.to_string(),
+    })?;
+    print!("{}", report.render_summary());
+    if let Some(path) = &report.checkpoint {
+        println!("checkpoint: {}", path.display());
+    }
+    if report.aborted {
+        println!("(aborted by --stop-after; rerun with --resume to finish)");
     }
     Ok(())
 }

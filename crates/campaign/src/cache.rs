@@ -1,0 +1,154 @@
+//! The shared binary cache: each target's `k + 1` binaries (the ten
+//! differential implementations plus the coverage-instrumented fuzz
+//! binary) are compiled exactly once per campaign and shared by every
+//! worker through `Arc`s.
+//!
+//! Without this, every (target × seed-shard) job would recompile the full
+//! implementation set — `CompDiff::from_source_default` pays the frontend
+//! plus ten backend pipelines per call, which dominates short shards.
+
+use compdiff::{CompDiff, DiffConfig};
+use minc::FrontendError;
+use minc_compile::{Binary, CompilerImpl};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use targets::Target;
+
+/// One target, fully compiled: the differential engine over the `k`
+/// implementations plus the fuzz binary. Immutable after construction, so
+/// safely shared across workers.
+#[derive(Debug)]
+pub struct CompiledTarget {
+    /// Target name (catalog key).
+    pub name: String,
+    /// The differential engine (owns the `k` binaries).
+    pub diff: CompDiff,
+    /// The coverage-instrumented fuzz binary (B_fuzz).
+    pub fuzz_binary: Binary,
+    /// Fuzzing seed inputs.
+    pub seeds: Vec<Vec<u8>>,
+    /// The format's 2-byte magic (fed to the fuzzer as a dictionary token).
+    pub magic: [u8; 2],
+}
+
+/// Per-target compilation slot: workers asking for the same target
+/// serialize on the slot, not on the whole cache.
+#[derive(Default)]
+struct Slot(Mutex<Option<Arc<CompiledTarget>>>);
+
+/// The campaign-wide compilation cache.
+#[derive(Default)]
+pub struct BinaryCache {
+    slots: Mutex<HashMap<String, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BinaryCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        BinaryCache::default()
+    }
+
+    /// Returns the compiled form of `target`, compiling it on first use.
+    /// Concurrent calls for the same target block until the one compile
+    /// finishes; calls for different targets proceed in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frontend error if the target source does not check.
+    pub fn get_or_compile(
+        &self,
+        target: &Target,
+        diff_config: &DiffConfig,
+        fuzz_impl: CompilerImpl,
+    ) -> Result<Arc<CompiledTarget>, FrontendError> {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap();
+            Arc::clone(slots.entry(target.spec.name.to_string()).or_default())
+        };
+        let mut guard = slot.0.lock().unwrap();
+        if let Some(ct) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(ct));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let checked = minc::check(&target.src)?;
+        let binaries: Vec<Binary> = CompilerImpl::default_set()
+            .iter()
+            .map(|&ci| minc_compile::compile(&checked, ci))
+            .collect();
+        let fuzz_binary = minc_compile::compile(&checked, fuzz_impl);
+        let ct = Arc::new(CompiledTarget {
+            name: target.spec.name.to_string(),
+            diff: CompDiff::new(binaries, diff_config.clone()),
+            fuzz_binary,
+            seeds: target.seeds.clone(),
+            magic: target.spec.magic,
+        });
+        *guard = Some(Arc::clone(&ct));
+        Ok(ct)
+    }
+
+    /// `(hits, misses)` — misses equal the number of compiles performed.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minc_compile::CompilerImpl;
+    use targets::{build, catalog};
+
+    fn fuzz_impl() -> CompilerImpl {
+        CompilerImpl::parse("clang-O1").unwrap()
+    }
+
+    #[test]
+    fn compiles_once_per_target() {
+        let cache = BinaryCache::new();
+        let t = build(&catalog()[0]);
+        let a = cache
+            .get_or_compile(&t, &DiffConfig::default(), fuzz_impl())
+            .unwrap();
+        let b = cache
+            .get_or_compile(&t, &DiffConfig::default(), fuzz_impl())
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second lookup must reuse the first compile"
+        );
+        assert_eq!(cache.counters(), (1, 1));
+        assert_eq!(a.diff.binaries().len(), 10);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_compile() {
+        let cache = Arc::new(BinaryCache::new());
+        let t = Arc::new(build(&catalog()[1]));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                cache
+                    .get_or_compile(&t, &DiffConfig::default(), fuzz_impl())
+                    .unwrap()
+            }));
+        }
+        let compiled: Vec<Arc<CompiledTarget>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for ct in &compiled[1..] {
+            assert!(Arc::ptr_eq(&compiled[0], ct));
+        }
+        let (hits, misses) = cache.counters();
+        assert_eq!(misses, 1, "exactly one compile");
+        assert_eq!(hits, 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! # campaign — parallel multi-target differential-fuzzing campaigns
+//!
+//! The paper's evaluation fuzzes 23 targets × 24 hours with CompDiff
+//! attached; this crate is the orchestrator that makes that workload
+//! practical: a work-stealing [`scheduler`] shards every target's budget
+//! into (target × seed-slice) jobs across N worker threads, a shared
+//! [`cache::BinaryCache`] compiles each target's ten differential binaries
+//! (plus the fuzz binary) exactly once, a crash-resilient
+//! [`state::CampaignState`] checkpoints each finished job to a JSONL file
+//! so a killed campaign resumes where it stopped, and a
+//! [`stats::CampaignStats`] aggregator dedups discrepancies campaign-wide
+//! by [`compdiff::signature_of`].
+//!
+//! Campaigns are deterministic in their *results*: each job's fuzzing RNG
+//! is seeded from `(campaign seed, target, shard)` only, so the deduped
+//! signature set is identical at any worker count — completion order is
+//! the only thing parallelism changes.
+//!
+//! ```
+//! let report = campaign::run(&campaign::CampaignConfig {
+//!     workers: 2,
+//!     execs_per_target: 60,
+//!     shards_per_target: 2,
+//!     target_filter: Some(vec!["tcpdump".to_string()]),
+//!     ..Default::default()
+//! })
+//! .unwrap();
+//! assert_eq!(report.stats.jobs_done, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod scheduler;
+pub mod state;
+pub mod stats;
+
+pub use cache::{BinaryCache, CompiledTarget};
+pub use scheduler::{execs_for_shard, job_seed, Job};
+pub use state::{CampaignHeader, CampaignState, JobRecord, StateError, CHECKPOINT_FILE};
+pub use stats::{CampaignStats, TargetStats};
+
+use compdiff::DiffConfig;
+use minc::FrontendError;
+use minc_compile::CompilerImpl;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use targets::Target;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Fuzz-binary execution budget per target (split across shards).
+    pub execs_per_target: u64,
+    /// Seed shards per target; also the campaign's unit of checkpointing.
+    pub shards_per_target: u32,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Maximum fuzzed input length.
+    pub max_input_len: usize,
+    /// Differential-engine configuration (implementations, VM limits).
+    pub diff_config: DiffConfig,
+    /// Implementation used for the coverage-instrumented fuzz binary.
+    pub fuzz_impl: CompilerImpl,
+    /// Directory for `checkpoint.jsonl`; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from an existing checkpoint instead of starting fresh.
+    pub resume: bool,
+    /// Restrict the campaign to these catalog targets (default: all 23).
+    pub target_filter: Option<Vec<String>>,
+    /// Abort after this many *live* jobs finish — the test hook that
+    /// simulates a mid-campaign kill.
+    pub stop_after_jobs: Option<usize>,
+    /// Suppress the live progress line.
+    pub quiet: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            workers: 4,
+            execs_per_target: 2_000,
+            shards_per_target: 4,
+            seed: 0xCA3D,
+            max_input_len: 64,
+            diff_config: DiffConfig::default(),
+            fuzz_impl: CompilerImpl::parse("clang-O1").expect("clang-O1 is a valid impl"),
+            checkpoint_dir: None,
+            resume: false,
+            target_filter: None,
+            stop_after_jobs: None,
+            quiet: true,
+        }
+    }
+}
+
+/// Errors a campaign can fail with.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// A target failed to compile (catalog targets never should).
+    Frontend(FrontendError),
+    /// The checkpoint could not be created, read, or appended.
+    State(StateError),
+    /// The target filter matched nothing.
+    UnknownTarget(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Frontend(e) => write!(f, "target compilation failed: {e}"),
+            CampaignError::State(e) => write!(f, "{e}"),
+            CampaignError::UnknownTarget(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<StateError> for CampaignError {
+    fn from(e: StateError) -> Self {
+        CampaignError::State(e)
+    }
+}
+
+/// The result of [`run`].
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Aggregated statistics (including checkpoint-replayed jobs).
+    pub stats: CampaignStats,
+    /// Wall-clock time of this process's portion of the campaign.
+    pub elapsed: Duration,
+    /// Binary-cache `(hits, misses)`; misses = compiles performed.
+    pub cache: (u64, u64),
+    /// Checkpoint file, if checkpointing was enabled.
+    pub checkpoint: Option<PathBuf>,
+    /// True if the campaign stopped early (`stop_after_jobs`).
+    pub aborted: bool,
+}
+
+impl CampaignReport {
+    /// The campaign-wide deduped discrepancy-signature set.
+    pub fn signatures(&self) -> &BTreeSet<String> {
+        &self.stats.signatures
+    }
+
+    /// The end-of-campaign summary.
+    pub fn render_summary(&self) -> String {
+        self.stats.render_summary(self.elapsed, self.cache)
+    }
+}
+
+/// Runs a campaign to completion (or to `stop_after_jobs`).
+///
+/// # Errors
+///
+/// Fails if the target filter matches nothing, the checkpoint is
+/// unusable ([`StateError`]), or a target does not compile.
+pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
+    let started = Instant::now();
+    let selected: Vec<Target> = select_targets(cfg)?;
+    let names: Vec<String> = selected.iter().map(|t| t.spec.name.to_string()).collect();
+
+    let header = CampaignHeader {
+        seed: cfg.seed,
+        execs_per_target: cfg.execs_per_target,
+        shards_per_target: cfg.shards_per_target,
+        targets: names,
+    };
+    let mut state = match &cfg.checkpoint_dir {
+        Some(dir) if cfg.resume => Some(CampaignState::resume(dir, &header)?),
+        Some(dir) => Some(CampaignState::create(dir, &header)?),
+        None => None,
+    };
+
+    let all_jobs: Vec<Job> = (0..selected.len())
+        .flat_map(|t| {
+            (0..cfg.shards_per_target).map(move |s| Job {
+                target_index: t,
+                shard: s,
+            })
+        })
+        .collect();
+    let mut stats = CampaignStats::new(cfg.workers.max(1), all_jobs.len());
+    if let Some(st) = &state {
+        for rec in st.done().values() {
+            stats.absorb(None, rec);
+        }
+    }
+    let pending: Vec<Job> = all_jobs
+        .into_iter()
+        .filter(|j| match &state {
+            Some(st) => !st.is_done(selected[j.target_index].spec.name, j.shard),
+            None => true,
+        })
+        .collect();
+
+    let cache = BinaryCache::new();
+    let mut aborted = false;
+    let mut state_err: Option<StateError> = None;
+    let mut live_done = 0usize;
+    scheduler::run_pool(&selected, &cache, cfg, &pending, |out| {
+        // Checkpoint first, aggregate second: a job is "done" only once
+        // its record is durably on disk.
+        if let Some(st) = state.as_mut() {
+            if let Err(e) = st.record(out.record.clone()) {
+                state_err = Some(e);
+                return false;
+            }
+        }
+        stats.absorb(Some(out.worker), &out.record);
+        live_done += 1;
+        if !cfg.quiet {
+            eprintln!(
+                "{} <- {}#{}",
+                stats.progress_line(),
+                out.record.target,
+                out.record.shard
+            );
+        }
+        match cfg.stop_after_jobs {
+            Some(k) if live_done >= k => {
+                aborted = true;
+                false
+            }
+            _ => true,
+        }
+    })
+    .map_err(CampaignError::Frontend)?;
+    if let Some(e) = state_err {
+        return Err(CampaignError::State(e));
+    }
+
+    Ok(CampaignReport {
+        stats,
+        elapsed: started.elapsed(),
+        cache: cache.counters(),
+        checkpoint: state.map(|s| s.path().to_path_buf()),
+        aborted,
+    })
+}
+
+fn select_targets(cfg: &CampaignConfig) -> Result<Vec<Target>, CampaignError> {
+    let specs = targets::catalog();
+    match &cfg.target_filter {
+        None => Ok(specs.iter().map(targets::build).collect()),
+        Some(filter) => {
+            let mut out = Vec::new();
+            for want in filter {
+                let spec = specs.iter().find(|s| s.name == want).ok_or_else(|| {
+                    let known: Vec<&str> = specs.iter().map(|s| s.name).collect();
+                    CampaignError::UnknownTarget(format!(
+                        "unknown target `{want}`; catalog: {}",
+                        known.join(", ")
+                    ))
+                })?;
+                out.push(targets::build(spec));
+            }
+            Ok(out)
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The work-stealing scheduler: (target × seed-shard) jobs over N workers.
+//!
+//! Each worker owns a deque seeded round-robin; it pops its own front and,
+//! when empty, steals from the *back* of a sibling's deque (the classic
+//! Chase–Lev discipline, here with plain mutexed deques — jobs are
+//! seconds-long, so contention on the deque locks is noise).
+//!
+//! Determinism: a job's fuzzing seed is derived from `(campaign seed,
+//! target name, shard index)` and *never* from which worker runs it or
+//! when. A campaign's deduped signature set is the order-independent union
+//! of its jobs' sets, so N workers and 1 worker produce identical results.
+
+use crate::cache::{BinaryCache, CompiledTarget};
+use crate::state::JobRecord;
+use crate::CampaignConfig;
+use compdiff::{hash64, DiffOutcome, DiffStore};
+use fuzzing::{BinaryTarget, FuzzConfig, Fuzzer, Oracle};
+use minc::FrontendError;
+use minc_vm::ExecResult;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use targets::Target;
+
+/// One schedulable unit: one seed shard of one target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Index into the campaign's target list.
+    pub target_index: usize,
+    /// Shard index, `0..shards_per_target`.
+    pub shard: u32,
+}
+
+/// A finished job, tagged with the worker that ran it.
+#[derive(Debug)]
+pub struct JobOutput {
+    /// Worker index.
+    pub worker: usize,
+    /// The checkpointable record.
+    pub record: JobRecord,
+}
+
+/// The per-job RNG seed: a SplitMix64 mix of the campaign seed, the
+/// target's name hash, and the shard index. Worker assignment and timing
+/// never enter, which is what makes campaigns reproducible at any `-j`.
+pub fn job_seed(campaign_seed: u64, target: &str, shard: u32) -> u64 {
+    let mut z = campaign_seed
+        .wrapping_add(hash64(target.as_bytes()))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(shard) + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Splits a target's execution budget across its shards; shard 0 absorbs
+/// the remainder so the budget is spent exactly.
+pub fn execs_for_shard(execs_per_target: u64, shards: u32, shard: u32) -> u64 {
+    let shards = u64::from(shards.max(1));
+    let base = execs_per_target / shards;
+    if shard == 0 {
+        base + execs_per_target % shards
+    } else {
+        base
+    }
+}
+
+/// The differential oracle a worker plugs into its fuzzer: borrows the
+/// shared (immutable) engine, writes into job-local accumulators.
+struct DiffOracle<'a> {
+    diff: &'a compdiff::CompDiff,
+    store: &'a mut DiffStore,
+    oracle_execs: &'a mut u64,
+    divergent: &'a mut u64,
+}
+
+impl Oracle for DiffOracle<'_> {
+    fn examine(&mut self, input: &[u8], _result: &ExecResult) -> bool {
+        let outcome: DiffOutcome = self.diff.run_input(input);
+        *self.oracle_execs += self.diff.binaries().len() as u64;
+        if outcome.divergent {
+            *self.divergent += 1;
+            self.store.record(self.diff, &outcome, input);
+            return true;
+        }
+        outcome.unresolved_timeout
+    }
+}
+
+/// Runs one job to completion: a full fuzzing campaign over the shard's
+/// seed slice with the CompDiff oracle attached.
+pub fn run_job(ct: &CompiledTarget, cfg: &CampaignConfig, job: Job) -> JobRecord {
+    let seed = job_seed(cfg.seed, &ct.name, job.shard);
+    let max_execs = execs_for_shard(cfg.execs_per_target, cfg.shards_per_target, job.shard);
+    // The seed-slice: shard s takes every `shards`-th corpus entry
+    // starting at s; a shard whose slice is empty falls back to the full
+    // corpus (still deterministic — the slice depends only on the shard).
+    let mut seeds: Vec<Vec<u8>> = ct
+        .seeds
+        .iter()
+        .skip(job.shard as usize)
+        .step_by(cfg.shards_per_target.max(1) as usize)
+        .cloned()
+        .collect();
+    if seeds.is_empty() {
+        seeds = ct.seeds.clone();
+    }
+
+    let mut store = DiffStore::new();
+    let mut oracle_execs = 0u64;
+    let mut divergent = 0u64;
+    let stats = Fuzzer::new(
+        BinaryTarget {
+            binary: &ct.fuzz_binary,
+            vm: cfg.diff_config.vm.clone(),
+        },
+        DiffOracle {
+            diff: &ct.diff,
+            store: &mut store,
+            oracle_execs: &mut oracle_execs,
+            divergent: &mut divergent,
+        },
+        FuzzConfig {
+            max_execs,
+            seed,
+            max_input_len: cfg.max_input_len,
+            deterministic: true,
+            dictionary: vec![ct.magic.to_vec()],
+        },
+    )
+    .run(&seeds);
+
+    let signatures: BTreeSet<String> = store
+        .reports()
+        .iter()
+        .map(|d| d.signature.clone())
+        .collect();
+    JobRecord {
+        target: ct.name.clone(),
+        shard: job.shard,
+        execs: stats.execs,
+        oracle_execs,
+        divergent,
+        crashes: stats.crashes.len() as u64,
+        signatures: signatures.into_iter().collect(),
+    }
+}
+
+/// Runs `jobs` across `cfg.workers` work-stealing workers, invoking
+/// `on_result` on the coordinating thread for every finished job (in
+/// completion order). `on_result` returning `false` aborts the campaign:
+/// workers stop picking up new jobs and in-flight results are dropped —
+/// the simulated `kill` the resume path recovers from.
+///
+/// # Errors
+///
+/// Propagates the first target-compilation failure.
+pub fn run_pool(
+    targets: &[Target],
+    cache: &BinaryCache,
+    cfg: &CampaignConfig,
+    jobs: &[Job],
+    mut on_result: impl FnMut(JobOutput) -> bool,
+) -> Result<(), FrontendError> {
+    let workers = cfg.workers.max(1);
+    let deques: Vec<Mutex<VecDeque<Job>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, &job) in jobs.iter().enumerate() {
+        deques[i % workers].lock().unwrap().push_back(job);
+    }
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<Result<JobOutput, FrontendError>>();
+
+    let mut first_err: Option<FrontendError> = None;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let deques = &deques;
+            let abort = &abort;
+            scope.spawn(move || {
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Own work first (front), then steal (back).
+                    let job = deques[w].lock().unwrap().pop_front().or_else(|| {
+                        (1..workers)
+                            .find_map(|d| deques[(w + d) % workers].lock().unwrap().pop_back())
+                    });
+                    let Some(job) = job else { break };
+                    let msg = cache
+                        .get_or_compile(&targets[job.target_index], &cfg.diff_config, cfg.fuzz_impl)
+                        .map(|ct| JobOutput {
+                            worker: w,
+                            record: run_job(&ct, cfg, job),
+                        });
+                    if tx.send(msg).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for msg in rx {
+            match msg {
+                Ok(out) => {
+                    if !on_result(out) {
+                        abort.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                Err(e) => {
+                    abort.store(true, Ordering::Relaxed);
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Dropping `rx` here unblocks any worker mid-`send`.
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_seed_depends_on_all_inputs() {
+        let base = job_seed(1, "tcpdump", 0);
+        assert_ne!(base, job_seed(2, "tcpdump", 0));
+        assert_ne!(base, job_seed(1, "mujs", 0));
+        assert_ne!(base, job_seed(1, "tcpdump", 1));
+        assert_eq!(base, job_seed(1, "tcpdump", 0), "pure function");
+    }
+
+    #[test]
+    fn shard_budgets_sum_to_target_budget() {
+        for (total, shards) in [(1_000u64, 4u32), (7u64, 3u32), (5u64, 8u32)] {
+            let sum: u64 = (0..shards).map(|s| execs_for_shard(total, shards, s)).sum();
+            assert_eq!(sum, total);
+        }
+    }
+}

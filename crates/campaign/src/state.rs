@@ -1,0 +1,448 @@
+//! Crash-resilient campaign state: a JSONL checkpoint file.
+//!
+//! The file is append-only. Line 1 is a header pinning the campaign
+//! parameters (seed, budget, shard count, target list); every later line
+//! records one finished (target × shard) job with its deduped discrepancy
+//! signatures. Each record is flushed as soon as the job completes, so a
+//! `kill -9` loses at most the in-flight jobs — and because a job's result
+//! is a pure function of `(campaign seed, target, shard)`, redoing the
+//! lost jobs on resume reproduces the exact same campaign state.
+//!
+//! A torn trailing line (the process died mid-write) is detected by the
+//! strict JSON parser and skipped; a torn line anywhere *else* means the
+//! file was corrupted by something other than a crash mid-append, and
+//! resume refuses to guess.
+
+use compdiff::Json;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Checkpoint format version (line 1 of every checkpoint file).
+pub const STATE_VERSION: i64 = 1;
+
+/// Name of the checkpoint file inside the campaign directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.jsonl";
+
+/// The campaign parameters a checkpoint is only valid for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignHeader {
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Fuzz-binary execution budget per target.
+    pub execs_per_target: u64,
+    /// Number of seed shards each target's budget is split into.
+    pub shards_per_target: u32,
+    /// Target names, in schedule order.
+    pub targets: Vec<String>,
+}
+
+impl CampaignHeader {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("type", Json::Str("header".to_string())),
+            ("version", Json::Int(STATE_VERSION)),
+            // u64 seeds round-trip through a bit-cast so the JSON integer
+            // space (i64) covers the full seed space.
+            ("seed", Json::Int(self.seed as i64)),
+            ("execs_per_target", Json::Int(self.execs_per_target as i64)),
+            ("shards", Json::Int(i64::from(self.shards_per_target))),
+            ("targets", Json::strings(self.targets.iter())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        if v.get("type").and_then(Json::as_str) != Some("header") {
+            return Err("first line is not a campaign header".to_string());
+        }
+        let version = v
+            .get("version")
+            .and_then(Json::as_i64)
+            .ok_or("header missing version")?;
+        if version != STATE_VERSION {
+            return Err(format!(
+                "checkpoint version {version}, expected {STATE_VERSION}"
+            ));
+        }
+        let targets = v
+            .get("targets")
+            .and_then(Json::as_array)
+            .ok_or("header missing targets")?
+            .iter()
+            .map(|t| {
+                t.as_str()
+                    .map(str::to_string)
+                    .ok_or("non-string target name")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignHeader {
+            seed: v
+                .get("seed")
+                .and_then(Json::as_i64)
+                .ok_or("header missing seed")? as u64,
+            execs_per_target: v
+                .get("execs_per_target")
+                .and_then(Json::as_i64)
+                .ok_or("header missing execs_per_target")? as u64,
+            shards_per_target: v
+                .get("shards")
+                .and_then(Json::as_i64)
+                .and_then(|s| u32::try_from(s).ok())
+                .ok_or("header missing shards")?,
+            targets,
+        })
+    }
+}
+
+/// One finished (target × shard) job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Target name.
+    pub target: String,
+    /// Shard index within the target, `0..shards_per_target`.
+    pub shard: u32,
+    /// Fuzz-binary executions performed.
+    pub execs: u64,
+    /// Differential (oracle) executions performed.
+    pub oracle_execs: u64,
+    /// Inputs whose differential run diverged.
+    pub divergent: u64,
+    /// Unique crash buckets found by the fuzzer.
+    pub crashes: u64,
+    /// Deduped discrepancy signatures seen in this job, sorted.
+    pub signatures: Vec<String>,
+}
+
+impl JobRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("type", Json::Str("job".to_string())),
+            ("target", Json::Str(self.target.clone())),
+            ("shard", Json::Int(i64::from(self.shard))),
+            ("execs", Json::Int(self.execs as i64)),
+            ("oracle_execs", Json::Int(self.oracle_execs as i64)),
+            ("divergent", Json::Int(self.divergent as i64)),
+            ("crashes", Json::Int(self.crashes as i64)),
+            ("signatures", Json::strings(self.signatures.iter())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        if v.get("type").and_then(Json::as_str) != Some("job") {
+            return Err("record line is not a job record".to_string());
+        }
+        let int = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_i64)
+                .ok_or(format!("job missing {k}"))
+        };
+        let signatures = v
+            .get("signatures")
+            .and_then(Json::as_array)
+            .ok_or("job missing signatures")?
+            .iter()
+            .map(|s| s.as_str().map(str::to_string).ok_or("non-string signature"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(JobRecord {
+            target: v
+                .get("target")
+                .and_then(Json::as_str)
+                .ok_or("job missing target")?
+                .to_string(),
+            shard: u32::try_from(int("shard")?).map_err(|_| "shard out of range")?,
+            execs: int("execs")? as u64,
+            oracle_execs: int("oracle_execs")? as u64,
+            divergent: int("divergent")? as u64,
+            crashes: int("crashes")? as u64,
+            signatures,
+        })
+    }
+}
+
+/// Errors opening or updating a checkpoint.
+#[derive(Debug)]
+pub enum StateError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A non-trailing line failed to parse — not a crash artifact.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The checkpoint was written by a campaign with different parameters.
+    HeaderMismatch(String),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            StateError::Corrupt { line, message } => {
+                write!(f, "checkpoint corrupt at line {line}: {message}")
+            }
+            StateError::HeaderMismatch(m) => write!(f, "checkpoint header mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<std::io::Error> for StateError {
+    fn from(e: std::io::Error) -> Self {
+        StateError::Io(e)
+    }
+}
+
+/// The live campaign state: finished jobs plus the append handle.
+pub struct CampaignState {
+    path: PathBuf,
+    file: BufWriter<File>,
+    done: BTreeMap<(String, u32), JobRecord>,
+}
+
+impl std::fmt::Debug for CampaignState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignState")
+            .field("path", &self.path)
+            .field("done", &self.done.len())
+            .finish()
+    }
+}
+
+impl CampaignState {
+    /// Starts a fresh checkpoint in `dir` (created if missing), truncating
+    /// any previous one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Io`] if the directory or file cannot be
+    /// created.
+    pub fn create(dir: &Path, header: &CampaignHeader) -> Result<Self, StateError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(CHECKPOINT_FILE);
+        let file = File::create(&path)?;
+        let mut state = CampaignState {
+            path,
+            file: BufWriter::new(file),
+            done: BTreeMap::new(),
+        };
+        state.append_line(&header.to_json())?;
+        Ok(state)
+    }
+
+    /// Reopens an existing checkpoint, validating it against `header` and
+    /// loading every finished job. A torn final line (the previous process
+    /// died mid-append) is skipped; its job simply re-runs.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::HeaderMismatch`] if the checkpoint belongs to a
+    /// campaign with different parameters, [`StateError::Corrupt`] if a
+    /// non-trailing line is unreadable.
+    pub fn resume(dir: &Path, header: &CampaignHeader) -> Result<Self, StateError> {
+        let path = dir.join(CHECKPOINT_FILE);
+        let text = std::fs::read_to_string(&path)?;
+        let lines: Vec<&str> = text.lines().collect();
+        if lines.is_empty() {
+            return Err(StateError::Corrupt {
+                line: 1,
+                message: "empty checkpoint (no header)".to_string(),
+            });
+        }
+        // Byte offset where each line starts, for truncating a torn tail.
+        let mut starts = Vec::with_capacity(lines.len());
+        let mut off = 0usize;
+        for line in &lines {
+            starts.push(off as u64);
+            off += line.len() + 1;
+        }
+        let mut truncate_to: Option<u64> = None;
+        let mut done = BTreeMap::new();
+        for (idx, line) in lines.iter().enumerate() {
+            let is_last = idx + 1 == lines.len();
+            let parsed = Json::parse(line).map_err(|e| e.to_string()).and_then(|v| {
+                if idx == 0 {
+                    let found = CampaignHeader::from_json(&v)?;
+                    if found != *header {
+                        return Err(format!(
+                            "this campaign was started with different parameters \
+                             (seed/budget/shards/targets); pass the original flags \
+                             or start a fresh checkpoint ({})",
+                            path.display()
+                        ));
+                    }
+                    Ok(None)
+                } else {
+                    JobRecord::from_json(&v).map(Some)
+                }
+            });
+            match parsed {
+                Ok(Some(rec)) => {
+                    done.insert((rec.target.clone(), rec.shard), rec);
+                }
+                Ok(None) => {}
+                Err(message) if idx == 0 => return Err(StateError::HeaderMismatch(message)),
+                // Torn trailing line: the crash artifact resume exists
+                // for. Truncate it away so later appends start on a
+                // fresh line (it may lack its newline) and the next
+                // resume never mistakes it for mid-file corruption.
+                Err(_) if is_last => truncate_to = Some(starts[idx]),
+                Err(message) => {
+                    return Err(StateError::Corrupt {
+                        line: idx + 1,
+                        message,
+                    })
+                }
+            }
+        }
+        if let Some(len) = truncate_to {
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(len)?;
+        }
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(CampaignState {
+            path,
+            file: BufWriter::new(file),
+            done,
+        })
+    }
+
+    /// Appends one finished job and flushes it to disk immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Io`] if the append or flush fails.
+    pub fn record(&mut self, rec: JobRecord) -> Result<(), StateError> {
+        self.append_line(&rec.to_json())?;
+        self.done.insert((rec.target.clone(), rec.shard), rec);
+        Ok(())
+    }
+
+    fn append_line(&mut self, v: &Json) -> Result<(), StateError> {
+        writeln!(self.file, "{}", v.render())?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Finished jobs, keyed by `(target, shard)`.
+    pub fn done(&self) -> &BTreeMap<(String, u32), JobRecord> {
+        &self.done
+    }
+
+    /// True if this `(target, shard)` job already has a checkpoint record.
+    pub fn is_done(&self, target: &str, shard: u32) -> bool {
+        self.done.contains_key(&(target.to_string(), shard))
+    }
+
+    /// Path of the checkpoint file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> CampaignHeader {
+        CampaignHeader {
+            seed: 0xFEED_u64,
+            execs_per_target: 1_000,
+            shards_per_target: 4,
+            targets: vec!["tcpdump".to_string(), "mujs".to_string()],
+        }
+    }
+
+    fn record(target: &str, shard: u32) -> JobRecord {
+        JobRecord {
+            target: target.to_string(),
+            shard,
+            execs: 250,
+            oracle_execs: 2_500,
+            divergent: 3,
+            crashes: 1,
+            signatures: vec!["sig-a".to_string(), "sig-b".to_string()],
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("compdiff-state-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrips_header_and_jobs() {
+        let dir = temp_dir("roundtrip");
+        let mut st = CampaignState::create(&dir, &header()).unwrap();
+        st.record(record("tcpdump", 0)).unwrap();
+        st.record(record("mujs", 2)).unwrap();
+        drop(st);
+
+        let st = CampaignState::resume(&dir, &header()).unwrap();
+        assert_eq!(st.done().len(), 2);
+        assert_eq!(st.done()[&("tcpdump".to_string(), 0)], record("tcpdump", 0));
+        assert!(st.is_done("mujs", 2));
+        assert!(!st.is_done("mujs", 3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped() {
+        let dir = temp_dir("torn");
+        let mut st = CampaignState::create(&dir, &header()).unwrap();
+        st.record(record("tcpdump", 0)).unwrap();
+        drop(st);
+        // Simulate a crash mid-append: half a JSON object, no newline.
+        let path = dir.join(CHECKPOINT_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"type\":\"job\",\"target\":\"mujs\",\"sha").unwrap();
+        drop(f);
+
+        let mut st = CampaignState::resume(&dir, &header()).unwrap();
+        assert_eq!(st.done().len(), 1, "torn line must not count as done");
+        // The torn fragment is truncated away, so the redone job lands on
+        // a fresh line and the *next* resume reads a clean file.
+        st.record(record("mujs", 1)).unwrap();
+        drop(st);
+        let st = CampaignState::resume(&dir, &header()).unwrap();
+        assert_eq!(st.done().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let dir = temp_dir("corrupt");
+        let mut st = CampaignState::create(&dir, &header()).unwrap();
+        st.record(record("tcpdump", 0)).unwrap();
+        drop(st);
+        let path = dir.join(CHECKPOINT_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mangled = format!("{}\nnot json at all\n{}\n", lines[0], lines[1]);
+        std::fs::write(&path, mangled).unwrap();
+
+        match CampaignState::resume(&dir, &header()) {
+            Err(StateError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        let dir = temp_dir("mismatch");
+        let st = CampaignState::create(&dir, &header()).unwrap();
+        drop(st);
+        let mut other = header();
+        other.seed = 7;
+        assert!(matches!(
+            CampaignState::resume(&dir, &other),
+            Err(StateError::HeaderMismatch(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,137 @@
+//! Campaign-level guarantees: worker-count-independent results and
+//! kill/resume equivalence.
+
+use campaign::{CampaignConfig, CampaignState, StateError};
+use std::path::PathBuf;
+
+fn base_config() -> CampaignConfig {
+    CampaignConfig {
+        execs_per_target: 2_000,
+        shards_per_target: 3,
+        seed: 0x5EED,
+        target_filter: Some(vec!["tcpdump".to_string(), "jq".to_string()]),
+        ..Default::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("compdiff-campaign-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The deduped signature set — the campaign's *finding* — must not depend
+/// on how many workers raced over the jobs.
+#[test]
+fn worker_count_does_not_change_results() {
+    let solo = campaign::run(&CampaignConfig {
+        workers: 1,
+        ..base_config()
+    })
+    .unwrap();
+    let pool = campaign::run(&CampaignConfig {
+        workers: 3,
+        ..base_config()
+    })
+    .unwrap();
+
+    assert_eq!(solo.stats.jobs_done, 6, "2 targets x 3 shards");
+    assert_eq!(solo.signatures(), pool.signatures());
+    assert_eq!(solo.stats.per_target, pool.stats.per_target);
+    assert_eq!(solo.stats.execs, pool.stats.execs);
+    assert_eq!(solo.stats.divergent, pool.stats.divergent);
+    assert!(
+        !solo.signatures().is_empty(),
+        "catalog targets must yield discrepancies"
+    );
+}
+
+/// Kill a campaign mid-flight (stop_after_jobs), resume it, and the final
+/// checkpoint + stats must match an uninterrupted run exactly.
+#[test]
+fn resume_after_kill_matches_uninterrupted_run() {
+    let full_dir = temp_dir("full");
+    let killed_dir = temp_dir("killed");
+
+    let full = campaign::run(&CampaignConfig {
+        workers: 2,
+        checkpoint_dir: Some(full_dir.clone()),
+        ..base_config()
+    })
+    .unwrap();
+    assert!(!full.aborted);
+
+    let partial = campaign::run(&CampaignConfig {
+        workers: 2,
+        checkpoint_dir: Some(killed_dir.clone()),
+        stop_after_jobs: Some(2),
+        ..base_config()
+    })
+    .unwrap();
+    assert!(partial.aborted);
+    assert!(partial.stats.jobs_done < full.stats.jobs_done);
+
+    let resumed = campaign::run(&CampaignConfig {
+        workers: 2,
+        checkpoint_dir: Some(killed_dir.clone()),
+        resume: true,
+        ..base_config()
+    })
+    .unwrap();
+    assert!(!resumed.aborted);
+    assert!(
+        resumed.stats.jobs_resumed >= 2,
+        "checkpointed jobs must not rerun"
+    );
+
+    assert_eq!(resumed.stats.jobs_done, full.stats.jobs_done);
+    assert_eq!(resumed.signatures(), full.signatures());
+    assert_eq!(resumed.stats.per_target, full.stats.per_target);
+    assert_eq!(resumed.stats.execs, full.stats.execs);
+
+    // The two checkpoints hold identical record sets (order may differ).
+    let header = campaign::CampaignHeader {
+        seed: 0x5EED,
+        execs_per_target: 2_000,
+        shards_per_target: 3,
+        targets: vec!["tcpdump".to_string(), "jq".to_string()],
+    };
+    let a = CampaignState::resume(&full_dir, &header).unwrap();
+    let b = CampaignState::resume(&killed_dir, &header).unwrap();
+    assert_eq!(a.done(), b.done());
+
+    std::fs::remove_dir_all(&full_dir).unwrap();
+    std::fs::remove_dir_all(&killed_dir).unwrap();
+}
+
+/// Resuming with different campaign parameters must be refused, not
+/// silently mixed into the old checkpoint.
+#[test]
+fn resume_rejects_changed_parameters() {
+    let dir = temp_dir("params");
+    campaign::run(&CampaignConfig {
+        workers: 1,
+        execs_per_target: 60,
+        shards_per_target: 1,
+        checkpoint_dir: Some(dir.clone()),
+        target_filter: Some(vec!["curl".to_string()]),
+        ..CampaignConfig::default()
+    })
+    .unwrap();
+
+    let err = campaign::run(&CampaignConfig {
+        workers: 1,
+        execs_per_target: 61,
+        shards_per_target: 1,
+        checkpoint_dir: Some(dir.clone()),
+        resume: true,
+        target_filter: Some(vec!["curl".to_string()]),
+        ..CampaignConfig::default()
+    })
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        campaign::CampaignError::State(StateError::HeaderMismatch(_))
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -87,7 +87,10 @@ impl CompDiffAfl {
     ) -> Result<Self, FrontendError> {
         let checked = minc::check(src)?;
         let fuzz_binary = minc_compile::compile(&checked, fuzz_impl);
-        let binaries: Vec<Binary> = impls.iter().map(|&i| minc_compile::compile(&checked, i)).collect();
+        let binaries: Vec<Binary> = impls
+            .iter()
+            .map(|&i| minc_compile::compile(&checked, i))
+            .collect();
         let vm = diff_config.vm.clone();
         Ok(CompDiffAfl {
             fuzz_binary,
@@ -135,11 +138,18 @@ impl CompDiffAfl {
             divergence_feedback: self.divergence_feedback,
             last_was_novel: false,
         };
-        let target = BinaryTarget { binary: &self.fuzz_binary, vm: self.vm.clone() };
+        let target = BinaryTarget {
+            binary: &self.fuzz_binary,
+            vm: self.vm.clone(),
+        };
         let campaign = Fuzzer::new(target, oracle, self.fuzz_config.clone()).run(seeds);
         let store = Rc::try_unwrap(store).expect("oracle dropped").into_inner();
         let oracle_execs = *oracle_execs.borrow();
-        CompDiffAflStats { campaign, store, oracle_execs }
+        CompDiffAflStats {
+            campaign,
+            store,
+            oracle_execs,
+        }
     }
 }
 
@@ -166,7 +176,11 @@ mod tests {
         "#;
         let afl = CompDiffAfl::from_source_default(
             src,
-            FuzzConfig { max_execs: 4_000, seed: 2, ..Default::default() },
+            FuzzConfig {
+                max_execs: 4_000,
+                seed: 2,
+                ..Default::default()
+            },
             DiffConfig::default(),
         )
         .unwrap();
@@ -196,12 +210,20 @@ mod tests {
         "#;
         let afl = CompDiffAfl::from_source_default(
             src,
-            FuzzConfig { max_execs: 1_500, seed: 3, ..Default::default() },
+            FuzzConfig {
+                max_execs: 1_500,
+                seed: 3,
+                ..Default::default()
+            },
             DiffConfig::default(),
         )
         .unwrap();
         let stats = afl.run(&[b"seed".to_vec()]);
-        assert_eq!(stats.store.reports().len(), 0, "no false positives on stable code");
+        assert_eq!(
+            stats.store.reports().len(),
+            0,
+            "no false positives on stable code"
+        );
     }
 
     #[test]
@@ -221,7 +243,11 @@ mod tests {
         "#;
         let afl = CompDiffAfl::from_source_default(
             src,
-            FuzzConfig { max_execs: 6_000, seed: 7, ..Default::default() },
+            FuzzConfig {
+                max_execs: 6_000,
+                seed: 7,
+                ..Default::default()
+            },
             DiffConfig::default(),
         )
         .unwrap();

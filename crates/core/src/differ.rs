@@ -25,7 +25,11 @@ pub struct DiffConfig {
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { vm: VmConfig::default(), filters: Vec::new(), timeout_escalations: 3 }
+        DiffConfig {
+            vm: VmConfig::default(),
+            filters: Vec::new(),
+            timeout_escalations: 3,
+        }
     }
 }
 
@@ -62,7 +66,10 @@ impl CompDiff {
     /// Panics if fewer than two binaries are supplied (differential testing
     /// needs at least two implementations).
     pub fn new(binaries: Vec<Binary>, config: DiffConfig) -> Self {
-        assert!(binaries.len() >= 2, "CompDiff needs at least two compiler implementations");
+        assert!(
+            binaries.len() >= 2,
+            "CompDiff needs at least two compiler implementations"
+        );
         CompDiff { binaries, config }
     }
 
@@ -124,7 +131,10 @@ impl CompDiff {
             let mut budget = self.config.vm.step_limit;
             for _ in 0..self.config.timeout_escalations {
                 budget = budget.saturating_mul(2);
-                let cfg = VmConfig { step_limit: budget, ..self.config.vm.clone() };
+                let cfg = VmConfig {
+                    step_limit: budget,
+                    ..self.config.vm.clone()
+                };
                 for (i, b) in self.binaries.iter().enumerate() {
                     if results[i].status == ExitStatus::TimedOut {
                         results[i] = execute(b, input, &cfg);
@@ -139,8 +149,10 @@ impl CompDiff {
             }
         }
 
-        let hashes: Vec<u64> =
-            results.iter().map(|r| hash64(&self.observable(r))).collect();
+        let hashes: Vec<u64> = results
+            .iter()
+            .map(|r| hash64(&self.observable(r)))
+            .collect();
 
         // Group implementations by hash; timed-out entries form their own
         // class but do not count toward divergence when unresolved.
@@ -167,7 +179,13 @@ impl CompDiff {
             classes.len() > 1
         };
 
-        DiffOutcome { results, hashes, classes, divergent, unresolved_timeout }
+        DiffOutcome {
+            results,
+            hashes,
+            classes,
+            divergent,
+            unresolved_timeout,
+        }
     }
 
     /// Convenience: is there *any* divergence on this input?
@@ -262,7 +280,10 @@ mod tests {
         assert!(raw.is_divergent(b""));
         let filtered = CompDiff::from_source_default(
             src,
-            DiffConfig { filters: vec![OutputFilter::PointerAddresses], ..Default::default() },
+            DiffConfig {
+                filters: vec![OutputFilter::PointerAddresses],
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(!filtered.is_divergent(b""));
@@ -283,12 +304,19 @@ mod tests {
             }
         "#;
         let cfg = DiffConfig {
-            vm: VmConfig { step_limit: 150_000, ..Default::default() },
+            vm: VmConfig {
+                step_limit: 150_000,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let diff = CompDiff::from_source_default(src, cfg).unwrap();
         let out = diff.run_input(b"");
-        assert!(!out.divergent, "escalation should settle timeouts: {:?}", out.classes);
+        assert!(
+            !out.divergent,
+            "escalation should settle timeouts: {:?}",
+            out.classes
+        );
     }
 
     #[test]

@@ -164,7 +164,10 @@ mod tests {
 
     #[test]
     fn strips_plain_hms() {
-        assert_eq!(OutputFilter::Timestamps.apply(b"at 09:01:59 done"), b"at <TS> done");
+        assert_eq!(
+            OutputFilter::Timestamps.apply(b"at 09:01:59 done"),
+            b"at <TS> done"
+        );
         assert_eq!(OutputFilter::Timestamps.apply(b"ratio 1:2"), b"ratio 1:2");
     }
 
@@ -183,7 +186,10 @@ mod tests {
 
     #[test]
     fn literal_replacement() {
-        let f = OutputFilter::Literal { from: b"seed".to_vec(), to: b"X".to_vec() };
+        let f = OutputFilter::Literal {
+            from: b"seed".to_vec(),
+            to: b"X".to_vec(),
+        };
         assert_eq!(f.apply(b"seed of seeds"), b"X of Xs");
     }
 

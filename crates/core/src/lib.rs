@@ -38,11 +38,11 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod afl;
 pub mod differ;
 pub mod filters;
+pub mod json;
 pub mod minimize;
 pub mod murmur;
 pub mod report;
@@ -51,7 +51,8 @@ pub mod subset;
 pub use afl::{CompDiffAfl, CompDiffAflStats, CompDiffOracle};
 pub use differ::{CompDiff, DiffConfig, DiffOutcome};
 pub use filters::{apply_filters, OutputFilter};
+pub use json::{Json, JsonError};
 pub use minimize::{minimize, MinimizeStats};
 pub use murmur::{hash64, murmur3_x64_128};
-pub use report::{signature_of, Discrepancy, DiffStore};
+pub use report::{signature_of, DiffStore, Discrepancy};
 pub use subset::{detected_by, HashVector, SizeStats, SubsetAnalysis};

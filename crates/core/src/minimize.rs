@@ -81,8 +81,11 @@ pub fn minimize(diff: &CompDiff, input: &[u8]) -> (Vec<u8>, MinimizeStats) {
         }
     }
 
-    let stats =
-        MinimizeStats { original_len: input.len(), minimized_len: cur.len(), runs };
+    let stats = MinimizeStats {
+        original_len: input.len(),
+        minimized_len: cur.len(),
+        runs,
+    };
     (cur, stats)
 }
 

@@ -107,8 +107,7 @@ mod tests {
     fn covers_all_tail_lengths() {
         // Exercise every tail-length code path (0..=15 extra bytes).
         let data: Vec<u8> = (0u8..64).collect();
-        let hashes: Vec<(u64, u64)> =
-            (0..32).map(|n| murmur3_x64_128(&data[..n], 0)).collect();
+        let hashes: Vec<(u64, u64)> = (0..32).map(|n| murmur3_x64_128(&data[..n], 0)).collect();
         let unique: std::collections::HashSet<_> = hashes.iter().collect();
         assert_eq!(unique.len(), hashes.len());
     }
@@ -118,6 +117,9 @@ mod tests {
         let a = hash64(b"0000000000000000");
         let b = hash64(b"0000000000000001");
         let diff = (a ^ b).count_ones();
-        assert!(diff > 16, "single-byte change should flip many bits ({diff})");
+        assert!(
+            diff > 16,
+            "single-byte change should flip many bits ({diff})"
+        );
     }
 }

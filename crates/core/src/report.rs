@@ -8,14 +8,14 @@
 //! problem; this is the approximation used by our experiment harnesses).
 
 use crate::differ::{CompDiff, DiffOutcome};
+use crate::json::Json;
 use minc_compile::CompilerImpl;
 use minc_vm::ExitStatus;
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// One reported discrepancy: everything the paper puts in a bug report
 /// (triggering input, reproducing configurations, the divergent outputs).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Discrepancy {
     /// The triggering input.
     pub input: Vec<u8>,
@@ -49,14 +49,23 @@ impl Discrepancy {
             })
             .collect();
         let signature = signature_of(impls, outcome);
-        Discrepancy { input: input.to_vec(), classes, samples, signature }
+        Discrepancy {
+            input: input.to_vec(),
+            classes,
+            samples,
+            signature,
+        }
     }
 
     /// Renders the report the way it would be filed upstream.
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str("== CompDiff discrepancy report ==\n");
-        s.push_str(&format!("input ({} bytes): {:?}\n", self.input.len(), preview_bytes(&self.input)));
+        s.push_str(&format!(
+            "input ({} bytes): {:?}\n",
+            self.input.len(),
+            preview_bytes(&self.input)
+        ));
         s.push_str(&format!("signature: {}\n", self.signature));
         for (impl_, out, status) in &self.samples {
             s.push_str(&format!("  [{impl_}] status={status} stdout={out:?}\n"));
@@ -67,11 +76,50 @@ impl Discrepancy {
         }
         s
     }
+
+    /// Machine-readable form (the `diffs/` directory's metadata files).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "input",
+                Json::Array(self.input.iter().map(|&b| Json::Int(b as i64)).collect()),
+            ),
+            ("signature", Json::Str(self.signature.clone())),
+            (
+                "classes",
+                Json::Array(
+                    self.classes
+                        .iter()
+                        .map(|c| Json::strings(c.iter()))
+                        .collect(),
+                ),
+            ),
+            (
+                "samples",
+                Json::Array(
+                    self.samples
+                        .iter()
+                        .map(|(impl_, out, status)| {
+                            Json::obj(vec![
+                                ("impl", Json::Str(impl_.clone())),
+                                ("stdout", Json::Str(out.clone())),
+                                ("status", Json::Str(status.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 fn preview_bytes(b: &[u8]) -> String {
     let head: Vec<u8> = b.iter().take(32).copied().collect();
-    format!("{}{}", String::from_utf8_lossy(&head).escape_debug(), if b.len() > 32 { "…" } else { "" })
+    format!(
+        "{}{}",
+        String::from_utf8_lossy(&head).escape_debug(),
+        if b.len() > 32 { "…" } else { "" }
+    )
 }
 
 /// The triage signature: which implementations group together plus each
@@ -134,8 +182,11 @@ impl DiffStore {
 
     /// One representative report per signature.
     pub fn representatives(&self) -> Vec<&Discrepancy> {
-        let mut v: Vec<&Discrepancy> =
-            self.by_signature.values().map(|idxs| &self.discrepancies[idxs[0]]).collect();
+        let mut v: Vec<&Discrepancy> = self
+            .by_signature
+            .values()
+            .map(|idxs| &self.discrepancies[idxs[0]])
+            .collect();
         v.sort_by(|a, b| a.signature.cmp(&b.signature));
         v
     }
@@ -187,7 +238,8 @@ mod tests {
     fn signature_distinguishes_trap_patterns() {
         // Crash-vs-exit divergence gets a different signature than
         // value-vs-value divergence.
-        let crashy = "int main() { int z = (int)input_size(); int d = 5 / z; printf(\"ok\\n\"); return 0; }";
+        let crashy =
+            "int main() { int z = (int)input_size(); int d = 5 / z; printf(\"ok\\n\"); return 0; }";
         let valuey = "int main() { int u; printf(\"%d\\n\", u); return 0; }";
         let d1 = CompDiff::from_source_default(crashy, DiffConfig::default()).unwrap();
         let d2 = CompDiff::from_source_default(valuey, DiffConfig::default()).unwrap();

@@ -8,7 +8,6 @@
 //! all `2^k - k - 1` subsets are evaluated without re-running anything.
 
 use minc_compile::CompilerImpl;
-use serde::Serialize;
 
 /// A bug's per-implementation output hashes (engine order).
 pub type HashVector = Vec<u64>;
@@ -30,7 +29,7 @@ pub fn detected_by(hashes: &[u64], mask: u32) -> bool {
 }
 
 /// Detection counts for every subset.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SubsetAnalysis {
     /// Number of implementations.
     pub k: usize,
@@ -44,7 +43,7 @@ pub struct SubsetAnalysis {
 }
 
 /// Per-size distribution summary (one box of the paper's box plots).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SizeStats {
     /// Subset size.
     pub size: usize,
@@ -72,7 +71,10 @@ impl SubsetAnalysis {
     /// `impls.len() > 20` (subset enumeration would explode).
     pub fn analyze(bugs: &[HashVector], impls: &[CompilerImpl]) -> SubsetAnalysis {
         let k = impls.len();
-        assert!(k >= 2 && k <= 20, "subset analysis supports 2..=20 implementations");
+        assert!(
+            k >= 2 && k <= 20,
+            "subset analysis supports 2..=20 implementations"
+        );
         for b in bugs {
             assert_eq!(b.len(), k, "hash vector arity mismatch");
         }
@@ -94,7 +96,10 @@ impl SubsetAnalysis {
     }
 
     fn subset_names(&self, mask: u32) -> Vec<String> {
-        (0..self.k).filter(|i| mask & (1 << i) != 0).map(|i| self.impls[i].clone()).collect()
+        (0..self.k)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| self.impls[i].clone())
+            .collect()
     }
 
     /// Distribution statistics for each subset size 2..=k (Figure 1's
@@ -144,7 +149,10 @@ impl SubsetAnalysis {
             let i = self.impls.iter().position(|x| x == n)?;
             mask |= 1 << i;
         }
-        self.results.iter().find(|&&(m, _, _)| m == mask).map(|&(_, _, d)| d)
+        self.results
+            .iter()
+            .find(|&&(m, _, _)| m == mask)
+            .map(|&(_, _, d)| d)
     }
 
     /// Relative runtime cost of a subset (paper: the full set is ~10×
@@ -200,8 +208,10 @@ mod tests {
 
     #[test]
     fn named_subset_lookup() {
-        let bugs: Vec<HashVector> =
-            vec![vec![10, 1, 1, 1, 1, 1, 1, 1, 1, 99], vec![5, 5, 5, 5, 5, 5, 5, 5, 5, 5]];
+        let bugs: Vec<HashVector> = vec![
+            vec![10, 1, 1, 1, 1, 1, 1, 1, 1, 99],
+            vec![5, 5, 5, 5, 5, 5, 5, 5, 5, 5],
+        ];
         let a = SubsetAnalysis::analyze(&bugs, &impls10());
         // gcc-O0 (index 0) vs clang-Os (index 9) differ on bug 0 only.
         assert_eq!(a.detection_of(&["gcc-O0", "clang-Os"]), Some(1));

@@ -32,7 +32,9 @@ impl Default for CoverageMap {
 impl CoverageMap {
     /// An empty map.
     pub fn new() -> Self {
-        CoverageMap { map: Box::new([0u8; MAP_SIZE]) }
+        CoverageMap {
+            map: Box::new([0u8; MAP_SIZE]),
+        }
     }
 
     /// Zeroes the map for the next execution.
@@ -107,7 +109,9 @@ impl Default for GlobalCoverage {
 impl GlobalCoverage {
     /// Fresh (all-virgin) global map.
     pub fn new() -> Self {
-        GlobalCoverage { virgin: Box::new([0u8; MAP_SIZE]) }
+        GlobalCoverage {
+            virgin: Box::new([0u8; MAP_SIZE]),
+        }
     }
 
     /// Merges one execution's coverage; returns `true` if it contributed
@@ -206,7 +210,11 @@ mod tests {
     use super::*;
 
     fn loc(f: u32, b: u32) -> Loc {
-        Loc { func: f, block: b, inst: 0 }
+        Loc {
+            func: f,
+            block: b,
+            inst: 0,
+        }
     }
 
     #[test]

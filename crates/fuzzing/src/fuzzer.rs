@@ -193,12 +193,12 @@ impl<T: TargetExec, O: Oracle> Fuzzer<T, O> {
 
         // Main loop.
         while self.stats.execs < self.config.max_execs && !self.queue.is_empty() {
-            let Some(idx) = self.queue.next_index() else { break };
+            let Some(idx) = self.queue.next_index() else {
+                break;
+            };
             let seed_input = self.queue.seed(idx).input.clone();
 
-            if self.config.deterministic
-                && !self.queue.seed(idx).det_done
-                && seed_input.len() <= 20
+            if self.config.deterministic && !self.queue.seed(idx).det_done && seed_input.len() <= 20
             {
                 let mut budget_left = true;
                 let mut mutants = Vec::new();
@@ -242,7 +242,9 @@ impl<T: TargetExec, O: Oracle> Fuzzer<T, O> {
                             );
                             mutate::havoc(&spliced, &mut self.rng, self.config.max_input_len)
                         }
-                        None => mutate::havoc(&seed_input, &mut self.rng, self.config.max_input_len),
+                        None => {
+                            mutate::havoc(&seed_input, &mut self.rng, self.config.max_input_len)
+                        }
                     }
                 } else {
                     mutate::havoc(&seed_input, &mut self.rng, self.config.max_input_len)
@@ -275,7 +277,8 @@ impl<T: TargetExec, O: Oracle> Fuzzer<T, O> {
         if result.status.is_crash() {
             let signature = crash_signature(&result.status);
             if !self.crash_sigs.contains_key(&signature) {
-                self.crash_sigs.insert(signature.clone(), self.stats.crashes.len());
+                self.crash_sigs
+                    .insert(signature.clone(), self.stats.crashes.len());
                 self.stats.crashes.push(Crash {
                     input: input.to_vec(),
                     status: result.status.clone(),
@@ -338,8 +341,15 @@ mod tests {
             }
         "#;
         let bin = target_binary(src);
-        let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
-        let config = FuzzConfig { max_execs: 60_000, seed: 1, ..Default::default() };
+        let target = BinaryTarget {
+            binary: &bin,
+            vm: VmConfig::default(),
+        };
+        let config = FuzzConfig {
+            max_execs: 60_000,
+            seed: 1,
+            ..Default::default()
+        };
         let stats = Fuzzer::new(target, NoOracle, config).run(&[b"AAAAAAA".to_vec()]);
         assert!(
             stats.crashes.iter().any(|c| c.signature.contains("Segv")),
@@ -364,8 +374,15 @@ mod tests {
         "#;
         let bin = target_binary(src);
         let run = || {
-            let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
-            let config = FuzzConfig { max_execs: 5_000, seed: 99, ..Default::default() };
+            let target = BinaryTarget {
+                binary: &bin,
+                vm: VmConfig::default(),
+            };
+            let config = FuzzConfig {
+                max_execs: 5_000,
+                seed: 99,
+                ..Default::default()
+            };
             let s = Fuzzer::new(target, NoOracle, config).run(&[b"ab".to_vec()]);
             (s.execs, s.edges, s.crashes.len(), s.corpus_len)
         };
@@ -385,8 +402,15 @@ mod tests {
             }
         "#;
         let bin = target_binary(src);
-        let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
-        let config = FuzzConfig { max_execs: 3_000, seed: 3, ..Default::default() };
+        let target = BinaryTarget {
+            binary: &bin,
+            vm: VmConfig::default(),
+        };
+        let config = FuzzConfig {
+            max_execs: 3_000,
+            seed: 3,
+            ..Default::default()
+        };
         let stats = Fuzzer::new(target, NoOracle, config).run(&[b"....".to_vec()]);
         assert!(stats.corpus_len > 1, "novel paths should be kept");
     }
@@ -400,8 +424,15 @@ mod tests {
             }
         }
         let bin = target_binary("int main() { return 0; }");
-        let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
-        let config = FuzzConfig { max_execs: 500, seed: 4, ..Default::default() };
+        let target = BinaryTarget {
+            binary: &bin,
+            vm: VmConfig::default(),
+        };
+        let config = FuzzConfig {
+            max_execs: 500,
+            seed: 4,
+            ..Default::default()
+        };
         let stats = Fuzzer::new(target, EvenLen, config).run(&[b"ab".to_vec()]);
         assert!(!stats.oracle_finds.is_empty());
         let set: HashSet<_> = stats.oracle_finds.iter().collect();
@@ -420,8 +451,15 @@ mod tests {
             }
         "#;
         let bin = target_binary(src);
-        let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
-        let config = FuzzConfig { max_execs: 4_000, seed: 5, ..Default::default() };
+        let target = BinaryTarget {
+            binary: &bin,
+            vm: VmConfig::default(),
+        };
+        let config = FuzzConfig {
+            max_execs: 4_000,
+            seed: 5,
+            ..Default::default()
+        };
         let stats = Fuzzer::new(target, NoOracle, config).run(&[b"zz".to_vec()]);
         // Both crash sites segfault -> one signature bucket.
         assert_eq!(stats.crashes.len(), 1, "{:?}", stats.crashes);

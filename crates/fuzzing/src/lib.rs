@@ -29,7 +29,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod coverage;
 pub mod fuzzer;

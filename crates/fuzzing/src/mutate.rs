@@ -5,8 +5,7 @@ use crate::rng::Rng;
 /// Interesting 8-bit values (AFL's list).
 pub const INTERESTING_8: [i8; 9] = [-128, -1, 0, 1, 16, 32, 64, 100, 127];
 /// Interesting 16-bit values.
-pub const INTERESTING_16: [i16; 10] =
-    [-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767];
+pub const INTERESTING_16: [i16; 10] = [-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767];
 /// Interesting 32-bit values.
 pub const INTERESTING_32: [i32; 8] = [
     i32::MIN,

@@ -31,7 +31,13 @@ impl Queue {
 
     /// Adds a seed.
     pub fn add(&mut self, input: Vec<u8>, steps: u64, edges: usize) {
-        self.seeds.push(Seed { input, steps, edges, det_done: false, selected: 0 });
+        self.seeds.push(Seed {
+            input,
+            steps,
+            edges,
+            det_done: false,
+            selected: 0,
+        });
     }
 
     /// Number of seeds.
@@ -92,7 +98,11 @@ impl Queue {
             return None;
         }
         let other = (idx + 1 + (idx * 7) % (self.seeds.len() - 1)) % self.seeds.len();
-        let other = if other == idx { (idx + 1) % self.seeds.len() } else { other };
+        let other = if other == idx {
+            (idx + 1) % self.seeds.len()
+        } else {
+            other
+        };
         Some(&self.seeds[other])
     }
 

@@ -20,7 +20,9 @@ impl Rng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             z ^ (z >> 31)
         };
-        Rng { s: [next_sm(), next_sm(), next_sm(), next_sm()] }
+        Rng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
     }
 
     /// Next raw 64-bit value.

@@ -359,7 +359,10 @@ fn cores(cwe: Cwe, i: usize) -> (String, String, String) {
                     // fold it too, so UBSan misses.
                     let sh = 33 + (i % 20);
                     let bad = format!("    int v = 1 << {sh};\n    printf(\"v=%d\\n\", v);\n");
-                    let good = format!("    int v = 1 << {};\n    printf(\"v=%d\\n\", v);\n", sh % 31);
+                    let good = format!(
+                        "    int v = 1 << {};\n    printf(\"v=%d\\n\", v);\n",
+                        sh % 31
+                    );
                     (bad, good, no_extra)
                 }
                 1 => {
@@ -419,8 +422,9 @@ fn cores(cwe: Cwe, i: usize) -> (String, String, String) {
                 // wrong-but-stable result that neither tool reports.
                 let bad = "    long big = atoi(\"70000\") * 100000L;\n    int t = (int)big;\n    printf(\"t=%d\\n\", t);\n"
                     .to_string();
-                let good = "    long big = atoi(\"70000\") * 100000L;\n    printf(\"t=%ld\\n\", big);\n"
-                    .to_string();
+                let good =
+                    "    long big = atoi(\"70000\") * 100000L;\n    printf(\"t=%ld\\n\", big);\n"
+                        .to_string();
                 (bad, good, no_extra)
             }
             _ => {
@@ -465,16 +469,18 @@ fn cores(cwe: Cwe, i: usize) -> (String, String, String) {
         Cwe::Cwe369 => match i % 4 {
             0 => {
                 // Result observed: every implementation traps identically.
-                let bad = "    int z = atoi(\"0\");\n    SINK = 100 / z;\n    printf(\"done\\n\");\n"
-                    .to_string();
+                let bad =
+                    "    int z = atoi(\"0\");\n    SINK = 100 / z;\n    printf(\"done\\n\");\n"
+                        .to_string();
                 let good = "    int z = atoi(\"0\");\n    if (z != 0) { SINK = 100 / z; }\n    printf(\"done\\n\");\n"
                     .to_string();
                 (bad, good, no_extra)
             }
             1 => {
                 // Result dead: -O0 traps, -O2 deletes the division.
-                let bad = "    int z = atoi(\"0\");\n    int dead = 100 / z;\n    printf(\"done\\n\");\n"
-                    .to_string();
+                let bad =
+                    "    int z = atoi(\"0\");\n    int dead = 100 / z;\n    printf(\"done\\n\");\n"
+                        .to_string();
                 let good = "    int z = atoi(\"0\");\n    int dead = 100 / (z + 1);\n    SINK = dead;\n    printf(\"done\\n\");\n"
                     .to_string();
                 (bad, good, no_extra)
@@ -496,8 +502,9 @@ fn cores(cwe: Cwe, i: usize) -> (String, String, String) {
                 // Observed deref: traps identically everywhere.
                 let bad = "    int* p = (int*)(long)atoi(\"0\");\n    SINK = *p;\n    printf(\"done\\n\");\n"
                     .to_string();
-                let good = "    int v = 3;\n    int* p = &v;\n    SINK = *p;\n    printf(\"done\\n\");\n"
-                    .to_string();
+                let good =
+                    "    int v = 3;\n    int* p = &v;\n    SINK = *p;\n    printf(\"done\\n\");\n"
+                        .to_string();
                 (bad, good, no_extra)
             }
             _ => {
@@ -555,8 +562,8 @@ fn cores(cwe: Cwe, i: usize) -> (String, String, String) {
             _ => {
                 // The common shape: print an uninitialized local (MSan's
                 // deliberate blind spot, CompDiff's strength).
-                let bad = "    int u;\n    int v = u * 2 + 1;\n    printf(\"v=%d\\n\", v);\n"
-                    .to_string();
+                let bad =
+                    "    int u;\n    int v = u * 2 + 1;\n    printf(\"v=%d\\n\", v);\n".to_string();
                 // Some good variants initialize inside a single-iteration
                 // loop: clean dynamically, but a may-uninit trap for eager
                 // static analyzers (a deliberate false-positive source);

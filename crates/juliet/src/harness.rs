@@ -8,9 +8,8 @@
 
 use crate::generators::generate;
 use crate::model::{Cwe, Group, JulietTest};
-use compdiff::{CompDiff, DiffConfig, HashVector};
+use compdiff::{CompDiff, DiffConfig, HashVector, Json};
 use minc_vm::{ExitStatus, SanitizerKind, VmConfig};
-use serde::Serialize;
 use staticheck::{Defect, Tool};
 
 /// Builds the suite at a given scale (`1.0` = the paper's 18,142 tests;
@@ -27,7 +26,7 @@ pub fn suite(scale: f64) -> Vec<JulietTest> {
 }
 
 /// Per-test evaluation outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TestEval {
     /// Test id.
     pub id: String,
@@ -53,9 +52,12 @@ pub struct TestEval {
 /// (prevents cross-crediting a tool for an unrelated incidental finding).
 pub fn relevant_defects(group: Group) -> &'static [Defect] {
     match group {
-        Group::MemoryError => {
-            &[Defect::OutOfBounds, Defect::UseAfterFree, Defect::DoubleFree, Defect::BadFree]
-        }
+        Group::MemoryError => &[
+            Defect::OutOfBounds,
+            Defect::UseAfterFree,
+            Defect::DoubleFree,
+            Defect::BadFree,
+        ],
         Group::BadApiInput => &[Defect::BadApiUsage],
         Group::BadStructPointer => &[Defect::OutOfBounds],
         Group::BadFunctionCall => &[Defect::FormatMismatch],
@@ -93,7 +95,11 @@ pub fn evaluate(test: &JulietTest, vm: &VmConfig) -> TestEval {
     }
 
     // Sanitizers (separate instrumented builds, like -fsanitize).
-    let kinds = [SanitizerKind::Asan, SanitizerKind::Ubsan, SanitizerKind::Msan];
+    let kinds = [
+        SanitizerKind::Asan,
+        SanitizerKind::Ubsan,
+        SanitizerKind::Msan,
+    ];
     let mut san_det = [false; 3];
     let mut san_fp = [false; 3];
     if let Ok(bin) = sanitizers::compile_sanitized(&test.bad) {
@@ -110,7 +116,10 @@ pub fn evaluate(test: &JulietTest, vm: &VmConfig) -> TestEval {
     }
 
     // CompDiff over the default ten implementations.
-    let cfg = DiffConfig { vm: vm.clone(), ..Default::default() };
+    let cfg = DiffConfig {
+        vm: vm.clone(),
+        ..Default::default()
+    };
     let (compdiff_det, hashes) = match CompDiff::from_source_default(&test.bad, cfg.clone()) {
         Ok(diff) => {
             let o = diff.run_input(b"");
@@ -137,7 +146,7 @@ pub fn evaluate(test: &JulietTest, vm: &VmConfig) -> TestEval {
 }
 
 /// One Table 3 row (percentages 0-100).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Which group.
     pub group: Group,
@@ -160,7 +169,7 @@ pub struct Table3Row {
 }
 
 /// The full Table 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3 {
     /// Rows in paper order.
     pub rows: Vec<Table3Row>,
@@ -168,7 +177,13 @@ pub struct Table3 {
 
 /// Aggregates per-test evaluations into Table 3.
 pub fn table3(evals: &[TestEval]) -> Table3 {
-    let pct = |n: usize, d: usize| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+    let pct = |n: usize, d: usize| {
+        if d == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / d as f64
+        }
+    };
     let rows = Group::ALL
         .iter()
         .map(|&group| {
@@ -217,8 +232,18 @@ impl Table3 {
         let mut s = String::new();
         s.push_str(&format!(
             "{:<24} {:>6} | {:>9} {:>9} {:>9} | {:>5} {:>5} {:>5} {:>6} | {:>8} {:>7} {:>6}\n",
-            "Description", "#Tests", "Coverity", "Cppcheck", "Infer", "ASan", "UBSan", "MSan",
-            "SanTot", "CompDiff", "#Unique", "CD-FP"
+            "Description",
+            "#Tests",
+            "Coverity",
+            "Cppcheck",
+            "Infer",
+            "ASan",
+            "UBSan",
+            "MSan",
+            "SanTot",
+            "CompDiff",
+            "#Unique",
+            "CD-FP"
         ));
         s.push_str(&"-".repeat(130));
         s.push('\n');
@@ -249,12 +274,41 @@ impl Table3 {
     pub fn total_unique(&self) -> usize {
         self.rows.iter().map(|r| r.unique).sum()
     }
+
+    /// Machine-readable form (the `--json` flag of `exp_table3`).
+    pub fn to_json(&self) -> Json {
+        let floats = |xs: &[f64; 3]| Json::Array(xs.iter().map(|&f| Json::Float(f)).collect());
+        Json::obj(vec![(
+            "rows",
+            Json::Array(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("group", Json::Str(r.group.label().to_string())),
+                            ("tests", Json::Int(r.tests as i64)),
+                            ("static_det", floats(&r.static_det)),
+                            ("static_fp", floats(&r.static_fp)),
+                            ("san_det", floats(&r.san_det)),
+                            ("san_total", Json::Float(r.san_total)),
+                            ("compdiff", Json::Float(r.compdiff)),
+                            ("unique", Json::Int(r.unique as i64)),
+                            ("compdiff_fp", Json::Int(r.compdiff_fp as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
 }
 
 /// Renders Table 2 (the suite overview).
 pub fn render_table2(scale: f64) -> String {
     let mut s = String::new();
-    s.push_str(&format!("{:<10} {:<42} {:>8} {:>8}\n", "CWE-ID", "Description", "#Paper", "#Here"));
+    s.push_str(&format!(
+        "{:<10} {:<42} {:>8} {:>8}\n",
+        "CWE-ID", "Description", "#Paper", "#Here"
+    ));
     s.push_str(&"-".repeat(72));
     s.push('\n');
     let mut total_paper = 0;
@@ -273,7 +327,10 @@ pub fn render_table2(scale: f64) -> String {
     }
     s.push_str(&"-".repeat(72));
     s.push('\n');
-    s.push_str(&format!("{:<10} {:<42} {:>8} {:>8}\n", "Total", "", total_paper, total_here));
+    s.push_str(&format!(
+        "{:<10} {:<42} {:>8} {:>8}\n",
+        "Total", "", total_paper, total_here
+    ));
     s
 }
 
@@ -336,7 +393,10 @@ mod tests {
     fn printf_arity_everybody_who_should() {
         let e = eval_cwe(Cwe::Cwe685, 1);
         assert!(e.compdiff_det, "junk vararg diverges");
-        assert!(e.static_det[0] && e.static_det[1], "coverity+cppcheck check arity");
+        assert!(
+            e.static_det[0] && e.static_det[1],
+            "coverity+cppcheck check arity"
+        );
         assert!(!e.static_det[2], "infer does not");
     }
 
@@ -344,7 +404,11 @@ mod tests {
     fn table3_aggregation_math() {
         let evals = vec![eval_cwe(Cwe::Cwe469, 0), eval_cwe(Cwe::Cwe469, 1)];
         let t = table3(&evals);
-        let row = t.rows.iter().find(|r| r.group == Group::PointerSubtraction).unwrap();
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r.group == Group::PointerSubtraction)
+            .unwrap();
         assert_eq!(row.tests, 2);
         assert_eq!(row.compdiff, 100.0);
         assert_eq!(row.unique, 2);

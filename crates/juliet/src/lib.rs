@@ -18,7 +18,6 @@
 //! assert!(tests.len() >= 160); // >= 8 tests per CWE even at tiny scale
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod generators;
 pub mod harness;

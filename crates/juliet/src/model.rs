@@ -1,10 +1,9 @@
 //! The benchmark model: CWEs, groups, and test cases.
 
-use serde::Serialize;
 use std::fmt;
 
 /// The 20 CWE categories of the paper's Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum Cwe {
     Cwe121,
@@ -163,7 +162,7 @@ impl fmt::Display for Cwe {
 }
 
 /// The rows of Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Group {
     /// CWE-121..127, 415, 416, 590.
     MemoryError,

@@ -57,7 +57,10 @@ fn asan_near_far_split() {
         assert!(sanitizer_detects(cwe, 0, SanitizerKind::Asan), "{cwe} near");
         // Variant 7 is far (beyond the redzone).
         assert!(!sanitizer_detects(cwe, 7, SanitizerKind::Asan), "{cwe} far");
-        assert!(compdiff_detects(cwe, 7), "{cwe} far must be CompDiff-unique");
+        assert!(
+            compdiff_detects(cwe, 7),
+            "{cwe} far must be CompDiff-unique"
+        );
     }
 }
 
@@ -76,21 +79,39 @@ fn ubsan_integer_split() {
 /// dead-division variants are its catch.
 #[test]
 fn divzero_split() {
-    assert!(!compdiff_detects(Cwe::Cwe369, 0), "observed div: same trap everywhere");
-    assert!(compdiff_detects(Cwe::Cwe369, 1), "dead div: -O0 traps, -O2 does not");
+    assert!(
+        !compdiff_detects(Cwe::Cwe369, 0),
+        "observed div: same trap everywhere"
+    );
+    assert!(
+        compdiff_detects(Cwe::Cwe369, 1),
+        "dead div: -O0 traps, -O2 does not"
+    );
     assert!(sanitizer_detects(Cwe::Cwe369, 0, SanitizerKind::Ubsan));
     assert!(sanitizer_detects(Cwe::Cwe369, 1, SanitizerKind::Ubsan));
-    assert!(!sanitizer_detects(Cwe::Cwe369, 2, SanitizerKind::Ubsan), "float div");
+    assert!(
+        !sanitizer_detects(Cwe::Cwe369, 2, SanitizerKind::Ubsan),
+        "float div"
+    );
 }
 
 /// MSan policy: branch-use variants only.
 #[test]
 fn msan_use_point_policy() {
-    assert!(!sanitizer_detects(Cwe::Cwe457, 0, SanitizerKind::Msan), "print-only");
-    assert!(sanitizer_detects(Cwe::Cwe457, 6, SanitizerKind::Msan), "branch-on-uninit");
+    assert!(
+        !sanitizer_detects(Cwe::Cwe457, 0, SanitizerKind::Msan),
+        "print-only"
+    );
+    assert!(
+        sanitizer_detects(Cwe::Cwe457, 6, SanitizerKind::Msan),
+        "branch-on-uninit"
+    );
     // CompDiff catches the printed-junk variants...
     for i in [0, 1, 7] {
-        assert!(compdiff_detects(Cwe::Cwe457, i), "CompDiff catches uninit variant {i}");
+        assert!(
+            compdiff_detects(Cwe::Cwe457, i),
+            "CompDiff catches uninit variant {i}"
+        );
     }
     // ...but misses the branch-only variant: `junk == 77` is false under
     // every implementation, so outputs agree — the paper's explanation for

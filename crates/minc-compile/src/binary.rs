@@ -27,7 +27,11 @@ pub struct Binary {
 impl Binary {
     /// Finalizes an optimized IR program into a binary.
     pub fn link(program: IrProgram, personality: Personality) -> Binary {
-        let frames = program.functions.iter().map(|f| place_frame(f, &personality)).collect();
+        let frames = program
+            .functions
+            .iter()
+            .map(|f| place_frame(f, &personality))
+            .collect();
         let global_addrs = place_globals(&program.globals, &personality);
         let string_addrs = place_strings(&program.strings, &personality);
         Binary {
@@ -134,6 +138,11 @@ mod tests {
         "#;
         let o3 = compile_source(src, CompilerImpl::new(Family::Gcc, OptLevel::O3)).unwrap();
         let os = compile_source(src, CompilerImpl::new(Family::Gcc, OptLevel::Os)).unwrap();
-        assert!(os.size() <= o3.size(), "Os {} vs O3 {}", os.size(), o3.size());
+        assert!(
+            os.size() <= o3.size(),
+            "Os {} vs O3 {}",
+            os.size(),
+            o3.size()
+        );
     }
 }

@@ -12,24 +12,45 @@ pub fn inst(i: &Inst) -> String {
     match i {
         Inst::Const { dst, ty, val } => format!("{dst} = const.{ty} {}", const_val(val)),
         Inst::Copy { dst, ty, src } => format!("{dst} = copy.{ty} {src}"),
-        Inst::Bin { dst, ty, op, a, b, ub_signed } => {
+        Inst::Bin {
+            dst,
+            ty,
+            op,
+            a,
+            b,
+            ub_signed,
+        } => {
             let marker = if *ub_signed { " !ub" } else { "" };
             format!("{dst} = {op:?}.{ty} {a}, {b}{marker}")
         }
-        Inst::Un { dst, ty, op, a, ub_signed } => {
+        Inst::Un {
+            dst,
+            ty,
+            op,
+            a,
+            ub_signed,
+        } => {
             let marker = if *ub_signed { " !ub" } else { "" };
             format!("{dst} = {op:?}.{ty} {a}{marker}")
         }
         Inst::Cast { dst, kind, a } => format!("{dst} = cast.{kind:?} {a}"),
         Inst::FrameAddr { dst, slot } => format!("{dst} = frame_addr {slot}"),
-        Inst::Load { dst, ty, addr, width, sext } => {
+        Inst::Load {
+            dst,
+            ty,
+            addr,
+            width,
+            sext,
+        } => {
             let ext = if *sext { "s" } else { "z" };
             format!("{dst} = load.{ty}.w{}{ext} [{addr}]", width.bytes())
         }
         Inst::Store { addr, src, width } => {
             format!("store.w{} [{addr}] = {src}", width.bytes())
         }
-        Inst::Call { dst, callee, args, .. } => {
+        Inst::Call {
+            dst, callee, args, ..
+        } => {
             let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
             let callee = match callee {
                 Callee::Func(f) => format!("fn#{}", f.0),
@@ -69,14 +90,22 @@ pub fn terminator(t: &Terminator) -> String {
 /// Renders one function with its slots, blocks, and instructions.
 pub fn function(f: &IrFunction) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "fn {}({} params, {} regs):", f.name, f.param_count, f.reg_count);
+    let _ = writeln!(
+        out,
+        "fn {}({} params, {} regs):",
+        f.name, f.param_count, f.reg_count
+    );
     for (i, s) in f.slots.iter().enumerate() {
         let flags = match (s.addressed, s.promoted) {
             (_, true) => " [promoted]",
             (true, _) => " [addressed]",
             _ => "",
         };
-        let _ = writeln!(out, "  slot s{i}: {} bytes, align {}, `{}`{flags}", s.size, s.align, s.name);
+        let _ = writeln!(
+            out,
+            "  slot s{i}: {} bytes, align {}, `{}`{flags}",
+            s.size, s.align, s.name
+        );
     }
     for b in f.reachable_blocks() {
         let block = &f.blocks[b.0 as usize];
@@ -93,7 +122,12 @@ pub fn function(f: &IrFunction) -> String {
 pub fn binary(bin: &Binary) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "; binary compiled by {}", bin.impl_id);
-    let _ = writeln!(out, "; rodata {:?}  globals {:?}", bin.rodata_range(), bin.globals_range());
+    let _ = writeln!(
+        out,
+        "; rodata {:?}  globals {:?}",
+        bin.rodata_range(),
+        bin.globals_range()
+    );
     for (i, g) in bin.program.globals.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -148,7 +182,10 @@ mod tests {
             "int main() { int a = (int)input_size(); return a + a; }",
             "gcc-O0",
         );
-        assert!(text.contains("!ub"), "signed add must carry the UB marker:\n{text}");
+        assert!(
+            text.contains("!ub"),
+            "signed add must carry the UB marker:\n{text}"
+        );
     }
 
     #[test]

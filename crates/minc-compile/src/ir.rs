@@ -191,13 +191,33 @@ impl BinKind {
     /// True for comparison operators (result is `i32` 0/1).
     pub fn is_comparison(self) -> bool {
         use BinKind::*;
-        matches!(self, Eq | Ne | LtS | LeS | GtS | GeS | LtU | LeU | GtU | GeU | FEq | FNe | FLt | FLe | FGt | FGe)
+        matches!(
+            self,
+            Eq | Ne
+                | LtS
+                | LeS
+                | GtS
+                | GeS
+                | LtU
+                | LeU
+                | GtU
+                | GeU
+                | FEq
+                | FNe
+                | FLt
+                | FLe
+                | FGt
+                | FGe
+        )
     }
 
     /// True for float arithmetic/comparison.
     pub fn is_float(self) -> bool {
         use BinKind::*;
-        matches!(self, FAdd | FSub | FMul | FDiv | FEq | FNe | FLt | FLe | FGt | FGe)
+        matches!(
+            self,
+            FAdd | FSub | FMul | FDiv | FEq | FNe | FLt | FLe | FGt | FGe
+        )
     }
 
     /// True for operators that can trap at runtime (division by zero).
@@ -255,23 +275,58 @@ pub enum Callee {
 #[allow(missing_docs)] // inline variant fields are described by the variant docs
 pub enum Inst {
     /// `dst = const`.
-    Const { dst: ValueId, ty: IrType, val: ConstVal },
+    Const {
+        dst: ValueId,
+        ty: IrType,
+        val: ConstVal,
+    },
     /// `dst = src` (register copy).
-    Copy { dst: ValueId, ty: IrType, src: ValueId },
+    Copy {
+        dst: ValueId,
+        ty: IrType,
+        src: ValueId,
+    },
     /// `dst = a op b`. `ub_signed` marks operations whose signed overflow
     /// is UB (the optimizer may assume it never happens).
-    Bin { dst: ValueId, ty: IrType, op: BinKind, a: ValueId, b: ValueId, ub_signed: bool },
+    Bin {
+        dst: ValueId,
+        ty: IrType,
+        op: BinKind,
+        a: ValueId,
+        b: ValueId,
+        ub_signed: bool,
+    },
     /// `dst = op a`.
-    Un { dst: ValueId, ty: IrType, op: UnKind, a: ValueId, ub_signed: bool },
+    Un {
+        dst: ValueId,
+        ty: IrType,
+        op: UnKind,
+        a: ValueId,
+        ub_signed: bool,
+    },
     /// `dst = cast(a)`.
-    Cast { dst: ValueId, kind: CastKind, a: ValueId },
+    Cast {
+        dst: ValueId,
+        kind: CastKind,
+        a: ValueId,
+    },
     /// `dst = &slot` (address of a frame slot in the current activation).
     FrameAddr { dst: ValueId, slot: SlotId },
     /// `dst = *(addr)` with the given width; `sext` selects sign extension
     /// for sub-word loads.
-    Load { dst: ValueId, ty: IrType, addr: ValueId, width: MemWidth, sext: bool },
+    Load {
+        dst: ValueId,
+        ty: IrType,
+        addr: ValueId,
+        width: MemWidth,
+        sext: bool,
+    },
     /// `*(addr) = src`.
-    Store { addr: ValueId, src: ValueId, width: MemWidth },
+    Store {
+        addr: ValueId,
+        src: ValueId,
+        width: MemWidth,
+    },
     /// Function or builtin call. `arg_tys` lets variadic builtins interpret
     /// register values correctly.
     Call {
@@ -336,7 +391,11 @@ pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),
     /// Conditional branch on an `i32` register (non-zero = then).
-    Br { cond: ValueId, then: BlockId, els: BlockId },
+    Br {
+        cond: ValueId,
+        then: BlockId,
+        els: BlockId,
+    },
     /// Return, with an optional value register.
     Ret(Option<ValueId>),
     /// Unreachable (e.g., after `abort()`); executing it traps.
@@ -366,7 +425,10 @@ pub struct Block {
 impl Block {
     /// An empty block ending in `Unreachable` (placeholder during lowering).
     pub fn new() -> Self {
-        Block { insts: Vec::new(), term: Terminator::Unreachable }
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        }
     }
 }
 
@@ -496,7 +558,10 @@ pub struct IrProgram {
 impl IrProgram {
     /// Looks up a function id by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// Total instruction count across all functions.
@@ -523,7 +588,11 @@ mod tests {
         assert_eq!(i.uses(), vec![ValueId(1), ValueId(2)]);
         assert!(!i.has_side_effects());
 
-        let s = Inst::Store { addr: ValueId(0), src: ValueId(1), width: MemWidth::W4 };
+        let s = Inst::Store {
+            addr: ValueId(0),
+            src: ValueId(1),
+            width: MemWidth::W4,
+        };
         assert_eq!(s.dst(), None);
         assert!(s.has_side_effects());
     }
@@ -532,7 +601,12 @@ mod tests {
     fn terminator_successors() {
         assert_eq!(Terminator::Jump(BlockId(2)).successors(), vec![BlockId(2)]);
         assert_eq!(
-            Terminator::Br { cond: ValueId(0), then: BlockId(1), els: BlockId(2) }.successors(),
+            Terminator::Br {
+                cond: ValueId(0),
+                then: BlockId(1),
+                els: BlockId(2)
+            }
+            .successors(),
             vec![BlockId(1), BlockId(2)]
         );
         assert!(Terminator::Ret(None).successors().is_empty());

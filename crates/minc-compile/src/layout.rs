@@ -30,7 +30,9 @@ pub struct StructLayouts {
 impl StructLayouts {
     /// Computes layouts for every struct in `checked`.
     pub fn compute(checked: &CheckedProgram) -> StructLayouts {
-        let mut layouts = StructLayouts { map: HashMap::new() };
+        let mut layouts = StructLayouts {
+            map: HashMap::new(),
+        };
         // Structs may reference earlier structs; iterate until settled
         // (sema guarantees acyclicity, so one pass in definition order with
         // recursion would do — we just recurse on demand).
@@ -56,7 +58,11 @@ impl StructLayouts {
             align = align.max(falign);
         }
         let size = round_up(offset.max(1), align);
-        let l = StructLayout { offsets, size, align };
+        let l = StructLayout {
+            offsets,
+            size,
+            align,
+        };
         self.map.insert(name.to_string(), l.clone());
         l
     }
@@ -72,7 +78,10 @@ impl StructLayouts {
                 let (s, a) = self.size_align(inner, checked);
                 (s * n, a)
             }
-            other => (other.size_packed(&NoStructsHere), other.align(&NoStructsHere)),
+            other => (
+                other.size_packed(&NoStructsHere),
+                other.align(&NoStructsHere),
+            ),
         }
     }
 
@@ -88,7 +97,11 @@ impl StructLayouts {
     /// Panics if the struct or field does not exist (sema prevents this).
     pub fn field_offset(&mut self, name: &str, field: &str, checked: &CheckedProgram) -> u64 {
         let def = checked.program.struct_def(name).expect("unknown struct");
-        let idx = def.fields.iter().position(|f| f.name == field).expect("unknown field");
+        let idx = def
+            .fields
+            .iter()
+            .position(|f| f.name == field)
+            .expect("unknown field");
         let l = self.layout_of(name, checked);
         l.offsets[idx]
     }
@@ -195,7 +208,10 @@ pub fn place_frame(func: &IrFunction, personality: &Personality) -> FrameLayout 
         cursor += personality.slot_padding;
     }
     let frame_size = round_up(cursor.max(16), 16);
-    FrameLayout { offset_down, frame_size }
+    FrameLayout {
+        offset_down,
+        frame_size,
+    }
 }
 
 #[cfg(test)]
@@ -229,8 +245,18 @@ mod tests {
     #[test]
     fn global_placement_differs_across_families() {
         let globals = vec![
-            GlobalSpec { name: "a".into(), size: 1, align: 1, init: GlobalInit::Zero },
-            GlobalSpec { name: "b".into(), size: 8, align: 8, init: GlobalInit::Zero },
+            GlobalSpec {
+                name: "a".into(),
+                size: 1,
+                align: 1,
+                init: GlobalInit::Zero,
+            },
+            GlobalSpec {
+                name: "b".into(),
+                size: 8,
+                align: 8,
+                init: GlobalInit::Zero,
+            },
         ];
         let g = CompilerImpl::new(Family::Gcc, OptLevel::O0).personality();
         let c = CompilerImpl::new(Family::Clang, OptLevel::O0).personality();
@@ -258,9 +284,30 @@ mod tests {
             ret_ty: None,
             blocks: vec![],
             slots: vec![
-                SlotInfo { name: "a".into(), size: 4, align: 4, addressed: true, scalar: None, promoted: false },
-                SlotInfo { name: "b".into(), size: 16, align: 8, addressed: true, scalar: None, promoted: false },
-                SlotInfo { name: "c".into(), size: 1, align: 1, addressed: true, scalar: None, promoted: false },
+                SlotInfo {
+                    name: "a".into(),
+                    size: 4,
+                    align: 4,
+                    addressed: true,
+                    scalar: None,
+                    promoted: false,
+                },
+                SlotInfo {
+                    name: "b".into(),
+                    size: 16,
+                    align: 8,
+                    addressed: true,
+                    scalar: None,
+                    promoted: false,
+                },
+                SlotInfo {
+                    name: "c".into(),
+                    size: 1,
+                    align: 1,
+                    addressed: true,
+                    scalar: None,
+                    promoted: false,
+                },
             ],
             reg_count: 0,
             reg_tys: vec![],
@@ -306,8 +353,22 @@ mod tests {
             ret_ty: None,
             blocks: vec![],
             slots: vec![
-                SlotInfo { name: "a".into(), size: 4, align: 4, addressed: true, scalar: None, promoted: false },
-                SlotInfo { name: "b".into(), size: 4, align: 4, addressed: true, scalar: None, promoted: false },
+                SlotInfo {
+                    name: "a".into(),
+                    size: 4,
+                    align: 4,
+                    addressed: true,
+                    scalar: None,
+                    promoted: false,
+                },
+                SlotInfo {
+                    name: "b".into(),
+                    size: 4,
+                    align: 4,
+                    addressed: true,
+                    scalar: None,
+                    promoted: false,
+                },
             ],
             reg_count: 0,
             reg_tys: vec![],

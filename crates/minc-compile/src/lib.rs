@@ -22,7 +22,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod binary;
 pub mod display;
@@ -67,10 +66,7 @@ pub fn compile_source(src: &str, impl_id: CompilerImpl) -> Result<Binary, Fronte
 ///
 /// Returns the frontend error if the source does not parse or check
 /// (checking happens once; compilation itself is infallible).
-pub fn compile_many(
-    src: &str,
-    impls: &[CompilerImpl],
-) -> Result<Vec<Binary>, FrontendError> {
+pub fn compile_many(src: &str, impls: &[CompilerImpl]) -> Result<Vec<Binary>, FrontendError> {
     let checked = minc::check(src)?;
     Ok(impls.iter().map(|&i| compile(&checked, i)).collect())
 }
@@ -101,9 +97,7 @@ mod tests {
         let bins = compile_default_set(src).unwrap();
         assert_eq!(bins.len(), 10);
         // O0 binaries are bigger (no DCE) than O2 of the same family.
-        let by_name = |n: &str| {
-            bins.iter().find(|b| b.impl_id.to_string() == n).unwrap()
-        };
+        let by_name = |n: &str| bins.iter().find(|b| b.impl_id.to_string() == n).unwrap();
         assert!(by_name("gcc-O0").size() >= by_name("gcc-O2").size());
     }
 

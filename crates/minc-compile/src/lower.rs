@@ -41,7 +41,12 @@ pub fn lower(checked: &CheckedProgram, personality: &Personality) -> IrProgram {
                 GlobalInit::Scalar(cv, width_of(&g.ty))
             }
         };
-        globals.push(GlobalSpec { name: g.name.clone(), size, align, init });
+        globals.push(GlobalSpec {
+            name: g.name.clone(),
+            size,
+            align,
+            init,
+        });
     }
 
     // Static locals become globals; remember their ids per function.
@@ -59,7 +64,12 @@ pub fn lower(checked: &CheckedProgram, personality: &Personality) -> IrProgram {
                 }
             };
             ids.push(GlobalId(globals.len() as u32));
-            globals.push(GlobalSpec { name: st.name.clone(), size, align, init });
+            globals.push(GlobalSpec {
+                name: st.name.clone(),
+                size,
+                align,
+                init,
+            });
         }
         static_globals.push(ids);
     }
@@ -78,7 +88,11 @@ pub fn lower(checked: &CheckedProgram, personality: &Personality) -> IrProgram {
                 name: f.name.clone(),
                 param_count: f.params.len() as u32,
                 param_tys: f.params.iter().map(|p| ir_ty(&p.ty)).collect(),
-                ret_ty: if f.ret == Type::Void { None } else { Some(ir_ty(&f.ret)) },
+                ret_ty: if f.ret == Type::Void {
+                    None
+                } else {
+                    Some(ir_ty(&f.ret))
+                },
                 blocks: Vec::new(),
                 slots: Vec::new(),
                 reg_count: 0,
@@ -103,7 +117,12 @@ pub fn lower(checked: &CheckedProgram, personality: &Personality) -> IrProgram {
         .map(|i| FuncId(i as u32))
         .expect("sema guarantees main exists");
 
-    IrProgram { functions, globals, strings, main }
+    IrProgram {
+        functions,
+        globals,
+        strings,
+        main,
+    }
 }
 
 /// IR type of a MinC type (after decay for values).
@@ -157,8 +176,13 @@ impl<'a> FnLowerer<'a> {
         }
 
         // One slot per local, in declaration order (params first).
-        let infos = self.checked.function_info
-            [self.checked.program.functions.iter().position(|g| g.name == f.name).unwrap()]
+        let infos = self.checked.function_info[self
+            .checked
+            .program
+            .functions
+            .iter()
+            .position(|g| g.name == f.name)
+            .unwrap()]
         .locals
         .clone();
         for (i, l) in infos.iter().enumerate() {
@@ -183,14 +207,24 @@ impl<'a> FnLowerer<'a> {
         // Spill parameters (registers v0..vN-1) into their slots.
         for (i, p) in f.params.iter().enumerate() {
             let addr = self.f.new_reg(IrType::I64);
-            self.push(Inst::FrameAddr { dst: addr, slot: self.slot_of_local[i] });
-            self.push(Inst::Store { addr, src: ValueId(i as u32), width: width_of(&p.ty) });
+            self.push(Inst::FrameAddr {
+                dst: addr,
+                slot: self.slot_of_local[i],
+            });
+            self.push(Inst::Store {
+                addr,
+                src: ValueId(i as u32),
+                width: width_of(&p.ty),
+            });
         }
         // Parameter registers come first; reserve them.
         // (new_reg above already accounted; ensure reg_count >= params.)
         self.lower_stmt(&f.body);
         // Implicit return if control falls off the end.
-        if matches!(self.f.blocks[self.cur.0 as usize].term, Terminator::Unreachable) {
+        if matches!(
+            self.f.blocks[self.cur.0 as usize].term,
+            Terminator::Unreachable
+        ) {
             match (&f.ret, f.name.as_str()) {
                 (Type::Void, _) => self.seal_ret(None),
                 (_, "main") => {
@@ -247,7 +281,14 @@ impl<'a> FnLowerer<'a> {
     fn bin(&mut self, ty: IrType, op: BinKind, a: ValueId, b: ValueId, ub_signed: bool) -> ValueId {
         let dst_ty = if op.is_comparison() { IrType::I32 } else { ty };
         let dst = self.f.new_reg(dst_ty);
-        self.push(Inst::Bin { dst, ty, op, a, b, ub_signed });
+        self.push(Inst::Bin {
+            dst,
+            ty,
+            op,
+            a,
+            b,
+            ub_signed,
+        });
         dst
     }
 
@@ -286,7 +327,11 @@ impl<'a> FnLowerer<'a> {
                 v
             }
             (IrType::I32, IrType::I64) => {
-                let kind = if from == Type::UInt { CastKind::ZextI32I64 } else { CastKind::SextI32I64 };
+                let kind = if from == Type::UInt {
+                    CastKind::ZextI32I64
+                } else {
+                    CastKind::SextI32I64
+                };
                 self.cast(kind, v)
             }
             (IrType::I64, IrType::I32) => {
@@ -299,7 +344,11 @@ impl<'a> FnLowerer<'a> {
                 t
             }
             (IrType::I32, IrType::F64) => {
-                let kind = if from == Type::UInt { CastKind::UI32F64 } else { CastKind::SI32F64 };
+                let kind = if from == Type::UInt {
+                    CastKind::UI32F64
+                } else {
+                    CastKind::SI32F64
+                };
                 self.cast(kind, v)
             }
             (IrType::I64, IrType::F64) => self.cast(CastKind::SI64F64, v),
@@ -368,7 +417,10 @@ impl<'a> FnLowerer<'a> {
                 let a = match r {
                     VarRef::Local(LocalId(i)) => {
                         let dst = self.f.new_reg(IrType::I64);
-                        self.push(Inst::FrameAddr { dst, slot: self.slot_of_local[i as usize] });
+                        self.push(Inst::FrameAddr {
+                            dst,
+                            slot: self.slot_of_local[i as usize],
+                        });
                         dst
                     }
                     VarRef::Global(i) => {
@@ -381,14 +433,25 @@ impl<'a> FnLowerer<'a> {
                 };
                 (a, ty)
             }
-            ExprKind::Unary { op: UnOp::Deref, operand } => {
+            ExprKind::Unary {
+                op: UnOp::Deref,
+                operand,
+            } => {
                 let (p, pty) = self.rvalue(operand);
-                let pointee = pty.decay().pointee().cloned().expect("sema: deref of non-pointer");
+                let pointee = pty
+                    .decay()
+                    .pointee()
+                    .cloned()
+                    .expect("sema: deref of non-pointer");
                 (p, pointee)
             }
             ExprKind::Index { base, index } => {
                 let (b, bty) = self.rvalue(base);
-                let elem = bty.decay().pointee().cloned().expect("sema: index of non-pointer");
+                let elem = bty
+                    .decay()
+                    .pointee()
+                    .cloned()
+                    .expect("sema: index of non-pointer");
                 let (i, ity) = self.rvalue(index);
                 let i64v = self.convert(i, &ity, &Type::Long);
                 let elem_size = self.layouts.size_of(&elem, self.checked) as i64;
@@ -399,7 +462,9 @@ impl<'a> FnLowerer<'a> {
             }
             ExprKind::Member { base, field } => {
                 let (a, bty) = self.addr(base);
-                let Type::Struct(name) = bty else { panic!("sema: member of non-struct") };
+                let Type::Struct(name) = bty else {
+                    panic!("sema: member of non-struct")
+                };
                 let off = self.layouts.field_offset(&name, field, self.checked) as i64;
                 let fty = self.checked.types[&e.id].clone();
                 if off == 0 {
@@ -464,7 +529,10 @@ impl<'a> FnLowerer<'a> {
             ExprKind::CharLit(c) => (self.const_i32(*c as i32), Type::Int),
             ExprKind::StrLit(bytes) => {
                 let id = self.intern_string(bytes);
-                (self.const_val(IrType::I64, ConstVal::StrAddr(id, 0)), Type::Char.ptr_to())
+                (
+                    self.const_val(IrType::I64, ConstVal::StrAddr(id, 0)),
+                    Type::Char.ptr_to(),
+                )
             }
             ExprKind::Line => {
                 let line = match self.personality.line_policy {
@@ -512,14 +580,23 @@ impl<'a> FnLowerer<'a> {
                 let (v, vty) = self.rvalue(operand);
                 let b = self.to_bool(v, &vty);
                 let one = self.const_i32(1);
-                (self.bin(IrType::I32, BinKind::Xor, b, one, false), Type::Int)
+                (
+                    self.bin(IrType::I32, BinKind::Xor, b, one, false),
+                    Type::Int,
+                )
             }
             UnOp::Neg => {
                 let (v, vty) = self.rvalue(operand);
                 let vty = vty.decay();
                 if vty == Type::Double {
                     let dst = self.f.new_reg(IrType::F64);
-                    self.push(Inst::Un { dst, ty: IrType::F64, op: UnKind::FNeg, a: v, ub_signed: false });
+                    self.push(Inst::Un {
+                        dst,
+                        ty: IrType::F64,
+                        op: UnKind::FNeg,
+                        a: v,
+                        ub_signed: false,
+                    });
                     return (dst, Type::Double);
                 }
                 let rt = vty.promote();
@@ -539,7 +616,13 @@ impl<'a> FnLowerer<'a> {
                 let rt = vty.decay().promote();
                 let v = self.convert(v, &vty, &rt);
                 let dst = self.f.new_reg(ir_ty(&rt));
-                self.push(Inst::Un { dst, ty: ir_ty(&rt), op: UnKind::BitNot, a: v, ub_signed: false });
+                self.push(Inst::Un {
+                    dst,
+                    ty: ir_ty(&rt),
+                    op: UnKind::BitNot,
+                    a: v,
+                    ub_signed: false,
+                });
                 (dst, rt)
             }
         }
@@ -573,7 +656,11 @@ impl<'a> FnLowerer<'a> {
                     let idx = self.convert(rv, &rty, &Type::Long);
                     let sz = self.const_i64(esz);
                     let off = self.bin(IrType::I64, BinKind::Mul, idx, sz, false);
-                    let k = if op == Add { BinKind::Add } else { BinKind::Sub };
+                    let k = if op == Add {
+                        BinKind::Add
+                    } else {
+                        BinKind::Sub
+                    };
                     return (self.bin(IrType::I64, k, lv, off, false), lty.clone());
                 }
                 Add if lty.is_integer() && rty.is_pointer() => {
@@ -582,7 +669,10 @@ impl<'a> FnLowerer<'a> {
                     let idx = self.convert(lv, &lty, &Type::Long);
                     let sz = self.const_i64(esz);
                     let off = self.bin(IrType::I64, BinKind::Mul, idx, sz, false);
-                    return (self.bin(IrType::I64, BinKind::Add, rv, off, false), rty.clone());
+                    return (
+                        self.bin(IrType::I64, BinKind::Add, rv, off, false),
+                        rty.clone(),
+                    );
                 }
                 Sub if lty.is_pointer() && rty.is_pointer() => {
                     // Pointer difference: UB across objects (CWE-469); the
@@ -591,15 +681,26 @@ impl<'a> FnLowerer<'a> {
                     let esz = self.layouts.size_of(&elem, self.checked).max(1) as i64;
                     let diff = self.bin(IrType::I64, BinKind::Sub, lv, rv, false);
                     let sz = self.const_i64(esz);
-                    return (self.bin(IrType::I64, BinKind::DivS, diff, sz, false), Type::Long);
+                    return (
+                        self.bin(IrType::I64, BinKind::DivS, diff, sz, false),
+                        Type::Long,
+                    );
                 }
                 Lt | Le | Gt | Ge | Eq | Ne => {
                     // Pointer comparison: addresses compared unsigned.
                     // Relational comparison of pointers to different objects
                     // is UB — and genuinely unstable, because each
                     // implementation places objects differently.
-                    let l64 = if ir_ty(&lty) == IrType::I64 { lv } else { self.convert(lv, &lty, &Type::Long) };
-                    let r64 = if ir_ty(&rty) == IrType::I64 { rv } else { self.convert(rv, &rty, &Type::Long) };
+                    let l64 = if ir_ty(&lty) == IrType::I64 {
+                        lv
+                    } else {
+                        self.convert(lv, &lty, &Type::Long)
+                    };
+                    let r64 = if ir_ty(&rty) == IrType::I64 {
+                        rv
+                    } else {
+                        self.convert(rv, &rty, &Type::Long)
+                    };
                     let k = match op {
                         Lt => BinKind::LtU,
                         Le => BinKind::LeU,
@@ -638,9 +739,21 @@ impl<'a> FnLowerer<'a> {
         let signed = common.is_signed_integer();
         let fl = common == Type::Double;
         let (kind, result_ty, ub) = match op {
-            Add => (if fl { BinKind::FAdd } else { BinKind::Add }, common.clone(), signed),
-            Sub => (if fl { BinKind::FSub } else { BinKind::Sub }, common.clone(), signed),
-            Mul => (if fl { BinKind::FMul } else { BinKind::Mul }, common.clone(), signed),
+            Add => (
+                if fl { BinKind::FAdd } else { BinKind::Add },
+                common.clone(),
+                signed,
+            ),
+            Sub => (
+                if fl { BinKind::FSub } else { BinKind::Sub },
+                common.clone(),
+                signed,
+            ),
+            Mul => (
+                if fl { BinKind::FMul } else { BinKind::Mul },
+                common.clone(),
+                signed,
+            ),
             Div => (
                 if fl {
                     BinKind::FDiv
@@ -652,16 +765,68 @@ impl<'a> FnLowerer<'a> {
                 common.clone(),
                 signed,
             ),
-            Rem => (if signed { BinKind::RemS } else { BinKind::RemU }, common.clone(), signed),
+            Rem => (
+                if signed { BinKind::RemS } else { BinKind::RemU },
+                common.clone(),
+                signed,
+            ),
             BitAnd => (BinKind::And, common.clone(), false),
             BitOr => (BinKind::Or, common.clone(), false),
             BitXor => (BinKind::Xor, common.clone(), false),
-            Lt => (if fl { BinKind::FLt } else if signed { BinKind::LtS } else { BinKind::LtU }, Type::Int, false),
-            Le => (if fl { BinKind::FLe } else if signed { BinKind::LeS } else { BinKind::LeU }, Type::Int, false),
-            Gt => (if fl { BinKind::FGt } else if signed { BinKind::GtS } else { BinKind::GtU }, Type::Int, false),
-            Ge => (if fl { BinKind::FGe } else if signed { BinKind::GeS } else { BinKind::GeU }, Type::Int, false),
-            Eq => (if fl { BinKind::FEq } else { BinKind::Eq }, Type::Int, false),
-            Ne => (if fl { BinKind::FNe } else { BinKind::Ne }, Type::Int, false),
+            Lt => (
+                if fl {
+                    BinKind::FLt
+                } else if signed {
+                    BinKind::LtS
+                } else {
+                    BinKind::LtU
+                },
+                Type::Int,
+                false,
+            ),
+            Le => (
+                if fl {
+                    BinKind::FLe
+                } else if signed {
+                    BinKind::LeS
+                } else {
+                    BinKind::LeU
+                },
+                Type::Int,
+                false,
+            ),
+            Gt => (
+                if fl {
+                    BinKind::FGt
+                } else if signed {
+                    BinKind::GtS
+                } else {
+                    BinKind::GtU
+                },
+                Type::Int,
+                false,
+            ),
+            Ge => (
+                if fl {
+                    BinKind::FGe
+                } else if signed {
+                    BinKind::GeS
+                } else {
+                    BinKind::GeU
+                },
+                Type::Int,
+                false,
+            ),
+            Eq => (
+                if fl { BinKind::FEq } else { BinKind::Eq },
+                Type::Int,
+                false,
+            ),
+            Ne => (
+                if fl { BinKind::FNe } else { BinKind::Ne },
+                Type::Int,
+                false,
+            ),
             Shl | Shr => unreachable!(),
         };
         (self.bin(ir_ty(&common), kind, l, r, ub), result_ty)
@@ -674,15 +839,34 @@ impl<'a> FnLowerer<'a> {
         let join = self.f.new_block();
 
         let lb = self.cond_reg(lhs);
-        let (t, e) = if and { (rhs_block, short_block) } else { (short_block, rhs_block) };
-        self.seal(Terminator::Br { cond: lb, then: t, els: e }, rhs_block);
+        let (t, e) = if and {
+            (rhs_block, short_block)
+        } else {
+            (short_block, rhs_block)
+        };
+        self.seal(
+            Terminator::Br {
+                cond: lb,
+                then: t,
+                els: e,
+            },
+            rhs_block,
+        );
 
         let rb = self.cond_reg(rhs);
-        self.push(Inst::Copy { dst: result, ty: IrType::I32, src: rb });
+        self.push(Inst::Copy {
+            dst: result,
+            ty: IrType::I32,
+            src: rb,
+        });
         self.seal(Terminator::Jump(join), short_block);
 
         let short_val = self.const_i32(if and { 0 } else { 1 });
-        self.push(Inst::Copy { dst: result, ty: IrType::I32, src: short_val });
+        self.push(Inst::Copy {
+            dst: result,
+            ty: IrType::I32,
+            src: short_val,
+        });
         self.seal(Terminator::Jump(join), join);
 
         (result, Type::Int)
@@ -702,7 +886,11 @@ impl<'a> FnLowerer<'a> {
                 self.convert(res, &rty, &oty)
             }
         };
-        self.push(Inst::Store { addr: a, src: stored, width: width_of(&oty) });
+        self.push(Inst::Store {
+            addr: a,
+            src: stored,
+            width: width_of(&oty),
+        });
         (stored, oty)
     }
 
@@ -713,7 +901,11 @@ impl<'a> FnLowerer<'a> {
         let one = self.const_i32(1);
         let (next, nty) = self.lower_binop_values(one_op, cur, &oty, one, &Type::Int);
         let stored = self.convert(next, &nty, &oty);
-        self.push(Inst::Store { addr: a, src: stored, width: width_of(&oty) });
+        self.push(Inst::Store {
+            addr: a,
+            src: stored,
+            width: width_of(&oty),
+        });
         (if pre { stored } else { cur }, oty)
     }
 
@@ -725,16 +917,31 @@ impl<'a> FnLowerer<'a> {
         let join = self.f.new_block();
 
         let cb = self.cond_reg(cond);
-        self.seal(Terminator::Br { cond: cb, then: tb, els: eb }, tb);
+        self.seal(
+            Terminator::Br {
+                cond: cb,
+                then: tb,
+                els: eb,
+            },
+            tb,
+        );
 
         let (tv, tty) = self.rvalue(then);
         let tv = self.convert(tv, &tty, &result_ty);
-        self.push(Inst::Copy { dst: result, ty: ir_ty(&result_ty), src: tv });
+        self.push(Inst::Copy {
+            dst: result,
+            ty: ir_ty(&result_ty),
+            src: tv,
+        });
         self.seal(Terminator::Jump(join), eb);
 
         let (ev, ety) = self.rvalue(els);
         let ev = self.convert(ev, &ety, &result_ty);
-        self.push(Inst::Copy { dst: result, ty: ir_ty(&result_ty), src: ev });
+        self.push(Inst::Copy {
+            dst: result,
+            ty: ir_ty(&result_ty),
+            src: ev,
+        });
         self.seal(Terminator::Jump(join), join);
 
         (result, result_ty)
@@ -745,7 +952,10 @@ impl<'a> FnLowerer<'a> {
         let (param_tys, ret): (Vec<Option<Type>>, Type) = match &target {
             CallTarget::Function(i) => {
                 let f = &self.checked.program.functions[*i as usize];
-                (f.params.iter().map(|p| Some(p.ty.clone())).collect(), f.ret.clone())
+                (
+                    f.params.iter().map(|p| Some(p.ty.clone())).collect(),
+                    f.ret.clone(),
+                )
             }
             CallTarget::Builtin(b) => {
                 let (p, _, r) = b.signature();
@@ -796,7 +1006,13 @@ impl<'a> FnLowerer<'a> {
         } else {
             (Some(self.f.new_reg(ir_ty(&ret))), ir_ty(&ret))
         };
-        self.push(Inst::Call { dst, ret_ty: ret_ir, callee, args: arg_regs, arg_tys });
+        self.push(Inst::Call {
+            dst,
+            ret_ty: ret_ir,
+            callee,
+            args: arg_regs,
+            arg_tys,
+        });
         (dst.unwrap_or(ValueId(0)), ret)
     }
 
@@ -805,16 +1021,21 @@ impl<'a> FnLowerer<'a> {
     fn lower_stmt(&mut self, s: &Stmt) {
         self.stmt_span = s.span;
         match &s.kind {
-            StmtKind::Decl { ty, storage, init, .. } => match storage {
+            StmtKind::Decl {
+                ty, storage, init, ..
+            } => match storage {
                 Storage::Auto => {
                     if let Some(init) = init {
-                        let slot = self.slot_of_local
-                            [self.checked.decl_slots[&s.id].0 as usize];
+                        let slot = self.slot_of_local[self.checked.decl_slots[&s.id].0 as usize];
                         let (v, vty) = self.rvalue(init);
                         let cv = self.convert(v, &vty, ty);
                         let a = self.f.new_reg(IrType::I64);
                         self.push(Inst::FrameAddr { dst: a, slot });
-                        self.push(Inst::Store { addr: a, src: cv, width: width_of(ty) });
+                        self.push(Inst::Store {
+                            addr: a,
+                            src: cv,
+                            width: width_of(ty),
+                        });
                     }
                 }
                 Storage::Static => {
@@ -829,7 +1050,14 @@ impl<'a> FnLowerer<'a> {
                 let eb = self.f.new_block();
                 let join = self.f.new_block();
                 let cb = self.cond_reg(cond);
-                self.seal(Terminator::Br { cond: cb, then: tb, els: eb }, tb);
+                self.seal(
+                    Terminator::Br {
+                        cond: cb,
+                        then: tb,
+                        els: eb,
+                    },
+                    tb,
+                );
                 self.lower_stmt(then);
                 self.seal(Terminator::Jump(join), eb);
                 if let Some(els) = els {
@@ -843,7 +1071,14 @@ impl<'a> FnLowerer<'a> {
                 let exit = self.f.new_block();
                 self.seal(Terminator::Jump(head), head);
                 let cb = self.cond_reg(cond);
-                self.seal(Terminator::Br { cond: cb, then: body_b, els: exit }, body_b);
+                self.seal(
+                    Terminator::Br {
+                        cond: cb,
+                        then: body_b,
+                        els: exit,
+                    },
+                    body_b,
+                );
                 self.loops.push((head, exit));
                 self.lower_stmt(body);
                 self.loops.pop();
@@ -859,9 +1094,21 @@ impl<'a> FnLowerer<'a> {
                 self.loops.pop();
                 self.seal(Terminator::Jump(check), check);
                 let cb = self.cond_reg(cond);
-                self.seal(Terminator::Br { cond: cb, then: body_b, els: exit }, exit);
+                self.seal(
+                    Terminator::Br {
+                        cond: cb,
+                        then: body_b,
+                        els: exit,
+                    },
+                    exit,
+                );
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.lower_stmt(i);
                 }
@@ -873,7 +1120,14 @@ impl<'a> FnLowerer<'a> {
                 match cond {
                     Some(c) => {
                         let cb = self.cond_reg(c);
-                        self.seal(Terminator::Br { cond: cb, then: body_b, els: exit }, body_b);
+                        self.seal(
+                            Terminator::Br {
+                                cond: cb,
+                                then: body_b,
+                                els: exit,
+                            },
+                            body_b,
+                        );
                     }
                     None => self.seal(Terminator::Jump(body_b), body_b),
                 }
@@ -946,7 +1200,11 @@ fn intern_string(
 /// Finds scalar locals whose address is taken with `&`.
 fn collect_addressed(s: &Stmt, checked: &CheckedProgram, out: &mut HashSet<LocalId>) {
     fn walk_expr(e: &Expr, checked: &CheckedProgram, out: &mut HashSet<LocalId>) {
-        if let ExprKind::Unary { op: UnOp::Addr, operand } = &e.kind {
+        if let ExprKind::Unary {
+            op: UnOp::Addr,
+            operand,
+        } = &e.kind
+        {
             if let ExprKind::Var(_) = operand.kind {
                 if let Some(VarRef::Local(l)) = checked.vars.get(&operand.id) {
                     out.insert(*l);
@@ -1004,7 +1262,12 @@ fn collect_addressed(s: &Stmt, checked: &CheckedProgram, out: &mut HashSet<Local
             collect_addressed(body, checked, out);
             walk_expr(cond, checked, out);
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             if let Some(i) = init {
                 collect_addressed(i, checked, out);
             }
@@ -1017,7 +1280,9 @@ fn collect_addressed(s: &Stmt, checked: &CheckedProgram, out: &mut HashSet<Local
             collect_addressed(body, checked, out);
         }
         StmtKind::Return(Some(e)) => walk_expr(e, checked, out),
-        StmtKind::Block(stmts) => stmts.iter().for_each(|s| collect_addressed(s, checked, out)),
+        StmtKind::Block(stmts) => stmts
+            .iter()
+            .for_each(|s| collect_addressed(s, checked, out)),
         _ => {}
     }
 }
@@ -1187,15 +1452,16 @@ mod tests {
         assert_eq!(ir.functions.len(), 1);
         assert_eq!(ir.main, FuncId(0));
         let f = &ir.functions[0];
-        assert!(matches!(
-            f.blocks[0].term,
-            Terminator::Ret(Some(_))
-        ));
+        assert!(matches!(f.blocks[0].term, Terminator::Ret(Some(_))));
     }
 
     #[test]
     fn params_are_spilled_to_slots() {
-        let ir = lower_src("int f(int a, int b) { return a + b; }\nint main() { return f(1,2); }", Family::Gcc, OptLevel::O0);
+        let ir = lower_src(
+            "int f(int a, int b) { return a + b; }\nint main() { return f(1,2); }",
+            Family::Gcc,
+            OptLevel::O0,
+        );
         let f = &ir.functions[0];
         assert_eq!(f.param_count, 2);
         assert_eq!(f.slots.len(), 2);
@@ -1224,7 +1490,11 @@ mod tests {
             let mut calls = Vec::new();
             for b in &main.blocks {
                 for i in &b.insts {
-                    if let Inst::Call { callee: Callee::Func(f), .. } = i {
+                    if let Inst::Call {
+                        callee: Callee::Func(f),
+                        ..
+                    } = i
+                    {
                         calls.push(f.0);
                     }
                 }
@@ -1280,7 +1550,12 @@ mod tests {
         let mut saw_unsigned = false;
         for b in &f.blocks {
             for i in &b.insts {
-                if let Inst::Bin { op: BinKind::Add, ub_signed, .. } = i {
+                if let Inst::Bin {
+                    op: BinKind::Add,
+                    ub_signed,
+                    ..
+                } = i
+                {
                     if *ub_signed {
                         saw_signed = true;
                     } else {
@@ -1297,11 +1572,16 @@ mod tests {
         let src = "int main() { int a; int b; if (&a < &b) return 1; return 0; }";
         let ir = lower_src(src, Family::Gcc, OptLevel::O0);
         let f = &ir.functions[0];
-        let has_ltu = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Bin { op: BinKind::LtU, ty: IrType::I64, .. }));
+        let has_ltu = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinKind::LtU,
+                    ty: IrType::I64,
+                    ..
+                }
+            )
+        });
         assert!(has_ltu);
     }
 
@@ -1317,7 +1597,10 @@ mod tests {
                 .iter()
                 .flat_map(|b| &b.insts)
                 .find_map(|i| match i {
-                    Inst::Const { val: ConstVal::I32(v), .. } if *v <= 4 && *v >= 1 => Some(*v),
+                    Inst::Const {
+                        val: ConstVal::I32(v),
+                        ..
+                    } if *v <= 4 && *v >= 1 => Some(*v),
                     _ => None,
                 })
         };
@@ -1373,11 +1656,15 @@ mod tests {
         let ir = lower_src(src, Family::Gcc, OptLevel::O0);
         let f = &ir.functions[0];
         // Offset 8 constant must appear (field `l` at offset 8).
-        let has_off8 = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Const { val: ConstVal::I64(8), .. }));
+        let has_off8 = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Const {
+                    val: ConstVal::I64(8),
+                    ..
+                }
+            )
+        });
         assert!(has_off8);
     }
 }

@@ -43,7 +43,11 @@ fn find_inlinable(
     let f = &prog.functions[caller];
     for (bi, b) in f.blocks.iter().enumerate() {
         for (ii, inst) in b.insts.iter().enumerate() {
-            if let Inst::Call { callee: Callee::Func(fid), .. } = inst {
+            if let Inst::Call {
+                callee: Callee::Func(fid),
+                ..
+            } = inst
+            {
                 if fid.0 as usize == caller {
                     continue; // recursion
                 }
@@ -77,7 +81,12 @@ fn inline_one(caller: &mut IrFunction, block: BlockId, idx: usize, callee: &IrFu
 
     // Extract the call.
     let call = caller.blocks[block.0 as usize].insts[idx].clone();
-    let Inst::Call { dst: call_dst, args, .. } = call else {
+    let Inst::Call {
+        dst: call_dst,
+        args,
+        ..
+    } = call
+    else {
         panic!("inline target is not a call")
     };
 
@@ -118,7 +127,11 @@ fn inline_one(caller: &mut IrFunction, block: BlockId, idx: usize, callee: &IrFu
             Terminator::Ret(v) => {
                 if let (Some(dst), Some(v)) = (call_dst, v) {
                     let ty = caller.reg_tys[dst.0 as usize];
-                    insts.push(Inst::Copy { dst, ty, src: map_reg(*v) });
+                    insts.push(Inst::Copy {
+                        dst,
+                        ty,
+                        src: map_reg(*v),
+                    });
                 }
                 Terminator::Jump(cont)
             }
@@ -128,7 +141,10 @@ fn inline_one(caller: &mut IrFunction, block: BlockId, idx: usize, callee: &IrFu
     }
 
     // Continuation block gets the tail and the original terminator.
-    caller.blocks.push(Block { insts: tail, term: old_term });
+    caller.blocks.push(Block {
+        insts: tail,
+        term: old_term,
+    });
     debug_assert_eq!(caller.blocks.len() as u32 - 1, cont.0);
 
     // Pass arguments: copy into the callee's parameter registers, then jump
@@ -138,7 +154,11 @@ fn inline_one(caller: &mut IrFunction, block: BlockId, idx: usize, callee: &IrFu
     for (i, a) in args.iter().enumerate() {
         let param = ValueId(i as u32 + reg_off);
         let ty = callee.param_tys.get(i).copied().unwrap_or(IrType::I64);
-        site.insts.push(Inst::Copy { dst: param, ty, src: *a });
+        site.insts.push(Inst::Copy {
+            dst: param,
+            ty,
+            src: *a,
+        });
     }
     site.term = Terminator::Jump(entry);
 }
@@ -149,11 +169,24 @@ fn remap_inst(
     map_slot: &impl Fn(SlotId) -> SlotId,
 ) -> Inst {
     match inst {
-        Inst::Const { dst, ty, val } => Inst::Const { dst: map_reg(*dst), ty: *ty, val: *val },
-        Inst::Copy { dst, ty, src } => {
-            Inst::Copy { dst: map_reg(*dst), ty: *ty, src: map_reg(*src) }
-        }
-        Inst::Bin { dst, ty, op, a, b, ub_signed } => Inst::Bin {
+        Inst::Const { dst, ty, val } => Inst::Const {
+            dst: map_reg(*dst),
+            ty: *ty,
+            val: *val,
+        },
+        Inst::Copy { dst, ty, src } => Inst::Copy {
+            dst: map_reg(*dst),
+            ty: *ty,
+            src: map_reg(*src),
+        },
+        Inst::Bin {
+            dst,
+            ty,
+            op,
+            a,
+            b,
+            ub_signed,
+        } => Inst::Bin {
             dst: map_reg(*dst),
             ty: *ty,
             op: *op,
@@ -161,30 +194,53 @@ fn remap_inst(
             b: map_reg(*b),
             ub_signed: *ub_signed,
         },
-        Inst::Un { dst, ty, op, a, ub_signed } => Inst::Un {
+        Inst::Un {
+            dst,
+            ty,
+            op,
+            a,
+            ub_signed,
+        } => Inst::Un {
             dst: map_reg(*dst),
             ty: *ty,
             op: *op,
             a: map_reg(*a),
             ub_signed: *ub_signed,
         },
-        Inst::Cast { dst, kind, a } => {
-            Inst::Cast { dst: map_reg(*dst), kind: *kind, a: map_reg(*a) }
-        }
-        Inst::FrameAddr { dst, slot } => {
-            Inst::FrameAddr { dst: map_reg(*dst), slot: map_slot(*slot) }
-        }
-        Inst::Load { dst, ty, addr, width, sext } => Inst::Load {
+        Inst::Cast { dst, kind, a } => Inst::Cast {
+            dst: map_reg(*dst),
+            kind: *kind,
+            a: map_reg(*a),
+        },
+        Inst::FrameAddr { dst, slot } => Inst::FrameAddr {
+            dst: map_reg(*dst),
+            slot: map_slot(*slot),
+        },
+        Inst::Load {
+            dst,
+            ty,
+            addr,
+            width,
+            sext,
+        } => Inst::Load {
             dst: map_reg(*dst),
             ty: *ty,
             addr: map_reg(*addr),
             width: *width,
             sext: *sext,
         },
-        Inst::Store { addr, src, width } => {
-            Inst::Store { addr: map_reg(*addr), src: map_reg(*src), width: *width }
-        }
-        Inst::Call { dst, ret_ty, callee, args, arg_tys } => Inst::Call {
+        Inst::Store { addr, src, width } => Inst::Store {
+            addr: map_reg(*addr),
+            src: map_reg(*src),
+            width: *width,
+        },
+        Inst::Call {
+            dst,
+            ret_ty,
+            callee,
+            args,
+            arg_tys,
+        } => Inst::Call {
             dst: dst.map(map_reg),
             ret_ty: *ret_ty,
             callee: callee.clone(),
@@ -226,7 +282,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Call { callee: Callee::Func(_), .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Call {
+                        callee: Callee::Func(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(calls, 0, "small callee should be fully inlined");
     }
@@ -241,7 +305,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Call { callee: Callee::Func(_), .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Call {
+                        callee: Callee::Func(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(calls >= 1, "recursive callee must not be inlined away");
     }
@@ -253,9 +325,21 @@ mod tests {
             int main() { return f(3); }
         "#;
         let (mut ir, p) = lower_with(src, OptLevel::O2);
-        let before = ir.functions.iter().find(|f| f.name == "main").unwrap().slots.len();
+        let before = ir
+            .functions
+            .iter()
+            .find(|f| f.name == "main")
+            .unwrap()
+            .slots
+            .len();
         run(&mut ir, &p);
-        let after = ir.functions.iter().find(|f| f.name == "main").unwrap().slots.len();
+        let after = ir
+            .functions
+            .iter()
+            .find(|f| f.name == "main")
+            .unwrap()
+            .slots
+            .len();
         assert!(after > before, "caller frame should absorb callee slots");
     }
 
@@ -263,9 +347,8 @@ mod tests {
     fn os_threshold_is_smaller() {
         // A mid-size function: inlined at O2, kept at Os.
         let body: String = (0..10).map(|i| format!("acc = acc + {i}; ")).collect();
-        let src = format!(
-            "int mid(int acc) {{ {body} return acc; }}\nint main() {{ return mid(1); }}"
-        );
+        let src =
+            format!("int mid(int acc) {{ {body} return acc; }}\nint main() {{ return mid(1); }}");
         let (mut ir2, p2) = lower_with(&src, OptLevel::O2);
         run(&mut ir2, &p2);
         let (mut irs, ps) = lower_with(&src, OptLevel::Os);
@@ -278,7 +361,15 @@ mod tests {
                 .blocks
                 .iter()
                 .flat_map(|b| &b.insts)
-                .filter(|i| matches!(i, Inst::Call { callee: Callee::Func(_), .. }))
+                .filter(|i| {
+                    matches!(
+                        i,
+                        Inst::Call {
+                            callee: Callee::Func(_),
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
         assert_eq!(count_calls(&ir2), 0);

@@ -65,18 +65,14 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
             match inst {
                 Inst::Load { addr, width, .. } => {
                     if let Some(s) = addr_reg.get(addr) {
-                        if cand_set.contains(s)
-                            && f.slots[s.0 as usize].size != width.bytes()
-                        {
+                        if cand_set.contains(s) && f.slots[s.0 as usize].size != width.bytes() {
                             bad.insert(*s);
                         }
                     }
                 }
                 Inst::Store { addr, src, width } => {
                     if let Some(s) = addr_reg.get(addr) {
-                        if cand_set.contains(s)
-                            && f.slots[s.0 as usize].size != width.bytes()
-                        {
+                        if cand_set.contains(s) && f.slots[s.0 as usize].size != width.bytes() {
                             bad.insert(*s);
                         }
                     }
@@ -104,8 +100,10 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
         }
     }
 
-    let promote: Vec<SlotId> =
-        candidates.into_iter().filter(|s| !bad.contains(s)).collect();
+    let promote: Vec<SlotId> = candidates
+        .into_iter()
+        .filter(|s| !bad.contains(s))
+        .collect();
     if promote.is_empty() {
         return;
     }
@@ -118,7 +116,11 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
         let r = f.new_reg(ty);
         slot_reg.insert(*s, r);
         let junk_id = 0x4000_0000 | (func_index << 12) | s.0;
-        inits.push(Inst::Const { dst: r, ty, val: ConstVal::Junk(junk_id) });
+        inits.push(Inst::Const {
+            dst: r,
+            ty,
+            val: ConstVal::Junk(junk_id),
+        });
         f.slots[s.0 as usize].promoted = true;
     }
 
@@ -133,7 +135,11 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
                 }
                 Inst::Load { dst, ty, addr, .. } => {
                     if let Some(s) = addr_reg.get(addr).filter(|s| slot_reg.contains_key(s)) {
-                        out.push(Inst::Copy { dst: *dst, ty: *ty, src: slot_reg[s] });
+                        out.push(Inst::Copy {
+                            dst: *dst,
+                            ty: *ty,
+                            src: slot_reg[s],
+                        });
                     } else {
                         out.push(inst);
                     }
@@ -142,7 +148,11 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
                     if let Some(s) = addr_reg.get(addr).filter(|s| slot_reg.contains_key(s)) {
                         let r = slot_reg[s];
                         let ty = f.reg_tys[r.0 as usize];
-                        out.push(Inst::Copy { dst: r, ty, src: *src });
+                        out.push(Inst::Copy {
+                            dst: r,
+                            ty,
+                            src: *src,
+                        });
                     } else {
                         out.push(inst);
                     }
@@ -180,7 +190,12 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Load { .. } | Inst::Store { .. } | Inst::FrameAddr { .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Load { .. } | Inst::Store { .. } | Inst::FrameAddr { .. }
+                )
+            })
             .count();
         assert_eq!(frame_loads, 0);
     }
@@ -209,11 +224,15 @@ mod tests {
         let mut ir = lower_o0("int main() { int u; return u; }");
         let f = &mut ir.functions[0];
         run(f, 0);
-        let junk = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Const { val: ConstVal::Junk(_), .. }));
+        let junk = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Const {
+                    val: ConstVal::Junk(_),
+                    ..
+                }
+            )
+        });
         assert!(junk);
     }
 
@@ -223,10 +242,15 @@ mod tests {
         let f = &mut ir.functions[0];
         run(f, 0);
         // The parameter spill became a Copy from v0 into the slot register.
-        let has_param_copy = f.blocks[0]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Copy { src: ValueId(0), .. }));
+        let has_param_copy = f.blocks[0].insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Copy {
+                    src: ValueId(0),
+                    ..
+                }
+            )
+        });
         assert!(has_param_copy);
     }
 

@@ -120,13 +120,24 @@ pub fn const_fold_with(f: &mut IrFunction, shift_fold_zero: bool) {
                     out.push(inst);
                     continue;
                 }
-                Inst::Bin { dst, ty, op, a, b: rb, ub_signed } => {
+                Inst::Bin {
+                    dst,
+                    ty,
+                    op,
+                    a,
+                    b: rb,
+                    ub_signed,
+                } => {
                     let (dst, ty, op, a, rb, ub_signed) = (*dst, *ty, *op, *a, *rb, *ub_signed);
                     if let (Some(ca), Some(cb)) = (pure_const(&known, a), pure_const(&known, rb)) {
                         if let Some(v) = eval_bin_policy(op, ty, ca, cb, shift_fold_zero) {
                             known.insert(dst, v);
                             let cty = if op.is_comparison() { IrType::I32 } else { ty };
-                            out.push(Inst::Const { dst, ty: cty, val: v });
+                            out.push(Inst::Const {
+                                dst,
+                                ty: cty,
+                                val: v,
+                            });
                             continue;
                         }
                     }
@@ -278,7 +289,11 @@ pub fn eval_bin_policy(
     } else {
         (x as u64, y as u64)
     };
-    let (sx, sy) = if narrow { (x as i32 as i64, y as i32 as i64) } else { (x, y) };
+    let (sx, sy) = if narrow {
+        (x as i32 as i64, y as i32 as i64)
+    } else {
+        (x, y)
+    };
     Some(match op {
         Add => wrap(sx.wrapping_add(sy)),
         Sub => wrap(sx.wrapping_sub(sy)),
@@ -294,7 +309,8 @@ pub fn eval_bin_policy(
         }
         DivU => wrap((ux / uy) as i64),
         RemS => {
-            if (narrow && sx as i32 == i32::MIN && sy as i32 == -1) || (sx == i64::MIN && sy == -1) {
+            if (narrow && sx as i32 == i32::MIN && sy as i32 == -1) || (sx == i64::MIN && sy == -1)
+            {
                 return None;
             }
             wrap(sx.wrapping_rem(sy))
@@ -354,7 +370,11 @@ fn eval_un(op: UnKind, ty: IrType, a: ConstVal) -> Option<ConstVal> {
         }
         UnKind::BitNot => {
             let x = cv_i64(a)?;
-            Some(if narrow { ConstVal::I32(!(x as i32)) } else { ConstVal::I64(!x) })
+            Some(if narrow {
+                ConstVal::I32(!(x as i32))
+            } else {
+                ConstVal::I64(!x)
+            })
         }
         UnKind::FNeg => Some(ConstVal::F64(-cv_f64(a)?)),
     }
@@ -390,7 +410,11 @@ fn algebraic(
     let zero = |d| Inst::Const {
         dst: d,
         ty,
-        val: if ty == IrType::I32 { ConstVal::I32(0) } else { ConstVal::I64(0) },
+        val: if ty == IrType::I32 {
+            ConstVal::I32(0)
+        } else {
+            ConstVal::I64(0)
+        },
     };
     match op {
         Add => {
@@ -548,7 +572,9 @@ pub fn cse(f: &mut IrFunction) {
                 Inst::Un { op, ty, a, .. } => Some(Key::Un(*op, *ty, *a)),
                 Inst::Cast { kind, a, .. } => Some(Key::Cast(*kind, *a)),
                 Inst::FrameAddr { slot, .. } => Some(Key::Frame(*slot)),
-                Inst::Load { addr, width, sext, .. } => Some(Key::Load(*addr, *width, *sext)),
+                Inst::Load {
+                    addr, width, sext, ..
+                } => Some(Key::Load(*addr, *width, *sext)),
                 Inst::Const { ty, val, .. } => Some(const_key(*ty, val)),
                 _ => None,
             };
@@ -592,10 +618,7 @@ pub fn cse(f: &mut IrFunction) {
         }
         b.insts = out;
 
-        fn invalidate_redefined(
-            avail: &mut HashMap<Key, ValueId>,
-            redefined: ValueId,
-        ) {
+        fn invalidate_redefined(avail: &mut HashMap<Key, ValueId>, redefined: ValueId) {
             avail.retain(|k, v| {
                 if *v == redefined {
                     return false;
@@ -624,8 +647,7 @@ pub fn dce(f: &mut IrFunction) {
     loop {
         let mut used = vec![false; f.reg_count as usize];
         let reachable: Vec<BlockId> = f.reachable_blocks();
-        let reachable_set: std::collections::HashSet<u32> =
-            reachable.iter().map(|b| b.0).collect();
+        let reachable_set: std::collections::HashSet<u32> = reachable.iter().map(|b| b.0).collect();
         for bid in &reachable {
             let b = &f.blocks[bid.0 as usize];
             for inst in &b.insts {
@@ -651,8 +673,7 @@ pub fn dce(f: &mut IrFunction) {
             }
             let before = b.insts.len();
             b.insts.retain(|inst| {
-                inst.has_side_effects()
-                    || inst.dst().map(|d| used[d.0 as usize]).unwrap_or(true)
+                inst.has_side_effects() || inst.dst().map(|d| used[d.0 as usize]).unwrap_or(true)
             });
             if b.insts.len() != before {
                 changed = true;
@@ -767,10 +788,21 @@ pub fn widen_mul(f: &mut IrFunction) {
         let mut rewrites: Vec<(usize, ValueId, ValueId, ValueId)> = Vec::new();
         for (i, inst) in f.blocks[b].insts.iter().enumerate() {
             match inst {
-                Inst::Bin { dst, ty: IrType::I32, op: BinKind::Mul, a, b: rb, ub_signed } => {
+                Inst::Bin {
+                    dst,
+                    ty: IrType::I32,
+                    op: BinKind::Mul,
+                    a,
+                    b: rb,
+                    ub_signed,
+                } => {
                     defs.insert(*dst, (BinKind::Mul, *a, *rb, *ub_signed));
                 }
-                Inst::Cast { dst, kind: CastKind::SextI32I64, a } => {
+                Inst::Cast {
+                    dst,
+                    kind: CastKind::SextI32I64,
+                    a,
+                } => {
                     if let Some((BinKind::Mul, ma, mb, true)) = defs.get(a).copied() {
                         rewrites.push((i, *dst, ma, mb));
                     }
@@ -794,9 +826,24 @@ pub fn widen_mul(f: &mut IrFunction) {
             block.insts.splice(
                 i..=i,
                 vec![
-                    Inst::Cast { dst: wa, kind: CastKind::SextI32I64, a: ma },
-                    Inst::Cast { dst: wb, kind: CastKind::SextI32I64, a: mb },
-                    Inst::Bin { dst, ty: IrType::I64, op: BinKind::Mul, a: wa, b: wb, ub_signed: true },
+                    Inst::Cast {
+                        dst: wa,
+                        kind: CastKind::SextI32I64,
+                        a: ma,
+                    },
+                    Inst::Cast {
+                        dst: wb,
+                        kind: CastKind::SextI32I64,
+                        a: mb,
+                    },
+                    Inst::Bin {
+                        dst,
+                        ty: IrType::I64,
+                        op: BinKind::Mul,
+                        a: wa,
+                        b: wb,
+                        ub_signed: true,
+                    },
                 ],
             );
         }
@@ -847,7 +894,9 @@ mod tests {
         assert!(after < before);
         // The return value register must be a constant 14.
         let f = &ir.functions[0];
-        let Terminator::Ret(Some(v)) = &f.blocks[0].term else { panic!() };
+        let Terminator::Ret(Some(v)) = &f.blocks[0].term else {
+            panic!()
+        };
         let is14 = f.blocks[0]
             .insts
             .iter()
@@ -863,11 +912,15 @@ mod tests {
         copy_prop(&mut ir.functions[0]);
         const_fold(&mut ir.functions[0]);
         let f = &ir.functions[0];
-        let div_left = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Bin { op: BinKind::DivS, .. }));
+        let div_left = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinKind::DivS,
+                    ..
+                }
+            )
+        });
         assert!(div_left, "the trapping division must survive folding");
     }
 
@@ -879,11 +932,15 @@ mod tests {
         copy_prop(&mut ir.functions[0]);
         dce(&mut ir.functions[0]);
         let f = &ir.functions[0];
-        let div_left = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Bin { op: BinKind::DivS, .. }));
+        let div_left = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinKind::DivS,
+                    ..
+                }
+            )
+        });
         assert!(!div_left, "unused trapping division should be DCE'd at -O2");
     }
 
@@ -916,20 +973,38 @@ mod tests {
         let c = f.new_reg(IrType::I32);
         let d = f.new_reg(IrType::I32);
         f.blocks[b.0 as usize].insts = vec![
-            Inst::Const { dst: a, ty: IrType::I32, val: ConstVal::I32(5) },
-            Inst::Copy { dst: c, ty: IrType::I32, src: a },
-            Inst::Bin { dst: d, ty: IrType::I32, op: BinKind::Add, a: c, b: c, ub_signed: true },
+            Inst::Const {
+                dst: a,
+                ty: IrType::I32,
+                val: ConstVal::I32(5),
+            },
+            Inst::Copy {
+                dst: c,
+                ty: IrType::I32,
+                src: a,
+            },
+            Inst::Bin {
+                dst: d,
+                ty: IrType::I32,
+                op: BinKind::Add,
+                a: c,
+                b: c,
+                ub_signed: true,
+            },
         ];
         f.blocks[b.0 as usize].term = Terminator::Ret(Some(d));
         copy_prop(&mut f);
-        let Inst::Bin { a: ba, b: bb, .. } = &f.blocks[0].insts[2] else { panic!() };
+        let Inst::Bin { a: ba, b: bb, .. } = &f.blocks[0].insts[2] else {
+            panic!()
+        };
         assert_eq!(*ba, a);
         assert_eq!(*bb, a);
     }
 
     #[test]
     fn cse_dedupes_pure_exprs() {
-        let mut ir = lower_o0("int f(int a, int b) { return (a+b)*(a+b); }\nint main() { return f(1,2); }");
+        let mut ir =
+            lower_o0("int f(int a, int b) { return (a+b)*(a+b); }\nint main() { return f(1,2); }");
         let f = &mut ir.functions[0];
         mem2reg::run(f, 0);
         copy_prop(f);
@@ -940,7 +1015,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Bin { op: BinKind::Add, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: BinKind::Add,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(adds, 1, "a+b must be computed once");
     }
@@ -965,7 +1048,10 @@ mod tests {
             .flat_map(|b| &b.insts)
             .filter(|i| matches!(i, Inst::Store { .. }))
             .count();
-        assert!(after < before, "dead store should be removed ({before} -> {after})");
+        assert!(
+            after < before,
+            "dead store should be removed ({before} -> {after})"
+        );
     }
 
     #[test]
@@ -980,11 +1066,16 @@ mod tests {
         mem2reg::run(f, 0);
         copy_prop(f);
         widen_mul(f);
-        let has_wide_mul = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Bin { op: BinKind::Mul, ty: IrType::I64, .. }));
+        let has_wide_mul = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinKind::Mul,
+                    ty: IrType::I64,
+                    ..
+                }
+            )
+        });
         assert!(has_wide_mul);
     }
 
@@ -996,7 +1087,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Call { callee: Callee::PowFast, .. }));
+            .any(|i| {
+                matches!(
+                    i,
+                    Inst::Call {
+                        callee: Callee::PowFast,
+                        ..
+                    }
+                )
+            });
         assert!(has_fast);
     }
 

@@ -61,11 +61,21 @@ fn find_candidate(f: &mut IrFunction) -> Option<Candidate> {
     for &head in &reachable {
         let hb = &f.blocks[head.0 as usize];
         // Header: all insts pure, terminator Br on LtS(iv, const N).
-        let Terminator::Br { cond, then: body, els: exit } = hb.term.clone() else { continue };
-        let Some(Inst::Bin { op: BinKind::LtS, a: iv, b: bound_reg, ty, .. }) = hb
-            .insts
-            .iter()
-            .find(|i| i.dst() == Some(cond))
+        let Terminator::Br {
+            cond,
+            then: body,
+            els: exit,
+        } = hb.term.clone()
+        else {
+            continue;
+        };
+        let Some(Inst::Bin {
+            op: BinKind::LtS,
+            a: iv,
+            b: bound_reg,
+            ty,
+            ..
+        }) = hb.insts.iter().find(|i| i.dst() == Some(cond))
         else {
             continue;
         };
@@ -73,13 +83,17 @@ fn find_candidate(f: &mut IrFunction) -> Option<Candidate> {
         if ty != IrType::I32 {
             continue;
         }
-        let Some(bound) = const_def_in(hb, bound_reg) else { continue };
+        let Some(bound) = const_def_in(hb, bound_reg) else {
+            continue;
+        };
         // Body: single block ending Jump(step) (or Jump(head) with no step).
         let bb = &f.blocks[body.0 as usize];
         if bb.insts.len() > MAX_BODY {
             continue;
         }
-        let Terminator::Jump(step) = bb.term.clone() else { continue };
+        let Terminator::Jump(step) = bb.term.clone() else {
+            continue;
+        };
         if step == head {
             continue; // need a separate step block (our lowering makes one)
         }
@@ -116,7 +130,13 @@ fn find_candidate(f: &mut IrFunction) -> Option<Candidate> {
                             add_of_iv.remove(dst);
                         }
                     }
-                    Inst::Bin { dst, op: BinKind::Add, a, b, .. } => {
+                    Inst::Bin {
+                        dst,
+                        op: BinKind::Add,
+                        a,
+                        b,
+                        ..
+                    } => {
                         let amt = if alias_of_iv.contains(a) {
                             const_def_in(sb, *b)
                         } else if alias_of_iv.contains(b) {
@@ -152,7 +172,9 @@ fn find_candidate(f: &mut IrFunction) -> Option<Candidate> {
         // iv defs: exactly one outside the loop (constant init) and the
         // ones inside step/body blocks. Require: one def with a constant,
         // and all other defs are in body/step.
-        let Some(iv_defs) = defs.get(&iv) else { continue };
+        let Some(iv_defs) = defs.get(&iv) else {
+            continue;
+        };
         let mut init: Option<i64> = None;
         let mut ok = true;
         for (db, di) in iv_defs {
@@ -167,11 +189,22 @@ fn find_candidate(f: &mut IrFunction) -> Option<Candidate> {
             // mem2reg prepends to the entry block is shadowed by any real
             // initialization and can be ignored.
             let inst = &f.blocks[db.0 as usize].insts[*di];
-            if db.0 == 0 && matches!(inst, Inst::Const { val: ConstVal::Junk(_), .. }) {
+            if db.0 == 0
+                && matches!(
+                    inst,
+                    Inst::Const {
+                        val: ConstVal::Junk(_),
+                        ..
+                    }
+                )
+            {
                 continue;
             }
             match inst {
-                Inst::Const { val: ConstVal::I32(v), .. } => {
+                Inst::Const {
+                    val: ConstVal::I32(v),
+                    ..
+                } => {
                     if init.is_some() {
                         ok = false;
                         break;
@@ -216,18 +249,40 @@ fn find_candidate(f: &mut IrFunction) -> Option<Candidate> {
             continue;
         }
         // Header instructions must be pure and only feed the branch.
-        if f.blocks[head.0 as usize].insts.iter().any(|i| i.has_side_effects()) {
+        if f.blocks[head.0 as usize]
+            .insts
+            .iter()
+            .any(|i| i.has_side_effects())
+        {
             continue;
         }
-        let body_has_mul = f.blocks[body.0 as usize]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { op: BinKind::Mul, .. }));
-        let body_has_div = f.blocks[body.0 as usize]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { op: BinKind::DivS | BinKind::DivU, .. }));
-        return Some(Candidate { head, body, step, exit, trip, body_has_mul, body_has_div });
+        let body_has_mul = f.blocks[body.0 as usize].insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinKind::Mul,
+                    ..
+                }
+            )
+        });
+        let body_has_div = f.blocks[body.0 as usize].insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinKind::DivS | BinKind::DivU,
+                    ..
+                }
+            )
+        });
+        return Some(Candidate {
+            head,
+            body,
+            step,
+            exit,
+            trip,
+            body_has_mul,
+            body_has_div,
+        });
     }
     None
 }
@@ -238,8 +293,14 @@ fn const_def_in(b: &Block, r: ValueId) -> Option<i64> {
     for inst in &b.insts {
         if inst.dst() == Some(r) {
             v = match inst {
-                Inst::Const { val: ConstVal::I32(x), .. } => Some(*x as i64),
-                Inst::Const { val: ConstVal::I64(x), .. } => Some(*x),
+                Inst::Const {
+                    val: ConstVal::I32(x),
+                    ..
+                } => Some(*x as i64),
+                Inst::Const {
+                    val: ConstVal::I64(x),
+                    ..
+                } => Some(*x),
                 _ => None,
             };
         }
@@ -299,7 +360,11 @@ mod tests {
     }
 
     fn loop_src(n: u32, with_mul: bool) -> String {
-        let op = if with_mul { "acc = acc + i * 2;" } else { "acc = acc + i;" };
+        let op = if with_mul {
+            "acc = acc + i * 2;"
+        } else {
+            "acc = acc + i;"
+        };
         format!(
             "int main() {{ int acc = 0; int i; for (i = 0; i < {n}; i++) {{ {op} }} printf(\"%d\", acc); return 0; }}"
         )
@@ -312,9 +377,10 @@ mod tests {
         run(f, &p);
         dce(f);
         // No back-edge Br remains among reachable blocks.
-        let has_loop = f.reachable_blocks().iter().any(|b| {
-            matches!(f.blocks[b.0 as usize].term, Terminator::Br { .. })
-        });
+        let has_loop = f
+            .reachable_blocks()
+            .iter()
+            .any(|b| matches!(f.blocks[b.0 as usize].term, Terminator::Br { .. }));
         assert!(!has_loop, "loop should be fully unrolled");
     }
 
@@ -339,7 +405,15 @@ mod tests {
             f.reachable_blocks()
                 .iter()
                 .flat_map(|b| f.blocks[b.0 as usize].insts.clone())
-                .filter(|i| matches!(i, Inst::Bin { op: BinKind::Mul, .. }))
+                .filter(|i| {
+                    matches!(
+                        i,
+                        Inst::Bin {
+                            op: BinKind::Mul,
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
         assert_eq!(count_muls(Family::Clang), 7);
@@ -356,7 +430,15 @@ mod tests {
             f.reachable_blocks()
                 .iter()
                 .flat_map(|b| f.blocks[b.0 as usize].insts.clone())
-                .filter(|i| matches!(i, Inst::Bin { op: BinKind::Mul, .. }))
+                .filter(|i| {
+                    matches!(
+                        i,
+                        Inst::Bin {
+                            op: BinKind::Mul,
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
         assert_eq!(count_muls(Family::Gcc), count_muls(Family::Clang));

@@ -56,7 +56,13 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// All levels in the paper's order.
-    pub const ALL: [OptLevel; 5] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os];
+    pub const ALL: [OptLevel; 5] = [
+        OptLevel::O0,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::Os,
+    ];
 
     /// True if the level runs the optimizer at all.
     pub fn optimizing(self) -> bool {
@@ -454,8 +460,10 @@ mod tests {
 
     #[test]
     fn seeds_are_distinct_across_all_ten() {
-        let seeds: std::collections::HashSet<u64> =
-            CompilerImpl::default_set().iter().map(|c| c.personality().seed).collect();
+        let seeds: std::collections::HashSet<u64> = CompilerImpl::default_set()
+            .iter()
+            .map(|c| c.personality().seed)
+            .collect();
         assert_eq!(seeds.len(), 10);
     }
 }

@@ -1,23 +1,44 @@
 //! Property tests for the layout engine: whatever slot/global shapes a
 //! program produces, placements must be disjoint and aligned under every
 //! personality — the bedrock under "divergence comes only from UB".
+//!
+//! Random shapes come from a small inline SplitMix64 generator so the
+//! crate tests offline with no external dependencies.
 
 use minc_compile::ir::{GlobalInit, GlobalSpec, IrFunction, SlotInfo};
 use minc_compile::layout::{place_frame, place_globals, place_strings};
 use minc_compile::CompilerImpl;
-use proptest::prelude::*;
 
-fn arb_slot() -> impl Strategy<Value = SlotInfo> {
-    (1u64..128, prop_oneof![Just(1u64), Just(4), Just(8), Just(16)], any::<bool>()).prop_map(
-        |(size, align, addressed)| SlotInfo {
-            name: "s".into(),
-            size,
-            align,
-            addressed,
-            scalar: None,
-            promoted: false,
-        },
-    )
+/// SplitMix64 (public domain algorithm).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn pick(&mut self, options: &[u64]) -> u64 {
+        options[self.below(options.len() as u64) as usize]
+    }
+}
+
+fn random_slot(rng: &mut Rng) -> SlotInfo {
+    SlotInfo {
+        name: "s".into(),
+        size: 1 + rng.below(127),
+        align: rng.pick(&[1, 4, 8, 16]),
+        addressed: rng.below(2) == 0,
+        scalar: None,
+        promoted: false,
+    }
 }
 
 fn empty_fn(slots: Vec<SlotInfo>) -> IrFunction {
@@ -35,18 +56,20 @@ fn empty_fn(slots: Vec<SlotInfo>) -> IrFunction {
     f
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..Default::default() })]
-
-    /// Frame slots never overlap and honour alignment, for every
-    /// personality's ordering/padding policy.
-    #[test]
-    fn frame_slots_disjoint_and_aligned(slots in proptest::collection::vec(arb_slot(), 1..12)) {
+/// Frame slots never overlap and honour alignment, for every
+/// personality's ordering/padding policy.
+#[test]
+fn frame_slots_disjoint_and_aligned() {
+    let mut rng = Rng(0xf7a3);
+    for _case in 0..128 {
+        let slots: Vec<SlotInfo> = (0..1 + rng.below(11))
+            .map(|_| random_slot(&mut rng))
+            .collect();
         for ci in CompilerImpl::default_set() {
             let p = ci.personality();
             let f = empty_fn(slots.clone());
             let layout = place_frame(&f, &p);
-            prop_assert_eq!(layout.frame_size % 16, 0);
+            assert_eq!(layout.frame_size % 16, 0);
             let mut spans: Vec<(u64, u64)> = f
                 .slots
                 .iter()
@@ -55,29 +78,30 @@ proptest! {
                     // Place the frame base at a large aligned address.
                     let base = 1u64 << 40;
                     let lo = base - off;
-                    prop_assert!(off <= layout.frame_size, "slot outside frame");
-                    prop_assert_eq!(lo % s.align, 0, "misaligned slot");
-                    Ok((lo, lo + s.size))
+                    assert!(off <= layout.frame_size, "slot outside frame");
+                    assert_eq!(lo % s.align, 0, "misaligned slot");
+                    (lo, lo + s.size)
                 })
-                .collect::<Result<_, _>>()?;
+                .collect();
             spans.sort_unstable();
             for w in spans.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0, "{ci}: overlapping slots {spans:?}");
+                assert!(w[0].1 <= w[1].0, "{ci}: overlapping slots {spans:?}");
             }
         }
     }
+}
 
-    /// Globals never overlap and honour alignment under both ordering
-    /// policies.
-    #[test]
-    fn globals_disjoint_and_aligned(sizes in proptest::collection::vec((1u64..64, prop_oneof![Just(1u64), Just(4), Just(8)]), 1..16)) {
-        let globals: Vec<GlobalSpec> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &(size, align))| GlobalSpec {
+/// Globals never overlap and honour alignment under both ordering
+/// policies.
+#[test]
+fn globals_disjoint_and_aligned() {
+    let mut rng = Rng(0x61ab);
+    for _case in 0..128 {
+        let globals: Vec<GlobalSpec> = (0..1 + rng.below(15))
+            .map(|i| GlobalSpec {
                 name: format!("g{i}"),
-                size,
-                align,
+                size: 1 + rng.below(63),
+                align: rng.pick(&[1, 4, 8]),
                 init: GlobalInit::Zero,
             })
             .collect();
@@ -88,22 +112,27 @@ proptest! {
                 .iter()
                 .zip(&globals)
                 .map(|(&a, g)| {
-                    prop_assert_eq!(a % g.align, 0);
-                    prop_assert!(a >= p.globals_base);
-                    Ok((a, a + g.size))
+                    assert_eq!(a % g.align, 0);
+                    assert!(a >= p.globals_base);
+                    (a, a + g.size)
                 })
-                .collect::<Result<_, _>>()?;
+                .collect();
             spans.sort_unstable();
             for w in spans.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0, "{ci}: overlapping globals");
+                assert!(w[0].1 <= w[1].0, "{ci}: overlapping globals");
             }
         }
     }
+}
 
-    /// Rodata strings never overlap.
-    #[test]
-    fn strings_disjoint(lens in proptest::collection::vec(1usize..40, 1..16)) {
-        let strings: Vec<Vec<u8>> = lens.iter().map(|&n| vec![b'x'; n]).collect();
+/// Rodata strings never overlap.
+#[test]
+fn strings_disjoint() {
+    let mut rng = Rng(0x57f1);
+    for _case in 0..128 {
+        let strings: Vec<Vec<u8>> = (0..1 + rng.below(15))
+            .map(|_| vec![b'x'; 1 + rng.below(39) as usize])
+            .collect();
         for ci in CompilerImpl::default_set() {
             let p = ci.personality();
             let addrs = place_strings(&strings, &p);
@@ -114,7 +143,7 @@ proptest! {
                 .collect();
             spans.sort_unstable();
             for w in spans.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0, "{ci}: overlapping strings");
+                assert!(w[0].1 <= w[1].0, "{ci}: overlapping strings");
             }
         }
     }

@@ -27,7 +27,11 @@ pub struct VmConfig {
 
 impl Default for VmConfig {
     fn default() -> Self {
-        VmConfig { step_limit: 5_000_000, max_frames: 256, heap_limit: 1 << 26 }
+        VmConfig {
+            step_limit: 5_000_000,
+            max_frames: 256,
+            heap_limit: 1 << 26,
+        }
     }
 }
 
@@ -46,7 +50,11 @@ pub fn execute_with_hooks<H: Hooks>(
     let mut vm = Vm::new(binary, input, config, hooks);
     vm.load_data();
     let status = vm.run();
-    ExecResult { status, stdout: vm.stdout, steps: vm.steps }
+    ExecResult {
+        status,
+        stdout: vm.stdout,
+        steps: vm.steps,
+    }
 }
 
 enum End {
@@ -142,9 +150,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
             ConstVal::GlobalAddr(g, off) => {
                 (self.bin.global_addr(g) as i64).wrapping_add(off) as u64
             }
-            ConstVal::StrAddr(s, off) => {
-                (self.bin.string_addr(s) as i64).wrapping_add(off) as u64
-            }
+            ConstVal::StrAddr(s, off) => (self.bin.string_addr(s) as i64).wrapping_add(off) as u64,
             ConstVal::Junk(id) => self.bin.personality.junk_word(id),
         }
     }
@@ -173,7 +179,11 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
 
     fn loc(&self) -> Loc {
         let f = self.frames.last().expect("active frame");
-        Loc { func: f.func, block: f.block, inst: f.inst as u32 }
+        Loc {
+            func: f.func,
+            block: f.block,
+            inst: f.inst as u32,
+        }
     }
 
     fn push_frame(
@@ -195,7 +205,14 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
         }
         self.sp = lo;
         let mut regs = vec![0u64; f.reg_count as usize];
-        let mut poison = vec![false; if self.track_poison { f.reg_count as usize } else { 0 }];
+        let mut poison = vec![
+            false;
+            if self.track_poison {
+                f.reg_count as usize
+            } else {
+                0
+            }
+        ];
         for (i, &a) in args.iter().enumerate() {
             regs[i] = a;
             if self.track_poison {
@@ -348,7 +365,14 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 self.set_reg(*dst, v, p);
                 Ok(())
             }
-            Inst::Bin { dst, ty, op, a, b, ub_signed } => {
+            Inst::Bin {
+                dst,
+                ty,
+                op,
+                a,
+                b,
+                ub_signed,
+            } => {
                 let (va, vb) = (self.reg(*a), self.reg(*b));
                 if let Some(fault) = self.hooks.check_bin(*op, *ty, va, vb, *ub_signed, loc) {
                     return Err(End::Fault(fault));
@@ -367,9 +391,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 let va = self.reg(*a);
                 let p = self.reg_poison(*a);
                 let r = match (op, ty) {
-                    (UnKind::Neg, IrType::I32) => {
-                        ((va as i32).wrapping_neg()) as i64 as u64
-                    }
+                    (UnKind::Neg, IrType::I32) => ((va as i32).wrapping_neg()) as i64 as u64,
                     (UnKind::Neg, _) => (va as i64).wrapping_neg() as u64,
                     (UnKind::BitNot, IrType::I32) => (!(va as i32)) as i64 as u64,
                     (UnKind::BitNot, _) => !va,
@@ -401,7 +423,13 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 self.set_reg(*dst, base - off, false);
                 Ok(())
             }
-            Inst::Load { dst, ty, addr, width, sext } => {
+            Inst::Load {
+                dst,
+                ty,
+                addr,
+                width,
+                sext,
+            } => {
                 let va = self.reg(*addr);
                 if self.track_poison && self.reg_poison(*addr) {
                     if let Some(fault) = self.hooks.on_poison_use(PoisonUse::Address, loc) {
@@ -437,7 +465,13 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 }
                 Ok(())
             }
-            Inst::Call { dst, callee, args, arg_tys, .. } => {
+            Inst::Call {
+                dst,
+                callee,
+                args,
+                arg_tys,
+                ..
+            } => {
                 let vals: Vec<u64> = args.iter().map(|a| self.reg(*a)).collect();
                 let pois: Vec<bool> = args.iter().map(|a| self.reg_poison(*a)).collect();
                 match callee {
@@ -468,7 +502,14 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
         let loc = self.loc();
         match term {
             Terminator::Jump(t) => {
-                self.hooks.on_edge(loc, Loc { func: loc.func, block: t.0, inst: 0 });
+                self.hooks.on_edge(
+                    loc,
+                    Loc {
+                        func: loc.func,
+                        block: t.0,
+                        inst: 0,
+                    },
+                );
                 let a = self.frames.last_mut().unwrap();
                 a.block = t.0;
                 a.inst = 0;
@@ -481,7 +522,14 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                     }
                 }
                 let taken = if self.reg(cond) != 0 { then } else { els };
-                self.hooks.on_edge(loc, Loc { func: loc.func, block: taken.0, inst: 0 });
+                self.hooks.on_edge(
+                    loc,
+                    Loc {
+                        func: loc.func,
+                        block: taken.0,
+                        inst: 0,
+                    },
+                );
                 let a = self.frames.last_mut().unwrap();
                 a.block = taken.0;
                 a.inst = 0;
@@ -522,7 +570,11 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
         } else {
             (a as i64, b as i64)
         };
-        let (ua, ub) = if narrow { (a as u32 as u64, b as u32 as u64) } else { (a, b) };
+        let (ua, ub) = if narrow {
+            (a as u32 as u64, b as u32 as u64)
+        } else {
+            (a, b)
+        };
         let wrap = |v: i64| -> u64 {
             if narrow {
                 v as i32 as i64 as u64
@@ -657,9 +709,11 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 let take = n.clamp(0, avail);
                 for i in 0..take {
                     self.check_mem(buf.wrapping_add(i as u64), 1, true, loc)?;
-                    self.mem.write_u8(buf.wrapping_add(i as u64), self.input[self.input_pos]);
+                    self.mem
+                        .write_u8(buf.wrapping_add(i as u64), self.input[self.input_pos]);
                     if self.track_poison {
-                        self.hooks.store_poison(buf.wrapping_add(i as u64), 1, false);
+                        self.hooks
+                            .store_poison(buf.wrapping_add(i as u64), 1, false);
                     }
                     self.input_pos += 1;
                 }
@@ -920,7 +974,11 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 b'%' => vec![b'%'],
                 b'd' | b'i' => {
                     let (v, _) = next(self);
-                    let n = if long { v as i64 } else { v as u32 as i32 as i64 };
+                    let n = if long {
+                        v as i64
+                    } else {
+                        v as u32 as i32 as i64
+                    };
                     n.to_string().into_bytes()
                 }
                 b'u' => {
@@ -1078,7 +1136,10 @@ mod tests {
 
     #[test]
     fn exit_status_propagates() {
-        assert_eq!(run_one("int main() { return 3; }", "gcc-O0", b"").status, ExitStatus::Code(3));
+        assert_eq!(
+            run_one("int main() { return 3; }", "gcc-O0", b"").status,
+            ExitStatus::Code(3)
+        );
         assert_eq!(
             run_one("int main() { exit(7); return 1; }", "clang-O2", b"").status,
             ExitStatus::Code(7)
@@ -1110,10 +1171,19 @@ mod tests {
             run_one("int main() { abort(); return 0; }", "gcc-O0", b"").status,
             ExitStatus::Trapped(Trap::Abort)
         );
-        let bin =
-            compile_source("int main() { while (1) { } return 0; }", CompilerImpl::parse("gcc-O0").unwrap())
-                .unwrap();
-        let r = execute(&bin, b"", &VmConfig { step_limit: 10_000, ..Default::default() });
+        let bin = compile_source(
+            "int main() { while (1) { } return 0; }",
+            CompilerImpl::parse("gcc-O0").unwrap(),
+        )
+        .unwrap();
+        let r = execute(
+            &bin,
+            b"",
+            &VmConfig {
+                step_limit: 10_000,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.status, ExitStatus::TimedOut);
     }
 

@@ -23,7 +23,10 @@ pub struct Memory {
 impl Memory {
     /// Creates memory whose junk pattern follows `personality`.
     pub fn new(personality: &Personality) -> Self {
-        Memory { pages: HashMap::new(), seed: personality.seed }
+        Memory {
+            pages: HashMap::new(),
+            seed: personality.seed,
+        }
     }
 
     fn junk_byte(seed: u64, addr: u64) -> u8 {

@@ -83,7 +83,11 @@ impl Fault {
         category: impl Into<String>,
         message: impl Into<String>,
     ) -> Self {
-        Fault { kind, category: category.into(), message: message.into() }
+        Fault {
+            kind,
+            category: category.into(),
+            message: message.into(),
+        }
     }
 }
 
@@ -171,7 +175,11 @@ mod tests {
 
     #[test]
     fn observable_differs_on_status() {
-        let a = ExecResult { status: ExitStatus::Code(0), stdout: b"x".to_vec(), steps: 1 };
+        let a = ExecResult {
+            status: ExitStatus::Code(0),
+            stdout: b"x".to_vec(),
+            steps: 1,
+        };
         let b = ExecResult {
             status: ExitStatus::Trapped(Trap::Segv),
             stdout: b"x".to_vec(),

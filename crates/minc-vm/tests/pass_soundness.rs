@@ -13,7 +13,11 @@ fn outputs_for(src: &str, input: &[u8]) -> Vec<(String, String, u8)> {
         .into_iter()
         .map(|ci| {
             let r = execute(&compile(&checked, ci), input, &vm);
-            (ci.to_string(), String::from_utf8_lossy(&r.stdout).into_owned(), r.status.as_code())
+            (
+                ci.to_string(),
+                String::from_utf8_lossy(&r.stdout).into_owned(),
+                r.status.as_code(),
+            )
         })
         .collect()
 }
@@ -207,8 +211,16 @@ fn optimized_binaries_are_not_slower() {
     "#;
     let checked = minc::check(src).unwrap();
     let vm = VmConfig::default();
-    let o0 = execute(&compile(&checked, CompilerImpl::parse("gcc-O0").unwrap()), b"", &vm);
-    let o2 = execute(&compile(&checked, CompilerImpl::parse("gcc-O2").unwrap()), b"", &vm);
+    let o0 = execute(
+        &compile(&checked, CompilerImpl::parse("gcc-O0").unwrap()),
+        b"",
+        &vm,
+    );
+    let o2 = execute(
+        &compile(&checked, CompilerImpl::parse("gcc-O2").unwrap()),
+        b"",
+        &vm,
+    );
     assert_eq!(o0.stdout, o2.stdout);
     assert!(
         o2.steps * 10 < o0.steps * 9,

@@ -104,15 +104,35 @@ pub enum ExprKind {
     /// Unary operation.
     Unary { op: UnOp, operand: Box<Expr> },
     /// Binary operation.
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Short-circuit `&&` / `||`.
-    Logical { and: bool, lhs: Box<Expr>, rhs: Box<Expr> },
+    Logical {
+        and: bool,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Simple or compound assignment. `op` is `None` for `=`.
-    Assign { op: Option<BinOp>, target: Box<Expr>, value: Box<Expr> },
+    Assign {
+        op: Option<BinOp>,
+        target: Box<Expr>,
+        value: Box<Expr>,
+    },
     /// Pre/post increment/decrement.
-    IncDec { inc: bool, pre: bool, target: Box<Expr> },
+    IncDec {
+        inc: bool,
+        pre: bool,
+        target: Box<Expr>,
+    },
     /// Conditional expression `c ? t : e`.
-    Cond { cond: Box<Expr>, then: Box<Expr>, els: Box<Expr> },
+    Cond {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
     /// Function or builtin call. Argument evaluation *order* is
     /// implementation-defined — the heart of the EvalOrder bug class.
     Call { callee: String, args: Vec<Expr> },
@@ -147,11 +167,20 @@ pub struct Stmt {
 pub enum StmtKind {
     /// Local variable declaration, possibly `static`, possibly initialized.
     /// An uninitialized non-static local has an *indeterminate* value.
-    Decl { name: String, ty: Type, storage: Storage, init: Option<Expr> },
+    Decl {
+        name: String,
+        ty: Type,
+        storage: Storage,
+        init: Option<Expr>,
+    },
     /// Expression statement.
     Expr(Expr),
     /// Conditional.
-    If { cond: Expr, then: Box<Stmt>, els: Option<Box<Stmt>> },
+    If {
+        cond: Expr,
+        then: Box<Stmt>,
+        els: Option<Box<Stmt>>,
+    },
     /// `while` loop.
     While { cond: Expr, body: Box<Stmt> },
     /// `do { } while (c);` loop.

@@ -40,7 +40,11 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates a new diagnostic.
     pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { phase, span, message: message.into() }
+        Diagnostic {
+            phase,
+            span,
+            message: message.into(),
+        }
     }
 }
 
@@ -64,7 +68,9 @@ pub struct FrontendError {
 impl FrontendError {
     /// Wraps a single diagnostic.
     pub fn single(diag: Diagnostic) -> Self {
-        FrontendError { diagnostics: vec![diag] }
+        FrontendError {
+            diagnostics: vec![diag],
+        }
     }
 
     /// The first (usually most relevant) diagnostic.

@@ -17,7 +17,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     /// Lexes the entire input, returning tokens terminated by [`TokenKind::Eof`].
@@ -33,7 +37,10 @@ impl<'a> Lexer<'a> {
             let start = self.pos;
             let line = self.line;
             let Some(&c) = self.src.get(self.pos) else {
-                out.push(Token { kind: TokenKind::Eof, span: Span::new(start as u32, start as u32, line) });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start as u32, start as u32, line),
+                });
                 return Ok(out);
             };
             let kind = self.next_kind(c)?;
@@ -45,7 +52,12 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, start: usize, msg: impl Into<String>) -> FrontendError {
-        Diagnostic::new(Phase::Lex, Span::new(start as u32, self.pos as u32, self.line), msg).into()
+        Diagnostic::new(
+            Phase::Lex,
+            Span::new(start as u32, self.pos as u32, self.line),
+            msg,
+        )
+        .into()
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -266,7 +278,8 @@ impl<'a> Lexer<'a> {
             }
             let text = std::str::from_utf8(&self.src[digits_start..self.pos]).unwrap();
             let value = u64::from_str_radix(text, 16)
-                .map_err(|_| self.err(start, "hex literal out of range"))? as i64;
+                .map_err(|_| self.err(start, "hex literal out of range"))?
+                as i64;
             let long = self.eat(b'L') || self.eat(b'l');
             self.eat(b'U');
             self.eat(b'u');
@@ -291,15 +304,15 @@ impl<'a> Lexer<'a> {
                 }
             }
             let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-            let value: f64 =
-                text.parse().map_err(|_| self.err(start, "malformed float literal"))?;
+            let value: f64 = text
+                .parse()
+                .map_err(|_| self.err(start, "malformed float literal"))?;
             return Ok(TokenKind::FloatLit(value));
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-        let value: i64 = text
-            .parse::<u64>()
-            .map_err(|_| self.err(start, "integer literal out of range"))?
-            as i64;
+        let value: i64 =
+            text.parse::<u64>()
+                .map_err(|_| self.err(start, "integer literal out of range"))? as i64;
         let long = self.eat(b'L') || self.eat(b'l');
         self.eat(b'U');
         self.eat(b'u');
@@ -307,7 +320,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn ident(&mut self, start: usize) -> TokenKind {
-        while self.peek().is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+        while self
+            .peek()
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
@@ -315,7 +331,9 @@ impl<'a> Lexer<'a> {
     }
 
     fn escape(&mut self, start: usize) -> Result<u8, FrontendError> {
-        let c = self.bump().ok_or_else(|| self.err(start, "unterminated escape sequence"))?;
+        let c = self
+            .bump()
+            .ok_or_else(|| self.err(start, "unterminated escape sequence"))?;
         Ok(match c {
             b'n' => b'\n',
             b't' => b'\t',
@@ -402,7 +420,10 @@ mod tests {
                 T::KwInt,
                 T::Ident("x".into()),
                 T::Assign,
-                T::IntLit { value: 42, long: false },
+                T::IntLit {
+                    value: 42,
+                    long: false
+                },
                 T::Semi,
                 T::Eof
             ]
@@ -414,8 +435,14 @@ mod tests {
         assert_eq!(
             kinds("0xff 10L"),
             vec![
-                T::IntLit { value: 255, long: false },
-                T::IntLit { value: 10, long: true },
+                T::IntLit {
+                    value: 255,
+                    long: false
+                },
+                T::IntLit {
+                    value: 10,
+                    long: true
+                },
                 T::Eof
             ]
         );
@@ -456,7 +483,10 @@ mod tests {
 
     #[test]
     fn lexes_char_literals() {
-        assert_eq!(kinds(r"'a' '\n'"), vec![T::CharLit(b'a'), T::CharLit(b'\n'), T::Eof]);
+        assert_eq!(
+            kinds(r"'a' '\n'"),
+            vec![T::CharLit(b'a'), T::CharLit(b'\n'), T::Eof]
+        );
     }
 
     #[test]

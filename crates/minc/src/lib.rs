@@ -26,7 +26,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod ast;
 pub mod diag;
@@ -41,6 +40,8 @@ pub mod types;
 pub use diag::{Diagnostic, FrontendError, Phase};
 pub use lexer::lex;
 pub use parser::parse;
-pub use sema::{check, check_program, Builtin, CallTarget, CheckedProgram, LocalId, StaticId, VarRef};
+pub use sema::{
+    check, check_program, Builtin, CallTarget, CheckedProgram, LocalId, StaticId, VarRef,
+};
 pub use span::{NodeId, Span};
 pub use types::Type;

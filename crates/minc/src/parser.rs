@@ -30,7 +30,11 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, next_id: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            next_id: 0,
+        }
     }
 
     fn fresh(&mut self) -> NodeId {
@@ -77,7 +81,11 @@ impl Parser {
         if self.peek() == &kind {
             Ok(self.bump())
         } else {
-            Err(self.error(format!("expected {}, found {}", kind.describe(), self.peek().describe())))
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
         }
     }
 
@@ -225,14 +233,27 @@ impl Parser {
             let (fname, _) = self.ident()?;
             let ty = self.array_suffix(ty)?;
             self.expect(TokenKind::Semi)?;
-            fields.push(Field { name: fname, ty, span: fs.merge(self.prev_span()) });
+            fields.push(Field {
+                name: fname,
+                ty,
+                span: fs.merge(self.prev_span()),
+            });
         }
         self.expect(TokenKind::RBrace)?;
         self.expect(TokenKind::Semi)?;
-        Ok(StructDef { name, fields, span: start.merge(self.prev_span()) })
+        Ok(StructDef {
+            name,
+            fields,
+            span: start.merge(self.prev_span()),
+        })
     }
 
-    fn function(&mut self, ret: Type, name: String, start: Span) -> Result<Function, FrontendError> {
+    fn function(
+        &mut self,
+        ret: Type,
+        name: String,
+        start: Span,
+    ) -> Result<Function, FrontendError> {
         self.expect(TokenKind::LParen)?;
         let mut params = Vec::new();
         if self.peek() != &TokenKind::RParen {
@@ -244,7 +265,11 @@ impl Parser {
                     let ty = self.parse_type()?;
                     let (pname, _) = self.ident()?;
                     let ty = self.array_suffix(ty)?.decay();
-                    params.push(Param { name: pname, ty, span: ps.merge(self.prev_span()) });
+                    params.push(Param {
+                        name: pname,
+                        ty,
+                        span: ps.merge(self.prev_span()),
+                    });
                     if !self.eat(&TokenKind::Comma) {
                         break;
                     }
@@ -283,16 +308,29 @@ impl Parser {
 
     fn declaration(&mut self) -> Result<Stmt, FrontendError> {
         let start = self.span();
-        let storage = if self.eat(&TokenKind::KwStatic) { Storage::Static } else { Storage::Auto };
+        let storage = if self.eat(&TokenKind::KwStatic) {
+            Storage::Static
+        } else {
+            Storage::Auto
+        };
         let ty = self.parse_type()?;
         let (name, _) = self.ident()?;
         let ty = self.array_suffix(ty)?;
-        let init = if self.eat(&TokenKind::Assign) { Some(self.assignment_expr()?) } else { None };
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.assignment_expr()?)
+        } else {
+            None
+        };
         self.expect(TokenKind::Semi)?;
         Ok(Stmt {
             id: self.fresh(),
             span: start.merge(self.prev_span()),
-            kind: StmtKind::Decl { name, ty, storage, init },
+            kind: StmtKind::Decl {
+                name,
+                ty,
+                storage,
+                init,
+            },
         })
     }
 
@@ -302,7 +340,11 @@ impl Parser {
             TokenKind::LBrace => self.block(),
             TokenKind::Semi => {
                 self.bump();
-                Ok(Stmt { id: self.fresh(), span: start, kind: StmtKind::Empty })
+                Ok(Stmt {
+                    id: self.fresh(),
+                    span: start,
+                    kind: StmtKind::Empty,
+                })
             }
             TokenKind::KwStatic => self.declaration(),
             k if Self::is_type_start(k) => self.declaration(),
@@ -366,20 +408,37 @@ impl Parser {
                         kind: StmtKind::Expr(e),
                     }))
                 };
-                let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expression()?) };
+                let cond = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
                 self.expect(TokenKind::Semi)?;
-                let step = if self.peek() == &TokenKind::RParen { None } else { Some(self.expression()?) };
+                let step = if self.peek() == &TokenKind::RParen {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
                 self.expect(TokenKind::RParen)?;
                 let body = Box::new(self.statement()?);
                 Ok(Stmt {
                     id: self.fresh(),
                     span: start.merge(self.prev_span()),
-                    kind: StmtKind::For { init, cond, step, body },
+                    kind: StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
                 })
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let value = if self.peek() == &TokenKind::Semi { None } else { Some(self.expression()?) };
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
                 self.expect(TokenKind::Semi)?;
                 Ok(Stmt {
                     id: self.fresh(),
@@ -390,12 +449,20 @@ impl Parser {
             TokenKind::KwBreak => {
                 self.bump();
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt { id: self.fresh(), span: start, kind: StmtKind::Break })
+                Ok(Stmt {
+                    id: self.fresh(),
+                    span: start,
+                    kind: StmtKind::Break,
+                })
             }
             TokenKind::KwContinue => {
                 self.bump();
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt { id: self.fresh(), span: start, kind: StmtKind::Continue })
+                Ok(Stmt {
+                    id: self.fresh(),
+                    span: start,
+                    kind: StmtKind::Continue,
+                })
             }
             _ => {
                 let e = self.expression()?;
@@ -437,7 +504,11 @@ impl Parser {
         Ok(Expr {
             id: self.fresh(),
             span,
-            kind: ExprKind::Assign { op, target: Box::new(lhs), value: Box::new(value) },
+            kind: ExprKind::Assign {
+                op,
+                target: Box::new(lhs),
+                value: Box::new(value),
+            },
         })
     }
 
@@ -453,7 +524,11 @@ impl Parser {
         Ok(Expr {
             id: self.fresh(),
             span,
-            kind: ExprKind::Cond { cond: Box::new(cond), then: Box::new(then), els: Box::new(els) },
+            kind: ExprKind::Cond {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            },
         })
     }
 
@@ -498,12 +573,20 @@ impl Parser {
                 BinOpOrLogical::Bin(b) => Expr {
                     id: self.fresh(),
                     span,
-                    kind: ExprKind::Binary { op: b, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    kind: ExprKind::Binary {
+                        op: b,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
                 },
                 BinOpOrLogical::Logical(and) => Expr {
                     id: self.fresh(),
                     span,
-                    kind: ExprKind::Logical { and, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    kind: ExprKind::Logical {
+                        and,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
                 },
             };
         }
@@ -527,7 +610,10 @@ impl Parser {
             return Ok(Expr {
                 id: self.fresh(),
                 span,
-                kind: ExprKind::Unary { op, operand: Box::new(operand) },
+                kind: ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
             });
         }
         if self.eat(&TokenKind::PlusPlus) {
@@ -536,7 +622,11 @@ impl Parser {
             return Ok(Expr {
                 id: self.fresh(),
                 span,
-                kind: ExprKind::IncDec { inc: true, pre: true, target: Box::new(target) },
+                kind: ExprKind::IncDec {
+                    inc: true,
+                    pre: true,
+                    target: Box::new(target),
+                },
             });
         }
         if self.eat(&TokenKind::MinusMinus) {
@@ -545,7 +635,11 @@ impl Parser {
             return Ok(Expr {
                 id: self.fresh(),
                 span,
-                kind: ExprKind::IncDec { inc: false, pre: true, target: Box::new(target) },
+                kind: ExprKind::IncDec {
+                    inc: false,
+                    pre: true,
+                    target: Box::new(target),
+                },
             });
         }
         if self.peek() == &TokenKind::KwSizeof {
@@ -556,7 +650,11 @@ impl Parser {
                 let ty = self.array_suffix(ty)?;
                 self.expect(TokenKind::RParen)?;
                 let span = start.merge(self.prev_span());
-                return Ok(Expr { id: self.fresh(), span, kind: ExprKind::SizeofType(ty) });
+                return Ok(Expr {
+                    id: self.fresh(),
+                    span,
+                    kind: ExprKind::SizeofType(ty),
+                });
             }
             let operand = self.unary_expr()?;
             let span = start.merge(operand.span);
@@ -577,7 +675,10 @@ impl Parser {
             return Ok(Expr {
                 id: self.fresh(),
                 span,
-                kind: ExprKind::Cast { to: ty, value: Box::new(value) },
+                kind: ExprKind::Cast {
+                    to: ty,
+                    value: Box::new(value),
+                },
             });
         }
         self.postfix_expr()
@@ -595,7 +696,10 @@ impl Parser {
                     e = Expr {
                         id: self.fresh(),
                         span,
-                        kind: ExprKind::Index { base: Box::new(e), index: Box::new(index) },
+                        kind: ExprKind::Index {
+                            base: Box::new(e),
+                            index: Box::new(index),
+                        },
                     };
                 }
                 TokenKind::Dot => {
@@ -605,7 +709,10 @@ impl Parser {
                     e = Expr {
                         id: self.fresh(),
                         span,
-                        kind: ExprKind::Member { base: Box::new(e), field },
+                        kind: ExprKind::Member {
+                            base: Box::new(e),
+                            field,
+                        },
                     };
                 }
                 TokenKind::Arrow => {
@@ -615,7 +722,10 @@ impl Parser {
                     e = Expr {
                         id: self.fresh(),
                         span,
-                        kind: ExprKind::Arrow { base: Box::new(e), field },
+                        kind: ExprKind::Arrow {
+                            base: Box::new(e),
+                            field,
+                        },
                     };
                 }
                 TokenKind::PlusPlus => {
@@ -624,7 +734,11 @@ impl Parser {
                     e = Expr {
                         id: self.fresh(),
                         span,
-                        kind: ExprKind::IncDec { inc: true, pre: false, target: Box::new(e) },
+                        kind: ExprKind::IncDec {
+                            inc: true,
+                            pre: false,
+                            target: Box::new(e),
+                        },
                     };
                 }
                 TokenKind::MinusMinus => {
@@ -633,7 +747,11 @@ impl Parser {
                     e = Expr {
                         id: self.fresh(),
                         span,
-                        kind: ExprKind::IncDec { inc: false, pre: false, target: Box::new(e) },
+                        kind: ExprKind::IncDec {
+                            inc: false,
+                            pre: false,
+                            target: Box::new(e),
+                        },
                     };
                 }
                 _ => return Ok(e),
@@ -646,23 +764,43 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::IntLit { value, long } => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::IntLit { value, long } })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span: start,
+                    kind: ExprKind::IntLit { value, long },
+                })
             }
             TokenKind::FloatLit(v) => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::FloatLit(v) })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span: start,
+                    kind: ExprKind::FloatLit(v),
+                })
             }
             TokenKind::CharLit(c) => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::CharLit(c) })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span: start,
+                    kind: ExprKind::CharLit(c),
+                })
             }
             TokenKind::StrLit(bytes) => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::StrLit(bytes) })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span: start,
+                    kind: ExprKind::StrLit(bytes),
+                })
             }
             TokenKind::KwLine => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::Line })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span: start,
+                    kind: ExprKind::Line,
+                })
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -679,9 +817,17 @@ impl Parser {
                     }
                     self.expect(TokenKind::RParen)?;
                     let span = start.merge(self.prev_span());
-                    Ok(Expr { id: self.fresh(), span, kind: ExprKind::Call { callee: name, args } })
+                    Ok(Expr {
+                        id: self.fresh(),
+                        span,
+                        kind: ExprKind::Call { callee: name, args },
+                    })
                 } else {
-                    Ok(Expr { id: self.fresh(), span: start, kind: ExprKind::Var(name) })
+                    Ok(Expr {
+                        id: self.fresh(),
+                        span: start,
+                        kind: ExprKind::Var(name),
+                    })
                 }
             }
             TokenKind::LParen => {
@@ -741,9 +887,18 @@ mod tests {
     fn precedence_mul_binds_tighter_than_add() {
         let p = parse("int main() { return 1 + 2 * 3; }").unwrap();
         let body = &p.functions[0].body;
-        let StmtKind::Block(stmts) = &body.kind else { panic!() };
-        let StmtKind::Return(Some(e)) = &stmts[0].kind else { panic!() };
-        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &e.kind else {
+        let StmtKind::Block(stmts) = &body.kind else {
+            panic!()
+        };
+        let StmtKind::Return(Some(e)) = &stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &e.kind
+        else {
             panic!("expected top-level add, got {:?}", e.kind)
         };
         assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
@@ -788,18 +943,27 @@ mod tests {
     #[test]
     fn parses_line_macro() {
         let p = parse("int main() { return __LINE__; }").unwrap();
-        let StmtKind::Block(stmts) = &p.functions[0].body.kind else { panic!() };
-        let StmtKind::Return(Some(e)) = &stmts[0].kind else { panic!() };
+        let StmtKind::Block(stmts) = &p.functions[0].body.kind else {
+            panic!()
+        };
+        let StmtKind::Return(Some(e)) = &stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Line));
     }
 
     #[test]
     fn parses_static_local() {
         let p = parse("char* f() { static char buffer[8]; return buffer; }").unwrap();
-        let StmtKind::Block(stmts) = &p.functions[0].body.kind else { panic!() };
+        let StmtKind::Block(stmts) = &p.functions[0].body.kind else {
+            panic!()
+        };
         assert!(matches!(
             stmts[0].kind,
-            StmtKind::Decl { storage: Storage::Static, .. }
+            StmtKind::Decl {
+                storage: Storage::Static,
+                ..
+            }
         ));
     }
 
@@ -840,7 +1004,9 @@ mod tests {
                     walk_expr(base, seen);
                     walk_expr(index, seen);
                 }
-                ExprKind::Member { base, .. } | ExprKind::Arrow { base, .. } => walk_expr(base, seen),
+                ExprKind::Member { base, .. } | ExprKind::Arrow { base, .. } => {
+                    walk_expr(base, seen)
+                }
                 ExprKind::Cast { value, .. } => walk_expr(value, seen),
                 ExprKind::IncDec { target, .. } => walk_expr(target, seen),
                 ExprKind::SizeofExpr(e) => walk_expr(e, seen),
@@ -870,7 +1036,12 @@ mod tests {
                     walk_stmt(body, seen);
                     walk_expr(cond, seen);
                 }
-                StmtKind::For { init, cond, step, body } => {
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
                     if let Some(i) = init {
                         walk_stmt(i, seen);
                     }

@@ -35,7 +35,14 @@ pub fn program(p: &Program) -> String {
             .map(|p| declarator(&p.ty, &p.name))
             .collect::<Vec<_>>()
             .join(", ");
-        let _ = writeln!(out, "{} {}({}) {}", type_name(&f.ret), f.name, params, stmt(&f.body, 0));
+        let _ = writeln!(
+            out,
+            "{} {}({}) {}",
+            type_name(&f.ret),
+            f.name,
+            params,
+            stmt(&f.body, 0)
+        );
     }
     out
 }
@@ -61,8 +68,17 @@ pub fn declarator(t: &Type, name: &str) -> String {
 pub fn stmt(s: &Stmt, indent: usize) -> String {
     let pad = "    ".repeat(indent);
     match &s.kind {
-        StmtKind::Decl { name, ty, storage, init } => {
-            let st = if *storage == Storage::Static { "static " } else { "" };
+        StmtKind::Decl {
+            name,
+            ty,
+            storage,
+            init,
+        } => {
+            let st = if *storage == Storage::Static {
+                "static "
+            } else {
+                ""
+            };
             match init {
                 Some(e) => format!("{st}{} = {};", declarator(ty, name), expr(e)),
                 None => format!("{st}{};", declarator(ty, name)),
@@ -82,14 +98,22 @@ pub fn stmt(s: &Stmt, indent: usize) -> String {
         StmtKind::DoWhile { body, cond } => {
             format!("do {} while ({});", inner_stmt(body, indent), expr(cond))
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let init_s = match init {
                 Some(i) => stmt(i, 0),
                 None => ";".to_string(),
             };
             let cond_s = cond.as_ref().map(expr).unwrap_or_default();
             let step_s = step.as_ref().map(expr).unwrap_or_default();
-            format!("for ({init_s} {cond_s}; {step_s}) {}", inner_stmt(body, indent))
+            format!(
+                "for ({init_s} {cond_s}; {step_s}) {}",
+                inner_stmt(body, indent)
+            )
         }
         StmtKind::Return(None) => "return;".to_string(),
         StmtKind::Return(Some(e)) => format!("return {};", expr(e)),
@@ -125,7 +149,9 @@ pub fn expr(e: &Expr) -> String {
             } else if *value < 0 {
                 // A negative literal only arises from folding; print in a
                 // re-parseable form.
-                format!("({value})").replace("(-", "(0 - ").replace(')', ")")
+                format!("({value})")
+                    .replace("(-", "(0 - ")
+                    .replace(')', ")")
             } else {
                 format!("{value}")
             }
@@ -178,7 +204,12 @@ pub fn expr(e: &Expr) -> String {
             format!("({} {} {})", expr(lhs), binop(*op), expr(rhs))
         }
         ExprKind::Logical { and, lhs, rhs } => {
-            format!("({} {} {})", expr(lhs), if *and { "&&" } else { "||" }, expr(rhs))
+            format!(
+                "({} {} {})",
+                expr(lhs),
+                if *and { "&&" } else { "||" },
+                expr(rhs)
+            )
         }
         ExprKind::Assign { op, target, value } => match op {
             Some(op) => format!("({} {}= {})", expr(target), binop(*op), expr(value)),
@@ -260,7 +291,10 @@ mod tests {
 
     #[test]
     fn declarator_arrays() {
-        assert_eq!(declarator(&Type::Array(Box::new(Type::Char), 16), "buf"), "char buf[16]");
+        assert_eq!(
+            declarator(&Type::Array(Box::new(Type::Char), 16), "buf"),
+            "char buf[16]"
+        );
         assert_eq!(declarator(&Type::Int.ptr_to(), "p"), "int* p");
     }
 

@@ -155,15 +155,31 @@ impl Builtin {
             InputSize => (vec![], false, Type::Long),
             Malloc => (vec![Some(Type::Long)], false, Type::Void.ptr_to()),
             Free => (vec![vp.clone()], false, Type::Void),
-            Memcpy => (vec![vp.clone(), vp.clone(), Some(Type::Long)], false, Type::Void.ptr_to()),
-            Memset => (vec![vp.clone(), Some(Type::Int), Some(Type::Long)], false, Type::Void.ptr_to()),
+            Memcpy => (
+                vec![vp.clone(), vp.clone(), Some(Type::Long)],
+                false,
+                Type::Void.ptr_to(),
+            ),
+            Memset => (
+                vec![vp.clone(), Some(Type::Int), Some(Type::Long)],
+                false,
+                Type::Void.ptr_to(),
+            ),
             Strlen => (vec![cp.clone()], false, Type::Long),
             Strcpy => (vec![cp.clone(), cp.clone()], false, Type::Char.ptr_to()),
-            Strncpy => (vec![cp.clone(), cp.clone(), Some(Type::Long)], false, Type::Char.ptr_to()),
+            Strncpy => (
+                vec![cp.clone(), cp.clone(), Some(Type::Long)],
+                false,
+                Type::Char.ptr_to(),
+            ),
             Strcmp => (vec![cp.clone(), cp], false, Type::Int),
             Exit => (vec![Some(Type::Int)], false, Type::Void),
             Abort => (vec![], false, Type::Void),
-            Pow => (vec![Some(Type::Double), Some(Type::Double)], false, Type::Double),
+            Pow => (
+                vec![Some(Type::Double), Some(Type::Double)],
+                false,
+                Type::Double,
+            ),
             Sqrt => (vec![Some(Type::Double)], false, Type::Double),
             Floor => (vec![Some(Type::Double)], false, Type::Double),
             Atoi => (vec![cp], false, Type::Int),
@@ -219,7 +235,11 @@ impl StructSizer for CheckedProgram {
     }
     fn align(&self, name: &str) -> u64 {
         let def = self.program.struct_def(name).expect("unknown struct");
-        def.fields.iter().map(|f| f.ty.align(self)).max().unwrap_or(1)
+        def.fields
+            .iter()
+            .map(|f| f.ty.align(self))
+            .max()
+            .unwrap_or(1)
     }
 }
 
@@ -333,7 +353,11 @@ impl<'p> Checker<'p> {
             if g.ty == Type::Void {
                 return Err(err(g.span, "global cannot have type void"));
             }
-            if checker.global_index.insert(g.name.as_str(), i as u32).is_some() {
+            if checker
+                .global_index
+                .insert(g.name.as_str(), i as u32)
+                .is_some()
+            {
                 return Err(err(g.span, format!("duplicate global `{}`", g.name)));
             }
         }
@@ -341,7 +365,11 @@ impl<'p> Checker<'p> {
             if Builtin::by_name(&f.name).is_some() {
                 return Err(err(f.span, format!("`{}` shadows a builtin", f.name)));
             }
-            if checker.func_index.insert(f.name.as_str(), i as u32).is_some() {
+            if checker
+                .func_index
+                .insert(f.name.as_str(), i as u32)
+                .is_some()
+            {
                 return Err(err(f.span, format!("duplicate function `{}`", f.name)));
             }
         }
@@ -354,7 +382,10 @@ impl<'p> Checker<'p> {
         stack: &mut Vec<&'p str>,
     ) -> Result<(), FrontendError> {
         if stack.contains(&s.name.as_str()) {
-            return Err(err(s.span, format!("struct `{}` recursively contains itself", s.name)));
+            return Err(err(
+                s.span,
+                format!("struct `{}` recursively contains itself", s.name),
+            ));
         }
         stack.push(&s.name);
         for f in &s.fields {
@@ -401,7 +432,10 @@ impl<'p> Checker<'p> {
     fn check_global(&mut self, _idx: usize, g: &Global) -> Result<(), FrontendError> {
         if let Some(init) = &g.init {
             if !is_const_expr(init) {
-                return Err(err(init.span, "global initializer must be a constant expression"));
+                return Err(err(
+                    init.span,
+                    "global initializer must be a constant expression",
+                ));
             }
             // Type the initializer in a degenerate context (no locals).
             let mut ctx = FnCtx {
@@ -421,7 +455,11 @@ impl<'p> Checker<'p> {
         Ok(())
     }
 
-    fn check_function(&mut self, _idx: u32, f: &'p Function) -> Result<FunctionInfo, FrontendError> {
+    fn check_function(
+        &mut self,
+        _idx: u32,
+        f: &'p Function,
+    ) -> Result<FunctionInfo, FrontendError> {
         self.validate_type(&f.ret, f.span)?;
         let mut ctx = FnCtx {
             func: f,
@@ -450,7 +488,10 @@ impl<'p> Checker<'p> {
             }
         }
         if matches!(f.ret, Type::Struct(_) | Type::Array(..)) {
-            return Err(err(f.span, "functions cannot return structs or arrays by value"));
+            return Err(err(
+                f.span,
+                "functions cannot return structs or arrays by value",
+            ));
         }
         self.check_stmt(&mut ctx, &f.body)?;
         Ok(ctx.info)
@@ -475,7 +516,12 @@ impl<'p> Checker<'p> {
 
     fn check_stmt(&mut self, ctx: &mut FnCtx<'p>, s: &Stmt) -> Result<(), FrontendError> {
         match &s.kind {
-            StmtKind::Decl { name, ty, storage, init } => {
+            StmtKind::Decl {
+                name,
+                ty,
+                storage,
+                init,
+            } => {
                 self.validate_type(ty, s.span)?;
                 if *ty == Type::Void {
                     return Err(err(s.span, "variable cannot have type void"));
@@ -552,7 +598,12 @@ impl<'p> Checker<'p> {
                 self.check_cond(ctx, cond)?;
                 Ok(())
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 ctx.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.check_stmt(ctx, i)?;
@@ -569,25 +620,24 @@ impl<'p> Checker<'p> {
                 ctx.scopes.pop();
                 Ok(())
             }
-            StmtKind::Return(value) => {
-                match (value, &ctx.func.ret) {
-                    (None, Type::Void) => Ok(()),
-                    (None, ret) => Err(err(s.span, format!("function returns `{ret}`, missing value"))),
-                    (Some(v), Type::Void) => {
-                        Err(err(v.span, "void function cannot return a value"))
+            StmtKind::Return(value) => match (value, &ctx.func.ret) {
+                (None, Type::Void) => Ok(()),
+                (None, ret) => Err(err(
+                    s.span,
+                    format!("function returns `{ret}`, missing value"),
+                )),
+                (Some(v), Type::Void) => Err(err(v.span, "void function cannot return a value")),
+                (Some(v), ret) => {
+                    let vt = self.check_expr(ctx, v)?;
+                    if !assignable(ret, &vt.decay(), v) {
+                        return Err(err(
+                            v.span,
+                            format!("cannot return `{vt}` from function returning `{ret}`"),
+                        ));
                     }
-                    (Some(v), ret) => {
-                        let vt = self.check_expr(ctx, v)?;
-                        if !assignable(ret, &vt.decay(), v) {
-                            return Err(err(
-                                v.span,
-                                format!("cannot return `{vt}` from function returning `{ret}`"),
-                            ));
-                        }
-                        Ok(())
-                    }
+                    Ok(())
                 }
-            }
+            },
             StmtKind::Break | StmtKind::Continue => {
                 if ctx.loop_depth == 0 {
                     return Err(err(s.span, "break/continue outside a loop"));
@@ -609,7 +659,10 @@ impl<'p> Checker<'p> {
     fn check_cond(&mut self, ctx: &mut FnCtx<'p>, e: &Expr) -> Result<(), FrontendError> {
         let t = self.check_expr(ctx, e)?;
         if !t.decay().is_scalar() {
-            return Err(err(e.span, format!("condition must be scalar, found `{t}`")));
+            return Err(err(
+                e.span,
+                format!("condition must be scalar, found `{t}`"),
+            ));
         }
         Ok(())
     }
@@ -641,7 +694,11 @@ impl<'p> Checker<'p> {
                         if !t.decay().is_arithmetic() {
                             return Err(err(e.span, format!("cannot negate `{t}`")));
                         }
-                        Ok(if t == Type::Double { Type::Double } else { t.promote() })
+                        Ok(if t == Type::Double {
+                            Type::Double
+                        } else {
+                            t.promote()
+                        })
                     }
                     UnOp::Not => {
                         if !t.decay().is_scalar() {
@@ -682,7 +739,10 @@ impl<'p> Checker<'p> {
                 for side in [lhs, rhs] {
                     let t = self.check_expr(ctx, side)?;
                     if !t.decay().is_scalar() {
-                        return Err(err(side.span, format!("operand of logical op must be scalar, found `{t}`")));
+                        return Err(err(
+                            side.span,
+                            format!("operand of logical op must be scalar, found `{t}`"),
+                        ));
                     }
                 }
                 Ok(Type::Int)
@@ -731,7 +791,10 @@ impl<'p> Checker<'p> {
                 } else if tt == Type::Void && et == Type::Void {
                     Ok(Type::Void)
                 } else {
-                    Err(err(e.span, format!("incompatible ternary branches `{tt}` and `{et}`")))
+                    Err(err(
+                        e.span,
+                        format!("incompatible ternary branches `{tt}` and `{et}`"),
+                    ))
                 }
             }
             ExprKind::Call { callee, args } => {
@@ -770,14 +833,20 @@ impl<'p> Checker<'p> {
                         if !assignable(pt, &at, a) {
                             return Err(err(
                                 a.span,
-                                format!("argument {} of `{callee}`: cannot pass `{at}` as `{pt}`", i + 1),
+                                format!(
+                                    "argument {} of `{callee}`: cannot pass `{at}` as `{pt}`",
+                                    i + 1
+                                ),
                             ));
                         }
                     } else if let Some(None) = params.get(i) {
                         if !at.is_pointer() && !is_null_literal(a) {
                             return Err(err(
                                 a.span,
-                                format!("argument {} of `{callee}` must be a pointer, found `{at}`", i + 1),
+                                format!(
+                                    "argument {} of `{callee}` must be a pointer, found `{at}`",
+                                    i + 1
+                                ),
                             ));
                         }
                     } else if !at.is_scalar() {
@@ -791,7 +860,10 @@ impl<'p> Checker<'p> {
                 let bt = self.check_expr(ctx, base)?.decay();
                 let it = self.check_expr(ctx, index)?.decay();
                 if !it.is_integer() {
-                    return Err(err(index.span, format!("array index must be an integer, found `{it}`")));
+                    return Err(err(
+                        index.span,
+                        format!("array index must be an integer, found `{it}`"),
+                    ));
                 }
                 let pointee = bt
                     .pointee()
@@ -845,7 +917,12 @@ impl<'p> Checker<'p> {
         }
     }
 
-    fn field_type(&self, struct_name: &str, field: &str, span: Span) -> Result<Type, FrontendError> {
+    fn field_type(
+        &self,
+        struct_name: &str,
+        field: &str,
+        span: Span,
+    ) -> Result<Type, FrontendError> {
         let def = self
             .struct_index
             .get(struct_name)
@@ -854,7 +931,12 @@ impl<'p> Checker<'p> {
             .iter()
             .find(|f| f.name == field)
             .map(|f| f.ty.clone())
-            .ok_or_else(|| err(span, format!("struct `{struct_name}` has no field `{field}`")))
+            .ok_or_else(|| {
+                err(
+                    span,
+                    format!("struct `{struct_name}` has no field `{field}`"),
+                )
+            })
     }
 
     fn binary_type(
@@ -909,7 +991,10 @@ impl<'p> Checker<'p> {
                 if lt.is_integer() && rt.is_integer() {
                     Ok(lt.promote())
                 } else {
-                    Err(err(span, format!("invalid shift operands `{lt}` and `{rt}`")))
+                    Err(err(
+                        span,
+                        format!("invalid shift operands `{lt}` and `{rt}`"),
+                    ))
                 }
             }
             Lt | Le | Gt | Ge | Eq | Ne => {
@@ -932,7 +1017,11 @@ static DUMMY_FN: std::sync::LazyLock<Function> = std::sync::LazyLock::new(|| Fun
     name: String::new(),
     ret: Type::Void,
     params: Vec::new(),
-    body: Stmt { id: NodeId(u32::MAX), span: Span::dummy(), kind: StmtKind::Empty },
+    body: Stmt {
+        id: NodeId(u32::MAX),
+        span: Span::dummy(),
+        kind: StmtKind::Empty,
+    },
     span: Span::dummy(),
 });
 
@@ -944,7 +1033,10 @@ pub fn is_lvalue(e: &Expr) -> bool {
             | ExprKind::Index { .. }
             | ExprKind::Member { .. }
             | ExprKind::Arrow { .. }
-            | ExprKind::Unary { op: UnOp::Deref, .. }
+            | ExprKind::Unary {
+                op: UnOp::Deref,
+                ..
+            }
     )
 }
 
@@ -957,8 +1049,14 @@ pub fn is_null_literal(e: &Expr) -> bool {
 /// Conservative constant-expression test for global/static initializers.
 pub fn is_const_expr(e: &Expr) -> bool {
     match &e.kind {
-        ExprKind::IntLit { .. } | ExprKind::FloatLit(_) | ExprKind::CharLit(_) | ExprKind::StrLit(_) => true,
-        ExprKind::Unary { op: UnOp::Neg | UnOp::BitNot | UnOp::Not, operand } => is_const_expr(operand),
+        ExprKind::IntLit { .. }
+        | ExprKind::FloatLit(_)
+        | ExprKind::CharLit(_)
+        | ExprKind::StrLit(_) => true,
+        ExprKind::Unary {
+            op: UnOp::Neg | UnOp::BitNot | UnOp::Not,
+            operand,
+        } => is_const_expr(operand),
         ExprKind::Binary { lhs, rhs, .. } => is_const_expr(lhs) && is_const_expr(rhs),
         ExprKind::Cast { value, .. } => is_const_expr(value),
         ExprKind::SizeofType(_) => true,
@@ -1119,7 +1217,8 @@ mod tests {
 
     #[test]
     fn rejects_wrong_arity() {
-        let e = check_src("int f(int a) { return a; }\nint main() { return f(1, 2); }").unwrap_err();
+        let e =
+            check_src("int f(int a) { return a; }\nint main() { return f(1, 2); }").unwrap_err();
         assert!(e.to_string().contains("expects 1 argument"));
     }
 

@@ -21,7 +21,12 @@ pub struct Span {
 impl Span {
     /// Creates a span covering `start..end` on a single line.
     pub fn new(start: u32, end: u32, line: u32) -> Self {
-        Span { start, end, line, end_line: line }
+        Span {
+            start,
+            end,
+            line,
+            end_line: line,
+        }
     }
 
     /// A zero-width placeholder span.

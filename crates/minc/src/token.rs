@@ -298,6 +298,13 @@ mod tests {
     #[test]
     fn describe_is_informative() {
         assert_eq!(TokenKind::Arrow.describe(), "`->`");
-        assert_eq!(TokenKind::IntLit { value: 7, long: false }.describe(), "integer literal `7`");
+        assert_eq!(
+            TokenKind::IntLit {
+                value: 7,
+                long: false
+            }
+            .describe(),
+            "integer literal `7`"
+        );
     }
 }

@@ -72,8 +72,13 @@ impl Hooks for Asan {
     }
 
     fn on_malloc(&mut self, addr: u64, size: u64) {
-        self.shadow.mark(addr.wrapping_sub(Self::REDZONE), Self::REDZONE, State::HeapRedzone);
-        self.shadow.mark(addr + size, Self::REDZONE, State::HeapRedzone);
+        self.shadow.mark(
+            addr.wrapping_sub(Self::REDZONE),
+            Self::REDZONE,
+            State::HeapRedzone,
+        );
+        self.shadow
+            .mark(addr + size, Self::REDZONE, State::HeapRedzone);
         self.shadow.clear(addr, size);
         self.live.insert(addr, size);
         self.freed.remove(&addr);

@@ -26,7 +26,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod asan;
 pub mod lsan;
@@ -50,7 +49,9 @@ use minc_vm::{ExecResult, VmConfig};
 /// 16-byte gaps between stack slots (so stack redzones exist — real ASan
 /// does the same by growing frames).
 pub fn sanitizer_personality() -> Personality {
-    let mut p = CompilerImpl::parse("clang-O1").expect("valid impl").personality();
+    let mut p = CompilerImpl::parse("clang-O1")
+        .expect("valid impl")
+        .personality();
     p.slot_padding = 16;
     // Real -fsanitize builds insert checks in the frontend, *before* the
     // optimizer can delete "dead" UB operations; model that by keeping
@@ -67,7 +68,10 @@ pub fn sanitizer_personality() -> Personality {
 /// Returns the frontend error if `src` does not parse or check.
 pub fn compile_sanitized(src: &str) -> Result<Binary, FrontendError> {
     let checked = minc::check(src)?;
-    Ok(minc_compile::compile_with_personality(&checked, sanitizer_personality()))
+    Ok(minc_compile::compile_with_personality(
+        &checked,
+        sanitizer_personality(),
+    ))
 }
 
 /// Runs a (sanitizer-built) binary under one sanitizer analog.
@@ -89,7 +93,11 @@ pub fn run_sanitized(
 /// collects any reports.
 pub fn run_all_sanitizers(bin: &Binary, input: &[u8], config: &VmConfig) -> Vec<Fault> {
     let mut faults = Vec::new();
-    for kind in [SanitizerKind::Asan, SanitizerKind::Ubsan, SanitizerKind::Msan] {
+    for kind in [
+        SanitizerKind::Asan,
+        SanitizerKind::Ubsan,
+        SanitizerKind::Msan,
+    ] {
         if let minc_vm::ExitStatus::Sanitizer(f) = run_sanitized(bin, input, config, kind).status {
             faults.push(f);
         }
@@ -115,7 +123,9 @@ impl AsanUbsan {
 
 impl Hooks for AsanUbsan {
     fn check_load(&mut self, addr: u64, width: u64, loc: Loc) -> Option<Fault> {
-        self.ubsan.check_load(addr, width, loc).or_else(|| self.asan.check_load(addr, width, loc))
+        self.ubsan
+            .check_load(addr, width, loc)
+            .or_else(|| self.asan.check_load(addr, width, loc))
     }
     fn check_store(&mut self, addr: u64, width: u64, loc: Loc) -> Option<Fault> {
         self.ubsan
@@ -180,12 +190,16 @@ mod tests {
         let mem = "int main() { char* p = (char*)malloc(4L); p[4] = 1; return 0; }";
         let bin = compile_sanitized(mem).unwrap();
         let r = minc_vm::execute_with_hooks(&bin, b"", &VmConfig::default(), &mut AsanUbsan::new());
-        assert!(matches!(&r.status, ExitStatus::Sanitizer(f) if f.category == "heap-buffer-overflow"));
+        assert!(
+            matches!(&r.status, ExitStatus::Sanitizer(f) if f.category == "heap-buffer-overflow")
+        );
 
         let int = "int main() { int a = 2147483647 - (int)input_size(); return a + 1; }";
         let bin = compile_sanitized(int).unwrap();
         let r = minc_vm::execute_with_hooks(&bin, b"", &VmConfig::default(), &mut AsanUbsan::new());
-        assert!(matches!(&r.status, ExitStatus::Sanitizer(f) if f.category == "signed-integer-overflow"));
+        assert!(
+            matches!(&r.status, ExitStatus::Sanitizer(f) if f.category == "signed-integer-overflow")
+        );
     }
 
     #[test]

@@ -53,8 +53,7 @@ mod tests {
 
     #[test]
     fn reports_leaked_allocation() {
-        let status =
-            run_lsan("int main() { char* p = (char*)malloc(32L); p[0] = 'x'; return 0; }");
+        let status = run_lsan("int main() { char* p = (char*)malloc(32L); p[0] = 'x'; return 0; }");
         match status {
             ExitStatus::Sanitizer(f) => {
                 assert_eq!(f.category, "memory-leak");
@@ -66,9 +65,8 @@ mod tests {
 
     #[test]
     fn freed_memory_is_not_a_leak() {
-        let status = run_lsan(
-            "int main() { char* p = (char*)malloc(32L); p[0] = 'x'; free(p); return 0; }",
-        );
+        let status =
+            run_lsan("int main() { char* p = (char*)malloc(32L); p[0] = 'x'; free(p); return 0; }");
         assert_eq!(status, ExitStatus::Code(0));
     }
 
@@ -84,7 +82,10 @@ mod tests {
             "int main() { char* p = (char*)malloc(8L); int* q = 0; int d = *q; return d; }",
         );
         // The null deref dominates; no leak report on crashed runs.
-        assert!(!matches!(&status, ExitStatus::Sanitizer(f) if f.category == "memory-leak"), "{status}");
+        assert!(
+            !matches!(&status, ExitStatus::Sanitizer(f) if f.category == "memory-leak"),
+            "{status}"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl Hooks for Msan {
             PoisonUse::Address => "uninitialized value used as address",
             PoisonUse::Divisor => "uninitialized divisor",
         };
-        Some(Fault::new(SanitizerKind::Msan, "use-of-uninitialized-value", what))
+        Some(Fault::new(
+            SanitizerKind::Msan,
+            "use-of-uninitialized-value",
+            what,
+        ))
     }
 }
 
@@ -92,7 +96,10 @@ mod tests {
                 return 0;
             }
         "#;
-        assert_eq!(msan_category(src).as_deref(), Some("use-of-uninitialized-value"));
+        assert_eq!(
+            msan_category(src).as_deref(),
+            Some("use-of-uninitialized-value")
+        );
     }
 
     #[test]
@@ -105,7 +112,10 @@ mod tests {
                 return 0;
             }
         "#;
-        assert_eq!(msan_category(src).as_deref(), Some("use-of-uninitialized-value"));
+        assert_eq!(
+            msan_category(src).as_deref(),
+            Some("use-of-uninitialized-value")
+        );
     }
 
     #[test]
@@ -142,7 +152,10 @@ mod tests {
                 return 0;
             }
         "#;
-        assert_eq!(msan_category(src).as_deref(), Some("use-of-uninitialized-value"));
+        assert_eq!(
+            msan_category(src).as_deref(),
+            Some("use-of-uninitialized-value")
+        );
     }
 
     #[test]

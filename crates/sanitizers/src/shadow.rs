@@ -18,7 +18,9 @@ impl<S: Copy + PartialEq> Default for Shadow<S> {
 impl<S: Copy + PartialEq> Shadow<S> {
     /// Empty shadow.
     pub fn new() -> Self {
-        Shadow { map: HashMap::new() }
+        Shadow {
+            map: HashMap::new(),
+        }
     }
 
     /// Marks `[addr, addr+len)` with `state`.

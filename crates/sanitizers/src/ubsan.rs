@@ -79,7 +79,10 @@ impl Hooks for Ubsan {
             DivU | RemU => {
                 let ub_ = if narrow { b as u32 as u64 } else { b };
                 if ub_ == 0 {
-                    return Self::fault("integer-divide-by-zero", "unsigned division by zero".into());
+                    return Self::fault(
+                        "integer-divide-by-zero",
+                        "unsigned division by zero".into(),
+                    );
                 }
                 None
             }
@@ -94,7 +97,11 @@ impl Hooks for Ubsan {
                 if op == Shl && ub_signed && sa >= 0 {
                     // C: shifting into/past the sign bit is UB for signed.
                     let wide = (sa as i128) << sb;
-                    let hi = if narrow { i32::MAX as i128 } else { i64::MAX as i128 };
+                    let hi = if narrow {
+                        i32::MAX as i128
+                    } else {
+                        i64::MAX as i128
+                    };
                     if wide > hi {
                         return Self::fault(
                             "shift-out-of-bounds",
@@ -145,13 +152,19 @@ mod tests {
                 return 0;
             }
         "#;
-        assert_eq!(ubsan_category(src).as_deref(), Some("signed-integer-overflow"));
+        assert_eq!(
+            ubsan_category(src).as_deref(),
+            Some("signed-integer-overflow")
+        );
     }
 
     #[test]
     fn detects_divide_by_zero() {
         let src = "int main() { int z = (int)input_size(); return 5 / z; }";
-        assert_eq!(ubsan_category(src).as_deref(), Some("integer-divide-by-zero"));
+        assert_eq!(
+            ubsan_category(src).as_deref(),
+            Some("integer-divide-by-zero")
+        );
     }
 
     #[test]

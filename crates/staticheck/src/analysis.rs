@@ -122,7 +122,10 @@ pub fn analyze(checked: &CheckedProgram, profile: &Profile) -> Vec<Finding> {
                 profile.tool,
                 Defect::MissingReturn,
                 f.span,
-                format!("`{}` can fall off the end without returning a value", f.name),
+                format!(
+                    "`{}` can fall off the end without returning a value",
+                    f.name
+                ),
             ));
         }
         let mut a = Analyzer {
@@ -177,7 +180,11 @@ struct VarState {
 impl VarState {
     fn uninit(ty: &Type) -> VarState {
         VarState {
-            init: if matches!(ty, Type::Array(..) | Type::Struct(_)) { Tri::Yes } else { Tri::No },
+            init: if matches!(ty, Type::Array(..) | Type::Struct(_)) {
+                Tri::Yes
+            } else {
+                Tri::No
+            },
             cst: None,
             array_len: match ty {
                 Type::Array(_, n) => Some(*n),
@@ -263,7 +270,11 @@ impl<'a> Analyzer<'a> {
         self.vars.clone()
     }
 
-    fn merge_states(&mut self, a: Vec<HashMap<String, VarState>>, b: Vec<HashMap<String, VarState>>) {
+    fn merge_states(
+        &mut self,
+        a: Vec<HashMap<String, VarState>>,
+        b: Vec<HashMap<String, VarState>>,
+    ) {
         let mut merged = Vec::with_capacity(a.len());
         for (sa, sb) in a.into_iter().zip(b.into_iter()) {
             let mut out = HashMap::new();
@@ -324,7 +335,12 @@ impl<'a> Analyzer<'a> {
                 self.guard_depth -= 1;
                 self.merge_states(base, after);
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.vars.push(HashMap::new());
                 if let Some(i) = init {
                     self.stmt(i);
@@ -376,7 +392,10 @@ impl<'a> Analyzer<'a> {
                     v.null_checked = true;
                 }
             }
-            ExprKind::Unary { op: UnOp::Not, operand } => {
+            ExprKind::Unary {
+                op: UnOp::Not,
+                operand,
+            } => {
                 if let ExprKind::Var(n) = &operand.kind {
                     if let Some(v) = self.var_mut(n) {
                         v.null_checked = true;
@@ -395,22 +414,38 @@ impl<'a> Analyzer<'a> {
 
     fn expr(&mut self, e: &Expr) -> AVal {
         match &e.kind {
-            ExprKind::IntLit { value, .. } => AVal { cst: Some(*value), ..Default::default() },
-            ExprKind::CharLit(c) => AVal { cst: Some(*c as i64), ..Default::default() },
+            ExprKind::IntLit { value, .. } => AVal {
+                cst: Some(*value),
+                ..Default::default()
+            },
+            ExprKind::CharLit(c) => AVal {
+                cst: Some(*c as i64),
+                ..Default::default()
+            },
             ExprKind::FloatLit(_) | ExprKind::StrLit(_) | ExprKind::Line => AVal::default(),
             ExprKind::Var(name) => self.read_var(name, e),
             ExprKind::Unary { op, operand } => {
                 if *op == UnOp::Deref {
                     let v = self.expr(operand);
                     self.check_pointer_use(&v, e.span, "dereference");
-                    return AVal { tainted: v.tainted, ..Default::default() };
+                    return AVal {
+                        tainted: v.tainted,
+                        ..Default::default()
+                    };
                 }
                 if *op == UnOp::Addr {
                     // &x: address-taken; do not count as a read.
-                    return AVal { var: var_name(operand), ..Default::default() };
+                    return AVal {
+                        var: var_name(operand),
+                        ..Default::default()
+                    };
                 }
                 let v = self.expr(operand);
-                AVal { cst: v.cst.map(|c| if *op == UnOp::Neg { -c } else { c }), tainted: v.tainted, ..Default::default() }
+                AVal {
+                    cst: v.cst.map(|c| if *op == UnOp::Neg { -c } else { c }),
+                    tainted: v.tainted,
+                    ..Default::default()
+                }
             }
             ExprKind::Binary { op, lhs, rhs } => self.binary(e, *op, lhs, rhs),
             ExprKind::Logical { lhs, rhs, .. } => {
@@ -465,7 +500,10 @@ impl<'a> Analyzer<'a> {
                 self.branch_seen = true;
                 let a = self.expr(then);
                 let b = self.expr(els);
-                AVal { tainted: a.tainted || b.tainted, ..Default::default() }
+                AVal {
+                    tainted: a.tainted || b.tainted,
+                    ..Default::default()
+                }
             }
             ExprKind::Call { args, .. } => self.call(e, args),
             ExprKind::Index { base, index } => {
@@ -473,7 +511,10 @@ impl<'a> Analyzer<'a> {
                 let i = self.expr(index);
                 self.check_index(base, &b, &i, e.span);
                 self.check_pointer_use(&b, e.span, "index");
-                AVal { tainted: b.tainted || i.tainted, ..Default::default() }
+                AVal {
+                    tainted: b.tainted || i.tainted,
+                    ..Default::default()
+                }
             }
             ExprKind::Member { base, .. } => {
                 if !is_lvalue(base) {
@@ -484,19 +525,26 @@ impl<'a> Analyzer<'a> {
             ExprKind::Arrow { base, .. } => {
                 let b = self.expr(base);
                 self.check_pointer_use(&b, e.span, "field access");
-                AVal { tainted: b.tainted, ..Default::default() }
+                AVal {
+                    tainted: b.tainted,
+                    ..Default::default()
+                }
             }
             ExprKind::Cast { value, .. } => self.expr(value),
-            ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => {
-                AVal { cst: None, ..Default::default() }
-            }
+            ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => AVal {
+                cst: None,
+                ..Default::default()
+            },
         }
     }
 
     fn read_var(&mut self, name: &str, e: &Expr) -> AVal {
         let Some(st) = self.var(name).cloned() else {
             // Global: treated as initialized, untainted.
-            return AVal { var: Some(name.to_string()), ..Default::default() };
+            return AVal {
+                var: Some(name.to_string()),
+                ..Default::default()
+            };
         };
         let span = e.span;
         match st.init {
@@ -535,7 +583,10 @@ impl<'a> Analyzer<'a> {
                 self.check_index(base, &b, &i, target.span);
                 self.check_pointer_use(&b, target.span, "write");
             }
-            ExprKind::Unary { op: UnOp::Deref, operand } => {
+            ExprKind::Unary {
+                op: UnOp::Deref,
+                operand,
+            } => {
                 let v = self.expr(operand);
                 self.check_pointer_use(&v, target.span, "write through pointer");
             }
@@ -583,13 +634,23 @@ impl<'a> Analyzer<'a> {
             return;
         }
         let Some(name) = v.var.as_deref() else { return };
-        let Some(st) = self.var(name).cloned() else { return };
+        let Some(st) = self.var(name).cloned() else {
+            return;
+        };
         match st.freed {
             Tri::Yes => {
-                self.report(Defect::UseAfterFree, span, format!("`{name}` used after free"));
+                self.report(
+                    Defect::UseAfterFree,
+                    span,
+                    format!("`{name}` used after free"),
+                );
             }
             Tri::Maybe if self.profile.may_free_issues => {
-                self.report(Defect::UseAfterFree, span, format!("`{name}` may be used after free"));
+                self.report(
+                    Defect::UseAfterFree,
+                    span,
+                    format!("`{name}` may be used after free"),
+                );
             }
             _ => {}
         }
@@ -621,7 +682,11 @@ impl<'a> Analyzer<'a> {
                     && b.tainted
                     && self.guard_depth == 0
                 {
-                    self.report(Defect::DivByZero, e.span, "possible division by zero (untrusted divisor)");
+                    self.report(
+                        Defect::DivByZero,
+                        e.span,
+                        "possible division by zero (untrusted divisor)",
+                    );
                 }
             }
             BinOp::Shl | BinOp::Shr if self.profile.shift_checks => {
@@ -631,10 +696,18 @@ impl<'a> Analyzer<'a> {
                 };
                 if let Some(c) = b.cst {
                     if c < 0 || c >= width {
-                        self.report(Defect::BadShift, e.span, format!("shift by {c} on {width}-bit value"));
+                        self.report(
+                            Defect::BadShift,
+                            e.span,
+                            format!("shift by {c} on {width}-bit value"),
+                        );
                     }
                 } else if b.tainted && self.guard_depth == 0 {
-                    self.report(Defect::BadShift, e.span, "possibly out-of-range shift amount");
+                    self.report(
+                        Defect::BadShift,
+                        e.span,
+                        "possibly out-of-range shift amount",
+                    );
                 }
             }
             BinOp::Add | BinOp::Sub | BinOp::Mul => {
@@ -665,7 +738,11 @@ impl<'a> Analyzer<'a> {
             },
             _ => None,
         };
-        AVal { cst, tainted: a.tainted || b.tainted, ..Default::default() }
+        AVal {
+            cst,
+            tainted: a.tainted || b.tainted,
+            ..Default::default()
+        }
     }
 
     fn call(&mut self, e: &Expr, args: &[Expr]) -> AVal {
@@ -676,7 +753,11 @@ impl<'a> Analyzer<'a> {
             // result is unknown and tainted if any arg was.
             for (arg, v) in args.iter().zip(&vals) {
                 let _ = v;
-                if let ExprKind::Unary { op: UnOp::Addr, operand } = &arg.kind {
+                if let ExprKind::Unary {
+                    op: UnOp::Addr,
+                    operand,
+                } = &arg.kind
+                {
                     if let Some(n) = var_name(operand) {
                         if let Some(st) = self.var_mut(&n) {
                             st.init = Tri::Yes;
@@ -684,10 +765,16 @@ impl<'a> Analyzer<'a> {
                     }
                 }
             }
-            return AVal { tainted: vals.iter().any(|v| v.tainted), ..Default::default() };
+            return AVal {
+                tainted: vals.iter().any(|v| v.tainted),
+                ..Default::default()
+            };
         };
         match b {
-            Builtin::Malloc => AVal { from_malloc: true, ..Default::default() },
+            Builtin::Malloc => AVal {
+                from_malloc: true,
+                ..Default::default()
+            },
             Builtin::Free => {
                 if let Some(arg) = args.first() {
                     match &arg.kind {
@@ -700,7 +787,11 @@ impl<'a> Analyzer<'a> {
                                 if st.array_len.is_some() {
                                     self.report(Defect::BadFree, e.span, "free of a stack array");
                                 } else if st.freed == Tri::Yes {
-                                    self.report(Defect::DoubleFree, e.span, format!("`{n}` freed twice"));
+                                    self.report(
+                                        Defect::DoubleFree,
+                                        e.span,
+                                        format!("`{n}` freed twice"),
+                                    );
                                 } else if st.freed == Tri::Maybe && self.profile.may_free_issues {
                                     self.report(
                                         Defect::DoubleFree,
@@ -718,7 +809,11 @@ impl<'a> Analyzer<'a> {
                 }
                 AVal::default()
             }
-            Builtin::Getchar | Builtin::ReadInput | Builtin::InputSize | Builtin::Atoi | Builtin::Rand => {
+            Builtin::Getchar
+            | Builtin::ReadInput
+            | Builtin::InputSize
+            | Builtin::Atoi
+            | Builtin::Rand => {
                 // Marks destination buffers initialized + tainted.
                 if b == Builtin::ReadInput {
                     if let Some(arg) = args.first() {
@@ -730,7 +825,10 @@ impl<'a> Analyzer<'a> {
                         }
                     }
                 }
-                AVal { tainted: true, ..Default::default() }
+                AVal {
+                    tainted: true,
+                    ..Default::default()
+                }
             }
             Builtin::Printf => {
                 if self.profile.fmt_checks {
@@ -756,7 +854,8 @@ impl<'a> Analyzer<'a> {
             }
             Builtin::Memcpy | Builtin::Strcpy | Builtin::Strncpy => {
                 // Constant-length overflow into fixed arrays.
-                if let (Some(dst), Some(n)) = (args.first(), vals.get(2).or(Some(&AVal::default()))) {
+                if let (Some(dst), Some(n)) = (args.first(), vals.get(2).or(Some(&AVal::default())))
+                {
                     if let Some(name) = var_name(dst) {
                         let len = self.var(&name).and_then(|s| s.array_len);
                         if let (Some(len), Some(c)) = (len, n.cst) {
@@ -802,7 +901,9 @@ impl<'a> Analyzer<'a> {
     }
 
     fn check_printf(&mut self, e: &Expr, args: &[Expr]) {
-        let Some(ExprKind::StrLit(fmt)) = args.first().map(|a| &a.kind) else { return };
+        let Some(ExprKind::StrLit(fmt)) = args.first().map(|a| &a.kind) else {
+            return;
+        };
         let mut needed = 0usize;
         let mut i = 0;
         while i < fmt.len() {
@@ -819,7 +920,10 @@ impl<'a> Analyzer<'a> {
             self.report(
                 Defect::FormatMismatch,
                 e.span,
-                format!("format string expects {needed} argument(s), got {}", args.len() - 1),
+                format!(
+                    "format string expects {needed} argument(s), got {}",
+                    args.len() - 1
+                ),
             );
         }
     }

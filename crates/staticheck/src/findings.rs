@@ -100,12 +100,21 @@ pub struct Finding {
 impl Finding {
     /// Creates a finding.
     pub fn new(tool: Tool, defect: Defect, span: Span, message: impl Into<String>) -> Self {
-        Finding { tool, defect, span, message: message.into() }
+        Finding {
+            tool,
+            defect,
+            span,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} at {}: {}", self.tool, self.defect, self.span, self.message)
+        write!(
+            f,
+            "[{}] {} at {}: {}",
+            self.tool, self.defect, self.span, self.message
+        )
     }
 }

@@ -23,7 +23,6 @@
 //! assert!(findings.iter().any(|f| f.defect == staticheck::Defect::OutOfBounds));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod analysis;
 pub mod findings;
@@ -77,7 +76,10 @@ mod tests {
     fn straightline_uninit_found_by_all() {
         let src = "int main() { int u; return u + 1; }";
         for tool in [Tool::CoveritySim, Tool::CppcheckSim, Tool::InferSim] {
-            assert!(has(&findings_for(src, tool), Defect::Uninitialized), "{tool}");
+            assert!(
+                has(&findings_for(src, tool), Defect::Uninitialized),
+                "{tool}"
+            );
         }
     }
 
@@ -90,9 +92,15 @@ mod tests {
                 return u;
             }
         "#;
-        assert!(!has(&findings_for(src, Tool::CppcheckSim), Defect::Uninitialized));
+        assert!(!has(
+            &findings_for(src, Tool::CppcheckSim),
+            Defect::Uninitialized
+        ));
         // Infer reports may-uninit.
-        assert!(has(&findings_for(src, Tool::InferSim), Defect::Uninitialized));
+        assert!(has(
+            &findings_for(src, Tool::InferSim),
+            Defect::Uninitialized
+        ));
     }
 
     #[test]
@@ -105,7 +113,10 @@ mod tests {
                 return u;
             }
         "#;
-        assert!(!has(&findings_for(both, Tool::InferSim), Defect::Uninitialized));
+        assert!(!has(
+            &findings_for(both, Tool::InferSim),
+            Defect::Uninitialized
+        ));
         // Initialization through a helper is invisible intraprocedurally:
         // a classic static-analysis false positive (on a *good* variant).
         let helper = r#"
@@ -119,20 +130,35 @@ mod tests {
         "#;
         // &u passed to a call marks it initialized in our model — so no FP
         // here; the FP case is Maybe-merges, covered above.
-        assert!(!has(&findings_for(helper, Tool::InferSim), Defect::Uninitialized));
+        assert!(!has(
+            &findings_for(helper, Tool::InferSim),
+            Defect::Uninitialized
+        ));
     }
 
     #[test]
     fn division_by_zero_paths() {
         let direct = "int main() { int z = 0; return 5 / z; }";
-        assert!(has(&findings_for(direct, Tool::CppcheckSim), Defect::DivByZero));
+        assert!(has(
+            &findings_for(direct, Tool::CppcheckSim),
+            Defect::DivByZero
+        ));
         // Tainted divisor: only coverity-sim speculates.
         let tainted = "int main() { int z = getchar(); return 5 / z; }";
-        assert!(has(&findings_for(tainted, Tool::CoveritySim), Defect::DivByZero));
-        assert!(!has(&findings_for(tainted, Tool::CppcheckSim), Defect::DivByZero));
+        assert!(has(
+            &findings_for(tainted, Tool::CoveritySim),
+            Defect::DivByZero
+        ));
+        assert!(!has(
+            &findings_for(tainted, Tool::CppcheckSim),
+            Defect::DivByZero
+        ));
         // Guarded: coverity-sim stays quiet (guard_depth heuristic).
         let guarded = "int main() { int z = getchar(); if (z != 0) { return 5 / z; } return 0; }";
-        assert!(!has(&findings_for(guarded, Tool::CoveritySim), Defect::DivByZero));
+        assert!(!has(
+            &findings_for(guarded, Tool::CoveritySim),
+            Defect::DivByZero
+        ));
     }
 
     #[test]
@@ -145,8 +171,14 @@ mod tests {
                 return p[0];
             }
         "#;
-        assert!(has(&findings_for(uaf, Tool::InferSim), Defect::UseAfterFree));
-        assert!(has(&findings_for(uaf, Tool::CoveritySim), Defect::UseAfterFree));
+        assert!(has(
+            &findings_for(uaf, Tool::InferSim),
+            Defect::UseAfterFree
+        ));
+        assert!(has(
+            &findings_for(uaf, Tool::CoveritySim),
+            Defect::UseAfterFree
+        ));
 
         let df = r#"
             int main() {
@@ -178,7 +210,10 @@ mod tests {
         "#;
         // No null check after malloc: infer reports, cppcheck never does.
         assert!(has(&findings_for(src, Tool::InferSim), Defect::NullDeref));
-        assert!(!has(&findings_for(src, Tool::CppcheckSim), Defect::NullDeref));
+        assert!(!has(
+            &findings_for(src, Tool::CppcheckSim),
+            Defect::NullDeref
+        ));
         // With a check, infer is satisfied.
         let checked_src = r#"
             int main() {
@@ -189,26 +224,41 @@ mod tests {
                 return 0;
             }
         "#;
-        assert!(!has(&findings_for(checked_src, Tool::InferSim), Defect::NullDeref));
+        assert!(!has(
+            &findings_for(checked_src, Tool::InferSim),
+            Defect::NullDeref
+        ));
     }
 
     #[test]
     fn printf_arity_check() {
         let src = r#"int main() { printf("%d %d\n", 1); return 0; }"#;
-        assert!(has(&findings_for(src, Tool::CppcheckSim), Defect::FormatMismatch));
-        assert!(!has(&findings_for(src, Tool::InferSim), Defect::FormatMismatch));
+        assert!(has(
+            &findings_for(src, Tool::CppcheckSim),
+            Defect::FormatMismatch
+        ));
+        assert!(!has(
+            &findings_for(src, Tool::InferSim),
+            Defect::FormatMismatch
+        ));
     }
 
     #[test]
     fn memset_swapped_args() {
         let src = "int main() { char b[8]; memset(b, 8, 0); return 0; }";
-        assert!(has(&findings_for(src, Tool::CppcheckSim), Defect::BadApiUsage));
+        assert!(has(
+            &findings_for(src, Tool::CppcheckSim),
+            Defect::BadApiUsage
+        ));
     }
 
     #[test]
     fn strcpy_literal_overflow() {
         let src = r#"int main() { char b[4]; strcpy(b, "too long for four"); return 0; }"#;
-        assert!(has(&findings_for(src, Tool::CppcheckSim), Defect::OutOfBounds));
+        assert!(has(
+            &findings_for(src, Tool::CppcheckSim),
+            Defect::OutOfBounds
+        ));
     }
 
     #[test]
@@ -222,8 +272,14 @@ mod tests {
                 return a[i];
             }
         "#;
-        assert!(has(&findings_for(src, Tool::CoveritySim), Defect::OutOfBounds));
-        assert!(!has(&findings_for(src, Tool::CppcheckSim), Defect::OutOfBounds));
+        assert!(has(
+            &findings_for(src, Tool::CoveritySim),
+            Defect::OutOfBounds
+        ));
+        assert!(!has(
+            &findings_for(src, Tool::CppcheckSim),
+            Defect::OutOfBounds
+        ));
         // Guarded version quiets it (and is the FP test for weaker guards).
         let guarded = r#"
             int main() {
@@ -233,7 +289,10 @@ mod tests {
                 return 0;
             }
         "#;
-        assert!(!has(&findings_for(guarded, Tool::CoveritySim), Defect::OutOfBounds));
+        assert!(!has(
+            &findings_for(guarded, Tool::CoveritySim),
+            Defect::OutOfBounds
+        ));
     }
 
     #[test]

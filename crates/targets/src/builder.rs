@@ -64,9 +64,21 @@ pub fn build(spec: &TargetSpec) -> Target {
     let _ = writeln!(main, "int main() {{");
     let _ = writeln!(main, "    char buf[96];");
     let _ = writeln!(main, "    long n = read_input(buf, 96L);");
-    let _ = writeln!(main, "    if (n < 4) {{ printf(\"usage: {} <input>\\n\"); return 1; }}", spec.name);
-    let _ = writeln!(main, "    if (buf[0] != '{}') {{ printf(\"bad magic\\n\"); return 1; }}", spec.magic[0] as char);
-    let _ = writeln!(main, "    if (buf[1] != '{}') {{ printf(\"bad magic2\\n\"); return 1; }}", spec.magic[1] as char);
+    let _ = writeln!(
+        main,
+        "    if (n < 4) {{ printf(\"usage: {} <input>\\n\"); return 1; }}",
+        spec.name
+    );
+    let _ = writeln!(
+        main,
+        "    if (buf[0] != '{}') {{ printf(\"bad magic\\n\"); return 1; }}",
+        spec.magic[0] as char
+    );
+    let _ = writeln!(
+        main,
+        "    if (buf[1] != '{}') {{ printf(\"bad magic2\\n\"); return 1; }}",
+        spec.magic[1] as char
+    );
     let _ = writeln!(main, "    int cmd = (int)buf[2];");
     let _ = writeln!(main, "    int arg = (int)buf[3];");
     // Baseline functionality: a rolling checksum over the payload, plus a
@@ -87,17 +99,33 @@ pub fn build(spec: &TargetSpec) -> Target {
         main.push_str(&snippet(bug.kind));
         let _ = writeln!(main, "    }}");
     }
-    let _ = writeln!(main, "    else {{ printf(\"ok cmd=%d cs=%d tags=%d\\n\", cmd, cs, tags); }}");
+    let _ = writeln!(
+        main,
+        "    else {{ printf(\"ok cmd=%d cs=%d tags=%d\\n\", cmd, cs, tags); }}"
+    );
     let _ = writeln!(main, "    return 0;");
     let _ = writeln!(main, "}}");
 
     let src = format!("{top}{main}");
     let mut seeds = vec![
         vec![spec.magic[0], spec.magic[1], b'z', b'0'],
-        vec![spec.magic[0], spec.magic[1], b'z', b'0', b':', b'1', b':', b'2'],
+        vec![
+            spec.magic[0],
+            spec.magic[1],
+            b'z',
+            b'0',
+            b':',
+            b'1',
+            b':',
+            b'2',
+        ],
     ];
     seeds.push(b"????".to_vec());
-    Target { spec: spec.clone(), src, seeds }
+    Target {
+        spec: spec.clone(),
+        src,
+        seeds,
+    }
 }
 
 /// The dispatch-arm body for one bug kind. Eight-space indented.

@@ -8,11 +8,10 @@
 //! the basis of Table 6's overlap measurement.
 
 use minc_vm::SanitizerKind;
-use serde::Serialize;
 use std::fmt;
 
 /// Root-cause categories (the columns of Table 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
     /// Conflicting side effects across call arguments.
     EvalOrder,
@@ -155,8 +154,8 @@ impl BugKind {
             MemOobStack | MemOobHeap | MemUaf => Category::MemError,
             PtrCmpGlobals => Category::PointerCmp,
             LineMacro => Category::Line,
-            MiscPad | MiscRand | MiscPtrPrint | MiscAddrTrunc | MiscFloatPow
-            | MiscCompilerGcc | MiscCompilerClang => Category::Misc,
+            MiscPad | MiscRand | MiscPtrPrint | MiscAddrTrunc | MiscFloatPow | MiscCompilerGcc
+            | MiscCompilerClang => Category::Misc,
         }
     }
 
@@ -206,7 +205,10 @@ pub struct TargetSpec {
 
 fn bug(name: &str, idx: usize, kind: BugKind, cmd: u8) -> InjectedBug {
     InjectedBug {
-        id: format!("{name}-{}-{idx}", kind.category().label().to_lowercase().replace('.', "")),
+        id: format!(
+            "{name}-{}-{idx}",
+            kind.category().label().to_lowercase().replace('.', "")
+        ),
         kind,
         cmd,
         confirmed: false,
@@ -221,29 +223,179 @@ pub fn catalog() -> Vec<TargetSpec> {
     use BugKind::*;
     // (name, input type, version, magic, [(kind, cmd)...])
     let defs: Vec<(&str, &str, &str, [u8; 2], Vec<BugKind>)> = vec![
-        ("tcpdump", "Network packet", "4.99.1", *b"TC", vec![EvalOrder, EvalOrder, UninitPrint]),
-        ("wireshark", "Network packet", "3.4.5", *b"WS", vec![UninitBranch, UninitBranch, LineMacro, MiscPad, MiscPad]),
-        ("objdump", "Binary file", "2.36.1", *b"OB", vec![MiscPtrPrint, MemOobHeap, UninitBranch]),
-        ("readelf", "Binary file", "2.36.1", *b"RE", vec![PtrCmpGlobals, LineMacro, UninitBranch]),
-        ("nm-new", "Binary file", "2.36.1", *b"NM", vec![MemOobStack, UninitBranch, MiscAddrTrunc]),
-        ("sysdump", "Binary file", "2.36.1", *b"SY", vec![UninitBranch, MiscPad, MiscRand]),
-        ("openssl", "Binary file", "3.0.0", *b"OS", vec![MemUaf, IntWiden, MiscRand]),
-        ("ClamAV", "Binary file", "0.103.3", *b"CA", vec![MemOobHeap, IntOverflowCheck, UninitBranch]),
-        ("libsndfile", "Audio", "1.0.31", *b"SN", vec![MiscFloatPow, MemOobStack]),
-        ("libzip", "Compress tool", "v1.8.0", *b"ZI", vec![IntWiden, MemUaf, UninitBranch]),
-        ("brotli", "Compress tool", "v1.0.9", *b"BR", vec![MiscFloatPow, IntOverflowCheck]),
-        ("php", "PHP", "7.4.26", *b"PH", vec![LineMacro, LineMacro, UninitPrint, UninitBranch, MiscPad]),
-        ("MuJS", "JavaScript", "1.1.3", *b"MU", vec![MiscCompilerGcc, MiscCompilerGcc, MiscCompilerClang, UninitPrint]),
-        ("pdftotext", "PDF", "4.03", *b"PT", vec![UninitBranch, UninitBranch, MemOobHeap]),
-        ("pdftoppm", "PDF", "21.11.0", *b"PP", vec![MemOobStack, UninitBranch, MiscRand]),
+        (
+            "tcpdump",
+            "Network packet",
+            "4.99.1",
+            *b"TC",
+            vec![EvalOrder, EvalOrder, UninitPrint],
+        ),
+        (
+            "wireshark",
+            "Network packet",
+            "3.4.5",
+            *b"WS",
+            vec![UninitBranch, UninitBranch, LineMacro, MiscPad, MiscPad],
+        ),
+        (
+            "objdump",
+            "Binary file",
+            "2.36.1",
+            *b"OB",
+            vec![MiscPtrPrint, MemOobHeap, UninitBranch],
+        ),
+        (
+            "readelf",
+            "Binary file",
+            "2.36.1",
+            *b"RE",
+            vec![PtrCmpGlobals, LineMacro, UninitBranch],
+        ),
+        (
+            "nm-new",
+            "Binary file",
+            "2.36.1",
+            *b"NM",
+            vec![MemOobStack, UninitBranch, MiscAddrTrunc],
+        ),
+        (
+            "sysdump",
+            "Binary file",
+            "2.36.1",
+            *b"SY",
+            vec![UninitBranch, MiscPad, MiscRand],
+        ),
+        (
+            "openssl",
+            "Binary file",
+            "3.0.0",
+            *b"OS",
+            vec![MemUaf, IntWiden, MiscRand],
+        ),
+        (
+            "ClamAV",
+            "Binary file",
+            "0.103.3",
+            *b"CA",
+            vec![MemOobHeap, IntOverflowCheck, UninitBranch],
+        ),
+        (
+            "libsndfile",
+            "Audio",
+            "1.0.31",
+            *b"SN",
+            vec![MiscFloatPow, MemOobStack],
+        ),
+        (
+            "libzip",
+            "Compress tool",
+            "v1.8.0",
+            *b"ZI",
+            vec![IntWiden, MemUaf, UninitBranch],
+        ),
+        (
+            "brotli",
+            "Compress tool",
+            "v1.0.9",
+            *b"BR",
+            vec![MiscFloatPow, IntOverflowCheck],
+        ),
+        (
+            "php",
+            "PHP",
+            "7.4.26",
+            *b"PH",
+            vec![LineMacro, LineMacro, UninitPrint, UninitBranch, MiscPad],
+        ),
+        (
+            "MuJS",
+            "JavaScript",
+            "1.1.3",
+            *b"MU",
+            vec![
+                MiscCompilerGcc,
+                MiscCompilerGcc,
+                MiscCompilerClang,
+                UninitPrint,
+            ],
+        ),
+        (
+            "pdftotext",
+            "PDF",
+            "4.03",
+            *b"PT",
+            vec![UninitBranch, UninitBranch, MemOobHeap],
+        ),
+        (
+            "pdftoppm",
+            "PDF",
+            "21.11.0",
+            *b"PP",
+            vec![MemOobStack, UninitBranch, MiscRand],
+        ),
         ("jq", "json", "1.6", *b"JQ", vec![UninitBranch, IntWiden]),
-        ("exiv2", "Exiv2 image", "0.27.5", *b"EX", vec![UninitPrint, UninitPrint, UninitPrint, MemUaf]),
-        ("libtiff", "Tiff image", "4.3.0", *b"TI", vec![MiscRand, LineMacro, UninitBranch, MemOobHeap]),
-        ("ImageMagick", "Image", "7.1.0-23", *b"IM", vec![LineMacro, MiscFloatPow, UninitBranch, UninitBranch, MemOobStack]),
-        ("grok", "JPEG 2000", "9.7.0", *b"GR", vec![MiscFloatPow, UninitBranch, IntOverflowCheck]),
-        ("libxml2", "XML", "2.9.12", *b"XM", vec![UninitBranch, UninitBranch, MemOobHeap, MiscPad]),
-        ("curl", "URL", "7.80.0", *b"CU", vec![IntWiden, MiscAddrTrunc]),
-        ("gpac", "Video", "2.0.0", *b"GP", vec![MemUaf, UninitBranch, UninitBranch, IntOverflowCheck, MiscPad, MiscPtrPrint]),
+        (
+            "exiv2",
+            "Exiv2 image",
+            "0.27.5",
+            *b"EX",
+            vec![UninitPrint, UninitPrint, UninitPrint, MemUaf],
+        ),
+        (
+            "libtiff",
+            "Tiff image",
+            "4.3.0",
+            *b"TI",
+            vec![MiscRand, LineMacro, UninitBranch, MemOobHeap],
+        ),
+        (
+            "ImageMagick",
+            "Image",
+            "7.1.0-23",
+            *b"IM",
+            vec![
+                LineMacro,
+                MiscFloatPow,
+                UninitBranch,
+                UninitBranch,
+                MemOobStack,
+            ],
+        ),
+        (
+            "grok",
+            "JPEG 2000",
+            "9.7.0",
+            *b"GR",
+            vec![MiscFloatPow, UninitBranch, IntOverflowCheck],
+        ),
+        (
+            "libxml2",
+            "XML",
+            "2.9.12",
+            *b"XM",
+            vec![UninitBranch, UninitBranch, MemOobHeap, MiscPad],
+        ),
+        (
+            "curl",
+            "URL",
+            "7.80.0",
+            *b"CU",
+            vec![IntWiden, MiscAddrTrunc],
+        ),
+        (
+            "gpac",
+            "Video",
+            "2.0.0",
+            *b"GP",
+            vec![
+                MemUaf,
+                UninitBranch,
+                UninitBranch,
+                IntOverflowCheck,
+                MiscPad,
+                MiscPtrPrint,
+            ],
+        ),
     ];
 
     let mut targets: Vec<TargetSpec> = defs
@@ -254,7 +406,13 @@ pub fn catalog() -> Vec<TargetSpec> {
                 .enumerate()
                 .map(|(i, k)| bug(name, i, k, b'a' + i as u8))
                 .collect();
-            TargetSpec { name, input_type, version, magic, bugs }
+            TargetSpec {
+                name,
+                input_type,
+                version,
+                magic,
+                bugs,
+            }
         })
         .collect();
 
@@ -312,15 +470,21 @@ mod tests {
     fn confirmed_fixed_match_table5() {
         let cat = catalog();
         for c in Category::ALL {
-            let bugs: Vec<_> =
-                cat.iter().flat_map(|t| &t.bugs).filter(|b| b.kind.category() == c).collect();
+            let bugs: Vec<_> = cat
+                .iter()
+                .flat_map(|t| &t.bugs)
+                .filter(|b| b.kind.category() == c)
+                .collect();
             let confirmed = bugs.iter().filter(|b| b.confirmed).count();
             let fixed = bugs.iter().filter(|b| b.fixed).count();
             assert_eq!(confirmed, c.paper_confirmed(), "{c} confirmed");
             assert_eq!(fixed, c.paper_fixed(), "{c} fixed");
         }
         // Fixed bugs are a subset of confirmed ones.
-        assert!(cat.iter().flat_map(|t| &t.bugs).all(|b| !b.fixed || b.confirmed));
+        assert!(cat
+            .iter()
+            .flat_map(|t| &t.bugs)
+            .all(|b| !b.fixed || b.confirmed));
     }
 
     #[test]
@@ -329,7 +493,11 @@ mod tests {
         // MSan, everything else 0 -> 42 of 78.
         let cat = catalog();
         let bugs: Vec<_> = cat.iter().flat_map(|t| &t.bugs).collect();
-        let by = |k: SanitizerKind| bugs.iter().filter(|b| b.kind.sanitizer() == Some(k)).count();
+        let by = |k: SanitizerKind| {
+            bugs.iter()
+                .filter(|b| b.kind.sanitizer() == Some(k))
+                .count()
+        };
         assert_eq!(by(SanitizerKind::Asan), 13);
         assert_eq!(by(SanitizerKind::Ubsan), 8);
         assert_eq!(by(SanitizerKind::Msan), 21);

@@ -5,7 +5,6 @@ use crate::catalog::{catalog, Category};
 use compdiff::{CompDiff, CompDiffAfl, DiffConfig, HashVector};
 use fuzzing::FuzzConfig;
 use minc_vm::{ExitStatus, SanitizerKind, VmConfig};
-use serde::Serialize;
 
 /// Builds all 23 targets.
 pub fn build_all() -> Vec<Target> {
@@ -14,7 +13,7 @@ pub fn build_all() -> Vec<Target> {
 
 /// Ground-truth verification of one bug: does CompDiff diverge on the
 /// trigger input, and does each sanitizer report on it?
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BugVerdict {
     /// Bug id.
     pub id: String,
@@ -34,7 +33,10 @@ pub struct BugVerdict {
 
 /// Verifies every bug of one target.
 pub fn verify_target(target: &Target, vm: &VmConfig) -> Vec<BugVerdict> {
-    let cfg = DiffConfig { vm: vm.clone(), ..Default::default() };
+    let cfg = DiffConfig {
+        vm: vm.clone(),
+        ..Default::default()
+    };
     let diff = CompDiff::from_source_default(&target.src, cfg)
         .unwrap_or_else(|e| panic!("{} does not compile: {e}", target.spec.name));
     let san_bin = sanitizers::compile_sanitized(&target.src).expect("sanitized build");
@@ -45,7 +47,11 @@ pub fn verify_target(target: &Target, vm: &VmConfig) -> Vec<BugVerdict> {
         .map(|bug| {
             let trigger = target.trigger(bug);
             let outcome = diff.run_input(&trigger);
-            let kinds = [SanitizerKind::Asan, SanitizerKind::Ubsan, SanitizerKind::Msan];
+            let kinds = [
+                SanitizerKind::Asan,
+                SanitizerKind::Ubsan,
+                SanitizerKind::Msan,
+            ];
             let mut sans = [false; 3];
             for (k, out) in kinds.iter().zip(sans.iter_mut()) {
                 let r = sanitizers::run_sanitized(&san_bin, &trigger, vm, *k);
@@ -66,11 +72,14 @@ pub fn verify_target(target: &Target, vm: &VmConfig) -> Vec<BugVerdict> {
 
 /// Verifies all bugs across all targets.
 pub fn verify_all(vm: &VmConfig) -> Vec<BugVerdict> {
-    build_all().iter().flat_map(|t| verify_target(t, vm)).collect()
+    build_all()
+        .iter()
+        .flat_map(|t| verify_target(t, vm))
+        .collect()
 }
 
 /// Table 5 in the paper's layout: bug counts per root-cause category.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table5 {
     /// `(category, reported, confirmed, fixed, compdiff_verified)` rows.
     pub rows: Vec<(Category, usize, usize, usize, usize)>,
@@ -123,7 +132,7 @@ impl Table5 {
 /// Table 6: of the CompDiff-detected bugs, how many each sanitizer also
 /// detects (measured on the trigger inputs, like the paper's manual
 /// cross-check of sanitizer fuzzing reports).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table6 {
     /// `(row label, asan, ubsan, msan, sanitizer total, compdiff total)`.
     pub rows: Vec<(String, usize, usize, usize, usize, usize)>,
@@ -142,16 +151,25 @@ pub fn table6(verdicts: &[BugVerdict]) -> Table6 {
         let a = in_cat.iter().filter(|v| v.sanitizers[0]).count();
         let u = in_cat.iter().filter(|v| v.sanitizers[1]).count();
         let m = in_cat.iter().filter(|v| v.sanitizers[2]).count();
-        let any = in_cat.iter().filter(|v| v.sanitizers.iter().any(|&s| s)).count();
+        let any = in_cat
+            .iter()
+            .filter(|v| v.sanitizers.iter().any(|&s| s))
+            .count();
         rows.push((label.to_string(), a, u, m, any, in_cat.len()));
     }
     let rest: Vec<&&BugVerdict> = detected
         .iter()
         .filter(|v| {
-            !matches!(v.category, Category::MemError | Category::IntError | Category::UninitMem)
+            !matches!(
+                v.category,
+                Category::MemError | Category::IntError | Category::UninitMem
+            )
         })
         .collect();
-    let rest_any = rest.iter().filter(|v| v.sanitizers.iter().any(|&s| s)).count();
+    let rest_any = rest
+        .iter()
+        .filter(|v| v.sanitizers.iter().any(|&s| s))
+        .count();
     rows.push(("Remaining bugs".to_string(), 0, 0, 0, rest_any, rest.len()));
     let tot_any: usize = rows.iter().map(|r| r.4).sum();
     let tot_cd: usize = rows.iter().map(|r| r.5).sum();
@@ -167,14 +185,16 @@ impl Table6 {
             "CompDiff", "ASan", "UBSan", "MSan", "San Total", "CompDiff"
         );
         for (label, a, u, m, any, cd) in &self.rows {
-            s.push_str(&format!("{label:<16} {a:>6} {u:>6} {m:>6} {any:>10} {cd:>9}\n"));
+            s.push_str(&format!(
+                "{label:<16} {a:>6} {u:>6} {m:>6} {any:>10} {cd:>9}\n"
+            ));
         }
         s
     }
 }
 
 /// Result of a fuzzing campaign on one target.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FuzzFinding {
     /// Target name.
     pub target: String,
@@ -232,9 +252,15 @@ mod tests {
         // bugs produce a divergence on their trigger input.
         let verdicts = verify_all(&VmConfig::default());
         assert_eq!(verdicts.len(), 78);
-        let missed: Vec<&str> =
-            verdicts.iter().filter(|v| !v.compdiff).map(|v| v.id.as_str()).collect();
-        assert!(missed.is_empty(), "bugs CompDiff misses on triggers: {missed:?}");
+        let missed: Vec<&str> = verdicts
+            .iter()
+            .filter(|v| !v.compdiff)
+            .map(|v| v.id.as_str())
+            .collect();
+        assert!(
+            missed.is_empty(),
+            "bugs CompDiff misses on triggers: {missed:?}"
+        );
     }
 
     #[test]

@@ -22,7 +22,6 @@
 //! assert_eq!(bugs, 78);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod builder;
 pub mod catalog;

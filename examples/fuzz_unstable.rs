@@ -38,7 +38,12 @@ const TARGET: &str = r#"
 fn main() -> Result<(), minc::FrontendError> {
     let afl = CompDiffAfl::from_source_default(
         TARGET,
-        FuzzConfig { max_execs: 20_000, seed: 42, max_input_len: 16, ..Default::default() },
+        FuzzConfig {
+            max_execs: 20_000,
+            seed: 42,
+            max_input_len: 16,
+            ..Default::default()
+        },
         DiffConfig::default(),
     )?;
     println!("fuzzing with CompDiff-AFL++ (20k execs)...");

@@ -11,7 +11,10 @@ use minc_vm::VmConfig;
 
 fn main() {
     let tests = suite(0.01);
-    println!("evaluating {} Juliet-style tests (scale 0.01)...", tests.len());
+    println!(
+        "evaluating {} Juliet-style tests (scale 0.01)...",
+        tests.len()
+    );
     let vm = VmConfig::default();
     let evals: Vec<_> = tests.iter().map(|t| evaluate(t, &vm)).collect();
     let table = table3(&evals);

@@ -28,7 +28,13 @@ fn main() -> Result<(), minc::FrontendError> {
     // 1. Compile with the ten compiler implementations
     //    ({gcc-sim, clang-sim} x {O0, O1, O2, O3, Os}).
     let diff = CompDiff::from_source_default(LISTING_1, DiffConfig::default())?;
-    println!("compiled with: {:?}\n", diff.impls().iter().map(|i| i.to_string()).collect::<Vec<_>>());
+    println!(
+        "compiled with: {:?}\n",
+        diff.impls()
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+    );
 
     // 2. Run every binary on the same input and cross-check outputs.
     let outcome = diff.run_input(b"");

@@ -14,21 +14,35 @@ fn check(name: &str, src: &str) -> Result<(), minc::FrontendError> {
     let compdiff = diff.run_input(b"").divergent;
     let bin = sanitizers::compile_sanitized(src)?;
     let mut caught = Vec::new();
-    for k in [SanitizerKind::Asan, SanitizerKind::Ubsan, SanitizerKind::Msan] {
-        if matches!(sanitizers::run_sanitized(&bin, b"", &vm, k).status, ExitStatus::Sanitizer(_)) {
+    for k in [
+        SanitizerKind::Asan,
+        SanitizerKind::Ubsan,
+        SanitizerKind::Msan,
+    ] {
+        if matches!(
+            sanitizers::run_sanitized(&bin, b"", &vm, k).status,
+            ExitStatus::Sanitizer(_)
+        ) {
             caught.push(k.to_string());
         }
     }
     println!(
         "{name:<28} CompDiff: {:<3}  sanitizers: {}",
         if compdiff { "YES" } else { "no" },
-        if caught.is_empty() { "none".to_string() } else { caught.join("+") }
+        if caught.is_empty() {
+            "none".to_string()
+        } else {
+            caught.join("+")
+        }
     );
     Ok(())
 }
 
 fn main() -> Result<(), minc::FrontendError> {
-    println!("bug shape                    detected by\n{}", "-".repeat(60));
+    println!(
+        "bug shape                    detected by\n{}",
+        "-".repeat(60)
+    );
 
     // The paper's Listing 4 shape (exiv2): an uninitialized value that is
     // only printed — MSan deliberately stays silent, CompDiff diverges.

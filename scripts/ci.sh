@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The repository's CI gate, runnable locally: formatting, an offline
+# release build (the workspace is std-only; no registry access needed),
+# and the full offline test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline --workspace
+
+echo "CI green."

@@ -5,8 +5,8 @@
 //! one import. See `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured results.
 
-
 #![warn(missing_docs)]
+pub use campaign;
 pub use compdiff;
 pub use fuzzing;
 pub use juliet;

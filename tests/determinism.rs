@@ -59,7 +59,11 @@ fn campaigns_replay_exactly() {
     let run = || {
         let afl = CompDiffAfl::from_source_default(
             SRC,
-            FuzzConfig { max_execs: 2_000, seed: 99, ..Default::default() },
+            FuzzConfig {
+                max_execs: 2_000,
+                seed: 99,
+                ..Default::default()
+            },
             DiffConfig::default(),
         )
         .unwrap();

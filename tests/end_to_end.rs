@@ -56,8 +56,15 @@ fn listing2_pointer_comparison() {
         }
     "#;
     assert!(divergent(src));
-    for kind in [SanitizerKind::Asan, SanitizerKind::Ubsan, SanitizerKind::Msan] {
-        assert!(!sanitizer_catches(src, kind), "{kind} should miss pointer comparison");
+    for kind in [
+        SanitizerKind::Asan,
+        SanitizerKind::Ubsan,
+        SanitizerKind::Msan,
+    ] {
+        assert!(
+            !sanitizer_catches(src, kind),
+            "{kind} should miss pointer comparison"
+        );
     }
 }
 
@@ -86,10 +93,21 @@ fn listing3_evaluation_order() {
     for class in &outcome.classes {
         let families: std::collections::HashSet<_> =
             class.iter().map(|&i| impls[i].family).collect();
-        assert_eq!(families.len(), 1, "classes must not mix families: {outcome:?}");
+        assert_eq!(
+            families.len(),
+            1,
+            "classes must not mix families: {outcome:?}"
+        );
     }
-    for kind in [SanitizerKind::Asan, SanitizerKind::Ubsan, SanitizerKind::Msan] {
-        assert!(!sanitizer_catches(src, kind), "{kind} should miss EvalOrder");
+    for kind in [
+        SanitizerKind::Asan,
+        SanitizerKind::Ubsan,
+        SanitizerKind::Msan,
+    ] {
+        assert!(
+            !sanitizer_catches(src, kind),
+            "{kind} should miss EvalOrder"
+        );
     }
 }
 
@@ -121,7 +139,8 @@ fn listing4_uninitialized_print() {
 /// attribution for multi-line constructs.
 #[test]
 fn line_macro_attribution() {
-    let src = "int main() {\n    printf(\"error at line %d\\n\",\n        __LINE__);\n    return 0;\n}\n";
+    let src =
+        "int main() {\n    printf(\"error at line %d\\n\",\n        __LINE__);\n    return 0;\n}\n";
     assert!(divergent(src));
 }
 

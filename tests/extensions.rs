@@ -31,21 +31,33 @@ const STAGED: &str = r#"
 fn run(feedback: bool, execs: u64) -> (usize, usize, bool) {
     let afl = CompDiffAfl::from_source_default(
         STAGED,
-        FuzzConfig { max_execs: execs, seed: 11, max_input_len: 12, ..Default::default() },
+        FuzzConfig {
+            max_execs: execs,
+            seed: 11,
+            max_input_len: 12,
+            ..Default::default()
+        },
         DiffConfig::default(),
     )
     .unwrap()
     .with_divergence_feedback(feedback);
     let stats = afl.run(&[b"XXXX".to_vec()]);
     let crashed = !stats.campaign.crashes.is_empty();
-    (stats.store.unique_signatures(), stats.campaign.corpus_len, crashed)
+    (
+        stats.store.unique_signatures(),
+        stats.campaign.corpus_len,
+        crashed,
+    )
 }
 
 #[test]
 fn divergence_feedback_enqueues_novel_diff_inputs() {
     let (sigs_off, corpus_off, _) = run(false, 6_000);
     let (sigs_on, corpus_on, _) = run(true, 6_000);
-    assert!(sigs_off >= 1 && sigs_on >= 1, "both modes find the shallow divergence");
+    assert!(
+        sigs_off >= 1 && sigs_on >= 1,
+        "both modes find the shallow divergence"
+    );
     // Feedback mode keeps divergence-triggering inputs in the corpus even
     // when they add no coverage, so the corpus grows.
     assert!(
@@ -64,7 +76,11 @@ fn feedback_off_is_paper_default() {
     // The builder default matches the paper's base design.
     let afl = CompDiffAfl::from_source_default(
         STAGED,
-        FuzzConfig { max_execs: 100, seed: 1, ..Default::default() },
+        FuzzConfig {
+            max_execs: 100,
+            seed: 1,
+            ..Default::default()
+        },
         DiffConfig::default(),
     )
     .unwrap();

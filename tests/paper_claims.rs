@@ -16,8 +16,11 @@ fn small_suite_evals() -> Vec<juliet::TestEval> {
 #[test]
 fn finding5_no_false_positives() {
     let evals = small_suite_evals();
-    let fps: Vec<&str> =
-        evals.iter().filter(|e| e.compdiff_fp).map(|e| e.id.as_str()).collect();
+    let fps: Vec<&str> = evals
+        .iter()
+        .filter(|e| e.compdiff_fp)
+        .map(|e| e.id.as_str())
+        .collect();
     assert!(fps.is_empty(), "CompDiff false positives: {fps:?}");
 }
 
@@ -30,9 +33,17 @@ fn finding2_compdiff_detects_unique_bugs() {
     let evals = small_suite_evals();
     let t = table3(&evals);
     let total_unique: usize = t.rows.iter().map(|r| r.unique).sum();
-    assert!(total_unique > 0, "CompDiff must uniquely detect bugs\n{}", t.render());
+    assert!(
+        total_unique > 0,
+        "CompDiff must uniquely detect bugs\n{}",
+        t.render()
+    );
     // Rows where CompDiff beats the combined sanitizers, per the paper:
-    for g in [Group::BadStructPointer, Group::UninitializedMemory, Group::PointerSubtraction] {
+    for g in [
+        Group::BadStructPointer,
+        Group::UninitializedMemory,
+        Group::PointerSubtraction,
+    ] {
         let row = t.rows.iter().find(|r| r.group == g).unwrap();
         assert!(
             row.compdiff > row.san_total,
@@ -70,8 +81,10 @@ fn finding4_sanitizers_win_their_specialties() {
 #[test]
 fn figure1_subset_structure() {
     let vm = VmConfig::default();
-    let vectors: Vec<Vec<u64>> =
-        suite(0.004).iter().map(|t| evaluate(t, &vm).hashes).collect();
+    let vectors: Vec<Vec<u64>> = suite(0.004)
+        .iter()
+        .map(|t| evaluate(t, &vm).hashes)
+        .collect();
     let analysis = SubsetAnalysis::analyze(&vectors, &CompilerImpl::default_set());
     let stats = analysis.size_stats();
 
@@ -140,7 +153,10 @@ fn rq5_timestamp_filtering() {
     assert!(raw.is_divergent(b""), "unscrubbed timestamps diverge");
     let filtered = CompDiff::from_source_default(
         src,
-        DiffConfig { filters: vec![OutputFilter::Timestamps], ..Default::default() },
+        DiffConfig {
+            filters: vec![OutputFilter::Timestamps],
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(!filtered.is_divergent(b""), "scrubbed output is stable");
@@ -156,14 +172,13 @@ fn rq2_compiler_bugs() {
         .expect("MuJS target");
     let vm = VmConfig::default();
     let verdicts = targets::verify_target(&mujs, &vm);
-    let compiler_bugs: Vec<_> = verdicts
-        .iter()
-        .filter(|v| v.id.contains("misc"))
-        .collect();
+    let compiler_bugs: Vec<_> = verdicts.iter().filter(|v| v.id.contains("misc")).collect();
     assert_eq!(compiler_bugs.len(), 3, "two gcc + one clang miscompilation");
     assert!(compiler_bugs.iter().all(|v| v.compdiff));
     assert!(
-        compiler_bugs.iter().all(|v| !v.sanitizers.iter().any(|&s| s)),
+        compiler_bugs
+            .iter()
+            .all(|v| !v.sanitizers.iter().any(|&s| s)),
         "no sanitizer flags a miscompilation"
     );
 }

@@ -1,15 +1,17 @@
-//! Property-based tests (proptest) for the core invariants.
+//! Property-based tests for the core invariants, driven by the repo's own
+//! deterministic PRNG (`fuzzing::Rng`) so the whole workspace tests
+//! offline with zero external crates.
 //!
 //! The headline property is *optimization soundness*: randomly generated
 //! **UB-free** MinC programs must produce byte-identical output under all
 //! ten compiler implementations. This is exactly CompDiff's zero-false-
-//! positive precondition, checked against thousands of random programs —
+//! positive precondition, checked against hundreds of random programs —
 //! a differential test of the compiler and VM themselves.
 
-use compdiff::{apply_filters, hash64, detected_by, OutputFilter};
+use compdiff::{apply_filters, detected_by, hash64, OutputFilter};
+use fuzzing::Rng;
 use minc_compile::{compile, CompilerImpl};
 use minc_vm::{execute, ExitStatus, VmConfig};
-use proptest::prelude::*;
 
 /// A random UB-free statement over the unsigned variables u0..u3.
 /// Unsigned arithmetic wraps (defined); divisors are forced odd; shift
@@ -35,33 +37,61 @@ enum DefinedStmt {
     IfSwap { a: u8, b: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Add),
-        Just(Op::Sub),
-        Just(Op::Mul),
-        Just(Op::And),
-        Just(Op::Or),
-        Just(Op::Xor),
-        Just(Op::Div),
-        Just(Op::Rem),
-        (0u8..31).prop_map(Op::ShlK),
-        (0u8..31).prop_map(Op::ShrK),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(10) {
+        0 => Op::Add,
+        1 => Op::Sub,
+        2 => Op::Mul,
+        3 => Op::And,
+        4 => Op::Or,
+        5 => Op::Xor,
+        6 => Op::Div,
+        7 => Op::Rem,
+        8 => Op::ShlK(rng.below(31) as u8),
+        _ => Op::ShrK(rng.below(31) as u8),
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = DefinedStmt> {
-    prop_oneof![
-        (0u8..4, 0u8..4, 0u8..4, op_strategy())
-            .prop_map(|(dst, a, b, op)| DefinedStmt::Assign { dst, a, b, op }),
-        // Trip counts 5 and 7 are excluded: they trigger the two
-        // *deliberately seeded* -O3 unroller miscompilations (the paper's
-        // RQ2 compiler bugs). `seeded_miscompilations_are_the_only_unsoundness`
-        // below pins down that those are the only soundness violations.
-        (0u8..4, 0u8..4, 1u8..9).prop_filter("seeded miscompile trips", |(_, _, t)| *t != 5 && *t != 7)
-            .prop_map(|(dst, src, trips)| DefinedStmt::LoopAccum { dst, src, trips }),
-        (0u8..4, 0u8..4).prop_map(|(a, b)| DefinedStmt::IfSwap { a, b }),
-    ]
+fn random_stmt(rng: &mut Rng) -> DefinedStmt {
+    match rng.below(3) {
+        0 => DefinedStmt::Assign {
+            dst: rng.below(4) as u8,
+            a: rng.below(4) as u8,
+            b: rng.below(4) as u8,
+            op: random_op(rng),
+        },
+        1 => {
+            // Trip counts 5 and 7 are excluded: they trigger the two
+            // *deliberately seeded* -O3 unroller miscompilations (the
+            // paper's RQ2 compiler bugs).
+            // `seeded_miscompilations_are_the_only_unsoundness` below pins
+            // down that those are the only soundness violations.
+            let trips = loop {
+                let t = 1 + rng.below(8) as u8;
+                if t != 5 && t != 7 {
+                    break t;
+                }
+            };
+            DefinedStmt::LoopAccum {
+                dst: rng.below(4) as u8,
+                src: rng.below(4) as u8,
+                trips,
+            }
+        }
+        _ => DefinedStmt::IfSwap {
+            a: rng.below(4) as u8,
+            b: rng.below(4) as u8,
+        },
+    }
+}
+
+fn random_inits(rng: &mut Rng) -> [u32; 4] {
+    [0; 4].map(|_| rng.below(1_000_000) as u32)
+}
+
+fn random_stmts(rng: &mut Rng, max: usize) -> Vec<DefinedStmt> {
+    let n = 1 + rng.below(max);
+    (0..n).map(|_| random_stmt(rng)).collect()
 }
 
 fn render_program(inits: &[u32; 4], stmts: &[DefinedStmt]) -> String {
@@ -88,7 +118,11 @@ fn render_program(inits: &[u32; 4], stmts: &[DefinedStmt]) -> String {
                 };
                 src.push_str(&format!("    u{dst} = {expr};\n"));
             }
-            DefinedStmt::LoopAccum { dst, src: s2, trips } => {
+            DefinedStmt::LoopAccum {
+                dst,
+                src: s2,
+                trips,
+            } => {
                 src.push_str(&format!(
                     "    for (k = 0; k < {trips}; k++) {{ u{dst} = u{dst} * 31u + u{s2} + (unsigned)k; }}\n"
                 ));
@@ -110,13 +144,20 @@ fn render_program(inits: &[u32; 4], stmts: &[DefinedStmt]) -> String {
 /// the same loops compiled at every other level agree with -O0.
 #[test]
 fn seeded_miscompilations_are_the_only_unsoundness() {
-    for (trips, body) in [(7u8, "u0 = u0 * 31u + (unsigned)k;"), (5u8, "u0 = u0 + 100u / ((unsigned)k + 1u);")] {
+    for (trips, body) in [
+        (7u8, "u0 = u0 * 31u + (unsigned)k;"),
+        (5u8, "u0 = u0 + 100u / ((unsigned)k + 1u);"),
+    ] {
         let src = format!(
             "int main() {{\n    unsigned u0 = 3u;\n    int k;\n    for (k = 0; k < {trips}; k++) {{ {body} }}\n    printf(\"%u\\n\", u0);\n    return 0;\n}}\n"
         );
         let checked = minc::check(&src).unwrap();
         let vm = VmConfig::default();
-        let reference = execute(&compile(&checked, CompilerImpl::parse("gcc-O0").unwrap()), b"", &vm);
+        let reference = execute(
+            &compile(&checked, CompilerImpl::parse("gcc-O0").unwrap()),
+            b"",
+            &vm,
+        );
         let mut miscompiled = Vec::new();
         for ci in CompilerImpl::default_set() {
             let r = execute(&compile(&checked, ci), b"", &vm);
@@ -130,16 +171,13 @@ fn seeded_miscompilations_are_the_only_unsoundness() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
-
-    /// UB-free programs are stable: all ten implementations agree.
-    #[test]
-    fn defined_programs_never_diverge(
-        inits in proptest::array::uniform4(0u32..1_000_000),
-        stmts in proptest::collection::vec(stmt_strategy(), 1..12),
-    ) {
-        let inits = [inits[0], inits[1], inits[2], inits[3]];
+/// UB-free programs are stable: all ten implementations agree.
+#[test]
+fn defined_programs_never_diverge() {
+    let mut rng = Rng::new(0xdef1);
+    for _case in 0..64 {
+        let inits = random_inits(&mut rng);
+        let stmts = random_stmts(&mut rng, 12);
         let src = render_program(&inits, &stmts);
         let checked = minc::check(&src)
             .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{src}"));
@@ -150,83 +188,101 @@ proptest! {
             let r = execute(&bin, b"", &vm);
             outputs.push((ci.to_string(), r.stdout, r.status));
         }
-        let (ref name0, ref out0, ref st0) = outputs[0];
+        let (name0, out0, st0) = &outputs[0];
         for (name, out, st) in &outputs[1..] {
-            prop_assert_eq!(
+            assert_eq!(
                 (out, st),
                 (out0, st0),
-                "{} and {} disagree on a defined program:\n{}",
-                name0, name, src
+                "{name0} and {name} disagree on a defined program:\n{src}"
             );
         }
     }
+}
 
-    /// Pretty-printed programs re-parse to an equivalent tree.
-    #[test]
-    fn pretty_print_round_trips(
-        inits in proptest::array::uniform4(0u32..1_000_000),
-        stmts in proptest::collection::vec(stmt_strategy(), 1..10),
-    ) {
-        let inits = [inits[0], inits[1], inits[2], inits[3]];
+/// Pretty-printed programs re-parse to an equivalent tree.
+#[test]
+fn pretty_print_round_trips() {
+    let mut rng = Rng::new(0x9e77);
+    for _case in 0..64 {
+        let inits = random_inits(&mut rng);
+        let stmts = random_stmts(&mut rng, 10);
         let src = render_program(&inits, &stmts);
         let p1 = minc::parse(&src).unwrap();
         let printed = minc::pretty::program(&p1);
-        let p2 = minc::parse(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
-        prop_assert_eq!(printed.clone(), minc::pretty::program(&p2));
+        let p2 =
+            minc::parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        assert_eq!(printed, minc::pretty::program(&p2));
     }
+}
 
-    /// MurmurHash3 is deterministic and single-byte changes never collide
-    /// in practice.
-    #[test]
-    fn murmur_sensitivity(data in proptest::collection::vec(any::<u8>(), 0..256), flip in any::<u8>()) {
-        prop_assert_eq!(hash64(&data), hash64(&data));
+/// MurmurHash3 is deterministic and single-byte changes never collide in
+/// practice.
+#[test]
+fn murmur_sensitivity() {
+    let mut rng = Rng::new(0x3a5);
+    for _case in 0..64 {
+        let data: Vec<u8> = (0..rng.below(256)).map(|_| rng.byte()).collect();
+        assert_eq!(hash64(&data), hash64(&data));
         if !data.is_empty() {
             let mut other = data.clone();
-            let idx = (flip as usize) % other.len();
+            let idx = rng.below(other.len());
             other[idx] ^= 0x5a;
             if other != data {
-                prop_assert_ne!(hash64(&data), hash64(&other));
+                assert_ne!(hash64(&data), hash64(&other));
             }
         }
     }
+}
 
-    /// Output filters are idempotent: scrubbing twice equals scrubbing once.
-    #[test]
-    fn filters_idempotent(data in proptest::collection::vec(any::<u8>(), 0..200)) {
-        let filters = [
-            OutputFilter::Timestamps,
-            OutputFilter::PointerAddresses,
-            OutputFilter::LongNumbers { min_digits: 6 },
-        ];
+/// Output filters are idempotent: scrubbing twice equals scrubbing once.
+#[test]
+fn filters_idempotent() {
+    let mut rng = Rng::new(0xf11);
+    let filters = [
+        OutputFilter::Timestamps,
+        OutputFilter::PointerAddresses,
+        OutputFilter::LongNumbers { min_digits: 6 },
+    ];
+    for _case in 0..64 {
+        let data: Vec<u8> = (0..rng.below(200)).map(|_| rng.byte()).collect();
         let once = apply_filters(&data, &filters);
         let twice = apply_filters(&once, &filters);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "filters not idempotent on {data:?}");
     }
+}
 
-    /// Subset detection is monotone under inclusion.
-    #[test]
-    fn subset_detection_monotone(
-        hashes in proptest::collection::vec(0u64..8, 10),
-        small_mask in 0u32..1024,
-        extra in 0u32..1024,
-    ) {
+/// Subset detection is monotone under inclusion.
+#[test]
+fn subset_detection_monotone() {
+    let mut rng = Rng::new(0x50b);
+    for _case in 0..256 {
+        let hashes: Vec<u64> = (0..10).map(|_| rng.next_u64() % 8).collect();
+        let small_mask = (rng.next_u64() % 1024) as u32;
+        let extra = (rng.next_u64() % 1024) as u32;
         let big_mask = small_mask | extra;
         if detected_by(&hashes, small_mask) {
-            prop_assert!(detected_by(&hashes, big_mask));
+            assert!(
+                detected_by(&hashes, big_mask),
+                "{hashes:?} {small_mask:b} {big_mask:b}"
+            );
         }
     }
+}
 
-    /// Havoc mutants respect the length bound and campaigns of the RNG are
-    /// reproducible.
-    #[test]
-    fn havoc_respects_bounds(seed in any::<u64>(), input in proptest::collection::vec(any::<u8>(), 1..64)) {
-        let mut r1 = fuzzing::Rng::new(seed);
-        let mut r2 = fuzzing::Rng::new(seed);
+/// Havoc mutants respect the length bound and campaigns of the RNG are
+/// reproducible.
+#[test]
+fn havoc_respects_bounds() {
+    let mut meta = Rng::new(0xabc);
+    for _case in 0..64 {
+        let seed = meta.next_u64();
+        let input: Vec<u8> = (0..1 + meta.below(63)).map(|_| meta.byte()).collect();
+        let mut r1 = Rng::new(seed);
+        let mut r2 = Rng::new(seed);
         let a = fuzzing::mutate::havoc(&input, &mut r1, 64);
         let b = fuzzing::mutate::havoc(&input, &mut r2, 64);
-        prop_assert_eq!(&a, &b);
-        prop_assert!(a.len() <= 64);
-        prop_assert!(!a.is_empty());
+        assert_eq!(a, b);
+        assert!(a.len() <= 64);
+        assert!(!a.is_empty());
     }
 }
