@@ -6,7 +6,8 @@
 //! `available_parallelism() >= 4`.
 
 use campaign::CampaignConfig;
-use compdiff_bench::harness::BenchGroup;
+use compdiff::Json;
+use compdiff_bench::harness::{write_json, BenchGroup};
 
 fn workload(workers: usize) -> CampaignConfig {
     CampaignConfig {
@@ -28,13 +29,21 @@ fn main() {
     g.sample_size(5);
     let one = g.bench("workers_1", || campaign::run(&workload(1)).unwrap());
     let four = g.bench("workers_4", || campaign::run(&workload(4)).unwrap());
-    g.finish();
+    let results = g.finish();
 
     let speedup = one.median.as_secs_f64() / four.median.as_secs_f64();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("campaign 4-worker speedup: {speedup:.2}x on {cores} hardware threads");
+    write_json(
+        "BENCH_campaign.json",
+        &results,
+        vec![
+            ("speedup_4_workers", Json::Float(speedup)),
+            ("hardware_threads", Json::Int(cores as i64)),
+        ],
+    );
     if cores >= 4 {
         assert!(
             speedup >= 2.0,

@@ -24,10 +24,7 @@ fn main() {
     g.sample_size(10);
     let bin = compile_source(SRC, CompilerImpl::parse("clang-O1").unwrap()).unwrap();
     g.bench("plain_afl_2000_execs", || {
-        let target = BinaryTarget {
-            binary: &bin,
-            vm: VmConfig::default(),
-        };
+        let target = BinaryTarget::new(&bin, VmConfig::default());
         let cfg = FuzzConfig {
             max_execs: 2_000,
             seed: 1,

@@ -1,0 +1,106 @@
+//! Persistent-session vs fresh-VM execution throughput.
+//!
+//! The differential oracle runs every input on all `k` binaries; this
+//! bench quantifies what `ExecSession` saves per execution. Two
+//! workloads bracket the space:
+//!
+//! * `small` — a short input-parsing program (the catalog targets' shape):
+//!   per-exec setup (junk page materialization, frame allocation)
+//!   dominates, so persistence pays the most here.
+//! * `page_heavy` — a program that malloc/memsets tens of KiB: more time
+//!   in the interpreter proper, but page reuse plus the bulk
+//!   memset/memcpy path still wins.
+//!
+//! In full mode this asserts the >=2x speedup on the small workload and
+//! emits `BENCH_vm.json` when `COMPDIFF_BENCH_JSON_DIR` is set. Under
+//! `COMPDIFF_BENCH_FAST=1` (CI smoke) it only proves the path runs.
+
+use compdiff::Json;
+use compdiff_bench::harness::{write_json, BenchGroup};
+use minc_compile::{compile_source, Binary, CompilerImpl};
+use minc_vm::{execute, ExecSession, VmConfig};
+
+fn small_program() -> Binary {
+    let src = r#"
+        int main() {
+            char buf[32];
+            long n = read_input(buf, 31L);
+            if (n < 3) { printf("short\n"); return 1; }
+            if (buf[0] != 'M' || buf[1] != 'C') { printf("bad magic\n"); return 2; }
+            int acc = 0;
+            long i;
+            for (i = 2; i < n; i++) { acc = acc * 31 + buf[i]; }
+            printf("ok %d\n", acc);
+            return 0;
+        }
+    "#;
+    compile_source(src, CompilerImpl::parse("gcc-O2").unwrap()).unwrap()
+}
+
+fn page_heavy_program() -> Binary {
+    let src = r#"
+        int main() {
+            char* a = (char*)malloc(40000L);
+            char* b = (char*)malloc(40000L);
+            memset(a, 42, 40000L);
+            memcpy(b, a, 40000L);
+            long i; int acc = 0;
+            for (i = 0; i < 40000; i += 997) { acc += b[i]; }
+            printf("%d\n", acc);
+            free(b);
+            free(a);
+            return 0;
+        }
+    "#;
+    compile_source(src, CompilerImpl::parse("clang-O1").unwrap()).unwrap()
+}
+
+fn main() {
+    let vm = VmConfig::default();
+    let small = small_program();
+    let heavy = page_heavy_program();
+    let input = b"MCabcdefgh";
+
+    // Sanity: the persistent path must be bit-identical before it is
+    // allowed to be faster.
+    let mut check = ExecSession::new(&small);
+    assert_eq!(check.run(&small, input, &vm), execute(&small, input, &vm));
+    let mut check = ExecSession::new(&heavy);
+    assert_eq!(check.run(&heavy, b"", &vm), execute(&heavy, b"", &vm));
+
+    let mut g = BenchGroup::new("vm_session");
+
+    let fresh_small = g.bench("small/fresh", || execute(&small, input, &vm));
+    let mut s = ExecSession::new(&small);
+    let persist_small = g.bench("small/persistent", || s.run(&small, input, &vm));
+
+    let fresh_heavy = g.bench("page_heavy/fresh", || execute(&heavy, b"", &vm));
+    let mut s = ExecSession::new(&heavy);
+    let persist_heavy = g.bench("page_heavy/persistent", || s.run(&heavy, b"", &vm));
+
+    let results = g.finish();
+    let speedup_small = fresh_small.median.as_secs_f64() / persist_small.median.as_secs_f64();
+    let speedup_heavy = fresh_heavy.median.as_secs_f64() / persist_heavy.median.as_secs_f64();
+    println!("vm_session small speedup:      {speedup_small:.2}x (persistent vs fresh)");
+    println!("vm_session page_heavy speedup: {speedup_heavy:.2}x (persistent vs fresh)");
+
+    write_json(
+        "BENCH_vm.json",
+        &results,
+        vec![
+            ("speedup_small", Json::Float(speedup_small)),
+            ("speedup_page_heavy", Json::Float(speedup_heavy)),
+        ],
+    );
+
+    // The acceptance bar: >=2x on the repeated-exec (small) workload.
+    // Skipped in fast/smoke mode, where 3 tiny samples are too noisy to
+    // gate CI on.
+    if std::env::var_os("COMPDIFF_BENCH_FAST").is_none() {
+        assert!(
+            speedup_small >= 2.0,
+            "persistent sessions must be >=2x fresh execution on the \
+             repeated-exec workload, got {speedup_small:.2}x"
+        );
+    }
+}

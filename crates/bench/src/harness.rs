@@ -15,7 +15,9 @@
 //! returned so harness-level benches (e.g. the campaign throughput bench)
 //! can assert speedup ratios.
 
+use compdiff::Json;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// One benchmark's measured result.
@@ -142,6 +144,49 @@ impl BenchGroup {
     /// Finishes the group and returns every result.
     pub fn finish(self) -> Vec<BenchResult> {
         self.results
+    }
+}
+
+/// Serializes bench results (plus free-form annotations) to
+/// `$COMPDIFF_BENCH_JSON_DIR/<file_name>` as pretty-printed JSON, so the
+/// repo can track machine-readable perf baselines (`BENCH_*.json`) that
+/// future PRs diff against. When the env var is unset — the default for
+/// CI smoke runs — nothing is written and `None` is returned.
+pub fn write_json(
+    file_name: &str,
+    results: &[BenchResult],
+    extra: Vec<(&str, Json)>,
+) -> Option<PathBuf> {
+    let dir = std::env::var_os("COMPDIFF_BENCH_JSON_DIR")?;
+    let mut fields = vec![(
+        "results",
+        Json::Array(
+            results
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("name", Json::Str(r.name.clone())),
+                        ("median_ns", Json::Int(r.median.as_nanos() as i64)),
+                        ("min_ns", Json::Int(r.min.as_nanos() as i64)),
+                        ("max_ns", Json::Int(r.max.as_nanos() as i64)),
+                        ("iters", Json::Int(r.iters as i64)),
+                    ])
+                })
+                .collect(),
+        ),
+    )];
+    fields.extend(extra);
+    let path = PathBuf::from(dir).join(file_name);
+    let body = Json::obj(fields).render_pretty() + "\n";
+    match std::fs::write(&path, body) {
+        Ok(()) => {
+            println!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            None
+        }
     }
 }
 

@@ -32,6 +32,16 @@ pub struct CompiledTarget {
     pub magic: [u8; 2],
 }
 
+impl CompiledTarget {
+    /// Fresh persistent sessions over the differential binaries, one per
+    /// implementation. The compiled target itself is immutable and shared
+    /// across workers; each worker's job creates its own session set as
+    /// the mutable per-(worker, binary) execution state.
+    pub fn diff_sessions(&self) -> Vec<minc_vm::ExecSession> {
+        self.diff.make_sessions()
+    }
+}
+
 /// Per-target compilation slot: workers asking for the same target
 /// serialize on the slot, not on the whole cache.
 #[derive(Default)]

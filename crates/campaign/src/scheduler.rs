@@ -16,7 +16,7 @@ use crate::CampaignConfig;
 use compdiff::{hash64, DiffOutcome, DiffStore};
 use fuzzing::{BinaryTarget, FuzzConfig, Fuzzer, Oracle};
 use minc::FrontendError;
-use minc_vm::ExecResult;
+use minc_vm::{ExecResult, ExecSession};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -65,9 +65,14 @@ pub fn execs_for_shard(execs_per_target: u64, shards: u32, shard: u32) -> u64 {
 }
 
 /// The differential oracle a worker plugs into its fuzzer: borrows the
-/// shared (immutable) engine, writes into job-local accumulators.
+/// shared (immutable) engine, writes into job-local accumulators. The
+/// sessions are job-local mutable state — one persistent session per
+/// differential binary, so every oracle execution in the job runs in
+/// persistent mode (the `BinaryCache` shares the read-only binaries
+/// across workers; sessions are the per-(worker, binary) hot state).
 struct DiffOracle<'a> {
     diff: &'a compdiff::CompDiff,
+    sessions: Vec<ExecSession>,
     store: &'a mut DiffStore,
     oracle_execs: &'a mut u64,
     divergent: &'a mut u64,
@@ -75,7 +80,7 @@ struct DiffOracle<'a> {
 
 impl Oracle for DiffOracle<'_> {
     fn examine(&mut self, input: &[u8], _result: &ExecResult) -> bool {
-        let outcome: DiffOutcome = self.diff.run_input(input);
+        let outcome: DiffOutcome = self.diff.run_input_sessions(&mut self.sessions, input);
         *self.oracle_execs += self.diff.binaries().len() as u64;
         if outcome.divergent {
             *self.divergent += 1;
@@ -109,12 +114,10 @@ pub fn run_job(ct: &CompiledTarget, cfg: &CampaignConfig, job: Job) -> JobRecord
     let mut oracle_execs = 0u64;
     let mut divergent = 0u64;
     let stats = Fuzzer::new(
-        BinaryTarget {
-            binary: &ct.fuzz_binary,
-            vm: cfg.diff_config.vm.clone(),
-        },
+        BinaryTarget::new(&ct.fuzz_binary, cfg.diff_config.vm.clone()),
         DiffOracle {
             diff: &ct.diff,
+            sessions: ct.diff_sessions(),
             store: &mut store,
             oracle_execs: &mut oracle_execs,
             divergent: &mut divergent,

@@ -9,13 +9,17 @@ use crate::report::DiffStore;
 use fuzzing::{BinaryTarget, CampaignStats, FuzzConfig, Fuzzer, Oracle};
 use minc::FrontendError;
 use minc_compile::{Binary, CompilerImpl};
-use minc_vm::{ExecResult, VmConfig};
+use minc_vm::{ExecResult, ExecSession, VmConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// The CompDiff oracle: cross-checks the `k` binaries on each input.
+/// Holds one persistent [`ExecSession`] per differential binary, so the
+/// `k` executions per examined input run in persistent mode across the
+/// whole campaign.
 pub struct CompDiffOracle {
     diff: Rc<CompDiff>,
+    sessions: Vec<ExecSession>,
     store: Rc<RefCell<DiffStore>>,
     /// Executions performed by the oracle (k per examined input).
     pub oracle_execs: Rc<RefCell<u64>>,
@@ -27,7 +31,7 @@ pub struct CompDiffOracle {
 
 impl Oracle for CompDiffOracle {
     fn examine(&mut self, input: &[u8], _result: &ExecResult) -> bool {
-        let outcome = self.diff.run_input(input);
+        let outcome = self.diff.run_input_sessions(&mut self.sessions, input);
         *self.oracle_execs.borrow_mut() += self.diff.binaries().len() as u64;
         if outcome.divergent {
             self.last_was_novel = self.store.borrow_mut().record(&self.diff, &outcome, input);
@@ -132,16 +136,14 @@ impl CompDiffAfl {
         let store = Rc::new(RefCell::new(DiffStore::new()));
         let oracle_execs = Rc::new(RefCell::new(0u64));
         let oracle = CompDiffOracle {
+            sessions: self.diff.make_sessions(),
             diff: Rc::clone(&self.diff),
             store: Rc::clone(&store),
             oracle_execs: Rc::clone(&oracle_execs),
             divergence_feedback: self.divergence_feedback,
             last_was_novel: false,
         };
-        let target = BinaryTarget {
-            binary: &self.fuzz_binary,
-            vm: self.vm.clone(),
-        };
+        let target = BinaryTarget::new(&self.fuzz_binary, self.vm.clone());
         let campaign = Fuzzer::new(target, oracle, self.fuzz_config.clone()).run(seeds);
         let store = Rc::try_unwrap(store).expect("oracle dropped").into_inner();
         let oracle_execs = *oracle_execs.borrow();

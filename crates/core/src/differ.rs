@@ -9,7 +9,7 @@ use crate::filters::{apply_filters, OutputFilter};
 use crate::murmur::hash64;
 use minc::FrontendError;
 use minc_compile::{Binary, CompilerImpl};
-use minc_vm::{execute, ExecResult, ExitStatus, VmConfig};
+use minc_vm::{ExecResult, ExecSession, ExitStatus, VmConfig};
 
 /// Configuration of the differential engine.
 #[derive(Debug, Clone)]
@@ -114,30 +114,59 @@ impl CompDiff {
         out
     }
 
+    /// Creates one persistent [`ExecSession`] per binary, in engine order.
+    /// Pass the vector to [`run_input_sessions`](CompDiff::run_input_sessions)
+    /// to amortize VM setup across many inputs (the persistent-mode /
+    /// forkserver analogue).
+    pub fn make_sessions(&self) -> Vec<ExecSession> {
+        self.binaries.iter().map(ExecSession::new).collect()
+    }
+
     /// Runs every binary on `input` and cross-checks outputs.
+    ///
+    /// One-shot convenience over [`run_input_sessions`]
+    /// (CompDiff::run_input_sessions); loops should create sessions once
+    /// via [`make_sessions`](CompDiff::make_sessions) and reuse them.
     pub fn run_input(&self, input: &[u8]) -> DiffOutcome {
+        self.run_input_sessions(&mut self.make_sessions(), input)
+    }
+
+    /// Runs every binary on `input` using the caller's persistent sessions
+    /// (created by [`make_sessions`](CompDiff::make_sessions)), reusing
+    /// them for timeout-escalation re-runs as well. Results are bit-for-bit
+    /// identical to [`run_input`](CompDiff::run_input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions.len()` differs from the number of binaries.
+    pub fn run_input_sessions(&self, sessions: &mut [ExecSession], input: &[u8]) -> DiffOutcome {
+        assert_eq!(
+            sessions.len(),
+            self.binaries.len(),
+            "one session per binary"
+        );
         let mut results: Vec<ExecResult> = self
             .binaries
             .iter()
-            .map(|b| execute(b, input, &self.config.vm))
+            .zip(sessions.iter_mut())
+            .map(|(b, s)| s.run(b, input, &self.config.vm))
             .collect();
 
         // RQ6: partial timeouts would truncate outputs and fake
         // discrepancies; escalate the budget for the timed-out binaries.
+        // The config clone is hoisted out of the escalation loop and the
+        // same sessions serve the re-runs, so a partial-timeout input does
+        // not pay fresh-VM setup on top of its doubled step budget.
         let mut unresolved_timeout = false;
         let any_timeout = |rs: &[ExecResult]| rs.iter().any(|r| r.status == ExitStatus::TimedOut);
         let all_timeout = |rs: &[ExecResult]| rs.iter().all(|r| r.status == ExitStatus::TimedOut);
         if any_timeout(&results) && !all_timeout(&results) {
-            let mut budget = self.config.vm.step_limit;
+            let mut cfg = self.config.vm.clone();
             for _ in 0..self.config.timeout_escalations {
-                budget = budget.saturating_mul(2);
-                let cfg = VmConfig {
-                    step_limit: budget,
-                    ..self.config.vm.clone()
-                };
+                cfg.step_limit = cfg.step_limit.saturating_mul(2);
                 for (i, b) in self.binaries.iter().enumerate() {
                     if results[i].status == ExitStatus::TimedOut {
-                        results[i] = execute(b, input, &cfg);
+                        results[i] = sessions[i].run(b, input, &cfg);
                     }
                 }
                 if !any_timeout(&results) {

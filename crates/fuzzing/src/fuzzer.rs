@@ -15,7 +15,7 @@ use crate::coverage::{CoverageMap, GlobalCoverage};
 use crate::mutate;
 use crate::queue::Queue;
 use crate::rng::Rng;
-use minc_vm::{ExecResult, ExitStatus, VmConfig};
+use minc_vm::{ExecResult, ExecSession, ExitStatus, VmConfig};
 use std::collections::{HashMap, HashSet};
 
 /// Executes the instrumented target once. Implemented for closures so any
@@ -31,19 +31,34 @@ impl<F: FnMut(&[u8], &mut CoverageMap) -> ExecResult> TargetExec for F {
     }
 }
 
-/// A convenience target: one binary, no extra instrumentation.
+/// A convenience target: one binary, no extra instrumentation. Holds a
+/// persistent [`ExecSession`] so the whole fuzz loop reuses one set of
+/// memory pages and pooled frames instead of rebuilding the VM per exec.
 #[derive(Debug, Clone)]
 pub struct BinaryTarget<'a> {
     /// The fuzz binary (B_fuzz).
     pub binary: &'a minc_compile::Binary,
     /// Execution limits.
     pub vm: VmConfig,
+    session: ExecSession,
+}
+
+impl<'a> BinaryTarget<'a> {
+    /// Creates the target with its persistent execution session.
+    pub fn new(binary: &'a minc_compile::Binary, vm: VmConfig) -> Self {
+        BinaryTarget {
+            binary,
+            vm,
+            session: ExecSession::new(binary),
+        }
+    }
 }
 
 impl TargetExec for BinaryTarget<'_> {
     fn run(&mut self, input: &[u8], map: &mut CoverageMap) -> ExecResult {
         let mut hooks = crate::coverage::CoveredHooks::new(map, minc_vm::NoHooks);
-        minc_vm::execute_with_hooks(self.binary, input, &self.vm, &mut hooks)
+        self.session
+            .run_with_hooks(self.binary, input, &self.vm, &mut hooks)
     }
 }
 
@@ -341,10 +356,7 @@ mod tests {
             }
         "#;
         let bin = target_binary(src);
-        let target = BinaryTarget {
-            binary: &bin,
-            vm: VmConfig::default(),
-        };
+        let target = BinaryTarget::new(&bin, VmConfig::default());
         let config = FuzzConfig {
             max_execs: 60_000,
             seed: 1,
@@ -374,10 +386,7 @@ mod tests {
         "#;
         let bin = target_binary(src);
         let run = || {
-            let target = BinaryTarget {
-                binary: &bin,
-                vm: VmConfig::default(),
-            };
+            let target = BinaryTarget::new(&bin, VmConfig::default());
             let config = FuzzConfig {
                 max_execs: 5_000,
                 seed: 99,
@@ -402,10 +411,7 @@ mod tests {
             }
         "#;
         let bin = target_binary(src);
-        let target = BinaryTarget {
-            binary: &bin,
-            vm: VmConfig::default(),
-        };
+        let target = BinaryTarget::new(&bin, VmConfig::default());
         let config = FuzzConfig {
             max_execs: 3_000,
             seed: 3,
@@ -424,10 +430,7 @@ mod tests {
             }
         }
         let bin = target_binary("int main() { return 0; }");
-        let target = BinaryTarget {
-            binary: &bin,
-            vm: VmConfig::default(),
-        };
+        let target = BinaryTarget::new(&bin, VmConfig::default());
         let config = FuzzConfig {
             max_execs: 500,
             seed: 4,
@@ -451,10 +454,7 @@ mod tests {
             }
         "#;
         let bin = target_binary(src);
-        let target = BinaryTarget {
-            binary: &bin,
-            vm: VmConfig::default(),
-        };
+        let target = BinaryTarget::new(&bin, VmConfig::default());
         let config = FuzzConfig {
             max_execs: 4_000,
             seed: 5,

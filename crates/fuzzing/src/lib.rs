@@ -7,9 +7,11 @@
 //! [`Oracle`] seam invoked on every generated input (Algorithm 1).
 //!
 //! The forkserver is modeled by in-process persistent execution: the
-//! compiled [`minc_compile::Binary`] stays resident and each run only
-//! allocates fresh VM state, which is what the forkserver optimization
-//! achieves for real binaries.
+//! compiled [`minc_compile::Binary`] stays resident and [`BinaryTarget`]
+//! keeps a persistent [`minc_vm::ExecSession`] across the whole campaign,
+//! so each run only resets — never re-allocates — memory pages and call
+//! frames. That is the same amortization AFL++'s persistent mode achieves
+//! for real binaries.
 //!
 //! ```
 //! use fuzzing::{BinaryTarget, FuzzConfig, Fuzzer, NoOracle};
@@ -21,7 +23,7 @@
 //!     "int main() { char b[4]; read_input(b, 4L); if (b[0] == '!') abort(); return 0; }",
 //!     CompilerImpl::parse("clang-O1").unwrap(),
 //! )?;
-//! let target = BinaryTarget { binary: &bin, vm: VmConfig::default() };
+//! let target = BinaryTarget::new(&bin, VmConfig::default());
 //! let stats = Fuzzer::new(target, NoOracle, FuzzConfig { max_execs: 2_000, ..Default::default() })
 //!     .run(&[b"seed".to_vec()]);
 //! assert!(stats.execs <= 2_000);

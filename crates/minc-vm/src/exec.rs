@@ -5,14 +5,18 @@
 //! defined behaviour is implementation-independent; undefined behaviour
 //! falls out of whatever the memory/layout/junk happens to be — which is
 //! the point.
+//!
+//! The interpreter always runs *inside* an [`ExecSession`]: the one-shot
+//! [`execute`] entry points simply create a throwaway session per call,
+//! while persistent-mode callers reuse one session across inputs and skip
+//! the per-run allocation of pages, frames, and allocator maps.
 
 use crate::hooks::{FreeDisposition, Hooks, Loc, PoisonUse};
-use crate::memory::Memory;
 use crate::result::{ExecResult, ExitStatus, Trap};
+use crate::session::ExecSession;
 use minc::Builtin;
 use minc_compile::ir::*;
 use minc_compile::Binary;
-use std::collections::HashMap;
 
 /// Execution limits and switches.
 #[derive(Debug, Clone)]
@@ -37,7 +41,7 @@ impl Default for VmConfig {
 
 /// Runs `binary` on `input` with no instrumentation.
 pub fn execute(binary: &Binary, input: &[u8], config: &VmConfig) -> ExecResult {
-    execute_with_hooks(binary, input, config, &mut crate::hooks::NoHooks)
+    ExecSession::new(binary).run(binary, input, config)
 }
 
 /// Runs `binary` on `input` with instrumentation hooks.
@@ -47,7 +51,38 @@ pub fn execute_with_hooks<H: Hooks>(
     config: &VmConfig,
     hooks: &mut H,
 ) -> ExecResult {
-    let mut vm = Vm::new(binary, input, config, hooks);
+    ExecSession::new(binary).run_with_hooks(binary, input, config, hooks)
+}
+
+/// Runs one execution against an already-prepared session. Called by
+/// [`ExecSession::run_with_hooks`] after the per-run reset.
+pub(crate) fn run_in_session<H: Hooks>(
+    session: &mut ExecSession,
+    bin: &Binary,
+    input: &[u8],
+    config: &VmConfig,
+    hooks: &mut H,
+) -> ExecResult {
+    let track_poison = hooks.track_poison();
+    let p = &bin.personality;
+    let mut vm = Vm {
+        bin,
+        config,
+        hooks,
+        s: session,
+        stdout: Vec::new(),
+        input,
+        input_pos: 0,
+        sp: p.stack_base,
+        heap_brk: p.heap_base,
+        corruption_bias: 0,
+        rand_state: p.rand_seed | 1,
+        steps: 0,
+        track_poison,
+        rodata: bin.rodata_range(),
+        globals: bin.globals_range(),
+        slot_scratch: Vec::new(),
+    };
     vm.load_data();
     let status = vm.run();
     ExecResult {
@@ -64,80 +99,41 @@ enum End {
     Timeout,
 }
 
-struct Activation {
-    func: u32,
-    block: u32,
-    inst: usize,
-    regs: Vec<u64>,
-    poison: Vec<bool>,
-    frame_lo: u64,
-    frame_hi: u64,
-    ret_dst: Option<ValueId>,
-}
-
-struct Vm<'b, 'h, H: Hooks> {
+struct Vm<'s, 'b, 'h, H: Hooks> {
     bin: &'b Binary,
     config: &'b VmConfig,
     hooks: &'h mut H,
-    mem: Memory,
+    /// Session-owned state: memory, frames, frame pool, allocator maps.
+    s: &'s mut ExecSession,
     stdout: Vec<u8>,
     input: &'b [u8],
     input_pos: usize,
-    frames: Vec<Activation>,
     sp: u64,
     heap_brk: u64,
-    free_lists: HashMap<u64, Vec<u64>>,
-    live_chunks: HashMap<u64, u64>,
     corruption_bias: u64,
     rand_state: u64,
     steps: u64,
     track_poison: bool,
     rodata: (u64, u64),
     globals: (u64, u64),
+    slot_scratch: Vec<(u64, u64)>,
 }
 
-impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
-    fn new(bin: &'b Binary, input: &'b [u8], config: &'b VmConfig, hooks: &'h mut H) -> Self {
-        let track_poison = hooks.track_poison();
-        let p = &bin.personality;
-        Vm {
-            bin,
-            config,
-            hooks,
-            mem: Memory::new(p),
-            stdout: Vec::new(),
-            input,
-            input_pos: 0,
-            frames: Vec::new(),
-            sp: p.stack_base,
-            heap_brk: p.heap_base,
-            free_lists: HashMap::new(),
-            live_chunks: HashMap::new(),
-            corruption_bias: 0,
-            rand_state: p.rand_seed | 1,
-            steps: 0,
-            track_poison,
-            rodata: bin.rodata_range(),
-            globals: bin.globals_range(),
-        }
-    }
-
+impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
     /// Writes rodata and global initializers (the "loader").
     fn load_data(&mut self) {
-        for (i, s) in self.bin.program.strings.iter().enumerate() {
+        for (i, strn) in self.bin.program.strings.iter().enumerate() {
             let addr = self.bin.string_addrs[i];
-            for (j, &b) in s.iter().enumerate() {
-                self.mem.write_u8(addr + j as u64, b);
-            }
+            self.s.mem.write_bytes(addr, strn);
         }
         // BSS-style zeroing of the whole globals segment, then initializers.
         let (gs, ge) = self.globals;
-        self.mem.fill(gs, 0, ge - gs);
+        self.s.mem.fill(gs, 0, ge - gs);
         for (i, g) in self.bin.program.globals.iter().enumerate() {
             let addr = self.bin.global_addrs[i];
             if let GlobalInit::Scalar(val, width) = &g.init {
                 let raw = self.const_raw(*val);
-                self.mem.write(addr, raw, width.bytes());
+                self.s.mem.write(addr, raw, width.bytes());
             }
         }
     }
@@ -178,7 +174,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
     }
 
     fn loc(&self) -> Loc {
-        let f = self.frames.last().expect("active frame");
+        let f = self.s.frames.last().expect("active frame");
         Loc {
             func: f.func,
             block: f.block,
@@ -193,7 +189,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
         args_poison: &[bool],
         ret_dst: Option<ValueId>,
     ) -> Result<(), End> {
-        if self.frames.len() >= self.config.max_frames {
+        if self.s.frames.len() >= self.config.max_frames {
             return Err(End::Trap(Trap::StackOverflow));
         }
         let f = &self.bin.program.functions[func as usize];
@@ -204,55 +200,61 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
             return Err(End::Trap(Trap::StackOverflow));
         }
         self.sp = lo;
-        let mut regs = vec![0u64; f.reg_count as usize];
-        let mut poison = vec![
-            false;
+        // Pop a pooled activation (or default-construct the first time);
+        // clear+resize reproduces the all-zero register file of a fresh
+        // allocation, so pooling is observably identical.
+        let mut act = self.s.frame_pool.pop().unwrap_or_default();
+        act.func = func;
+        act.block = 0;
+        act.inst = 0;
+        act.frame_lo = lo;
+        act.frame_hi = base;
+        act.ret_dst = ret_dst;
+        act.regs.clear();
+        act.regs.resize(f.reg_count as usize, 0);
+        act.poison.clear();
+        act.poison.resize(
             if self.track_poison {
                 f.reg_count as usize
             } else {
                 0
-            }
-        ];
+            },
+            false,
+        );
         for (i, &a) in args.iter().enumerate() {
-            regs[i] = a;
+            act.regs[i] = a;
             if self.track_poison {
-                poison[i] = args_poison.get(i).copied().unwrap_or(false);
+                act.poison[i] = args_poison.get(i).copied().unwrap_or(false);
             }
         }
-        let slots: Vec<(u64, u64)> = f
-            .slots
-            .iter()
-            .zip(&layout.offset_down)
-            .filter(|(s, _)| !s.promoted)
-            .map(|(s, &off)| (base - off, s.size.max(1)))
-            .collect();
-        self.hooks.on_frame_enter(lo, base, &slots);
-        self.frames.push(Activation {
-            func,
-            block: 0,
-            inst: 0,
-            regs,
-            poison,
-            frame_lo: lo,
-            frame_hi: base,
-            ret_dst,
-        });
+        self.slot_scratch.clear();
+        self.slot_scratch.extend(
+            f.slots
+                .iter()
+                .zip(&layout.offset_down)
+                .filter(|(s, _)| !s.promoted)
+                .map(|(s, &off)| (base - off, s.size.max(1))),
+        );
+        self.hooks.on_frame_enter(lo, base, &self.slot_scratch);
+        self.s.frames.push(act);
         Ok(())
     }
 
     fn pop_frame(&mut self, ret: Option<u64>, ret_poison: bool) -> Result<(), End> {
-        let act = self.frames.pop().expect("frame to pop");
+        let act = self.s.frames.pop().expect("frame to pop");
         self.hooks.on_frame_exit(act.frame_lo, act.frame_hi);
         self.sp = act.frame_hi;
-        if self.frames.is_empty() {
+        let ret_dst = act.ret_dst;
+        self.s.frame_pool.push(act);
+        if self.s.frames.is_empty() {
             // Returning from main: give leak checkers their shot first.
             if let Some(f) = self.exit_check() {
                 return Err(End::Fault(f));
             }
             return Err(End::Exit(ret.unwrap_or(0) as u8));
         }
-        if let Some(dst) = act.ret_dst {
-            let caller = self.frames.last_mut().expect("caller frame");
+        if let Some(dst) = ret_dst {
+            let caller = self.s.frames.last_mut().expect("caller frame");
             caller.regs[dst.0 as usize] = ret.unwrap_or(0);
             if self.track_poison {
                 caller.poison[dst.0 as usize] = ret_poison;
@@ -312,35 +314,37 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
             return Err(End::Timeout);
         }
         let (func, block, inst_idx) = {
-            let a = self.frames.last().expect("active frame");
+            let a = self.s.frames.last().expect("active frame");
             (a.func, a.block, a.inst)
         };
-        let f = &self.bin.program.functions[func as usize];
+        // Reborrow the instruction stream through the `'b` binary, not
+        // through `self`, so the hot loop never clones an `Inst`.
+        let bin: &'b Binary = self.bin;
+        let f = &bin.program.functions[func as usize];
         let b = &f.blocks[block as usize];
         if inst_idx < b.insts.len() {
-            let inst = b.insts[inst_idx].clone();
-            self.frames.last_mut().unwrap().inst += 1;
-            self.exec_inst(&inst)
+            let inst = &b.insts[inst_idx];
+            self.s.frames.last_mut().expect("active frame").inst += 1;
+            self.exec_inst(inst)
         } else {
-            let term = b.term.clone();
-            self.exec_term(term)
+            self.exec_term(&b.term)
         }
     }
 
     fn reg(&self, v: ValueId) -> u64 {
-        self.frames.last().expect("frame").regs[v.0 as usize]
+        self.s.frames.last().expect("frame").regs[v.0 as usize]
     }
 
     fn reg_poison(&self, v: ValueId) -> bool {
         if !self.track_poison {
             return false;
         }
-        self.frames.last().expect("frame").poison[v.0 as usize]
+        self.s.frames.last().expect("frame").poison[v.0 as usize]
     }
 
     fn set_reg(&mut self, v: ValueId, val: u64, poisoned: bool) {
         let track = self.track_poison;
-        let f = self.frames.last_mut().expect("frame");
+        let f = self.s.frames.last_mut().expect("frame");
         f.regs[v.0 as usize] = val;
         if track {
             f.poison[v.0 as usize] = poisoned;
@@ -417,7 +421,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 Ok(())
             }
             Inst::FrameAddr { dst, slot } => {
-                let a = self.frames.last().expect("frame");
+                let a = self.s.frames.last().expect("frame");
                 let base = a.frame_hi;
                 let off = self.bin.frames[a.func as usize].offset_down[slot.0 as usize];
                 self.set_reg(*dst, base - off, false);
@@ -437,7 +441,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                     }
                 }
                 self.check_mem(va, width.bytes(), false, loc)?;
-                let raw = self.mem.read(va, width.bytes());
+                let raw = self.s.mem.read(va, width.bytes());
                 let val = match (width, ty, sext) {
                     (MemWidth::W1, _, true) => raw as u8 as i8 as i64 as u64,
                     (MemWidth::W1, _, false) => raw as u8 as u64,
@@ -458,7 +462,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 }
                 self.check_mem(va, width.bytes(), true, loc)?;
                 let v = self.reg(*src);
-                self.mem.write(va, v, width.bytes());
+                self.s.mem.write(va, v, width.bytes());
                 if self.track_poison {
                     let p = self.reg_poison(*src);
                     self.hooks.store_poison(va, width.bytes(), p);
@@ -498,7 +502,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
         }
     }
 
-    fn exec_term(&mut self, term: Terminator) -> Result<(), End> {
+    fn exec_term(&mut self, term: &Terminator) -> Result<(), End> {
         let loc = self.loc();
         match term {
             Terminator::Jump(t) => {
@@ -510,18 +514,18 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                         inst: 0,
                     },
                 );
-                let a = self.frames.last_mut().unwrap();
+                let a = self.s.frames.last_mut().expect("frame");
                 a.block = t.0;
                 a.inst = 0;
                 Ok(())
             }
             Terminator::Br { cond, then, els } => {
-                if self.track_poison && self.reg_poison(cond) {
+                if self.track_poison && self.reg_poison(*cond) {
                     if let Some(fault) = self.hooks.on_poison_use(PoisonUse::Branch, loc) {
                         return Err(End::Fault(fault));
                     }
                 }
-                let taken = if self.reg(cond) != 0 { then } else { els };
+                let taken = if self.reg(*cond) != 0 { *then } else { *els };
                 self.hooks.on_edge(
                     loc,
                     Loc {
@@ -530,14 +534,14 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                         inst: 0,
                     },
                 );
-                let a = self.frames.last_mut().unwrap();
+                let a = self.s.frames.last_mut().expect("frame");
                 a.block = taken.0;
                 a.inst = 0;
                 Ok(())
             }
             Terminator::Ret(v) => {
                 let (val, poi) = match v {
-                    Some(r) => (Some(self.reg(r)), self.reg_poison(r)),
+                    Some(r) => (Some(self.reg(*r)), self.reg_poison(*r)),
                     None => (None, false),
                 };
                 self.pop_frame(val, poi)
@@ -658,7 +662,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
         let mut a = addr;
         loop {
             self.check_mem(a, 1, false, loc)?;
-            let b = self.mem.read_u8(a);
+            let b = self.s.mem.read_u8(a);
             if b == 0 {
                 return Ok(out);
             }
@@ -668,6 +672,14 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
             }
             a = a.wrapping_add(1);
         }
+    }
+
+    /// True when `[addr, addr+len)` can be bulk-accessed without changing
+    /// observable behaviour: the hooks run no per-byte instrumentation and
+    /// the whole range is valid in one region (so the per-byte loop could
+    /// never trap part-way).
+    fn bulk_ok(&self, addr: u64, len: u64, write: bool) -> bool {
+        len > 0 && self.hooks.bulk_mem_ok() && self.addr_valid(addr, len, write)
     }
 
     fn builtin(
@@ -707,15 +719,23 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 let (buf, n) = (args[0], args[1] as i64);
                 let avail = (self.input.len() - self.input_pos) as i64;
                 let take = n.clamp(0, avail);
-                for i in 0..take {
-                    self.check_mem(buf.wrapping_add(i as u64), 1, true, loc)?;
-                    self.mem
-                        .write_u8(buf.wrapping_add(i as u64), self.input[self.input_pos]);
-                    if self.track_poison {
-                        self.hooks
-                            .store_poison(buf.wrapping_add(i as u64), 1, false);
+                if self.bulk_ok(buf, take as u64, true) {
+                    let t = take as usize;
+                    let bytes = &self.input[self.input_pos..self.input_pos + t];
+                    self.s.mem.write_bytes(buf, bytes);
+                    self.input_pos += t;
+                } else {
+                    for i in 0..take {
+                        self.check_mem(buf.wrapping_add(i as u64), 1, true, loc)?;
+                        self.s
+                            .mem
+                            .write_u8(buf.wrapping_add(i as u64), self.input[self.input_pos]);
+                        if self.track_poison {
+                            self.hooks
+                                .store_poison(buf.wrapping_add(i as u64), 1, false);
+                        }
+                        self.input_pos += 1;
                     }
-                    self.input_pos += 1;
                 }
                 Ok(Some(take as u64))
             }
@@ -730,25 +750,35 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
             }
             Memcpy => {
                 let (d, s, n) = (args[0], args[1], args[2]);
-                for i in 0..n {
-                    self.check_mem(s.wrapping_add(i), 1, false, loc)?;
-                    self.check_mem(d.wrapping_add(i), 1, true, loc)?;
-                    let byte = self.mem.read_u8(s.wrapping_add(i));
-                    self.mem.write_u8(d.wrapping_add(i), byte);
-                    if self.track_poison {
-                        let p = self.hooks.load_poison(s.wrapping_add(i), 1);
-                        self.hooks.store_poison(d.wrapping_add(i), 1, p);
+                if self.bulk_ok(s, n, false) && self.bulk_ok(d, n, true) {
+                    // Memory::copy preserves the byte-forward overlap
+                    // semantics of the per-byte loop below.
+                    self.s.mem.copy(d, s, n);
+                } else {
+                    for i in 0..n {
+                        self.check_mem(s.wrapping_add(i), 1, false, loc)?;
+                        self.check_mem(d.wrapping_add(i), 1, true, loc)?;
+                        let byte = self.s.mem.read_u8(s.wrapping_add(i));
+                        self.s.mem.write_u8(d.wrapping_add(i), byte);
+                        if self.track_poison {
+                            let p = self.hooks.load_poison(s.wrapping_add(i), 1);
+                            self.hooks.store_poison(d.wrapping_add(i), 1, p);
+                        }
                     }
                 }
                 Ok(Some(d))
             }
             Memset => {
                 let (d, v, n) = (args[0], args[1] as u8, args[2]);
-                for i in 0..n {
-                    self.check_mem(d.wrapping_add(i), 1, true, loc)?;
-                    self.mem.write_u8(d.wrapping_add(i), v);
-                    if self.track_poison {
-                        self.hooks.store_poison(d.wrapping_add(i), 1, false);
+                if self.bulk_ok(d, n, true) {
+                    self.s.mem.fill(d, v, n);
+                } else {
+                    for i in 0..n {
+                        self.check_mem(d.wrapping_add(i), 1, true, loc)?;
+                        self.s.mem.write_u8(d.wrapping_add(i), v);
+                        if self.track_poison {
+                            self.hooks.store_poison(d.wrapping_add(i), 1, false);
+                        }
                     }
                 }
                 Ok(Some(d))
@@ -762,7 +792,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 let d = args[0];
                 for (i, &b) in s.iter().chain(std::iter::once(&0)).enumerate() {
                     self.check_mem(d.wrapping_add(i as u64), 1, true, loc)?;
-                    self.mem.write_u8(d.wrapping_add(i as u64), b);
+                    self.s.mem.write_u8(d.wrapping_add(i as u64), b);
                     if self.track_poison {
                         self.hooks.store_poison(d.wrapping_add(i as u64), 1, false);
                     }
@@ -775,7 +805,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
                 for i in 0..n {
                     let b = s.get(i as usize).copied().unwrap_or(0);
                     self.check_mem(d.wrapping_add(i), 1, true, loc)?;
-                    self.mem.write_u8(d.wrapping_add(i), b);
+                    self.s.mem.write_u8(d.wrapping_add(i), b);
                     if self.track_poison {
                         self.hooks.store_poison(d.wrapping_add(i), 1, false);
                     }
@@ -840,7 +870,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
 
     /// Runs the hooks' exit-time check (LeakSanitizer-style).
     fn exit_check(&mut self) -> Option<crate::result::Fault> {
-        let mut live: Vec<(u64, u64)> = self.live_chunks.iter().map(|(&a, &s)| (a, s)).collect();
+        let mut live: Vec<(u64, u64)> = self.s.live_chunks.iter().map(|(&a, &s)| (a, s)).collect();
         live.sort_unstable();
         self.hooks.on_exit(&live)
     }
@@ -849,9 +879,9 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
         let p = &self.bin.personality;
         let asize = size.max(1).div_ceil(p.heap_align) * p.heap_align;
         let redzone = self.hooks.heap_redzone();
-        if let Some(list) = self.free_lists.get_mut(&asize) {
+        if let Some(list) = self.s.free_lists.get_mut(&asize) {
             if let Some(addr) = list.pop() {
-                self.live_chunks.insert(addr, asize);
+                self.s.live_chunks.insert(addr, asize);
                 self.hooks.on_malloc(addr, size);
                 return addr;
             }
@@ -863,7 +893,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
             return 0; // OOM -> NULL
         }
         self.heap_brk = new_brk;
-        self.live_chunks.insert(payload, asize);
+        self.s.live_chunks.insert(payload, asize);
         self.hooks.on_malloc(payload, size);
         payload
     }
@@ -872,21 +902,21 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
         if ptr == 0 {
             return Ok(()); // free(NULL) is a no-op
         }
-        if let Some(size) = self.live_chunks.remove(&ptr) {
+        if let Some(size) = self.s.live_chunks.remove(&ptr) {
             match self.hooks.on_free(ptr, size, loc) {
                 Ok(FreeDisposition::Reuse) => {
                     // Like glibc, the allocator stores free-list metadata
                     // (fd/bk pointers and a key) inside the freed chunk.
                     // The bytes are implementation-specific — which is why
                     // use-after-free *reads* are unstable code.
-                    let head = self.free_lists.get(&size).and_then(|l| l.last().copied());
+                    let head = self.s.free_lists.get(&size).and_then(|l| l.last().copied());
                     let fd = head.unwrap_or(0);
                     let key = self.bin.personality.seed ^ size;
-                    self.mem.write(ptr, fd, 8.min(size));
+                    self.s.mem.write(ptr, fd, 8.min(size));
                     if size >= 16 {
-                        self.mem.write(ptr + 8, key, 8);
+                        self.s.mem.write(ptr + 8, key, 8);
                     }
-                    self.free_lists.entry(size).or_default().push(ptr);
+                    self.s.free_lists.entry(size).or_default().push(ptr);
                 }
                 Ok(FreeDisposition::Quarantine) => {}
                 Err(f) => return Err(End::Fault(f)),
@@ -908,6 +938,7 @@ impl<'b, 'h, H: Hooks> Vm<'b, 'h, H> {
         // allocations shift, so any later output that depends on heap
         // contents or addresses diverges across implementations.
         let was_large = self
+            .s
             .free_lists
             .iter()
             .any(|(sz, list)| *sz > 128 && list.contains(&ptr));

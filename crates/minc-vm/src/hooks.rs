@@ -149,10 +149,25 @@ pub trait Hooks {
         let _ = live_heap;
         None
     }
+
+    /// Whether the VM may service whole-range `memcpy`/`memset`/
+    /// `read_input` with bulk page-slice operations. Only return `true`
+    /// when this hook set does *no* per-byte work: no load/store checks,
+    /// no poison tracking, no redzones. The VM still falls back to the
+    /// byte loop whenever any byte of the range is invalid, so traps and
+    /// partial writes are unaffected either way — this is purely a
+    /// fast-path permission.
+    fn bulk_mem_ok(&self) -> bool {
+        false
+    }
 }
 
 /// The default: no instrumentation (differential binaries).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoHooks;
 
-impl Hooks for NoHooks {}
+impl Hooks for NoHooks {
+    fn bulk_mem_ok(&self) -> bool {
+        true
+    }
+}

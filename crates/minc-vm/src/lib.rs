@@ -32,8 +32,10 @@ pub mod exec;
 pub mod hooks;
 pub mod memory;
 pub mod result;
+pub mod session;
 
 pub use exec::{execute, execute_with_hooks, VmConfig};
 pub use hooks::{FreeDisposition, Hooks, Loc, NoHooks, PoisonUse};
 pub use memory::Memory;
 pub use result::{ExecResult, ExitStatus, Fault, SanitizerKind, Trap};
+pub use session::ExecSession;

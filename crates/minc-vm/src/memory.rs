@@ -6,6 +6,23 @@
 //! "uninitialized memory" reads as under a given compiler implementation.
 //! Determinism per binary keeps program output deterministic (CompDiff's
 //! precondition) while different implementations see different junk.
+//!
+//! ## Persistent-mode layout
+//!
+//! Pages live in an arena (`Vec<Page>`) indexed by a page-number map, so a
+//! [`reset`](Memory::reset) between executions keeps every allocation.
+//! Each page carries an *epoch* and a *dirty* bit plus a snapshot of its
+//! pristine junk: on the first touch after a reset, a written page is
+//! restored by one `memcpy` from the snapshot instead of re-deriving
+//! 4096 junk bytes, and a page that was only ever read needs no work at
+//! all. Either way the post-reset contents are bit-identical to a fresh
+//! `Memory`, which is what makes session reuse observably equivalent to
+//! fresh-VM execution.
+//!
+//! The hot path avoids the page map entirely when consecutive accesses hit
+//! the same page (the common case for stack and array traffic), and
+//! aligned-width accesses within one page go through `from_le_bytes` /
+//! `to_le_bytes` instead of a per-byte loop.
 
 use minc_compile::Personality;
 use std::collections::HashMap;
@@ -13,20 +30,48 @@ use std::collections::HashMap;
 /// Page size in bytes.
 pub const PAGE_SIZE: u64 = 4096;
 
+const NO_PAGE: u32 = u32::MAX;
+
+/// One materialized page: live bytes plus the pristine junk snapshot used
+/// to restore it cheaply after a [`Memory::reset`].
+#[derive(Debug, Clone)]
+struct Page {
+    data: Box<[u8]>,
+    pristine: Box<[u8]>,
+    epoch: u64,
+    dirty: bool,
+}
+
 /// Raw byte-addressable memory.
 #[derive(Debug, Clone)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8]>>,
+    index: HashMap<u64, u32>,
+    pages: Vec<Page>,
     seed: u64,
+    epoch: u64,
+    cached_no: u64,
+    cached_idx: u32,
 }
 
 impl Memory {
     /// Creates memory whose junk pattern follows `personality`.
     pub fn new(personality: &Personality) -> Self {
         Memory {
-            pages: HashMap::new(),
+            index: HashMap::new(),
+            pages: Vec::new(),
             seed: personality.seed,
+            epoch: 0,
+            cached_no: 0,
+            cached_idx: NO_PAGE,
         }
+    }
+
+    /// Starts a new execution epoch: every page reads as pristine junk
+    /// again (bit-identical to a fresh `Memory`), but no allocation is
+    /// freed or re-made. Dirty pages are restored lazily on first touch.
+    pub fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.cached_idx = NO_PAGE;
     }
 
     fn junk_byte(seed: u64, addr: u64) -> u8 {
@@ -37,64 +82,188 @@ impl Memory {
         (x & 0xff) as u8
     }
 
-    fn page_mut(&mut self, page: u64) -> &mut [u8] {
-        let seed = self.seed;
-        self.pages
-            .entry(page)
-            .or_insert_with(|| {
-                let base = page * PAGE_SIZE;
+    /// Resolves `page_no` to its arena slot, materializing or restoring
+    /// the page as needed, and memoizes the result.
+    #[inline]
+    fn locate(&mut self, page_no: u64) -> usize {
+        if self.cached_idx != NO_PAGE && self.cached_no == page_no {
+            return self.cached_idx as usize;
+        }
+        let idx = match self.index.get(&page_no) {
+            Some(&i) => {
+                let page = &mut self.pages[i as usize];
+                if page.epoch != self.epoch {
+                    if page.dirty {
+                        page.data.copy_from_slice(&page.pristine);
+                        page.dirty = false;
+                    }
+                    page.epoch = self.epoch;
+                }
+                i
+            }
+            None => {
+                let base = page_no * PAGE_SIZE;
                 let mut p = vec![0u8; PAGE_SIZE as usize];
                 for (i, b) in p.iter_mut().enumerate() {
-                    *b = Self::junk_byte(seed, base + i as u64);
+                    *b = Self::junk_byte(self.seed, base + i as u64);
                 }
-                p.into_boxed_slice()
-            })
-            .as_mut()
+                let data = p.into_boxed_slice();
+                let idx = self.pages.len() as u32;
+                self.pages.push(Page {
+                    pristine: data.clone(),
+                    data,
+                    epoch: self.epoch,
+                    dirty: false,
+                });
+                self.index.insert(page_no, idx);
+                idx
+            }
+        };
+        self.cached_no = page_no;
+        self.cached_idx = idx;
+        idx as usize
+    }
+
+    #[inline]
+    fn page_ref(&mut self, page_no: u64) -> &[u8] {
+        let idx = self.locate(page_no);
+        &self.pages[idx].data
+    }
+
+    #[inline]
+    fn page_mut(&mut self, page_no: u64) -> &mut [u8] {
+        let idx = self.locate(page_no);
+        let page = &mut self.pages[idx];
+        page.dirty = true;
+        &mut page.data
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&mut self, addr: u64) -> u8 {
-        let page = addr / PAGE_SIZE;
         let off = (addr % PAGE_SIZE) as usize;
-        self.page_mut(page)[off]
+        self.page_ref(addr / PAGE_SIZE)[off]
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, v: u8) {
-        let page = addr / PAGE_SIZE;
         let off = (addr % PAGE_SIZE) as usize;
-        self.page_mut(page)[off] = v;
+        self.page_mut(addr / PAGE_SIZE)[off] = v;
     }
 
     /// Reads `width` bytes little-endian (1, 4, or 8).
+    #[inline]
     pub fn read(&mut self, addr: u64, width: u64) -> u64 {
-        let mut v: u64 = 0;
-        for i in 0..width {
-            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + width as usize <= PAGE_SIZE as usize {
+            let page = self.page_ref(addr / PAGE_SIZE);
+            match width {
+                1 => u64::from(page[off]),
+                4 => u64::from(u32::from_le_bytes(
+                    page[off..off + 4].try_into().expect("4-byte slice"),
+                )),
+                8 => u64::from_le_bytes(page[off..off + 8].try_into().expect("8-byte slice")),
+                _ => {
+                    let mut v: u64 = 0;
+                    for (i, &b) in page[off..off + width as usize].iter().enumerate() {
+                        v |= (b as u64) << (8 * i);
+                    }
+                    v
+                }
+            }
+        } else {
+            let mut v: u64 = 0;
+            for i in 0..width {
+                v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
     /// Writes the low `width` bytes of `v` little-endian.
+    #[inline]
     pub fn write(&mut self, addr: u64, v: u64, width: u64) {
-        for i in 0..width {
-            self.write_u8(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + width as usize <= PAGE_SIZE as usize {
+            let page = self.page_mut(addr / PAGE_SIZE);
+            match width {
+                1 => page[off] = v as u8,
+                4 => page[off..off + 4].copy_from_slice(&(v as u32).to_le_bytes()),
+                8 => page[off..off + 8].copy_from_slice(&v.to_le_bytes()),
+                _ => {
+                    for (i, b) in page[off..off + width as usize].iter_mut().enumerate() {
+                        *b = (v >> (8 * i)) as u8;
+                    }
+                }
+            }
+        } else {
+            for i in 0..width {
+                self.write_u8(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+            }
         }
     }
 
-    /// Copies `len` bytes from `src` to `dst` (handles overlap like memmove
-    /// does not — byte-forward copy, like a naive memcpy).
+    /// Copies `len` bytes from `src` to `dst`, byte-forward like a naive
+    /// `memcpy` — *not* like `memmove`: when the ranges overlap with
+    /// `dst` inside `[src, src+len)`, already-copied bytes are re-read, so
+    /// the source pattern repeats with period `dst - src`. That quirk is
+    /// personality-observable (real allocator/libc copies differ the same
+    /// way), so it is pinned by test and must be preserved.
     pub fn copy(&mut self, dst: u64, src: u64, len: u64) {
-        for i in 0..len {
-            let b = self.read_u8(src.wrapping_add(i));
-            self.write_u8(dst.wrapping_add(i), b);
+        // Forward-overlap (dst strictly inside the source range) is the
+        // one case where chunked copying would diverge from the byte-
+        // forward semantics; keep the byte loop there.
+        let delta = dst.wrapping_sub(src);
+        if len == 0 {
+            return;
+        }
+        if delta != 0 && delta < len {
+            for i in 0..len {
+                let b = self.read_u8(src.wrapping_add(i));
+                self.write_u8(dst.wrapping_add(i), b);
+            }
+            return;
+        }
+        let mut buf = [0u8; 256];
+        let mut i = 0u64;
+        while i < len {
+            let s = src.wrapping_add(i);
+            let d = dst.wrapping_add(i);
+            let chunk = (len - i)
+                .min(buf.len() as u64)
+                .min(PAGE_SIZE - s % PAGE_SIZE)
+                .min(PAGE_SIZE - d % PAGE_SIZE);
+            let n = chunk as usize;
+            let soff = (s % PAGE_SIZE) as usize;
+            buf[..n].copy_from_slice(&self.page_ref(s / PAGE_SIZE)[soff..soff + n]);
+            let doff = (d % PAGE_SIZE) as usize;
+            self.page_mut(d / PAGE_SIZE)[doff..doff + n].copy_from_slice(&buf[..n]);
+            i += chunk;
+        }
+    }
+
+    /// Writes `bytes` starting at `addr` (page-chunked bulk store).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let a = addr.wrapping_add(i as u64);
+            let off = (a % PAGE_SIZE) as usize;
+            let chunk = (bytes.len() - i).min((PAGE_SIZE - a % PAGE_SIZE) as usize);
+            self.page_mut(a / PAGE_SIZE)[off..off + chunk].copy_from_slice(&bytes[i..i + chunk]);
+            i += chunk;
         }
     }
 
     /// Fills `[addr, addr+len)` with `v`.
     pub fn fill(&mut self, addr: u64, v: u8, len: u64) {
-        for i in 0..len {
-            self.write_u8(addr.wrapping_add(i), v);
+        let mut i = 0u64;
+        while i < len {
+            let a = addr.wrapping_add(i);
+            let off = (a % PAGE_SIZE) as usize;
+            let chunk = (len - i).min(PAGE_SIZE - a % PAGE_SIZE) as usize;
+            self.page_mut(a / PAGE_SIZE)[off..off + chunk].fill(v);
+            i += chunk as u64;
         }
     }
 
@@ -111,7 +280,9 @@ impl Memory {
         out
     }
 
-    /// Number of materialized pages (memory footprint proxy).
+    /// Number of materialized pages (memory footprint proxy). Pages stay
+    /// materialized across [`reset`](Memory::reset), so in a persistent
+    /// session this counts the high-water mark over all executions.
     pub fn page_count(&self) -> usize {
         self.pages.len()
     }
@@ -164,6 +335,44 @@ mod tests {
     }
 
     #[test]
+    fn copy_overlap_is_byte_forward_not_memmove() {
+        // Pinned personality-observable semantics: copying forward into an
+        // overlapping range repeats the leading `delta` bytes, where
+        // memmove would preserve the original run.
+        let mut m = mem("gcc-O0");
+        for i in 0..8u64 {
+            m.write_u8(0x4000 + i, b'0' + i as u8);
+        }
+        m.copy(0x4002, 0x4000, 6); // delta 2: "01" repeats
+        let got: Vec<u8> = (0..8).map(|i| m.read_u8(0x4000 + i)).collect();
+        assert_eq!(&got, b"01010101", "byte-forward overlap must repeat");
+
+        // Backward overlap (dst < src) matches memmove and bulk copy.
+        let mut m2 = mem("gcc-O0");
+        for i in 0..8u64 {
+            m2.write_u8(0x4000 + i, b'0' + i as u8);
+        }
+        m2.copy(0x4000, 0x4002, 6);
+        let got2: Vec<u8> = (0..8).map(|i| m2.read_u8(0x4000 + i)).collect();
+        assert_eq!(&got2, b"23456767");
+    }
+
+    #[test]
+    fn copy_and_fill_cross_page_bulk() {
+        let mut m = mem("gcc-O2");
+        let base = 3 * PAGE_SIZE - 100;
+        m.fill(base, 0x5a, 300); // spans a page boundary
+        for i in 0..300 {
+            assert_eq!(m.read_u8(base + i), 0x5a);
+        }
+        let dst = 7 * PAGE_SIZE - 150;
+        m.copy(dst, base, 300);
+        for i in 0..300 {
+            assert_eq!(m.read_u8(dst + i), 0x5a);
+        }
+    }
+
+    #[test]
     fn cstr_stops_at_nul_and_max() {
         let mut m = mem("gcc-O0");
         m.write_u8(0xa000, b'h');
@@ -171,5 +380,30 @@ mod tests {
         m.write_u8(0xa002, 0);
         assert_eq!(m.read_cstr(0xa000, 100), b"hi");
         assert_eq!(m.read_cstr(0xa000, 1), b"h");
+    }
+
+    #[test]
+    fn reset_restores_pristine_junk() {
+        let mut m = mem("gcc-O0");
+        let fresh: Vec<u8> = (0..64).map(|i| m.read_u8(0x7000 + i)).collect();
+        m.fill(0x7000, 0xee, 64);
+        m.write(0x7100, 0x1234, 4);
+        m.reset();
+        let after: Vec<u8> = (0..64).map(|i| m.read_u8(0x7000 + i)).collect();
+        assert_eq!(fresh, after, "reset must restore pristine junk");
+        // And the restored contents match a genuinely fresh memory.
+        let mut f = mem("gcc-O0");
+        assert_eq!(f.read(0x7100, 4), m.read(0x7100, 4));
+        // Pages stay materialized (no allocation churn).
+        assert!(m.page_count() >= 1);
+    }
+
+    #[test]
+    fn reset_keeps_read_only_pages_cheap_and_correct() {
+        let mut m = mem("clang-O2");
+        let a: Vec<u8> = (0..32).map(|i| m.read_u8(0x9000 + i)).collect();
+        m.reset();
+        let b: Vec<u8> = (0..32).map(|i| m.read_u8(0x9000 + i)).collect();
+        assert_eq!(a, b);
     }
 }

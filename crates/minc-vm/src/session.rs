@@ -1,0 +1,256 @@
+//! Persistent-mode execution sessions — the forkserver analogue.
+//!
+//! CompDiff's pipeline executes every fuzzer-generated input on all `k`
+//! differential binaries; AFL++ only makes that tractable with
+//! persistent-mode / forkserver execution, where per-run setup cost is
+//! paid once. [`ExecSession`] is this repo's equivalent: it owns the VM
+//! state that is expensive to rebuild — the paged [`Memory`] (pages stay
+//! allocated across runs and are restored via an epoch/dirty scheme), the
+//! activation-record pool (register and poison vectors are recycled
+//! instead of re-allocated per call frame), and the allocator maps — and
+//! resets it between runs.
+//!
+//! A session run is **bit-for-bit equivalent** to a fresh
+//! [`execute`](crate::execute): same status, same stdout, same step count,
+//! same junk bytes. The equivalence holds because every piece of reused
+//! state is either restored to its pristine value (memory junk is a pure
+//! function of the personality seed and the address, so an epoch reset
+//! reproduces it exactly) or fully re-initialized per run (registers are
+//! zeroed on frame entry, allocator maps are cleared). The top-level
+//! `session_equivalence` suite pins this across the whole target catalog,
+//! including runs immediately after traps and sanitizer faults.
+//!
+//! ```
+//! use minc_compile::{compile_source, CompilerImpl};
+//! use minc_vm::{execute, ExecSession, VmConfig};
+//!
+//! # fn main() -> Result<(), minc::FrontendError> {
+//! let bin = compile_source(
+//!     "int main() { printf(\"%d\\n\", (int)input_size()); return 0; }",
+//!     CompilerImpl::parse("gcc-O2").unwrap(),
+//! )?;
+//! let cfg = VmConfig::default();
+//! let mut session = ExecSession::new(&bin);
+//! for input in [&b"a"[..], b"bc", b"def"] {
+//!     assert_eq!(session.run(&bin, input, &cfg), execute(&bin, input, &cfg));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::exec::{run_in_session, VmConfig};
+use crate::hooks::{Hooks, NoHooks};
+use crate::memory::Memory;
+use crate::result::ExecResult;
+use minc_compile::ir::ValueId;
+use minc_compile::Binary;
+use std::collections::HashMap;
+
+/// One call frame (an activation record). Owned by the session so the
+/// register/poison vectors can be pooled across runs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Activation {
+    pub(crate) func: u32,
+    pub(crate) block: u32,
+    pub(crate) inst: usize,
+    pub(crate) regs: Vec<u64>,
+    pub(crate) poison: Vec<bool>,
+    pub(crate) frame_lo: u64,
+    pub(crate) frame_hi: u64,
+    pub(crate) ret_dst: Option<ValueId>,
+}
+
+/// A reusable per-binary execution context (persistent mode).
+///
+/// Create one per [`Binary`] and call [`run`](ExecSession::run) for each
+/// input; state is reset between runs without releasing allocations. The
+/// binary is passed per run rather than borrowed, so sessions can live in
+/// long-lived structs (oracles, fuzz targets, campaign workers) without
+/// lifetime plumbing; a session keyed to one implementation that is handed
+/// a binary with a different junk seed transparently rebuilds its memory
+/// (a cache miss, never a wrong answer).
+#[derive(Debug, Clone)]
+pub struct ExecSession {
+    pub(crate) seed: u64,
+    pub(crate) mem: Memory,
+    pub(crate) frames: Vec<Activation>,
+    pub(crate) frame_pool: Vec<Activation>,
+    pub(crate) free_lists: HashMap<u64, Vec<u64>>,
+    pub(crate) live_chunks: HashMap<u64, u64>,
+}
+
+impl ExecSession {
+    /// Creates a session for `binary`'s compiler implementation.
+    pub fn new(binary: &Binary) -> Self {
+        ExecSession {
+            seed: binary.personality.seed,
+            mem: Memory::new(&binary.personality),
+            frames: Vec::new(),
+            frame_pool: Vec::new(),
+            free_lists: HashMap::new(),
+            live_chunks: HashMap::new(),
+        }
+    }
+
+    /// Resets per-run state: memory enters a new epoch (pristine junk,
+    /// allocations kept), leftover frames from a trapped run return to the
+    /// pool, and the allocator maps are emptied.
+    fn prepare(&mut self, binary: &Binary) {
+        if binary.personality.seed != self.seed {
+            // Session built for a different implementation: the junk
+            // pattern would be wrong, so rebuild memory from scratch.
+            self.seed = binary.personality.seed;
+            self.mem = Memory::new(&binary.personality);
+        } else {
+            self.mem.reset();
+        }
+        self.frame_pool.append(&mut self.frames);
+        self.free_lists.clear();
+        self.live_chunks.clear();
+    }
+
+    /// Runs `binary` on `input` with no instrumentation, reusing this
+    /// session's memory and frame pool. Equivalent to
+    /// [`execute`](crate::execute) bit for bit.
+    pub fn run(&mut self, binary: &Binary, input: &[u8], config: &VmConfig) -> ExecResult {
+        self.run_with_hooks(binary, input, config, &mut NoHooks)
+    }
+
+    /// Runs `binary` on `input` with instrumentation hooks. Equivalent to
+    /// [`execute_with_hooks`](crate::execute_with_hooks) bit for bit
+    /// (hooks state is the caller's concern, exactly as with the fresh
+    /// entry point).
+    pub fn run_with_hooks<H: Hooks>(
+        &mut self,
+        binary: &Binary,
+        input: &[u8],
+        config: &VmConfig,
+        hooks: &mut H,
+    ) -> ExecResult {
+        self.prepare(binary);
+        run_in_session(self, binary, input, config, hooks)
+    }
+
+    /// Number of memory pages this session keeps resident (the high-water
+    /// mark across all runs so far).
+    pub fn resident_pages(&self) -> usize {
+        self.mem.page_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::result::{ExitStatus, Trap};
+    use minc_compile::{compile_source, CompilerImpl};
+
+    fn bin(src: &str, impl_name: &str) -> Binary {
+        compile_source(src, CompilerImpl::parse(impl_name).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn session_matches_fresh_execute_across_inputs() {
+        let b = bin(
+            r#"
+            int main() {
+                char buf[32];
+                long n = read_input(buf, 31L);
+                buf[n] = '\0';
+                int i; int acc = 0;
+                for (i = 0; i < (int)n; i++) { acc += buf[i]; }
+                printf("%s -> %d\n", buf, acc);
+                return acc % 7;
+            }
+            "#,
+            "gcc-O2",
+        );
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&b);
+        for input in [&b""[..], b"a", b"hello", b"\xff\x00\x7f", b"longer input!"] {
+            assert_eq!(
+                s.run(&b, input, &cfg),
+                execute(&b, input, &cfg),
+                "{input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_reuses_pages_across_runs() {
+        let b = bin(
+            r#"
+            int main() {
+                char* p = (char*)malloc(20000L);
+                memset(p, 7, 20000L);
+                printf("%d\n", (int)p[19999]);
+                free(p);
+                return 0;
+            }
+            "#,
+            "clang-O1",
+        );
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&b);
+        let first = s.run(&b, b"", &cfg);
+        let pages = s.resident_pages();
+        assert!(pages >= 5, "the heap walk must materialize pages: {pages}");
+        for _ in 0..3 {
+            assert_eq!(s.run(&b, b"", &cfg), first);
+        }
+        assert_eq!(s.resident_pages(), pages, "no page growth on re-run");
+    }
+
+    #[test]
+    fn session_recovers_after_trap() {
+        // A run that dies mid-frame (segv) must not poison the next run.
+        let b = bin(
+            r#"
+            int main() {
+                char buf[4];
+                long n = read_input(buf, 4L);
+                if (n > 0 && buf[0] == '!') { int* p = 0; *p = 1; }
+                printf("ok\n");
+                return 0;
+            }
+            "#,
+            "gcc-O0",
+        );
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&b);
+        let crash = s.run(&b, b"!x", &cfg);
+        assert_eq!(crash.status, ExitStatus::Trapped(Trap::Segv));
+        assert_eq!(s.run(&b, b"ab", &cfg), execute(&b, b"ab", &cfg));
+        assert_eq!(s.run(&b, b"!y", &cfg), execute(&b, b"!y", &cfg));
+    }
+
+    #[test]
+    fn session_heals_on_binary_mismatch() {
+        let src = "int main() { int u; printf(\"%d\\n\", u); return 0; }";
+        let a = bin(src, "gcc-O0");
+        let c = bin(src, "clang-O0");
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&a);
+        assert_eq!(s.run(&a, b"", &cfg), execute(&a, b"", &cfg));
+        // Junk-seed mismatch: the session must rebuild, not misread junk.
+        assert_eq!(s.run(&c, b"", &cfg), execute(&c, b"", &cfg));
+        assert_eq!(s.run(&a, b"", &cfg), execute(&a, b"", &cfg));
+    }
+
+    #[test]
+    fn uninit_junk_is_identical_under_session_reuse() {
+        // The personality-defined junk an uninitialized read observes must
+        // be byte-identical on every run of a session (determinism is
+        // CompDiff's precondition).
+        let b = bin(
+            "int main() { int u; printf(\"%d\\n\", u); return 0; }",
+            "clang-O3",
+        );
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&b);
+        let fresh = execute(&b, b"", &cfg);
+        for _ in 0..4 {
+            assert_eq!(s.run(&b, b"", &cfg), fresh);
+        }
+    }
+}

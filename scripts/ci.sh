@@ -14,4 +14,10 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
 
+echo "== cargo build --benches --offline =="
+cargo build --benches --offline --workspace
+
+echo "== vm_session bench (fast smoke) =="
+COMPDIFF_BENCH_FAST=1 cargo bench -q --offline -p compdiff-bench --bench vm_session
+
 echo "CI green."
