@@ -16,7 +16,7 @@
 //! `COMPDIFF_BENCH_FAST=1` (CI smoke) it only proves the path runs.
 
 use compdiff::Json;
-use compdiff_bench::harness::{write_json, BenchGroup};
+use compdiff_bench::harness::{check_baseline, write_json, BenchGroup};
 use minc_compile::{compile_source, Binary, CompilerImpl};
 use minc_vm::{execute, ExecSession, VmConfig};
 
@@ -92,6 +92,11 @@ fn main() {
             ("speedup_page_heavy", Json::Float(speedup_heavy)),
         ],
     );
+
+    // Optional regression gate: with COMPDIFF_BENCH_BASELINE_DIR pointing
+    // at the repo root, every median must stay within 5% of the committed
+    // BENCH_vm.json (which this check reads but never rewrites).
+    check_baseline("BENCH_vm.json", &results, 0.05);
 
     // The acceptance bar: >=2x on the repeated-exec (small) workload.
     // Skipped in fast/smoke mode, where 3 tiny samples are too noisy to

@@ -22,8 +22,8 @@ fn main() {
     let lo = stats.iter().map(|s| s.min).min().unwrap_or(0);
     let hi = stats.iter().map(|s| s.max).max().unwrap_or(1);
     println!(
-        "{:>4}  {:>5} {:>6} {:>5}  {}",
-        "size", "min", "median", "max", "distribution"
+        "{:>4}  {:>5} {:>6} {:>5}  distribution",
+        "size", "min", "median", "max"
     );
     for s in &stats {
         println!(

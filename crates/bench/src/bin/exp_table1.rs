@@ -2,15 +2,19 @@
 
 fn main() {
     println!("Table 1: Scopes of sanitizers and CompDiff.\n");
-    println!("{:<10} {}", "Approach", "Scope");
-    println!("{}", "-".repeat(64));
-    println!("{:<10} {}", "ASan", "Memory errors (e.g. buffer-overflow)");
-    println!(
-        "{:<10} {}",
-        "UBSan", "Miscellaneous UBs (e.g. division-by-zero)"
-    );
-    println!("{:<10} {}", "MSan", "Use of uninitialized memories.");
-    println!("{:<10} {}", "CompDiff", "A diverse range of UBs.");
+    let rows = [
+        ("Approach", "Scope"),
+        ("ASan", "Memory errors (e.g. buffer-overflow)"),
+        ("UBSan", "Miscellaneous UBs (e.g. division-by-zero)"),
+        ("MSan", "Use of uninitialized memories."),
+        ("CompDiff", "A diverse range of UBs."),
+    ];
+    for (i, (approach, scope)) in rows.iter().enumerate() {
+        println!("{approach:<10} {scope}");
+        if i == 0 {
+            println!("{}", "-".repeat(64));
+        }
+    }
     println!();
     println!("(The scopes are implemented, not just documented: see the");
     println!(" `sanitizers` crate's Asan/Ubsan/Msan hook implementations and");

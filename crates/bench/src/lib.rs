@@ -52,8 +52,8 @@ pub fn spark(min: usize, median: usize, max: usize, lo: usize, hi: usize) -> Str
     let width = 46usize;
     let pos = |v: usize| ((v - lo) * (width - 1) / (hi - lo).max(1)).min(width - 1);
     let mut line = vec![' '; width];
-    for p in pos(min)..=pos(max) {
-        line[p] = '─';
+    for c in &mut line[pos(min)..=pos(max)] {
+        *c = '─';
     }
     line[pos(min)] = '├';
     line[pos(max)] = '┤';

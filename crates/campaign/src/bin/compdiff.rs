@@ -70,7 +70,10 @@ USAGE:
       --targets <a,b,...>    restrict to these catalog targets
       --checkpoint <dir>     write checkpoint.jsonl under <dir>
       --resume <dir>         resume a checkpointed campaign from <dir>
-      --stop-after <n>       abort after n jobs (checkpoint/kill testing)";
+      --stop-after <n>       abort after n jobs (checkpoint/kill testing)
+      --metrics-out <path>   stream telemetry events (JSONL) to <path>
+      --progress-every <n>   progress + execs/sec to stderr every n jobs
+      --fixed-clock <us>     pin the telemetry clock (deterministic streams)";
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -269,6 +272,17 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     if let Some(list) = flag_value(args, "--targets") {
         cfg.target_filter = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+    }
+    if let Some(v) = flag_value(args, "--metrics-out") {
+        cfg.metrics_out = Some(PathBuf::from(v));
+    }
+    if let Some(v) = flag_value(args, "--progress-every") {
+        cfg.progress_every = v
+            .parse()
+            .map_err(|_| format!("bad --progress-every `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--fixed-clock") {
+        cfg.fixed_clock_us = Some(v.parse().map_err(|_| format!("bad --fixed-clock `{v}`"))?);
     }
     match (
         flag_value(args, "--resume"),

@@ -34,19 +34,25 @@ pub mod cache;
 pub mod scheduler;
 pub mod state;
 pub mod stats;
+pub mod telem;
 
 pub use cache::{BinaryCache, CompiledTarget};
 pub use scheduler::{execs_for_shard, job_seed, Job};
 pub use state::{CampaignHeader, CampaignState, JobRecord, StateError, CHECKPOINT_FILE};
 pub use stats::{CampaignStats, TargetStats};
+pub use telem::CampaignTelemetry;
 
-use compdiff::DiffConfig;
+use compdiff::{DiffConfig, Json};
 use minc::FrontendError;
 use minc_compile::CompilerImpl;
 use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::BufWriter;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use targets::Target;
+use telemetry::{JsonlRecorder, MonotonicClock, NoopRecorder, Telemetry, TestClock};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -76,6 +82,16 @@ pub struct CampaignConfig {
     pub stop_after_jobs: Option<usize>,
     /// Suppress the live progress line.
     pub quiet: bool,
+    /// Stream telemetry events (JSONL, one `compdiff::json` object per
+    /// line) to this path; `None` leaves event recording disabled.
+    pub metrics_out: Option<PathBuf>,
+    /// Emit a progress line to stderr every this many finished jobs;
+    /// `0` disables periodic progress.
+    pub progress_every: usize,
+    /// Pin the telemetry clock to this fixed microsecond reading instead
+    /// of wall time. With one worker this makes the event stream
+    /// byte-identical across runs (the determinism test hook).
+    pub fixed_clock_us: Option<u64>,
 }
 
 impl Default for CampaignConfig {
@@ -93,6 +109,9 @@ impl Default for CampaignConfig {
             target_filter: None,
             stop_after_jobs: None,
             quiet: true,
+            metrics_out: None,
+            progress_every: 0,
+            fixed_clock_us: None,
         }
     }
 }
@@ -106,6 +125,8 @@ pub enum CampaignError {
     State(StateError),
     /// The target filter matched nothing.
     UnknownTarget(String),
+    /// The `metrics_out` stream could not be created.
+    Metrics(std::io::Error),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -114,6 +135,7 @@ impl std::fmt::Display for CampaignError {
             CampaignError::Frontend(e) => write!(f, "target compilation failed: {e}"),
             CampaignError::State(e) => write!(f, "{e}"),
             CampaignError::UnknownTarget(m) => write!(f, "{m}"),
+            CampaignError::Metrics(e) => write!(f, "cannot open metrics stream: {e}"),
         }
     }
 }
@@ -139,6 +161,9 @@ pub struct CampaignReport {
     pub checkpoint: Option<PathBuf>,
     /// True if the campaign stopped early (`stop_after_jobs`).
     pub aborted: bool,
+    /// Final snapshot of the campaign's metric registry (always
+    /// populated — aggregation runs even when the event stream is off).
+    pub metrics: Json,
 }
 
 impl CampaignReport {
@@ -147,9 +172,12 @@ impl CampaignReport {
         &self.stats.signatures
     }
 
-    /// The end-of-campaign summary.
+    /// The end-of-campaign summary, with the machine-readable metrics
+    /// snapshot merged in as its last line.
     pub fn render_summary(&self) -> String {
-        self.stats.render_summary(self.elapsed, self.cache)
+        let mut s = self.stats.render_summary(self.elapsed, self.cache);
+        s.push_str(&format!("metrics: {}\n", self.metrics.render()));
+        s
     }
 }
 
@@ -161,6 +189,8 @@ impl CampaignReport {
 /// unusable ([`StateError`]), or a target does not compile.
 pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
     let started = Instant::now();
+    let tel = build_telemetry(cfg)?;
+    let ctel = CampaignTelemetry::new(Arc::clone(&tel));
     let selected: Vec<Target> = select_targets(cfg)?;
     let names: Vec<String> = selected.iter().map(|t| t.spec.name.to_string()).collect();
 
@@ -202,23 +232,65 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
     let mut aborted = false;
     let mut state_err: Option<StateError> = None;
     let mut live_done = 0usize;
-    scheduler::run_pool(&selected, &cache, cfg, &pending, |out| {
+    scheduler::run_pool(&selected, &cache, cfg, &ctel, &pending, |out| {
         // Checkpoint first, aggregate second: a job is "done" only once
         // its record is durably on disk.
         if let Some(st) = state.as_mut() {
+            let t0 = tel.now_micros();
             if let Err(e) = st.record(out.record.clone()) {
                 state_err = Some(e);
                 return false;
             }
+            ctel.checkpoint_write_us
+                .record(tel.now_micros().saturating_sub(t0));
         }
         stats.absorb(Some(out.worker), &out.record);
         live_done += 1;
+        // Events are emitted only here, on the coordinating thread, in
+        // completion order — with one worker that order is deterministic.
+        if tel.events_enabled() {
+            tel.event(
+                "job",
+                vec![
+                    ("target", Json::Str(out.record.target.clone())),
+                    ("shard", Json::Int(i64::from(out.record.shard))),
+                    ("worker", Json::Int(out.worker as i64)),
+                    ("dur_us", Json::Int(out.dur_us as i64)),
+                    ("execs", Json::Int(out.record.execs as i64)),
+                    ("oracle_execs", Json::Int(out.record.oracle_execs as i64)),
+                    ("divergent", Json::Int(out.record.divergent as i64)),
+                    ("crashes", Json::Int(out.record.crashes as i64)),
+                    ("signatures", Json::Int(out.record.signatures.len() as i64)),
+                    ("pages_restored", Json::Int(out.vm.pages_restored as i64)),
+                    (
+                        "pages_materialized",
+                        Json::Int(out.vm.pages_materialized as i64),
+                    ),
+                    (
+                        "bulk_builtin_ops",
+                        Json::Int(out.vm.bulk_builtin_ops as i64),
+                    ),
+                    (
+                        "fallback_builtin_ops",
+                        Json::Int(out.vm.fallback_builtin_ops as i64),
+                    ),
+                ],
+            );
+        }
         if !cfg.quiet {
             eprintln!(
                 "{} <- {}#{}",
                 stats.progress_line(),
                 out.record.target,
                 out.record.shard
+            );
+        }
+        if cfg.progress_every > 0 && live_done.is_multiple_of(cfg.progress_every) {
+            let secs = started.elapsed().as_secs_f64().max(1e-9);
+            eprintln!(
+                "{} [{:.0} execs/sec]",
+                stats.progress_line(),
+                stats.execs as f64 / secs
             );
         }
         match cfg.stop_after_jobs {
@@ -234,13 +306,38 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
         return Err(CampaignError::State(e));
     }
 
+    ctel.record_cache(cache.counters());
+    let metrics = tel.registry().snapshot();
+    tel.event("metrics", vec![("metrics", metrics.clone())]);
+    tel.flush();
+
     Ok(CampaignReport {
         stats,
         elapsed: started.elapsed(),
         cache: cache.counters(),
         checkpoint: state.map(|s| s.path().to_path_buf()),
         aborted,
+        metrics,
     })
+}
+
+/// Assembles the campaign's [`Telemetry`] from the config: a JSONL
+/// recorder when `metrics_out` is set (otherwise no-op; the registry
+/// aggregates either way), over a monotonic or pinned test clock.
+fn build_telemetry(cfg: &CampaignConfig) -> Result<Arc<Telemetry>, CampaignError> {
+    let tel = match (&cfg.metrics_out, cfg.fixed_clock_us) {
+        (Some(path), clock) => {
+            let file = File::create(path).map_err(CampaignError::Metrics)?;
+            let rec = JsonlRecorder::new(BufWriter::new(file));
+            match clock {
+                Some(t) => Telemetry::new(TestClock::fixed(t), rec),
+                None => Telemetry::new(MonotonicClock::new(), rec),
+            }
+        }
+        (None, Some(t)) => Telemetry::new(TestClock::fixed(t), NoopRecorder),
+        (None, None) => Telemetry::new(MonotonicClock::new(), NoopRecorder),
+    };
+    Ok(tel)
 }
 
 fn select_targets(cfg: &CampaignConfig) -> Result<Vec<Target>, CampaignError> {
@@ -261,5 +358,92 @@ fn select_targets(cfg: &CampaignConfig) -> Result<Vec<Target>, CampaignError> {
             }
             Ok(out)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("compdiff-telem-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// The tentpole acceptance test: one worker plus a pinned test clock
+    /// makes the `--metrics-out` stream byte-identical across runs, every
+    /// line parses with `compdiff::json`, and the final line is the
+    /// metrics snapshot.
+    #[test]
+    fn metrics_stream_is_deterministic() {
+        let dir = temp_dir("determinism");
+        let run_once = |path: PathBuf| {
+            let report = run(&CampaignConfig {
+                workers: 1,
+                execs_per_target: 40,
+                shards_per_target: 2,
+                target_filter: Some(vec!["tcpdump".to_string()]),
+                metrics_out: Some(path.clone()),
+                fixed_clock_us: Some(0),
+                ..Default::default()
+            })
+            .unwrap();
+            (std::fs::read_to_string(path).unwrap(), report)
+        };
+        let (first, report) = run_once(dir.join("a.jsonl"));
+        let (second, _) = run_once(dir.join("b.jsonl"));
+        assert_eq!(first, second, "same seed + fixed clock => identical stream");
+
+        let lines: Vec<&str> = first.lines().collect();
+        assert!(lines.len() >= 3, "expected job events plus snapshot");
+        for line in &lines {
+            Json::parse(line).unwrap_or_else(|e| panic!("bad event line {line}: {e}"));
+        }
+        let job_events = lines
+            .iter()
+            .filter(|l| Json::parse(l).unwrap().get("ev").and_then(Json::as_str) == Some("job"))
+            .count();
+        assert_eq!(job_events, 2, "one event per job");
+        let last = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("ev").and_then(Json::as_str), Some("metrics"));
+        let counters = last.get("metrics").and_then(|m| m.get("counters")).unwrap();
+        assert_eq!(
+            counters.get("fuzz.execs").and_then(Json::as_u64),
+            Some(report.stats.execs),
+            "registry agrees with the aggregator"
+        );
+        assert_eq!(
+            counters.get("campaign.jobs_done").and_then(Json::as_u64),
+            Some(2)
+        );
+
+        // The snapshot is merged into the human summary too.
+        assert!(report.render_summary().contains("metrics: {"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Disabled telemetry still aggregates: no stream, but the report
+    /// carries a populated snapshot.
+    #[test]
+    fn disabled_telemetry_still_snapshots() {
+        let report = run(&CampaignConfig {
+            workers: 1,
+            execs_per_target: 20,
+            shards_per_target: 1,
+            target_filter: Some(vec!["tcpdump".to_string()]),
+            ..Default::default()
+        })
+        .unwrap();
+        let counters = report.metrics.get("counters").unwrap();
+        assert_eq!(
+            counters.get("fuzz.execs").and_then(Json::as_u64),
+            Some(report.stats.execs)
+        );
+        assert!(
+            counters.get("diff.runs").and_then(Json::as_u64).unwrap() > 0,
+            "oracle ran"
+        );
     }
 }

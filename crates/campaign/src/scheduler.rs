@@ -12,11 +12,12 @@
 
 use crate::cache::{BinaryCache, CompiledTarget};
 use crate::state::JobRecord;
+use crate::telem::{CampaignTelemetry, DiffTelemetry};
 use crate::CampaignConfig;
 use compdiff::{hash64, DiffOutcome, DiffStore};
 use fuzzing::{BinaryTarget, FuzzConfig, Fuzzer, Oracle};
 use minc::FrontendError;
-use minc_vm::{ExecResult, ExecSession};
+use minc_vm::{ExecResult, ExecSession, SessionStats};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -31,13 +32,19 @@ pub struct Job {
     pub shard: u32,
 }
 
-/// A finished job, tagged with the worker that ran it.
+/// A finished job, tagged with the worker that ran it. Only `record`
+/// enters the checkpoint; the rest is telemetry the coordinator turns
+/// into events (the checkpoint schema stays stable).
 #[derive(Debug)]
 pub struct JobOutput {
     /// Worker index.
     pub worker: usize,
     /// The checkpointable record.
     pub record: JobRecord,
+    /// Job wall-clock duration in microseconds, by the campaign clock.
+    pub dur_us: u64,
+    /// Summed VM statistics across the job's differential sessions.
+    pub vm: SessionStats,
 }
 
 /// The per-job RNG seed: a SplitMix64 mix of the campaign seed, the
@@ -72,15 +79,18 @@ pub fn execs_for_shard(execs_per_target: u64, shards: u32, shard: u32) -> u64 {
 /// across workers; sessions are the per-(worker, binary) hot state).
 struct DiffOracle<'a> {
     diff: &'a compdiff::CompDiff,
-    sessions: Vec<ExecSession>,
+    sessions: &'a mut [ExecSession],
     store: &'a mut DiffStore,
     oracle_execs: &'a mut u64,
     divergent: &'a mut u64,
+    obs: DiffTelemetry<'a>,
 }
 
 impl Oracle for DiffOracle<'_> {
     fn examine(&mut self, input: &[u8], _result: &ExecResult) -> bool {
-        let outcome: DiffOutcome = self.diff.run_input_sessions(&mut self.sessions, input);
+        let outcome: DiffOutcome =
+            self.diff
+                .run_input_observed(self.sessions, input, &mut self.obs);
         *self.oracle_execs += self.diff.binaries().len() as u64;
         if outcome.divergent {
             *self.divergent += 1;
@@ -92,8 +102,17 @@ impl Oracle for DiffOracle<'_> {
 }
 
 /// Runs one job to completion: a full fuzzing campaign over the shard's
-/// seed slice with the CompDiff oracle attached.
-pub fn run_job(ct: &CompiledTarget, cfg: &CampaignConfig, job: Job) -> JobRecord {
+/// seed slice with the CompDiff oracle attached, instrumented through
+/// `ctel` (metric updates only — events are the coordinator's job, so a
+/// worker thread never touches the recorder).
+pub fn run_job(
+    ct: &CompiledTarget,
+    cfg: &CampaignConfig,
+    job: Job,
+    worker: usize,
+    ctel: &CampaignTelemetry,
+) -> JobOutput {
+    let job_start_us = ctel.tel.now_micros();
     let seed = job_seed(cfg.seed, &ct.name, job.shard);
     let max_execs = execs_for_shard(cfg.execs_per_target, cfg.shards_per_target, job.shard);
     // The seed-slice: shard s takes every `shards`-th corpus entry
@@ -113,14 +132,16 @@ pub fn run_job(ct: &CompiledTarget, cfg: &CampaignConfig, job: Job) -> JobRecord
     let mut store = DiffStore::new();
     let mut oracle_execs = 0u64;
     let mut divergent = 0u64;
+    let mut sessions = ct.diff_sessions();
     let stats = Fuzzer::new(
         BinaryTarget::new(&ct.fuzz_binary, cfg.diff_config.vm.clone()),
         DiffOracle {
             diff: &ct.diff,
-            sessions: ct.diff_sessions(),
+            sessions: &mut sessions,
             store: &mut store,
             oracle_execs: &mut oracle_execs,
             divergent: &mut divergent,
+            obs: ctel.diff_observer(),
         },
         FuzzConfig {
             max_execs,
@@ -130,21 +151,36 @@ pub fn run_job(ct: &CompiledTarget, cfg: &CampaignConfig, job: Job) -> JobRecord
             dictionary: vec![ct.magic.to_vec()],
         },
     )
+    .with_observer(ctel.fuzz_observer())
     .run(&seeds);
+
+    let mut vm = SessionStats::default();
+    for s in &sessions {
+        vm.merge(s.stats());
+    }
+    ctel.record_vm(vm);
+    ctel.jobs_done.inc();
+    let dur_us = ctel.tel.now_micros().saturating_sub(job_start_us);
+    ctel.job_us.record(dur_us);
 
     let signatures: BTreeSet<String> = store
         .reports()
         .iter()
         .map(|d| d.signature.clone())
         .collect();
-    JobRecord {
-        target: ct.name.clone(),
-        shard: job.shard,
-        execs: stats.execs,
-        oracle_execs,
-        divergent,
-        crashes: stats.crashes.len() as u64,
-        signatures: signatures.into_iter().collect(),
+    JobOutput {
+        worker,
+        record: JobRecord {
+            target: ct.name.clone(),
+            shard: job.shard,
+            execs: stats.execs,
+            oracle_execs,
+            divergent,
+            crashes: stats.crashes.len() as u64,
+            signatures: signatures.into_iter().collect(),
+        },
+        dur_us,
+        vm,
     }
 }
 
@@ -161,6 +197,7 @@ pub fn run_pool(
     targets: &[Target],
     cache: &BinaryCache,
     cfg: &CampaignConfig,
+    ctel: &CampaignTelemetry,
     jobs: &[Job],
     mut on_result: impl FnMut(JobOutput) -> bool,
 ) -> Result<(), FrontendError> {
@@ -192,10 +229,7 @@ pub fn run_pool(
                     let Some(job) = job else { break };
                     let msg = cache
                         .get_or_compile(&targets[job.target_index], &cfg.diff_config, cfg.fuzz_impl)
-                        .map(|ct| JobOutput {
-                            worker: w,
-                            record: run_job(&ct, cfg, job),
-                        });
+                        .map(|ct| run_job(&ct, cfg, job, w, ctel));
                     if tx.send(msg).is_err() {
                         break;
                     }

@@ -445,4 +445,41 @@ mod tests {
         ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
+
+    /// Every campaign parameter is pinned by the header: a resume with a
+    /// different budget, shard count, or target set (including a rename,
+    /// a dropped target, or a reordering) must be refused — and the
+    /// original header must still resume cleanly afterwards.
+    #[test]
+    fn resume_rejects_any_changed_parameter() {
+        type Mutation = (&'static str, fn(&mut CampaignHeader));
+        let mutations: [Mutation; 5] = [
+            ("execs", |h| h.execs_per_target += 1),
+            ("shards", |h| h.shards_per_target += 1),
+            ("dropped-target", |h| {
+                h.targets.pop();
+            }),
+            ("renamed-target", |h| {
+                h.targets[0] = "libxml2".to_string();
+            }),
+            ("reordered-targets", |h| h.targets.reverse()),
+        ];
+        for (tag, mutate) in mutations {
+            let dir = temp_dir(&format!("mismatch-{tag}"));
+            let mut st = CampaignState::create(&dir, &header()).unwrap();
+            st.record(record("tcpdump", 0)).unwrap();
+            drop(st);
+
+            let mut changed = header();
+            mutate(&mut changed);
+            match CampaignState::resume(&dir, &changed) {
+                Err(StateError::HeaderMismatch(_)) => {}
+                other => panic!("{tag}: expected HeaderMismatch, got {other:?}"),
+            }
+            let st = CampaignState::resume(&dir, &header())
+                .unwrap_or_else(|e| panic!("{tag}: original header must resume: {e}"));
+            assert_eq!(st.done().len(), 1);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
 }

@@ -1,0 +1,229 @@
+//! Telemetry wiring: the campaign-side adapters that bridge the
+//! dependency-free observability seams of the lower crates onto one
+//! [`telemetry`] registry.
+//!
+//! The instrumented crates deliberately do not depend on `telemetry`:
+//! `compdiff` exposes [`DiffObserver`], `fuzzing` exposes
+//! [`FuzzObserver`], and `minc_vm` maintains intrinsic
+//! [`SessionStats`] counters. This module is the one place those seams
+//! meet a [`MetricRegistry`](telemetry::MetricRegistry): handles are
+//! resolved by name once per campaign, so the per-execution adapters only
+//! touch relaxed atomics and the injected clock.
+
+use compdiff::{DiffObserver, DiffOutcome};
+use fuzzing::FuzzObserver;
+use minc_compile::CompilerImpl;
+use minc_vm::{ExecResult, SessionStats};
+use std::sync::Arc;
+use telemetry::{Counter, Gauge, Histogram, Telemetry};
+
+/// Pre-resolved metric handles for one campaign, shared by every worker.
+#[derive(Debug)]
+pub struct CampaignTelemetry {
+    /// The shared facade: clock, recorder, and registry.
+    pub tel: Arc<Telemetry>,
+    /// `campaign.jobs_done` — jobs finished live in this process.
+    pub jobs_done: Arc<Counter>,
+    /// `campaign.job_us` — per-job wall-clock duration.
+    pub job_us: Arc<Histogram>,
+    /// `campaign.checkpoint_write_us` — checkpoint append+flush latency.
+    pub checkpoint_write_us: Arc<Histogram>,
+    /// `campaign.cache_hits` — binary-cache reuses (set at campaign end).
+    pub cache_hits: Arc<Gauge>,
+    /// `campaign.cache_misses` — compiles performed (set at campaign end).
+    pub cache_misses: Arc<Gauge>,
+    /// `fuzz.execs` — fuzz-binary executions.
+    pub fuzz_execs: Arc<Counter>,
+    /// `fuzz.exec_us` — fuzz-binary execution latency.
+    pub fuzz_exec_us: Arc<Histogram>,
+    /// `fuzz.queue_depth_max` — high-water mark of the seed queue.
+    pub queue_depth_max: Arc<Gauge>,
+    /// `diff.runs` — differential outcomes examined.
+    pub diff_runs: Arc<Counter>,
+    /// `diff.divergent` — outcomes with more than one equivalence class.
+    pub diff_divergent: Arc<Counter>,
+    /// `diff.classes` — equivalence-class count per divergent outcome.
+    pub diff_classes: Arc<Histogram>,
+    /// `diff.escalation_reruns` — re-executions under a doubled step
+    /// budget (the timeout-escalation policy).
+    pub escalation_reruns: Arc<Counter>,
+    /// `diff.exec_us.<impl>` — per-implementation execution latency,
+    /// indexed like the differential binary set.
+    pub exec_us_by_impl: Vec<Arc<Histogram>>,
+    /// `vm.pages_restored` — dirty pages lazily restored on reset.
+    pub pages_restored: Arc<Counter>,
+    /// `vm.pages_materialized` — pages first-touch materialized.
+    pub pages_materialized: Arc<Counter>,
+    /// `vm.bulk_builtin_ops` — builtin memory ops on the bulk fast path.
+    pub bulk_builtin_ops: Arc<Counter>,
+    /// `vm.fallback_builtin_ops` — builtin memory ops on the per-byte
+    /// fallback path.
+    pub fallback_builtin_ops: Arc<Counter>,
+}
+
+impl CampaignTelemetry {
+    /// Resolves every handle against `tel`'s registry. The
+    /// per-implementation histograms are named after the paper's default
+    /// implementation set, which is what [`crate::BinaryCache`] compiles.
+    pub fn new(tel: Arc<Telemetry>) -> Self {
+        let r = tel.registry();
+        let exec_us_by_impl = CompilerImpl::default_set()
+            .iter()
+            .map(|ci| r.histogram(&format!("diff.exec_us.{ci}")))
+            .collect();
+        CampaignTelemetry {
+            jobs_done: r.counter("campaign.jobs_done"),
+            job_us: r.histogram("campaign.job_us"),
+            checkpoint_write_us: r.histogram("campaign.checkpoint_write_us"),
+            cache_hits: r.gauge("campaign.cache_hits"),
+            cache_misses: r.gauge("campaign.cache_misses"),
+            fuzz_execs: r.counter("fuzz.execs"),
+            fuzz_exec_us: r.histogram("fuzz.exec_us"),
+            queue_depth_max: r.gauge("fuzz.queue_depth_max"),
+            diff_runs: r.counter("diff.runs"),
+            diff_divergent: r.counter("diff.divergent"),
+            diff_classes: r.histogram("diff.classes"),
+            escalation_reruns: r.counter("diff.escalation_reruns"),
+            exec_us_by_impl,
+            pages_restored: r.counter("vm.pages_restored"),
+            pages_materialized: r.counter("vm.pages_materialized"),
+            bulk_builtin_ops: r.counter("vm.bulk_builtin_ops"),
+            fallback_builtin_ops: r.counter("vm.fallback_builtin_ops"),
+            tel,
+        }
+    }
+
+    /// A fresh per-job adapter for the differential engine's
+    /// [`DiffObserver`] seam.
+    pub fn diff_observer(&self) -> DiffTelemetry<'_> {
+        DiffTelemetry {
+            ct: self,
+            start_us: 0,
+        }
+    }
+
+    /// A fresh per-job adapter for the fuzzer's [`FuzzObserver`] seam.
+    pub fn fuzz_observer(&self) -> FuzzTelemetry<'_> {
+        FuzzTelemetry {
+            ct: self,
+            start_us: 0,
+        }
+    }
+
+    /// Folds one job's summed VM-session statistics into the registry.
+    pub fn record_vm(&self, vm: SessionStats) {
+        self.pages_restored.add(vm.pages_restored);
+        self.pages_materialized.add(vm.pages_materialized);
+        self.bulk_builtin_ops.add(vm.bulk_builtin_ops);
+        self.fallback_builtin_ops.add(vm.fallback_builtin_ops);
+    }
+
+    /// Publishes the binary cache's final `(hits, misses)`.
+    pub fn record_cache(&self, counters: (u64, u64)) {
+        self.cache_hits.set(counters.0);
+        self.cache_misses.set(counters.1);
+    }
+}
+
+/// Per-job [`DiffObserver`]: times every differential execution into its
+/// implementation's latency histogram and counts escalation re-runs and
+/// divergence classes. Executions within one oracle run are sequential,
+/// so a single begin-timestamp field suffices.
+#[derive(Debug)]
+pub struct DiffTelemetry<'a> {
+    ct: &'a CampaignTelemetry,
+    start_us: u64,
+}
+
+impl DiffObserver for DiffTelemetry<'_> {
+    fn exec_begin(&mut self, _impl_idx: usize, _escalation_round: u32) {
+        self.start_us = self.ct.tel.now_micros();
+    }
+
+    fn exec_end(&mut self, impl_idx: usize, _result: &ExecResult, escalation_round: u32) {
+        let dur = self.ct.tel.now_micros().saturating_sub(self.start_us);
+        if let Some(h) = self.ct.exec_us_by_impl.get(impl_idx) {
+            h.record(dur);
+        }
+        if escalation_round > 0 {
+            self.ct.escalation_reruns.inc();
+        }
+    }
+
+    fn outcome(&mut self, outcome: &DiffOutcome) {
+        self.ct.diff_runs.inc();
+        if outcome.divergent {
+            self.ct.diff_divergent.inc();
+            self.ct.diff_classes.record(outcome.classes.len() as u64);
+        }
+    }
+}
+
+/// Per-job [`FuzzObserver`]: times every fuzz-binary execution and tracks
+/// the seed queue's high-water mark.
+#[derive(Debug)]
+pub struct FuzzTelemetry<'a> {
+    ct: &'a CampaignTelemetry,
+    start_us: u64,
+}
+
+impl FuzzObserver for FuzzTelemetry<'_> {
+    fn exec_begin(&mut self) {
+        self.start_us = self.ct.tel.now_micros();
+    }
+
+    fn exec_end(&mut self, _result: &ExecResult, queue_depth: usize) {
+        let dur = self.ct.tel.now_micros().saturating_sub(self.start_us);
+        self.ct.fuzz_execs.inc();
+        self.ct.fuzz_exec_us.record(dur);
+        self.ct.queue_depth_max.set_max(queue_depth as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::TestClock;
+
+    #[test]
+    fn adapters_update_the_registry() {
+        let tel = Telemetry::new(TestClock::stepping(0, 5), telemetry::NoopRecorder);
+        let ct = CampaignTelemetry::new(Arc::clone(&tel));
+
+        let mut fo = ct.fuzz_observer();
+        let r = ExecResult {
+            status: minc_vm::ExitStatus::Code(0),
+            stdout: Vec::new(),
+            steps: 0,
+        };
+        fo.exec_begin(); // t=0
+        fo.exec_end(&r, 3); // t=5 -> dur 5
+        fo.exec_begin();
+        fo.exec_end(&r, 9);
+        assert_eq!(ct.fuzz_execs.get(), 2);
+        assert_eq!(ct.fuzz_exec_us.count(), 2);
+        assert_eq!(ct.queue_depth_max.get(), 9);
+
+        let mut dobs = ct.diff_observer();
+        dobs.exec_begin(0, 0);
+        dobs.exec_end(0, &r, 0);
+        dobs.exec_begin(1, 2);
+        dobs.exec_end(1, &r, 2);
+        assert_eq!(ct.exec_us_by_impl[0].count(), 1);
+        assert_eq!(ct.exec_us_by_impl[1].count(), 1);
+        assert_eq!(ct.escalation_reruns.get(), 1);
+
+        ct.record_vm(SessionStats {
+            runs: 2,
+            pages_restored: 7,
+            pages_materialized: 4,
+            bulk_builtin_ops: 3,
+            fallback_builtin_ops: 1,
+        });
+        assert_eq!(ct.pages_restored.get(), 7);
+        assert_eq!(ct.bulk_builtin_ops.get(), 3);
+        ct.record_cache((5, 2));
+        assert_eq!(ct.cache_hits.get(), 5);
+        assert_eq!(ct.cache_misses.get(), 2);
+    }
+}

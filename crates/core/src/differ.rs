@@ -51,6 +51,26 @@ pub struct DiffOutcome {
     pub unresolved_timeout: bool,
 }
 
+/// Observer seam for per-execution instrumentation of a differential
+/// run. The engine itself stays dependency-free: a telemetry layer (or a
+/// test) implements this trait and receives one `exec_begin`/`exec_end`
+/// pair per binary execution — including timeout-escalation re-runs —
+/// plus the classified outcome.
+pub trait DiffObserver {
+    /// About to run implementation `impl_idx`; `escalation_round` is 0
+    /// for the initial sweep and `1..=timeout_escalations` for re-runs.
+    fn exec_begin(&mut self, _impl_idx: usize, _escalation_round: u32) {}
+
+    /// Implementation `impl_idx` finished with `result`.
+    fn exec_end(&mut self, _impl_idx: usize, _result: &ExecResult, _escalation_round: u32) {}
+
+    /// The input's classified outcome (called once per input, last).
+    fn outcome(&mut self, _outcome: &DiffOutcome) {}
+}
+
+/// The do-nothing observer (the disabled-telemetry path).
+impl DiffObserver for () {}
+
 /// The CompDiff engine: `k` binaries of one program.
 #[derive(Debug)]
 pub struct CompDiff {
@@ -140,6 +160,22 @@ impl CompDiff {
     ///
     /// Panics if `sessions.len()` differs from the number of binaries.
     pub fn run_input_sessions(&self, sessions: &mut [ExecSession], input: &[u8]) -> DiffOutcome {
+        self.run_input_observed(sessions, input, &mut ())
+    }
+
+    /// [`run_input_sessions`](CompDiff::run_input_sessions) with an
+    /// instrumentation [`DiffObserver`]. The observer never influences
+    /// results; outcomes are bit-for-bit those of the unobserved run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions.len()` differs from the number of binaries.
+    pub fn run_input_observed(
+        &self,
+        sessions: &mut [ExecSession],
+        input: &[u8],
+        obs: &mut impl DiffObserver,
+    ) -> DiffOutcome {
         assert_eq!(
             sessions.len(),
             self.binaries.len(),
@@ -149,7 +185,13 @@ impl CompDiff {
             .binaries
             .iter()
             .zip(sessions.iter_mut())
-            .map(|(b, s)| s.run(b, input, &self.config.vm))
+            .enumerate()
+            .map(|(i, (b, s))| {
+                obs.exec_begin(i, 0);
+                let r = s.run(b, input, &self.config.vm);
+                obs.exec_end(i, &r, 0);
+                r
+            })
             .collect();
 
         // RQ6: partial timeouts would truncate outputs and fake
@@ -162,11 +204,13 @@ impl CompDiff {
         let all_timeout = |rs: &[ExecResult]| rs.iter().all(|r| r.status == ExitStatus::TimedOut);
         if any_timeout(&results) && !all_timeout(&results) {
             let mut cfg = self.config.vm.clone();
-            for _ in 0..self.config.timeout_escalations {
+            for round in 1..=self.config.timeout_escalations {
                 cfg.step_limit = cfg.step_limit.saturating_mul(2);
                 for (i, b) in self.binaries.iter().enumerate() {
                     if results[i].status == ExitStatus::TimedOut {
+                        obs.exec_begin(i, round);
                         results[i] = sessions[i].run(b, input, &cfg);
+                        obs.exec_end(i, &results[i], round);
                     }
                 }
                 if !any_timeout(&results) {
@@ -208,13 +252,15 @@ impl CompDiff {
             classes.len() > 1
         };
 
-        DiffOutcome {
+        let outcome = DiffOutcome {
             results,
             hashes,
             classes,
             divergent,
             unresolved_timeout,
-        }
+        };
+        obs.outcome(&outcome);
+        outcome
     }
 
     /// Convenience: is there *any* divergence on this input?
@@ -346,6 +392,82 @@ mod tests {
             "escalation should settle timeouts: {:?}",
             out.classes
         );
+    }
+
+    #[derive(Default)]
+    struct CountingObserver {
+        begins: usize,
+        ends: usize,
+        escalation_reruns: usize,
+        outcomes: usize,
+    }
+
+    impl DiffObserver for CountingObserver {
+        fn exec_begin(&mut self, _i: usize, _round: u32) {
+            self.begins += 1;
+        }
+        fn exec_end(&mut self, _i: usize, _r: &ExecResult, round: u32) {
+            self.ends += 1;
+            if round > 0 {
+                self.escalation_reruns += 1;
+            }
+        }
+        fn outcome(&mut self, _o: &DiffOutcome) {
+            self.outcomes += 1;
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_execution_without_changing_results() {
+        let diff = engine("int main() { printf(\"hi\\n\"); return 0; }");
+        let mut obs = CountingObserver::default();
+        let observed = diff.run_input_observed(&mut diff.make_sessions(), b"", &mut obs);
+        let plain = diff.run_input(b"");
+        assert_eq!(observed.hashes, plain.hashes, "observer must not perturb");
+        assert_eq!(obs.begins, diff.binaries().len());
+        assert_eq!(obs.ends, diff.binaries().len());
+        assert_eq!(obs.escalation_reruns, 0);
+        assert_eq!(obs.outcomes, 1);
+    }
+
+    #[test]
+    fn observer_counts_escalation_reruns() {
+        // Same partial-timeout setup as `partial_timeout_is_escalated`:
+        // some implementations need budget doubling, and each re-run must
+        // reach the observer with its escalation round.
+        let src = r#"
+            int main() {
+                long acc = 0;
+                long i;
+                for (i = 0; i < 20000; i++) { acc += i; }
+                printf("%ld\n", acc);
+                return 0;
+            }
+        "#;
+        // Calibrate a budget between the fastest and slowest
+        // implementation so some (but not all) time out initially.
+        let probe = CompDiff::from_source_default(src, DiffConfig::default()).unwrap();
+        let steps: Vec<u64> = probe
+            .run_input(b"")
+            .results
+            .iter()
+            .map(|r| r.steps)
+            .collect();
+        let (min, max) = (*steps.iter().min().unwrap(), *steps.iter().max().unwrap());
+        assert!(min < max, "optimization levels must differ in steps");
+        let cfg = DiffConfig {
+            vm: VmConfig {
+                step_limit: min.midpoint(max),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let diff = CompDiff::from_source_default(src, cfg).unwrap();
+        let mut obs = CountingObserver::default();
+        let out = diff.run_input_observed(&mut diff.make_sessions(), b"", &mut obs);
+        assert!(!out.divergent);
+        assert!(obs.escalation_reruns > 0, "expected timeout re-runs");
+        assert_eq!(obs.ends, diff.binaries().len() + obs.escalation_reruns);
     }
 
     #[test]

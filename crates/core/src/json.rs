@@ -151,11 +151,14 @@ impl Json {
             Json::Int(i) => out.push_str(&i.to_string()),
             Json::Float(f) => {
                 if f.is_finite() {
-                    // Keep a decimal point so the value re-parses as a float.
-                    if f.fract() == 0.0 && f.abs() < 1e15 {
-                        out.push_str(&format!("{f:.1}"));
-                    } else {
-                        out.push_str(&format!("{f}"));
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    // Rust's `Display` prints integral floats without a
+                    // decimal point (and never uses exponent notation);
+                    // keep a `.0` so the value re-parses as a float, not
+                    // an `Int` — for every magnitude, not just < 1e15.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
                     }
                 } else {
                     out.push_str("null");
@@ -554,5 +557,62 @@ mod tests {
         assert_eq!(f.render(), "3.0");
         assert_eq!(Json::parse("3.0").unwrap(), Json::Float(3.0));
         assert_eq!(Json::Float(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn large_integral_floats_stay_floats() {
+        // Regression: integral floats >= 1e15 used to render without a
+        // decimal point and re-parse as `Int` (a type change).
+        for f in [1e15, 1e16, 9e18, 1e300, -1e16, -0.0] {
+            let rendered = Json::Float(f).render();
+            let back = Json::parse(&rendered).unwrap();
+            assert_eq!(back, Json::Float(f), "{f} rendered as {rendered}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        // Pinned, serde_json-compatible behavior: non-finite values have
+        // no JSON representation and are emitted as `null`. This is
+        // deliberately type-changing on re-read; metrics producers must
+        // not emit NaN/inf (histograms and counters are integer-valued).
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Float(f).render(), "null");
+            assert_eq!(Json::parse(&Json::Float(f).render()).unwrap(), Json::Null);
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_parse_and_round_trip() {
+        // \u escapes decode to the same value as literal characters, and
+        // parse -> render -> parse is a fixed point.
+        let cases = [
+            ("\\u0041", "A"),
+            ("\\u00e9", "\u{e9}"),
+            ("\\u2603", "\u{2603}"),
+            ("\\ud83d\\ude00", "\u{1f600}"), // surrogate pair
+            ("\\u001f", "\u{1f}"),           // control char: re-escaped on render
+            ("\\uffff", "\u{ffff}"),         // highest BMP code point
+        ];
+        for (esc, want) in cases {
+            let src = format!("\"{esc}\"");
+            let v = Json::parse(&src).unwrap();
+            assert_eq!(v.as_str(), Some(want), "{src}");
+            let rendered = v.render();
+            assert_eq!(Json::parse(&rendered).unwrap(), v, "{src} -> {rendered}");
+        }
+    }
+
+    #[test]
+    fn invalid_surrogates_are_errors() {
+        for bad in [
+            r#""\ud800""#,       // lone high surrogate
+            r#""\ud800x""#,      // high surrogate followed by non-escape
+            r#""\ud800\u0041""#, // \u escape follows but is not a low surrogate
+            r#""\udc00""#,       // lone low surrogate: from_u32 rejects
+            r#""\ud83d\ud83d""#, // high followed by high
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad}");
+        }
     }
 }

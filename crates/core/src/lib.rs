@@ -49,7 +49,7 @@ pub mod report;
 pub mod subset;
 
 pub use afl::{CompDiffAfl, CompDiffAflStats, CompDiffOracle};
-pub use differ::{CompDiff, DiffConfig, DiffOutcome};
+pub use differ::{CompDiff, DiffConfig, DiffObserver, DiffOutcome};
 pub use filters::{apply_filters, OutputFilter};
 pub use json::{Json, JsonError};
 pub use minimize::{minimize, MinimizeStats};

@@ -33,14 +33,17 @@ pub fn murmur3_x64_128(data: &[u8], seed: u64) -> (u64, u64) {
         h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5ab5);
     }
 
+    // Tail: at most 15 leftover bytes. Bytes 0..8 accumulate into k1,
+    // bytes 8..15 into k2; XOR is order-independent, so a forward walk
+    // replaces the reference implementation's fall-through switch.
     let tail = &data[nblocks * 16..];
     let mut k1: u64 = 0;
     let mut k2: u64 = 0;
-    for (i, &b) in tail.iter().enumerate().rev() {
-        match i {
-            8..=14 => k2 ^= (b as u64) << ((i - 8) * 8),
-            _ if i < 8 => k1 ^= (b as u64) << (i * 8),
-            _ => k2 ^= (b as u64) << ((i - 8) * 8),
+    for (i, &b) in tail.iter().enumerate() {
+        if i < 8 {
+            k1 ^= (b as u64) << (i * 8);
+        } else {
+            k2 ^= (b as u64) << ((i - 8) * 8);
         }
     }
     if !tail.is_empty() {
@@ -110,6 +113,66 @@ mod tests {
         let hashes: Vec<(u64, u64)> = (0..32).map(|n| murmur3_x64_128(&data[..n], 0)).collect();
         let unique: std::collections::HashSet<_> = hashes.iter().collect();
         assert_eq!(unique.len(), hashes.len());
+    }
+
+    /// Known-answer vectors produced by the canonical SMHasher
+    /// `MurmurHash3_x64_128` (MurmurHash3.cpp, which self-verifies with
+    /// the official verification value 0x6384BA69). Data is
+    /// `byte[i] = (i * 37 + 11) & 0xFF`, seed `0x9747b28c`; prefix lengths
+    /// cover every tail length 0..=15 plus one- and multi-block inputs.
+    #[test]
+    fn known_answer_vectors() {
+        const SEED: u64 = 0x9747_b28c;
+        let data: Vec<u8> = (0u64..48).map(|i| ((i * 37 + 11) & 0xFF) as u8).collect();
+        let vectors: &[(usize, u64, u64)] = &[
+            (0, 0x392b_208a_1daa_bbb3, 0x93b0_608f_e302_957a),
+            (1, 0x8b6c_e7c6_4b95_028f, 0x2f5a_9203_0c3c_4aa5),
+            (2, 0x5434_98c5_a85d_95e5, 0x4426_e3a0_a3bc_cf8b),
+            (3, 0xf5c7_b4f8_13b7_983f, 0x6667_4f06_05fc_5d6a),
+            (4, 0x6526_401f_9ecf_69a9, 0x9e10_5710_02f4_9713),
+            (5, 0xe72f_4a83_e960_bb13, 0x853f_e681_2f22_b644),
+            (6, 0x6d67_53dc_8b36_8ab3, 0xc5d2_fb8f_42c9_8722),
+            (7, 0xaf12_2a69_1307_450f, 0x4195_17b8_4a66_f1fd),
+            (8, 0xd8c6_1819_ff0e_5aa4, 0x42fb_2f48_54e5_0b63),
+            (9, 0x6a9d_1bd1_ef80_9a06, 0x2707_3717_8fda_89ed),
+            (10, 0x48fa_424e_1c18_0562, 0x3e3c_dae9_700c_4a31),
+            (11, 0xf74d_eeee_1bb9_740f, 0xb457_986f_e8a1_aa69),
+            (12, 0x0206_8a3b_b445_9c49, 0x632f_8d95_603c_a17b),
+            (13, 0x3e31_96f5_c24c_7d04, 0xbec1_6a85_b5a1_8366),
+            (14, 0x9ba8_0c5b_5ad2_a1aa, 0x61a0_51b0_f38e_dbec),
+            (15, 0x335f_5087_d2c8_cc58, 0x3041_cdcb_b287_c4c5),
+            (16, 0xf000_e3ed_91b0_ee1c, 0xa98a_a8ff_5d8a_4c22),
+            (17, 0xed57_9093_9ce6_c481, 0x16d4_79de_0bb5_7a3b),
+            (31, 0xfd93_7d73_3e2b_266e, 0x868f_6285_d1a6_8169),
+            (32, 0xef55_560a_038d_d28f, 0xf656_da74_4b64_242c),
+            (33, 0xdf8f_f14b_c2ca_0d4c, 0x3568_941c_7a9c_1896),
+            (47, 0xea68_15db_41d6_3c93, 0xfb34_e016_9f23_879f),
+            (48, 0x0826_13b3_e6b5_9795, 0x1dc9_5c0d_7529_37b5),
+        ];
+        for &(len, h1, h2) in vectors {
+            assert_eq!(
+                murmur3_x64_128(&data[..len], SEED),
+                (h1, h2),
+                "prefix length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_answer_strings() {
+        assert_eq!(murmur3_x64_128(b"", 0), (0, 0));
+        assert_eq!(
+            murmur3_x64_128(b"hello", 0),
+            (0xcbd8_a7b3_41bd_9b02, 0x5b1e_906a_48ae_1d19)
+        );
+        assert_eq!(
+            murmur3_x64_128(b"hello, world", 0),
+            (0x342f_ac62_3a5e_bc8e, 0x4cdc_bc07_9642_414d)
+        );
+        assert_eq!(
+            murmur3_x64_128(b"The quick brown fox jumps over the lazy dog", 0x9747_b28c),
+            (0x738a_7f3b_d263_3121, 0xf945_7372_7ec0_16e5)
+        );
     }
 
     #[test]

@@ -131,11 +131,15 @@ pub fn signature_of(impls: &[CompilerImpl], outcome: &DiffOutcome) -> String {
         .iter()
         .map(|c| {
             let members: Vec<String> = c.iter().map(|&i| impls[i].to_string()).collect();
+            // The status kind must carry its payload: collapsing every exit
+            // code to "exit" (or every sanitizer to "san") merges e.g. an
+            // `exit 0` vs `exit 1` split with an `exit 0` vs `exit 2`
+            // split, undercounting unique discrepancies.
             let status = match &outcome.results[c[0]].status {
-                ExitStatus::Code(_) => "exit",
+                ExitStatus::Code(code) => format!("exit:{code}"),
                 ExitStatus::Trapped(t) => return format!("{}!{t:?}", members.join("+")),
-                ExitStatus::Sanitizer(_) => "san",
-                ExitStatus::TimedOut => "timeout",
+                ExitStatus::Sanitizer(fault) => format!("san:{:?}", fault.kind),
+                ExitStatus::TimedOut => "timeout".to_string(),
             };
             format!("{}@{status}", members.join("+"))
         })
@@ -196,6 +200,88 @@ impl DiffStore {
 mod tests {
     use super::*;
     use crate::differ::DiffConfig;
+    use minc_vm::{ExecResult, Fault, SanitizerKind};
+
+    /// A synthetic two-implementation divergence where each class ends
+    /// with the given status.
+    fn outcome_with(statuses: [ExitStatus; 2]) -> DiffOutcome {
+        let results: Vec<ExecResult> = statuses
+            .into_iter()
+            .map(|status| ExecResult {
+                status,
+                stdout: Vec::new(),
+                steps: 1,
+            })
+            .collect();
+        DiffOutcome {
+            hashes: vec![1, 2],
+            classes: vec![vec![0], vec![1]],
+            divergent: true,
+            unresolved_timeout: false,
+            results,
+        }
+    }
+
+    fn two_impls() -> Vec<CompilerImpl> {
+        vec![
+            CompilerImpl::parse("gcc-O0").unwrap(),
+            CompilerImpl::parse("clang-O2").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn signature_keeps_exit_codes_apart() {
+        // Regression: these two outcomes differ only in one exit code and
+        // used to collapse to the same "…@exit" signature.
+        let impls = two_impls();
+        let a = outcome_with([ExitStatus::Code(0), ExitStatus::Code(1)]);
+        let b = outcome_with([ExitStatus::Code(0), ExitStatus::Code(2)]);
+        let sa = signature_of(&impls, &a);
+        let sb = signature_of(&impls, &b);
+        assert_ne!(sa, sb, "{sa} vs {sb}");
+        assert!(sa.contains("exit:1"), "{sa}");
+        assert!(sb.contains("exit:2"), "{sb}");
+    }
+
+    #[test]
+    fn signature_keeps_sanitizer_kinds_apart() {
+        let impls = two_impls();
+        let asan = outcome_with([
+            ExitStatus::Code(0),
+            ExitStatus::Sanitizer(Fault::new(SanitizerKind::Asan, "heap-buffer-overflow", "x")),
+        ]);
+        let msan = outcome_with([
+            ExitStatus::Code(0),
+            ExitStatus::Sanitizer(Fault::new(
+                SanitizerKind::Msan,
+                "use-of-uninitialized-value",
+                "x",
+            )),
+        ]);
+        let sa = signature_of(&impls, &asan);
+        let sm = signature_of(&impls, &msan);
+        assert_ne!(sa, sm, "{sa} vs {sm}");
+        assert!(sa.contains("san:Asan"), "{sa}");
+        assert!(sm.contains("san:Msan"), "{sm}");
+    }
+
+    #[test]
+    fn store_buckets_exit_codes_separately() {
+        // The dedup estimate must count exit-code-only differences as
+        // distinct bugs.
+        let diff = CompDiff::from_source(
+            "int main() { return 0; }",
+            &two_impls(),
+            DiffConfig::default(),
+        )
+        .unwrap();
+        let a = outcome_with([ExitStatus::Code(0), ExitStatus::Code(1)]);
+        let b = outcome_with([ExitStatus::Code(0), ExitStatus::Code(2)]);
+        let mut store = DiffStore::new();
+        assert!(store.record(&diff, &a, b"a"));
+        assert!(store.record(&diff, &b, b"b"), "distinct bucket expected");
+        assert_eq!(store.unique_signatures(), 2);
+    }
 
     #[test]
     fn record_and_bucket() {

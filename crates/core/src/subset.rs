@@ -72,7 +72,7 @@ impl SubsetAnalysis {
     pub fn analyze(bugs: &[HashVector], impls: &[CompilerImpl]) -> SubsetAnalysis {
         let k = impls.len();
         assert!(
-            k >= 2 && k <= 20,
+            (2..=20).contains(&k),
             "subset analysis supports 2..=20 implementations"
         );
         for b in bugs {

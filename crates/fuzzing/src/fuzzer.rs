@@ -90,6 +90,34 @@ impl Oracle for NoOracle {
     }
 }
 
+/// Per-execution instrumentation seam of the fuzz loop. A telemetry
+/// layer implements this to derive execs/sec, exec-latency histograms,
+/// and queue-depth gauges; the fuzzer itself stays dependency-free and
+/// the default observer `()` compiles to nothing.
+pub trait FuzzObserver {
+    /// About to execute the fuzz binary on one input.
+    fn exec_begin(&mut self) {}
+
+    /// The execution finished; `queue_depth` is the current seed-queue
+    /// length.
+    fn exec_end(&mut self, _result: &ExecResult, _queue_depth: usize) {}
+}
+
+/// The do-nothing observer (the disabled-telemetry path).
+impl FuzzObserver for () {}
+
+/// Observers pass through mutable references, so a caller can keep
+/// ownership (and read the collected data back after the run).
+impl<W: FuzzObserver + ?Sized> FuzzObserver for &mut W {
+    fn exec_begin(&mut self) {
+        (**self).exec_begin();
+    }
+
+    fn exec_end(&mut self, result: &ExecResult, queue_depth: usize) {
+        (**self).exec_end(result, queue_depth);
+    }
+}
+
 /// Campaign configuration.
 #[derive(Debug, Clone)]
 pub struct FuzzConfig {
@@ -147,9 +175,10 @@ pub struct CampaignStats {
 }
 
 /// The fuzzer.
-pub struct Fuzzer<T: TargetExec, O: Oracle> {
+pub struct Fuzzer<T: TargetExec, O: Oracle, W: FuzzObserver = ()> {
     target: T,
     oracle: O,
+    observer: W,
     config: FuzzConfig,
     rng: Rng,
     queue: Queue,
@@ -161,12 +190,14 @@ pub struct Fuzzer<T: TargetExec, O: Oracle> {
 }
 
 impl<T: TargetExec, O: Oracle> Fuzzer<T, O> {
-    /// Creates a fuzzer over a target with an oracle.
+    /// Creates a fuzzer over a target with an oracle (and no observer;
+    /// see [`with_observer`](Fuzzer::with_observer)).
     pub fn new(target: T, oracle: O, config: FuzzConfig) -> Self {
         let rng = Rng::new(config.seed);
         Fuzzer {
             target,
             oracle,
+            observer: (),
             config,
             rng,
             queue: Queue::new(),
@@ -175,6 +206,27 @@ impl<T: TargetExec, O: Oracle> Fuzzer<T, O> {
             crash_sigs: HashMap::new(),
             oracle_seen: HashSet::new(),
             stats: CampaignStats::default(),
+        }
+    }
+}
+
+impl<T: TargetExec, O: Oracle, W: FuzzObserver> Fuzzer<T, O, W> {
+    /// Attaches an execution observer, replacing the current one. The
+    /// observer sees every fuzz-binary execution; it never influences
+    /// scheduling, mutation, or results.
+    pub fn with_observer<W2: FuzzObserver>(self, observer: W2) -> Fuzzer<T, O, W2> {
+        Fuzzer {
+            target: self.target,
+            oracle: self.oracle,
+            observer,
+            config: self.config,
+            rng: self.rng,
+            queue: self.queue,
+            global: self.global,
+            map: self.map,
+            crash_sigs: self.crash_sigs,
+            oracle_seen: self.oracle_seen,
+            stats: self.stats,
         }
     }
 
@@ -275,12 +327,14 @@ impl<T: TargetExec, O: Oracle> Fuzzer<T, O> {
 
     /// Executes, returning (result, new coverage?, distinct edges).
     fn exec_one(&mut self, input: &[u8]) -> (ExecResult, bool, usize) {
+        self.observer.exec_begin();
         self.map.reset();
         let result = self.target.run(input, &mut self.map);
         self.stats.execs += 1;
         if result.status == ExitStatus::TimedOut {
             self.stats.timeouts += 1;
         }
+        self.observer.exec_end(&result, self.queue.len());
         let edges = self.map.count_edges();
         let new_bits = self.global.merge(&self.map);
         (result, new_bits, edges)
@@ -426,7 +480,7 @@ mod tests {
         struct EvenLen;
         impl Oracle for EvenLen {
             fn examine(&mut self, input: &[u8], _r: &ExecResult) -> bool {
-                input.len() % 2 == 0
+                input.len().is_multiple_of(2)
             }
         }
         let bin = target_binary("int main() { return 0; }");
@@ -440,6 +494,65 @@ mod tests {
         assert!(!stats.oracle_finds.is_empty());
         let set: HashSet<_> = stats.oracle_finds.iter().collect();
         assert_eq!(set.len(), stats.oracle_finds.len(), "finds must be deduped");
+    }
+
+    #[test]
+    fn observer_sees_every_exec_without_perturbing() {
+        #[derive(Default)]
+        struct CountObs {
+            begins: u64,
+            ends: u64,
+            max_queue: usize,
+        }
+        impl FuzzObserver for CountObs {
+            fn exec_begin(&mut self) {
+                self.begins += 1;
+            }
+            fn exec_end(&mut self, _r: &ExecResult, depth: usize) {
+                self.ends += 1;
+                self.max_queue = self.max_queue.max(depth);
+            }
+        }
+        let src = r#"
+            int main() {
+                char buf[4];
+                long n = read_input(buf, 4L);
+                if (n > 0 && buf[0] > 'a') { printf("1"); }
+                if (n > 1 && buf[1] > 'b') { printf("2"); }
+                return 0;
+            }
+        "#;
+        let bin = target_binary(src);
+        let config = FuzzConfig {
+            max_execs: 2_000,
+            seed: 3,
+            ..Default::default()
+        };
+        let run_observed = || {
+            let mut obs = CountObs::default();
+            let stats = Fuzzer::new(
+                BinaryTarget::new(&bin, VmConfig::default()),
+                NoOracle,
+                config.clone(),
+            )
+            .with_observer(&mut obs)
+            .run(&[b"....".to_vec()]);
+            (stats, obs)
+        };
+        let (stats, obs) = run_observed();
+        assert_eq!(obs.begins, stats.execs);
+        assert_eq!(obs.ends, stats.execs);
+        assert!(obs.max_queue >= 1);
+        // And the observed campaign matches the unobserved one exactly.
+        let plain = Fuzzer::new(
+            BinaryTarget::new(&bin, VmConfig::default()),
+            NoOracle,
+            config.clone(),
+        )
+        .run(&[b"....".to_vec()]);
+        assert_eq!(plain.execs, stats.execs);
+        assert_eq!(plain.edges, stats.edges);
+        assert_eq!(plain.corpus_len, stats.corpus_len);
     }
 
     #[test]

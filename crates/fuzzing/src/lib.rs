@@ -40,8 +40,8 @@ pub mod rng;
 
 pub use coverage::{CoverageMap, CoveredHooks, GlobalCoverage, MAP_SIZE};
 pub use fuzzer::{
-    crash_signature, BinaryTarget, CampaignStats, Crash, FuzzConfig, Fuzzer, NoOracle, Oracle,
-    TargetExec,
+    crash_signature, BinaryTarget, CampaignStats, Crash, FuzzConfig, FuzzObserver, Fuzzer,
+    NoOracle, Oracle, TargetExec,
 };
 pub use queue::{Queue, Seed};
 pub use rng::Rng;

@@ -298,7 +298,7 @@ fn cores(cwe: Cwe, i: usize) -> (String, String, String) {
 
         // ---- access child of non-struct pointer ----
         Cwe::Cwe588 => {
-            let near = i % 2 == 0;
+            let near = i.is_multiple_of(2);
             let extra = if near {
                 "struct pair { int a; int b; };\n".to_string()
             } else {
@@ -417,7 +417,7 @@ fn cores(cwe: Cwe, i: usize) -> (String, String, String) {
                     .to_string();
                 (bad, good, no_extra)
             }
-            3 | 4 | 5 => {
+            3..=5 => {
                 // Lossy truncation: implementation-defined, not UB — a
                 // wrong-but-stable result that neither tool reports.
                 let bad = "    long big = atoi(\"70000\") * 100000L;\n    int t = (int)big;\n    printf(\"t=%d\\n\", t);\n"

@@ -379,12 +379,12 @@ impl<'a> FnLowerer<'a> {
         if already_bool {
             v
         } else {
-            self.to_bool(v, &ty)
+            self.lower_bool(v, &ty)
         }
     }
 
     /// `v != 0` as an i32 0/1, for any scalar `v`.
-    fn to_bool(&mut self, v: ValueId, ty: &Type) -> ValueId {
+    fn lower_bool(&mut self, v: ValueId, ty: &Type) -> ValueId {
         let ty = ty.decay();
         match ir_ty(&ty) {
             IrType::I32 => {
@@ -578,7 +578,7 @@ impl<'a> FnLowerer<'a> {
             UnOp::Deref => unreachable!("deref is an lvalue"),
             UnOp::Not => {
                 let (v, vty) = self.rvalue(operand);
-                let b = self.to_bool(v, &vty);
+                let b = self.lower_bool(v, &vty);
                 let one = self.const_i32(1);
                 (
                     self.bin(IrType::I32, BinKind::Xor, b, one, false),
@@ -1241,11 +1241,7 @@ fn collect_addressed(s: &Stmt, checked: &CheckedProgram, out: &mut HashSet<Local
         }
     }
     match &s.kind {
-        StmtKind::Decl { init, .. } => {
-            if let Some(e) = init {
-                walk_expr(e, checked, out);
-            }
-        }
+        StmtKind::Decl { init: Some(e), .. } => walk_expr(e, checked, out),
         StmtKind::Expr(e) => walk_expr(e, checked, out),
         StmtKind::If { cond, then, els } => {
             walk_expr(cond, checked, out);

@@ -164,7 +164,7 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
     }
     // Prepend junk initializers to the entry block.
     let entry = &mut f.blocks[0];
-    inits.extend(entry.insts.drain(..));
+    inits.append(&mut entry.insts);
     entry.insts = inits;
 }
 

@@ -425,11 +425,7 @@ fn algebraic(
                 return Some(Inst::Copy { dst, ty, src: b });
             }
         }
-        Sub => {
-            if cb == Some(0) {
-                return Some(Inst::Copy { dst, ty, src: a });
-            }
-        }
+        Sub if cb == Some(0) => return Some(Inst::Copy { dst, ty, src: a }),
         Mul => {
             if cb == Some(1) {
                 return Some(Inst::Copy { dst, ty, src: a });
@@ -441,16 +437,8 @@ fn algebraic(
                 return Some(zero(dst));
             }
         }
-        DivS | DivU => {
-            if cb == Some(1) {
-                return Some(Inst::Copy { dst, ty, src: a });
-            }
-        }
-        And => {
-            if cb == Some(0) || ca == Some(0) {
-                return Some(zero(dst));
-            }
-        }
+        DivS | DivU if cb == Some(1) => return Some(Inst::Copy { dst, ty, src: a }),
+        And if cb == Some(0) || ca == Some(0) => return Some(zero(dst)),
         Or | Xor => {
             if cb == Some(0) {
                 return Some(Inst::Copy { dst, ty, src: a });
@@ -459,11 +447,7 @@ fn algebraic(
                 return Some(Inst::Copy { dst, ty, src: b });
             }
         }
-        Shl | ShrS | ShrU => {
-            if cb == Some(0) {
-                return Some(Inst::Copy { dst, ty, src: a });
-            }
-        }
+        Shl | ShrS | ShrU if cb == Some(0) => return Some(Inst::Copy { dst, ty, src: a }),
         _ => {}
     }
     None

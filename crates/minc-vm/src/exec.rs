@@ -720,11 +720,13 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
                 let avail = (self.input.len() - self.input_pos) as i64;
                 let take = n.clamp(0, avail);
                 if self.bulk_ok(buf, take as u64, true) {
+                    self.s.bulk_ops += 1;
                     let t = take as usize;
                     let bytes = &self.input[self.input_pos..self.input_pos + t];
                     self.s.mem.write_bytes(buf, bytes);
                     self.input_pos += t;
                 } else {
+                    self.s.fallback_ops += 1;
                     for i in 0..take {
                         self.check_mem(buf.wrapping_add(i as u64), 1, true, loc)?;
                         self.s
@@ -751,10 +753,12 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
             Memcpy => {
                 let (d, s, n) = (args[0], args[1], args[2]);
                 if self.bulk_ok(s, n, false) && self.bulk_ok(d, n, true) {
+                    self.s.bulk_ops += 1;
                     // Memory::copy preserves the byte-forward overlap
                     // semantics of the per-byte loop below.
                     self.s.mem.copy(d, s, n);
                 } else {
+                    self.s.fallback_ops += 1;
                     for i in 0..n {
                         self.check_mem(s.wrapping_add(i), 1, false, loc)?;
                         self.check_mem(d.wrapping_add(i), 1, true, loc)?;
@@ -771,8 +775,10 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
             Memset => {
                 let (d, v, n) = (args[0], args[1] as u8, args[2]);
                 if self.bulk_ok(d, n, true) {
+                    self.s.bulk_ops += 1;
                     self.s.mem.fill(d, v, n);
                 } else {
+                    self.s.fallback_ops += 1;
                     for i in 0..n {
                         self.check_mem(d.wrapping_add(i), 1, true, loc)?;
                         self.s.mem.write_u8(d.wrapping_add(i), v);

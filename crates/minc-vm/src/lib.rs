@@ -38,4 +38,4 @@ pub use exec::{execute, execute_with_hooks, VmConfig};
 pub use hooks::{FreeDisposition, Hooks, Loc, NoHooks, PoisonUse};
 pub use memory::Memory;
 pub use result::{ExecResult, ExitStatus, Fault, SanitizerKind, Trap};
-pub use session::ExecSession;
+pub use session::{ExecSession, SessionStats};

@@ -51,6 +51,10 @@ pub struct Memory {
     epoch: u64,
     cached_no: u64,
     cached_idx: u32,
+    /// Dirty pages restored from their pristine snapshot (cumulative).
+    pub(crate) restored: u64,
+    /// Pages materialized with fresh junk (cumulative).
+    pub(crate) materialized: u64,
 }
 
 impl Memory {
@@ -63,6 +67,8 @@ impl Memory {
             epoch: 0,
             cached_no: 0,
             cached_idx: NO_PAGE,
+            restored: 0,
+            materialized: 0,
         }
     }
 
@@ -96,6 +102,7 @@ impl Memory {
                     if page.dirty {
                         page.data.copy_from_slice(&page.pristine);
                         page.dirty = false;
+                        self.restored += 1;
                     }
                     page.epoch = self.epoch;
                 }
@@ -108,6 +115,7 @@ impl Memory {
                     *b = Self::junk_byte(self.seed, base + i as u64);
                 }
                 let data = p.into_boxed_slice();
+                self.materialized += 1;
                 let idx = self.pages.len() as u32;
                 self.pages.push(Page {
                     pristine: data.clone(),

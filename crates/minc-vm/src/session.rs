@@ -60,6 +60,39 @@ pub(crate) struct Activation {
     pub(crate) ret_dst: Option<ValueId>,
 }
 
+/// Cumulative execution statistics of one [`ExecSession`] — intrinsic
+/// plain-`u64` counters, cheap enough to maintain unconditionally (the
+/// telemetry layer samples them per job and turns deltas into metrics;
+/// the VM itself has no telemetry dependency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Executions performed by this session.
+    pub runs: u64,
+    /// Dirty pages lazily restored from their pristine snapshot — the
+    /// per-reset write-set size, summed over all resets.
+    pub pages_restored: u64,
+    /// Pages materialized with fresh junk (first-touch cost).
+    pub pages_materialized: u64,
+    /// Builtin memory ops (memcpy/memset/read_input) that took the
+    /// page-chunked bulk path.
+    pub bulk_builtin_ops: u64,
+    /// Builtin memory ops that fell back to the per-byte loop (poison
+    /// tracking active, or a range that may trap part-way).
+    pub fallback_builtin_ops: u64,
+}
+
+impl SessionStats {
+    /// Folds another session's statistics into this one (e.g. summing
+    /// across the per-implementation sessions of one differential job).
+    pub fn merge(&mut self, other: SessionStats) {
+        self.runs += other.runs;
+        self.pages_restored += other.pages_restored;
+        self.pages_materialized += other.pages_materialized;
+        self.bulk_builtin_ops += other.bulk_builtin_ops;
+        self.fallback_builtin_ops += other.fallback_builtin_ops;
+    }
+}
+
 /// A reusable per-binary execution context (persistent mode).
 ///
 /// Create one per [`Binary`] and call [`run`](ExecSession::run) for each
@@ -77,6 +110,9 @@ pub struct ExecSession {
     pub(crate) frame_pool: Vec<Activation>,
     pub(crate) free_lists: HashMap<u64, Vec<u64>>,
     pub(crate) live_chunks: HashMap<u64, u64>,
+    pub(crate) runs: u64,
+    pub(crate) bulk_ops: u64,
+    pub(crate) fallback_ops: u64,
 }
 
 impl ExecSession {
@@ -89,6 +125,9 @@ impl ExecSession {
             frame_pool: Vec::new(),
             free_lists: HashMap::new(),
             live_chunks: HashMap::new(),
+            runs: 0,
+            bulk_ops: 0,
+            fallback_ops: 0,
         }
     }
 
@@ -99,8 +138,12 @@ impl ExecSession {
         if binary.personality.seed != self.seed {
             // Session built for a different implementation: the junk
             // pattern would be wrong, so rebuild memory from scratch.
+            // Page counters stay cumulative across the rebuild.
+            let (restored, materialized) = (self.mem.restored, self.mem.materialized);
             self.seed = binary.personality.seed;
             self.mem = Memory::new(&binary.personality);
+            self.mem.restored = restored;
+            self.mem.materialized = materialized;
         } else {
             self.mem.reset();
         }
@@ -128,6 +171,7 @@ impl ExecSession {
         hooks: &mut H,
     ) -> ExecResult {
         self.prepare(binary);
+        self.runs += 1;
         run_in_session(self, binary, input, config, hooks)
     }
 
@@ -135,6 +179,17 @@ impl ExecSession {
     /// mark across all runs so far).
     pub fn resident_pages(&self) -> usize {
         self.mem.page_count()
+    }
+
+    /// Cumulative execution statistics (see [`SessionStats`]).
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            runs: self.runs,
+            pages_restored: self.mem.restored,
+            pages_materialized: self.mem.materialized,
+            bulk_builtin_ops: self.bulk_ops,
+            fallback_builtin_ops: self.fallback_ops,
+        }
     }
 }
 
@@ -235,6 +290,44 @@ mod tests {
         // Junk-seed mismatch: the session must rebuild, not misread junk.
         assert_eq!(s.run(&c, b"", &cfg), execute(&c, b"", &cfg));
         assert_eq!(s.run(&a, b"", &cfg), execute(&a, b"", &cfg));
+    }
+
+    #[test]
+    fn stats_count_runs_pages_and_bulk_ops() {
+        let b = bin(
+            r#"
+            int main() {
+                char* p = (char*)malloc(9000L);
+                memset(p, 3, 9000L);
+                char q[16];
+                memcpy(q, p, 16L);
+                printf("%d\n", (int)q[7]);
+                free(p);
+                return 0;
+            }
+            "#,
+            "gcc-O1",
+        );
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&b);
+        assert_eq!(s.stats(), SessionStats::default());
+        s.run(&b, b"", &cfg);
+        let first = s.stats();
+        assert_eq!(first.runs, 1);
+        assert!(first.pages_materialized >= 3, "{first:?}");
+        assert_eq!(first.pages_restored, 0, "nothing to restore on run 1");
+        assert!(first.bulk_builtin_ops >= 2, "memset + memcpy: {first:?}");
+        s.run(&b, b"", &cfg);
+        let second = s.stats();
+        assert_eq!(second.runs, 2);
+        assert!(
+            second.pages_restored > 0,
+            "run 2 must lazily restore run 1's dirty pages: {second:?}"
+        );
+        assert_eq!(
+            second.pages_materialized, first.pages_materialized,
+            "no new pages on an identical re-run"
+        );
     }
 
     #[test]

@@ -1015,11 +1015,7 @@ mod tests {
         }
         fn walk_stmt(s: &Stmt, seen: &mut std::collections::HashSet<u32>) {
             match &s.kind {
-                StmtKind::Decl { init, .. } => {
-                    if let Some(e) = init {
-                        walk_expr(e, seen);
-                    }
-                }
+                StmtKind::Decl { init: Some(e), .. } => walk_expr(e, seen),
                 StmtKind::Expr(e) => walk_expr(e, seen),
                 StmtKind::If { cond, then, els } => {
                     walk_expr(cond, seen);

@@ -149,9 +149,7 @@ pub fn expr(e: &Expr) -> String {
             } else if *value < 0 {
                 // A negative literal only arises from folding; print in a
                 // re-parseable form.
-                format!("({value})")
-                    .replace("(-", "(0 - ")
-                    .replace(')', ")")
+                format!("({value})").replace("(-", "(0 - ")
             } else {
                 format!("{value}")
             }

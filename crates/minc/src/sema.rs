@@ -879,7 +879,7 @@ impl<'p> Checker<'p> {
             }
             ExprKind::Arrow { base, field } => {
                 let bt = self.check_expr(ctx, base)?.decay();
-                let Some(Type::Struct(name)) = bt.pointee().cloned().map(|t| t) else {
+                let Some(Type::Struct(name)) = bt.pointee().cloned() else {
                     return Err(err(base.span, format!("`->` applied to `{bt}`")));
                 };
                 self.field_type(&name, field, e.span)

@@ -276,7 +276,7 @@ impl<'a> Analyzer<'a> {
         b: Vec<HashMap<String, VarState>>,
     ) {
         let mut merged = Vec::with_capacity(a.len());
-        for (sa, sb) in a.into_iter().zip(b.into_iter()) {
+        for (sa, sb) in a.into_iter().zip(b) {
             let mut out = HashMap::new();
             for (k, va) in sa {
                 let m = match sb.get(&k) {
@@ -934,10 +934,9 @@ fn always_returns(s: &Stmt) -> bool {
     match &s.kind {
         StmtKind::Return(_) => true,
         StmtKind::Block(stmts) => stmts.iter().any(always_returns),
-        StmtKind::If { then, els, .. } => match els {
-            Some(e) => always_returns(then) && always_returns(e),
-            None => false,
-        },
+        StmtKind::If {
+            then, els: Some(e), ..
+        } => always_returns(then) && always_returns(e),
         _ => false,
     }
 }

@@ -222,7 +222,14 @@ fn bug(name: &str, idx: usize, kind: BugKind, cmd: u8) -> InjectedBug {
 pub fn catalog() -> Vec<TargetSpec> {
     use BugKind::*;
     // (name, input type, version, magic, [(kind, cmd)...])
-    let defs: Vec<(&str, &str, &str, [u8; 2], Vec<BugKind>)> = vec![
+    type Def = (
+        &'static str,
+        &'static str,
+        &'static str,
+        [u8; 2],
+        Vec<BugKind>,
+    );
+    let defs: Vec<Def> = vec![
         (
             "tcpdump",
             "Network packet",

@@ -1,0 +1,120 @@
+//! Injectable time sources.
+//!
+//! Every timestamp and latency the telemetry layer records flows through
+//! the [`Clock`] trait, so tests (and the campaign determinism check) can
+//! substitute a [`TestClock`] and obtain byte-identical event streams
+//! across runs, while production uses the monotonic wall clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond time source.
+///
+/// Implementations must be cheap (`now_micros` sits on per-exec paths)
+/// and thread-safe; values are relative to an arbitrary epoch, so only
+/// differences and ordering are meaningful.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Microseconds since this clock's epoch.
+    fn now_micros(&self) -> u64;
+}
+
+/// The production clock: microseconds since construction, via
+/// [`Instant`] (monotonic, immune to wall-clock steps).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    start: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+/// A deterministic clock for tests: returns a programmed value,
+/// optionally advancing by a fixed step per reading.
+///
+/// With `step == 0` (see [`TestClock::fixed`]) every reading is the same
+/// value, which makes event streams independent of how many readings any
+/// code path takes — the strongest reproducibility mode, used by the
+/// campaign determinism test.
+#[derive(Debug)]
+pub struct TestClock {
+    now: AtomicU64,
+    step: u64,
+}
+
+impl TestClock {
+    /// A clock frozen at `at` microseconds.
+    pub fn fixed(at: u64) -> Self {
+        TestClock {
+            now: AtomicU64::new(at),
+            step: 0,
+        }
+    }
+
+    /// A clock that starts at `start` and advances `step` microseconds on
+    /// every reading.
+    pub fn stepping(start: u64, step: u64) -> Self {
+        TestClock {
+            now: AtomicU64::new(start),
+            step,
+        }
+    }
+
+    /// Manually advances the clock by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.now.fetch_add(micros, Ordering::Relaxed);
+    }
+}
+
+impl Clock for TestClock {
+    fn now_micros(&self) -> u64 {
+        self.now.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_never_goes_backward() {
+        let c = MonotonicClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fixed_clock_is_constant() {
+        let c = TestClock::fixed(42);
+        assert_eq!(c.now_micros(), 42);
+        assert_eq!(c.now_micros(), 42);
+        c.advance(8);
+        assert_eq!(c.now_micros(), 50);
+    }
+
+    #[test]
+    fn stepping_clock_advances_per_reading() {
+        let c = TestClock::stepping(100, 10);
+        assert_eq!(c.now_micros(), 100);
+        assert_eq!(c.now_micros(), 110);
+        assert_eq!(c.now_micros(), 120);
+    }
+}

@@ -1,0 +1,314 @@
+//! The metric registry: named atomic counters, gauges, and log2-bucketed
+//! histograms.
+//!
+//! Handles are `Arc`s resolved once by name and then touched with plain
+//! relaxed atomic operations, so instrumented hot loops never take a lock
+//! or hash a string. Snapshots iterate a `BTreeMap`, so rendering order
+//! is the sorted name order — a precondition for the campaign's
+//! byte-identical metrics streams.
+
+use compdiff::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if larger (high-water mark).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per possible bit length of a `u64`
+/// (bucket `b` holds values whose bit length is `b`, i.e. the log2
+/// bucket `[2^(b-1), 2^b)`; bucket 0 holds exactly the value 0).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (latencies in
+/// microseconds, page counts, queue depths).
+///
+/// Recording is two relaxed atomic adds — no floating point, no locks —
+/// which keeps it viable on per-execution paths.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The log2 bucket index of a value: its bit length.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The smallest value that lands in bucket `b` (its printable label).
+fn bucket_floor(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The bucket floor below which at least `q` (0.0..=1.0) of the
+    /// samples fall — a coarse quantile (log2 resolution), `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_floor(b));
+            }
+        }
+        Some(bucket_floor(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// JSON form: count, sum, coarse p50/p99, and the non-empty buckets
+    /// as `[bucket_floor, count]` pairs in ascending order.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, c)| {
+                let c = c.load(Ordering::Relaxed);
+                (c > 0).then(|| {
+                    Json::Array(vec![Json::Int(bucket_floor(b) as i64), Json::Int(c as i64)])
+                })
+            })
+            .collect();
+        Json::obj(vec![
+            ("count", Json::Int(self.count() as i64)),
+            ("sum", Json::Int(self.sum() as i64)),
+            (
+                "p50",
+                self.quantile(0.5)
+                    .map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
+            (
+                "p99",
+                self.quantile(0.99)
+                    .map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+}
+
+/// The named-metric registry.
+///
+/// Lookup creates on first use; the maps are `BTreeMap`s so snapshots
+/// enumerate metrics in sorted name order regardless of registration
+/// order (which can vary with thread scheduling).
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.counters.lock().unwrap();
+        Arc::clone(m.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.gauges.lock().unwrap();
+        Arc::clone(m.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.histograms.lock().unwrap();
+        Arc::clone(m.entry(name.to_string()).or_default())
+    }
+
+    /// A point-in-time JSON snapshot of every metric, keys sorted.
+    pub fn snapshot(&self) -> Json {
+        let counters = Json::Object(
+            self.counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Int(v.get() as i64)))
+                .collect(),
+        );
+        let gauges = Json::Object(
+            self.gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Int(v.get() as i64)))
+                .collect(),
+        );
+        let histograms = Json::Object(
+            self.histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = MetricRegistry::new();
+        let c = r.counter("execs");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("execs").get(), 5, "same handle by name");
+        let g = r.gauge("queue_depth");
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(1), 1);
+        assert_eq!(bucket_floor(11), 1024);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        // 3 of 5 samples are <= 3, so p50 falls in bucket_of(2..=3) = 2.
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(1.0), Some(512), "bucket floor of 1000");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_parseable() {
+        let r = MetricRegistry::new();
+        r.counter("zebra").inc();
+        r.counter("alpha").add(2);
+        r.gauge("mid").set(9);
+        r.histogram("lat_us").record(300);
+        let snap = r.snapshot();
+        let rendered = snap.render();
+        let alpha = rendered.find("alpha").unwrap();
+        let zebra = rendered.find("zebra").unwrap();
+        assert!(alpha < zebra, "sorted key order: {rendered}");
+        let back = compdiff::Json::parse(&rendered).unwrap();
+        assert_eq!(
+            back.get("counters")
+                .and_then(|c| c.get("alpha"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let hist = back
+            .get("histograms")
+            .and_then(|h| h.get("lat_us"))
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(300));
+    }
+}

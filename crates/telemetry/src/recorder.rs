@@ -1,0 +1,119 @@
+//! Event recording: timestamped JSONL streams and spans.
+//!
+//! A [`Recorder`] receives named events with structured fields and an
+//! explicit timestamp (taken from the injected clock by the
+//! [`Telemetry`](crate::Telemetry) facade). The production sink is
+//! [`JsonlRecorder`] — one compact `compdiff::json` object per line — and
+//! the disabled path is [`NoopRecorder`], whose `enabled()` lets call
+//! sites skip building field vectors entirely.
+
+use compdiff::Json;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// An event sink.
+pub trait Recorder: Send + Sync {
+    /// Whether events are consumed at all. Call sites with non-trivial
+    /// field construction should check this first; when it returns
+    /// `false`, [`record`](Recorder::record) must be a no-op.
+    fn enabled(&self) -> bool;
+
+    /// Consumes one event. `fields` are appended after the standard
+    /// `ev` / `t_us` keys.
+    fn record(&self, name: &str, t_us: u64, fields: Vec<(&str, Json)>);
+
+    /// Flushes any buffering to the underlying sink.
+    fn flush(&self) {}
+}
+
+/// The disabled recorder: drops everything.
+#[derive(Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _name: &str, _t_us: u64, _fields: Vec<(&str, Json)>) {}
+}
+
+/// Streams events as compact JSON objects, one per line:
+/// `{"ev":"<name>","t_us":<t>,...fields}`.
+pub struct JsonlRecorder<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlRecorder<W> {
+    /// Wraps a writer (a `File`, a `Vec<u8>` in tests, ...).
+    pub fn new(out: W) -> Self {
+        JsonlRecorder {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Consumes the recorder and returns the writer (for tests that
+    /// inspect an in-memory buffer).
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().unwrap()
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, name: &str, t_us: u64, fields: Vec<(&str, Json)>) {
+        let mut obj = vec![
+            ("ev".to_string(), Json::Str(name.to_string())),
+            ("t_us".to_string(), Json::Int(t_us as i64)),
+        ];
+        obj.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        let line = Json::Object(obj).render();
+        let mut out = self.out.lock().unwrap();
+        // Telemetry must never take down the instrumented program; a full
+        // disk simply stops the stream.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let rec = JsonlRecorder::new(Vec::new());
+        rec.record(
+            "job",
+            42,
+            vec![
+                ("target", Json::Str("mujs".into())),
+                ("execs", Json::Int(10)),
+            ],
+        );
+        rec.record("done", 43, vec![]);
+        let buf = rec.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("ev").and_then(Json::as_str), Some("job"));
+        assert_eq!(first.get("t_us").and_then(Json::as_u64), Some(42));
+        assert_eq!(first.get("execs").and_then(Json::as_u64), Some(10));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("ev").and_then(Json::as_str), Some("done"));
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.record("x", 0, vec![]); // must not panic
+    }
+}

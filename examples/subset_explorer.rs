@@ -31,7 +31,7 @@ fn main() {
             (d, names)
         })
         .collect();
-    pairs.sort_by(|a, b| b.0.cmp(&a.0));
+    pairs.sort_by_key(|p| std::cmp::Reverse(p.0));
 
     println!("all 45 pairs, ranked (cost ~2x):");
     for (d, names) in &pairs {

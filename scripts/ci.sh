@@ -8,11 +8,17 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
+echo "== cargo clippy --offline -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
+
+echo "== telemetry determinism =="
+cargo test -q --offline -p campaign metrics_stream_is_deterministic
 
 echo "== cargo build --benches --offline =="
 cargo build --benches --offline --workspace
