@@ -7,6 +7,8 @@
 //! compdiff run  prog.mc [--input STR|--input-file F] [--impls gcc-O0,clang-O3] [--minimize]
 //! compdiff fuzz prog.mc [--execs N] [--seed N] [--feedback] [--max-len N]
 //! compdiff scan prog.mc              # static analyzers + sanitizers + CompDiff
+//! compdiff lint prog.mc              # IR-level unstable-code lint
+//! compdiff lint --all                #   ... over the whole target catalog
 //! compdiff campaign [--workers N] [--execs-per-target N] [--resume DIR]
 //! ```
 
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "fuzz" => cmd_fuzz(&args[1..]),
         "scan" => cmd_scan(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -61,6 +64,10 @@ USAGE:
       --max-len <n>        maximum input length (default 64)
       --feedback           NEZHA-style divergence feedback
   compdiff scan <prog.mc>                static analyzers + sanitizers + CompDiff
+  compdiff lint <prog.mc> [options]      IR-level unstable-code lint
+      --all                lint every catalog target instead of one file
+      --impls <a,b,...>    provenance implementations (default: all ten)
+      --workers <n>        threads for --all (default 4)
   compdiff campaign [options]            parallel campaign over the target catalog
       --workers <n>          worker threads (default 4)
       --execs-per-target <n> fuzz-binary budget per target (default 2000)
@@ -241,6 +248,57 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
         println!("{}", report.render());
     } else {
         println!("  stable on the empty input (try `compdiff fuzz`)");
+    }
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let lint = staticheck_ir::UnstableLint {
+        impls: parse_impls(args)?,
+    };
+    if !has_flag(args, "--all") {
+        let src = load_source(args)?;
+        let findings = lint.run_source(&src).map_err(|e| e.to_string())?;
+        if findings.is_empty() {
+            println!("no findings");
+        } else {
+            print!("{}", staticheck_ir::render(&findings));
+        }
+        return Ok(());
+    }
+
+    // Whole catalog: lint targets in parallel, print in catalog order so
+    // the output is deterministic (the CI gate diffs two runs).
+    let workers: usize = match flag_value(args, "--workers") {
+        Some(v) => v.parse().map_err(|_| format!("bad --workers `{v}`"))?,
+        None => 4,
+    };
+    let specs = targets::catalog();
+    let n = specs.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let outputs = std::sync::Mutex::new(vec![None::<String>; n]);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1).min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let target = targets::build(&specs[i]);
+                let report = match lint.run_source(&target.src) {
+                    Ok(findings) if findings.is_empty() => "  no findings\n".to_string(),
+                    Ok(findings) => staticheck_ir::render(&findings)
+                        .lines()
+                        .map(|l| format!("  {l}\n"))
+                        .collect(),
+                    Err(e) => format!("  frontend error: {e}\n"),
+                };
+                outputs.lock().unwrap()[i] = Some(format!("== {} ==\n{report}", specs[i].name));
+            });
+        }
+    });
+    for o in outputs.into_inner().unwrap() {
+        print!("{}", o.expect("every target linted"));
     }
     Ok(())
 }

@@ -194,6 +194,18 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
     let selected: Vec<Target> = select_targets(cfg)?;
     let names: Vec<String> = selected.iter().map(|t| t.spec.name.to_string()).collect();
 
+    // Pre-fuzz static pass: lint every selected target so the metrics
+    // snapshot carries the static-channel evidence (`lint.findings.*`)
+    // next to the dynamic divergence counters. Metrics only — no events —
+    // so the event stream stays byte-identical run to run.
+    let lint = staticheck_ir::UnstableLint::new();
+    for t in &selected {
+        let t0 = tel.now_micros();
+        if let Ok(findings) = lint.run_source(&t.src) {
+            ctel.record_lint(&findings, tel.now_micros().saturating_sub(t0));
+        }
+    }
+
     let header = CampaignHeader {
         seed: cfg.seed,
         execs_per_target: cfg.execs_per_target,

@@ -32,6 +32,8 @@ pub struct CampaignTelemetry {
     pub cache_hits: Arc<Gauge>,
     /// `campaign.cache_misses` — compiles performed (set at campaign end).
     pub cache_misses: Arc<Gauge>,
+    /// `lint.scan_us` — per-target pre-fuzz unstable-code lint latency.
+    pub lint_scan_us: Arc<Histogram>,
     /// `fuzz.execs` — fuzz-binary executions.
     pub fuzz_execs: Arc<Counter>,
     /// `fuzz.exec_us` — fuzz-binary execution latency.
@@ -77,6 +79,7 @@ impl CampaignTelemetry {
             checkpoint_write_us: r.histogram("campaign.checkpoint_write_us"),
             cache_hits: r.gauge("campaign.cache_hits"),
             cache_misses: r.gauge("campaign.cache_misses"),
+            lint_scan_us: r.histogram("lint.scan_us"),
             fuzz_execs: r.counter("fuzz.execs"),
             fuzz_exec_us: r.histogram("fuzz.exec_us"),
             queue_depth_max: r.gauge("fuzz.queue_depth_max"),
@@ -116,6 +119,19 @@ impl CampaignTelemetry {
         self.pages_materialized.add(vm.pages_materialized);
         self.bulk_builtin_ops.add(vm.bulk_builtin_ops);
         self.fallback_builtin_ops.add(vm.fallback_builtin_ops);
+    }
+
+    /// Records one pre-fuzz lint scan: its duration plus one count per
+    /// reported defect class (`lint.findings.<defect>`). Counters are
+    /// resolved by name so only defect classes that were actually
+    /// reported appear in the registry snapshot.
+    pub fn record_lint(&self, findings: &[staticheck_ir::LintFinding], scan_us: u64) {
+        self.lint_scan_us.record(scan_us);
+        let r = self.tel.registry();
+        for f in findings {
+            r.counter(&format!("lint.findings.{}", f.finding.defect))
+                .add(1);
+        }
     }
 
     /// Publishes the binary cache's final `(hits, misses)`.

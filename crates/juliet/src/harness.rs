@@ -1,10 +1,11 @@
 //! The evaluation harness behind Tables 2 and 3 and Figure 1.
 //!
 //! For each test it runs: the three static analyzer analogs (bad + good
-//! variants, for detection and false-positive rates), the three sanitizer
-//! analogs (bad + good), and CompDiff over the ten compiler
-//! implementations (bad + good, recording the per-implementation hash
-//! vector that Figure 1's subset analysis consumes).
+//! variants, for detection and false-positive rates), the IR-level
+//! CompDiff lint (the fourth static column), the three sanitizer analogs
+//! (bad + good), and CompDiff over the ten compiler implementations
+//! (bad + good, recording the per-implementation hash vector that
+//! Figure 1's subset analysis consumes).
 
 use crate::generators::generate;
 use crate::model::{Cwe, Group, JulietTest};
@@ -36,6 +37,10 @@ pub struct TestEval {
     pub static_det: [bool; 3],
     /// Static tools: false alarm on good?
     pub static_fp: [bool; 3],
+    /// CompDiff lint (staticheck-ir): detected on bad?
+    pub lint_det: bool,
+    /// CompDiff lint: false alarm on good?
+    pub lint_fp: bool,
     /// Sanitizers: detected on bad? (asan, ubsan, msan)
     pub san_det: [bool; 3],
     /// Sanitizers: false alarm on good?
@@ -79,12 +84,19 @@ pub fn evaluate(test: &JulietTest, vm: &VmConfig) -> TestEval {
     let tools = [Tool::CoveritySim, Tool::CppcheckSim, Tool::InferSim];
     let mut static_det = [false; 3];
     let mut static_fp = [false; 3];
+    let lint = staticheck_ir::UnstableLint::new();
+    let mut lint_det = false;
+    let mut lint_fp = false;
     if let Ok(checked) = minc::check(&test.bad) {
         for (t, out) in tools.iter().zip(static_det.iter_mut()) {
             *out = staticheck::run_tool(&checked, *t)
                 .iter()
                 .any(|f| relevant.contains(&f.defect));
         }
+        lint_det = lint
+            .run(&checked)
+            .iter()
+            .any(|f| relevant.contains(&f.finding.defect));
     }
     if let Ok(checked) = minc::check(&test.good) {
         for (t, out) in tools.iter().zip(static_fp.iter_mut()) {
@@ -92,6 +104,10 @@ pub fn evaluate(test: &JulietTest, vm: &VmConfig) -> TestEval {
                 .iter()
                 .any(|f| relevant.contains(&f.defect));
         }
+        lint_fp = lint
+            .run(&checked)
+            .iter()
+            .any(|f| relevant.contains(&f.finding.defect));
     }
 
     // Sanitizers (separate instrumented builds, like -fsanitize).
@@ -137,6 +153,8 @@ pub fn evaluate(test: &JulietTest, vm: &VmConfig) -> TestEval {
         cwe: test.cwe,
         static_det,
         static_fp,
+        lint_det,
+        lint_fp,
         san_det,
         san_fp,
         compdiff_det,
@@ -156,6 +174,10 @@ pub struct Table3Row {
     pub static_det: [f64; 3],
     /// False-positive % per static tool.
     pub static_fp: [f64; 3],
+    /// CompDiff lint detection %.
+    pub lint_det: f64,
+    /// CompDiff lint false-positive %.
+    pub lint_fp: f64,
     /// Detection % per sanitizer (asan, ubsan, msan).
     pub san_det: [f64; 3],
     /// Detection % of the combined sanitizers.
@@ -201,6 +223,8 @@ pub fn table3(evals: &[TestEval]) -> Table3 {
                 pct(count(&|e| e.static_fp[1]), n),
                 pct(count(&|e| e.static_fp[2]), n),
             ];
+            let lint_det = pct(count(&|e| e.lint_det), n);
+            let lint_fp = pct(count(&|e| e.lint_fp), n);
             let san_det = [
                 pct(count(&|e| e.san_det[0]), n),
                 pct(count(&|e| e.san_det[1]), n),
@@ -215,6 +239,8 @@ pub fn table3(evals: &[TestEval]) -> Table3 {
                 tests: n,
                 static_det,
                 static_fp,
+                lint_det,
+                lint_fp,
                 san_det,
                 san_total,
                 compdiff,
@@ -231,12 +257,13 @@ impl Table3 {
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "{:<24} {:>6} | {:>9} {:>9} {:>9} | {:>5} {:>5} {:>5} {:>6} | {:>8} {:>7} {:>6}\n",
+            "{:<24} {:>6} | {:>9} {:>9} {:>9} {:>9} | {:>5} {:>5} {:>5} {:>6} | {:>8} {:>7} {:>6}\n",
             "Description",
             "#Tests",
             "Coverity",
             "Cppcheck",
             "Infer",
+            "CD-lint",
             "ASan",
             "UBSan",
             "MSan",
@@ -245,11 +272,11 @@ impl Table3 {
             "#Unique",
             "CD-FP"
         ));
-        s.push_str(&"-".repeat(130));
+        s.push_str(&"-".repeat(140));
         s.push('\n');
         for r in &self.rows {
             s.push_str(&format!(
-                "{:<24} {:>6} | {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) | {:>4.0}% {:>4.0}% {:>4.0}% {:>5.0}% | {:>7.0}% {:>7} {:>6}\n",
+                "{:<24} {:>6} | {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) | {:>4.0}% {:>4.0}% {:>4.0}% {:>5.0}% | {:>7.0}% {:>7} {:>6}\n",
                 r.group.label(),
                 r.tests,
                 r.static_det[0],
@@ -258,6 +285,8 @@ impl Table3 {
                 r.static_fp[1],
                 r.static_det[2],
                 r.static_fp[2],
+                r.lint_det,
+                r.lint_fp,
                 r.san_det[0],
                 r.san_det[1],
                 r.san_det[2],
@@ -289,6 +318,8 @@ impl Table3 {
                             ("tests", Json::Int(r.tests as i64)),
                             ("static_det", floats(&r.static_det)),
                             ("static_fp", floats(&r.static_fp)),
+                            ("lint_det", Json::Float(r.lint_det)),
+                            ("lint_fp", Json::Float(r.lint_fp)),
                             ("san_det", floats(&r.san_det)),
                             ("san_total", Json::Float(r.san_total)),
                             ("compdiff", Json::Float(r.compdiff)),
@@ -358,6 +389,22 @@ mod tests {
         assert!(e.compdiff_det, "CompDiff must catch printed uninit");
         assert!(!e.san_det[2], "MSan must miss the print-only case");
         assert!(!e.compdiff_fp, "no false positive on the good variant");
+    }
+
+    #[test]
+    fn uninit_print_variant_is_lints() {
+        // The IR lint's fourth column: the printed-uninit variant is a
+        // promoted-slot junk read, caught by both lint channels.
+        let e = eval_cwe(Cwe::Cwe457, 0);
+        assert!(e.lint_det, "CompDiff lint must catch printed uninit");
+        // Variant 0's good program initializes inside a single-iteration
+        // loop — the generator's deliberate may-uninit trap. The lint is a
+        // may-analysis, so it takes the bait just like coverity/infer.
+        assert!(e.lint_fp, "loop-init good variant is a known FP trap");
+        // Variant 2's good program initializes directly: no false alarm.
+        let e2 = eval_cwe(Cwe::Cwe457, 2);
+        assert!(e2.lint_det);
+        assert!(!e2.lint_fp, "directly-initialized good variant is clean");
     }
 
     #[test]

@@ -478,15 +478,32 @@ pub struct IrFunction {
     pub reg_count: u32,
     /// Register types (index = `ValueId.0`).
     pub reg_tys: Vec<IrType>,
+    /// 1-based source line each register was allocated for (index =
+    /// `ValueId.0`; 0 = no source attribution). Stamped by the lowerer,
+    /// carried through passes untouched — registers are never renumbered —
+    /// so optimized IR stays mappable back to source lines. This is the
+    /// span channel the rewrite-provenance log and the IR lint rely on.
+    pub reg_lines: Vec<u32>,
 }
 
 impl IrFunction {
-    /// Allocates a fresh register of type `ty`.
+    /// Allocates a fresh register of type `ty` with no source attribution.
     pub fn new_reg(&mut self, ty: IrType) -> ValueId {
+        self.new_reg_at(ty, 0)
+    }
+
+    /// Allocates a fresh register of type `ty` attributed to source `line`.
+    pub fn new_reg_at(&mut self, ty: IrType, line: u32) -> ValueId {
         let id = ValueId(self.reg_count);
         self.reg_count += 1;
         self.reg_tys.push(ty);
+        self.reg_lines.push(line);
         id
+    }
+
+    /// Source line for register `v` (0 if unattributed).
+    pub fn line_of(&self, v: ValueId) -> u32 {
+        self.reg_lines.get(v.0 as usize).copied().unwrap_or(0)
     }
 
     /// Allocates a fresh block, returning its id.
@@ -623,6 +640,7 @@ mod tests {
             slots: vec![],
             reg_count: 0,
             reg_tys: vec![],
+            reg_lines: vec![],
         };
         let b0 = f.new_block();
         let b1 = f.new_block();

@@ -311,6 +311,7 @@ mod tests {
             ],
             reg_count: 0,
             reg_tys: vec![],
+            reg_lines: vec![],
         };
         f.new_block();
         for impl_ in CompilerImpl::default_set() {
@@ -372,6 +373,7 @@ mod tests {
             ],
             reg_count: 0,
             reg_tys: vec![],
+            reg_lines: vec![],
         };
         f.new_block();
         let o0 = CompilerImpl::new(Family::Gcc, OptLevel::O0).personality();

@@ -30,10 +30,12 @@ pub mod layout;
 pub mod lower;
 pub mod passes;
 pub mod personality;
+pub mod rewrite_log;
 
 pub use binary::Binary;
 pub use ir::IrProgram;
 pub use personality::{CompilerImpl, Family, OptLevel, PassKind, Personality};
+pub use rewrite_log::{RewriteEntry, RewriteLog, UbReason};
 
 use minc::{CheckedProgram, FrontendError};
 
@@ -48,6 +50,19 @@ pub fn compile_with_personality(checked: &CheckedProgram, personality: Personali
     let mut ir = lower::lower(checked, &personality);
     passes::run_pipeline(&mut ir, &personality);
     Binary::link(ir, personality)
+}
+
+/// Runs one implementation's optimization pipeline over `checked` and
+/// returns the optimized IR together with the rewrite-provenance log —
+/// every UB-justified rewrite the pipeline performed, mapped back to
+/// source lines. This is the static-oracle entry point used by the
+/// `staticheck-ir` lint; no binary is linked.
+pub fn optimize_logged(checked: &CheckedProgram, impl_id: CompilerImpl) -> (IrProgram, RewriteLog) {
+    let personality = impl_id.personality();
+    let mut ir = lower::lower(checked, &personality);
+    let mut log = RewriteLog::new();
+    passes::run_pipeline_logged(&mut ir, &personality, Some(&mut log));
+    (ir, log)
 }
 
 /// Parses, checks, and compiles source with one compiler implementation.

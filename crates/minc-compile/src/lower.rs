@@ -97,6 +97,7 @@ pub fn lower(checked: &CheckedProgram, personality: &Personality) -> IrProgram {
                 slots: Vec::new(),
                 reg_count: 0,
                 reg_tys: Vec::new(),
+                reg_lines: Vec::new(),
             },
             cur: BlockId(0),
             slot_of_local: Vec::new(),
@@ -172,7 +173,7 @@ impl<'a> FnLowerer<'a> {
 
         // Reserve the parameter registers v0..vN-1 before any temporary.
         for p in &f.params {
-            self.f.new_reg(ir_ty(&p.ty));
+            self.new_reg(ir_ty(&p.ty));
         }
 
         // One slot per local, in declaration order (params first).
@@ -206,7 +207,7 @@ impl<'a> FnLowerer<'a> {
         }
         // Spill parameters (registers v0..vN-1) into their slots.
         for (i, p) in f.params.iter().enumerate() {
-            let addr = self.f.new_reg(IrType::I64);
+            let addr = self.new_reg(IrType::I64);
             self.push(Inst::FrameAddr {
                 dst: addr,
                 slot: self.slot_of_local[i],
@@ -243,6 +244,13 @@ impl<'a> FnLowerer<'a> {
 
     // ---- low-level emit helpers ----
 
+    /// Allocates a register stamped with the current statement's source
+    /// line, so optimized IR (and the rewrite-provenance log) can point
+    /// back at the source.
+    fn new_reg(&mut self, ty: IrType) -> ValueId {
+        self.f.new_reg_at(ty, self.stmt_span.line)
+    }
+
     fn push(&mut self, inst: Inst) {
         self.f.blocks[self.cur.0 as usize].insts.push(inst);
     }
@@ -259,7 +267,7 @@ impl<'a> FnLowerer<'a> {
     }
 
     fn const_val(&mut self, ty: IrType, val: ConstVal) -> ValueId {
-        let dst = self.f.new_reg(ty);
+        let dst = self.new_reg(ty);
         self.push(Inst::Const { dst, ty, val });
         dst
     }
@@ -280,7 +288,7 @@ impl<'a> FnLowerer<'a> {
 
     fn bin(&mut self, ty: IrType, op: BinKind, a: ValueId, b: ValueId, ub_signed: bool) -> ValueId {
         let dst_ty = if op.is_comparison() { IrType::I32 } else { ty };
-        let dst = self.f.new_reg(dst_ty);
+        let dst = self.new_reg(dst_ty);
         self.push(Inst::Bin {
             dst,
             ty,
@@ -298,7 +306,7 @@ impl<'a> FnLowerer<'a> {
             CastKind::TruncI64I32 | CastKind::F64I32 => IrType::I32,
             CastKind::SI32F64 | CastKind::UI32F64 | CastKind::SI64F64 => IrType::F64,
         };
-        let dst = self.f.new_reg(to);
+        let dst = self.new_reg(to);
         self.push(Inst::Cast { dst, kind, a });
         dst
     }
@@ -416,7 +424,7 @@ impl<'a> FnLowerer<'a> {
                 let r = self.checked.vars[&e.id];
                 let a = match r {
                     VarRef::Local(LocalId(i)) => {
-                        let dst = self.f.new_reg(IrType::I64);
+                        let dst = self.new_reg(IrType::I64);
                         self.push(Inst::FrameAddr {
                             dst,
                             slot: self.slot_of_local[i as usize],
@@ -494,7 +502,7 @@ impl<'a> FnLowerer<'a> {
 
     /// Loads a scalar of MinC type `ty` from `addr`.
     fn load(&mut self, addr: ValueId, ty: &Type) -> ValueId {
-        let dst = self.f.new_reg(ir_ty(ty));
+        let dst = self.new_reg(ir_ty(ty));
         self.push(Inst::Load {
             dst,
             ty: ir_ty(ty),
@@ -589,7 +597,7 @@ impl<'a> FnLowerer<'a> {
                 let (v, vty) = self.rvalue(operand);
                 let vty = vty.decay();
                 if vty == Type::Double {
-                    let dst = self.f.new_reg(IrType::F64);
+                    let dst = self.new_reg(IrType::F64);
                     self.push(Inst::Un {
                         dst,
                         ty: IrType::F64,
@@ -601,7 +609,7 @@ impl<'a> FnLowerer<'a> {
                 }
                 let rt = vty.promote();
                 let v = self.convert(v, &vty, &rt);
-                let dst = self.f.new_reg(ir_ty(&rt));
+                let dst = self.new_reg(ir_ty(&rt));
                 self.push(Inst::Un {
                     dst,
                     ty: ir_ty(&rt),
@@ -615,7 +623,7 @@ impl<'a> FnLowerer<'a> {
                 let (v, vty) = self.rvalue(operand);
                 let rt = vty.decay().promote();
                 let v = self.convert(v, &vty, &rt);
-                let dst = self.f.new_reg(ir_ty(&rt));
+                let dst = self.new_reg(ir_ty(&rt));
                 self.push(Inst::Un {
                     dst,
                     ty: ir_ty(&rt),
@@ -833,7 +841,7 @@ impl<'a> FnLowerer<'a> {
     }
 
     fn lower_logical(&mut self, and: bool, lhs: &Expr, rhs: &Expr) -> (ValueId, Type) {
-        let result = self.f.new_reg(IrType::I32);
+        let result = self.new_reg(IrType::I32);
         let rhs_block = self.f.new_block();
         let short_block = self.f.new_block();
         let join = self.f.new_block();
@@ -911,7 +919,7 @@ impl<'a> FnLowerer<'a> {
 
     fn lower_ternary(&mut self, e: &Expr, cond: &Expr, then: &Expr, els: &Expr) -> (ValueId, Type) {
         let result_ty = self.ty_of(e);
-        let result = self.f.new_reg(ir_ty(&result_ty));
+        let result = self.new_reg(ir_ty(&result_ty));
         let tb = self.f.new_block();
         let eb = self.f.new_block();
         let join = self.f.new_block();
@@ -1004,7 +1012,7 @@ impl<'a> FnLowerer<'a> {
         let (dst, ret_ir) = if ret == Type::Void {
             (None, IrType::I32)
         } else {
-            (Some(self.f.new_reg(ir_ty(&ret))), ir_ty(&ret))
+            (Some(self.new_reg(ir_ty(&ret))), ir_ty(&ret))
         };
         self.push(Inst::Call {
             dst,
@@ -1029,7 +1037,7 @@ impl<'a> FnLowerer<'a> {
                         let slot = self.slot_of_local[self.checked.decl_slots[&s.id].0 as usize];
                         let (v, vty) = self.rvalue(init);
                         let cv = self.convert(v, &vty, ty);
-                        let a = self.f.new_reg(IrType::I64);
+                        let a = self.new_reg(IrType::I64);
                         self.push(Inst::FrameAddr { dst: a, slot });
                         self.push(Inst::Store {
                             addr: a,

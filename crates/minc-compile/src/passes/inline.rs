@@ -95,9 +95,13 @@ fn inline_one(caller: &mut IrFunction, block: BlockId, idx: usize, callee: &IrFu
     caller.blocks[block.0 as usize].insts.pop(); // the call itself
     let old_term = caller.blocks[block.0 as usize].term.clone();
 
-    // Import callee registers and slots.
-    for ty in &callee.reg_tys {
+    // Import callee registers and slots. Source lines travel with the
+    // registers so inlined code stays attributable.
+    for (i, ty) in callee.reg_tys.iter().enumerate() {
         caller.reg_tys.push(*ty);
+        caller
+            .reg_lines
+            .push(callee.reg_lines.get(i).copied().unwrap_or(0));
     }
     caller.reg_count += callee.reg_count;
     for s in &callee.slots {

@@ -9,11 +9,56 @@
 //! unstable-code class (UninitMem, 27 of 78 real-world bugs).
 
 use crate::ir::*;
+use crate::personality::CompilerImpl;
+use crate::rewrite_log::{RewriteLog, UbReason};
 use std::collections::{HashMap, HashSet};
 
 /// Promotes every promotable slot of `f`. `func_index` seeds junk ids so
 /// different functions get different indeterminate values.
 pub fn run(f: &mut IrFunction, func_index: u32) {
+    run_inner(f, func_index);
+}
+
+/// Like [`run`], but records each promotion into `log` (when provided) as
+/// an [`UbReason::UninitPromotion`] entry attributed to `impl_id`. The
+/// entry's `key` is the junk id seeded into the promoted register, so a
+/// consumer that sees that junk value flow into an observable use can
+/// attribute the read back to this promotion.
+pub fn run_logged(
+    f: &mut IrFunction,
+    func_index: u32,
+    impl_id: CompilerImpl,
+    log: Option<&mut RewriteLog>,
+) {
+    let promos = run_inner(f, func_index);
+    if let Some(log) = log {
+        for p in promos {
+            log.record(
+                impl_id,
+                &f.name,
+                UbReason::UninitPromotion,
+                p.first_load_line,
+                p.junk_id,
+                format!(
+                    "promoted slot `{}` to a register seeded with implementation-specific \
+                     junk; any read before a store observes an indeterminate value",
+                    p.slot_name
+                ),
+            );
+        }
+    }
+}
+
+/// One slot promotion, for provenance logging.
+struct Promotion {
+    junk_id: u32,
+    slot_name: String,
+    /// Source line of the first load rewritten for this slot (0 if the
+    /// slot is never loaded).
+    first_load_line: u32,
+}
+
+fn run_inner(f: &mut IrFunction, func_index: u32) -> Vec<Promotion> {
     let candidates: Vec<SlotId> = f
         .slots
         .iter()
@@ -22,7 +67,7 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
         .map(|(i, _)| SlotId(i as u32))
         .collect();
     if candidates.is_empty() {
-        return;
+        return Vec::new();
     }
 
     // Map: FrameAddr destination register -> slot, across the whole function
@@ -105,12 +150,14 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
         .filter(|s| !bad.contains(s))
         .collect();
     if promote.is_empty() {
-        return;
+        return Vec::new();
     }
 
     // One register per promoted slot, junk-initialized in the entry block.
     let mut slot_reg: HashMap<SlotId, ValueId> = HashMap::new();
     let mut inits = Vec::new();
+    let mut promos: Vec<Promotion> = Vec::new();
+    let mut promo_index: HashMap<SlotId, usize> = HashMap::new();
     for s in &promote {
         let ty = f.slots[s.0 as usize].scalar.expect("candidate is scalar");
         let r = f.new_reg(ty);
@@ -120,6 +167,12 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
             dst: r,
             ty,
             val: ConstVal::Junk(junk_id),
+        });
+        promo_index.insert(*s, promos.len());
+        promos.push(Promotion {
+            junk_id,
+            slot_name: f.slots[s.0 as usize].name.clone(),
+            first_load_line: 0,
         });
         f.slots[s.0 as usize].promoted = true;
     }
@@ -135,6 +188,11 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
                 }
                 Inst::Load { dst, ty, addr, .. } => {
                     if let Some(s) = addr_reg.get(addr).filter(|s| slot_reg.contains_key(s)) {
+                        let p = &mut promos[promo_index[s]];
+                        if p.first_load_line == 0 {
+                            p.first_load_line =
+                                f.reg_lines.get(dst.0 as usize).copied().unwrap_or(0);
+                        }
                         out.push(Inst::Copy {
                             dst: *dst,
                             ty: *ty,
@@ -166,6 +224,7 @@ pub fn run(f: &mut IrFunction, func_index: u32) {
     let entry = &mut f.blocks[0];
     inits.append(&mut entry.insts);
     entry.insts = inits;
+    promos
 }
 
 #[cfg(test)]

@@ -14,32 +14,55 @@ pub mod unroll;
 
 use crate::ir::*;
 use crate::personality::{PassKind, Personality};
+use crate::rewrite_log::RewriteLog;
 use std::collections::HashMap;
 
 /// Runs the personality's pipeline over the whole program.
 pub fn run_pipeline(prog: &mut IrProgram, personality: &Personality) {
+    run_pipeline_logged(prog, personality, None);
+}
+
+/// Runs the personality's pipeline, recording UB-justified rewrites into
+/// `log` (when provided). Passing `None` is exactly [`run_pipeline`].
+pub fn run_pipeline_logged(
+    prog: &mut IrProgram,
+    personality: &Personality,
+    mut log: Option<&mut RewriteLog>,
+) {
     for pass in personality.pipeline.clone() {
-        run_pass(prog, pass, personality);
+        run_pass_logged(prog, pass, personality, log.as_deref_mut());
     }
 }
 
 /// Runs one pass over the whole program.
 pub fn run_pass(prog: &mut IrProgram, pass: PassKind, personality: &Personality) {
+    run_pass_logged(prog, pass, personality, None);
+}
+
+/// Runs one pass, recording UB-justified rewrites into `log` (when
+/// provided). Only the UB-exploiting passes (`UbExploit`, `Mem2Reg`,
+/// `Unroll`) produce entries.
+pub fn run_pass_logged(
+    prog: &mut IrProgram,
+    pass: PassKind,
+    personality: &Personality,
+    mut log: Option<&mut RewriteLog>,
+) {
     match pass {
         PassKind::Inline => inline::run(prog, personality),
         PassKind::Unroll => {
             for f in &mut prog.functions {
-                unroll::run(f, personality);
+                unroll::run_logged(f, personality, log.as_deref_mut());
             }
         }
         PassKind::Mem2Reg => {
             for (i, f) in prog.functions.iter_mut().enumerate() {
-                mem2reg::run(f, i as u32);
+                mem2reg::run_logged(f, i as u32, personality.id, log.as_deref_mut());
             }
         }
         PassKind::UbExploit => {
             for f in &mut prog.functions {
-                ub_exploit::run_with_patch(f);
+                ub_exploit::run_with_patch_logged(f, personality.id, log.as_deref_mut());
             }
         }
         PassKind::WidenMul => {
@@ -951,6 +974,7 @@ mod tests {
             slots: vec![],
             reg_count: 0,
             reg_tys: vec![],
+            reg_lines: vec![],
         };
         let b = f.new_block();
         let a = f.new_reg(IrType::I32);

@@ -15,6 +15,7 @@
 
 use crate::ir::*;
 use crate::personality::{Family, Personality};
+use crate::rewrite_log::{RewriteLog, UbReason};
 use std::collections::HashMap;
 
 /// Maximum trip count that will be fully unrolled.
@@ -24,6 +25,13 @@ const MAX_BODY: usize = 40;
 
 /// Runs the unroller over `f`.
 pub fn run(f: &mut IrFunction, personality: &Personality) {
+    run_logged(f, personality, None);
+}
+
+/// Like [`run`], but records into `log` (when provided) every unroll whose
+/// applied trip count deviates from the computed one — the seeded
+/// miscompilations — as [`UbReason::UnrollTripCount`] entries.
+pub fn run_logged(f: &mut IrFunction, personality: &Personality, mut log: Option<&mut RewriteLog>) {
     // Find candidate headers; unroll at most a few loops per function to
     // bound code growth.
     let mut budget = 4;
@@ -32,7 +40,7 @@ pub fn run(f: &mut IrFunction, personality: &Personality) {
             return;
         }
         let Some(c) = find_candidate(f) else { return };
-        apply(f, &c, personality);
+        apply(f, &c, personality, log.as_deref_mut());
         budget -= 1;
     }
 }
@@ -308,7 +316,12 @@ fn const_def_in(b: &Block, r: ValueId) -> Option<i64> {
     v
 }
 
-fn apply(f: &mut IrFunction, c: &Candidate, personality: &Personality) {
+fn apply(
+    f: &mut IrFunction,
+    c: &Candidate,
+    personality: &Personality,
+    log: Option<&mut RewriteLog>,
+) {
     // The deliberate gcc-sim -O3 bug: a 7-trip loop whose body multiplies
     // gets unrolled one iteration short. Narrow enough to be found only by
     // targeted fuzzing (RQ2), broad enough to be reachable.
@@ -320,6 +333,27 @@ fn apply(f: &mut IrFunction, c: &Candidate, personality: &Personality) {
     // a 5-trip loop whose body divides gets one *extra* iteration.
     if personality.id.family == Family::Clang && trip == 5 && c.body_has_div {
         trip = 6;
+    }
+    if trip != c.trip {
+        if let Some(log) = log {
+            // Attribute the rewrite to the loop condition's source line.
+            let line = match f.blocks[c.head.0 as usize].term {
+                Terminator::Br { cond, .. } => f.line_of(cond),
+                _ => 0,
+            };
+            log.record(
+                personality.id,
+                &f.name,
+                UbReason::UnrollTripCount,
+                line,
+                0,
+                format!(
+                    "fully unrolled a {}-trip counted loop with trip count {trip} \
+                     (implementation-specific; the seeded RQ2 miscompilation)",
+                    c.trip
+                ),
+            );
+        }
     }
 
     let body_insts = f.blocks[c.body.0 as usize].insts.clone();

@@ -1,0 +1,112 @@
+//! Rewrite-provenance log: a record of every optimizer rewrite that was
+//! justified by an undefined-behaviour assumption.
+//!
+//! The paper's central observation is that unstable code is exactly the
+//! code an optimizer may legally discard under UB assumptions. Our
+//! UB-exploiting passes ([`crate::passes::ub_exploit`], and
+//! [`crate::passes::mem2reg`]/[`crate::passes::unroll`] where they rely on
+//! indeterminate values or implementation-specific trip counts) normally
+//! perform those rewrites silently. When handed a [`RewriteLog`] sink they
+//! additionally record *which instruction was rewritten, under which UB
+//! justification, by which impl/opt-level*, mapped back to source lines via
+//! the register line table ([`crate::ir::IrFunction::reg_lines`]). That
+//! turns the compiler itself into a static unstable-code oracle (the
+//! STACK-style idea), consumed by the `staticheck-ir` lint.
+
+use crate::personality::CompilerImpl;
+use std::fmt;
+
+/// The UB assumption that justified a rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UbReason {
+    /// A signed-overflow check of the `a + b < a` family was folded away
+    /// because signed overflow "cannot happen".
+    SignedOverflowCheck,
+    /// A null check was deleted because the pointer was already
+    /// dereferenced on every path to it.
+    NullCheckAfterDeref,
+    /// A shift by an out-of-range constant amount was folded to zero.
+    OversizedShift,
+    /// An uninitialized stack slot was promoted to a register seeded with
+    /// an implementation-specific junk value.
+    UninitPromotion,
+    /// A counted loop was fully unrolled with an implementation-specific
+    /// trip count (the seeded miscompilations of the paper's RQ2).
+    UnrollTripCount,
+}
+
+impl fmt::Display for UbReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UbReason::SignedOverflowCheck => "signed-overflow-check",
+            UbReason::NullCheckAfterDeref => "null-check-after-deref",
+            UbReason::OversizedShift => "oversized-shift",
+            UbReason::UninitPromotion => "uninit-promotion",
+            UbReason::UnrollTripCount => "unroll-trip-count",
+        })
+    }
+}
+
+/// One logged rewrite.
+#[derive(Debug, Clone)]
+pub struct RewriteEntry {
+    /// The implementation (family + opt level) that performed the rewrite.
+    pub impl_id: CompilerImpl,
+    /// Name of the function the rewrite happened in.
+    pub function: String,
+    /// The UB assumption that justified it.
+    pub reason: UbReason,
+    /// 1-based source line of the rewritten instruction (0 = unknown).
+    pub line: u32,
+    /// Stable cross-impl correlation key. For [`UbReason::UninitPromotion`]
+    /// this is the mem2reg junk id of the promoted slot, so a dataflow
+    /// finding caused by that junk value can be matched back to the
+    /// promotion that fabricated it; 0 otherwise.
+    pub key: u32,
+    /// Human-readable description of what was rewritten.
+    pub detail: String,
+}
+
+/// An append-only sink for rewrite provenance.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteLog {
+    /// The recorded rewrites, in pass-execution order.
+    pub entries: Vec<RewriteEntry>,
+}
+
+impl RewriteLog {
+    /// An empty log.
+    pub fn new() -> RewriteLog {
+        RewriteLog::default()
+    }
+
+    /// Appends one entry.
+    pub fn record(
+        &mut self,
+        impl_id: CompilerImpl,
+        function: &str,
+        reason: UbReason,
+        line: u32,
+        key: u32,
+        detail: impl Into<String>,
+    ) {
+        self.entries.push(RewriteEntry {
+            impl_id,
+            function: function.to_string(),
+            reason,
+            line,
+            key,
+            detail: detail.into(),
+        });
+    }
+}
+
+impl fmt::Display for RewriteEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} at line {}: {}",
+            self.impl_id, self.reason, self.function, self.line, self.detail
+        )
+    }
+}

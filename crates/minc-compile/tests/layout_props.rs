@@ -51,6 +51,7 @@ fn empty_fn(slots: Vec<SlotInfo>) -> IrFunction {
         slots,
         reg_count: 0,
         reg_tys: vec![],
+        reg_lines: vec![],
     };
     f.new_block();
     f

@@ -1,0 +1,193 @@
+//! A small forward-dataflow framework over the minc-compile CFG.
+//!
+//! The IR uses *mutable* virtual registers (not SSA), so analyses here are
+//! classic iterative dataflow: a worklist drives per-block transfer
+//! functions to a fixpoint over block *input* states. Analyses supply the
+//! lattice through [`Analysis::join`]; may-analyses join by union,
+//! must-analyses by intersection, and numeric domains widen inside `join`
+//! so the fixpoint terminates on loops.
+
+use minc_compile::ir::{BlockId, Inst, IrFunction, Terminator};
+
+/// One forward dataflow analysis: the state type plus its transfer and
+/// join functions.
+pub trait Analysis {
+    /// The abstract state attached to each program point.
+    type State: Clone;
+
+    /// State on entry to the function (entry block input).
+    fn entry_state(&self, f: &IrFunction) -> Self::State;
+
+    /// Applies one instruction's effect to `st`.
+    fn transfer_inst(&self, st: &mut Self::State, inst: &Inst, f: &IrFunction);
+
+    /// Applies a terminator's effect (most analyses need nothing here).
+    fn transfer_term(&self, _st: &mut Self::State, _term: &Terminator, _f: &IrFunction) {}
+
+    /// Merges `from` into `into` at a control-flow join, returning `true`
+    /// iff `into` changed. Must be monotone (and widening where the domain
+    /// has infinite ascending chains) or the fixpoint will not terminate.
+    fn join(&self, into: &mut Self::State, from: &Self::State) -> bool;
+}
+
+/// Fixpoint result: the input state of every block (`None` = unreachable).
+pub struct BlockStates<S> {
+    /// Input state per block, indexed by `BlockId.0`.
+    pub inputs: Vec<Option<S>>,
+}
+
+/// Runs `a` to fixpoint over `f` and returns per-block input states.
+pub fn fixpoint<A: Analysis>(f: &IrFunction, a: &A) -> BlockStates<A::State> {
+    let n = f.blocks.len();
+    let mut inputs: Vec<Option<A::State>> = (0..n).map(|_| None).collect();
+    if n == 0 {
+        return BlockStates { inputs };
+    }
+    inputs[0] = Some(a.entry_state(f));
+    let mut work: Vec<BlockId> = vec![BlockId(0)];
+    // Defense in depth against a non-monotone join: every analysis domain
+    // here has finite height, but a hard cap keeps the lint total even if
+    // a future domain gets widening wrong.
+    let mut budget = 256usize.saturating_mul(n.max(1));
+    while let Some(b) = work.pop() {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let Some(mut st) = inputs[b.0 as usize].clone() else {
+            continue;
+        };
+        let blk = &f.blocks[b.0 as usize];
+        for inst in &blk.insts {
+            a.transfer_inst(&mut st, inst, f);
+        }
+        a.transfer_term(&mut st, &blk.term, f);
+        for s in blk.term.successors() {
+            let slot = &mut inputs[s.0 as usize];
+            let changed = match slot {
+                None => {
+                    *slot = Some(st.clone());
+                    true
+                }
+                Some(cur) => a.join(cur, &st),
+            };
+            if changed {
+                work.push(s);
+            }
+        }
+    }
+    BlockStates { inputs }
+}
+
+/// One program point handed to [`scan_with_term`]'s visitor.
+pub enum Visit<'a> {
+    /// A straight-line instruction.
+    Inst(&'a Inst),
+    /// A block terminator.
+    Term(&'a Terminator),
+}
+
+/// Replays the fixpoint over every reachable block, calling `visit` with
+/// the state *before* each instruction. This is how detectors turn a
+/// fixpoint into findings without duplicating the transfer logic.
+pub fn scan<A: Analysis>(
+    f: &IrFunction,
+    a: &A,
+    states: &BlockStates<A::State>,
+    mut visit: impl FnMut(&A::State, &Inst),
+) {
+    scan_with_term(f, a, states, |st, v| {
+        if let Visit::Inst(inst) = v {
+            visit(st, inst);
+        }
+    });
+}
+
+/// [`scan`], but the visitor also sees the state before each terminator.
+pub fn scan_with_term<A: Analysis>(
+    f: &IrFunction,
+    a: &A,
+    states: &BlockStates<A::State>,
+    mut visit: impl FnMut(&A::State, Visit),
+) {
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        let Some(input) = &states.inputs[bi] else {
+            continue;
+        };
+        let mut st = input.clone();
+        for inst in &blk.insts {
+            visit(&st, Visit::Inst(inst));
+            a.transfer_inst(&mut st, inst, f);
+        }
+        visit(&st, Visit::Term(&blk.term));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minc_compile::personality::{CompilerImpl, Family, OptLevel};
+
+    /// A trivial may-analysis counting defined registers, to exercise the
+    /// worklist on a loopy CFG.
+    struct Defined;
+
+    impl Analysis for Defined {
+        type State = std::collections::BTreeSet<u32>;
+
+        fn entry_state(&self, f: &IrFunction) -> Self::State {
+            (0..f.param_count).collect()
+        }
+
+        fn transfer_inst(&self, st: &mut Self::State, inst: &Inst, _f: &IrFunction) {
+            if let Some(d) = inst.dst() {
+                st.insert(d.0);
+            }
+        }
+
+        fn join(&self, into: &mut Self::State, from: &Self::State) -> bool {
+            let before = into.len();
+            into.extend(from.iter().copied());
+            into.len() != before
+        }
+    }
+
+    #[test]
+    fn fixpoint_reaches_loop_blocks() {
+        let src = r#"
+            int main() {
+                int i;
+                int acc = 0;
+                for (i = 0; i < 10; i++) { acc += i; }
+                return acc;
+            }
+        "#;
+        let checked = minc::check(src).unwrap();
+        let p = CompilerImpl::new(Family::Gcc, OptLevel::O0).personality();
+        let ir = minc_compile::lower::lower(&checked, &p);
+        let f = &ir.functions[0];
+        let states = fixpoint(f, &Defined);
+        for b in f.reachable_blocks() {
+            assert!(states.inputs[b.0 as usize].is_some(), "{b} unreachable?");
+        }
+        // The exit block's input knows every register defined on the path.
+        let mut seen = 0;
+        scan(f, &Defined, &states, |st, _| seen = seen.max(st.len()));
+        assert!(seen > 0);
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_none() {
+        let src = "int main() { return 0; int x = 1; return x; }";
+        let checked = minc::check(src).unwrap();
+        let p = CompilerImpl::new(Family::Gcc, OptLevel::O0).personality();
+        let ir = minc_compile::lower::lower(&checked, &p);
+        let f = &ir.functions[0];
+        let states = fixpoint(f, &Defined);
+        let reachable: std::collections::HashSet<u32> =
+            f.reachable_blocks().iter().map(|b| b.0).collect();
+        for (i, s) in states.inputs.iter().enumerate() {
+            assert_eq!(s.is_some(), reachable.contains(&(i as u32)), "block {i}");
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! IR-level detectors for the unstable-code classes the lint reports
+//! directly from dataflow (independent of any optimizer's rewrite log).
+//!
+//! All detectors run on the *reference IR*: an `-O0` lowering with only
+//! `mem2reg` applied. That shape makes uninitialized locals explicit as
+//! [`ConstVal::Junk`] registers while every register still carries the
+//! source line it was allocated for (copy propagation would erase the
+//! line-stamped copies).
+
+use crate::dataflow::{fixpoint, scan, scan_with_term, Visit};
+use crate::domains::{shift_width, Interval, IntervalAnalysis, JunkAnalysis, NullAnalysis};
+use minc_compile::ir::{
+    BinKind, CastKind, ConstVal, Inst, IrFunction, IrProgram, Terminator, ValueId,
+};
+use staticheck::Defect;
+use std::collections::{BTreeSet, HashMap};
+
+/// One IR-level finding, before merging with the provenance channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrFinding {
+    /// Function the finding is in.
+    pub function: String,
+    /// Defect class (shared with the staticheck tools).
+    pub defect: Defect,
+    /// 1-based source line (0 if the IR carried no attribution).
+    pub line: u32,
+    /// Human-readable detail.
+    pub message: String,
+    /// For uninitialized-use findings: the mem2reg junk id observed, used
+    /// to corroborate `UninitPromotion` provenance entries.
+    pub junk_id: Option<u32>,
+}
+
+/// Runs every detector over every function of `prog`.
+pub fn scan_program(prog: &IrProgram) -> Vec<IrFinding> {
+    let mut out = Vec::new();
+    for f in &prog.functions {
+        scan_function(f, &mut out);
+    }
+    // Deterministic order + per-line dedup (a junk value read five times
+    // on one line is one finding).
+    out.sort_by(|a, b| {
+        (a.line, &a.function, format!("{}", a.defect), &a.message).cmp(&(
+            b.line,
+            &b.function,
+            format!("{}", b.defect),
+            &b.message,
+        ))
+    });
+    out.dedup_by(|a, b| a.function == b.function && a.defect == b.defect && a.line == b.line);
+    out
+}
+
+/// Runs every detector over one function, appending to `out`.
+pub fn scan_function(f: &IrFunction, out: &mut Vec<IrFinding>) {
+    junk_reads(f, out);
+    oversized_shifts(f, out);
+    block_patterns(f, out);
+    null_check_after_deref(f, out);
+}
+
+// ----------------------------------------------------- uninitialized use
+
+/// Flags observable uses of registers that may carry mem2reg junk: call
+/// arguments, stored values, branch conditions, and return values.
+fn junk_reads(f: &IrFunction, out: &mut Vec<IrFinding>) {
+    let a = JunkAnalysis;
+    let states = fixpoint(f, &a);
+    let report = |line: u32, id: u32, what: &str, out: &mut Vec<IrFinding>| {
+        out.push(IrFinding {
+            function: f.name.clone(),
+            defect: Defect::Uninitialized,
+            line,
+            message: format!("{what} may observe an uninitialized (indeterminate) value"),
+            junk_id: Some(id),
+        });
+    };
+    let mut sink: Vec<(u32, u32, &'static str)> = Vec::new();
+    scan_with_term(f, &a, &states, |st, v| match v {
+        Visit::Inst(Inst::Call { args, .. }) => {
+            for arg in args {
+                if let Some(id) = st.get(&arg.0) {
+                    sink.push((f.line_of(*arg), *id, "call argument"));
+                }
+            }
+        }
+        Visit::Inst(Inst::Store { src, .. }) => {
+            if let Some(id) = st.get(&src.0) {
+                sink.push((f.line_of(*src), *id, "stored value"));
+            }
+        }
+        Visit::Term(Terminator::Br { cond, .. }) => {
+            if let Some(id) = st.get(&cond.0) {
+                sink.push((f.line_of(*cond), *id, "branch condition"));
+            }
+        }
+        Visit::Term(Terminator::Ret(Some(v))) => {
+            if let Some(id) = st.get(&v.0) {
+                sink.push((f.line_of(*v), *id, "returned value"));
+            }
+        }
+        _ => {}
+    });
+    for (line, id, what) in sink {
+        report(line, id, what, out);
+    }
+}
+
+/// The junk ids whose reads [`junk_reads`] observed anywhere in `prog` —
+/// the corroboration set for `UninitPromotion` provenance entries.
+pub fn observed_junk_ids(findings: &[IrFinding]) -> BTreeSet<u32> {
+    findings.iter().filter_map(|f| f.junk_id).collect()
+}
+
+// ----------------------------------------------------------- bad shifts
+
+/// Flags shifts whose amount is provably out of range for the operand
+/// width (`>= width` or negative) via interval analysis.
+fn oversized_shifts(f: &IrFunction, out: &mut Vec<IrFinding>) {
+    let a = IntervalAnalysis;
+    let states = fixpoint(f, &a);
+    let mut sink: Vec<(u32, i64, Interval)> = Vec::new();
+    scan(f, &a, &states, |st, inst| {
+        if let Inst::Bin {
+            dst,
+            ty,
+            op: BinKind::Shl | BinKind::ShrS | BinKind::ShrU,
+            b,
+            ..
+        } = inst
+        {
+            if let Some(amt) = st.get(&b.0) {
+                let width = shift_width(*ty);
+                if amt.lo >= width || amt.hi < 0 {
+                    sink.push((f.line_of(*dst), width, *amt));
+                }
+            }
+        }
+    });
+    for (line, width, amt) in sink {
+        let shown = if amt.lo == amt.hi {
+            format!("{}", amt.lo)
+        } else {
+            format!("[{}, {}]", amt.lo, amt.hi)
+        };
+        out.push(IrFinding {
+            function: f.name.clone(),
+            defect: Defect::BadShift,
+            line,
+            message: format!(
+                "shift amount {shown} is out of range for a {width}-bit value; \
+                 implementations legally disagree on the result"
+            ),
+            junk_id: None,
+        });
+    }
+}
+
+// ------------------------------------------- block-local pattern scans
+
+/// Where a pointer value originates, for cross-object compare detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PtrBase {
+    Slot(u32),
+    Global(u32),
+    Str(u32),
+}
+
+/// A versioned value origin: `(register, version)`, where a fresh version
+/// is minted per non-copy definition.
+type OriginId = (u32, u32);
+
+/// Block-local detectors that need value-identity rather than a lattice:
+/// the `a + b < a` overflow-check idiom and relational comparison of
+/// pointers into different objects. Copies are resolved through an
+/// *origin* map (register -> versioned defining value), which makes the
+/// scans transparent to the mem2reg `Load`/`Store` -> `Copy` rewrites.
+fn block_patterns(f: &IrFunction, out: &mut Vec<IrFinding>) {
+    for blk in &f.blocks {
+        // Versioned origins: a fresh version per non-copy definition, so
+        // register reuse (the IR is not SSA) cannot alias stale values.
+        let mut origin: HashMap<u32, OriginId> = HashMap::new();
+        let mut next_version = 0u32;
+        // Overflow-check candidates: origin of an `ub_signed` Add/Sub ->
+        // (is_add, origins of its operands).
+        let mut arith: HashMap<OriginId, (bool, OriginId, OriginId)> = HashMap::new();
+        let mut bases: HashMap<OriginId, PtrBase> = HashMap::new();
+
+        let origin_of =
+            |r: ValueId, origin: &mut HashMap<u32, OriginId>, next_version: &mut u32| {
+                *origin.entry(r.0).or_insert_with(|| {
+                    *next_version += 1;
+                    (r.0, *next_version)
+                })
+            };
+        let fresh = |r: ValueId, origin: &mut HashMap<u32, OriginId>, next_version: &mut u32| {
+            *next_version += 1;
+            let o = (r.0, *next_version);
+            origin.insert(r.0, o);
+            o
+        };
+
+        for inst in &blk.insts {
+            match inst {
+                Inst::Copy { dst, src, .. } => {
+                    let o = origin_of(*src, &mut origin, &mut next_version);
+                    origin.insert(dst.0, o);
+                }
+                Inst::Const { dst, val, .. } => {
+                    let o = fresh(*dst, &mut origin, &mut next_version);
+                    match val {
+                        ConstVal::GlobalAddr(g, _) => {
+                            bases.insert(o, PtrBase::Global(g.0));
+                        }
+                        ConstVal::StrAddr(s, _) => {
+                            bases.insert(o, PtrBase::Str(s.0));
+                        }
+                        _ => {}
+                    }
+                }
+                Inst::FrameAddr { dst, slot } => {
+                    let o = fresh(*dst, &mut origin, &mut next_version);
+                    bases.insert(o, PtrBase::Slot(slot.0));
+                }
+                Inst::Cast {
+                    dst,
+                    kind: CastKind::SextI32I64 | CastKind::ZextI32I64,
+                    a,
+                } => {
+                    // Width-extending casts preserve pointer identity for
+                    // the base-tracking (pointers are I64 already, but be
+                    // permissive about re-extended offsets).
+                    let oa = origin_of(*a, &mut origin, &mut next_version);
+                    let o = fresh(*dst, &mut origin, &mut next_version);
+                    if let Some(b) = bases.get(&oa).copied() {
+                        bases.insert(o, b);
+                    }
+                }
+                Inst::Bin {
+                    dst,
+                    op,
+                    a,
+                    b,
+                    ub_signed,
+                    ..
+                } => {
+                    let oa = origin_of(*a, &mut origin, &mut next_version);
+                    let ob = origin_of(*b, &mut origin, &mut next_version);
+                    use BinKind::*;
+
+                    // (1) `a + b < a` family, mirroring the optimizer's
+                    // rewrite precondition exactly.
+                    if matches!(op, LtS | LeS | GtS | GeS) {
+                        let mut hit = false;
+                        if let Some((is_add, xa, xb)) = arith.get(&oa) {
+                            // add/sub on the left: cmp(arith(x,y), x); the
+                            // sub form only matches its minuend.
+                            hit = *xa == ob || (*is_add && *xb == ob);
+                        }
+                        if !hit {
+                            if let Some((is_add, xa, xb)) = arith.get(&ob) {
+                                // add on the right: cmp(x, add(x,y)).
+                                hit = *is_add && (*xa == oa || *xb == oa);
+                            }
+                        }
+                        if hit {
+                            out.push(IrFinding {
+                                function: f.name.clone(),
+                                defect: Defect::IntegerOverflow,
+                                line: f.line_of(*dst),
+                                message: "overflow check of the `a + b < a` family relies on \
+                                          signed wraparound; optimizers may delete it"
+                                    .to_string(),
+                                junk_id: None,
+                            });
+                        }
+                    }
+
+                    // (2) relational compare of pointers into different
+                    // objects (== and != stay legal).
+                    if matches!(op, LtS | LeS | GtS | GeS | LtU | LeU | GtU | GeU) {
+                        if let (Some(ba), Some(bb)) = (bases.get(&oa), bases.get(&ob)) {
+                            if ba != bb {
+                                out.push(IrFinding {
+                                    function: f.name.clone(),
+                                    defect: Defect::PointerCompare,
+                                    line: f.line_of(*dst),
+                                    message: "relational comparison of pointers into \
+                                              different objects; the result depends on \
+                                              implementation-chosen layout"
+                                        .to_string(),
+                                    junk_id: None,
+                                });
+                            }
+                        }
+                    }
+
+                    let o = fresh(*dst, &mut origin, &mut next_version);
+                    match (op, ub_signed) {
+                        (Add, true) => {
+                            arith.insert(o, (true, oa, ob));
+                        }
+                        (Sub, true) => {
+                            arith.insert(o, (false, oa, ob));
+                        }
+                        (Add | Sub, _) => {
+                            // Pointer arithmetic keeps the base object.
+                            let base = match (bases.get(&oa), bases.get(&ob)) {
+                                (Some(b), None) => Some(*b),
+                                (None, Some(b)) if *op == Add => Some(*b),
+                                _ => None,
+                            };
+                            if let Some(b) = base {
+                                bases.insert(o, b);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                other => {
+                    if let Some(d) = other.dst() {
+                        fresh(d, &mut origin, &mut next_version);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------- null check after deref
+
+/// Flags `p == 0` / `p != 0` tests of a pointer already dereferenced on
+/// every path to the test — exactly the checks the optimizer deletes.
+fn null_check_after_deref(f: &IrFunction, out: &mut Vec<IrFinding>) {
+    let a = NullAnalysis;
+    let states = fixpoint(f, &a);
+    let mut sink: Vec<u32> = Vec::new();
+    scan(f, &a, &states, |st, inst| {
+        if let Inst::Bin {
+            dst,
+            ty: minc_compile::ir::IrType::I64,
+            op: BinKind::Eq | BinKind::Ne,
+            a,
+            b,
+            ..
+        } = inst
+        {
+            let null_cmp = |p: ValueId, z: ValueId| {
+                st.zeros.contains(&z.0) && st.derefed.contains(&st.root(p.0))
+            };
+            if null_cmp(*a, *b) || null_cmp(*b, *a) {
+                sink.push(f.line_of(*dst));
+            }
+        }
+    });
+    for line in sink {
+        out.push(IrFinding {
+            function: f.name.clone(),
+            defect: Defect::NullDeref,
+            line,
+            message: "null check of a pointer already dereferenced on this path; \
+                      optimizers delete the check, `-O0` keeps it"
+                .to_string(),
+            junk_id: None,
+        });
+    }
+}

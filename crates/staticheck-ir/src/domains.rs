@@ -1,0 +1,320 @@
+//! Abstract domains for the IR lint.
+//!
+//! Three domains cover the unstable-code classes the lint reports
+//! directly:
+//!
+//! * [`JunkAnalysis`] — which registers *may* carry an indeterminate
+//!   ([`ConstVal::Junk`]) value, tagged with the mem2reg junk id so a
+//!   finding can be correlated with the promotion that introduced it;
+//! * [`NullAnalysis`] — which registers have been dereferenced on *every*
+//!   path (the null-check-after-deref precondition);
+//! * [`IntervalAnalysis`] — value intervals with widening, used to prove
+//!   shift amounts out of range for the operand width.
+
+use crate::dataflow::Analysis;
+use minc_compile::ir::{ConstVal, Inst, IrFunction, IrType};
+use std::collections::{BTreeMap, BTreeSet};
+
+// ------------------------------------------------------------------- junk
+
+/// May-analysis: registers possibly holding mem2reg junk (an uninitialized
+/// promoted local, or a value computed from one).
+pub struct JunkAnalysis;
+
+/// State for [`JunkAnalysis`]: register -> junk id it may carry.
+pub type JunkState = BTreeMap<u32, u32>;
+
+impl Analysis for JunkAnalysis {
+    type State = JunkState;
+
+    fn entry_state(&self, _f: &IrFunction) -> JunkState {
+        JunkState::new()
+    }
+
+    fn transfer_inst(&self, st: &mut JunkState, inst: &Inst, _f: &IrFunction) {
+        match inst {
+            Inst::Const {
+                dst,
+                val: ConstVal::Junk(id),
+                ..
+            } => {
+                st.insert(dst.0, *id);
+            }
+            Inst::Copy { dst, src, .. } => match st.get(&src.0).copied() {
+                Some(id) => {
+                    st.insert(dst.0, id);
+                }
+                None => {
+                    st.remove(&dst.0);
+                }
+            },
+            // Junk is poison: arithmetic on an indeterminate value yields
+            // an indeterminate value (the MSan shadow-propagation rule).
+            Inst::Bin { .. } | Inst::Un { .. } | Inst::Cast { .. } => {
+                let tainted = inst.uses().iter().find_map(|u| st.get(&u.0).copied());
+                let dst = inst.dst().expect("bin/un/cast produce a value");
+                match tainted {
+                    Some(id) => {
+                        st.insert(dst.0, id);
+                    }
+                    None => {
+                        st.remove(&dst.0);
+                    }
+                }
+            }
+            // Memory and call results are treated as clean: the lint only
+            // chases register junk introduced by promotion.
+            _ => {
+                if let Some(dst) = inst.dst() {
+                    st.remove(&dst.0);
+                }
+            }
+        }
+    }
+
+    fn join(&self, into: &mut JunkState, from: &JunkState) -> bool {
+        let mut changed = false;
+        for (r, id) in from {
+            match into.get(r) {
+                // Two different junk sources meeting: keep the smaller id
+                // deterministically; either attribution is valid evidence.
+                Some(cur) if cur <= id => {}
+                _ => {
+                    into.insert(*r, *id);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+}
+
+// ------------------------------------------------------------------- null
+
+/// Must-analysis: registers known dereferenced on every path, plus the
+/// copy-alias and known-zero facts needed to recognize `p == 0` checks.
+#[derive(Clone, Default, PartialEq)]
+pub struct NullState {
+    /// Roots dereferenced on all paths to this point.
+    pub derefed: BTreeSet<u32>,
+    /// Copy aliases: register -> the root register it currently mirrors.
+    pub alias: BTreeMap<u32, u32>,
+    /// Registers currently holding the constant 0 (a null literal).
+    pub zeros: BTreeSet<u32>,
+}
+
+impl NullState {
+    /// Resolves a register through the copy-alias map.
+    pub fn root(&self, r: u32) -> u32 {
+        self.alias.get(&r).copied().unwrap_or(r)
+    }
+}
+
+/// Must-derefed analysis backing the null-check-after-deref detector.
+pub struct NullAnalysis;
+
+impl Analysis for NullAnalysis {
+    type State = NullState;
+
+    fn entry_state(&self, _f: &IrFunction) -> NullState {
+        NullState::default()
+    }
+
+    fn transfer_inst(&self, st: &mut NullState, inst: &Inst, _f: &IrFunction) {
+        // Any (re)definition invalidates old facts about the register.
+        let kill = |st: &mut NullState, d: u32| {
+            st.derefed.remove(&d);
+            st.alias.remove(&d);
+            st.zeros.remove(&d);
+        };
+        match inst {
+            Inst::Copy { dst, src, .. } => {
+                let root = st.root(src.0);
+                let src_zero = st.zeros.contains(&src.0);
+                kill(st, dst.0);
+                st.alias.insert(dst.0, root);
+                if src_zero {
+                    st.zeros.insert(dst.0);
+                }
+            }
+            Inst::Const { dst, val, .. } => {
+                kill(st, dst.0);
+                if matches!(val, ConstVal::I64(0) | ConstVal::I32(0)) {
+                    st.zeros.insert(dst.0);
+                }
+            }
+            Inst::Load { dst, addr, .. } => {
+                let a = st.root(addr.0);
+                kill(st, dst.0);
+                st.derefed.insert(a);
+            }
+            Inst::Store { addr, .. } => {
+                let a = st.root(addr.0);
+                st.derefed.insert(a);
+            }
+            other => {
+                if let Some(d) = other.dst() {
+                    kill(st, d.0);
+                }
+            }
+        }
+    }
+
+    fn join(&self, into: &mut NullState, from: &NullState) -> bool {
+        let before = (into.derefed.len(), into.alias.len(), into.zeros.len());
+        into.derefed.retain(|r| from.derefed.contains(r));
+        into.alias.retain(|r, root| from.alias.get(r) == Some(root));
+        into.zeros.retain(|r| from.zeros.contains(r));
+        (into.derefed.len(), into.alias.len(), into.zeros.len()) != before
+    }
+}
+
+// -------------------------------------------------------------- intervals
+
+/// A closed integer interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The single-point interval `[v, v]`.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+}
+
+/// State for [`IntervalAnalysis`]: register -> interval. Absent = unknown.
+pub type IntervalState = BTreeMap<u32, Interval>;
+
+/// Interval analysis with widening at joins; precise enough to prove a
+/// shift amount constant (or constant-derived) and out of range.
+pub struct IntervalAnalysis;
+
+impl Analysis for IntervalAnalysis {
+    type State = IntervalState;
+
+    fn entry_state(&self, _f: &IrFunction) -> IntervalState {
+        IntervalState::new()
+    }
+
+    fn transfer_inst(&self, st: &mut IntervalState, inst: &Inst, _f: &IrFunction) {
+        use minc_compile::ir::BinKind::*;
+        let get = |st: &IntervalState, v: u32| st.get(&v).copied();
+        match inst {
+            Inst::Const { dst, val, .. } => {
+                match val {
+                    ConstVal::I32(v) => {
+                        st.insert(dst.0, Interval::point(*v as i64));
+                    }
+                    ConstVal::I64(v) => {
+                        st.insert(dst.0, Interval::point(*v));
+                    }
+                    _ => {
+                        st.remove(&dst.0);
+                    }
+                };
+            }
+            Inst::Copy { dst, src, .. } => match get(st, src.0) {
+                Some(i) => {
+                    st.insert(dst.0, i);
+                }
+                None => {
+                    st.remove(&dst.0);
+                }
+            },
+            Inst::Bin { dst, op, a, b, .. } => {
+                let out = match (op, get(st, a.0), get(st, b.0)) {
+                    (Add, Some(x), Some(y)) => {
+                        x.lo.checked_add(y.lo)
+                            .zip(x.hi.checked_add(y.hi))
+                            .map(|(lo, hi)| Interval { lo, hi })
+                    }
+                    (Sub, Some(x), Some(y)) => {
+                        x.lo.checked_sub(y.hi)
+                            .zip(x.hi.checked_sub(y.lo))
+                            .map(|(lo, hi)| Interval { lo, hi })
+                    }
+                    (And, _, Some(y)) if y.lo == y.hi && y.lo >= 0 => {
+                        // `x & mask` with a non-negative constant mask.
+                        Some(Interval { lo: 0, hi: y.lo })
+                    }
+                    (op, _, _) if op.is_comparison() => Some(Interval { lo: 0, hi: 1 }),
+                    _ => None,
+                };
+                match out {
+                    Some(i) => {
+                        st.insert(dst.0, i);
+                    }
+                    None => {
+                        st.remove(&dst.0);
+                    }
+                }
+            }
+            Inst::Cast { dst, kind, a } => {
+                use minc_compile::ir::CastKind::*;
+                let out = match (kind, get(st, a.0)) {
+                    (SextI32I64 | ZextI32I64 | SI32F64 | SI64F64, Some(i)) => Some(i),
+                    (TruncI64I32, Some(i))
+                        if i.lo >= i32::MIN as i64 && i.hi <= i32::MAX as i64 =>
+                    {
+                        Some(i)
+                    }
+                    _ => None,
+                };
+                match out {
+                    Some(i) => {
+                        st.insert(dst.0, i);
+                    }
+                    None => {
+                        st.remove(&dst.0);
+                    }
+                }
+            }
+            other => {
+                if let Some(d) = other.dst() {
+                    st.remove(&d.0);
+                }
+            }
+        }
+    }
+
+    fn join(&self, into: &mut IntervalState, from: &IntervalState) -> bool {
+        let mut changed = false;
+        let keys: Vec<u32> = into.keys().copied().collect();
+        for k in keys {
+            match from.get(&k) {
+                None => {
+                    into.remove(&k);
+                    changed = true;
+                }
+                Some(f) => {
+                    let i = into.get_mut(&k).expect("key just listed");
+                    // Widen any growing bound straight to +-inf so loops
+                    // converge in one extra iteration.
+                    if f.lo < i.lo {
+                        i.lo = i64::MIN;
+                        changed = true;
+                    }
+                    if f.hi > i.hi {
+                        i.hi = i64::MAX;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Bit width of an IR type for shift-range checking.
+pub fn shift_width(ty: IrType) -> i64 {
+    match ty {
+        IrType::I32 => 32,
+        IrType::I64 => 64,
+        IrType::F64 => 64,
+    }
+}

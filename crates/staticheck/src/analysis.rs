@@ -460,8 +460,6 @@ impl<'a> Analyzer<'a> {
                     if let ExprKind::Var(n) = &target.kind {
                         self.read_var(n, target);
                     }
-                } else {
-                    self.check_write_target(target);
                 }
                 if let Some(n) = var_name(target) {
                     if let Some(st) = self.var_mut(&n) {
@@ -480,17 +478,21 @@ impl<'a> Analyzer<'a> {
                         }
                     }
                 } else {
-                    // Writing through a pointer/index: check the base.
+                    // Writing through a pointer/index: check the base. The
+                    // target is evaluated exactly once, matching runtime
+                    // semantics — analyzing it twice double-counts side
+                    // effects such as `buf[i++] = v`.
                     self.check_write_target(target);
                 }
                 v
             }
-            ExprKind::IncDec { target, .. } => {
+            ExprKind::IncDec { inc, target, .. } => {
                 if let ExprKind::Var(n) = &target.kind {
                     self.read_var(n, target);
+                    let delta = if *inc { 1 } else { -1 };
                     if let Some(st) = self.var_mut(n) {
                         st.init = Tri::Yes;
-                        st.cst = st.cst.map(|c| c + 1);
+                        st.cst = st.cst.map(|c| c + delta);
                     }
                 }
                 AVal::default()

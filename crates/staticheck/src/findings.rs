@@ -15,6 +15,11 @@ pub enum Tool {
     /// Infer analog: memory-shape tracking, strong on pointers, noisy on
     /// may-issues.
     InferSim,
+    /// CompDiff's own IR-level unstable-code lint (dataflow over optimized
+    /// IR plus optimizer rewrite provenance). Implemented in the
+    /// `staticheck-ir` crate; this variant exists so all four tool columns
+    /// share one `Finding` surface.
+    CompdiffLint,
 }
 
 impl fmt::Display for Tool {
@@ -23,6 +28,7 @@ impl fmt::Display for Tool {
             Tool::CoveritySim => "coverity-sim",
             Tool::CppcheckSim => "cppcheck-sim",
             Tool::InferSim => "infer-sim",
+            Tool::CompdiffLint => "compdiff-lint",
         };
         f.write_str(s)
     }
@@ -60,6 +66,10 @@ pub enum Defect {
     BadShift,
     /// A value-returning function can fall off its end.
     MissingReturn,
+    /// A loop whose optimized trip count disagrees with the source trip
+    /// count (the seeded RQ2 miscompilation; only the IR lint's rewrite
+    /// provenance channel can report this).
+    MiscompiledLoop,
 }
 
 impl fmt::Display for Defect {
@@ -79,6 +89,7 @@ impl fmt::Display for Defect {
             Defect::PointerSubtraction => "pointer-subtraction",
             Defect::BadShift => "bad-shift",
             Defect::MissingReturn => "missing-return",
+            Defect::MiscompiledLoop => "miscompiled-loop",
         };
         f.write_str(s)
     }

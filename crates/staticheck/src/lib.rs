@@ -38,6 +38,9 @@ pub fn run_tool(checked: &CheckedProgram, tool: Tool) -> Vec<Finding> {
         Tool::CoveritySim => Profile::coverity(),
         Tool::CppcheckSim => Profile::cppcheck(),
         Tool::InferSim => Profile::infer(),
+        // The IR-level lint works on optimized IR, not the AST; it lives in
+        // the `staticheck-ir` crate (see `staticheck_ir::UnstableLint`).
+        Tool::CompdiffLint => return Vec::new(),
     };
     analyze(checked, &profile)
 }
@@ -293,6 +296,64 @@ mod tests {
             &findings_for(guarded, Tool::CoveritySim),
             Defect::OutOfBounds
         ));
+    }
+
+    #[test]
+    fn decrement_updates_tracked_constant() {
+        // Regression: `i--` was modeled as `i++`, so the in-bounds access
+        // below was flagged as index 11 of a 10-element array.
+        let ok = "int main() { int a[10]; int i = 10; i--; a[i] = 1; return a[i]; }";
+        for tool in [Tool::CoveritySim, Tool::CppcheckSim, Tool::InferSim] {
+            assert!(!has(&findings_for(ok, tool), Defect::OutOfBounds), "{tool}");
+        }
+        // Positive control: incrementing really does walk out of bounds.
+        let bad = "int main() { int a[10]; int i = 9; i++; a[i] = 1; return 0; }";
+        assert!(has(
+            &findings_for(bad, Tool::CppcheckSim),
+            Defect::OutOfBounds
+        ));
+    }
+
+    #[test]
+    fn write_target_side_effects_counted_once() {
+        // Regression: a non-variable assignment target was analyzed twice,
+        // so `a[i++] = v` advanced the tracked constant for `i` twice and
+        // the follow-up in-bounds access was reported as `a[4]`.
+        let src = "int main() { int a[4]; int i = 2; a[i++] = 1; a[i] = 2; return 0; }";
+        for tool in [Tool::CoveritySim, Tool::CppcheckSim, Tool::InferSim] {
+            assert!(
+                !has(&findings_for(src, tool), Defect::OutOfBounds),
+                "{tool}"
+            );
+        }
+    }
+
+    #[test]
+    fn pointer_write_checked_exactly_once() {
+        // `*p = v` goes through the single non-variable-target path; the
+        // use-after-free must surface exactly once.
+        let src = r#"
+            int main() {
+                int* p = (int*)malloc(8L);
+                free(p);
+                *p = 1;
+                return 0;
+            }
+        "#;
+        let f = findings_for(src, Tool::InferSim);
+        let uaf = f
+            .iter()
+            .filter(|f| f.defect == Defect::UseAfterFree)
+            .count();
+        assert_eq!(uaf, 1, "{f:?}");
+    }
+
+    #[test]
+    fn compdiff_lint_tool_is_ast_silent() {
+        // The fourth tool column analyzes optimized IR (staticheck-ir); the
+        // AST entry point reports nothing for it.
+        let checked = minc::check("int main() { int u; return u; }").unwrap();
+        assert!(run_tool(&checked, Tool::CompdiffLint).is_empty());
     }
 
     #[test]

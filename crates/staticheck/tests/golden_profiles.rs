@@ -1,0 +1,135 @@
+//! Golden tests pinning *how the three analyzer analogs disagree* on a set
+//! of hand-written MinC snippets. Table 3's story depends on these
+//! divergences (coverity-sim speculates on taint, cppcheck-sim is
+//! syntactic/conservative, infer-sim chases memory shapes), so each test
+//! pins the exact per-tool defect multiset rather than a single boolean.
+
+use staticheck::{run_tool, Tool};
+
+/// Sorted `defect` names one tool reports for `src`.
+fn defects(src: &str, tool: Tool) -> Vec<String> {
+    let checked = minc::check(src).unwrap();
+    let mut v: Vec<String> = run_tool(&checked, tool)
+        .iter()
+        .map(|f| f.defect.to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+/// Asserts the full coverity/cppcheck/infer defect multisets for `src`.
+fn golden(src: &str, coverity: &[&str], cppcheck: &[&str], infer: &[&str]) {
+    assert_eq!(defects(src, Tool::CoveritySim), coverity, "coverity-sim");
+    assert_eq!(defects(src, Tool::CppcheckSim), cppcheck, "cppcheck-sim");
+    assert_eq!(defects(src, Tool::InferSim), infer, "infer-sim");
+}
+
+/// May-uninit: one path initializes, the merge is *maybe*. Only infer-sim
+/// reports may-issues; coverity-sim and cppcheck-sim both stay quiet.
+#[test]
+fn golden_may_uninit() {
+    golden(
+        r#"
+        int main() {
+            int u;
+            if (input_size() > 3) { u = 1; }
+            return u;
+        }
+        "#,
+        &[],
+        &[],
+        &["uninitialized-use"],
+    );
+}
+
+/// Unchecked malloc dereference on a straight line: coverity-sim
+/// (IfUnguarded) and infer-sim (UnlessLiteralCheck) both flag it;
+/// cppcheck-sim never models allocation failure.
+#[test]
+fn golden_unchecked_malloc_deref() {
+    golden(
+        r#"
+        int main() {
+            int* p = (int*)malloc(8L);
+            p[0] = 1;
+            free(p);
+            return 0;
+        }
+        "#,
+        &["null-dereference"],
+        &[],
+        &["null-dereference"],
+    );
+}
+
+/// The same dereference behind a branch: coverity-sim's unguarded
+/// heuristic is satisfied by *any* earlier branch, infer-sim still wants a
+/// literal null check — the classic precision/recall split.
+#[test]
+fn golden_malloc_deref_after_unrelated_branch() {
+    golden(
+        r#"
+        int main() {
+            int* p = (int*)malloc(8L);
+            if (input_size() > 4) { printf("big\n"); }
+            p[0] = 1;
+            free(p);
+            return 0;
+        }
+        "#,
+        &[],
+        &[],
+        &["null-dereference"],
+    );
+}
+
+/// Unguarded tainted index into a fixed array: only coverity-sim
+/// speculates (its characteristic false-positive source).
+#[test]
+fn golden_tainted_index() {
+    golden(
+        r#"
+        int main() {
+            int a[8];
+            int i = getchar();
+            a[0] = 0;
+            return a[i];
+        }
+        "#,
+        &["out-of-bounds"],
+        &[],
+        &[],
+    );
+}
+
+/// Unguarded tainted divisor: coverity-sim alone reports possible
+/// division by zero.
+#[test]
+fn golden_tainted_divisor() {
+    golden(
+        "int main() { int z = getchar(); return 5 / z; }",
+        &["division-by-zero"],
+        &[],
+        &[],
+    );
+}
+
+/// Definite use-after-free: all three report the read-after-free, and the
+/// unchecked-malloc policies layer their null-deref reports on top
+/// (coverity-sim and infer-sim only).
+#[test]
+fn golden_use_after_free() {
+    golden(
+        r#"
+        int main() {
+            int* p = (int*)malloc(8L);
+            p[0] = 1;
+            free(p);
+            return p[0];
+        }
+        "#,
+        &["null-dereference", "null-dereference", "use-after-free"],
+        &["use-after-free"],
+        &["null-dereference", "null-dereference", "use-after-free"],
+    );
+}

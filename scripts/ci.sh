@@ -20,6 +20,14 @@ cargo test -q --offline --workspace
 echo "== telemetry determinism =="
 cargo test -q --offline -p campaign metrics_stream_is_deterministic
 
+echo "== lint determinism (compdiff lint --all, twice) =="
+lint_a="$(mktemp)"
+lint_b="$(mktemp)"
+trap 'rm -f "$lint_a" "$lint_b"' EXIT
+./target/release/compdiff lint --all --workers 4 > "$lint_a"
+./target/release/compdiff lint --all --workers 2 > "$lint_b"
+cmp "$lint_a" "$lint_b"
+
 echo "== cargo build --benches --offline =="
 cargo build --benches --offline --workspace
 
