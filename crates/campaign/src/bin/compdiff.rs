@@ -77,7 +77,11 @@ USAGE:
       --targets <a,b,...>    restrict to these catalog targets
       --checkpoint <dir>     write checkpoint.jsonl under <dir>
       --resume <dir>         resume a checkpointed campaign from <dir>
-      --stop-after <n>       abort after n jobs (checkpoint/kill testing)
+      --stop-after <n>       abort after n resolved job attempts (kill testing)
+      --max-retries <n>      re-runs granted to a failed job (default 2)
+      --quarantine-after <n> failures before a target is quarantined (default 3)
+      --fault-plan <spec>    inject deterministic faults, e.g.
+                             'panic@tcpdump#0,io@checkpoint:3' (testing)
       --metrics-out <path>   stream telemetry events (JSONL) to <path>
       --progress-every <n>   progress + execs/sec to stderr every n jobs
       --fixed-clock <us>     pin the telemetry clock (deterministic streams)";
@@ -293,12 +297,23 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
                         .collect(),
                     Err(e) => format!("  frontend error: {e}\n"),
                 };
-                outputs.lock().unwrap()[i] = Some(format!("== {} ==\n{report}", specs[i].name));
+                // Poison-proof: a panicking sibling worker must not turn
+                // this worker's lock acquisition into a second panic.
+                outputs.lock().unwrap_or_else(|e| e.into_inner())[i] =
+                    Some(format!("== {} ==\n{report}", specs[i].name));
             });
         }
     });
-    for o in outputs.into_inner().unwrap() {
-        print!("{}", o.expect("every target linted"));
+    for (i, o) in outputs
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .enumerate()
+    {
+        match o {
+            Some(text) => print!("{text}"),
+            None => return Err(format!("lint worker died before target {i} was reported")),
+        }
     }
     Ok(())
 }
@@ -327,6 +342,20 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     if let Some(v) = flag_value(args, "--stop-after") {
         cfg.stop_after_jobs = Some(v.parse().map_err(|_| format!("bad --stop-after `{v}`"))?);
+    }
+    if let Some(v) = flag_value(args, "--max-retries") {
+        cfg.max_retries = v.parse().map_err(|_| format!("bad --max-retries `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--quarantine-after") {
+        cfg.quarantine_after = v
+            .parse()
+            .map_err(|_| format!("bad --quarantine-after `{v}`"))?;
+    }
+    if let Some(spec) = flag_value(args, "--fault-plan") {
+        // Parsed after --seed so seeded#k sites key off the campaign seed.
+        let plan = campaign::FaultPlan::parse(&spec, cfg.seed)
+            .map_err(|e| format!("bad --fault-plan: {e}"))?;
+        cfg.fault_plan = Some(std::sync::Arc::new(plan));
     }
     if let Some(list) = flag_value(args, "--targets") {
         cfg.target_filter = Some(list.split(',').map(|s| s.trim().to_string()).collect());

@@ -6,11 +6,20 @@
 //! Without this, every (target × seed-shard) job would recompile the full
 //! implementation set — `CompDiff::from_source_default` pays the frontend
 //! plus ten backend pipelines per call, which dominates short shards.
+//!
+//! Compiles run inside `catch_unwind`: a panic in the compiler pipeline
+//! (a bug in one backend, or an injected fault) surfaces as
+//! [`CacheError::Panic`] on *this* lookup and leaves the slot empty, so
+//! the campaign can quarantine just that target — and a retry recompiles
+//! from scratch — instead of poisoning the slot mutex and wedging every
+//! later worker that touches the target.
 
+use crate::faults::{panic_message, FaultKind, FaultPlan};
 use compdiff::{CompDiff, DiffConfig};
 use minc::FrontendError;
 use minc_compile::{Binary, CompilerImpl};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use targets::Target;
@@ -42,6 +51,36 @@ impl CompiledTarget {
     }
 }
 
+/// Why a target could not be compiled.
+#[derive(Debug)]
+pub enum CacheError {
+    /// The target source failed the frontend (a real compile error).
+    Frontend(FrontendError),
+    /// The compiler pipeline panicked; the payload is carried so the
+    /// failure record names the cause.
+    Panic(String),
+    /// An injected `fail@compile:...` fault (deterministic testing only).
+    Injected(String),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Frontend(e) => write!(f, "frontend error: {e}"),
+            CacheError::Panic(m) => write!(f, "compile panicked: {m}"),
+            CacheError::Injected(m) => write!(f, "injected compile failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<FrontendError> for CacheError {
+    fn from(e: FrontendError) -> Self {
+        CacheError::Frontend(e)
+    }
+}
+
 /// Per-target compilation slot: workers asking for the same target
 /// serialize on the slot, not on the whole cache.
 #[derive(Default)]
@@ -55,6 +94,13 @@ pub struct BinaryCache {
     misses: AtomicU64,
 }
 
+/// Locks a mutex, shrugging off poison: every write the cache makes under
+/// its locks is either complete or absent (the slot stays `None` when a
+/// compile unwinds), so a poisoned lock carries no torn state.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl BinaryCache {
     /// Empty cache.
     pub fn new() -> Self {
@@ -65,43 +111,73 @@ impl BinaryCache {
     /// Concurrent calls for the same target block until the one compile
     /// finishes; calls for different targets proceed in parallel.
     ///
+    /// `faults`/`attempt` feed the deterministic injection harness; pass
+    /// `None` (the production default) to skip it entirely.
+    ///
     /// # Errors
     ///
-    /// Returns the frontend error if the target source does not check.
+    /// [`CacheError::Frontend`] if the target source does not check,
+    /// [`CacheError::Panic`] if the compiler pipeline panics (the slot is
+    /// left empty, so a retry recompiles), [`CacheError::Injected`] for
+    /// an injected compile fault.
     pub fn get_or_compile(
         &self,
         target: &Target,
         diff_config: &DiffConfig,
         fuzz_impl: CompilerImpl,
-    ) -> Result<Arc<CompiledTarget>, FrontendError> {
+        faults: Option<&FaultPlan>,
+        attempt: u32,
+    ) -> Result<Arc<CompiledTarget>, CacheError> {
+        let name = target.spec.name;
         let slot = {
-            let mut slots = self.slots.lock().unwrap();
-            Arc::clone(slots.entry(target.spec.name.to_string()).or_default())
+            let mut slots = lock_clean(&self.slots);
+            Arc::clone(slots.entry(name.to_string()).or_default())
         };
-        let mut guard = slot.0.lock().unwrap();
+        let mut guard = lock_clean(&slot.0);
         if let Some(ct) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(ct));
         }
+        let injected = faults.and_then(|p| p.fire_compile(name, attempt));
+        if injected == Some(FaultKind::CompileFail) {
+            return Err(CacheError::Injected(format!(
+                "fault plan failed compile of `{name}` (attempt {attempt})"
+            )));
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let checked = minc::check(&target.src)?;
-        let binaries: Vec<Binary> = CompilerImpl::default_set()
-            .iter()
-            .map(|&ci| minc_compile::compile(&checked, ci))
-            .collect();
-        let fuzz_binary = minc_compile::compile(&checked, fuzz_impl);
-        let ct = Arc::new(CompiledTarget {
-            name: target.spec.name.to_string(),
-            diff: CompDiff::new(binaries, diff_config.clone()),
-            fuzz_binary,
-            seeds: target.seeds.clone(),
-            magic: target.spec.magic,
-        });
+        // `catch_unwind` so a panicking backend fails this lookup instead
+        // of the whole campaign. On unwind the slot guard still holds
+        // `None` — nothing partial is published, which is what makes the
+        // poison-shrugging `lock_clean` sound.
+        let compiled = catch_unwind(AssertUnwindSafe(|| {
+            if injected == Some(FaultKind::Panic) {
+                panic!("fault plan panicked compile of `{name}` (attempt {attempt})");
+            }
+            let checked = minc::check(&target.src)?;
+            let binaries: Vec<Binary> = CompilerImpl::default_set()
+                .iter()
+                .map(|&ci| minc_compile::compile(&checked, ci))
+                .collect();
+            let fuzz_binary = minc_compile::compile(&checked, fuzz_impl);
+            Ok(CompiledTarget {
+                name: name.to_string(),
+                diff: CompDiff::new(binaries, diff_config.clone()),
+                fuzz_binary,
+                seeds: target.seeds.clone(),
+                magic: target.spec.magic,
+            })
+        }));
+        let ct = match compiled {
+            Ok(Ok(ct)) => Arc::new(ct),
+            Ok(Err(e)) => return Err(CacheError::Frontend(e)),
+            Err(payload) => return Err(CacheError::Panic(panic_message(payload.as_ref()))),
+        };
         *guard = Some(Arc::clone(&ct));
         Ok(ct)
     }
 
-    /// `(hits, misses)` — misses equal the number of compiles performed.
+    /// `(hits, misses)` — misses equal the number of compiles started
+    /// (including ones that failed or panicked).
     pub fn counters(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -112,6 +188,7 @@ impl BinaryCache {
 
 #[cfg(test)]
 mod tests {
+    // test-only: unwraps in this module assert test invariants.
     use super::*;
     use minc_compile::CompilerImpl;
     use targets::{build, catalog};
@@ -125,10 +202,10 @@ mod tests {
         let cache = BinaryCache::new();
         let t = build(&catalog()[0]);
         let a = cache
-            .get_or_compile(&t, &DiffConfig::default(), fuzz_impl())
+            .get_or_compile(&t, &DiffConfig::default(), fuzz_impl(), None, 1)
             .unwrap();
         let b = cache
-            .get_or_compile(&t, &DiffConfig::default(), fuzz_impl())
+            .get_or_compile(&t, &DiffConfig::default(), fuzz_impl(), None, 1)
             .unwrap();
         assert!(
             Arc::ptr_eq(&a, &b),
@@ -148,7 +225,7 @@ mod tests {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
                 cache
-                    .get_or_compile(&t, &DiffConfig::default(), fuzz_impl())
+                    .get_or_compile(&t, &DiffConfig::default(), fuzz_impl(), None, 1)
                     .unwrap()
             }));
         }
@@ -160,5 +237,48 @@ mod tests {
         let (hits, misses) = cache.counters();
         assert_eq!(misses, 1, "exactly one compile");
         assert_eq!(hits, 3);
+    }
+
+    /// A panicking compile must fail only its own lookup: the slot stays
+    /// usable, the retry recompiles, and other targets are unaffected.
+    #[test]
+    fn compile_panic_leaves_slot_retryable() {
+        let plan = FaultPlan::parse("panic@compile:any", 9).unwrap();
+        let cache = BinaryCache::new();
+        let t = build(&catalog()[0]);
+
+        let err = cache
+            .get_or_compile(&t, &DiffConfig::default(), fuzz_impl(), Some(&plan), 1)
+            .unwrap_err();
+        match err {
+            CacheError::Panic(m) => assert!(m.contains("fault plan"), "payload carried: {m}"),
+            other => panic!("expected Panic, got {other:?}"),
+        }
+
+        // Attempt 2 is past the rule's default count of 1: the retry
+        // recompiles cleanly on the same (unpoisoned) slot.
+        let ct = cache
+            .get_or_compile(&t, &DiffConfig::default(), fuzz_impl(), Some(&plan), 2)
+            .unwrap();
+        assert_eq!(ct.diff.binaries().len(), 10);
+        assert_eq!(cache.counters(), (0, 2), "both attempts were misses");
+    }
+
+    #[test]
+    fn injected_compile_failure_is_typed() {
+        let plan = FaultPlan::parse("fail@compile:jq*inf", 9).unwrap();
+        let cache = BinaryCache::new();
+        let jq = catalog()
+            .iter()
+            .find(|s| s.name == "jq")
+            .map(build)
+            .expect("jq in catalog");
+        let err = cache
+            .get_or_compile(&jq, &DiffConfig::default(), fuzz_impl(), Some(&plan), 3)
+            .unwrap_err();
+        assert!(matches!(err, CacheError::Injected(_)), "got {err:?}");
+        // Injected failures happen before the miss counter: compile work
+        // was never started.
+        assert_eq!(cache.counters(), (0, 0));
     }
 }

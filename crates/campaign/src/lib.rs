@@ -16,6 +16,16 @@
 //! signature set is identical at any worker count — completion order is
 //! the only thing parallelism changes.
 //!
+//! Campaigns are also *fault-tolerant*: a panicking job or compile is
+//! caught ([`scheduler`], [`cache`]) and becomes a structured
+//! [`state::FailureRecord`]; failed jobs are retried with deterministic
+//! backoff and repeatedly failing targets are quarantined
+//! ([`policy`]); checkpoints are fsynced per record and survive
+//! kill/resume including their failure history ([`state`]); and every
+//! recovery path is exercisable on demand through the seeded
+//! fault-injection harness ([`faults`]). A campaign with failing jobs
+//! completes with a partial-results report instead of aborting.
+//!
 //! ```
 //! let report = campaign::run(&campaign::CampaignConfig {
 //!     workers: 2,
@@ -31,19 +41,25 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faults;
+pub mod policy;
 pub mod scheduler;
 pub mod state;
 pub mod stats;
 pub mod telem;
 
-pub use cache::{BinaryCache, CompiledTarget};
-pub use scheduler::{execs_for_shard, job_seed, Job};
-pub use state::{CampaignHeader, CampaignState, JobRecord, StateError, CHECKPOINT_FILE};
+pub use cache::{BinaryCache, CacheError, CompiledTarget};
+pub use faults::{FaultKind, FaultPlan};
+pub use policy::{Disposition, FaultLedger, RetryPolicy};
+pub use scheduler::{execs_for_shard, job_seed, retry_backoff, Decision, Job, JobResult};
+pub use state::{
+    CampaignHeader, CampaignState, FailureKind, FailureRecord, JobRecord, StateError,
+    CHECKPOINT_FILE,
+};
 pub use stats::{CampaignStats, TargetStats};
 pub use telem::CampaignTelemetry;
 
 use compdiff::{DiffConfig, Json};
-use minc::FrontendError;
 use minc_compile::CompilerImpl;
 use std::collections::BTreeSet;
 use std::fs::File;
@@ -77,9 +93,19 @@ pub struct CampaignConfig {
     pub resume: bool,
     /// Restrict the campaign to these catalog targets (default: all 23).
     pub target_filter: Option<Vec<String>>,
-    /// Abort after this many *live* jobs finish — the test hook that
-    /// simulates a mid-campaign kill.
+    /// Abort after this many *live* job attempts resolve (done or
+    /// failed) — the test hook that simulates a mid-campaign kill at any
+    /// job boundary, including failure boundaries.
     pub stop_after_jobs: Option<usize>,
+    /// Re-runs granted to a failed job before it is abandoned.
+    pub max_retries: u32,
+    /// Cumulative failures after which a target is quarantined (its
+    /// remaining shards are skipped and the campaign reports partial
+    /// results).
+    pub quarantine_after: u32,
+    /// Deterministic fault-injection plan; `None` (the production
+    /// default) reduces every injection point to one `Option` check.
+    pub fault_plan: Option<Arc<FaultPlan>>,
     /// Suppress the live progress line.
     pub quiet: bool,
     /// Stream telemetry events (JSONL, one `compdiff::json` object per
@@ -108,6 +134,9 @@ impl Default for CampaignConfig {
             resume: false,
             target_filter: None,
             stop_after_jobs: None,
+            max_retries: 2,
+            quarantine_after: 3,
+            fault_plan: None,
             quiet: true,
             metrics_out: None,
             progress_every: 0,
@@ -116,12 +145,12 @@ impl Default for CampaignConfig {
     }
 }
 
-/// Errors a campaign can fail with.
+/// Errors a campaign can fail with. A failing *job* is not among them:
+/// compile errors, panics, and I/O faults inside jobs are handled by the
+/// retry/quarantine machinery and reported as partial results.
 #[derive(Debug)]
 pub enum CampaignError {
-    /// A target failed to compile (catalog targets never should).
-    Frontend(FrontendError),
-    /// The checkpoint could not be created, read, or appended.
+    /// The checkpoint could not be created or read.
     State(StateError),
     /// The target filter matched nothing.
     UnknownTarget(String),
@@ -132,7 +161,6 @@ pub enum CampaignError {
 impl std::fmt::Display for CampaignError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CampaignError::Frontend(e) => write!(f, "target compilation failed: {e}"),
             CampaignError::State(e) => write!(f, "{e}"),
             CampaignError::UnknownTarget(m) => write!(f, "{m}"),
             CampaignError::Metrics(e) => write!(f, "cannot open metrics stream: {e}"),
@@ -161,6 +189,9 @@ pub struct CampaignReport {
     pub checkpoint: Option<PathBuf>,
     /// True if the campaign stopped early (`stop_after_jobs`).
     pub aborted: bool,
+    /// True if checkpointing was disabled mid-campaign after a
+    /// persistent append failure (the campaign itself kept running).
+    pub checkpoint_degraded: bool,
     /// Final snapshot of the campaign's metric registry (always
     /// populated — aggregation runs even when the event stream is off).
     pub metrics: Json,
@@ -217,12 +248,22 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
         Some(dir) => Some(CampaignState::create(dir, &header)?),
         None => None,
     };
+    if let (Some(st), Some(plan)) = (state.as_mut(), &cfg.fault_plan) {
+        st.set_faults(Arc::clone(plan));
+    }
+
+    let policy = RetryPolicy {
+        max_retries: cfg.max_retries,
+        quarantine_after: cfg.quarantine_after,
+    };
+    let mut ledger = FaultLedger::new();
 
     let all_jobs: Vec<Job> = (0..selected.len())
         .flat_map(|t| {
             (0..cfg.shards_per_target).map(move |s| Job {
                 target_index: t,
                 shard: s,
+                attempt: 1,
             })
         })
         .collect();
@@ -231,73 +272,198 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
         for rec in st.done().values() {
             stats.absorb(None, rec);
         }
+        // Replay the failure history through the same policy state
+        // machine the live path uses: attempt counts, retry totals, and
+        // the quarantine set come out exactly as the uninterrupted run
+        // built them.
+        for f in st.failures().to_vec() {
+            stats.note_failure(&f.target);
+            match ledger.note_failure(&policy, &f.target, f.shard, f.attempt) {
+                Disposition::Retry { .. } => stats.note_retry(),
+                Disposition::Quarantine => {
+                    stats.note_quarantine(&f.target);
+                    stats.note_failed_job();
+                }
+                Disposition::Exhausted | Disposition::AlreadyQuarantined => {
+                    stats.note_failed_job();
+                }
+            }
+        }
+        ctel.targets_quarantined
+            .set(ledger.quarantined.len() as u64);
     }
-    let pending: Vec<Job> = all_jobs
-        .into_iter()
-        .filter(|j| match &state {
-            Some(st) => !st.is_done(selected[j.target_index].spec.name, j.shard),
-            None => true,
-        })
-        .collect();
+    let mut pending: Vec<Job> = Vec::new();
+    for mut j in all_jobs {
+        let name = selected[j.target_index].spec.name;
+        if state.as_ref().is_some_and(|st| st.is_done(name, j.shard)) {
+            continue;
+        }
+        if ledger.failed_jobs.contains(&(name.to_string(), j.shard)) {
+            // Terminally failed before the kill: already counted via the
+            // replay above; rescheduling it would diverge from the
+            // uninterrupted run.
+            continue;
+        }
+        if ledger.quarantined.contains(name) {
+            stats.note_skipped(name, 1);
+            continue;
+        }
+        j.attempt = ledger.prior_attempts(name, j.shard) + 1;
+        pending.push(j);
+    }
 
     let cache = BinaryCache::new();
     let mut aborted = false;
-    let mut state_err: Option<StateError> = None;
-    let mut live_done = 0usize;
-    scheduler::run_pool(&selected, &cache, cfg, &ctel, &pending, |out| {
-        // Checkpoint first, aggregate second: a job is "done" only once
-        // its record is durably on disk.
-        if let Some(st) = state.as_mut() {
-            let t0 = tel.now_micros();
-            if let Err(e) = st.record(out.record.clone()) {
-                state_err = Some(e);
-                return false;
+    let mut degraded = false;
+    let mut live_resolved = 0usize;
+    let pool_outcome = scheduler::run_pool(&selected, &cache, cfg, &ctel, &pending, |result| {
+        let mut decision = Decision::Continue;
+        match result {
+            JobResult::Done(out) => {
+                // Checkpoint first, aggregate second: a job is "done"
+                // only once its record is durably on disk (or
+                // checkpointing has been degraded away).
+                persist(
+                    &mut state,
+                    &mut degraded,
+                    &ctel,
+                    cfg.quiet,
+                    Rec::Job(out.record.clone()),
+                );
+                stats.absorb(Some(out.worker), &out.record);
+                // Events are emitted only here, on the coordinating
+                // thread, in completion order — with one worker that
+                // order is deterministic.
+                if tel.events_enabled() {
+                    tel.event(
+                        "job",
+                        vec![
+                            ("target", Json::Str(out.record.target.clone())),
+                            ("shard", Json::Int(i64::from(out.record.shard))),
+                            ("worker", Json::Int(out.worker as i64)),
+                            ("dur_us", Json::Int(out.dur_us as i64)),
+                            ("execs", Json::Int(out.record.execs as i64)),
+                            ("oracle_execs", Json::Int(out.record.oracle_execs as i64)),
+                            ("divergent", Json::Int(out.record.divergent as i64)),
+                            ("crashes", Json::Int(out.record.crashes as i64)),
+                            ("signatures", Json::Int(out.record.signatures.len() as i64)),
+                            ("pages_restored", Json::Int(out.vm.pages_restored as i64)),
+                            (
+                                "pages_materialized",
+                                Json::Int(out.vm.pages_materialized as i64),
+                            ),
+                            (
+                                "bulk_builtin_ops",
+                                Json::Int(out.vm.bulk_builtin_ops as i64),
+                            ),
+                            (
+                                "fallback_builtin_ops",
+                                Json::Int(out.vm.fallback_builtin_ops as i64),
+                            ),
+                        ],
+                    );
+                }
+                if !cfg.quiet {
+                    eprintln!(
+                        "{} <- {}#{}",
+                        stats.progress_line(),
+                        out.record.target,
+                        out.record.shard
+                    );
+                }
             }
-            ctel.checkpoint_write_us
-                .record(tel.now_micros().saturating_sub(t0));
+            JobResult::Failed(f) => {
+                stats.note_failure(&f.target);
+                if f.kind == FailureKind::Panic {
+                    ctel.worker_panics.inc();
+                }
+                persist(
+                    &mut state,
+                    &mut degraded,
+                    &ctel,
+                    cfg.quiet,
+                    Rec::Fail(FailureRecord {
+                        target: f.target.clone(),
+                        shard: f.job.shard,
+                        attempt: f.job.attempt,
+                        kind: f.kind,
+                        message: f.message.clone(),
+                    }),
+                );
+                let disposition =
+                    ledger.note_failure(&policy, &f.target, f.job.shard, f.job.attempt);
+                if tel.events_enabled() {
+                    tel.event(
+                        "failure",
+                        vec![
+                            ("target", Json::Str(f.target.clone())),
+                            ("shard", Json::Int(i64::from(f.job.shard))),
+                            ("attempt", Json::Int(i64::from(f.job.attempt))),
+                            ("kind", Json::Str(f.kind.to_string())),
+                            ("worker", Json::Int(f.worker as i64)),
+                            ("message", Json::Str(f.message.clone())),
+                        ],
+                    );
+                }
+                if !cfg.quiet {
+                    eprintln!(
+                        "{} !! {}#{} attempt {} failed ({}): {}",
+                        stats.progress_line(),
+                        f.target,
+                        f.job.shard,
+                        f.job.attempt,
+                        f.kind,
+                        f.message
+                    );
+                }
+                match disposition {
+                    Disposition::Retry { next_attempt } => {
+                        stats.note_retry();
+                        ctel.job_retries.inc();
+                        decision = Decision::Retry(Job {
+                            target_index: f.job.target_index,
+                            shard: f.job.shard,
+                            attempt: next_attempt,
+                        });
+                    }
+                    Disposition::Quarantine => {
+                        stats.note_failed_job();
+                        stats.note_quarantine(&f.target);
+                        ctel.targets_quarantined
+                            .set(ledger.quarantined.len() as u64);
+                        if tel.events_enabled() {
+                            tel.event(
+                                "quarantine",
+                                vec![
+                                    ("target", Json::Str(f.target.clone())),
+                                    (
+                                        "failures",
+                                        Json::Int(i64::from(
+                                            ledger
+                                                .target_failures
+                                                .get(&f.target)
+                                                .copied()
+                                                .unwrap_or(0),
+                                        )),
+                                    ),
+                                ],
+                            );
+                        }
+                        if !cfg.quiet {
+                            eprintln!("quarantined {} after repeated failures", f.target);
+                        }
+                        decision = Decision::Quarantine {
+                            target_index: f.job.target_index,
+                        };
+                    }
+                    Disposition::Exhausted | Disposition::AlreadyQuarantined => {
+                        stats.note_failed_job();
+                    }
+                }
+            }
         }
-        stats.absorb(Some(out.worker), &out.record);
-        live_done += 1;
-        // Events are emitted only here, on the coordinating thread, in
-        // completion order — with one worker that order is deterministic.
-        if tel.events_enabled() {
-            tel.event(
-                "job",
-                vec![
-                    ("target", Json::Str(out.record.target.clone())),
-                    ("shard", Json::Int(i64::from(out.record.shard))),
-                    ("worker", Json::Int(out.worker as i64)),
-                    ("dur_us", Json::Int(out.dur_us as i64)),
-                    ("execs", Json::Int(out.record.execs as i64)),
-                    ("oracle_execs", Json::Int(out.record.oracle_execs as i64)),
-                    ("divergent", Json::Int(out.record.divergent as i64)),
-                    ("crashes", Json::Int(out.record.crashes as i64)),
-                    ("signatures", Json::Int(out.record.signatures.len() as i64)),
-                    ("pages_restored", Json::Int(out.vm.pages_restored as i64)),
-                    (
-                        "pages_materialized",
-                        Json::Int(out.vm.pages_materialized as i64),
-                    ),
-                    (
-                        "bulk_builtin_ops",
-                        Json::Int(out.vm.bulk_builtin_ops as i64),
-                    ),
-                    (
-                        "fallback_builtin_ops",
-                        Json::Int(out.vm.fallback_builtin_ops as i64),
-                    ),
-                ],
-            );
-        }
-        if !cfg.quiet {
-            eprintln!(
-                "{} <- {}#{}",
-                stats.progress_line(),
-                out.record.target,
-                out.record.shard
-            );
-        }
-        if cfg.progress_every > 0 && live_done.is_multiple_of(cfg.progress_every) {
+        live_resolved += 1;
+        if cfg.progress_every > 0 && live_resolved.is_multiple_of(cfg.progress_every) {
             let secs = started.elapsed().as_secs_f64().max(1e-9);
             eprintln!(
                 "{} [{:.0} execs/sec]",
@@ -306,16 +472,15 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
             );
         }
         match cfg.stop_after_jobs {
-            Some(k) if live_done >= k => {
+            Some(k) if live_resolved >= k => {
                 aborted = true;
-                false
+                Decision::Stop
             }
-            _ => true,
+            _ => decision,
         }
-    })
-    .map_err(CampaignError::Frontend)?;
-    if let Some(e) = state_err {
-        return Err(CampaignError::State(e));
+    });
+    for j in &pool_outcome.swept {
+        stats.note_skipped(selected[j.target_index].spec.name, 1);
     }
 
     ctel.record_cache(cache.counters());
@@ -329,8 +494,67 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
         cache: cache.counters(),
         checkpoint: state.map(|s| s.path().to_path_buf()),
         aborted,
+        checkpoint_degraded: degraded,
         metrics,
     })
+}
+
+/// A checkpointable record, job or failure, for [`persist`].
+enum Rec {
+    Job(JobRecord),
+    Fail(FailureRecord),
+}
+
+fn append_rec(st: &mut CampaignState, rec: &Rec) -> Result<(), StateError> {
+    match rec {
+        Rec::Job(r) => st.append_job(r.clone()),
+        Rec::Fail(r) => st.append_failure(r.clone()),
+    }
+}
+
+/// Appends one record with the repair-then-degrade policy: a failed
+/// append is repaired (truncating any partial write) and retried once;
+/// if the retry or the fsync also fails, checkpointing is disabled for
+/// the rest of the campaign (`degraded`) and the campaign carries on —
+/// durability is best-effort, forward progress is not. This is what
+/// turns a flaky checkpoint disk into a degraded report instead of an
+/// abort or a hang.
+fn persist(
+    state: &mut Option<CampaignState>,
+    degraded: &mut bool,
+    ctel: &CampaignTelemetry,
+    quiet: bool,
+    rec: Rec,
+) {
+    if *degraded {
+        return;
+    }
+    let Some(st) = state.as_mut() else { return };
+    let t0 = ctel.tel.now_micros();
+    let mut result = append_rec(st, &rec);
+    if let Err(e) = &result {
+        ctel.checkpoint_errors.inc();
+        if !quiet {
+            eprintln!("checkpoint append failed ({e}); repairing and retrying");
+        }
+        result = st.repair().and_then(|()| append_rec(st, &rec));
+    }
+    let synced = result.and_then(|()| {
+        ctel.checkpoint_write_us
+            .record(ctel.tel.now_micros().saturating_sub(t0));
+        let t1 = ctel.tel.now_micros();
+        st.sync()?;
+        ctel.checkpoint_sync_us
+            .record(ctel.tel.now_micros().saturating_sub(t1));
+        Ok(())
+    });
+    if let Err(e) = synced {
+        ctel.checkpoint_errors.inc();
+        *degraded = true;
+        if !quiet {
+            eprintln!("checkpointing disabled for the rest of the campaign: {e}");
+        }
+    }
 }
 
 /// Assembles the campaign's [`Telemetry`] from the config: a JSONL
@@ -375,6 +599,7 @@ fn select_targets(cfg: &CampaignConfig) -> Result<Vec<Target>, CampaignError> {
 
 #[cfg(test)]
 mod tests {
+    // test-only: unwraps in this module assert test invariants.
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {

@@ -1,35 +1,52 @@
-//! The work-stealing scheduler: (target × seed-shard) jobs over N workers.
+//! The fault-tolerant work-stealing scheduler: (target × seed-shard) job
+//! attempts over N workers.
 //!
-//! Each worker owns a deque seeded round-robin; it pops its own front and,
-//! when empty, steals from the *back* of a sibling's deque (the classic
-//! Chase–Lev discipline, here with plain mutexed deques — jobs are
-//! seconds-long, so contention on the deque locks is noise).
+//! Each worker owns a deque seeded round-robin; it pops its own front
+//! and, when empty, steals from the *back* of a sibling's deque (the
+//! classic Chase–Lev discipline, here with one mutexed state block —
+//! jobs are seconds-long, so lock contention is noise). A condvar parks
+//! idle workers while retries may still be requeued: a worker only exits
+//! when no job is queued *and* none is outstanding.
+//!
+//! Fault tolerance: every job attempt (compile included) runs inside
+//! `catch_unwind`, so a panic becomes a [`JobResult::Failed`] delivered
+//! to the coordinator instead of a dead pool. The coordinator answers
+//! each result with a [`Decision`] — retry (requeued at a deterministic
+//! backoff position), quarantine (the target's queued jobs are swept and
+//! reported back), continue, or stop. The worker blocks until its result
+//! is decided, which keeps single-worker campaigns fully serialized and
+//! therefore byte-identical across runs.
 //!
 //! Determinism: a job's fuzzing seed is derived from `(campaign seed,
 //! target name, shard index)` and *never* from which worker runs it or
-//! when. A campaign's deduped signature set is the order-independent union
-//! of its jobs' sets, so N workers and 1 worker produce identical results.
+//! when. Retry backoff is a *queue position* derived from the same seed
+//! material — no wall-clock sleeps — so a campaign with failures replays
+//! exactly under the same seed and fault plan. A campaign's deduped
+//! signature set is the order-independent union of its jobs' sets, so N
+//! workers and 1 worker produce identical results.
 
-use crate::cache::{BinaryCache, CompiledTarget};
-use crate::state::JobRecord;
+use crate::cache::{BinaryCache, CacheError, CompiledTarget};
+use crate::faults::{panic_message, FaultKind};
+use crate::state::{FailureKind, JobRecord};
 use crate::telem::{CampaignTelemetry, DiffTelemetry};
 use crate::CampaignConfig;
 use compdiff::{hash64, DiffOutcome, DiffStore};
 use fuzzing::{BinaryTarget, FuzzConfig, Fuzzer, Oracle};
-use minc::FrontendError;
 use minc_vm::{ExecResult, ExecSession, SessionStats};
 use std::collections::{BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Condvar, Mutex, MutexGuard};
 use targets::Target;
 
-/// One schedulable unit: one seed shard of one target.
+/// One schedulable unit: one attempt at one seed shard of one target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Job {
     /// Index into the campaign's target list.
     pub target_index: usize,
     /// Shard index, `0..shards_per_target`.
     pub shard: u32,
+    /// 1-based attempt number (2+ are retries).
+    pub attempt: u32,
 }
 
 /// A finished job, tagged with the worker that ran it. Only `record`
@@ -47,6 +64,61 @@ pub struct JobOutput {
     pub vm: SessionStats,
 }
 
+/// A failed job attempt, already converted to structured data — panic
+/// payloads and compile errors never cross the channel raw.
+#[derive(Debug)]
+pub struct JobFailure {
+    /// Worker index.
+    pub worker: usize,
+    /// The attempt that failed.
+    pub job: Job,
+    /// Target name (resolved from `job.target_index`).
+    pub target: String,
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable cause (panic payload, compile error, ...).
+    pub message: String,
+    /// Attempt wall-clock duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// What one job attempt resolved to.
+#[derive(Debug)]
+pub enum JobResult {
+    /// The attempt completed and produced a checkpointable record.
+    Done(JobOutput),
+    /// The attempt failed (panic, compile error, or injected fault).
+    Failed(JobFailure),
+}
+
+/// The coordinator's answer to a [`JobResult`] — how the pool proceeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Nothing to do; the job is resolved.
+    Continue,
+    /// Requeue this job (its `attempt` already incremented) at a
+    /// deterministic backoff position.
+    Retry(Job),
+    /// Drop every queued job of this target; the swept jobs are returned
+    /// in [`PoolOutcome::swept`].
+    Quarantine {
+        /// Index into the campaign's target list.
+        target_index: usize,
+    },
+    /// Abort the campaign: workers stop picking up jobs and in-flight
+    /// results are dropped — the simulated `kill` the resume path
+    /// recovers from.
+    Stop,
+}
+
+/// What the pool did beyond invoking the callback.
+#[derive(Debug, Default)]
+pub struct PoolOutcome {
+    /// Queued jobs dropped by [`Decision::Quarantine`] sweeps, in sweep
+    /// order — the coordinator counts these as skipped.
+    pub swept: Vec<Job>,
+}
+
 /// The per-job RNG seed: a SplitMix64 mix of the campaign seed, the
 /// target's name hash, and the shard index. Worker assignment and timing
 /// never enter, which is what makes campaigns reproducible at any `-j`.
@@ -59,6 +131,16 @@ pub fn job_seed(campaign_seed: u64, target: &str, shard: u32) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Deterministic retry backoff. Instead of a wall-clock delay (which
+/// would reintroduce timing into an otherwise pure schedule), backoff is
+/// expressed as *queue position* material: the retried job is inserted
+/// mid-deque so other queued work runs first. A pure function of the
+/// campaign seed and the job identity, so kill/resume replays it.
+pub fn retry_backoff(campaign_seed: u64, target: &str, shard: u32, attempt: u32) -> u64 {
+    let salt = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(attempt));
+    job_seed(campaign_seed ^ salt, target, shard)
+}
+
 /// Splits a target's execution budget across its shards; shard 0 absorbs
 /// the remainder so the budget is spent exactly.
 pub fn execs_for_shard(execs_per_target: u64, shards: u32, shard: u32) -> u64 {
@@ -69,6 +151,13 @@ pub fn execs_for_shard(execs_per_target: u64, shards: u32, shard: u32) -> u64 {
     } else {
         base
     }
+}
+
+/// Locks a mutex, shrugging off poison. The pool's shared state is only
+/// mutated under short, panic-free critical sections (deque ops and
+/// counter bumps), so a poisoned lock carries no torn state.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// The differential oracle a worker plugs into its fuzzer: borrows the
@@ -101,18 +190,48 @@ impl Oracle for DiffOracle<'_> {
     }
 }
 
-/// Runs one job to completion: a full fuzzing campaign over the shard's
-/// seed slice with the CompDiff oracle attached, instrumented through
-/// `ctel` (metric updates only — events are the coordinator's job, so a
-/// worker thread never touches the recorder).
+/// Runs one job attempt to completion: a full fuzzing campaign over the
+/// shard's seed slice with the CompDiff oracle attached, instrumented
+/// through `ctel` (metric updates only — events are the coordinator's
+/// job, so a worker thread never touches the recorder).
+///
+/// # Errors
+///
+/// Returns the failure kind and message for an injected (non-panic) job
+/// fault; injected *panics* unwind out of this function and are caught
+/// by the worker loop.
+///
+/// # Panics
+///
+/// Panics deliberately when the fault plan schedules `panic@...` for
+/// this job attempt (and whenever the fuzzing or VM stack itself has a
+/// bug — which is exactly what the worker's `catch_unwind` isolates).
 pub fn run_job(
     ct: &CompiledTarget,
     cfg: &CampaignConfig,
     job: Job,
     worker: usize,
     ctel: &CampaignTelemetry,
-) -> JobOutput {
+) -> Result<JobOutput, (FailureKind, String)> {
     let job_start_us = ctel.tel.now_micros();
+    if let Some(plan) = cfg.fault_plan.as_deref() {
+        match plan.fire_job(&ct.name, job.shard, job.attempt) {
+            Some(FaultKind::Panic) => panic!(
+                "fault plan panicked job {}#{} (attempt {})",
+                ct.name, job.shard, job.attempt
+            ),
+            Some(FaultKind::Io) => {
+                return Err((
+                    FailureKind::Io,
+                    format!(
+                        "injected I/O error in job {}#{} (attempt {})",
+                        ct.name, job.shard, job.attempt
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
     let seed = job_seed(cfg.seed, &ct.name, job.shard);
     let max_execs = execs_for_shard(cfg.execs_per_target, cfg.shards_per_target, job.shard);
     // The seed-slice: shard s takes every `shards`-th corpus entry
@@ -168,7 +287,7 @@ pub fn run_job(
         .iter()
         .map(|d| d.signature.clone())
         .collect();
-    JobOutput {
+    Ok(JobOutput {
         worker,
         record: JobRecord {
             target: ct.name.clone(),
@@ -181,83 +300,192 @@ pub fn run_job(
         },
         dur_us,
         vm,
-    }
+    })
+}
+
+/// Shared pool state: the work deques plus the accounting the exit
+/// condition needs. `outstanding` counts jobs that are queued *or*
+/// resolving (popped but not yet decided) — a worker may only exit when
+/// it is zero, because until then a retry could still be requeued.
+struct Shared {
+    deques: Vec<VecDeque<Job>>,
+    outstanding: usize,
+    abort: bool,
+}
+
+/// One attempt result in flight to the coordinator. The worker blocks on
+/// `ack` until the coordinator has applied its [`Decision`], so at
+/// `workers = 1` the schedule is a strict job → decision → job
+/// alternation — the property the byte-identical determinism tests rely
+/// on.
+struct Msg {
+    result: JobResult,
+    ack: mpsc::Sender<()>,
 }
 
 /// Runs `jobs` across `cfg.workers` work-stealing workers, invoking
-/// `on_result` on the coordinating thread for every finished job (in
-/// completion order). `on_result` returning `false` aborts the campaign:
-/// workers stop picking up new jobs and in-flight results are dropped —
-/// the simulated `kill` the resume path recovers from.
-///
-/// # Errors
-///
-/// Propagates the first target-compilation failure.
+/// `on_result` on the coordinating thread for every resolved job attempt
+/// (in completion order) and applying the [`Decision`] it returns.
+/// Worker panics are caught and delivered as [`JobResult::Failed`]; the
+/// pool itself never aborts on a failing job.
 pub fn run_pool(
     targets: &[Target],
     cache: &BinaryCache,
     cfg: &CampaignConfig,
     ctel: &CampaignTelemetry,
     jobs: &[Job],
-    mut on_result: impl FnMut(JobOutput) -> bool,
-) -> Result<(), FrontendError> {
+    mut on_result: impl FnMut(JobResult) -> Decision,
+) -> PoolOutcome {
     let workers = cfg.workers.max(1);
-    let deques: Vec<Mutex<VecDeque<Job>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut deques: Vec<VecDeque<Job>> = (0..workers).map(|_| VecDeque::new()).collect();
     for (i, &job) in jobs.iter().enumerate() {
-        deques[i % workers].lock().unwrap().push_back(job);
+        deques[i % workers].push_back(job);
     }
-    let abort = AtomicBool::new(false);
-    let (tx, rx) = mpsc::channel::<Result<JobOutput, FrontendError>>();
+    let shared = Mutex::new(Shared {
+        deques,
+        outstanding: jobs.len(),
+        abort: false,
+    });
+    let cvar = Condvar::new();
+    let (tx, rx) = mpsc::channel::<Msg>();
+    let faults = cfg.fault_plan.as_deref();
 
-    let mut first_err: Option<FrontendError> = None;
+    let mut outcome = PoolOutcome::default();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let tx = tx.clone();
-            let deques = &deques;
-            let abort = &abort;
-            scope.spawn(move || {
-                loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
+            let shared = &shared;
+            let cvar = &cvar;
+            scope.spawn(move || loop {
+                let job = {
+                    let mut sh = lock_clean(shared);
+                    loop {
+                        if sh.abort {
+                            break None;
+                        }
+                        // Own work first (front), then steal (back).
+                        if let Some(j) = sh.deques[w].pop_front() {
+                            break Some(j);
+                        }
+                        if let Some(j) =
+                            (1..workers).find_map(|d| sh.deques[(w + d) % workers].pop_back())
+                        {
+                            break Some(j);
+                        }
+                        if sh.outstanding == 0 {
+                            break None;
+                        }
+                        // Queues are empty but a retry may still arrive.
+                        sh = cvar.wait(sh).unwrap_or_else(|e| e.into_inner());
                     }
-                    // Own work first (front), then steal (back).
-                    let job = deques[w].lock().unwrap().pop_front().or_else(|| {
-                        (1..workers)
-                            .find_map(|d| deques[(w + d) % workers].lock().unwrap().pop_back())
-                    });
-                    let Some(job) = job else { break };
-                    let msg = cache
-                        .get_or_compile(&targets[job.target_index], &cfg.diff_config, cfg.fuzz_impl)
-                        .map(|ct| run_job(&ct, cfg, job, w, ctel));
-                    if tx.send(msg).is_err() {
-                        break;
-                    }
+                };
+                let Some(job) = job else { break };
+                let target = &targets[job.target_index];
+                let start_us = ctel.tel.now_micros();
+                // The unwind boundary: a panic anywhere in the compile or
+                // the job (real or injected) resolves *this attempt*, not
+                // the pool.
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    let ct = cache
+                        .get_or_compile(
+                            target,
+                            &cfg.diff_config,
+                            cfg.fuzz_impl,
+                            faults,
+                            job.attempt,
+                        )
+                        .map_err(|e| {
+                            let kind = match &e {
+                                CacheError::Frontend(_)
+                                | CacheError::Panic(_)
+                                | CacheError::Injected(_) => FailureKind::Compile,
+                            };
+                            (kind, e.to_string())
+                        })?;
+                    run_job(&ct, cfg, job, w, ctel)
+                }));
+                let result = match attempt {
+                    Ok(Ok(out)) => JobResult::Done(out),
+                    Ok(Err((kind, message))) => JobResult::Failed(JobFailure {
+                        worker: w,
+                        job,
+                        target: target.spec.name.to_string(),
+                        kind,
+                        message,
+                        dur_us: ctel.tel.now_micros().saturating_sub(start_us),
+                    }),
+                    Err(payload) => JobResult::Failed(JobFailure {
+                        worker: w,
+                        job,
+                        target: target.spec.name.to_string(),
+                        kind: FailureKind::Panic,
+                        message: panic_message(payload.as_ref()),
+                        dur_us: ctel.tel.now_micros().saturating_sub(start_us),
+                    }),
+                };
+                let (ack_tx, ack_rx) = mpsc::channel::<()>();
+                if tx
+                    .send(Msg {
+                        result,
+                        ack: ack_tx,
+                    })
+                    .is_err()
+                {
+                    break;
                 }
+                // Wait for the coordinator's decision before taking more
+                // work (an Err means the coordinator stopped — the abort
+                // flag is already set and the next pop exits).
+                let _ = ack_rx.recv();
             });
         }
         drop(tx);
-        for msg in rx {
-            match msg {
-                Ok(out) => {
-                    if !on_result(out) {
-                        abort.store(true, Ordering::Relaxed);
-                        break;
+        for Msg { result, ack } in rx {
+            let decision = on_result(result);
+            {
+                let mut sh = lock_clean(&shared);
+                match decision {
+                    Decision::Continue => sh.outstanding -= 1,
+                    Decision::Retry(job) => {
+                        let name = targets[job.target_index].spec.name;
+                        let back = retry_backoff(cfg.seed, name, job.shard, job.attempt);
+                        let d = (back % workers as u64) as usize;
+                        let dq = &mut sh.deques[d];
+                        let pos = ((back >> 32) as usize) % (dq.len() + 1);
+                        dq.insert(pos, job);
+                        // `outstanding` unchanged: the job is queued again.
+                    }
+                    Decision::Quarantine { target_index } => {
+                        sh.outstanding -= 1;
+                        let before = outcome.swept.len();
+                        for dq in &mut sh.deques {
+                            dq.retain(|j| {
+                                let hit = j.target_index == target_index;
+                                if hit {
+                                    outcome.swept.push(*j);
+                                }
+                                !hit
+                            });
+                        }
+                        sh.outstanding -= outcome.swept.len() - before;
+                    }
+                    Decision::Stop => {
+                        // Set under the lock, *then* notify: a worker
+                        // between its abort check and its wait would
+                        // otherwise miss the wakeup.
+                        sh.abort = true;
                     }
                 }
-                Err(e) => {
-                    abort.store(true, Ordering::Relaxed);
-                    first_err = Some(e);
-                    break;
-                }
+                cvar.notify_all();
+            }
+            let _ = ack.send(());
+            if decision == Decision::Stop {
+                break;
             }
         }
         // Dropping `rx` here unblocks any worker mid-`send`.
     });
-    match first_err {
-        Some(e) => Err(e),
-        None => Ok(()),
-    }
+    outcome
 }
 
 #[cfg(test)]
@@ -279,5 +507,13 @@ mod tests {
             let sum: u64 = (0..shards).map(|s| execs_for_shard(total, shards, s)).sum();
             assert_eq!(sum, total);
         }
+    }
+
+    #[test]
+    fn retry_backoff_is_pure_and_attempt_dependent() {
+        let a = retry_backoff(1, "tcpdump", 0, 2);
+        assert_eq!(a, retry_backoff(1, "tcpdump", 0, 2), "pure function");
+        assert_ne!(a, retry_backoff(1, "tcpdump", 0, 3), "varies by attempt");
+        assert_ne!(a, retry_backoff(2, "tcpdump", 0, 2), "varies by seed");
     }
 }

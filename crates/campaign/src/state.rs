@@ -2,25 +2,36 @@
 //!
 //! The file is append-only. Line 1 is a header pinning the campaign
 //! parameters (seed, budget, shard count, target list); every later line
-//! records one finished (target × shard) job with its deduped discrepancy
-//! signatures. Each record is flushed as soon as the job completes, so a
-//! `kill -9` loses at most the in-flight jobs — and because a job's result
-//! is a pure function of `(campaign seed, target, shard)`, redoing the
-//! lost jobs on resume reproduces the exact same campaign state.
+//! records either one finished (target × shard) job with its deduped
+//! discrepancy signatures, or one failed job attempt (a
+//! [`FailureRecord`]) so retry counts and quarantine state survive a
+//! kill. Each record is flushed *and fsynced* (`File::sync_all`) as soon
+//! as the job resolves, so a `kill -9` — or a power loss — loses at most
+//! the in-flight jobs; a flush alone only moves bytes into the OS page
+//! cache, which power loss discards, and an acknowledged job must never
+//! be lost once the campaign reported it done. Because a job's result is
+//! a pure function of `(campaign seed, target, shard)`, redoing the lost
+//! jobs on resume reproduces the exact same campaign state.
 //!
 //! A torn trailing line (the process died mid-write) is detected by the
 //! strict JSON parser and skipped; a torn line anywhere *else* means the
 //! file was corrupted by something other than a crash mid-append, and
-//! resume refuses to guess.
+//! resume refuses to guess. A fresh campaign refuses to open a directory
+//! that already holds a checkpoint (`create_new` semantics) — silently
+//! truncating weeks of results on a name collision is the one failure no
+//! retry can undo.
 
+use crate::faults::FaultPlan;
 use compdiff::Json;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Checkpoint format version (line 1 of every checkpoint file).
-pub const STATE_VERSION: i64 = 1;
+/// Version 2 added `failure` records (failed job attempts).
+pub const STATE_VERSION: i64 = 2;
 
 /// Name of the checkpoint file inside the campaign directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.jsonl";
@@ -160,11 +171,104 @@ impl JobRecord {
     }
 }
 
+/// How a job attempt failed (the failure taxonomy; see DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailureKind {
+    /// The worker panicked mid-job (caught by `catch_unwind`).
+    Panic,
+    /// The target failed to compile (frontend error or compile panic).
+    Compile,
+    /// An I/O error surfaced inside the job.
+    Io,
+}
+
+impl FailureKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Compile => "compile",
+            FailureKind::Io => "io",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "panic" => Ok(FailureKind::Panic),
+            "compile" => Ok(FailureKind::Compile),
+            "io" => Ok(FailureKind::Io),
+            other => Err(format!("unknown failure kind `{other}`")),
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One failed job attempt. Appended to the checkpoint like a
+/// [`JobRecord`], so resume can replay the retry/quarantine state
+/// machine instead of forgetting that a target was degraded.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FailureRecord {
+    /// Target name.
+    pub target: String,
+    /// Shard index within the target.
+    pub shard: u32,
+    /// 1-based attempt number that failed.
+    pub attempt: u32,
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable cause (panic payload, compile error, ...).
+    pub message: String,
+}
+
+impl FailureRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("type", Json::Str("failure".to_string())),
+            ("target", Json::Str(self.target.clone())),
+            ("shard", Json::Int(i64::from(self.shard))),
+            ("attempt", Json::Int(i64::from(self.attempt))),
+            ("kind", Json::Str(self.kind.as_str().to_string())),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        if v.get("type").and_then(Json::as_str) != Some("failure") {
+            return Err("record line is not a failure record".to_string());
+        }
+        let int = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_i64)
+                .ok_or(format!("failure missing {k}"))
+        };
+        let text = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("failure missing {k}"))
+        };
+        Ok(FailureRecord {
+            target: text("target")?,
+            shard: u32::try_from(int("shard")?).map_err(|_| "shard out of range")?,
+            attempt: u32::try_from(int("attempt")?).map_err(|_| "attempt out of range")?,
+            kind: FailureKind::parse(&text("kind")?)?,
+            message: text("message")?,
+        })
+    }
+}
+
 /// Errors opening or updating a checkpoint.
 #[derive(Debug)]
 pub enum StateError {
     /// Filesystem failure.
     Io(std::io::Error),
+    /// A fresh campaign pointed at a directory that already holds a
+    /// checkpoint. Never clobbered silently.
+    AlreadyExists(PathBuf),
     /// A non-trailing line failed to parse — not a crash artifact.
     Corrupt {
         /// 1-based line number.
@@ -180,6 +284,12 @@ impl std::fmt::Display for StateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StateError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            StateError::AlreadyExists(p) => write!(
+                f,
+                "a checkpoint already exists at {}; pass --resume to continue \
+                 that campaign or point --checkpoint at a fresh directory",
+                p.display()
+            ),
             StateError::Corrupt { line, message } => {
                 write!(f, "checkpoint corrupt at line {line}: {message}")
             }
@@ -196,11 +306,21 @@ impl From<std::io::Error> for StateError {
     }
 }
 
-/// The live campaign state: finished jobs plus the append handle.
+/// The live campaign state: finished jobs, failed attempts, and the
+/// append handle.
 pub struct CampaignState {
     path: PathBuf,
     file: BufWriter<File>,
     done: BTreeMap<(String, u32), JobRecord>,
+    failures: Vec<FailureRecord>,
+    /// Byte length of the file after the last *successful* append — the
+    /// truncation point [`repair`](CampaignState::repair) restores after
+    /// a failed (possibly partial) write.
+    good_len: u64,
+    /// Append attempts made through this handle plus the records already
+    /// on disk when it was opened (1-based sequence for fault injection).
+    seq: u64,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for CampaignState {
@@ -208,34 +328,51 @@ impl std::fmt::Debug for CampaignState {
         f.debug_struct("CampaignState")
             .field("path", &self.path)
             .field("done", &self.done.len())
+            .field("failures", &self.failures.len())
             .finish()
     }
 }
 
 impl CampaignState {
-    /// Starts a fresh checkpoint in `dir` (created if missing), truncating
-    /// any previous one.
+    /// Starts a fresh checkpoint in `dir` (created if missing). Refuses
+    /// to touch a directory that already holds a checkpoint: a campaign
+    /// name collision must surface as an error, not as a silent
+    /// truncation of the previous campaign's results.
     ///
     /// # Errors
     ///
-    /// Returns [`StateError::Io`] if the directory or file cannot be
-    /// created.
+    /// [`StateError::AlreadyExists`] if `dir` already has a checkpoint,
+    /// [`StateError::Io`] if the directory or file cannot be created.
     pub fn create(dir: &Path, header: &CampaignHeader) -> Result<Self, StateError> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(CHECKPOINT_FILE);
-        let file = File::create(&path)?;
+        let file = match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                return Err(StateError::AlreadyExists(path));
+            }
+            Err(e) => return Err(StateError::Io(e)),
+        };
         let mut state = CampaignState {
             path,
             file: BufWriter::new(file),
             done: BTreeMap::new(),
+            failures: Vec::new(),
+            good_len: 0,
+            seq: 0,
+            faults: None,
         };
+        // The header is written before any fault plan is attached, so a
+        // plan can never fail a campaign at birth.
         state.append_line(&header.to_json())?;
+        state.sync()?;
         Ok(state)
     }
 
     /// Reopens an existing checkpoint, validating it against `header` and
-    /// loading every finished job. A torn final line (the previous process
-    /// died mid-append) is skipped; its job simply re-runs.
+    /// loading every finished job and failed attempt. A torn final line
+    /// (the previous process died mid-append) is skipped; its job simply
+    /// re-runs.
     ///
     /// # Errors
     ///
@@ -243,6 +380,11 @@ impl CampaignState {
     /// campaign with different parameters, [`StateError::Corrupt`] if a
     /// non-trailing line is unreadable.
     pub fn resume(dir: &Path, header: &CampaignHeader) -> Result<Self, StateError> {
+        enum Line {
+            Header,
+            Job(JobRecord),
+            Fail(FailureRecord),
+        }
         let path = dir.join(CHECKPOINT_FILE);
         let text = std::fs::read_to_string(&path)?;
         let lines: Vec<&str> = text.lines().collect();
@@ -261,6 +403,7 @@ impl CampaignState {
         }
         let mut truncate_to: Option<u64> = None;
         let mut done = BTreeMap::new();
+        let mut failures = Vec::new();
         for (idx, line) in lines.iter().enumerate() {
             let is_last = idx + 1 == lines.len();
             let parsed = Json::parse(line).map_err(|e| e.to_string()).and_then(|v| {
@@ -274,16 +417,21 @@ impl CampaignState {
                             path.display()
                         ));
                     }
-                    Ok(None)
+                    Ok(Line::Header)
                 } else {
-                    JobRecord::from_json(&v).map(Some)
+                    match v.get("type").and_then(Json::as_str) {
+                        Some("job") => JobRecord::from_json(&v).map(Line::Job),
+                        Some("failure") => FailureRecord::from_json(&v).map(Line::Fail),
+                        other => Err(format!("unknown record type {other:?}")),
+                    }
                 }
             });
             match parsed {
-                Ok(Some(rec)) => {
+                Ok(Line::Job(rec)) => {
                     done.insert((rec.target.clone(), rec.shard), rec);
                 }
-                Ok(None) => {}
+                Ok(Line::Fail(rec)) => failures.push(rec),
+                Ok(Line::Header) => {}
                 Err(message) if idx == 0 => return Err(StateError::HeaderMismatch(message)),
                 // Torn trailing line: the crash artifact resume exists
                 // for. Truncate it away so later appends start on a
@@ -298,38 +446,137 @@ impl CampaignState {
                 }
             }
         }
-        if let Some(len) = truncate_to {
-            let f = OpenOptions::new().write(true).open(&path)?;
-            f.set_len(len)?;
-        }
+        let good_len = match truncate_to {
+            Some(len) => {
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(len)?;
+                len
+            }
+            None => text.len() as u64,
+        };
         let file = OpenOptions::new().append(true).open(&path)?;
+        let seq = (done.len() + failures.len()) as u64;
         Ok(CampaignState {
             path,
             file: BufWriter::new(file),
             done,
+            failures,
+            good_len,
+            seq,
+            faults: None,
         })
     }
 
-    /// Appends one finished job and flushes it to disk immediately.
+    /// Attaches a fault plan: subsequent appends consult it (the
+    /// `io@checkpoint:...` injection point).
+    pub fn set_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Appends one finished job, flushes, and fsyncs it.
     ///
     /// # Errors
     ///
-    /// Returns [`StateError::Io`] if the append or flush fails.
+    /// Returns [`StateError::Io`] if the append, flush, or sync fails.
     pub fn record(&mut self, rec: JobRecord) -> Result<(), StateError> {
-        self.append_line(&rec.to_json())?;
+        self.append_job(rec)?;
+        self.sync()
+    }
+
+    /// Appends one finished job and flushes it (no fsync — pair with
+    /// [`sync`](CampaignState::sync), or use
+    /// [`record`](CampaignState::record)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Io`] if the append or flush fails; call
+    /// [`repair`](CampaignState::repair) before retrying so a partial
+    /// write cannot corrupt the file.
+    pub fn append_job(&mut self, rec: JobRecord) -> Result<(), StateError> {
+        self.append_record(&rec.to_json())?;
         self.done.insert((rec.target.clone(), rec.shard), rec);
         Ok(())
     }
 
-    fn append_line(&mut self, v: &Json) -> Result<(), StateError> {
-        writeln!(self.file, "{}", v.render())?;
+    /// Appends one failed job attempt and flushes it, so retry counts and
+    /// quarantine state survive kill/resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Io`] if the append or flush fails; call
+    /// [`repair`](CampaignState::repair) before retrying.
+    pub fn append_failure(&mut self, rec: FailureRecord) -> Result<(), StateError> {
+        self.append_record(&rec.to_json())?;
+        self.failures.push(rec);
+        Ok(())
+    }
+
+    /// Forces the appended records to stable storage (`sync_all`). A
+    /// flush only reaches the OS page cache; only the fsync makes the
+    /// record durable against power loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Io`] if the flush or sync fails.
+    pub fn sync(&mut self) -> Result<(), StateError> {
         self.file.flush()?;
+        self.file.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// Recovers the append handle after a failed write: discards any
+    /// bytes still buffered, truncates the file back to the last
+    /// successfully appended record (clipping a partial write), and
+    /// reopens for append. After `repair`, retrying the failed append is
+    /// safe — without it a half-written line followed by a retry would
+    /// read as mid-file corruption on the next resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Io`] if the truncate or reopen fails.
+    pub fn repair(&mut self) -> Result<(), StateError> {
+        let fresh = OpenOptions::new().append(true).open(&self.path)?;
+        // `into_parts` (not drop) so the old buffer is discarded instead
+        // of flushed after the truncate.
+        let old = std::mem::replace(&mut self.file, BufWriter::new(fresh));
+        let (old_file, _discarded) = old.into_parts();
+        drop(old_file);
+        let f = OpenOptions::new().write(true).open(&self.path)?;
+        f.set_len(self.good_len)?;
+        Ok(())
+    }
+
+    /// Writes one record line: consults the fault plan, appends, flushes,
+    /// and advances the good-length watermark.
+    fn append_record(&mut self, v: &Json) -> Result<(), StateError> {
+        self.seq += 1;
+        if let Some(plan) = &self.faults {
+            if plan.fire_checkpoint(self.seq) {
+                return Err(StateError::Io(std::io::Error::other(format!(
+                    "injected checkpoint I/O fault (append #{})",
+                    self.seq
+                ))));
+            }
+        }
+        self.append_line(v)
+    }
+
+    fn append_line(&mut self, v: &Json) -> Result<(), StateError> {
+        let line = format!("{}\n", v.render());
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.good_len += line.len() as u64;
         Ok(())
     }
 
     /// Finished jobs, keyed by `(target, shard)`.
     pub fn done(&self) -> &BTreeMap<(String, u32), JobRecord> {
         &self.done
+    }
+
+    /// Failed job attempts, in append (i.e. failure) order.
+    pub fn failures(&self) -> &[FailureRecord] {
+        &self.failures
     }
 
     /// True if this `(target, shard)` job already has a checkpoint record.
@@ -345,6 +592,7 @@ impl CampaignState {
 
 #[cfg(test)]
 mod tests {
+    // test-only: unwraps in this module assert test invariants.
     use super::*;
 
     fn header() -> CampaignHeader {
@@ -443,6 +691,84 @@ mod tests {
             CampaignState::resume(&dir, &other),
             Err(StateError::HeaderMismatch(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_campaign_refuses_to_clobber_existing_checkpoint() {
+        let dir = temp_dir("clobber");
+        let mut st = CampaignState::create(&dir, &header()).unwrap();
+        st.record(record("tcpdump", 0)).unwrap();
+        drop(st);
+
+        match CampaignState::create(&dir, &header()) {
+            Err(StateError::AlreadyExists(p)) => {
+                assert_eq!(p, dir.join(CHECKPOINT_FILE));
+            }
+            other => panic!("expected AlreadyExists, got {other:?}"),
+        }
+        // The refusal must not have damaged the original checkpoint.
+        let st = CampaignState::resume(&dir, &header()).unwrap();
+        assert_eq!(st.done().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failure_records_roundtrip_and_torn_failure_tail_is_skipped() {
+        let fail = FailureRecord {
+            target: "tcpdump".to_string(),
+            shard: 1,
+            attempt: 2,
+            kind: FailureKind::Panic,
+            message: "index out of bounds: len 3".to_string(),
+        };
+        let dir = temp_dir("failures");
+        let mut st = CampaignState::create(&dir, &header()).unwrap();
+        st.append_failure(fail.clone()).unwrap();
+        st.sync().unwrap();
+        st.record(record("tcpdump", 1)).unwrap();
+        drop(st);
+
+        let st = CampaignState::resume(&dir, &header()).unwrap();
+        assert_eq!(st.failures(), std::slice::from_ref(&fail));
+        assert!(st.is_done("tcpdump", 1));
+        drop(st);
+
+        // A crash mid-way through appending a *failure* line is skipped
+        // just like a torn job line.
+        let path = dir.join(CHECKPOINT_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"type\":\"failure\",\"target\":\"mu").unwrap();
+        drop(f);
+        let st = CampaignState::resume(&dir, &header()).unwrap();
+        assert_eq!(st.failures(), &[fail]);
+        assert_eq!(st.done().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// An injected checkpoint I/O fault surfaces as `StateError::Io`;
+    /// after `repair()` the retry succeeds and the file reads back clean
+    /// (the failed attempt leaves no trace).
+    #[test]
+    fn injected_append_fault_repairs_and_retries() {
+        use crate::faults::FaultPlan;
+        let dir = temp_dir("inject");
+        let mut st = CampaignState::create(&dir, &header()).unwrap();
+        st.record(record("tcpdump", 0)).unwrap();
+        // Fail the second record append (seq counts record appends only,
+        // not the header).
+        st.set_faults(Arc::new(FaultPlan::parse("io@checkpoint:2", 1).unwrap()));
+
+        let err = st.record(record("mujs", 1)).unwrap_err();
+        assert!(matches!(err, StateError::Io(_)), "got {err:?}");
+        st.repair().unwrap();
+        // The retry is append #3, past the injected fault.
+        st.record(record("mujs", 1)).unwrap();
+        drop(st);
+
+        let st = CampaignState::resume(&dir, &header()).unwrap();
+        assert_eq!(st.done().len(), 2);
+        assert!(st.is_done("mujs", 1));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

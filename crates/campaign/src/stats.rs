@@ -1,5 +1,6 @@
 //! Campaign-wide aggregation: per-worker throughput, per-target divergence
-//! counts, and the global deduped discrepancy-signature set.
+//! counts, the global deduped discrepancy-signature set, and the
+//! fault-tolerance ledger view (retries, failed jobs, quarantines).
 
 use crate::state::JobRecord;
 use std::collections::{BTreeMap, BTreeSet};
@@ -18,6 +19,10 @@ pub struct TargetStats {
     pub divergent: u64,
     /// Unique crash buckets found.
     pub crashes: u64,
+    /// Failed job attempts (each retry that failed counts once).
+    pub failures: u64,
+    /// Shards skipped because the target was quarantined.
+    pub skipped: u32,
     /// Deduped discrepancy signatures (by [`compdiff::signature_of`]).
     pub signatures: BTreeSet<String>,
 }
@@ -47,6 +52,16 @@ pub struct CampaignStats {
     pub divergent: u64,
     /// Total unique crash buckets (summed per shard).
     pub crashes: u64,
+    /// Jobs that resolved as failed (retries exhausted or quarantined).
+    pub jobs_failed: usize,
+    /// Jobs never run because their target was quarantined.
+    pub jobs_skipped: usize,
+    /// Job attempts that were re-run after a failure.
+    pub retries: u64,
+    /// Failed job attempts (every failure, including retried ones).
+    pub failures: u64,
+    /// Targets quarantined after repeated failures.
+    pub quarantined: BTreeSet<String>,
 }
 
 impl CampaignStats {
@@ -84,10 +99,59 @@ impl CampaignStats {
         }
     }
 
+    /// Folds in one failed job attempt (the attempt may still be retried;
+    /// terminal failures are reported via
+    /// [`note_failed_job`](CampaignStats::note_failed_job)).
+    pub fn note_failure(&mut self, target: &str) {
+        self.failures += 1;
+        self.per_target
+            .entry(target.to_string())
+            .or_default()
+            .failures += 1;
+    }
+
+    /// Counts one retry (a failed attempt that was requeued).
+    pub fn note_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Resolves one job as failed — retries exhausted or its target
+    /// quarantined mid-attempt.
+    pub fn note_failed_job(&mut self) {
+        self.jobs_failed += 1;
+    }
+
+    /// Marks a target quarantined.
+    pub fn note_quarantine(&mut self, target: &str) {
+        self.quarantined.insert(target.to_string());
+    }
+
+    /// Counts `n` of `target`'s jobs as skipped (swept by a quarantine,
+    /// or never scheduled on resume because the target was already
+    /// quarantined).
+    pub fn note_skipped(&mut self, target: &str, n: u32) {
+        self.jobs_skipped += n as usize;
+        self.per_target
+            .entry(target.to_string())
+            .or_default()
+            .skipped += n;
+    }
+
+    /// True if every job resolved successfully (nothing failed or
+    /// skipped) — i.e. the campaign's results are complete, not partial.
+    pub fn is_complete(&self) -> bool {
+        self.jobs_failed == 0 && self.jobs_skipped == 0
+    }
+
     /// One-line live progress, suitable for overwriting a terminal line.
     pub fn progress_line(&self) -> String {
+        let failed = if self.jobs_failed > 0 {
+            format!(" failed={}", self.jobs_failed)
+        } else {
+            String::new()
+        };
         format!(
-            "[{}/{} jobs] execs={} diffs={} ({} unique) crashes={}",
+            "[{}/{} jobs] execs={} diffs={} ({} unique) crashes={}{failed}",
             self.jobs_done,
             self.jobs_total,
             self.execs,
@@ -100,11 +164,29 @@ impl CampaignStats {
     /// The end-of-campaign summary table.
     pub fn render_summary(&self, elapsed: Duration, cache: (u64, u64)) -> String {
         let mut s = String::new();
-        s.push_str("== campaign summary ==\n");
+        if self.is_complete() {
+            s.push_str("== campaign summary ==\n");
+        } else {
+            s.push_str("== campaign summary (PARTIAL RESULTS) ==\n");
+        }
         s.push_str(&format!(
             "jobs: {}/{} done ({} resumed from checkpoint)\n",
             self.jobs_done, self.jobs_total, self.jobs_resumed
         ));
+        if self.failures > 0 || self.jobs_skipped > 0 {
+            s.push_str(&format!(
+                "fault tolerance: {} failed attempts, {} retries, {} jobs failed, {} skipped\n",
+                self.failures, self.retries, self.jobs_failed, self.jobs_skipped
+            ));
+            for t in &self.quarantined {
+                let ts = self.per_target.get(t);
+                s.push_str(&format!(
+                    "  quarantined: {t} ({} failures, {} shards skipped)\n",
+                    ts.map_or(0, |t| t.failures),
+                    ts.map_or(0, |t| t.skipped)
+                ));
+            }
+        }
         s.push_str(&format!(
             "execs: {} fuzz + {} differential in {:.1}s\n",
             self.execs,
@@ -175,5 +257,30 @@ mod tests {
         assert!(summary.contains("3/4 done"));
         assert!(summary.contains("worker 0: 100 execs (50 execs/sec)"));
         assert!(st.progress_line().contains("[3/4 jobs]"));
+        // A clean campaign reports no fault-tolerance noise.
+        assert!(!summary.contains("PARTIAL"));
+        assert!(!summary.contains("fault tolerance:"));
+        assert!(!st.progress_line().contains("failed="));
+    }
+
+    #[test]
+    fn failure_accounting_renders_partial_results() {
+        let mut st = CampaignStats::new(1, 4);
+        st.absorb(Some(0), &rec("a", 0, &[]));
+        st.note_failure("b");
+        st.note_retry();
+        st.note_failure("b");
+        st.note_failed_job();
+        st.note_quarantine("b");
+        st.note_skipped("b", 2);
+        assert!(!st.is_complete());
+        assert_eq!(st.per_target["b"].failures, 2);
+        assert_eq!(st.per_target["b"].skipped, 2);
+        let summary = st.render_summary(Duration::from_secs(1), (0, 1));
+        assert!(summary.contains("PARTIAL RESULTS"));
+        assert!(summary
+            .contains("fault tolerance: 2 failed attempts, 1 retries, 1 jobs failed, 2 skipped"));
+        assert!(summary.contains("quarantined: b (2 failures, 2 shards skipped)"));
+        assert!(st.progress_line().ends_with("failed=1"));
     }
 }

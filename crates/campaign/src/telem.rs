@@ -28,6 +28,19 @@ pub struct CampaignTelemetry {
     pub job_us: Arc<Histogram>,
     /// `campaign.checkpoint_write_us` — checkpoint append+flush latency.
     pub checkpoint_write_us: Arc<Histogram>,
+    /// `campaign.checkpoint_sync_us` — checkpoint fsync latency.
+    pub checkpoint_sync_us: Arc<Histogram>,
+    /// `campaign.checkpoint_errors` — failed checkpoint appends
+    /// (including injected ones).
+    pub checkpoint_errors: Arc<Counter>,
+    /// `campaign.worker_panics` — job attempts that panicked and were
+    /// isolated by `catch_unwind`.
+    pub worker_panics: Arc<Counter>,
+    /// `campaign.job_retries` — failed attempts that were requeued.
+    pub job_retries: Arc<Counter>,
+    /// `campaign.targets_quarantined` — targets degraded out of the
+    /// schedule after repeated failures.
+    pub targets_quarantined: Arc<Gauge>,
     /// `campaign.cache_hits` — binary-cache reuses (set at campaign end).
     pub cache_hits: Arc<Gauge>,
     /// `campaign.cache_misses` — compiles performed (set at campaign end).
@@ -77,6 +90,11 @@ impl CampaignTelemetry {
             jobs_done: r.counter("campaign.jobs_done"),
             job_us: r.histogram("campaign.job_us"),
             checkpoint_write_us: r.histogram("campaign.checkpoint_write_us"),
+            checkpoint_sync_us: r.histogram("campaign.checkpoint_sync_us"),
+            checkpoint_errors: r.counter("campaign.checkpoint_errors"),
+            worker_panics: r.counter("campaign.worker_panics"),
+            job_retries: r.counter("campaign.job_retries"),
+            targets_quarantined: r.gauge("campaign.targets_quarantined"),
             cache_hits: r.gauge("campaign.cache_hits"),
             cache_misses: r.gauge("campaign.cache_misses"),
             lint_scan_us: r.histogram("lint.scan_us"),
@@ -235,6 +253,7 @@ mod tests {
             pages_materialized: 4,
             bulk_builtin_ops: 3,
             fallback_builtin_ops: 1,
+            poisoned_rebuilds: 0,
         });
         assert_eq!(ct.pages_restored.get(), 7);
         assert_eq!(ct.bulk_builtin_ops.get(), 3);

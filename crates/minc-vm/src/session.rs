@@ -79,6 +79,10 @@ pub struct SessionStats {
     /// Builtin memory ops that fell back to the per-byte loop (poison
     /// tracking active, or a range that may trap part-way).
     pub fallback_builtin_ops: u64,
+    /// Full memory rebuilds forced because a previous run was abandoned
+    /// mid-execution (a panic unwound through the VM), leaving the
+    /// session state unknown.
+    pub poisoned_rebuilds: u64,
 }
 
 impl SessionStats {
@@ -90,6 +94,7 @@ impl SessionStats {
         self.pages_materialized += other.pages_materialized;
         self.bulk_builtin_ops += other.bulk_builtin_ops;
         self.fallback_builtin_ops += other.fallback_builtin_ops;
+        self.poisoned_rebuilds += other.poisoned_rebuilds;
     }
 }
 
@@ -113,6 +118,13 @@ pub struct ExecSession {
     pub(crate) runs: u64,
     pub(crate) bulk_ops: u64,
     pub(crate) fallback_ops: u64,
+    /// True while a run is executing. Still set on the *next* `prepare`
+    /// if the previous run never returned (a panic unwound through the
+    /// VM — e.g. a panicking instrumentation hook caught by the
+    /// campaign's `catch_unwind`): the session state is then unknown and
+    /// is rebuilt from scratch instead of trusted.
+    pub(crate) in_flight: bool,
+    pub(crate) poisoned: u64,
 }
 
 impl ExecSession {
@@ -128,6 +140,8 @@ impl ExecSession {
             runs: 0,
             bulk_ops: 0,
             fallback_ops: 0,
+            in_flight: false,
+            poisoned: 0,
         }
     }
 
@@ -135,7 +149,20 @@ impl ExecSession {
     /// allocations kept), leftover frames from a trapped run return to the
     /// pool, and the allocator maps are emptied.
     fn prepare(&mut self, binary: &Binary) {
-        if binary.personality.seed != self.seed {
+        if self.in_flight {
+            // The previous run unwound mid-execution: the epoch/dirty
+            // bookkeeping may be torn, so the incremental reset cannot be
+            // trusted. Rebuild memory wholesale (page counters stay
+            // cumulative, like the seed-mismatch rebuild below).
+            let (restored, materialized) = (self.mem.restored, self.mem.materialized);
+            self.seed = binary.personality.seed;
+            self.mem = Memory::new(&binary.personality);
+            self.mem.restored = restored;
+            self.mem.materialized = materialized;
+            self.frames.clear();
+            self.poisoned += 1;
+            self.in_flight = false;
+        } else if binary.personality.seed != self.seed {
             // Session built for a different implementation: the junk
             // pattern would be wrong, so rebuild memory from scratch.
             // Page counters stay cumulative across the rebuild.
@@ -172,7 +199,10 @@ impl ExecSession {
     ) -> ExecResult {
         self.prepare(binary);
         self.runs += 1;
-        run_in_session(self, binary, input, config, hooks)
+        self.in_flight = true;
+        let result = run_in_session(self, binary, input, config, hooks);
+        self.in_flight = false;
+        result
     }
 
     /// Number of memory pages this session keeps resident (the high-water
@@ -189,6 +219,7 @@ impl ExecSession {
             pages_materialized: self.mem.materialized,
             bulk_builtin_ops: self.bulk_ops,
             fallback_builtin_ops: self.fallback_ops,
+            poisoned_rebuilds: self.poisoned,
         }
     }
 }
@@ -328,6 +359,57 @@ mod tests {
             second.pages_materialized, first.pages_materialized,
             "no new pages on an identical re-run"
         );
+    }
+
+    #[test]
+    fn session_recovers_after_panic_unwinds_mid_run() {
+        use crate::hooks::Loc;
+        use crate::result::Fault;
+
+        // A hook that panics after a few loads — the stand-in for any bug
+        // (or injected fault) that unwinds through the VM while a run is
+        // in flight. The campaign's `catch_unwind` swallows the panic;
+        // the *session* must then detect the abandoned run and rebuild
+        // instead of resuming from torn state.
+        struct PanicAfter(u32);
+        impl Hooks for PanicAfter {
+            fn check_load(&mut self, _addr: u64, _width: u64, _loc: Loc) -> Option<Fault> {
+                self.0 -= 1;
+                assert!(self.0 > 0, "injected mid-run panic");
+                None
+            }
+        }
+
+        let b = bin(
+            r#"
+            int main() {
+                char* p = (char*)malloc(6000L);
+                memset(p, 5, 6000L);
+                int i; int acc = 0;
+                for (i = 0; i < 50; i++) { acc += p[i * 100]; }
+                printf("%d\n", acc);
+                free(p);
+                return 0;
+            }
+            "#,
+            "gcc-O2",
+        );
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&b);
+        assert_eq!(s.run(&b, b"", &cfg), execute(&b, b"", &cfg));
+
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.run_with_hooks(&b, b"", &cfg, &mut PanicAfter(5))
+        }));
+        assert!(unwound.is_err(), "the hook must have panicked");
+        assert_eq!(s.stats().poisoned_rebuilds, 0, "not yet detected");
+
+        // The next run self-heals: full rebuild, bit-identical result.
+        assert_eq!(s.run(&b, b"", &cfg), execute(&b, b"", &cfg));
+        assert_eq!(s.stats().poisoned_rebuilds, 1);
+        // And the one after that is back on the incremental fast path.
+        assert_eq!(s.run(&b, b"", &cfg), execute(&b, b"", &cfg));
+        assert_eq!(s.stats().poisoned_rebuilds, 1);
     }
 
     #[test]

@@ -20,10 +20,23 @@ cargo test -q --offline --workspace
 echo "== telemetry determinism =="
 cargo test -q --offline -p campaign metrics_stream_is_deterministic
 
-echo "== lint determinism (compdiff lint --all, twice) =="
+echo "== fault-injection suite =="
+cargo test -q --offline -p campaign --test faults
+
 lint_a="$(mktemp)"
 lint_b="$(mktemp)"
-trap 'rm -f "$lint_a" "$lint_b"' EXIT
+smoke="$(mktemp)"
+trap 'rm -f "$lint_a" "$lint_b" "$smoke"' EXIT
+
+echo "== smoke campaign with injected panic (must exit 0 with partial results) =="
+./target/release/compdiff campaign --workers 2 --execs-per-target 120 --shards 2 \
+    --targets tcpdump,jq --seed 7 --max-retries 1 --quarantine-after 2 \
+    --fault-plan 'panic@tcpdump#any*inf' --quiet > "$smoke"
+grep -q "PARTIAL RESULTS" "$smoke"
+grep -q "quarantined: tcpdump" "$smoke"
+grep -q "fault tolerance:" "$smoke"
+
+echo "== lint determinism (compdiff lint --all, twice) =="
 ./target/release/compdiff lint --all --workers 4 > "$lint_a"
 ./target/release/compdiff lint --all --workers 2 > "$lint_b"
 cmp "$lint_a" "$lint_b"
