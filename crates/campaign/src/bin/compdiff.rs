@@ -10,15 +10,18 @@
 //! compdiff lint prog.mc              # IR-level unstable-code lint
 //! compdiff lint --all                #   ... over the whole target catalog
 //! compdiff campaign [--workers N] [--execs-per-target N] [--resume DIR]
+//! compdiff progen generate|evolve|reduce   # evolutionary program generation
 //! ```
 
 use campaign::{CampaignConfig, StateError};
-use compdiff::{minimize, CompDiff, CompDiffAfl, DiffConfig, Discrepancy};
-use fuzzing::FuzzConfig;
+use compdiff::{minimize, CompDiff, CompDiffAfl, DiffConfig, Discrepancy, Json};
+use fuzzing::{FuzzConfig, Rng};
 use minc_compile::CompilerImpl;
 use minc_vm::{ExitStatus, SanitizerKind, VmConfig};
-use std::path::PathBuf;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use targets::TargetSource;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +36,7 @@ fn main() -> ExitCode {
         "scan" => cmd_scan(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
+        "progen" => cmd_progen(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -66,6 +70,7 @@ USAGE:
   compdiff scan <prog.mc>                static analyzers + sanitizers + CompDiff
   compdiff lint <prog.mc> [options]      IR-level unstable-code lint
       --all                lint every catalog target instead of one file
+      --dir <dir>          with --all: lint generated *.mc from <dir> instead
       --impls <a,b,...>    provenance implementations (default: all ten)
       --workers <n>        threads for --all (default 4)
   compdiff campaign [options]            parallel campaign over the target catalog
@@ -84,7 +89,19 @@ USAGE:
                              'panic@tcpdump#0,io@checkpoint:3' (testing)
       --metrics-out <path>   stream telemetry events (JSONL) to <path>
       --progress-every <n>   progress + execs/sec to stderr every n jobs
-      --fixed-clock <us>     pin the telemetry clock (deterministic streams)";
+      --fixed-clock <us>     pin the telemetry clock (deterministic streams)
+      --progen-dir <dir>     also fuzz generated programs (*.mc) from <dir>
+  compdiff progen <subcommand> [options]  evolutionary program generation
+    generate --seed <n> [--count <n>] [--out-dir <dir>]
+                             emit seeded idiom-biased programs
+    evolve --seed <n> --generations <n> [--population <n>]
+           [--out-dir <dir>] [--resume] [--no-reduce]
+           [--metrics-out <path>] [--fixed-clock <us>]
+                             run the evolutionary loop; writes
+                             generations.jsonl, state.json, divergent_*.mc
+                             and auto-reduced witness_*.mc under --out-dir
+    reduce <prog.mc> [--input <str>|--input-hex <hex>] [--out <path>]
+                             shrink a diverging program to a minimal witness";
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -271,14 +288,21 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    // Whole catalog: lint targets in parallel, print in catalog order so
-    // the output is deterministic (the CI gate diffs two runs).
+    // Whole source: lint targets in parallel, print in source order so
+    // the output is deterministic (the CI gate diffs two runs). The
+    // static catalog is just the default `TargetSource`; `--dir` lints a
+    // directory of generated programs instead.
     let workers: usize = match flag_value(args, "--workers") {
         Some(v) => v.parse().map_err(|_| format!("bad --workers `{v}`"))?,
         None => 4,
     };
-    let specs = targets::catalog();
-    let n = specs.len();
+    let built = match flag_value(args, "--dir") {
+        None => TargetSource::targets(&targets::CatalogSource),
+        Some(dir) => targets::dir_source(std::path::Path::new(&dir))
+            .map_err(|e| format!("bad --dir: {e}"))?
+            .targets(),
+    };
+    let n = built.len();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let outputs = std::sync::Mutex::new(vec![None::<String>; n]);
     std::thread::scope(|scope| {
@@ -288,8 +312,7 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
                 if i >= n {
                     break;
                 }
-                let target = targets::build(&specs[i]);
-                let report = match lint.run_source(&target.src) {
+                let report = match lint.run_source(&built[i].src) {
                     Ok(findings) if findings.is_empty() => "  no findings\n".to_string(),
                     Ok(findings) => staticheck_ir::render(&findings)
                         .lines()
@@ -300,7 +323,7 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
                 // Poison-proof: a panicking sibling worker must not turn
                 // this worker's lock acquisition into a second panic.
                 outputs.lock().unwrap_or_else(|e| e.into_inner())[i] =
-                    Some(format!("== {} ==\n{report}", specs[i].name));
+                    Some(format!("== {} ==\n{report}", built[i].spec.name));
             });
         }
     });
@@ -360,6 +383,14 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if let Some(list) = flag_value(args, "--targets") {
         cfg.target_filter = Some(list.split(',').map(|s| s.trim().to_string()).collect());
     }
+    if let Some(dir) = flag_value(args, "--progen-dir") {
+        let generated =
+            targets::dir_source(Path::new(&dir)).map_err(|e| format!("bad --progen-dir: {e}"))?;
+        let label = format!("catalog+{}", generated.label());
+        let mut all = TargetSource::targets(&targets::CatalogSource);
+        all.extend(generated.targets());
+        cfg.source = targets::SharedSource::new(targets::StaticSource::new(label, all));
+    }
     if let Some(v) = flag_value(args, "--metrics-out") {
         cfg.metrics_out = Some(PathBuf::from(v));
     }
@@ -394,6 +425,254 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     if report.aborted {
         println!("(aborted by --stop-after; rerun with --resume to finish)");
+    }
+    Ok(())
+}
+
+fn cmd_progen(args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first() else {
+        return Err(format!("progen needs a subcommand\n{USAGE}"));
+    };
+    match sub.as_str() {
+        "generate" => progen_generate(&args[1..]),
+        "evolve" => progen_evolve(&args[1..]),
+        "reduce" => progen_reduce(&args[1..]),
+        other => Err(format!("unknown progen subcommand `{other}`\n{USAGE}")),
+    }
+}
+
+fn parse_u64_flag(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad {name} `{v}`")),
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("odd hex length in `{s}`"));
+    }
+    (0..s.len() / 2)
+        .map(|i| {
+            u8::from_str_radix(&s[2 * i..2 * i + 2], 16).map_err(|_| format!("bad hex in `{s}`"))
+        })
+        .collect()
+}
+
+fn progen_generate(args: &[String]) -> Result<(), String> {
+    let seed = parse_u64_flag(args, "--seed", 1)?;
+    let count = parse_u64_flag(args, "--count", 1)?;
+    let out_dir = flag_value(args, "--out-dir").map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    }
+    for i in 0..count {
+        let mut rng = Rng::new(progen::mix(seed, i));
+        let genome = progen::generate(&mut rng);
+        match &out_dir {
+            Some(dir) => {
+                let path = dir.join(format!("gen_{i:03}.mc"));
+                std::fs::write(&path, genome.source())
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                let probes: String = genome
+                    .probes
+                    .iter()
+                    .map(|p| format!("{}\n", hex_encode(p)))
+                    .collect();
+                let ppath = dir.join(format!("gen_{i:03}.probes"));
+                std::fs::write(&ppath, probes)
+                    .map_err(|e| format!("cannot write {ppath:?}: {e}"))?;
+                println!("wrote {}", path.display());
+            }
+            None => print!("{}", genome.source()),
+        }
+    }
+    Ok(())
+}
+
+/// Builds the progen telemetry facade: JSONL event stream when
+/// `--metrics-out` is given, fixed clock when `--fixed-clock` is given.
+fn progen_telemetry(args: &[String]) -> Result<std::sync::Arc<telemetry::Telemetry>, String> {
+    let fixed = match flag_value(args, "--fixed-clock") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("bad --fixed-clock `{v}`"))?,
+        ),
+    };
+    let tel = match (flag_value(args, "--metrics-out"), fixed) {
+        (Some(path), t) => {
+            let file =
+                std::fs::File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let rec = telemetry::JsonlRecorder::new(std::io::BufWriter::new(file));
+            match t {
+                Some(us) => telemetry::Telemetry::new(telemetry::TestClock::fixed(us), rec),
+                None => telemetry::Telemetry::new(telemetry::MonotonicClock::new(), rec),
+            }
+        }
+        (None, Some(us)) => {
+            telemetry::Telemetry::new(telemetry::TestClock::fixed(us), telemetry::NoopRecorder)
+        }
+        (None, None) => telemetry::Telemetry::disabled(),
+    };
+    Ok(tel)
+}
+
+fn progen_evolve(args: &[String]) -> Result<(), String> {
+    let seed = parse_u64_flag(args, "--seed", 1)?;
+    let generations = parse_u64_flag(args, "--generations", 4)? as u32;
+    let population = parse_u64_flag(args, "--population", 8)? as usize;
+    let out_dir = flag_value(args, "--out-dir").map(PathBuf::from);
+    let resume = has_flag(args, "--resume");
+    let reduce_witnesses = !has_flag(args, "--no-reduce");
+    let tel = progen_telemetry(args)?;
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    }
+    let state_path = out_dir.as_ref().map(|d| d.join("state.json"));
+    let mut state = match (&state_path, resume) {
+        (Some(p), true) if p.exists() => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p:?}: {e}"))?;
+            let json = Json::parse(&text).map_err(|e| format!("bad state file: {e}"))?;
+            let state = progen::EvolveState::from_json(&json)?;
+            if state.seed != seed {
+                return Err(format!(
+                    "state file has seed {}, command line says {seed}",
+                    state.seed
+                ));
+            }
+            state
+        }
+        _ => progen::EvolveState::new(&progen::EvolveConfig { seed, population }),
+    };
+
+    // Append-mode log so a resumed run extends the same JSONL history.
+    let mut log = match &out_dir {
+        Some(dir) => {
+            let path = dir.join("generations.jsonl");
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| format!("cannot open {path:?}: {e}"))?;
+            Some(std::io::BufWriter::new(file))
+        }
+        None => None,
+    };
+
+    let gen_counter = tel.registry().counter("progen.generations");
+    let div_counter = tel.registry().counter("progen.divergent_programs");
+    let best_gauge = tel.registry().gauge("progen.fitness_best");
+    let mut prev_divergents = state.divergents.len() as u64;
+    let mut log_error = None;
+    progen::run_generations(&mut state, generations, |record| {
+        gen_counter.add(1);
+        best_gauge.set(record.best_fitness.max(0) as u64);
+        let total = record.divergent_total as u64;
+        div_counter.add(total.saturating_sub(prev_divergents));
+        prev_divergents = total;
+        tel.event(
+            "progen.generation",
+            vec![
+                ("generation", Json::Int(i64::from(record.generation))),
+                ("best_fitness", Json::Int(record.best_fitness)),
+                ("divergent_total", Json::Int(record.divergent_total as i64)),
+            ],
+        );
+        eprintln!(
+            "gen {:>3}: evaluated {:>3}  best {:>5}  mean {:>5}  divergent {:>2}  archive {:>2}",
+            record.generation,
+            record.evaluated,
+            record.best_fitness,
+            record.mean_fitness,
+            record.divergent_total,
+            record.archive_size
+        );
+        if let Some(w) = &mut log {
+            if let Err(e) = writeln!(w, "{}", record.to_json().render()) {
+                log_error.get_or_insert(format!("cannot write generation log: {e}"));
+            }
+        }
+    });
+    if let Some(e) = log_error {
+        return Err(e);
+    }
+    if let Some(w) = &mut log {
+        w.flush()
+            .map_err(|e| format!("cannot flush generation log: {e}"))?;
+    }
+
+    if let Some(p) = &state_path {
+        std::fs::write(p, state.to_json().render_pretty())
+            .map_err(|e| format!("cannot write {p:?}: {e}"))?;
+    }
+
+    let mut reduced = 0usize;
+    let reduce_counter = tel.registry().counter("progen.reduce_steps");
+    for (i, find) in state.divergents.iter().enumerate() {
+        if let Some(dir) = &out_dir {
+            let dpath = dir.join(format!("divergent_{i:02}.mc"));
+            std::fs::write(&dpath, &find.source)
+                .map_err(|e| format!("cannot write {dpath:?}: {e}"))?;
+            let ipath = dir.join(format!("divergent_{i:02}.input"));
+            std::fs::write(&ipath, hex_encode(&find.probe))
+                .map_err(|e| format!("cannot write {ipath:?}: {e}"))?;
+        }
+        if !reduce_witnesses {
+            continue;
+        }
+        let witness = progen::reduce(&find.source, &find.probe)
+            .map_err(|e| format!("witness {i} failed to reduce: {e}"))?;
+        reduce_counter.add(witness.steps);
+        tel.event(
+            "progen.reduced",
+            vec![
+                ("index", Json::Int(i as i64)),
+                ("steps", Json::Int(witness.steps as i64)),
+                ("signature", Json::Str(witness.signature.clone())),
+            ],
+        );
+        if let Some(dir) = &out_dir {
+            let wpath = dir.join(format!("witness_{i:02}.mc"));
+            std::fs::write(&wpath, &witness.source)
+                .map_err(|e| format!("cannot write {wpath:?}: {e}"))?;
+        }
+        reduced += 1;
+    }
+
+    println!(
+        "evolved {generations} generation(s) at seed {seed}: population {}, \
+         {} distinct diverging program(s), {reduced} reduced witness(es)",
+        state.population.len(),
+        state.divergents.len()
+    );
+    println!("metrics: {}", tel.registry().snapshot().render());
+    if let Some(dir) = &out_dir {
+        println!("state: {}", dir.join("state.json").display());
+    }
+    Ok(())
+}
+
+fn progen_reduce(args: &[String]) -> Result<(), String> {
+    let src = load_source(args)?;
+    let probe = match flag_value(args, "--input-hex") {
+        Some(h) => hex_decode(&h)?,
+        None => read_input(args)?,
+    };
+    let witness = progen::reduce(&src, &probe)?;
+    eprintln!(
+        "reduced in {} oracle steps; witness pair impls ({}, {}); signature {}",
+        witness.steps, witness.witness_pair.0, witness.witness_pair.1, witness.signature
+    );
+    match flag_value(args, "--out") {
+        Some(path) => std::fs::write(&path, &witness.source)
+            .map_err(|e| format!("cannot write {path}: {e}"))?,
+        None => print!("{}", witness.source),
     }
     Ok(())
 }

@@ -15,7 +15,7 @@
 //! later worker that touches the target.
 
 use crate::faults::{panic_message, FaultKind, FaultPlan};
-use compdiff::{CompDiff, DiffConfig};
+use compdiff::{hash64, CompDiff, DiffConfig};
 use minc::FrontendError;
 use minc_compile::{Binary, CompilerImpl};
 use std::collections::HashMap;
@@ -128,7 +128,7 @@ impl BinaryCache {
         faults: Option<&FaultPlan>,
         attempt: u32,
     ) -> Result<Arc<CompiledTarget>, CacheError> {
-        let name = target.spec.name;
+        let name = target.spec.name.as_str();
         let slot = {
             let mut slots = lock_clean(&self.slots);
             Arc::clone(slots.entry(name.to_string()).or_default())
@@ -161,7 +161,12 @@ impl BinaryCache {
             let fuzz_binary = minc_compile::compile(&checked, fuzz_impl);
             Ok(CompiledTarget {
                 name: name.to_string(),
-                diff: CompDiff::new(binaries, diff_config.clone()),
+                // Tag the engine with the program's content hash so
+                // campaign-wide signature dedup keys on (program, shape),
+                // not shape alone — distinct generated programs with the
+                // same exit-code split stay distinct findings.
+                diff: CompDiff::new(binaries, diff_config.clone())
+                    .with_src_hash(hash64(target.src.as_bytes())),
                 fuzz_binary,
                 seeds: target.seeds.clone(),
                 magic: target.spec.magic,

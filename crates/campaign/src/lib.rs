@@ -67,7 +67,7 @@ use std::io::BufWriter;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use targets::Target;
+use targets::{SharedSource, Target};
 use telemetry::{JsonlRecorder, MonotonicClock, NoopRecorder, Telemetry, TestClock};
 
 /// Campaign parameters.
@@ -91,7 +91,11 @@ pub struct CampaignConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// Resume from an existing checkpoint instead of starting fresh.
     pub resume: bool,
-    /// Restrict the campaign to these catalog targets (default: all 23).
+    /// Where the campaign's programs come from (default: the static
+    /// 23-target catalog). Generated programs enter here — e.g.
+    /// `targets::dir_source` over a `compdiff progen` output directory.
+    pub source: SharedSource,
+    /// Restrict the campaign to these source targets (default: all).
     pub target_filter: Option<Vec<String>>,
     /// Abort after this many *live* job attempts resolve (done or
     /// failed) — the test hook that simulates a mid-campaign kill at any
@@ -132,6 +136,7 @@ impl Default for CampaignConfig {
             fuzz_impl: CompilerImpl::parse("clang-O1").expect("clang-O1 is a valid impl"),
             checkpoint_dir: None,
             resume: false,
+            source: SharedSource::default(),
             target_filter: None,
             stop_after_jobs: None,
             max_retries: 2,
@@ -294,7 +299,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
     }
     let mut pending: Vec<Job> = Vec::new();
     for mut j in all_jobs {
-        let name = selected[j.target_index].spec.name;
+        let name = selected[j.target_index].spec.name.as_str();
         if state.as_ref().is_some_and(|st| st.is_done(name, j.shard)) {
             continue;
         }
@@ -480,7 +485,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
         }
     });
     for j in &pool_outcome.swept {
-        stats.note_skipped(selected[j.target_index].spec.name, 1);
+        stats.note_skipped(&selected[j.target_index].spec.name, 1);
     }
 
     ctel.record_cache(cache.counters());
@@ -577,20 +582,21 @@ fn build_telemetry(cfg: &CampaignConfig) -> Result<Arc<Telemetry>, CampaignError
 }
 
 fn select_targets(cfg: &CampaignConfig) -> Result<Vec<Target>, CampaignError> {
-    let specs = targets::catalog();
+    let built = cfg.source.get().targets();
     match &cfg.target_filter {
-        None => Ok(specs.iter().map(targets::build).collect()),
+        None => Ok(built),
         Some(filter) => {
             let mut out = Vec::new();
             for want in filter {
-                let spec = specs.iter().find(|s| s.name == want).ok_or_else(|| {
-                    let known: Vec<&str> = specs.iter().map(|s| s.name).collect();
+                let t = built.iter().find(|t| t.spec.name == *want).ok_or_else(|| {
+                    let known: Vec<&str> = built.iter().map(|t| t.spec.name.as_str()).collect();
                     CampaignError::UnknownTarget(format!(
-                        "unknown target `{want}`; catalog: {}",
+                        "unknown target `{want}`; {}: {}",
+                        cfg.source.get().label(),
                         known.join(", ")
                     ))
                 })?;
-                out.push(targets::build(spec));
+                out.push(t.clone());
             }
             Ok(out)
         }

@@ -447,7 +447,7 @@ pub fn run_pool(
                 match decision {
                     Decision::Continue => sh.outstanding -= 1,
                     Decision::Retry(job) => {
-                        let name = targets[job.target_index].spec.name;
+                        let name = targets[job.target_index].spec.name.as_str();
                         let back = retry_backoff(cfg.seed, name, job.shard, job.attempt);
                         let d = (back % workers as u64) as usize;
                         let dq = &mut sh.deques[d];

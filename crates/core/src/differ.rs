@@ -76,10 +76,17 @@ impl DiffObserver for () {}
 pub struct CompDiff {
     binaries: Vec<Binary>,
     config: DiffConfig,
+    /// Content hash of the program source (0 when unknown). Folded into
+    /// triage signatures so campaign-wide dedup cannot collapse distinct
+    /// programs that happen to diverge with the same exit-code/sanitizer
+    /// shape — essential once generated programs enter the pipeline.
+    src_hash: u64,
 }
 
 impl CompDiff {
-    /// Wraps pre-compiled binaries.
+    /// Wraps pre-compiled binaries. The source hash is unknown (0); set
+    /// it with [`with_src_hash`](CompDiff::with_src_hash) when the caller
+    /// has the program text.
     ///
     /// # Panics
     ///
@@ -90,10 +97,29 @@ impl CompDiff {
             binaries.len() >= 2,
             "CompDiff needs at least two compiler implementations"
         );
-        CompDiff { binaries, config }
+        CompDiff {
+            binaries,
+            config,
+            src_hash: 0,
+        }
     }
 
-    /// Compiles `src` with the given implementations.
+    /// Tags the engine with a content hash of the program source; triage
+    /// signatures produced through [`DiffStore`](crate::DiffStore) are
+    /// then prefixed `p<hash>|`, keeping different programs apart.
+    #[must_use]
+    pub fn with_src_hash(mut self, src_hash: u64) -> Self {
+        self.src_hash = src_hash;
+        self
+    }
+
+    /// The program-source content hash (0 when unknown).
+    pub fn src_hash(&self) -> u64 {
+        self.src_hash
+    }
+
+    /// Compiles `src` with the given implementations. The engine is
+    /// tagged with `src`'s content hash.
     ///
     /// # Errors
     ///
@@ -104,7 +130,7 @@ impl CompDiff {
         config: DiffConfig,
     ) -> Result<Self, FrontendError> {
         let binaries = minc_compile::compile_many(src, impls)?;
-        Ok(CompDiff::new(binaries, config))
+        Ok(CompDiff::new(binaries, config).with_src_hash(hash64(src.as_bytes())))
     }
 
     /// Compiles `src` with the paper's default ten implementations.

@@ -54,5 +54,5 @@ pub use filters::{apply_filters, OutputFilter};
 pub use json::{Json, JsonError};
 pub use minimize::{minimize, MinimizeStats};
 pub use murmur::{hash64, murmur3_x64_128};
-pub use report::{signature_of, DiffStore, Discrepancy};
+pub use report::{signature_of, signature_with_hash, DiffStore, Discrepancy};
 pub use subset::{detected_by, HashVector, SizeStats, SubsetAnalysis};

@@ -148,6 +148,22 @@ pub fn signature_of(impls: &[CompilerImpl], outcome: &DiffOutcome) -> String {
     parts.join(" | ")
 }
 
+/// [`signature_of`] prefixed with the program-source content hash
+/// (`p<hash>|…`) when one is known. The prefix is what lets a
+/// campaign-wide dedup set distinguish two *different programs* that
+/// diverge with the same partition/status shape — without it, generated
+/// programs sharing e.g. an `exit:0`-vs-`exit:1` split would collapse
+/// into one bucket. A zero hash (unknown source) leaves the signature
+/// unchanged, so single-program flows keep their historical form.
+pub fn signature_with_hash(src_hash: u64, impls: &[CompilerImpl], outcome: &DiffOutcome) -> String {
+    let base = signature_of(impls, outcome);
+    if src_hash == 0 {
+        base
+    } else {
+        format!("p{src_hash:016x}|{base}")
+    }
+}
+
 /// The in-memory `diffs/` directory with signature-based bucketing.
 #[derive(Debug, Default)]
 pub struct DiffStore {
@@ -162,10 +178,13 @@ impl DiffStore {
     }
 
     /// Records a divergent outcome; returns `true` if its signature is new
-    /// (a likely-new bug).
+    /// (a likely-new bug). When the engine knows its source hash, the
+    /// stored signature carries the `p<hash>|` program prefix (see
+    /// [`signature_with_hash`]).
     pub fn record(&mut self, diff: &CompDiff, outcome: &DiffOutcome, input: &[u8]) -> bool {
         debug_assert!(outcome.divergent);
-        let report = Discrepancy::from_outcome(&diff.impls(), outcome, input);
+        let mut report = Discrepancy::from_outcome(&diff.impls(), outcome, input);
+        report.signature = signature_with_hash(diff.src_hash(), &diff.impls(), outcome);
         let sig = report.signature.clone();
         let idx = self.discrepancies.len();
         self.discrepancies.push(report);
@@ -297,6 +316,30 @@ mod tests {
         assert_eq!(store.unique_signatures(), 1);
         assert_eq!(store.reports().len(), 2);
         assert_eq!(store.representatives().len(), 1);
+    }
+
+    #[test]
+    fn src_hash_keeps_distinct_programs_apart() {
+        // Two different programs with the *same* divergence shape: an
+        // uninitialized print splitting the implementations identically.
+        // The store's signatures must not collapse across programs.
+        let src_a = "int main() { int u; printf(\"%d\\n\", u); return 0; }";
+        let src_b = "int main() { int u; int v = 3; printf(\"%d\\n\", u + v - v); return 0; }";
+        let da = CompDiff::from_source_default(src_a, DiffConfig::default()).unwrap();
+        let db = CompDiff::from_source_default(src_b, DiffConfig::default()).unwrap();
+        assert_ne!(da.src_hash(), 0, "from_source tags the hash");
+        assert_ne!(da.src_hash(), db.src_hash());
+        let (oa, ob) = (da.run_input(b""), db.run_input(b""));
+        assert!(oa.divergent && ob.divergent);
+        let sa = signature_with_hash(da.src_hash(), &da.impls(), &oa);
+        let sb = signature_with_hash(db.src_hash(), &db.impls(), &ob);
+        assert_ne!(sa, sb, "program hash must keep signatures apart");
+        assert!(sa.starts_with("p"), "{sa}");
+        // Unknown hash (0) leaves the historical form untouched.
+        assert_eq!(
+            signature_with_hash(0, &da.impls(), &oa),
+            signature_of(&da.impls(), &oa)
+        );
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Seeded, deterministic generator of well-formed MinC programs biased
+//! toward unstable-code idioms.
+//!
+//! Every program the generator emits is valid under [`minc::check`] by
+//! construction: a fixed prologue reads up to eight input bytes, a body of
+//! 2–4 *idiom* fragments exercises the UB patterns the optimizer pipeline
+//! rewrites (uninitialized reads, `a + b < a` overflow checks, oversized
+//! shifts, cross-object pointer compares, null checks after a deref), and
+//! a fixed epilogue prints the accumulated sink so every fragment stays
+//! observable. Construction happens directly on the [`minc::ast`] with
+//! dummy ids/spans; [`minc::pretty`] turns a genome back into source, and
+//! the pretty round-trip guarantee keeps that rendering byte-stable.
+
+use fuzzing::Rng;
+use minc::ast::{
+    BinOp, Expr, ExprKind, Function, Global, Param, Program, Stmt, StmtKind, Storage, UnOp,
+};
+use minc::{NodeId, Span, Type};
+
+/// One candidate individual: a program AST plus the probe inputs it is
+/// evaluated on. Probes travel with the program because gated idioms are
+/// generated *together with* a probe byte that opens the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Genome {
+    /// The program, always valid under [`minc::check`].
+    pub program: Program,
+    /// Inputs fed to every implementation during fitness evaluation.
+    pub probes: Vec<Vec<u8>>,
+}
+
+impl Genome {
+    /// The genome rendered as MinC source (stable across round-trips).
+    pub fn source(&self) -> String {
+        minc::pretty::program(&self.program)
+    }
+}
+
+// ---- AST construction helpers (dummy ids/spans throughout) ----
+
+fn e(kind: ExprKind) -> Expr {
+    Expr {
+        id: NodeId(0),
+        span: Span::dummy(),
+        kind,
+    }
+}
+
+fn s(kind: StmtKind) -> Stmt {
+    Stmt {
+        id: NodeId(0),
+        span: Span::dummy(),
+        kind,
+    }
+}
+
+/// `int` literal.
+pub(crate) fn int(value: i64) -> Expr {
+    e(ExprKind::IntLit { value, long: false })
+}
+
+/// `long` literal (`L` suffix).
+pub(crate) fn long(value: i64) -> Expr {
+    e(ExprKind::IntLit { value, long: true })
+}
+
+pub(crate) fn var(name: &str) -> Expr {
+    e(ExprKind::Var(name.to_string()))
+}
+
+pub(crate) fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    e(ExprKind::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    })
+}
+
+pub(crate) fn un(op: UnOp, operand: Expr) -> Expr {
+    e(ExprKind::Unary {
+        op,
+        operand: Box::new(operand),
+    })
+}
+
+pub(crate) fn cast(to: Type, value: Expr) -> Expr {
+    e(ExprKind::Cast {
+        to,
+        value: Box::new(value),
+    })
+}
+
+pub(crate) fn call(callee: &str, args: Vec<Expr>) -> Expr {
+    e(ExprKind::Call {
+        callee: callee.to_string(),
+        args,
+    })
+}
+
+pub(crate) fn str_lit(text: &str) -> Expr {
+    e(ExprKind::StrLit(text.as_bytes().to_vec()))
+}
+
+pub(crate) fn index(base: Expr, idx: Expr) -> Expr {
+    e(ExprKind::Index {
+        base: Box::new(base),
+        index: Box::new(idx),
+    })
+}
+
+pub(crate) fn assign(target: Expr, value: Expr) -> Stmt {
+    s(StmtKind::Expr(e(ExprKind::Assign {
+        op: None,
+        target: Box::new(target),
+        value: Box::new(value),
+    })))
+}
+
+pub(crate) fn decl(name: &str, ty: Type, init: Option<Expr>) -> Stmt {
+    s(StmtKind::Decl {
+        name: name.to_string(),
+        ty,
+        storage: Storage::Auto,
+        init,
+    })
+}
+
+pub(crate) fn expr_stmt(x: Expr) -> Stmt {
+    s(StmtKind::Expr(x))
+}
+
+pub(crate) fn block(stmts: Vec<Stmt>) -> Stmt {
+    s(StmtKind::Block(stmts))
+}
+
+pub(crate) fn sif(cond: Expr, then: Vec<Stmt>, els: Option<Vec<Stmt>>) -> Stmt {
+    s(StmtKind::If {
+        cond,
+        then: Box::new(block(then)),
+        els: els.map(|b| Box::new(block(b))),
+    })
+}
+
+pub(crate) fn sfor(init: Stmt, cond: Expr, step: Expr, body: Vec<Stmt>) -> Stmt {
+    s(StmtKind::For {
+        init: Some(Box::new(init)),
+        cond: Some(cond),
+        step: Some(step),
+        body: Box::new(block(body)),
+    })
+}
+
+pub(crate) fn ret(x: Option<Expr>) -> Stmt {
+    s(StmtKind::Return(x))
+}
+
+pub(crate) fn printf(fmt: &str, args: Vec<Expr>) -> Stmt {
+    let mut all = vec![str_lit(fmt)];
+    all.extend(args);
+    expr_stmt(call("printf", all))
+}
+
+fn global(name: &str, ty: Type) -> Global {
+    Global {
+        id: NodeId(0),
+        name: name.to_string(),
+        ty,
+        init: None,
+        span: Span::dummy(),
+    }
+}
+
+// ---- Idiom fragments ----
+
+/// The unstable-code idioms the generator draws from. Each maps to a
+/// pattern one of the UB-exploiting passes rewrites (and most of them to a
+/// runtime divergence across implementation personalities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Idiom {
+    /// `int u; printf(..., u & 255)` — uninitialized read, junk differs
+    /// per personality.
+    UninitPrint,
+    /// Uninitialized read steering a branch.
+    UninitBranch,
+    /// `if (off + len < off)` — the paper's Listing 1 overflow check,
+    /// deleted at `-O2`+ under the signed-overflow assumption.
+    OverflowCheck,
+    /// Shift by a constant `>=` the type width; folded to 0 when the
+    /// optimizer exploits the UB, personality junk otherwise.
+    OversizedShift,
+    /// Relational compare of pointers to distinct globals — layout is
+    /// implementation-defined.
+    PtrCmpGlobals,
+    /// `*p` then `if (p == 0)` — the null check is provably dead to the
+    /// optimizer; feeds the rewrite-provenance channel.
+    NullCheckAfterDeref,
+    /// 32-bit multiply overflow widened to `long` after the fact.
+    IntWiden,
+    /// A small counted accumulation loop — structural material for the
+    /// unroll pass and for mutation.
+    LoopAccum,
+}
+
+/// All idioms, in generation-weight order (earlier entries are favored).
+pub const IDIOMS: [Idiom; 8] = [
+    Idiom::UninitPrint,
+    Idiom::OverflowCheck,
+    Idiom::UninitBranch,
+    Idiom::OversizedShift,
+    Idiom::PtrCmpGlobals,
+    Idiom::NullCheckAfterDeref,
+    Idiom::IntWiden,
+    Idiom::LoopAccum,
+];
+
+impl Idiom {
+    /// Whether the idiom needs the `G_A`/`G_B` globals.
+    fn needs_globals(&self) -> bool {
+        matches!(self, Idiom::PtrCmpGlobals)
+    }
+
+    /// Statements for one instance of the idiom. `n` uniquifies local
+    /// names so several instances coexist in one body.
+    pub(crate) fn stmts(&self, n: u32, rng: &mut Rng) -> Vec<Stmt> {
+        let v = |stem: &str| format!("{stem}{n}");
+        match self {
+            Idiom::UninitPrint => {
+                let u = v("u");
+                vec![
+                    decl(&u, Type::Int, None),
+                    printf("u %d\n", vec![bin(BinOp::BitAnd, var(&u), int(255))]),
+                ]
+            }
+            Idiom::UninitBranch => {
+                let u = v("ub");
+                vec![
+                    decl(&u, Type::Int, None),
+                    sif(
+                        bin(BinOp::Eq, bin(BinOp::BitAnd, var(&u), int(1)), int(1)),
+                        vec![printf("odd\n", vec![])],
+                        Some(vec![printf("even\n", vec![])]),
+                    ),
+                ]
+            }
+            Idiom::OverflowCheck => {
+                let off = v("off");
+                let len = v("len");
+                // off has bit 30 set; len pushes the sum past INT_MAX, so
+                // -O0 takes the guard while -O2 has deleted it.
+                let extra = i64::from(rng.byte() & 7);
+                vec![
+                    decl(
+                        &off,
+                        Type::Int,
+                        Some(bin(
+                            BinOp::BitOr,
+                            bin(BinOp::BitAnd, var("a"), int(268435455)),
+                            int(1073741824),
+                        )),
+                    ),
+                    decl(&len, Type::Int, Some(int(1073741824 + extra))),
+                    sif(
+                        bin(BinOp::Lt, bin(BinOp::Add, var(&off), var(&len)), var(&off)),
+                        vec![
+                            printf("guard\n", vec![]),
+                            assign(var("SINK"), bin(BinOp::Add, var("SINK"), int(1))),
+                        ],
+                        None,
+                    ),
+                    printf("s %d\n", vec![bin(BinOp::Add, var(&off), var(&len))]),
+                ]
+            }
+            Idiom::OversizedShift => {
+                let sh = v("sh");
+                let amount = 33 + i64::from(rng.byte() & 15);
+                vec![
+                    decl(&sh, Type::Int, Some(bin(BinOp::Add, var("a"), int(3)))),
+                    printf("sh %d\n", vec![bin(BinOp::Shl, var(&sh), int(amount))]),
+                ]
+            }
+            Idiom::PtrCmpGlobals => {
+                let cp = Type::Ptr(Box::new(Type::Char));
+                vec![
+                    assign(var("G_A"), var("a")),
+                    assign(var("G_B"), cast(Type::Long, var("b"))),
+                    sif(
+                        bin(
+                            BinOp::Lt,
+                            cast(cp.clone(), un(UnOp::Addr, var("G_A"))),
+                            cast(cp, un(UnOp::Addr, var("G_B"))),
+                        ),
+                        vec![printf("a-first\n", vec![])],
+                        Some(vec![printf("b-first\n", vec![])]),
+                    ),
+                ]
+            }
+            Idiom::NullCheckAfterDeref => {
+                let val = v("nv");
+                let p = v("np");
+                vec![
+                    decl(&val, Type::Int, Some(bin(BinOp::Add, var("a"), int(1)))),
+                    decl(
+                        &p,
+                        Type::Ptr(Box::new(Type::Int)),
+                        Some(un(UnOp::Addr, var(&val))),
+                    ),
+                    assign(
+                        var("SINK"),
+                        bin(BinOp::Add, var("SINK"), un(UnOp::Deref, var(&p))),
+                    ),
+                    sif(
+                        bin(BinOp::Eq, var(&p), int(0)),
+                        vec![printf("null\n", vec![]), ret(Some(int(1)))],
+                        None,
+                    ),
+                ]
+            }
+            Idiom::IntWiden => {
+                let w = v("w");
+                let lw = v("lw");
+                vec![
+                    decl(
+                        &w,
+                        Type::Int,
+                        Some(bin(
+                            BinOp::Mul,
+                            bin(BinOp::Add, var("a"), int(200)),
+                            int(1000000),
+                        )),
+                    ),
+                    decl(
+                        &lw,
+                        Type::Long,
+                        Some(cast(Type::Long, bin(BinOp::Mul, var(&w), int(37)))),
+                    ),
+                    printf("w %ld\n", vec![var(&lw)]),
+                ]
+            }
+            Idiom::LoopAccum => {
+                let acc = v("acc");
+                let k = v("k");
+                let bound = 4 + i64::from(rng.byte() & 7);
+                vec![
+                    decl(&acc, Type::Int, Some(int(0))),
+                    sfor(
+                        decl(&k, Type::Int, Some(int(0))),
+                        bin(BinOp::Lt, var(&k), int(bound)),
+                        e(ExprKind::Assign {
+                            op: Some(BinOp::Add),
+                            target: Box::new(var(&k)),
+                            value: Box::new(int(1)),
+                        }),
+                        vec![assign(
+                            var(&acc),
+                            bin(BinOp::Add, var(&acc), bin(BinOp::Mul, var(&k), var("a"))),
+                        )],
+                    ),
+                    printf("acc %d\n", vec![var(&acc)]),
+                ]
+            }
+        }
+    }
+}
+
+/// Picks an idiom with weight biased toward the front of [`IDIOMS`].
+fn pick_idiom(rng: &mut Rng) -> Idiom {
+    // Two draws, keep the earlier-indexed one: a gentle bias toward the
+    // idioms that most reliably produce divergence or rewrite provenance.
+    let a = rng.below(IDIOMS.len());
+    let b = rng.below(IDIOMS.len());
+    IDIOMS[a.min(b)]
+}
+
+/// How many probe inputs each genome carries.
+pub const PROBES_PER_GENOME: usize = 4;
+
+/// Generates one genome from the given PRNG state.
+///
+/// The program shape is: globals (`int SINK;`, plus `int G_A; long G_B;`
+/// when a pointer-compare idiom is present), then `main` with a fixed
+/// input-reading prologue (`a`/`b` hold the first two input bytes), 2–4
+/// idiom fragments — each possibly gated on an input byte whose opening
+/// value is recorded in a probe — and a fixed observable epilogue.
+pub fn generate(rng: &mut Rng) -> Genome {
+    let count = 2 + rng.below(3); // 2..=4 idioms
+    let mut idioms = Vec::with_capacity(count);
+    for _ in 0..count {
+        idioms.push(pick_idiom(rng));
+    }
+
+    let mut body: Vec<Stmt> = vec![
+        decl("buf", Type::Array(Box::new(Type::Char), 8), None),
+        decl(
+            "n",
+            Type::Long,
+            Some(call("read_input", vec![var("buf"), long(8)])),
+        ),
+        decl("a", Type::Int, Some(int(0))),
+        decl("b", Type::Int, Some(int(0))),
+        sif(
+            bin(BinOp::Gt, var("n"), long(0)),
+            vec![assign(var("a"), index(var("buf"), int(0)))],
+            None,
+        ),
+        sif(
+            bin(BinOp::Gt, var("n"), long(1)),
+            vec![assign(var("b"), index(var("buf"), int(1)))],
+            None,
+        ),
+    ];
+
+    // A probe that opens every gate, plus the baseline probes.
+    let mut opener = vec![0u8; PROBES_PER_GENOME.max(2)];
+
+    for (i, idiom) in idioms.iter().enumerate() {
+        let stmts = idiom.stmts(i as u32, rng);
+        if rng.one_in(3) {
+            // Gate the fragment on an input byte and remember a byte value
+            // that opens it (probe bytes stay in the positive `char`
+            // range, so `a = buf[0]` sees them unchanged).
+            let gate = i64::from(rng.byte() & 63);
+            opener[0] = opener[0].max(gate as u8 + 1);
+            body.push(sif(bin(BinOp::Gt, var("a"), int(gate)), stmts, None));
+        } else {
+            body.extend(stmts);
+        }
+    }
+
+    body.push(printf(
+        "end %d %d\n",
+        vec![bin(BinOp::BitXor, var("a"), var("b")), var("SINK")],
+    ));
+    body.push(ret(Some(int(0))));
+
+    let mut globals = vec![global("SINK", Type::Int)];
+    if idioms.iter().any(Idiom::needs_globals) {
+        globals.push(global("G_A", Type::Int));
+        globals.push(global("G_B", Type::Long));
+    }
+
+    let program = Program {
+        structs: Vec::new(),
+        globals,
+        functions: vec![Function {
+            id: NodeId(0),
+            name: "main".to_string(),
+            ret: Type::Int,
+            params: Vec::<Param>::new(),
+            body: block(body),
+            span: Span::dummy(),
+        }],
+    };
+
+    let mut probes: Vec<Vec<u8>> = Vec::with_capacity(PROBES_PER_GENOME);
+    probes.push(Vec::new());
+    opener[1] = 0x41;
+    probes.push(opener);
+    for _ in 2..PROBES_PER_GENOME {
+        let len = 2 + rng.below(5);
+        probes.push((0..len).map(|_| rng.byte() & 0x7f).collect());
+    }
+
+    debug_assert!(
+        minc::check(&minc::pretty::program(&program)).is_ok(),
+        "generator must only emit well-formed programs"
+    );
+    Genome { program, probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_genome() {
+        let a = generate(&mut Rng::new(42));
+        let b = generate(&mut Rng::new(42));
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.source(), b.source());
+    }
+
+    #[test]
+    fn generated_programs_are_well_formed() {
+        let mut rng = Rng::new(7);
+        for _ in 0..40 {
+            let g = generate(&mut rng);
+            let src = g.source();
+            minc::check(&src).unwrap_or_else(|e| panic!("invalid program:\n{src}\n{e}"));
+        }
+    }
+
+    #[test]
+    fn source_round_trips_through_parser() {
+        let mut rng = Rng::new(3);
+        for _ in 0..10 {
+            let g = generate(&mut rng);
+            let src = g.source();
+            let reparsed = minc::parse(&src).expect("parses");
+            assert_eq!(src, minc::pretty::program(&reparsed), "pretty is stable");
+        }
+    }
+
+    #[test]
+    fn every_idiom_is_reachable_and_valid() {
+        // Exercise each idiom in isolation inside the standard frame.
+        for (i, idiom) in IDIOMS.iter().enumerate() {
+            let mut rng = Rng::new(100 + i as u64);
+            let stmts = idiom.stmts(0, &mut rng);
+            assert!(!stmts.is_empty());
+        }
+    }
+}

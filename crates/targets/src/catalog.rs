@@ -189,10 +189,13 @@ pub struct InjectedBug {
 }
 
 /// One target program specification.
+///
+/// `name` is owned so specs can describe dynamically produced programs
+/// (the `progen` pipeline) as well as the static Table 4 inventory.
 #[derive(Debug, Clone)]
 pub struct TargetSpec {
-    /// Project name (Table 4).
-    pub name: &'static str,
+    /// Project name (Table 4), or a generated-program label.
+    pub name: String,
     /// Input type (Table 4).
     pub input_type: &'static str,
     /// Version (Table 4).
@@ -414,7 +417,7 @@ pub fn catalog() -> Vec<TargetSpec> {
                 .map(|(i, k)| bug(name, i, k, b'a' + i as u8))
                 .collect();
             TargetSpec {
-                name,
+                name: name.to_string(),
                 input_type,
                 version,
                 magic,

@@ -26,10 +26,14 @@
 pub mod builder;
 pub mod catalog;
 pub mod harness;
+pub mod source;
 
 pub use builder::{build, Target};
 pub use catalog::{catalog, BugKind, Category, InjectedBug, TargetSpec};
 pub use harness::{
     build_all, fuzz_target, table5, table6, verify_all, verify_target, BugVerdict, FuzzFinding,
     Table5, Table6,
+};
+pub use source::{
+    dir_source, target_from_source, CatalogSource, SharedSource, StaticSource, TargetSource,
 };

@@ -26,7 +26,9 @@ cargo test -q --offline -p campaign --test faults
 lint_a="$(mktemp)"
 lint_b="$(mktemp)"
 smoke="$(mktemp)"
-trap 'rm -f "$lint_a" "$lint_b" "$smoke"' EXIT
+progen_a="$(mktemp -d)"
+progen_b="$(mktemp -d)"
+trap 'rm -rf "$lint_a" "$lint_b" "$smoke" "$progen_a" "$progen_b"' EXIT
 
 echo "== smoke campaign with injected panic (must exit 0 with partial results) =="
 ./target/release/compdiff campaign --workers 2 --execs-per-target 120 --shards 2 \
@@ -40,6 +42,20 @@ echo "== lint determinism (compdiff lint --all, twice) =="
 ./target/release/compdiff lint --all --workers 4 > "$lint_a"
 ./target/release/compdiff lint --all --workers 2 > "$lint_b"
 cmp "$lint_a" "$lint_b"
+
+echo "== progen evolve smoke + byte-determinism (seeded, twice) =="
+./target/release/compdiff progen evolve --seed 7 --generations 2 --population 6 \
+    --out-dir "$progen_a" --fixed-clock 0 > /dev/null 2>&1
+./target/release/compdiff progen evolve --seed 7 --generations 2 --population 6 \
+    --out-dir "$progen_b" --fixed-clock 0 > /dev/null 2>&1
+cmp "$progen_a/generations.jsonl" "$progen_b/generations.jsonl"
+cmp "$progen_a/state.json" "$progen_b/state.json"
+# At least one diverging program must be found, auto-reduced, and the
+# reduced witnesses must match byte for byte across the two runs.
+ls "$progen_a"/witness_*.mc > /dev/null
+for w in "$progen_a"/witness_*.mc; do
+    cmp "$w" "$progen_b/$(basename "$w")"
+done
 
 echo "== cargo build --benches --offline =="
 cargo build --benches --offline --workspace
