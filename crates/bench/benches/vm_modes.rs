@@ -1,0 +1,107 @@
+//! Interpreter vs block-compiled dispatch across the catalog targets.
+//!
+//! For every Table 4 target this measures three configurations on the
+//! target's benign seed input (the hot path of a differential campaign):
+//!
+//! * `interp` — a persistent [`ExecSession`] in [`VmMode::Interp`];
+//! * `block` — the same session shape in [`VmMode::Block`];
+//! * `block_san` — the sanitizer build run under the combined
+//!   [`AsanUbsan`] hooks in block mode (the instrumented fuzzing
+//!   configuration; shows what the hook seam costs on top of dispatch).
+//!
+//! Before timing, every target asserts bit-identical results between the
+//! two modes (and between the two modes under sanitizer hooks), so a
+//! dispatch bug cannot hide behind a throughput number. Emits
+//! `BENCH_vm_modes.json` (per-row medians plus derived ops/sec) when
+//! `COMPDIFF_BENCH_JSON_DIR` is set, and prints the BENCHMARKS.md table.
+
+use compdiff::Json;
+use compdiff_bench::harness::{write_json, BenchGroup, BenchResult};
+use minc_compile::{compile_source, CompilerImpl};
+use minc_vm::{ExecSession, VmConfig, VmMode};
+use sanitizers::AsanUbsan;
+use targets::build_all;
+
+fn ops_per_sec(r: &BenchResult) -> f64 {
+    1.0 / r.median.as_secs_f64().max(1e-12)
+}
+
+fn main() {
+    let interp = VmConfig {
+        mode: VmMode::Interp,
+        ..VmConfig::default()
+    };
+    let block = VmConfig {
+        mode: VmMode::Block,
+        ..VmConfig::default()
+    };
+    let targets = build_all();
+    let mut g = BenchGroup::new("vm_modes");
+    // (target, interp, block, block_san) rows for the summary table.
+    let mut rows: Vec<(String, BenchResult, BenchResult, BenchResult)> = Vec::new();
+
+    for t in &targets {
+        let name = t.spec.name.clone();
+        let bin = compile_source(&t.src, CompilerImpl::parse("gcc-O2").unwrap())
+            .unwrap_or_else(|e| panic!("{name} does not compile: {e}"));
+        let san = sanitizers::compile_sanitized(&t.src)
+            .unwrap_or_else(|e| panic!("{name} sanitized build failed: {e}"));
+        let input = t.seeds.first().cloned().unwrap_or_default();
+
+        // Equivalence gate: block mode must be bit-identical before it is
+        // allowed to be faster, with and without instrumentation.
+        let mut check = ExecSession::new(&bin);
+        let want = check.run(&bin, &input, &interp);
+        assert_eq!(
+            check.run(&bin, &input, &block),
+            want,
+            "{name}: block diverged"
+        );
+        let mut check = ExecSession::new(&san);
+        let want = check.run_with_hooks(&san, &input, &interp, &mut AsanUbsan::new());
+        assert_eq!(
+            check.run_with_hooks(&san, &input, &block, &mut AsanUbsan::new()),
+            want,
+            "{name}: block+san diverged"
+        );
+
+        let mut s = ExecSession::new(&bin);
+        let ri = g.bench(&format!("{name}/interp"), || s.run(&bin, &input, &interp));
+        let mut s = ExecSession::new(&bin);
+        let rb = g.bench(&format!("{name}/block"), || s.run(&bin, &input, &block));
+        let mut s = ExecSession::new(&san);
+        let rs = g.bench(&format!("{name}/block_san"), || {
+            s.run_with_hooks(&san, &input, &block, &mut AsanUbsan::new())
+        });
+        rows.push((name, ri, rb, rs));
+    }
+
+    let results = g.finish();
+
+    println!();
+    println!("| Target | Interp ops/s | Block ops/s | Block+san ops/s | Block / interp |");
+    println!("|---|---|---|---|---|");
+    for (name, ri, rb, rs) in &rows {
+        println!(
+            "| {name} | {:.0} | {:.0} | {:.0} | {:.2}x |",
+            ops_per_sec(ri),
+            ops_per_sec(rb),
+            ops_per_sec(rs),
+            ri.median.as_secs_f64() / rb.median.as_secs_f64()
+        );
+    }
+
+    let ops = Json::Array(
+        rows.iter()
+            .map(|(name, ri, rb, rs)| {
+                Json::obj(vec![
+                    ("target", Json::Str(name.clone())),
+                    ("interp_ops_per_sec", Json::Float(ops_per_sec(ri))),
+                    ("block_ops_per_sec", Json::Float(ops_per_sec(rb))),
+                    ("block_san_ops_per_sec", Json::Float(ops_per_sec(rs))),
+                ])
+            })
+            .collect(),
+    );
+    write_json("BENCH_vm_modes.json", &results, vec![("ops_per_sec", ops)]);
+}

@@ -1,0 +1,106 @@
+//! Scratch decomposition of persistent-session execution cost (dev tool).
+
+use minc_compile::{compile_source, Binary, CompilerImpl};
+use minc_vm::{ExecSession, VmConfig, VmMode};
+use std::time::Instant;
+
+fn time(label: &str, bin: &Binary, input: &[u8], cfg: &VmConfig) {
+    let mut s = ExecSession::new(bin);
+    // warm
+    let mut steps = 0;
+    for _ in 0..1000 {
+        steps = std::hint::black_box(s.run(bin, input, cfg)).steps;
+    }
+    let n = 200_000u32;
+    let t = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(s.run(bin, input, cfg));
+    }
+    let el = t.elapsed();
+    let per = el.as_nanos() as f64 / n as f64;
+    println!(
+        "{label:<28} {per:>8.0} ns/iter  {steps:>6} steps  {:>6.2} ns/step",
+        per / steps as f64
+    );
+}
+
+fn main() {
+    let interp = VmConfig {
+        mode: VmMode::Interp,
+        ..VmConfig::default()
+    };
+    let block = VmConfig {
+        mode: VmMode::Block,
+        ..VmConfig::default()
+    };
+    let progs: &[(&str, &str, &[u8])] = &[
+        ("empty", "int main() { return 0; }", b""),
+        (
+            "loop_only",
+            r#"int main() {
+                char buf[32];
+                int acc = 0; long i;
+                for (i = 0; i < 10; i++) { buf[i] = (char)(i * 7); }
+                for (i = 2; i < 10; i++) { acc = acc * 31 + buf[i]; }
+                return acc & 127;
+            }"#,
+            b"",
+        ),
+        (
+            "read_only",
+            r#"int main() {
+                char buf[32];
+                long n = read_input(buf, 31L);
+                return (int)n;
+            }"#,
+            b"MCabcdefgh",
+        ),
+        (
+            "printf_only",
+            r#"int main() { printf("ok %d\n", 12345); return 0; }"#,
+            b"",
+        ),
+        (
+            "small_full",
+            r#"int main() {
+                char buf[32];
+                long n = read_input(buf, 31L);
+                if (n < 3) { printf("short\n"); return 1; }
+                if (buf[0] != 'M' || buf[1] != 'C') { printf("bad magic\n"); return 2; }
+                int acc = 0;
+                long i;
+                for (i = 2; i < n; i++) { acc = acc * 31 + buf[i]; }
+                printf("ok %d\n", acc);
+                return 0;
+            }"#,
+            b"MCabcdefgh",
+        ),
+        (
+            "mixloop",
+            r#"int main() {
+                long h = 12345; long r;
+                for (r = 0; r < 400; r++) {
+                    h = h ^ (h >> 33); h = h * 127; h = h + r;
+                    h = h ^ (h >> 29); h = h * 31;  h = h ^ (h << 5);
+                    h = h + 11;        h = h ^ (h >> 17);
+                }
+                return (int)(h & 63);
+            }"#,
+            b"",
+        ),
+        (
+            "bigloop",
+            r#"int main() {
+                long i; long acc = 0;
+                for (i = 0; i < 1000; i++) { acc += i * 3; acc = acc ^ (acc >> 5); }
+                return (int)(acc & 63);
+            }"#,
+            b"",
+        ),
+    ];
+    for (name, src, input) in progs {
+        let bin = compile_source(src, CompilerImpl::parse("gcc-O2").unwrap()).unwrap();
+        time(&format!("{name}/interp"), &bin, input, &interp);
+        time(&format!("{name}/block"), &bin, input, &block);
+    }
+}

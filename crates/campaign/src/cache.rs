@@ -18,6 +18,7 @@ use crate::faults::{panic_message, FaultKind, FaultPlan};
 use compdiff::{hash64, CompDiff, DiffConfig};
 use minc::FrontendError;
 use minc_compile::{Binary, CompilerImpl};
+use minc_vm::BlockProgram;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,15 +40,35 @@ pub struct CompiledTarget {
     pub seeds: Vec<Vec<u8>>,
     /// The format's 2-byte magic (fed to the fuzzer as a dictionary token).
     pub magic: [u8; 2],
+    /// Block translations of the differential binaries (indexed like
+    /// `diff.binaries()`), done once at compile time and shared with every
+    /// session any worker creates.
+    pub diff_blocks: Vec<Arc<BlockProgram>>,
+    /// Block translation of the fuzz binary.
+    pub fuzz_blocks: Arc<BlockProgram>,
 }
 
 impl CompiledTarget {
     /// Fresh persistent sessions over the differential binaries, one per
-    /// implementation. The compiled target itself is immutable and shared
-    /// across workers; each worker's job creates its own session set as
-    /// the mutable per-(worker, binary) execution state.
+    /// implementation, each pre-seeded with the shared block translation.
+    /// The compiled target itself is immutable and shared across workers;
+    /// each worker's job creates its own session set as the mutable
+    /// per-(worker, binary) execution state.
     pub fn diff_sessions(&self) -> Vec<minc_vm::ExecSession> {
-        self.diff.make_sessions()
+        let mut sessions = self.diff.make_sessions();
+        for (s, p) in sessions.iter_mut().zip(&self.diff_blocks) {
+            s.set_block_program(Arc::clone(p));
+        }
+        sessions
+    }
+
+    /// Total superblocks across all translated binaries of this target.
+    pub fn block_count(&self) -> u64 {
+        self.diff_blocks
+            .iter()
+            .chain(std::iter::once(&self.fuzz_blocks))
+            .map(|p| p.block_count() as u64)
+            .sum()
     }
 }
 
@@ -92,6 +113,7 @@ pub struct BinaryCache {
     slots: Mutex<HashMap<String, Arc<Slot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    blocks_translated: AtomicU64,
 }
 
 /// Locks a mutex, shrugging off poison: every write the cache makes under
@@ -159,6 +181,14 @@ impl BinaryCache {
                 .map(|&ci| minc_compile::compile(&checked, ci))
                 .collect();
             let fuzz_binary = minc_compile::compile(&checked, fuzz_impl);
+            // Translate for block-mode execution while we hold the slot:
+            // once per binary per campaign, amortized across every job
+            // and session that touches this target.
+            let diff_blocks = binaries
+                .iter()
+                .map(|b| Arc::new(BlockProgram::translate(b)))
+                .collect();
+            let fuzz_blocks = Arc::new(BlockProgram::translate(&fuzz_binary));
             Ok(CompiledTarget {
                 name: name.to_string(),
                 // Tag the engine with the program's content hash so
@@ -170,6 +200,8 @@ impl BinaryCache {
                 fuzz_binary,
                 seeds: target.seeds.clone(),
                 magic: target.spec.magic,
+                diff_blocks,
+                fuzz_blocks,
             })
         }));
         let ct = match compiled {
@@ -177,6 +209,8 @@ impl BinaryCache {
             Ok(Err(e)) => return Err(CacheError::Frontend(e)),
             Err(payload) => return Err(CacheError::Panic(panic_message(payload.as_ref()))),
         };
+        self.blocks_translated
+            .fetch_add(ct.block_count(), Ordering::Relaxed);
         *guard = Some(Arc::clone(&ct));
         Ok(ct)
     }
@@ -188,6 +222,12 @@ impl BinaryCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Superblocks translated by this cache's up-front per-binary
+    /// translation (reported as `vm.blocks_translated`).
+    pub fn blocks_translated(&self) -> u64 {
+        self.blocks_translated.load(Ordering::Relaxed)
     }
 }
 

@@ -365,6 +365,8 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
                                 "fallback_builtin_ops",
                                 Json::Int(out.vm.fallback_builtin_ops as i64),
                             ),
+                            ("block_exec", Json::Int(out.vm.block_exec as i64)),
+                            ("interp_fallback", Json::Int(out.vm.interp_fallback as i64)),
                         ],
                     );
                 }
@@ -489,6 +491,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
     }
 
     ctel.record_cache(cache.counters());
+    ctel.record_blocks_translated(cache.blocks_translated());
     let metrics = tel.registry().snapshot();
     tel.event("metrics", vec![("metrics", metrics.clone())]);
     tel.flush();

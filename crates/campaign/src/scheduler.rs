@@ -253,7 +253,8 @@ pub fn run_job(
     let mut divergent = 0u64;
     let mut sessions = ct.diff_sessions();
     let stats = Fuzzer::new(
-        BinaryTarget::new(&ct.fuzz_binary, cfg.diff_config.vm.clone()),
+        BinaryTarget::new(&ct.fuzz_binary, cfg.diff_config.vm.clone())
+            .with_block_program(std::sync::Arc::clone(&ct.fuzz_blocks)),
         DiffOracle {
             diff: &ct.diff,
             sessions: &mut sessions,

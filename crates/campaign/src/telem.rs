@@ -74,6 +74,17 @@ pub struct CampaignTelemetry {
     /// `vm.fallback_builtin_ops` — builtin memory ops on the per-byte
     /// fallback path.
     pub fallback_builtin_ops: Arc<Counter>,
+    /// `vm.blocks_translated` — superblocks translated (cache misses in
+    /// sessions plus the `BinaryCache`'s up-front per-binary translation).
+    pub blocks_translated: Arc<Counter>,
+    /// `vm.block_cache_hits` — block-mode runs that reused a cached
+    /// translation.
+    pub block_cache_hits: Arc<Counter>,
+    /// `vm.block_exec` — runs executed through the block dispatcher.
+    pub block_exec: Arc<Counter>,
+    /// `vm.interp_fallback` — runs executed through the per-instruction
+    /// interpreter.
+    pub interp_fallback: Arc<Counter>,
 }
 
 impl CampaignTelemetry {
@@ -110,6 +121,10 @@ impl CampaignTelemetry {
             pages_materialized: r.counter("vm.pages_materialized"),
             bulk_builtin_ops: r.counter("vm.bulk_builtin_ops"),
             fallback_builtin_ops: r.counter("vm.fallback_builtin_ops"),
+            blocks_translated: r.counter("vm.blocks_translated"),
+            block_cache_hits: r.counter("vm.block_cache_hits"),
+            block_exec: r.counter("vm.block_exec"),
+            interp_fallback: r.counter("vm.interp_fallback"),
             tel,
         }
     }
@@ -137,6 +152,17 @@ impl CampaignTelemetry {
         self.pages_materialized.add(vm.pages_materialized);
         self.bulk_builtin_ops.add(vm.bulk_builtin_ops);
         self.fallback_builtin_ops.add(vm.fallback_builtin_ops);
+        self.blocks_translated.add(vm.blocks_translated);
+        self.block_cache_hits.add(vm.block_cache_hits);
+        self.block_exec.add(vm.block_exec);
+        self.interp_fallback.add(vm.interp_fallback);
+    }
+
+    /// Adds superblocks translated outside any session — the
+    /// `BinaryCache` translates each compiled binary once up front and
+    /// reports the total at campaign end.
+    pub fn record_blocks_translated(&self, blocks: u64) {
+        self.blocks_translated.add(blocks);
     }
 
     /// Records one pre-fuzz lint scan: its duration plus one count per
@@ -254,9 +280,19 @@ mod tests {
             bulk_builtin_ops: 3,
             fallback_builtin_ops: 1,
             poisoned_rebuilds: 0,
+            blocks_translated: 6,
+            block_cache_hits: 12,
+            block_exec: 14,
+            interp_fallback: 1,
         });
         assert_eq!(ct.pages_restored.get(), 7);
         assert_eq!(ct.bulk_builtin_ops.get(), 3);
+        assert_eq!(ct.blocks_translated.get(), 6);
+        assert_eq!(ct.block_cache_hits.get(), 12);
+        assert_eq!(ct.block_exec.get(), 14);
+        assert_eq!(ct.interp_fallback.get(), 1);
+        ct.record_blocks_translated(9);
+        assert_eq!(ct.blocks_translated.get(), 15);
         ct.record_cache((5, 2));
         assert_eq!(ct.cache_hits.get(), 5);
         assert_eq!(ct.cache_misses.get(), 2);

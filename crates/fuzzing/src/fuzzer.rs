@@ -52,6 +52,21 @@ impl<'a> BinaryTarget<'a> {
             session: ExecSession::new(binary),
         }
     }
+
+    /// Pre-seeds the session's block-translation cache with a shared
+    /// translation of the fuzz binary (campaign workers translate once in
+    /// the `BinaryCache`; without this, the first block-mode exec of each
+    /// job would retranslate).
+    pub fn with_block_program(mut self, prog: std::sync::Arc<minc_vm::BlockProgram>) -> Self {
+        self.session.set_block_program(prog);
+        self
+    }
+
+    /// Cumulative statistics of the persistent session (merged into the
+    /// per-job VM stats by the campaign scheduler).
+    pub fn session_stats(&self) -> minc_vm::SessionStats {
+        self.session.stats()
+    }
 }
 
 impl TargetExec for BinaryTarget<'_> {

@@ -3,6 +3,10 @@
 use crate::ir::{FuncId, GlobalId, IrProgram, StrId};
 use crate::layout::{place_frame, place_globals, place_strings, FrameLayout};
 use crate::personality::{CompilerImpl, Personality};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic source of [`Binary::uid`] values, process-wide.
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
 
 /// A "binary": everything the VM needs to execute the program exactly as
 /// this compiler implementation built it. Two binaries of the same source
@@ -22,6 +26,12 @@ pub struct Binary {
     pub global_addrs: Vec<u64>,
     /// Absolute address of each rodata string.
     pub string_addrs: Vec<u64>,
+    /// Process-unique identity token, assigned at [`Binary::link`] time.
+    /// Clones share it (their contents are identical by construction), so
+    /// downstream caches — e.g. the VM's block-translation cache — can use
+    /// `uid` as an O(1) content-identity key. Never observable in program
+    /// output.
+    pub uid: u64,
 }
 
 impl Binary {
@@ -41,6 +51,7 @@ impl Binary {
             frames,
             global_addrs,
             string_addrs,
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
         }
     }
 

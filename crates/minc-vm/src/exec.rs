@@ -18,6 +18,51 @@ use minc::Builtin;
 use minc_compile::ir::*;
 use minc_compile::Binary;
 
+/// Which execution backend runs the program. Both produce bit-identical
+/// [`ExecResult`]s (including step counts, hook callbacks, and stdout);
+/// block mode is simply faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmMode {
+    /// The per-instruction reference interpreter.
+    Interp,
+    /// Pre-decoded superblock dispatch (see `block.rs`). The translation
+    /// is cached per [`Binary`] inside the [`ExecSession`].
+    #[default]
+    Block,
+}
+
+impl VmMode {
+    /// Parses the CLI/env spelling (`"interp"` / `"block"`).
+    pub fn parse(s: &str) -> Option<VmMode> {
+        match s {
+            "interp" => Some(VmMode::Interp),
+            "block" => Some(VmMode::Block),
+            _ => None,
+        }
+    }
+
+    /// Resolves the mode from the `COMPDIFF_VM_MODE` environment variable
+    /// (`interp` / `block`), falling back to the default when the variable
+    /// is unset or unrecognised. [`VmConfig::default`] goes through this,
+    /// so the override reaches every consumer that doesn't set an explicit
+    /// mode; an explicit `--vm-mode` flag wins by assigning the field.
+    pub fn from_env() -> VmMode {
+        std::env::var("COMPDIFF_VM_MODE")
+            .ok()
+            .and_then(|s| VmMode::parse(&s))
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Display for VmMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            VmMode::Interp => "interp",
+            VmMode::Block => "block",
+        })
+    }
+}
+
 /// Execution limits and switches.
 #[derive(Debug, Clone)]
 pub struct VmConfig {
@@ -27,6 +72,8 @@ pub struct VmConfig {
     pub max_frames: usize,
     /// Heap size limit in bytes.
     pub heap_limit: u64,
+    /// Which execution backend to use.
+    pub mode: VmMode,
 }
 
 impl Default for VmConfig {
@@ -35,6 +82,7 @@ impl Default for VmConfig {
             step_limit: 5_000_000,
             max_frames: 256,
             heap_limit: 1 << 26,
+            mode: VmMode::from_env(),
         }
     }
 }
@@ -64,6 +112,18 @@ pub(crate) fn run_in_session<H: Hooks>(
     hooks: &mut H,
 ) -> ExecResult {
     let track_poison = hooks.track_poison();
+    // Resolve the block translation (and bump the mode counters) before
+    // constructing the Vm, which holds the session mutably for the run.
+    let block = match config.mode {
+        VmMode::Block => {
+            session.block_exec += 1;
+            Some(session.block_program(bin))
+        }
+        VmMode::Interp => {
+            session.interp_fallback += 1;
+            None
+        }
+    };
     let p = &bin.personality;
     let mut vm = Vm {
         bin,
@@ -84,7 +144,10 @@ pub(crate) fn run_in_session<H: Hooks>(
         slot_scratch: Vec::new(),
     };
     vm.load_data();
-    let status = vm.run();
+    let status = match &block {
+        Some(prog) => vm.run_block(prog),
+        None => vm.run(),
+    };
     ExecResult {
         status,
         stdout: vm.stdout,
@@ -92,31 +155,31 @@ pub(crate) fn run_in_session<H: Hooks>(
     }
 }
 
-enum End {
+pub(crate) enum End {
     Exit(u8),
     Trap(Trap),
     Fault(crate::result::Fault),
     Timeout,
 }
 
-struct Vm<'s, 'b, 'h, H: Hooks> {
-    bin: &'b Binary,
-    config: &'b VmConfig,
-    hooks: &'h mut H,
+pub(crate) struct Vm<'s, 'b, 'h, H: Hooks> {
+    pub(crate) bin: &'b Binary,
+    pub(crate) config: &'b VmConfig,
+    pub(crate) hooks: &'h mut H,
     /// Session-owned state: memory, frames, frame pool, allocator maps.
-    s: &'s mut ExecSession,
-    stdout: Vec<u8>,
-    input: &'b [u8],
-    input_pos: usize,
-    sp: u64,
-    heap_brk: u64,
-    corruption_bias: u64,
-    rand_state: u64,
-    steps: u64,
-    track_poison: bool,
-    rodata: (u64, u64),
-    globals: (u64, u64),
-    slot_scratch: Vec<(u64, u64)>,
+    pub(crate) s: &'s mut ExecSession,
+    pub(crate) stdout: Vec<u8>,
+    pub(crate) input: &'b [u8],
+    pub(crate) input_pos: usize,
+    pub(crate) sp: u64,
+    pub(crate) heap_brk: u64,
+    pub(crate) corruption_bias: u64,
+    pub(crate) rand_state: u64,
+    pub(crate) steps: u64,
+    pub(crate) track_poison: bool,
+    pub(crate) rodata: (u64, u64),
+    pub(crate) globals: (u64, u64),
+    pub(crate) slot_scratch: Vec<(u64, u64)>,
 }
 
 impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
@@ -139,16 +202,7 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
     }
 
     fn const_raw(&self, v: ConstVal) -> u64 {
-        match v {
-            ConstVal::I32(x) => x as i64 as u64,
-            ConstVal::I64(x) => x as u64,
-            ConstVal::F64(x) => x.to_bits(),
-            ConstVal::GlobalAddr(g, off) => {
-                (self.bin.global_addr(g) as i64).wrapping_add(off) as u64
-            }
-            ConstVal::StrAddr(s, off) => (self.bin.string_addr(s) as i64).wrapping_add(off) as u64,
-            ConstVal::Junk(id) => self.bin.personality.junk_word(id),
-        }
+        const_raw(self.bin, v)
     }
 
     fn run(&mut self) -> ExitStatus {
@@ -164,7 +218,7 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
         }
     }
 
-    fn end_status(&self, e: End) -> ExitStatus {
+    pub(crate) fn end_status(&self, e: End) -> ExitStatus {
         match e {
             End::Exit(c) => ExitStatus::Code(c),
             End::Trap(t) => ExitStatus::Trapped(t),
@@ -182,7 +236,7 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
         }
     }
 
-    fn push_frame(
+    pub(crate) fn push_frame(
         &mut self,
         func: u32,
         args: &[u64],
@@ -240,7 +294,7 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
         Ok(())
     }
 
-    fn pop_frame(&mut self, ret: Option<u64>, ret_poison: bool) -> Result<(), End> {
+    pub(crate) fn pop_frame(&mut self, ret: Option<u64>, ret_poison: bool) -> Result<(), End> {
         let act = self.s.frames.pop().expect("frame to pop");
         self.hooks.on_frame_exit(act.frame_lo, act.frame_hi);
         self.sp = act.frame_hi;
@@ -292,7 +346,13 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
         false
     }
 
-    fn check_mem(&mut self, addr: u64, width: u64, write: bool, loc: Loc) -> Result<(), End> {
+    pub(crate) fn check_mem(
+        &mut self,
+        addr: u64,
+        width: u64,
+        write: bool,
+        loc: Loc,
+    ) -> Result<(), End> {
         if write {
             if let Some(f) = self.hooks.check_store(addr, width, loc) {
                 return Err(End::Fault(f));
@@ -387,36 +447,21 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
                         return Err(End::Fault(fault));
                     }
                 }
-                let r = self.eval_bin(*op, *ty, va, vb)?;
+                let r = eval_bin(*op, *ty, va, vb).map_err(End::Trap)?;
                 self.set_reg(*dst, r, pa);
                 Ok(())
             }
             Inst::Un { dst, ty, op, a, .. } => {
                 let va = self.reg(*a);
                 let p = self.reg_poison(*a);
-                let r = match (op, ty) {
-                    (UnKind::Neg, IrType::I32) => ((va as i32).wrapping_neg()) as i64 as u64,
-                    (UnKind::Neg, _) => (va as i64).wrapping_neg() as u64,
-                    (UnKind::BitNot, IrType::I32) => (!(va as i32)) as i64 as u64,
-                    (UnKind::BitNot, _) => !va,
-                    (UnKind::FNeg, _) => (-f64::from_bits(va)).to_bits(),
-                };
+                let r = eval_un(*op, *ty, va);
                 self.set_reg(*dst, r, p);
                 Ok(())
             }
             Inst::Cast { dst, kind, a } => {
                 let va = self.reg(*a);
                 let p = self.reg_poison(*a);
-                let r = match kind {
-                    CastKind::SextI32I64 => va as u32 as i32 as i64 as u64,
-                    CastKind::ZextI32I64 => va as u32 as u64,
-                    CastKind::TruncI64I32 => va as u32 as i32 as i64 as u64,
-                    CastKind::SI32F64 => ((va as u32 as i32) as f64).to_bits(),
-                    CastKind::UI32F64 => ((va as u32) as f64).to_bits(),
-                    CastKind::SI64F64 => ((va as i64) as f64).to_bits(),
-                    CastKind::F64I32 => (f64::from_bits(va) as i32) as i64 as u64,
-                    CastKind::F64I64 => (f64::from_bits(va) as i64) as u64,
-                };
+                let r = eval_cast(*kind, va);
                 self.set_reg(*dst, r, p);
                 Ok(())
             }
@@ -442,13 +487,7 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
                 }
                 self.check_mem(va, width.bytes(), false, loc)?;
                 let raw = self.s.mem.read(va, width.bytes());
-                let val = match (width, ty, sext) {
-                    (MemWidth::W1, _, true) => raw as u8 as i8 as i64 as u64,
-                    (MemWidth::W1, _, false) => raw as u8 as u64,
-                    (MemWidth::W4, IrType::I32, _) => raw as u32 as i32 as i64 as u64,
-                    (MemWidth::W4, _, _) => raw as u32 as u64,
-                    (MemWidth::W8, _, _) => raw,
-                };
+                let val = extend_load(raw, *width, *ty, *sext);
                 let poisoned = self.track_poison && self.hooks.load_poison(va, width.bytes());
                 self.set_reg(*dst, val, poisoned);
                 Ok(())
@@ -550,111 +589,6 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
         }
     }
 
-    fn eval_bin(&mut self, op: BinKind, ty: IrType, a: u64, b: u64) -> Result<u64, End> {
-        use BinKind::*;
-        if op.is_float() {
-            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
-            return Ok(match op {
-                FAdd => (x + y).to_bits(),
-                FSub => (x - y).to_bits(),
-                FMul => (x * y).to_bits(),
-                FDiv => (x / y).to_bits(),
-                FEq => (x == y) as u64,
-                FNe => (x != y) as u64,
-                FLt => (x < y) as u64,
-                FLe => (x <= y) as u64,
-                FGt => (x > y) as u64,
-                FGe => (x >= y) as u64,
-                _ => unreachable!(),
-            });
-        }
-        let narrow = ty == IrType::I32;
-        let (sa, sb) = if narrow {
-            (a as u32 as i32 as i64, b as u32 as i32 as i64)
-        } else {
-            (a as i64, b as i64)
-        };
-        let (ua, ub) = if narrow {
-            (a as u32 as u64, b as u32 as u64)
-        } else {
-            (a, b)
-        };
-        let wrap = |v: i64| -> u64 {
-            if narrow {
-                v as i32 as i64 as u64
-            } else {
-                v as u64
-            }
-        };
-        Ok(match op {
-            Add => wrap(sa.wrapping_add(sb)),
-            Sub => wrap(sa.wrapping_sub(sb)),
-            Mul => wrap(sa.wrapping_mul(sb)),
-            DivS => {
-                if sb == 0 {
-                    return Err(End::Trap(Trap::Sigfpe));
-                }
-                if narrow && sa as i32 == i32::MIN && sb as i32 == -1 {
-                    return Err(End::Trap(Trap::Sigfpe));
-                }
-                if !narrow && sa == i64::MIN && sb == -1 {
-                    return Err(End::Trap(Trap::Sigfpe));
-                }
-                wrap(sa.wrapping_div(sb))
-            }
-            DivU => {
-                if ub == 0 {
-                    return Err(End::Trap(Trap::Sigfpe));
-                }
-                wrap((ua / ub) as i64)
-            }
-            RemS => {
-                if sb == 0 {
-                    return Err(End::Trap(Trap::Sigfpe));
-                }
-                if (narrow && sa as i32 == i32::MIN && sb as i32 == -1)
-                    || (!narrow && sa == i64::MIN && sb == -1)
-                {
-                    return Err(End::Trap(Trap::Sigfpe));
-                }
-                wrap(sa.wrapping_rem(sb))
-            }
-            RemU => {
-                if ub == 0 {
-                    return Err(End::Trap(Trap::Sigfpe));
-                }
-                wrap((ua % ub) as i64)
-            }
-            // x86 semantics: shift amount masked to the operand width.
-            Shl => {
-                let m = if narrow { 31 } else { 63 };
-                wrap(sa.wrapping_shl((ub as u32) & m))
-            }
-            ShrS => {
-                let m = if narrow { 31 } else { 63 };
-                wrap(sa.wrapping_shr((ub as u32) & m))
-            }
-            ShrU => {
-                let m = if narrow { 31 } else { 63 };
-                wrap(ua.wrapping_shr((ub as u32) & m) as i64)
-            }
-            And => wrap(sa & sb),
-            Or => wrap(sa | sb),
-            Xor => wrap(sa ^ sb),
-            Eq => (sa == sb) as u64,
-            Ne => (sa != sb) as u64,
-            LtS => (sa < sb) as u64,
-            LeS => (sa <= sb) as u64,
-            GtS => (sa > sb) as u64,
-            GeS => (sa >= sb) as u64,
-            LtU => (ua < ub) as u64,
-            LeU => (ua <= ub) as u64,
-            GtU => (ua > ub) as u64,
-            GeU => (ua >= ub) as u64,
-            _ => unreachable!(),
-        })
-    }
-
     // ---- builtins ----
 
     fn cstr_checked(&mut self, addr: u64, loc: Loc) -> Result<Vec<u8>, End> {
@@ -682,7 +616,7 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
         len > 0 && self.hooks.bulk_mem_ok() && self.addr_valid(addr, len, write)
     }
 
-    fn builtin(
+    pub(crate) fn builtin(
         &mut self,
         b: Builtin,
         args: &[u64],
@@ -1062,6 +996,165 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
         self.stdout.extend_from_slice(&out);
         Ok(n)
     }
+}
+
+// ---- shared evaluation kernels ----
+//
+// Pure functions over raw register words, used by both the per-instruction
+// interpreter and the block dispatcher so the two backends cannot drift.
+
+/// Resolves a constant to its raw 64-bit register representation.
+pub(crate) fn const_raw(bin: &Binary, v: ConstVal) -> u64 {
+    match v {
+        ConstVal::I32(x) => x as i64 as u64,
+        ConstVal::I64(x) => x as u64,
+        ConstVal::F64(x) => x.to_bits(),
+        ConstVal::GlobalAddr(g, off) => (bin.global_addr(g) as i64).wrapping_add(off) as u64,
+        ConstVal::StrAddr(s, off) => (bin.string_addr(s) as i64).wrapping_add(off) as u64,
+        ConstVal::Junk(id) => bin.personality.junk_word(id),
+    }
+}
+
+/// Extends a raw memory word to its register representation.
+pub(crate) fn extend_load(raw: u64, width: MemWidth, ty: IrType, sext: bool) -> u64 {
+    match (width, ty, sext) {
+        (MemWidth::W1, _, true) => raw as u8 as i8 as i64 as u64,
+        (MemWidth::W1, _, false) => raw as u8 as u64,
+        (MemWidth::W4, IrType::I32, _) => raw as u32 as i32 as i64 as u64,
+        (MemWidth::W4, _, _) => raw as u32 as u64,
+        (MemWidth::W8, _, _) => raw,
+    }
+}
+
+/// Evaluates a unary operation.
+pub(crate) fn eval_un(op: UnKind, ty: IrType, va: u64) -> u64 {
+    match (op, ty) {
+        (UnKind::Neg, IrType::I32) => ((va as i32).wrapping_neg()) as i64 as u64,
+        (UnKind::Neg, _) => (va as i64).wrapping_neg() as u64,
+        (UnKind::BitNot, IrType::I32) => (!(va as i32)) as i64 as u64,
+        (UnKind::BitNot, _) => !va,
+        (UnKind::FNeg, _) => (-f64::from_bits(va)).to_bits(),
+    }
+}
+
+/// Evaluates a cast.
+pub(crate) fn eval_cast(kind: CastKind, va: u64) -> u64 {
+    match kind {
+        CastKind::SextI32I64 => va as u32 as i32 as i64 as u64,
+        CastKind::ZextI32I64 => va as u32 as u64,
+        CastKind::TruncI64I32 => va as u32 as i32 as i64 as u64,
+        CastKind::SI32F64 => ((va as u32 as i32) as f64).to_bits(),
+        CastKind::UI32F64 => ((va as u32) as f64).to_bits(),
+        CastKind::SI64F64 => ((va as i64) as f64).to_bits(),
+        CastKind::F64I32 => (f64::from_bits(va) as i32) as i64 as u64,
+        CastKind::F64I64 => (f64::from_bits(va) as i64) as u64,
+    }
+}
+
+/// Evaluates a binary operation; `Err` is the trap a real CPU would raise.
+pub(crate) fn eval_bin(op: BinKind, ty: IrType, a: u64, b: u64) -> Result<u64, Trap> {
+    use BinKind::*;
+    if op.is_float() {
+        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+        return Ok(match op {
+            FAdd => (x + y).to_bits(),
+            FSub => (x - y).to_bits(),
+            FMul => (x * y).to_bits(),
+            FDiv => (x / y).to_bits(),
+            FEq => (x == y) as u64,
+            FNe => (x != y) as u64,
+            FLt => (x < y) as u64,
+            FLe => (x <= y) as u64,
+            FGt => (x > y) as u64,
+            FGe => (x >= y) as u64,
+            _ => unreachable!(),
+        });
+    }
+    let narrow = ty == IrType::I32;
+    let (sa, sb) = if narrow {
+        (a as u32 as i32 as i64, b as u32 as i32 as i64)
+    } else {
+        (a as i64, b as i64)
+    };
+    let (ua, ub) = if narrow {
+        (a as u32 as u64, b as u32 as u64)
+    } else {
+        (a, b)
+    };
+    let wrap = |v: i64| -> u64 {
+        if narrow {
+            v as i32 as i64 as u64
+        } else {
+            v as u64
+        }
+    };
+    Ok(match op {
+        Add => wrap(sa.wrapping_add(sb)),
+        Sub => wrap(sa.wrapping_sub(sb)),
+        Mul => wrap(sa.wrapping_mul(sb)),
+        DivS => {
+            if sb == 0 {
+                return Err(Trap::Sigfpe);
+            }
+            if narrow && sa as i32 == i32::MIN && sb as i32 == -1 {
+                return Err(Trap::Sigfpe);
+            }
+            if !narrow && sa == i64::MIN && sb == -1 {
+                return Err(Trap::Sigfpe);
+            }
+            wrap(sa.wrapping_div(sb))
+        }
+        DivU => {
+            if ub == 0 {
+                return Err(Trap::Sigfpe);
+            }
+            wrap((ua / ub) as i64)
+        }
+        RemS => {
+            if sb == 0 {
+                return Err(Trap::Sigfpe);
+            }
+            if (narrow && sa as i32 == i32::MIN && sb as i32 == -1)
+                || (!narrow && sa == i64::MIN && sb == -1)
+            {
+                return Err(Trap::Sigfpe);
+            }
+            wrap(sa.wrapping_rem(sb))
+        }
+        RemU => {
+            if ub == 0 {
+                return Err(Trap::Sigfpe);
+            }
+            wrap((ua % ub) as i64)
+        }
+        // x86 semantics: shift amount masked to the operand width.
+        Shl => {
+            let m = if narrow { 31 } else { 63 };
+            wrap(sa.wrapping_shl((ub as u32) & m))
+        }
+        ShrS => {
+            let m = if narrow { 31 } else { 63 };
+            wrap(sa.wrapping_shr((ub as u32) & m))
+        }
+        ShrU => {
+            let m = if narrow { 31 } else { 63 };
+            wrap(ua.wrapping_shr((ub as u32) & m) as i64)
+        }
+        And => wrap(sa & sb),
+        Or => wrap(sa | sb),
+        Xor => wrap(sa ^ sb),
+        Eq => (sa == sb) as u64,
+        Ne => (sa != sb) as u64,
+        LtS => (sa < sb) as u64,
+        LeS => (sa <= sb) as u64,
+        GtS => (sa > sb) as u64,
+        GeS => (sa >= sb) as u64,
+        LtU => (ua < ub) as u64,
+        LeU => (ua <= ub) as u64,
+        GtU => (ua > ub) as u64,
+        GeU => (ua >= ub) as u64,
+        _ => unreachable!(),
+    })
 }
 
 #[cfg(test)]

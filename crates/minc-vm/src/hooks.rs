@@ -48,6 +48,14 @@ pub enum PoisonUse {
 /// Returning `Some(Fault)` from a check aborts execution with a sanitizer
 /// report (like a real sanitizer's `abort()`).
 pub trait Hooks {
+    /// `true` iff this hook set observes nothing at all (every callback is
+    /// the no-op default). The block dispatcher gates its per-op hook
+    /// plumbing — location lookups, `(op, ty)` metadata recovery — on this
+    /// constant, so the uninstrumented path pays zero for it *structurally*
+    /// rather than relying on the optimizer to dead-code it. Only set this
+    /// on a hook set that overrides no callbacks (`bulk_mem_ok` aside).
+    const INERT: bool = false;
+
     /// A control-flow edge was taken (for coverage).
     fn on_edge(&mut self, from: Loc, to: Loc) {
         let _ = (from, to);
@@ -167,6 +175,8 @@ pub trait Hooks {
 pub struct NoHooks;
 
 impl Hooks for NoHooks {
+    const INERT: bool = true;
+
     fn bulk_mem_ok(&self) -> bool {
         true
     }

@@ -28,13 +28,15 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod block;
 pub mod exec;
 pub mod hooks;
 pub mod memory;
 pub mod result;
 pub mod session;
 
-pub use exec::{execute, execute_with_hooks, VmConfig};
+pub use block::BlockProgram;
+pub use exec::{execute, execute_with_hooks, VmConfig, VmMode};
 pub use hooks::{FreeDisposition, Hooks, Loc, NoHooks, PoisonUse};
 pub use memory::Memory;
 pub use result::{ExecResult, ExitStatus, Fault, SanitizerKind, Trap};

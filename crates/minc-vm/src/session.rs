@@ -38,6 +38,7 @@
 //! # }
 //! ```
 
+use crate::block::BlockProgram;
 use crate::exec::{run_in_session, VmConfig};
 use crate::hooks::{Hooks, NoHooks};
 use crate::memory::Memory;
@@ -45,6 +46,7 @@ use crate::result::ExecResult;
 use minc_compile::ir::ValueId;
 use minc_compile::Binary;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One call frame (an activation record). Owned by the session so the
 /// register/poison vectors can be pooled across runs.
@@ -83,6 +85,17 @@ pub struct SessionStats {
     /// mid-execution (a panic unwound through the VM), leaving the
     /// session state unknown.
     pub poisoned_rebuilds: u64,
+    /// Superblocks translated by this session (block mode, cache miss).
+    /// Pre-seeded translations (campaign `BinaryCache`) count at the
+    /// cache, not here.
+    pub blocks_translated: u64,
+    /// Block-mode runs that found their translation already cached.
+    pub block_cache_hits: u64,
+    /// Runs executed through the block dispatcher.
+    pub block_exec: u64,
+    /// Runs executed through the per-instruction interpreter
+    /// (`VmMode::Interp`).
+    pub interp_fallback: u64,
 }
 
 impl SessionStats {
@@ -95,6 +108,10 @@ impl SessionStats {
         self.bulk_builtin_ops += other.bulk_builtin_ops;
         self.fallback_builtin_ops += other.fallback_builtin_ops;
         self.poisoned_rebuilds += other.poisoned_rebuilds;
+        self.blocks_translated += other.blocks_translated;
+        self.block_cache_hits += other.block_cache_hits;
+        self.block_exec += other.block_exec;
+        self.interp_fallback += other.interp_fallback;
     }
 }
 
@@ -125,6 +142,14 @@ pub struct ExecSession {
     /// is rebuilt from scratch instead of trusted.
     pub(crate) in_flight: bool,
     pub(crate) poisoned: u64,
+    /// Cached block translation, keyed by [`Binary::uid`]. Shared (`Arc`)
+    /// so the campaign's `BinaryCache` can translate once per binary and
+    /// seed every session.
+    pub(crate) block: Option<Arc<BlockProgram>>,
+    pub(crate) blocks_translated: u64,
+    pub(crate) block_cache_hits: u64,
+    pub(crate) block_exec: u64,
+    pub(crate) interp_fallback: u64,
 }
 
 impl ExecSession {
@@ -142,6 +167,36 @@ impl ExecSession {
             fallback_ops: 0,
             in_flight: false,
             poisoned: 0,
+            block: None,
+            blocks_translated: 0,
+            block_cache_hits: 0,
+            block_exec: 0,
+            interp_fallback: 0,
+        }
+    }
+
+    /// Pre-seeds the block-translation cache (no counter bump): campaign
+    /// workers translate once per binary in the `BinaryCache` and hand the
+    /// shared translation to every session they create.
+    pub fn set_block_program(&mut self, prog: Arc<BlockProgram>) {
+        self.block = Some(prog);
+    }
+
+    /// Returns the cached block translation for `bin`, translating on a
+    /// uid mismatch (same self-heal contract as the memory rebuild above:
+    /// a miss, never a wrong answer).
+    pub(crate) fn block_program(&mut self, bin: &Binary) -> Arc<BlockProgram> {
+        match &self.block {
+            Some(p) if p.uid() == bin.uid => {
+                self.block_cache_hits += 1;
+                Arc::clone(p)
+            }
+            _ => {
+                let p = Arc::new(BlockProgram::translate(bin));
+                self.blocks_translated += p.block_count() as u64;
+                self.block = Some(Arc::clone(&p));
+                p
+            }
         }
     }
 
@@ -220,6 +275,10 @@ impl ExecSession {
             bulk_builtin_ops: self.bulk_ops,
             fallback_builtin_ops: self.fallback_ops,
             poisoned_rebuilds: self.poisoned,
+            blocks_translated: self.blocks_translated,
+            block_cache_hits: self.block_cache_hits,
+            block_exec: self.block_exec,
+            interp_fallback: self.interp_fallback,
         }
     }
 }

@@ -23,12 +23,17 @@ cargo test -q --offline -p campaign metrics_stream_is_deterministic
 echo "== fault-injection suite =="
 cargo test -q --offline -p campaign --test faults
 
+echo "== block-dispatch equivalence suite =="
+cargo test -q --offline --test block_equivalence
+
 lint_a="$(mktemp)"
 lint_b="$(mktemp)"
 smoke="$(mktemp)"
+camp_a="$(mktemp)"
+camp_b="$(mktemp)"
 progen_a="$(mktemp -d)"
 progen_b="$(mktemp -d)"
-trap 'rm -rf "$lint_a" "$lint_b" "$smoke" "$progen_a" "$progen_b"' EXIT
+trap 'rm -rf "$lint_a" "$lint_b" "$smoke" "$camp_a" "$camp_b" "$progen_a" "$progen_b"' EXIT
 
 echo "== smoke campaign with injected panic (must exit 0 with partial results) =="
 ./target/release/compdiff campaign --workers 2 --execs-per-target 120 --shards 2 \
@@ -37,6 +42,20 @@ echo "== smoke campaign with injected panic (must exit 0 with partial results) =
 grep -q "PARTIAL RESULTS" "$smoke"
 grep -q "quarantined: tcpdump" "$smoke"
 grep -q "fault tolerance:" "$smoke"
+
+echo "== campaign block-mode byte-determinism (two runs, fixed clock) =="
+# One worker: the telemetry stream is emitted in completion order, which
+# is only deterministic single-threaded. The cmp proves block-compiled
+# execution is byte-reproducible end to end; the grep proves the runs
+# actually took the block path rather than falling back to the interpreter.
+./target/release/compdiff campaign --workers 1 --execs-per-target 150 --shards 2 \
+    --targets readelf,brotli --seed 11 --vm-mode block \
+    --metrics-out "$camp_a" --fixed-clock 0 --quiet > /dev/null
+./target/release/compdiff campaign --workers 1 --execs-per-target 150 --shards 2 \
+    --targets readelf,brotli --seed 11 --vm-mode block \
+    --metrics-out "$camp_b" --fixed-clock 0 --quiet > /dev/null
+cmp "$camp_a" "$camp_b"
+grep -q '"block_exec": *[1-9]' "$camp_a"
 
 echo "== lint determinism (compdiff lint --all, twice) =="
 ./target/release/compdiff lint --all --workers 4 > "$lint_a"
@@ -60,7 +79,10 @@ done
 echo "== cargo build --benches --offline =="
 cargo build --benches --offline --workspace
 
-echo "== vm_session bench (fast smoke) =="
+echo "== vm_session bench (fast smoke, interp + block rows) =="
 COMPDIFF_BENCH_FAST=1 cargo bench -q --offline -p compdiff-bench --bench vm_session
+
+echo "== vm_modes bench (fast smoke, per-target interp/block/block_san) =="
+COMPDIFF_BENCH_FAST=1 cargo bench -q --offline -p compdiff-bench --bench vm_modes
 
 echo "CI green."
