@@ -68,6 +68,7 @@ USAGE:
       --execs <n>          fuzz-binary executions (default 50000)
       --seed <n>           campaign RNG seed (default 1)
       --max-len <n>        maximum input length (default 64)
+      --batch-size <n>     inputs per batched oracle sweep (default 16)
       --feedback           NEZHA-style divergence feedback
   compdiff scan <prog.mc>                static analyzers + sanitizers + CompDiff
   compdiff lint <prog.mc> [options]      IR-level unstable-code lint
@@ -81,6 +82,8 @@ USAGE:
       --shards <n>           seed shards per target (default 4)
       --seed <n>             campaign RNG seed (default 0xCA3D)
       --max-len <n>          maximum input length (default 64)
+      --batch-size <n>       inputs per batched oracle sweep (default 16;
+                             1 = strict per-input interleaving)
       --targets <a,b,...>    restrict to these catalog targets
       --checkpoint <dir>     write checkpoint.jsonl under <dir>
       --resume <dir>         resume a checkpointed campaign from <dir>
@@ -230,12 +233,17 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     let max_len = flag_value(args, "--max-len")
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
+    let batch_size = match flag_value(args, "--batch-size") {
+        Some(v) => v.parse().map_err(|_| format!("bad --batch-size `{v}`"))?,
+        None => 16,
+    };
     let afl = CompDiffAfl::from_source_default(
         &src,
         FuzzConfig {
             max_execs: execs,
             seed,
             max_input_len: max_len,
+            batch_size,
             ..Default::default()
         },
         DiffConfig::default(),
@@ -391,6 +399,12 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     if let Some(v) = flag_value(args, "--max-len") {
         cfg.max_input_len = v.parse().map_err(|_| format!("bad --max-len `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--batch-size") {
+        cfg.batch_size = v.parse().map_err(|_| format!("bad --batch-size `{v}`"))?;
+        if cfg.batch_size == 0 {
+            return Err("bad --batch-size `0` (must be >= 1)".into());
+        }
     }
     if let Some(v) = flag_value(args, "--stop-after") {
         cfg.stop_after_jobs = Some(v.parse().map_err(|_| format!("bad --stop-after `{v}`"))?);

@@ -122,6 +122,11 @@ pub struct CampaignConfig {
     /// of wall time. With one worker this makes the event stream
     /// byte-identical across runs (the determinism test hook).
     pub fixed_clock_us: Option<u64>,
+    /// Inputs per batched oracle sweep: each differential binary runs the
+    /// whole batch before the next binary starts, and only inputs whose
+    /// output digests disagree are bisected through the full per-input
+    /// escalation path. `1` restores strict per-input interleaving.
+    pub batch_size: usize,
 }
 
 impl Default for CampaignConfig {
@@ -146,6 +151,7 @@ impl Default for CampaignConfig {
             metrics_out: None,
             progress_every: 0,
             fixed_clock_us: None,
+            batch_size: 16,
         }
     }
 }
@@ -226,6 +232,7 @@ impl CampaignReport {
 pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
     let started = Instant::now();
     let tel = build_telemetry(cfg)?;
+    let started_us = tel.now_micros();
     let ctel = CampaignTelemetry::new(Arc::clone(&tel));
     let selected: Vec<Target> = select_targets(cfg)?;
     let names: Vec<String> = selected.iter().map(|t| t.spec.name.to_string()).collect();
@@ -492,6 +499,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
 
     ctel.record_cache(cache.counters());
     ctel.record_blocks_translated(cache.blocks_translated());
+    ctel.record_execs_per_sec(stats.execs, tel.now_micros().saturating_sub(started_us));
     let metrics = tel.registry().snapshot();
     tel.event("metrics", vec![("metrics", metrics.clone())]);
     tel.flush();

@@ -175,18 +175,37 @@ struct DiffOracle<'a> {
     obs: DiffTelemetry<'a>,
 }
 
+impl DiffOracle<'_> {
+    fn verdict(&mut self, outcome: &DiffOutcome, input: &[u8]) -> bool {
+        if outcome.divergent {
+            *self.divergent += 1;
+            self.store.record(self.diff, outcome, input);
+            return true;
+        }
+        outcome.unresolved_timeout
+    }
+}
+
 impl Oracle for DiffOracle<'_> {
     fn examine(&mut self, input: &[u8], _result: &ExecResult) -> bool {
         let outcome: DiffOutcome =
             self.diff
                 .run_input_observed(self.sessions, input, &mut self.obs);
         *self.oracle_execs += self.diff.binaries().len() as u64;
-        if outcome.divergent {
-            *self.divergent += 1;
-            self.store.record(self.diff, &outcome, input);
-            return true;
-        }
-        outcome.unresolved_timeout
+        self.verdict(&outcome, input)
+    }
+
+    fn examine_batch(&mut self, items: &[(Vec<u8>, ExecResult)]) -> Vec<bool> {
+        let inputs: Vec<&[u8]> = items.iter().map(|(i, _)| i.as_slice()).collect();
+        let outcomes = self
+            .diff
+            .run_batch_observed(self.sessions, &inputs, &mut self.obs);
+        *self.oracle_execs += (self.diff.binaries().len() * items.len()) as u64;
+        outcomes
+            .iter()
+            .zip(&inputs)
+            .map(|(outcome, input)| self.verdict(outcome, input))
+            .collect()
     }
 }
 
@@ -269,6 +288,7 @@ pub fn run_job(
             max_input_len: cfg.max_input_len,
             deterministic: true,
             dictionary: vec![ct.magic.to_vec()],
+            batch_size: cfg.batch_size,
         },
     )
     .with_observer(ctel.fuzz_observer())

@@ -53,6 +53,9 @@ pub struct CampaignTelemetry {
     pub fuzz_exec_us: Arc<Histogram>,
     /// `fuzz.queue_depth_max` — high-water mark of the seed queue.
     pub queue_depth_max: Arc<Gauge>,
+    /// `fuzz.execs_per_sec` — fuzz-binary throughput over the campaign's
+    /// clock (set once at campaign end; 0 under a fixed clock).
+    pub fuzz_execs_per_sec: Arc<Gauge>,
     /// `diff.runs` — differential outcomes examined.
     pub diff_runs: Arc<Counter>,
     /// `diff.divergent` — outcomes with more than one equivalence class.
@@ -62,6 +65,11 @@ pub struct CampaignTelemetry {
     /// `diff.escalation_reruns` — re-executions under a doubled step
     /// budget (the timeout-escalation policy).
     pub escalation_reruns: Arc<Counter>,
+    /// `diff.batch_size` — inputs per batched oracle sweep.
+    pub batch_size: Arc<Histogram>,
+    /// `diff.batch_bisections` — batched inputs whose digests disagreed
+    /// (or timed out) and were bisected through the per-input path.
+    pub batch_bisections: Arc<Counter>,
     /// `diff.exec_us.<impl>` — per-implementation execution latency,
     /// indexed like the differential binary set.
     pub exec_us_by_impl: Vec<Arc<Histogram>>,
@@ -85,6 +93,9 @@ pub struct CampaignTelemetry {
     /// `vm.interp_fallback` — runs executed through the per-instruction
     /// interpreter.
     pub interp_fallback: Arc<Counter>,
+    /// `vm.loader_skips` — batched runs that reused the session's
+    /// post-loader page image instead of re-running the loader pass.
+    pub loader_skips: Arc<Counter>,
 }
 
 impl CampaignTelemetry {
@@ -112,10 +123,13 @@ impl CampaignTelemetry {
             fuzz_execs: r.counter("fuzz.execs"),
             fuzz_exec_us: r.histogram("fuzz.exec_us"),
             queue_depth_max: r.gauge("fuzz.queue_depth_max"),
+            fuzz_execs_per_sec: r.gauge("fuzz.execs_per_sec"),
             diff_runs: r.counter("diff.runs"),
             diff_divergent: r.counter("diff.divergent"),
             diff_classes: r.histogram("diff.classes"),
             escalation_reruns: r.counter("diff.escalation_reruns"),
+            batch_size: r.histogram("diff.batch_size"),
+            batch_bisections: r.counter("diff.batch_bisections"),
             exec_us_by_impl,
             pages_restored: r.counter("vm.pages_restored"),
             pages_materialized: r.counter("vm.pages_materialized"),
@@ -125,6 +139,7 @@ impl CampaignTelemetry {
             block_cache_hits: r.counter("vm.block_cache_hits"),
             block_exec: r.counter("vm.block_exec"),
             interp_fallback: r.counter("vm.interp_fallback"),
+            loader_skips: r.counter("vm.loader_skips"),
             tel,
         }
     }
@@ -156,6 +171,7 @@ impl CampaignTelemetry {
         self.block_cache_hits.add(vm.block_cache_hits);
         self.block_exec.add(vm.block_exec);
         self.interp_fallback.add(vm.interp_fallback);
+        self.loader_skips.add(vm.loader_skips);
     }
 
     /// Adds superblocks translated outside any session — the
@@ -182,6 +198,16 @@ impl CampaignTelemetry {
     pub fn record_cache(&self, counters: (u64, u64)) {
         self.cache_hits.set(counters.0);
         self.cache_misses.set(counters.1);
+    }
+
+    /// Publishes the campaign's fuzz-binary throughput from the final
+    /// exec count and the elapsed clock microseconds. Under a fixed test
+    /// clock the elapsed time is zero and the gauge stays 0, keeping the
+    /// metric stream deterministic.
+    pub fn record_execs_per_sec(&self, execs: u64, elapsed_us: u64) {
+        if let Some(rate) = execs.saturating_mul(1_000_000).checked_div(elapsed_us) {
+            self.fuzz_execs_per_sec.set(rate);
+        }
     }
 }
 
@@ -216,6 +242,11 @@ impl DiffObserver for DiffTelemetry<'_> {
             self.ct.diff_divergent.inc();
             self.ct.diff_classes.record(outcome.classes.len() as u64);
         }
+    }
+
+    fn batch(&mut self, size: usize, bisections: usize) {
+        self.ct.batch_size.record(size as u64);
+        self.ct.batch_bisections.add(bisections as u64);
     }
 }
 
@@ -284,6 +315,7 @@ mod tests {
             block_cache_hits: 12,
             block_exec: 14,
             interp_fallback: 1,
+            loader_skips: 8,
         });
         assert_eq!(ct.pages_restored.get(), 7);
         assert_eq!(ct.bulk_builtin_ops.get(), 3);
@@ -291,6 +323,7 @@ mod tests {
         assert_eq!(ct.block_cache_hits.get(), 12);
         assert_eq!(ct.block_exec.get(), 14);
         assert_eq!(ct.interp_fallback.get(), 1);
+        assert_eq!(ct.loader_skips.get(), 8);
         ct.record_blocks_translated(9);
         assert_eq!(ct.blocks_translated.get(), 15);
         ct.record_cache((5, 2));

@@ -1,7 +1,9 @@
-//! Campaign-level guarantees: worker-count-independent results and
-//! kill/resume equivalence.
+//! Campaign-level guarantees: worker-count-independent results,
+//! batch-size-independent findings, kill/resume equivalence, and the
+//! block-backend guarantee for generated (dir-source) targets.
 
 use campaign::{CampaignConfig, CampaignState, StateError};
+use compdiff::Json;
 use std::path::PathBuf;
 
 fn base_config() -> CampaignConfig {
@@ -102,6 +104,92 @@ fn resume_after_kill_matches_uninterrupted_run() {
 
     std::fs::remove_dir_all(&full_dir).unwrap();
     std::fs::remove_dir_all(&killed_dir).unwrap();
+}
+
+/// The batched oracle must not change what the campaign finds: signatures,
+/// per-target stats, and exec counts are identical at batch size 1 (strict
+/// per-input interleaving) and 64 (whole queue chunks). This pins the two
+/// batching invariants: divergences are recorded in input order (so
+/// first-seen signature dedup is deterministic regardless of how a batch
+/// was bisected), and the fuzz-binary side of the loop never depends on
+/// when the oracle verdicts arrive.
+#[test]
+fn batch_size_does_not_change_results() {
+    let single = campaign::run(&CampaignConfig {
+        workers: 1,
+        batch_size: 1,
+        ..base_config()
+    })
+    .unwrap();
+    let batched = campaign::run(&CampaignConfig {
+        workers: 1,
+        batch_size: 64,
+        ..base_config()
+    })
+    .unwrap();
+
+    assert_eq!(single.signatures(), batched.signatures());
+    assert_eq!(single.stats.per_target, batched.stats.per_target);
+    assert_eq!(single.stats.execs, batched.stats.execs);
+    assert_eq!(single.stats.divergent, batched.stats.divergent);
+    assert!(
+        !single.signatures().is_empty(),
+        "catalog targets must yield discrepancies"
+    );
+}
+
+fn counter(metrics: &Json, name: &str) -> i64 {
+    match metrics.get("counters").and_then(|c| c.get(name)) {
+        Some(Json::Int(n)) => *n,
+        other => panic!("counter {name} missing or non-int: {other:?}"),
+    }
+}
+
+/// Generated programs loaded via `dir_source` (the `--progen-dir` path)
+/// must run on the block backend like catalog targets: the `BinaryCache`
+/// compiles and block-translates every target the campaign's source
+/// yields, so a silent per-instruction-interpreter fallback for generated
+/// targets is a regression.
+#[test]
+fn progen_dir_targets_run_on_the_block_backend() {
+    let dir = temp_dir("progen-src");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("sum.mc"),
+        "int main() {\n\
+             char b[8];\n\
+             long n = read_input(b, 8L);\n\
+             int acc = 0;\n\
+             long i;\n\
+             for (i = 0; i < n; i++) { acc += b[i]; }\n\
+             printf(\"%d\\n\", acc);\n\
+             return 0;\n\
+         }\n",
+    )
+    .unwrap();
+    let generated = targets::dir_source(&dir).unwrap();
+
+    let report = campaign::run(&CampaignConfig {
+        workers: 1,
+        execs_per_target: 300,
+        shards_per_target: 1,
+        source: targets::SharedSource::new(generated),
+        fixed_clock_us: Some(7),
+        ..CampaignConfig::default()
+    })
+    .unwrap();
+
+    assert!(report.stats.execs > 0, "the generated target was fuzzed");
+    assert_eq!(
+        counter(&report.metrics, "vm.interp_fallback"),
+        0,
+        "generated targets must not fall back to the interpreter"
+    );
+    assert!(
+        counter(&report.metrics, "vm.block_exec") > 0,
+        "generated targets must execute through the block dispatcher"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Resuming with different campaign parameters must be refused, not

@@ -11,6 +11,7 @@ use minc::FrontendError;
 use minc_compile::{Binary, CompilerImpl};
 use minc_vm::{ExecResult, ExecSession, VmConfig};
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// The CompDiff oracle: cross-checks the `k` binaries on each input.
@@ -26,25 +27,53 @@ pub struct CompDiffOracle {
     /// §5 future-work mode: feed novel divergence signatures back into the
     /// fuzzer queue (NEZHA-style).
     divergence_feedback: bool,
-    last_was_novel: bool,
+    /// One entry per save-verdict handed back to the fuzzer (`true` iff the
+    /// divergence signature was novel), popped by [`Oracle::feedback`] in
+    /// the same order. A queue rather than a flag because under batching
+    /// several verdicts are outstanding before the first feedback call.
+    novel_saves: VecDeque<bool>,
+}
+
+impl CompDiffOracle {
+    /// Cross-checks one outcome: records divergences, queues the novelty
+    /// bit for [`Oracle::feedback`], and returns the save verdict.
+    fn verdict(&mut self, outcome: &crate::differ::DiffOutcome, input: &[u8]) -> bool {
+        if outcome.divergent {
+            let novel = self.store.borrow_mut().record(&self.diff, outcome, input);
+            self.novel_saves.push_back(novel);
+            return true;
+        }
+        // Unresolved-timeout inputs are saved too (paper RQ6) but flagged,
+        // not counted as discrepancies.
+        if outcome.unresolved_timeout {
+            self.novel_saves.push_back(false);
+            return true;
+        }
+        false
+    }
 }
 
 impl Oracle for CompDiffOracle {
     fn examine(&mut self, input: &[u8], _result: &ExecResult) -> bool {
         let outcome = self.diff.run_input_sessions(&mut self.sessions, input);
         *self.oracle_execs.borrow_mut() += self.diff.binaries().len() as u64;
-        if outcome.divergent {
-            self.last_was_novel = self.store.borrow_mut().record(&self.diff, &outcome, input);
-            return true;
-        }
-        self.last_was_novel = false;
-        // Unresolved-timeout inputs are saved too (paper RQ6) but flagged,
-        // not counted as discrepancies.
-        outcome.unresolved_timeout
+        self.verdict(&outcome, input)
+    }
+
+    fn examine_batch(&mut self, items: &[(Vec<u8>, ExecResult)]) -> Vec<bool> {
+        let inputs: Vec<&[u8]> = items.iter().map(|(i, _)| i.as_slice()).collect();
+        let outcomes = self.diff.run_batch_sessions(&mut self.sessions, &inputs);
+        *self.oracle_execs.borrow_mut() += (self.diff.binaries().len() * items.len()) as u64;
+        outcomes
+            .iter()
+            .zip(&inputs)
+            .map(|(outcome, input)| self.verdict(outcome, input))
+            .collect()
     }
 
     fn feedback(&mut self, _input: &[u8]) -> bool {
-        self.divergence_feedback && self.last_was_novel
+        let novel = self.novel_saves.pop_front().unwrap_or(false);
+        self.divergence_feedback && novel
     }
 }
 
@@ -141,7 +170,7 @@ impl CompDiffAfl {
             store: Rc::clone(&store),
             oracle_execs: Rc::clone(&oracle_execs),
             divergence_feedback: self.divergence_feedback,
-            last_was_novel: false,
+            novel_saves: VecDeque::new(),
         };
         let target = BinaryTarget::new(&self.fuzz_binary, self.vm.clone());
         let campaign = Fuzzer::new(target, oracle, self.fuzz_config.clone()).run(seeds);

@@ -83,6 +83,21 @@ pub trait Oracle {
     /// output discrepancy).
     fn examine(&mut self, input: &[u8], result: &ExecResult) -> bool;
 
+    /// Examines a batch of `(input, fuzz-binary result)` pairs at once,
+    /// returning one save-verdict per item in order. The fuzzer drains its
+    /// pending examinations through this entry point in `batch_size`
+    /// chunks, so a differential oracle can sweep each of its binaries
+    /// over the whole batch (amortizing session reset and translation
+    /// warmth) instead of running all binaries per input. The default
+    /// simply maps [`examine`](Oracle::examine), which keeps single-input
+    /// oracles correct unchanged.
+    fn examine_batch(&mut self, items: &[(Vec<u8>, ExecResult)]) -> Vec<bool> {
+        items
+            .iter()
+            .map(|(input, result)| self.examine(input, result))
+            .collect()
+    }
+
     /// Called after [`Oracle::examine`] returned `true`: should the input
     /// *also* enter the seed queue? This is the paper's §5 future-work
     /// idea (NEZHA-style divergence-as-feedback): inputs that expose a
@@ -147,6 +162,13 @@ pub struct FuzzConfig {
     /// Dictionary tokens (AFL's `-x`): magic values and keywords the havoc
     /// stage may insert or overwrite with.
     pub dictionary: Vec<Vec<u8>>,
+    /// How many generated inputs to buffer before handing them to the
+    /// oracle in one [`Oracle::examine_batch`] call. The fuzz-binary
+    /// executions, coverage accounting, and mutation schedule are
+    /// identical at every batch size; only the oracle's examinations are
+    /// deferred (by at most `batch_size - 1` executions). `1` restores
+    /// the strict examine-after-every-exec interleaving.
+    pub batch_size: usize,
 }
 
 impl Default for FuzzConfig {
@@ -157,6 +179,7 @@ impl Default for FuzzConfig {
             max_input_len: 128,
             deterministic: true,
             dictionary: Vec::new(),
+            batch_size: 16,
         }
     }
 }
@@ -201,6 +224,12 @@ pub struct Fuzzer<T: TargetExec, O: Oracle, W: FuzzObserver = ()> {
     map: CoverageMap,
     crash_sigs: HashMap<String, usize>,
     oracle_seen: HashSet<Vec<u8>>,
+    /// Inputs executed but not yet shown to the oracle, flushed through
+    /// [`Oracle::examine_batch`] every `config.batch_size` executions.
+    pending: Vec<(Vec<u8>, ExecResult)>,
+    /// Per-pending (new coverage?, distinct edges), needed to replay the
+    /// feedback decision when the batched verdicts come back.
+    pending_meta: Vec<(bool, usize)>,
     stats: CampaignStats,
 }
 
@@ -220,6 +249,8 @@ impl<T: TargetExec, O: Oracle> Fuzzer<T, O> {
             map: CoverageMap::new(),
             crash_sigs: HashMap::new(),
             oracle_seen: HashSet::new(),
+            pending: Vec::new(),
+            pending_meta: Vec::new(),
             stats: CampaignStats::default(),
         }
     }
@@ -241,6 +272,8 @@ impl<T: TargetExec, O: Oracle, W: FuzzObserver> Fuzzer<T, O, W> {
             map: self.map,
             crash_sigs: self.crash_sigs,
             oracle_seen: self.oracle_seen,
+            pending: self.pending,
+            pending_meta: self.pending_meta,
             stats: self.stats,
         }
     }
@@ -335,6 +368,9 @@ impl<T: TargetExec, O: Oracle, W: FuzzObserver> Fuzzer<T, O, W> {
             }
         }
 
+        // Examine whatever is still buffered before reporting.
+        self.flush_oracle();
+
         self.stats.corpus_len = self.queue.len();
         self.stats.edges = self.global.edges_seen();
         self.stats
@@ -372,15 +408,45 @@ impl<T: TargetExec, O: Oracle, W: FuzzObserver> Fuzzer<T, O, W> {
         } else if new_bits {
             self.queue.add(input.to_vec(), result.steps, edges);
         }
-        // CompDiff seam: examine outputs on every generated input.
-        if self.oracle.examine(input, &result) {
-            if self.oracle_seen.insert(input.to_vec()) {
-                self.stats.oracle_finds.push(input.to_vec());
+        // CompDiff seam: examine outputs on every generated input. The
+        // examination is buffered and flushed in `batch_size` chunks so a
+        // differential oracle can sweep each implementation over the whole
+        // batch; nothing above this line depends on the verdicts, so the
+        // fuzz-binary side of the campaign is identical at any batch size.
+        self.pending_meta.push((new_bits, edges));
+        self.pending.push((input.to_vec(), result));
+        if self.pending.len() >= self.config.batch_size.max(1) {
+            self.flush_oracle();
+        }
+    }
+
+    /// Drains the pending buffer through the oracle and applies the save
+    /// and feedback decisions in execution order.
+    fn flush_oracle(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut self.pending);
+        let meta = std::mem::take(&mut self.pending_meta);
+        let verdicts = self.oracle.examine_batch(&items);
+        debug_assert_eq!(verdicts.len(), items.len());
+        for (((input, result), (new_bits, edges)), save) in
+            items.into_iter().zip(meta).zip(verdicts)
+        {
+            if !save {
+                continue;
+            }
+            if self.oracle_seen.insert(input.clone()) {
+                self.stats.oracle_finds.push(input.clone());
             }
             // Divergence-as-feedback (§5 future work): a novel divergence
-            // earns queue entry even without new coverage bits.
-            if !new_bits && !result.status.is_crash() && self.oracle.feedback(input) {
-                self.queue.add(input.to_vec(), result.steps, edges);
+            // earns queue entry even without new coverage bits. Feedback is
+            // consulted for every saved input so a stateful oracle observes
+            // the same call sequence at every batch size; the verdict only
+            // matters when coverage did not already queue the input.
+            let fb = self.oracle.feedback(&input);
+            if !new_bits && !result.status.is_crash() && fb {
+                self.queue.add(input, result.steps, edges);
             }
         }
     }
@@ -509,6 +575,57 @@ mod tests {
         assert!(!stats.oracle_finds.is_empty());
         let set: HashSet<_> = stats.oracle_finds.iter().collect();
         assert_eq!(set.len(), stats.oracle_finds.len(), "finds must be deduped");
+    }
+
+    #[test]
+    fn batch_size_does_not_change_campaign_or_findings() {
+        // Oracle examinations are buffered and flushed in `batch_size`
+        // chunks, but the fuzz-binary side (mutation schedule, coverage,
+        // crash handling) never depends on the verdicts — so every batch
+        // size must produce the same campaign and the same oracle finds,
+        // in the same order. Also exercises `examine_batch` chunk
+        // boundaries: 1 (strict interleaving), 7 (partial final flush),
+        // and 64 (everything pending at once).
+        struct EvenLen;
+        impl Oracle for EvenLen {
+            fn examine(&mut self, input: &[u8], _r: &ExecResult) -> bool {
+                input.len().is_multiple_of(2)
+            }
+        }
+        let src = r#"
+            int main() {
+                char buf[4];
+                long n = read_input(buf, 4L);
+                if (n > 0 && buf[0] > 'a') { printf("1"); }
+                if (n > 1 && buf[1] == 'q') { abort(); }
+                return 0;
+            }
+        "#;
+        let bin = target_binary(src);
+        let run_with = |batch_size| {
+            let target = BinaryTarget::new(&bin, VmConfig::default());
+            let config = FuzzConfig {
+                max_execs: 3_000,
+                seed: 11,
+                batch_size,
+                ..Default::default()
+            };
+            Fuzzer::new(target, EvenLen, config).run(&[b"ab".to_vec()])
+        };
+        let base = run_with(1);
+        assert!(!base.oracle_finds.is_empty());
+        for batch_size in [7, 64] {
+            let other = run_with(batch_size);
+            assert_eq!(base.execs, other.execs, "batch={batch_size}");
+            assert_eq!(base.edges, other.edges, "batch={batch_size}");
+            assert_eq!(base.corpus_len, other.corpus_len, "batch={batch_size}");
+            assert_eq!(
+                base.crashes.len(),
+                other.crashes.len(),
+                "batch={batch_size}"
+            );
+            assert_eq!(base.oracle_finds, other.oracle_finds, "batch={batch_size}");
+        }
     }
 
     #[test]

@@ -102,6 +102,19 @@ pub fn execute_with_hooks<H: Hooks>(
     ExecSession::new(binary).run_with_hooks(binary, input, config, hooks)
 }
 
+/// How a run handles the loader pass (rodata strings + globals).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LoaderMode {
+    /// Run the loader (the plain [`ExecSession::run`] path).
+    Load,
+    /// Run the loader, then capture its page image as the session
+    /// memory's reset base (first run of a batch).
+    LoadAndCapture,
+    /// Skip the loader: the session memory already resets to this
+    /// binary's post-loader image (warm batched run).
+    Skip,
+}
+
 /// Runs one execution against an already-prepared session. Called by
 /// [`ExecSession::run_with_hooks`] after the per-run reset.
 pub(crate) fn run_in_session<H: Hooks>(
@@ -110,6 +123,7 @@ pub(crate) fn run_in_session<H: Hooks>(
     input: &[u8],
     config: &VmConfig,
     hooks: &mut H,
+    loader: LoaderMode,
 ) -> ExecResult {
     let track_poison = hooks.track_poison();
     // Resolve the block translation (and bump the mode counters) before
@@ -143,7 +157,14 @@ pub(crate) fn run_in_session<H: Hooks>(
         globals: bin.globals_range(),
         slot_scratch: Vec::new(),
     };
-    vm.load_data();
+    match loader {
+        LoaderMode::Load => vm.load_data(),
+        LoaderMode::LoadAndCapture => {
+            vm.load_data();
+            vm.s.mem.capture_loader_image();
+        }
+        LoaderMode::Skip => {}
+    }
     let status = match &block {
         Some(prog) => vm.run_block(prog),
         None => vm.run(),
@@ -281,15 +302,20 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
                 act.poison[i] = args_poison.get(i).copied().unwrap_or(false);
             }
         }
-        self.slot_scratch.clear();
-        self.slot_scratch.extend(
-            f.slots
-                .iter()
-                .zip(&layout.offset_down)
-                .filter(|(s, _)| !s.promoted)
-                .map(|(s, &off)| (base - off, s.size.max(1))),
-        );
-        self.hooks.on_frame_enter(lo, base, &self.slot_scratch);
+        if H::INERT {
+            // No hook reads the slot list; skip building it.
+            self.hooks.on_frame_enter(lo, base, &[]);
+        } else {
+            self.slot_scratch.clear();
+            self.slot_scratch.extend(
+                f.slots
+                    .iter()
+                    .zip(&layout.offset_down)
+                    .filter(|(s, _)| !s.promoted)
+                    .map(|(s, &off)| (base - off, s.size.max(1))),
+            );
+            self.hooks.on_frame_enter(lo, base, &self.slot_scratch);
+        }
         self.s.frames.push(act);
         Ok(())
     }
@@ -593,15 +619,23 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
 
     fn cstr_checked(&mut self, addr: u64, loc: Loc) -> Result<Vec<u8>, End> {
         let mut out = Vec::new();
+        self.cstr_checked_into(addr, loc, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`cstr_checked`](Self::cstr_checked) into a caller-owned buffer
+    /// (appends without clearing), so hot callers can pool the allocation.
+    fn cstr_checked_into(&mut self, addr: u64, loc: Loc, out: &mut Vec<u8>) -> Result<(), End> {
+        let start = out.len();
         let mut a = addr;
         loop {
             self.check_mem(a, 1, false, loc)?;
             let b = self.s.mem.read_u8(a);
             if b == 0 {
-                return Ok(out);
+                return Ok(());
             }
             out.push(b);
-            if out.len() > 1 << 20 {
+            if out.len() - start > 1 << 20 {
                 return Err(End::Trap(Trap::Segv));
             }
             a = a.wrapping_add(1);
@@ -634,10 +668,20 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
                 Ok(Some(args[0] as u32 as i32 as i64 as u64))
             }
             Puts => {
-                let s = self.cstr_checked(args[0], loc)?;
-                self.stdout.extend_from_slice(&s);
-                self.stdout.push(b'\n');
-                Ok(Some(0))
+                // Same pooled-buffer scheme as printf: a faulting read
+                // emits nothing, and the buffer is handed back either way.
+                let mut s = std::mem::take(&mut self.s.printf_fmt);
+                s.clear();
+                let ret = match self.cstr_checked_into(args[0], loc, &mut s) {
+                    Ok(()) => {
+                        self.stdout.extend_from_slice(&s);
+                        self.stdout.push(b'\n');
+                        Ok(Some(0))
+                    }
+                    Err(e) => Err(e),
+                };
+                self.s.printf_fmt = s;
+                ret
             }
             Getchar => {
                 let r = if self.input_pos < self.input.len() {
@@ -892,8 +936,38 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
     // ---- printf ----
 
     fn printf(&mut self, args: &[u64], arg_tys: &[IrType], loc: Loc) -> Result<i32, End> {
-        let fmt = self.cstr_checked(args[0], loc)?;
-        let mut out: Vec<u8> = Vec::new();
+        // Format string and rendered output go through session-pooled
+        // buffers; a faulting conversion discards the partial render (the
+        // buffers are handed back either way), exactly like the
+        // allocate-per-call version this replaces.
+        let mut fmt = std::mem::take(&mut self.s.printf_fmt);
+        let mut out = std::mem::take(&mut self.s.printf_out);
+        fmt.clear();
+        out.clear();
+        let r = match self.cstr_checked_into(args[0], loc, &mut fmt) {
+            Ok(()) => self.printf_into(&fmt, &mut out, args, arg_tys, loc),
+            Err(e) => Err(e),
+        };
+        let ret = match r {
+            Ok(()) => {
+                self.stdout.extend_from_slice(&out);
+                Ok(out.len() as i32)
+            }
+            Err(e) => Err(e),
+        };
+        self.s.printf_fmt = fmt;
+        self.s.printf_out = out;
+        ret
+    }
+
+    fn printf_into(
+        &mut self,
+        fmt: &[u8],
+        out: &mut Vec<u8>,
+        args: &[u64],
+        arg_tys: &[IrType],
+        loc: Loc,
+    ) -> Result<(), End> {
         let mut ai = 1usize; // next vararg
         let mut i = 0usize;
         while i < fmt.len() {
@@ -941,8 +1015,12 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
                 ai += 1;
                 (v, t)
             };
-            let rendered: Vec<u8> = match conv {
-                b'%' => vec![b'%'],
+            // Numeric conversions render into a stack buffer; only %s and
+            // %f still build an owned value.
+            let mut num = [0u8; 24];
+            let dyn_buf: Vec<u8>;
+            let rendered: &[u8] = match conv {
+                b'%' => b"%",
                 b'd' | b'i' => {
                     let (v, _) = next(self);
                     let n = if long {
@@ -950,22 +1028,29 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
                     } else {
                         v as u32 as i32 as i64
                     };
-                    n.to_string().into_bytes()
+                    let len = fmt_dec_i64(n, &mut num);
+                    &num[..len]
                 }
                 b'u' => {
                     let (v, _) = next(self);
                     let n = if long { v } else { v as u32 as u64 };
-                    n.to_string().into_bytes()
+                    let len = fmt_dec_u64(n, &mut num);
+                    &num[..len]
                 }
                 b'x' => {
                     let (v, _) = next(self);
                     let n = if long { v } else { v as u32 as u64 };
-                    format!("{n:x}").into_bytes()
+                    let len = fmt_hex_u64(n, &mut num);
+                    &num[..len]
                 }
-                b'c' => vec![next(self).0 as u8],
+                b'c' => {
+                    num[0] = next(self).0 as u8;
+                    &num[..1]
+                }
                 b's' => {
                     let (v, _) = next(self);
-                    self.cstr_checked(v, loc)?
+                    dyn_buf = self.cstr_checked(v, loc)?;
+                    &dyn_buf
                 }
                 b'f' => {
                     let (v, t) = next(self);
@@ -974,13 +1059,21 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
                     } else {
                         v as i64 as f64 // %f with an int arg: garbage-ish
                     };
-                    format!("{x:.6}").into_bytes()
+                    dyn_buf = format!("{x:.6}").into_bytes();
+                    &dyn_buf
                 }
                 b'p' => {
                     let (v, _) = next(self);
-                    format!("0x{v:x}").into_bytes()
+                    num[0] = b'0';
+                    num[1] = b'x';
+                    let len = fmt_hex_u64(v, &mut num[2..]);
+                    &num[..2 + len]
                 }
-                other => vec![b'%', other],
+                other => {
+                    num[0] = b'%';
+                    num[1] = other;
+                    &num[..2]
+                }
             };
             if rendered.len() < width {
                 let pad = if zero_pad && matches!(conv, b'd' | b'i' | b'u' | b'x') {
@@ -990,12 +1083,58 @@ impl<'s, 'b, 'h, H: Hooks> Vm<'s, 'b, 'h, H> {
                 };
                 out.extend(std::iter::repeat_n(pad, width - rendered.len()));
             }
-            out.extend_from_slice(&rendered);
+            out.extend_from_slice(rendered);
         }
-        let n = out.len() as i32;
-        self.stdout.extend_from_slice(&out);
-        Ok(n)
+        Ok(())
     }
+}
+
+// ---- printf numeric rendering ----
+//
+// Alloc-free equivalents of `to_string()` / `format!("{:x}")` for the hot
+// printf conversions; each writes into the caller's buffer and returns the
+// rendered length.
+
+fn fmt_dec_u64(mut n: u64, buf: &mut [u8]) -> usize {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    let len = tmp.len() - i;
+    buf[..len].copy_from_slice(&tmp[i..]);
+    len
+}
+
+fn fmt_dec_i64(n: i64, buf: &mut [u8]) -> usize {
+    if n < 0 {
+        buf[0] = b'-';
+        1 + fmt_dec_u64(n.unsigned_abs(), &mut buf[1..])
+    } else {
+        fmt_dec_u64(n as u64, buf)
+    }
+}
+
+fn fmt_hex_u64(mut n: u64, buf: &mut [u8]) -> usize {
+    let mut tmp = [0u8; 16];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        let d = (n & 0xf) as u8;
+        tmp[i] = if d < 10 { b'0' + d } else { b'a' + d - 10 };
+        n >>= 4;
+        if n == 0 {
+            break;
+        }
+    }
+    let len = tmp.len() - i;
+    buf[..len].copy_from_slice(&tmp[i..]);
+    len
 }
 
 // ---- shared evaluation kernels ----
@@ -1171,6 +1310,38 @@ mod tests {
         let r = run_one(src, impl_name, b"");
         assert_eq!(r.status, ExitStatus::Code(0), "{impl_name}: {}", r.status);
         String::from_utf8_lossy(&r.stdout).into_owned()
+    }
+
+    #[test]
+    fn printf_numeric_rendering_matches_std_formatting() {
+        // The alloc-free renderers must stay bit-identical to
+        // `to_string()` / `format!("{:x}")` across the extremes.
+        let mut buf = [0u8; 24];
+        for n in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN, 1_000_000_007] {
+            let len = fmt_dec_i64(n, &mut buf);
+            assert_eq!(&buf[..len], n.to_string().as_bytes(), "{n}");
+        }
+        for n in [0u64, 1, 9, 10, u64::MAX, 0xdead_beef] {
+            let len = fmt_dec_u64(n, &mut buf);
+            assert_eq!(&buf[..len], n.to_string().as_bytes(), "{n}");
+            let len = fmt_hex_u64(n, &mut buf);
+            assert_eq!(&buf[..len], format!("{n:x}").as_bytes(), "{n:x}");
+        }
+    }
+
+    #[test]
+    fn printf_extreme_values_through_the_vm() {
+        let src = r#"
+            int main() {
+                long big = -9223372036854775807L - 1L;
+                printf("%ld %lx %u %p\n", big, big, 4294967295, 0L);
+                return 0;
+            }
+        "#;
+        assert_eq!(
+            stdout_of(src, "gcc-O0"),
+            "-9223372036854775808 8000000000000000 4294967295 0x0\n"
+        );
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //!
 //! Pages live in an arena (`Vec<Page>`) indexed by a page-number map, so a
 //! [`reset`](Memory::reset) between executions keeps every allocation.
-//! Each page carries an *epoch* and a *dirty* bit plus a snapshot of its
-//! pristine junk: on the first touch after a reset, a written page is
-//! restored by one `memcpy` from the snapshot instead of re-deriving
-//! 4096 junk bytes, and a page that was only ever read needs no work at
-//! all. Either way the post-reset contents are bit-identical to a fresh
+//! Each page carries an *epoch* and a *dirty watermark* (the byte range
+//! written since its last restore) plus a snapshot of its pristine junk:
+//! on the first touch after a reset, a written page is restored by one
+//! `memcpy` of just the watermarked window from the snapshot instead of
+//! re-deriving 4096 junk bytes, and a page that was only ever read needs
+//! no work at all. Either way the post-reset contents are bit-identical to a fresh
 //! `Memory`, which is what makes session reuse observably equivalent to
 //! fresh-VM execution.
 //!
@@ -38,8 +39,21 @@ const NO_PAGE: u32 = u32::MAX;
 struct Page {
     data: Box<[u8]>,
     pristine: Box<[u8]>,
+    /// Post-loader snapshot (junk overlaid with this binary's rodata and
+    /// global initializers) captured by
+    /// [`capture_loader_image`](Memory::capture_loader_image). When
+    /// present it replaces `pristine` as the page's reset base, so a
+    /// loader page the program never writes needs *no* per-run work at
+    /// all — neither a restore nor a reload.
+    loaded: Option<Box<[u8]>>,
     epoch: u64,
-    dirty: bool,
+    /// Dirty watermark: `data[lo..hi]` may differ from the page's reset
+    /// base (`loaded` when present, `pristine` otherwise); bytes outside
+    /// the window are known to match it. `lo >= hi` means clean. Restores
+    /// copy only the window, so a run that touches a few stack slots pays
+    /// for those bytes rather than the whole page.
+    lo: u32,
+    hi: u32,
 }
 
 /// Raw byte-addressable memory.
@@ -75,9 +89,47 @@ impl Memory {
     /// Starts a new execution epoch: every page reads as pristine junk
     /// again (bit-identical to a fresh `Memory`), but no allocation is
     /// freed or re-made. Dirty pages are restored lazily on first touch.
+    /// Pages carrying a loader image (see
+    /// [`capture_loader_image`](Memory::capture_loader_image)) restore to
+    /// that image instead — bit-identical to fresh memory *plus* the
+    /// loader's writes.
     pub fn reset(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         self.cached_idx = NO_PAGE;
+    }
+
+    /// Snapshots every page written in the current epoch as that page's
+    /// *post-loader image*: from now on the page resets to this snapshot
+    /// rather than to pristine junk, and — because the snapshot is the
+    /// page's new reset base — a run that never writes the page pays no
+    /// restore for it at all.
+    ///
+    /// Call immediately after the loader pass (rodata strings + global
+    /// initializers) and before any program execution, so the captured
+    /// bytes are a pure function of the binary. The caller owns the
+    /// keying: images describe *one* binary's loader output, so switching
+    /// a session to a different binary must first call
+    /// [`clear_loader_image`](Memory::clear_loader_image).
+    pub fn capture_loader_image(&mut self) {
+        for page in &mut self.pages {
+            if page.epoch == self.epoch && page.lo < page.hi {
+                page.loaded = Some(page.data.clone());
+                page.lo = PAGE_SIZE as u32;
+                page.hi = 0;
+            }
+        }
+    }
+
+    /// Drops every captured loader image, returning pages to plain
+    /// pristine-junk reset semantics. Pages that carried an image are
+    /// marked dirty (their live bytes no longer match their reset base).
+    pub fn clear_loader_image(&mut self) {
+        for page in &mut self.pages {
+            if page.loaded.take().is_some() {
+                page.lo = 0;
+                page.hi = PAGE_SIZE as u32;
+            }
+        }
     }
 
     fn junk_byte(seed: u64, addr: u64) -> u8 {
@@ -99,9 +151,14 @@ impl Memory {
             Some(&i) => {
                 let page = &mut self.pages[i as usize];
                 if page.epoch != self.epoch {
-                    if page.dirty {
-                        page.data.copy_from_slice(&page.pristine);
-                        page.dirty = false;
+                    if page.lo < page.hi {
+                        let (lo, hi) = (page.lo as usize, page.hi as usize);
+                        match &page.loaded {
+                            Some(l) => page.data[lo..hi].copy_from_slice(&l[lo..hi]),
+                            None => page.data[lo..hi].copy_from_slice(&page.pristine[lo..hi]),
+                        }
+                        page.lo = PAGE_SIZE as u32;
+                        page.hi = 0;
                         self.restored += 1;
                     }
                     page.epoch = self.epoch;
@@ -120,8 +177,10 @@ impl Memory {
                 self.pages.push(Page {
                     pristine: data.clone(),
                     data,
+                    loaded: None,
                     epoch: self.epoch,
-                    dirty: false,
+                    lo: PAGE_SIZE as u32,
+                    hi: 0,
                 });
                 self.index.insert(page_no, idx);
                 idx
@@ -138,11 +197,15 @@ impl Memory {
         &self.pages[idx].data
     }
 
+    /// Mutable page access that records `lo..hi` (page offsets) as the
+    /// byte range the caller is about to write, widening the page's dirty
+    /// watermark.
     #[inline]
-    fn page_mut(&mut self, page_no: u64) -> &mut [u8] {
+    fn page_mut(&mut self, page_no: u64, lo: usize, hi: usize) -> &mut [u8] {
         let idx = self.locate(page_no);
         let page = &mut self.pages[idx];
-        page.dirty = true;
+        page.lo = page.lo.min(lo as u32);
+        page.hi = page.hi.max(hi as u32);
         &mut page.data
     }
 
@@ -157,7 +220,7 @@ impl Memory {
     #[inline]
     pub fn write_u8(&mut self, addr: u64, v: u8) {
         let off = (addr % PAGE_SIZE) as usize;
-        self.page_mut(addr / PAGE_SIZE)[off] = v;
+        self.page_mut(addr / PAGE_SIZE, off, off + 1)[off] = v;
     }
 
     /// Reads `width` bytes little-endian (1, 4, or 8).
@@ -194,7 +257,7 @@ impl Memory {
     pub fn write(&mut self, addr: u64, v: u64, width: u64) {
         let off = (addr % PAGE_SIZE) as usize;
         if off + width as usize <= PAGE_SIZE as usize {
-            let page = self.page_mut(addr / PAGE_SIZE);
+            let page = self.page_mut(addr / PAGE_SIZE, off, off + width as usize);
             match width {
                 1 => page[off] = v as u8,
                 4 => page[off..off + 4].copy_from_slice(&(v as u32).to_le_bytes()),
@@ -246,7 +309,7 @@ impl Memory {
             let soff = (s % PAGE_SIZE) as usize;
             buf[..n].copy_from_slice(&self.page_ref(s / PAGE_SIZE)[soff..soff + n]);
             let doff = (d % PAGE_SIZE) as usize;
-            self.page_mut(d / PAGE_SIZE)[doff..doff + n].copy_from_slice(&buf[..n]);
+            self.page_mut(d / PAGE_SIZE, doff, doff + n)[doff..doff + n].copy_from_slice(&buf[..n]);
             i += chunk;
         }
     }
@@ -258,7 +321,8 @@ impl Memory {
             let a = addr.wrapping_add(i as u64);
             let off = (a % PAGE_SIZE) as usize;
             let chunk = (bytes.len() - i).min((PAGE_SIZE - a % PAGE_SIZE) as usize);
-            self.page_mut(a / PAGE_SIZE)[off..off + chunk].copy_from_slice(&bytes[i..i + chunk]);
+            self.page_mut(a / PAGE_SIZE, off, off + chunk)[off..off + chunk]
+                .copy_from_slice(&bytes[i..i + chunk]);
             i += chunk;
         }
     }
@@ -270,7 +334,7 @@ impl Memory {
             let a = addr.wrapping_add(i);
             let off = (a % PAGE_SIZE) as usize;
             let chunk = (len - i).min(PAGE_SIZE - a % PAGE_SIZE) as usize;
-            self.page_mut(a / PAGE_SIZE)[off..off + chunk].fill(v);
+            self.page_mut(a / PAGE_SIZE, off, off + chunk)[off..off + chunk].fill(v);
             i += chunk as u64;
         }
     }

@@ -39,7 +39,7 @@
 //! ```
 
 use crate::block::BlockProgram;
-use crate::exec::{run_in_session, VmConfig};
+use crate::exec::{run_in_session, LoaderMode, VmConfig};
 use crate::hooks::{Hooks, NoHooks};
 use crate::memory::Memory;
 use crate::result::ExecResult;
@@ -96,6 +96,10 @@ pub struct SessionStats {
     /// Runs executed through the per-instruction interpreter
     /// (`VmMode::Interp`).
     pub interp_fallback: u64,
+    /// Batched runs that skipped the loader pass because the session
+    /// already held this binary's post-loader page image (see
+    /// [`ExecSession::run_batched`]).
+    pub loader_skips: u64,
 }
 
 impl SessionStats {
@@ -112,6 +116,7 @@ impl SessionStats {
         self.block_cache_hits += other.block_cache_hits;
         self.block_exec += other.block_exec;
         self.interp_fallback += other.interp_fallback;
+        self.loader_skips += other.loader_skips;
     }
 }
 
@@ -150,6 +155,16 @@ pub struct ExecSession {
     pub(crate) block_cache_hits: u64,
     pub(crate) block_exec: u64,
     pub(crate) interp_fallback: u64,
+    /// [`Binary::uid`] whose post-loader page image is currently baked
+    /// into `mem` (see [`run_batched`](ExecSession::run_batched)), or
+    /// `None` when memory resets to plain pristine junk.
+    pub(crate) loaded_uid: Option<u64>,
+    pub(crate) loader_skips: u64,
+    /// Pooled scratch for printf's format string and rendered output —
+    /// printf is the hottest builtin and per-call buffer allocations
+    /// dominated its cost.
+    pub(crate) printf_fmt: Vec<u8>,
+    pub(crate) printf_out: Vec<u8>,
 }
 
 impl ExecSession {
@@ -172,6 +187,10 @@ impl ExecSession {
             block_cache_hits: 0,
             block_exec: 0,
             interp_fallback: 0,
+            loaded_uid: None,
+            loader_skips: 0,
+            printf_fmt: Vec::new(),
+            printf_out: Vec::new(),
         }
     }
 
@@ -217,6 +236,7 @@ impl ExecSession {
             self.frames.clear();
             self.poisoned += 1;
             self.in_flight = false;
+            self.loaded_uid = None;
         } else if binary.personality.seed != self.seed {
             // Session built for a different implementation: the junk
             // pattern would be wrong, so rebuild memory from scratch.
@@ -226,8 +246,19 @@ impl ExecSession {
             self.mem = Memory::new(&binary.personality);
             self.mem.restored = restored;
             self.mem.materialized = materialized;
+            self.loaded_uid = None;
         } else {
             self.mem.reset();
+            // A loader image describes exactly one binary's rodata and
+            // globals; a same-seed run of a *different* binary must drop
+            // it so untouched loader pages read as pristine junk again
+            // (a cache miss, never a wrong answer). Runs this early in
+            // the new epoch, before any page is touched, so the cleared
+            // pages restore lazily like any other dirty page.
+            if self.loaded_uid.is_some_and(|u| u != binary.uid) {
+                self.mem.clear_loader_image();
+                self.loaded_uid = None;
+            }
         }
         self.frame_pool.append(&mut self.frames);
         self.free_lists.clear();
@@ -255,8 +286,56 @@ impl ExecSession {
         self.prepare(binary);
         self.runs += 1;
         self.in_flight = true;
-        let result = run_in_session(self, binary, input, config, hooks);
+        let result = run_in_session(self, binary, input, config, hooks, LoaderMode::Load);
         self.in_flight = false;
+        result
+    }
+
+    /// Runs `binary` on `input` like [`run`](ExecSession::run), but
+    /// additionally maintains a *post-loader page image* keyed by
+    /// [`Binary::uid`]: the first batched run of a binary captures its
+    /// loader output (rodata strings, zeroed globals, initializers) as the
+    /// memory's reset base, and every consecutive batched run of the same
+    /// binary then skips the loader pass entirely — and pays no restore
+    /// for loader pages the program never writes.
+    ///
+    /// Built for the batched differential sweep, where one binary runs a
+    /// whole input batch back to back; results are bit-for-bit those of
+    /// [`run`](ExecSession::run) (the image is a pure function of the
+    /// binary, so restoring it is indistinguishable from re-running the
+    /// loader on freshly reset memory). Handing a different binary to the
+    /// session — batched or not — transparently invalidates the image (a
+    /// cache miss, never a wrong answer), so interleaving with plain
+    /// [`run`](ExecSession::run) calls (e.g. timeout-escalation re-runs)
+    /// is safe.
+    pub fn run_batched(&mut self, binary: &Binary, input: &[u8], config: &VmConfig) -> ExecResult {
+        self.run_batched_with_hooks(binary, input, config, &mut NoHooks)
+    }
+
+    /// [`run_batched`](ExecSession::run_batched) with instrumentation
+    /// hooks. Equivalent to
+    /// [`run_with_hooks`](ExecSession::run_with_hooks) bit for bit.
+    pub fn run_batched_with_hooks<H: Hooks>(
+        &mut self,
+        binary: &Binary,
+        input: &[u8],
+        config: &VmConfig,
+        hooks: &mut H,
+    ) -> ExecResult {
+        self.prepare(binary);
+        let loader = if self.loaded_uid == Some(binary.uid) {
+            self.loader_skips += 1;
+            LoaderMode::Skip
+        } else {
+            LoaderMode::LoadAndCapture
+        };
+        self.runs += 1;
+        self.in_flight = true;
+        let result = run_in_session(self, binary, input, config, hooks, loader);
+        self.in_flight = false;
+        if loader == LoaderMode::LoadAndCapture {
+            self.loaded_uid = Some(binary.uid);
+        }
         result
     }
 
@@ -279,6 +358,7 @@ impl ExecSession {
             block_cache_hits: self.block_cache_hits,
             block_exec: self.block_exec,
             interp_fallback: self.interp_fallback,
+            loader_skips: self.loader_skips,
         }
     }
 }
@@ -469,6 +549,172 @@ mod tests {
         // And the one after that is back on the incremental fast path.
         assert_eq!(s.run(&b, b"", &cfg), execute(&b, b"", &cfg));
         assert_eq!(s.stats().poisoned_rebuilds, 1);
+    }
+
+    #[test]
+    fn batched_runs_match_plain_runs_bit_for_bit() {
+        // The loader-image fast path (capture on run 1, skip afterwards)
+        // must be invisible in results — including uninitialized reads of
+        // loader-page junk and global mutation across runs.
+        let b = bin(
+            r#"
+            int g_acc;
+            char g_buf[64];
+            char* msg = "batched";
+            int main() {
+                char in[8];
+                long n = read_input(in, 7L);
+                g_acc += (int)n;
+                g_buf[0] = in[0];
+                int u;
+                printf("%s %d %d %d\n", msg, g_acc, (int)g_buf[1], u);
+                return 0;
+            }
+            "#,
+            "gcc-O2",
+        );
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&b);
+        for input in [&b"a"[..], b"bb", b"ccc", b"", b"dddd"] {
+            assert_eq!(
+                s.run_batched(&b, input, &cfg),
+                execute(&b, input, &cfg),
+                "{input:?}"
+            );
+        }
+        assert!(
+            s.stats().loader_skips >= 4,
+            "warm runs must skip the loader: {:?}",
+            s.stats()
+        );
+    }
+
+    #[test]
+    fn batched_and_plain_runs_interleave() {
+        // Timeout escalation re-runs use plain `run` on a session warmed
+        // by `run_batched`; both directions must stay bit-identical.
+        let b = bin(
+            "int main() { char c[4]; long n = read_input(c, 4L); printf(\"%d\\n\", (int)n); return 0; }",
+            "clang-O1",
+        );
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&b);
+        assert_eq!(s.run_batched(&b, b"x", &cfg), execute(&b, b"x", &cfg));
+        assert_eq!(s.run(&b, b"yy", &cfg), execute(&b, b"yy", &cfg));
+        assert_eq!(s.run_batched(&b, b"zzz", &cfg), execute(&b, b"zzz", &cfg));
+    }
+
+    #[test]
+    fn batched_run_heals_on_binary_switch() {
+        // A different binary with the *same* junk seed must invalidate the
+        // loader image: its untouched loader pages have to read as
+        // pristine junk, not the previous binary's strings.
+        let a = bin(
+            "char* s = \"AAAAAAAA\"; int main() { printf(\"%s\\n\", s); return 0; }",
+            "gcc-O0",
+        );
+        let c = bin(
+            "int main() { int u; printf(\"%d\\n\", u); return 0; }",
+            "gcc-O0",
+        );
+        assert_eq!(a.personality.seed, c.personality.seed, "same impl");
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&a);
+        for _ in 0..2 {
+            assert_eq!(s.run_batched(&a, b"", &cfg), execute(&a, b"", &cfg));
+        }
+        for _ in 0..2 {
+            assert_eq!(s.run_batched(&c, b"", &cfg), execute(&c, b"", &cfg));
+        }
+        assert_eq!(s.run_batched(&a, b"", &cfg), execute(&a, b"", &cfg));
+        // And plain runs on the warmed session stay equivalent too.
+        assert_eq!(s.run(&c, b"", &cfg), execute(&c, b"", &cfg));
+    }
+
+    #[test]
+    fn batched_run_recovers_after_trap() {
+        let b = bin(
+            r#"
+            int g;
+            int main() {
+                char buf[4];
+                long n = read_input(buf, 4L);
+                g = 7;
+                if (n > 0 && buf[0] == '!') { int* p = 0; *p = 1; }
+                printf("g=%d\n", g);
+                return 0;
+            }
+            "#,
+            "gcc-O2",
+        );
+        let cfg = VmConfig::default();
+        let mut s = ExecSession::new(&b);
+        assert_eq!(s.run_batched(&b, b"ok", &cfg), execute(&b, b"ok", &cfg));
+        let crash = s.run_batched(&b, b"!x", &cfg);
+        assert_eq!(crash.status, ExitStatus::Trapped(Trap::Segv));
+        assert_eq!(crash, execute(&b, b"!x", &cfg));
+        assert_eq!(s.run_batched(&b, b"ab", &cfg), execute(&b, b"ab", &cfg));
+    }
+
+    #[test]
+    fn escalated_rerun_in_reused_session_matches_fresh_session() {
+        // The differ's timeout-escalation policy re-runs a timed-out
+        // implementation in the SAME session under a doubled step budget.
+        // A run abandoned at the step limit leaves dirty pages, pooled
+        // frames, and heap state behind; the epoch reset must clear all
+        // of it so the escalated re-run is bit-identical to one in a
+        // brand-new session — in both execution backends, and whether the
+        // timed-out run was plain or batched.
+        use crate::exec::VmMode;
+        let b = bin(
+            r#"
+            int work(int depth) {
+                char local[64];
+                memset(local, depth, 64L);
+                if (depth > 0) { return local[3] + work(depth - 1); }
+                return (int)local[0];
+            }
+            int main() {
+                char* heap = (char*)malloc(12000L);
+                memset(heap, 9, 12000L);
+                int i; int acc = 0;
+                for (i = 0; i < 40; i++) { acc += work(8) + heap[i * 300]; }
+                printf("acc=%d\n", acc);
+                free(heap);
+                return 0;
+            }
+            "#,
+            "gcc-O2",
+        );
+        for mode in [VmMode::Interp, VmMode::Block] {
+            let full = VmConfig {
+                mode,
+                ..VmConfig::default()
+            };
+            let steps = execute(&b, b"", &full).steps;
+            let tight = VmConfig {
+                step_limit: steps * 2 / 3,
+                ..full.clone()
+            };
+            let doubled = VmConfig {
+                step_limit: tight.step_limit * 2,
+                ..tight.clone()
+            };
+            for batched_first in [false, true] {
+                let mut reused = ExecSession::new(&b);
+                let timed_out = if batched_first {
+                    reused.run_batched(&b, b"", &tight)
+                } else {
+                    reused.run(&b, b"", &tight)
+                };
+                assert_eq!(timed_out.status, ExitStatus::TimedOut, "{mode}");
+
+                let rerun = reused.run(&b, b"", &doubled);
+                let fresh = ExecSession::new(&b).run(&b, b"", &doubled);
+                assert_eq!(rerun, fresh, "{mode} batched_first={batched_first}");
+                assert_eq!(rerun.status, ExitStatus::Code(0));
+            }
+        }
     }
 
     #[test]

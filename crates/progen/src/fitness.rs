@@ -80,8 +80,11 @@ pub fn evaluate(
     let mut signature = None;
     let mut classes_max = 1usize;
     let mut kinds: BTreeSet<&'static str> = BTreeSet::new();
-    for (i, probe) in probes.iter().enumerate() {
-        let outcome = diff.run_input_sessions(&mut sessions, probe);
+    // One batched sweep over the whole probe set: each implementation
+    // runs every probe before the next implementation starts, and only
+    // probes with disagreeing digests pay the per-input bisection.
+    let outcomes = diff.run_batch_sessions(&mut sessions, probes);
+    for (i, outcome) in outcomes.iter().enumerate() {
         classes_max = classes_max.max(outcome.classes.len());
         for r in &outcome.results {
             kinds.insert(status_kind(&r.status));
@@ -89,7 +92,7 @@ pub fn evaluate(
         if outcome.divergent && !divergent {
             divergent = true;
             divergent_probe = Some(i);
-            signature = Some(signature_with_hash(diff.src_hash(), &impls, &outcome));
+            signature = Some(signature_with_hash(diff.src_hash(), &impls, outcome));
         }
     }
 

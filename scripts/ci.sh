@@ -31,9 +31,11 @@ lint_b="$(mktemp)"
 smoke="$(mktemp)"
 camp_a="$(mktemp)"
 camp_b="$(mktemp)"
+batch_a="$(mktemp)"
+batch_b="$(mktemp)"
 progen_a="$(mktemp -d)"
 progen_b="$(mktemp -d)"
-trap 'rm -rf "$lint_a" "$lint_b" "$smoke" "$camp_a" "$camp_b" "$progen_a" "$progen_b"' EXIT
+trap 'rm -rf "$lint_a" "$lint_b" "$smoke" "$camp_a" "$camp_b" "$batch_a" "$batch_b" "$progen_a" "$progen_b"' EXIT
 
 echo "== smoke campaign with injected panic (must exit 0 with partial results) =="
 ./target/release/compdiff campaign --workers 2 --execs-per-target 120 --shards 2 \
@@ -56,6 +58,20 @@ echo "== campaign block-mode byte-determinism (two runs, fixed clock) =="
     --metrics-out "$camp_b" --fixed-clock 0 --quiet > /dev/null
 cmp "$camp_a" "$camp_b"
 grep -q '"block_exec": *[1-9]' "$camp_a"
+
+echo "== batched-campaign byte-determinism (two runs, --batch-size 16) =="
+# Same single-worker fixed-clock setup as above, but with the batched
+# oracle sweep enabled. The cmp proves batching (including divergence
+# bisection order) is byte-reproducible; the grep proves batches were
+# actually formed rather than degenerating to per-input sweeps.
+./target/release/compdiff campaign --workers 1 --execs-per-target 150 --shards 2 \
+    --targets readelf,brotli --seed 11 --batch-size 16 \
+    --metrics-out "$batch_a" --fixed-clock 0 --quiet > /dev/null
+./target/release/compdiff campaign --workers 1 --execs-per-target 150 --shards 2 \
+    --targets readelf,brotli --seed 11 --batch-size 16 \
+    --metrics-out "$batch_b" --fixed-clock 0 --quiet > /dev/null
+cmp "$batch_a" "$batch_b"
+grep -q '"diff.batch_size"' "$batch_a"
 
 echo "== lint determinism (compdiff lint --all, twice) =="
 ./target/release/compdiff lint --all --workers 4 > "$lint_a"
@@ -84,5 +100,8 @@ COMPDIFF_BENCH_FAST=1 cargo bench -q --offline -p compdiff-bench --bench vm_sess
 
 echo "== vm_modes bench (fast smoke, per-target interp/block/block_san) =="
 COMPDIFF_BENCH_FAST=1 cargo bench -q --offline -p compdiff-bench --bench vm_modes
+
+echo "== batch bench (fast smoke, per-target batch=1/16/64) =="
+COMPDIFF_BENCH_FAST=1 cargo bench -q --offline -p compdiff-bench --bench batch
 
 echo "CI green."
