@@ -7,8 +7,10 @@
 //! compdiff run  prog.mc [--input STR|--input-file F] [--impls gcc-O0,clang-O3] [--minimize]
 //! compdiff fuzz prog.mc [--execs N] [--seed N] [--feedback] [--max-len N]
 //! compdiff scan prog.mc              # static analyzers + sanitizers + CompDiff
-//! compdiff lint prog.mc              # IR-level unstable-code lint
+//! compdiff lint prog.mc [--json]     # IR-level unstable-code lint
 //! compdiff lint --all                #   ... over the whole target catalog
+//! compdiff sancheck prog.mc [--json] # sanitizer meta-oracle (validate the sanitizers)
+//! compdiff sancheck --all            #   ... over the whole target catalog
 //! compdiff campaign [--workers N] [--execs-per-target N] [--resume DIR]
 //! compdiff progen generate|evolve|reduce   # evolutionary program generation
 //! ```
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         "fuzz" => cmd_fuzz(&args[1..]),
         "scan" => cmd_scan(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
+        "sancheck" => cmd_sancheck(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
         "progen" => cmd_progen(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -76,6 +79,19 @@ USAGE:
       --dir <dir>          with --all: lint generated *.mc from <dir> instead
       --impls <a,b,...>    provenance implementations (default: all ten)
       --workers <n>        threads for --all (default 4)
+      --json               machine-readable output (stable schema)
+  compdiff sancheck <prog.mc> [options]  sanitizer meta-oracle: build the static
+                                         UB ground-truth map, run every impl's
+                                         sanitized build, flag sanitizer false
+                                         negatives/alarms and verdict splits
+      --all                audit every catalog target instead of one file
+      --dir <dir>          with --all: audit generated *.mc from <dir> instead
+      --impls <a,b,...>    implementations to cross-check (default: all ten)
+      --workers <n>        threads for --all (default 4)
+      --input <str>        input bytes fed to every run (default: empty)
+      --fault-plan <spec>  plant sanitizer defects, e.g.
+                           'suppress@msan,fire@ubsan:shift-out-of-bounds#1'
+      --json               machine-readable output (stable schema)
   compdiff campaign [options]            parallel campaign over the target catalog
       --workers <n>          worker threads (default 4)
       --execs-per-target <n> fuzz-binary budget per target (default 2000)
@@ -96,6 +112,8 @@ USAGE:
       --progress-every <n>   progress + execs/sec to stderr every n jobs
       --fixed-clock <us>     pin the telemetry clock (deterministic streams)
       --progen-dir <dir>     also fuzz generated programs (*.mc) from <dir>
+      --sancheck             post-fuzz sanitizer audit over every selected
+                             target (publishes sancheck.* metrics)
       --vm-mode <m>          execution backend: interp|block (default block)
   compdiff progen <subcommand> [options]  evolutionary program generation
     (all subcommands accept --vm-mode interp|block, default block)
@@ -309,25 +327,16 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_lint(args: &[String]) -> Result<(), String> {
-    let lint = staticheck_ir::UnstableLint {
-        impls: parse_impls(args)?,
-    };
-    if !has_flag(args, "--all") {
-        let src = load_source(args)?;
-        let findings = lint.run_source(&src).map_err(|e| e.to_string())?;
-        if findings.is_empty() {
-            println!("no findings");
-        } else {
-            print!("{}", staticheck_ir::render(&findings));
-        }
-        return Ok(());
-    }
-
-    // Whole source: lint targets in parallel, print in source order so
-    // the output is deterministic (the CI gate diffs two runs). The
-    // static catalog is just the default `TargetSource`; `--dir` lints a
-    // directory of generated programs instead.
+/// Runs `analyze` over every target of the catalog (or a `--dir` of
+/// generated programs) in parallel, printing each result in source order
+/// so the output is deterministic at any worker count (the CI gate diffs
+/// two runs). `json` switches the framing from `== name ==` text blocks
+/// to one JSON array of `{target, ...}` objects.
+fn run_over_targets(
+    args: &[String],
+    json: bool,
+    analyze: impl Fn(&targets::Target) -> Result<(String, Json), String> + Sync,
+) -> Result<(), String> {
     let workers: usize = match flag_value(args, "--workers") {
         Some(v) => v.parse().map_err(|_| format!("bad --workers `{v}`"))?,
         None => 4,
@@ -340,7 +349,7 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     };
     let n = built.len();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let outputs = std::sync::Mutex::new(vec![None::<String>; n]);
+    let outputs = std::sync::Mutex::new(vec![None::<(String, Json)>; n]);
     std::thread::scope(|scope| {
         for _ in 0..workers.max(1).min(n.max(1)) {
             scope.spawn(|| loop {
@@ -348,38 +357,129 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
                 if i >= n {
                     break;
                 }
-                let report = match lint.run_source(&built[i].src) {
-                    Ok(findings) if findings.is_empty() => "  no findings\n".to_string(),
-                    Ok(findings) => staticheck_ir::render(&findings)
-                        .lines()
-                        .map(|l| format!("  {l}\n"))
-                        .collect(),
-                    Err(e) => format!("  frontend error: {e}\n"),
+                let cell = match analyze(&built[i]) {
+                    Ok(cell) => cell,
+                    Err(e) => (
+                        format!("  frontend error: {e}\n"),
+                        Json::obj(vec![("error", Json::Str(e))]),
+                    ),
                 };
                 // Poison-proof: a panicking sibling worker must not turn
                 // this worker's lock acquisition into a second panic.
-                outputs.lock().unwrap_or_else(|e| e.into_inner())[i] =
-                    Some(format!("== {} ==\n{report}", built[i].spec.name));
+                outputs.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(cell);
             });
         }
     });
+    let mut json_rows = Vec::new();
     for (i, o) in outputs
         .into_inner()
         .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .enumerate()
     {
-        match o {
-            Some(text) => print!("{text}"),
-            None => return Err(format!("lint worker died before target {i} was reported")),
+        let Some((text, j)) = o else {
+            return Err(format!("worker died before target {i} was reported"));
+        };
+        if json {
+            json_rows.push(match j {
+                Json::Object(fields) => {
+                    let mut with_name = vec![(
+                        "target".to_string(),
+                        Json::Str(built[i].spec.name.to_string()),
+                    )];
+                    with_name.extend(fields);
+                    Json::Object(with_name)
+                }
+                other => Json::obj(vec![
+                    ("target", Json::Str(built[i].spec.name.to_string())),
+                    ("report", other),
+                ]),
+            });
+        } else {
+            print!("== {} ==\n{text}", built[i].spec.name);
         }
     }
+    if json {
+        println!("{}", Json::Array(json_rows).render_pretty());
+    }
     Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let lint = staticheck_ir::UnstableLint {
+        impls: parse_impls(args)?,
+    };
+    let json = has_flag(args, "--json");
+    if !has_flag(args, "--all") {
+        let src = load_source(args)?;
+        let findings = lint.run_source(&src).map_err(|e| e.to_string())?;
+        if json {
+            println!(
+                "{}",
+                sancheck::json::lint_to_json(&findings).render_pretty()
+            );
+        } else if findings.is_empty() {
+            println!("no findings");
+        } else {
+            print!("{}", staticheck_ir::render(&findings));
+        }
+        return Ok(());
+    }
+    run_over_targets(args, json, |t| {
+        let findings = lint.run_source(&t.src).map_err(|e| e.to_string())?;
+        let text = if findings.is_empty() {
+            "  no findings\n".to_string()
+        } else {
+            staticheck_ir::render(&findings)
+                .lines()
+                .map(|l| format!("  {l}\n"))
+                .collect()
+        };
+        Ok((text, sancheck::json::lint_to_json(&findings)))
+    })
+}
+
+fn cmd_sancheck(args: &[String]) -> Result<(), String> {
+    let mut cfg = sancheck::SancheckConfig {
+        impls: parse_impls(args)?,
+        input: flag_value(args, "--input")
+            .map(String::into_bytes)
+            .unwrap_or_default(),
+        ..sancheck::SancheckConfig::default()
+    };
+    if let Some(spec) = flag_value(args, "--fault-plan") {
+        cfg.fault_plan =
+            sancheck::SanFaultPlan::parse(&spec).map_err(|e| format!("bad --fault-plan: {e}"))?;
+    }
+    let json = has_flag(args, "--json");
+    if !has_flag(args, "--all") {
+        let src = load_source(args)?;
+        let report = sancheck::check_source(&src, &cfg).map_err(|e| e.to_string())?;
+        if json {
+            println!(
+                "{}",
+                sancheck::json::report_to_json(&report).render_pretty()
+            );
+        } else {
+            print!("{}", report.render());
+        }
+        return Ok(());
+    }
+    run_over_targets(args, json, |t| {
+        let report = sancheck::check_source(&t.src, &cfg).map_err(|e| e.to_string())?;
+        let text: String = report
+            .render()
+            .lines()
+            .map(|l| format!("  {l}\n"))
+            .collect();
+        Ok((text, sancheck::json::report_to_json(&report)))
+    })
 }
 
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let mut cfg = CampaignConfig {
         quiet: has_flag(args, "--quiet"),
+        sancheck: has_flag(args, "--sancheck"),
         ..Default::default()
     };
     cfg.diff_config.vm.mode = vm_mode(args)?;

@@ -127,6 +127,10 @@ pub struct CampaignConfig {
     /// output digests disagree are bisected through the full per-input
     /// escalation path. `1` restores strict per-input interleaving.
     pub batch_size: usize,
+    /// Run the sanitizer meta-oracle over every selected target after
+    /// fuzzing finishes, publishing `sancheck.*` metrics (site counts,
+    /// sanitizer false negatives/alarms, cross-impl verdict splits).
+    pub sancheck: bool,
 }
 
 impl Default for CampaignConfig {
@@ -152,6 +156,7 @@ impl Default for CampaignConfig {
             progress_every: 0,
             fixed_clock_us: None,
             batch_size: 16,
+            sancheck: false,
         }
     }
 }
@@ -495,6 +500,24 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
     });
     for j in &pool_outcome.swept {
         stats.note_skipped(&selected[j.target_index].spec.name, 1);
+    }
+
+    // Post-fuzz sanitizer audit: run the meta-oracle over every selected
+    // target so the metrics snapshot carries the sanitizer-trust evidence
+    // (`sancheck.*`) next to the divergence counters. Like the pre-fuzz
+    // lint this is metrics-only — no events — so the event stream stays
+    // byte-identical run to run.
+    if cfg.sancheck {
+        let scfg = sancheck::SancheckConfig {
+            vm: cfg.diff_config.vm.clone(),
+            ..sancheck::SancheckConfig::default()
+        };
+        for t in &selected {
+            let t0 = tel.now_micros();
+            if let Ok(report) = sancheck::check_source(&t.src, &scfg) {
+                ctel.record_sancheck(&report, tel.now_micros().saturating_sub(t0));
+            }
+        }
     }
 
     ctel.record_cache(cache.counters());

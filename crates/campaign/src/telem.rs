@@ -47,6 +47,19 @@ pub struct CampaignTelemetry {
     pub cache_misses: Arc<Gauge>,
     /// `lint.scan_us` — per-target pre-fuzz unstable-code lint latency.
     pub lint_scan_us: Arc<Histogram>,
+    /// `sancheck.scan_us` — per-target post-fuzz sanitizer-audit latency.
+    pub sancheck_scan_us: Arc<Histogram>,
+    /// `sancheck.sites` — UB-site-map entries across audited targets.
+    pub sancheck_sites: Arc<Counter>,
+    /// `sancheck.san_fn` — sanitizer false negatives (silent on a
+    /// must-site in scope).
+    pub sancheck_fn: Arc<Counter>,
+    /// `sancheck.san_fp` — sanitizer false alarms (fired a statically
+    /// refuted class).
+    pub sancheck_fp: Arc<Counter>,
+    /// `sancheck.verdict_splits` — cross-implementation sanitizer-verdict
+    /// divergences.
+    pub sancheck_splits: Arc<Counter>,
     /// `fuzz.execs` — fuzz-binary executions.
     pub fuzz_execs: Arc<Counter>,
     /// `fuzz.exec_us` — fuzz-binary execution latency.
@@ -120,6 +133,11 @@ impl CampaignTelemetry {
             cache_hits: r.gauge("campaign.cache_hits"),
             cache_misses: r.gauge("campaign.cache_misses"),
             lint_scan_us: r.histogram("lint.scan_us"),
+            sancheck_scan_us: r.histogram("sancheck.scan_us"),
+            sancheck_sites: r.counter("sancheck.sites"),
+            sancheck_fn: r.counter("sancheck.san_fn"),
+            sancheck_fp: r.counter("sancheck.san_fp"),
+            sancheck_splits: r.counter("sancheck.verdict_splits"),
             fuzz_execs: r.counter("fuzz.execs"),
             fuzz_exec_us: r.histogram("fuzz.exec_us"),
             queue_depth_max: r.gauge("fuzz.queue_depth_max"),
@@ -192,6 +210,17 @@ impl CampaignTelemetry {
             r.counter(&format!("lint.findings.{}", f.finding.defect))
                 .add(1);
         }
+    }
+
+    /// Records one post-fuzz sanitizer-audit scan: its duration plus the
+    /// report's site, false-negative, false-alarm, and verdict-split
+    /// totals (`sancheck.*`).
+    pub fn record_sancheck(&self, report: &sancheck::SancheckReport, scan_us: u64) {
+        self.sancheck_scan_us.record(scan_us);
+        self.sancheck_sites.add(report.map.sites.len() as u64);
+        self.sancheck_fn.add(report.false_negatives.len() as u64);
+        self.sancheck_fp.add(report.false_positives.len() as u64);
+        self.sancheck_splits.add(report.divergences.len() as u64);
     }
 
     /// Publishes the binary cache's final `(hits, misses)`.

@@ -3,9 +3,11 @@
 //! For each test it runs: the three static analyzer analogs (bad + good
 //! variants, for detection and false-positive rates), the IR-level
 //! CompDiff lint (the fourth static column), the three sanitizer analogs
-//! (bad + good), and CompDiff over the ten compiler implementations
-//! (bad + good, recording the per-implementation hash vector that
-//! Figure 1's subset analysis consumes).
+//! (bad + good), the sanitizer meta-oracle (the fifth column: per-tool
+//! miss/false-alarm rates judged against the static UB ground-truth
+//! map), and CompDiff over the ten compiler implementations (bad + good,
+//! recording the per-implementation hash vector that Figure 1's subset
+//! analysis consumes).
 
 use crate::generators::generate;
 use crate::model::{Cwe, Group, JulietTest};
@@ -45,6 +47,12 @@ pub struct TestEval {
     pub san_det: [bool; 3],
     /// Sanitizers: false alarm on good?
     pub san_fp: [bool; 3],
+    /// Meta-oracle: sanitizer missed a group-relevant `must` UB site on
+    /// the bad variant (judged against the static UB ground-truth map).
+    pub san_miss: [bool; 3],
+    /// Meta-oracle: sanitizer fired a statically refuted class on the
+    /// good variant.
+    pub san_fa: [bool; 3],
     /// CompDiff: divergence on bad?
     pub compdiff_det: bool,
     /// CompDiff: divergence on good (must stay false — Finding 5)?
@@ -131,6 +139,36 @@ pub fn evaluate(test: &JulietTest, vm: &VmConfig) -> TestEval {
         }
     }
 
+    // Sanitizer meta-oracle: judge each sanitizer against the static UB
+    // ground-truth map. The reference build (`gcc-O0` never deletes UB)
+    // is the fairest "sanitizer as intended" target; misses are
+    // restricted to group-relevant classes so a tool is not blamed for
+    // an incidental site outside the row's defect family.
+    let scfg = sancheck::SancheckConfig {
+        impls: vec![minc_compile::CompilerImpl::parse("gcc-O0").expect("gcc-O0 is valid")],
+        vm: vm.clone(),
+        ..sancheck::SancheckConfig::default()
+    };
+    let relevant_classes: Vec<staticheck_ir::UbClass> = relevant
+        .iter()
+        .filter_map(|d| staticheck_ir::ubmap::class_of_defect(*d))
+        .collect();
+    let mut san_miss = [false; 3];
+    let mut san_fa = [false; 3];
+    if let Ok(rep) = sancheck::check_source(&test.bad, &scfg) {
+        for (k, out) in kinds.iter().zip(san_miss.iter_mut()) {
+            *out = rep
+                .false_negatives
+                .iter()
+                .any(|f| f.kind == *k && relevant_classes.contains(&f.class));
+        }
+    }
+    if let Ok(rep) = sancheck::check_source(&test.good, &scfg) {
+        for (k, out) in kinds.iter().zip(san_fa.iter_mut()) {
+            *out = rep.false_positives.iter().any(|f| f.kind == *k);
+        }
+    }
+
     // CompDiff over the default ten implementations.
     let cfg = DiffConfig {
         vm: vm.clone(),
@@ -157,6 +195,8 @@ pub fn evaluate(test: &JulietTest, vm: &VmConfig) -> TestEval {
         lint_fp,
         san_det,
         san_fp,
+        san_miss,
+        san_fa,
         compdiff_det,
         compdiff_fp,
         hashes,
@@ -182,6 +222,12 @@ pub struct Table3Row {
     pub san_det: [f64; 3],
     /// Detection % of the combined sanitizers.
     pub san_total: f64,
+    /// Meta-oracle miss % per sanitizer: silent on a group-relevant
+    /// `must` UB site of the bad variant.
+    pub san_miss: [f64; 3],
+    /// Meta-oracle false-alarm % per sanitizer: fired a statically
+    /// refuted class on the good variant.
+    pub san_fa: [f64; 3],
     /// CompDiff detection %.
     pub compdiff: f64,
     /// Bugs detected by CompDiff but by no sanitizer.
@@ -231,6 +277,16 @@ pub fn table3(evals: &[TestEval]) -> Table3 {
                 pct(count(&|e| e.san_det[2]), n),
             ];
             let san_total = pct(count(&|e| e.san_det.iter().any(|&d| d)), n);
+            let san_miss = [
+                pct(count(&|e| e.san_miss[0]), n),
+                pct(count(&|e| e.san_miss[1]), n),
+                pct(count(&|e| e.san_miss[2]), n),
+            ];
+            let san_fa = [
+                pct(count(&|e| e.san_fa[0]), n),
+                pct(count(&|e| e.san_fa[1]), n),
+                pct(count(&|e| e.san_fa[2]), n),
+            ];
             let compdiff = pct(count(&|e| e.compdiff_det), n);
             let unique = count(&|e| e.compdiff_det && !e.san_det.iter().any(|&d| d));
             let compdiff_fp = count(&|e| e.compdiff_fp);
@@ -243,6 +299,8 @@ pub fn table3(evals: &[TestEval]) -> Table3 {
                 lint_fp,
                 san_det,
                 san_total,
+                san_miss,
+                san_fa,
                 compdiff,
                 unique,
                 compdiff_fp,
@@ -257,7 +315,7 @@ impl Table3 {
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "{:<24} {:>6} | {:>9} {:>9} {:>9} {:>9} | {:>5} {:>5} {:>5} {:>6} | {:>8} {:>7} {:>6}\n",
+            "{:<24} {:>6} | {:>9} {:>9} {:>9} {:>9} | {:>5} {:>5} {:>5} {:>6} | {:>9} {:>9} {:>9} | {:>8} {:>7} {:>6}\n",
             "Description",
             "#Tests",
             "Coverity",
@@ -268,15 +326,18 @@ impl Table3 {
             "UBSan",
             "MSan",
             "SanTot",
+            "ASanM(F)",
+            "UBSanM(F)",
+            "MSanM(F)",
             "CompDiff",
             "#Unique",
             "CD-FP"
         ));
-        s.push_str(&"-".repeat(140));
+        s.push_str(&"-".repeat(172));
         s.push('\n');
         for r in &self.rows {
             s.push_str(&format!(
-                "{:<24} {:>6} | {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) | {:>4.0}% {:>4.0}% {:>4.0}% {:>5.0}% | {:>7.0}% {:>7} {:>6}\n",
+                "{:<24} {:>6} | {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) | {:>4.0}% {:>4.0}% {:>4.0}% {:>5.0}% | {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) {:>4.0}%({:>2.0}) | {:>7.0}% {:>7} {:>6}\n",
                 r.group.label(),
                 r.tests,
                 r.static_det[0],
@@ -291,6 +352,12 @@ impl Table3 {
                 r.san_det[1],
                 r.san_det[2],
                 r.san_total,
+                r.san_miss[0],
+                r.san_fa[0],
+                r.san_miss[1],
+                r.san_fa[1],
+                r.san_miss[2],
+                r.san_fa[2],
                 r.compdiff,
                 r.unique,
                 r.compdiff_fp
@@ -322,6 +389,8 @@ impl Table3 {
                             ("lint_fp", Json::Float(r.lint_fp)),
                             ("san_det", floats(&r.san_det)),
                             ("san_total", Json::Float(r.san_total)),
+                            ("san_miss", floats(&r.san_miss)),
+                            ("san_fa", floats(&r.san_fa)),
                             ("compdiff", Json::Float(r.compdiff)),
                             ("unique", Json::Int(r.unique as i64)),
                             ("compdiff_fp", Json::Int(r.compdiff_fp as i64)),
@@ -445,6 +514,30 @@ mod tests {
             "coverity+cppcheck check arity"
         );
         assert!(!e.static_det[2], "infer does not");
+    }
+
+    #[test]
+    fn meta_oracle_column_flags_msan_print_only_miss() {
+        // Variant 0 of CWE-457 prints the uninitialized local without
+        // branching on it, so MSan stays silent — yet the static map has
+        // a `must` uninit site on the unconditional path. The fifth
+        // column charges that miss to MSan (and only MSan; the site is
+        // outside ASan's and UBSan's scope).
+        let e = eval_cwe(Cwe::Cwe457, 0);
+        assert!(e.san_miss[2], "MSan print-only blind spot must be charged");
+        assert!(!e.san_miss[0] && !e.san_miss[1], "{:?}", e.san_miss);
+        assert!(
+            !e.san_fa.iter().any(|&f| f),
+            "clean good variant must not produce meta-oracle false alarms"
+        );
+        // The caught branch-on-uninit variant is not a miss.
+        let e6 = eval_cwe(Cwe::Cwe457, 6);
+        assert!(!e6.san_miss[2], "a firing sanitizer is never a miss");
+        // The column lands in the rendered table and the JSON form.
+        let t = table3(&[e]);
+        assert!(t.render().contains("MSanM(F)"));
+        let j = t.to_json().render();
+        assert!(j.contains("san_miss") && j.contains("san_fa"));
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! JSON renderings for lint findings and meta-oracle reports.
+//!
+//! The CLI's `--json` flags route through here so both subcommands share
+//! one stable schema, built on the workspace's dependency-free
+//! [`compdiff::Json`] value type. Everything is emitted in deterministic
+//! order (the inputs are already sorted by their producers), so two runs
+//! over the same program render byte-identical documents — the property
+//! the CI determinism gate compares.
+
+use compdiff::Json;
+use staticheck_ir::ubmap::Certainty;
+use staticheck_ir::LintFinding;
+
+use crate::SancheckReport;
+
+/// Lint findings as a JSON array (one object per finding).
+pub fn lint_to_json(findings: &[LintFinding]) -> Json {
+    Json::Array(
+        findings
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("line", Json::Int(f.finding.span.line as i64)),
+                    ("defect", Json::Str(f.finding.defect.to_string())),
+                    ("message", Json::Str(f.finding.message.clone())),
+                    ("origin", Json::Str(f.origin.to_string())),
+                    ("impls", Json::strings(f.impls.iter())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// A full meta-oracle report as one JSON object.
+pub fn report_to_json(r: &SancheckReport) -> Json {
+    let sites = Json::Array(
+        r.map
+            .sites
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("line", Json::Int(s.line as i64)),
+                    ("function", Json::Str(s.function.clone())),
+                    ("class", Json::Str(s.class.to_string())),
+                    (
+                        "certainty",
+                        Json::Str(
+                            if s.certainty == Certainty::Must {
+                                "must"
+                            } else {
+                                "may"
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    ("origin", Json::Str(s.origin.to_string())),
+                    ("message", Json::Str(s.message.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let contradictions = Json::Array(
+        r.map
+            .contradictions
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("line", Json::Int(c.line as i64)),
+                    ("class", Json::Str(c.class.to_string())),
+                    ("impls", Json::strings(c.impls.iter())),
+                    ("detail", Json::Str(c.detail.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let unknown = Json::strings(r.map.unknown.iter().map(|c| c.to_string()));
+    let verdicts = Json::Array(
+        r.verdicts
+            .iter()
+            .map(|v| {
+                Json::obj(vec![
+                    ("impl", Json::Str(v.impl_id.to_string())),
+                    ("sanitizer", Json::Str(v.kind.to_string())),
+                    ("verdict", Json::Str(v.verdict())),
+                ])
+            })
+            .collect(),
+    );
+    let fns = Json::Array(
+        r.false_negatives
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("impl", Json::Str(f.impl_id.to_string())),
+                    ("sanitizer", Json::Str(f.kind.to_string())),
+                    ("class", Json::Str(f.class.to_string())),
+                    ("line", Json::Int(f.line as i64)),
+                ])
+            })
+            .collect(),
+    );
+    let fps = Json::Array(
+        r.false_positives
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("impl", Json::Str(f.impl_id.to_string())),
+                    ("sanitizer", Json::Str(f.kind.to_string())),
+                    ("class", Json::Str(f.class.to_string())),
+                    ("category", Json::Str(f.category.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let divergences = Json::Array(
+        r.divergences
+            .iter()
+            .map(|d| {
+                Json::obj(vec![
+                    ("sanitizer", Json::Str(d.kind.to_string())),
+                    ("signature", Json::Str(d.signature.clone())),
+                    (
+                        "groups",
+                        Json::Array(
+                            d.groups
+                                .iter()
+                                .map(|(verdict, impls)| {
+                                    Json::obj(vec![
+                                        ("verdict", Json::Str(verdict.clone())),
+                                        ("impls", Json::strings(impls.iter())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("sites", sites),
+        ("contradictions", contradictions),
+        ("unknown", unknown),
+        ("verdicts", verdicts),
+        ("false_negatives", fns),
+        ("false_positives", fps),
+        ("divergences", divergences),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_source, SanFaultPlan, SancheckConfig};
+    use minc_compile::personality::CompilerImpl;
+    use staticheck_ir::UnstableLint;
+
+    fn cfg() -> SancheckConfig {
+        SancheckConfig {
+            impls: vec![
+                CompilerImpl::parse("gcc-O0").unwrap(),
+                CompilerImpl::parse("gcc-O2").unwrap(),
+            ],
+            fault_plan: SanFaultPlan::default(),
+            ..SancheckConfig::default()
+        }
+    }
+
+    const SRC: &str = r#"
+        int main() {
+            int u;
+            if (u > 0) { printf("y\n"); }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn lint_json_round_trips_through_the_parser() {
+        let findings = UnstableLint::new().run_source(SRC).unwrap();
+        assert!(!findings.is_empty());
+        let rendered = lint_to_json(&findings).render_pretty();
+        let parsed = Json::parse(&rendered).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), findings.len());
+        assert_eq!(
+            arr[0].get("defect").and_then(Json::as_str),
+            Some(findings[0].finding.defect.to_string().as_str())
+        );
+        assert_eq!(
+            arr[0].get("line").and_then(Json::as_i64),
+            Some(findings[0].finding.span.line as i64)
+        );
+    }
+
+    #[test]
+    fn report_json_round_trips_and_is_deterministic() {
+        let a = check_source(SRC, &cfg()).unwrap();
+        let b = check_source(SRC, &cfg()).unwrap();
+        let ja = report_to_json(&a).render_pretty();
+        let jb = report_to_json(&b).render_pretty();
+        assert_eq!(ja, jb, "two runs must render byte-identical JSON");
+        let parsed = Json::parse(&ja).unwrap();
+        assert!(parsed.get("sites").and_then(Json::as_array).is_some());
+        assert_eq!(
+            parsed
+                .get("verdicts")
+                .and_then(Json::as_array)
+                .map(|v| v.len()),
+            Some(a.verdicts.len())
+        );
+    }
+}

@@ -110,16 +110,29 @@ pub fn scan_with_term<A: Analysis>(
     states: &BlockStates<A::State>,
     mut visit: impl FnMut(&A::State, Visit),
 ) {
+    scan_with_blocks(f, a, states, |_, st, v| visit(st, v));
+}
+
+/// [`scan_with_term`], with the containing block's id handed to the
+/// visitor — consumers that need execution certainty (is this point on
+/// the unconditional path from entry?) key it off the block.
+pub fn scan_with_blocks<A: Analysis>(
+    f: &IrFunction,
+    a: &A,
+    states: &BlockStates<A::State>,
+    mut visit: impl FnMut(BlockId, &A::State, Visit),
+) {
     for (bi, blk) in f.blocks.iter().enumerate() {
         let Some(input) = &states.inputs[bi] else {
             continue;
         };
+        let b = BlockId(bi as u32);
         let mut st = input.clone();
         for inst in &blk.insts {
-            visit(&st, Visit::Inst(inst));
+            visit(b, &st, Visit::Inst(inst));
             a.transfer_inst(&mut st, inst, f);
         }
-        visit(&st, Visit::Term(&blk.term));
+        visit(b, &st, Visit::Term(&blk.term));
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::dataflow::{fixpoint, scan, scan_with_term, Visit};
 use crate::domains::{shift_width, Interval, IntervalAnalysis, JunkAnalysis, NullAnalysis};
+use crate::summaries::FnSummaries;
 use minc_compile::ir::{
     BinKind, CastKind, ConstVal, Inst, IrFunction, IrProgram, Terminator, ValueId,
 };
@@ -31,11 +32,13 @@ pub struct IrFinding {
     pub junk_id: Option<u32>,
 }
 
-/// Runs every detector over every function of `prog`.
+/// Runs every detector over every function of `prog`, with
+/// interprocedural summaries computed callee-first.
 pub fn scan_program(prog: &IrProgram) -> Vec<IrFinding> {
+    let summaries = FnSummaries::of(prog);
     let mut out = Vec::new();
     for f in &prog.functions {
-        scan_function(f, &mut out);
+        scan_function(f, &summaries, &mut out);
     }
     // Deterministic order + per-line dedup (a junk value read five times
     // on one line is one finding).
@@ -52,19 +55,19 @@ pub fn scan_program(prog: &IrProgram) -> Vec<IrFinding> {
 }
 
 /// Runs every detector over one function, appending to `out`.
-pub fn scan_function(f: &IrFunction, out: &mut Vec<IrFinding>) {
-    junk_reads(f, out);
-    oversized_shifts(f, out);
+pub fn scan_function(f: &IrFunction, summaries: &FnSummaries, out: &mut Vec<IrFinding>) {
+    junk_reads(f, summaries, out);
+    oversized_shifts(f, summaries, out);
     block_patterns(f, out);
-    null_check_after_deref(f, out);
+    null_check_after_deref(f, summaries, out);
 }
 
 // ----------------------------------------------------- uninitialized use
 
 /// Flags observable uses of registers that may carry mem2reg junk: call
 /// arguments, stored values, branch conditions, and return values.
-fn junk_reads(f: &IrFunction, out: &mut Vec<IrFinding>) {
-    let a = JunkAnalysis;
+fn junk_reads(f: &IrFunction, summaries: &FnSummaries, out: &mut Vec<IrFinding>) {
+    let a = JunkAnalysis::new(summaries);
     let states = fixpoint(f, &a);
     let report = |line: u32, id: u32, what: &str, out: &mut Vec<IrFinding>| {
         out.push(IrFinding {
@@ -116,8 +119,8 @@ pub fn observed_junk_ids(findings: &[IrFinding]) -> BTreeSet<u32> {
 
 /// Flags shifts whose amount is provably out of range for the operand
 /// width (`>= width` or negative) via interval analysis.
-fn oversized_shifts(f: &IrFunction, out: &mut Vec<IrFinding>) {
-    let a = IntervalAnalysis;
+fn oversized_shifts(f: &IrFunction, summaries: &FnSummaries, out: &mut Vec<IrFinding>) {
+    let a = IntervalAnalysis::new(summaries);
     let states = fixpoint(f, &a);
     let mut sink: Vec<(u32, i64, Interval)> = Vec::new();
     scan(f, &a, &states, |st, inst| {
@@ -331,8 +334,8 @@ fn block_patterns(f: &IrFunction, out: &mut Vec<IrFinding>) {
 
 /// Flags `p == 0` / `p != 0` tests of a pointer already dereferenced on
 /// every path to the test — exactly the checks the optimizer deletes.
-fn null_check_after_deref(f: &IrFunction, out: &mut Vec<IrFinding>) {
-    let a = NullAnalysis;
+fn null_check_after_deref(f: &IrFunction, summaries: &FnSummaries, out: &mut Vec<IrFinding>) {
+    let a = NullAnalysis::new(summaries);
     let states = fixpoint(f, &a);
     let mut sink: Vec<u32> = Vec::new();
     scan(f, &a, &states, |st, inst| {

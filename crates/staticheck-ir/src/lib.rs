@@ -42,8 +42,12 @@
 pub mod dataflow;
 pub mod detectors;
 pub mod domains;
+pub mod summaries;
+pub mod ubmap;
 
 pub use detectors::IrFinding;
+pub use summaries::{FnSummaries, FnSummary};
+pub use ubmap::{Certainty, UbClass, UbSite, UbSiteMap};
 
 use minc::{CheckedProgram, FrontendError, Span};
 use minc_compile::personality::{CompilerImpl, Family, OptLevel, PassKind};

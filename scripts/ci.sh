@@ -35,7 +35,10 @@ batch_a="$(mktemp)"
 batch_b="$(mktemp)"
 progen_a="$(mktemp -d)"
 progen_b="$(mktemp -d)"
-trap 'rm -rf "$lint_a" "$lint_b" "$smoke" "$camp_a" "$camp_b" "$batch_a" "$batch_b" "$progen_a" "$progen_b"' EXIT
+san_a="$(mktemp)"
+san_b="$(mktemp)"
+san_dir="$(mktemp -d)"
+trap 'rm -rf "$lint_a" "$lint_b" "$smoke" "$camp_a" "$camp_b" "$batch_a" "$batch_b" "$progen_a" "$progen_b" "$san_a" "$san_b" "$san_dir"' EXIT
 
 echo "== smoke campaign with injected panic (must exit 0 with partial results) =="
 ./target/release/compdiff campaign --workers 2 --execs-per-target 120 --shards 2 \
@@ -77,6 +80,42 @@ echo "== lint determinism (compdiff lint --all, twice) =="
 ./target/release/compdiff lint --all --workers 4 > "$lint_a"
 ./target/release/compdiff lint --all --workers 2 > "$lint_b"
 cmp "$lint_a" "$lint_b"
+
+echo "== sancheck determinism (compdiff sancheck --all, two worker counts) =="
+./target/release/compdiff sancheck --all --workers 1 > "$san_a"
+./target/release/compdiff sancheck --all --workers 8 > "$san_b"
+cmp "$san_a" "$san_b"
+
+echo "== sancheck planted-FN smoke (suppressed MSan must be flagged) =="
+# A must-execute uninitialized branch with MSan's poison callbacks
+# deterministically suppressed: the meta-oracle must charge every impl
+# with a false negative, proven by the static must-site it went silent on.
+cat > "$san_dir/uninit.mc" <<'EOF'
+int main() {
+    int u;
+    if (u > 0) { printf("y\n"); }
+    return 0;
+}
+EOF
+./target/release/compdiff sancheck "$san_dir/uninit.mc" --fault-plan suppress@msan > "$san_a"
+grep -Eq 'san_fn=[1-9]' "$san_a"
+grep -q "FALSE NEGATIVE: MSan stayed silent" "$san_a"
+
+echo "== sancheck planted-FP smoke (spurious UBSan firing must be refuted) =="
+# A statically clean program with a spurious shift-out-of-bounds report
+# injected into UBSan's first check callback: the map refutes the class,
+# so the meta-oracle must flag the firing as a false alarm.
+cat > "$san_dir/clean.mc" <<'EOF'
+int main() {
+    int x = 1 + 2;
+    printf("%d\n", x);
+    return 0;
+}
+EOF
+./target/release/compdiff sancheck "$san_dir/clean.mc" \
+    --fault-plan 'fire@ubsan:shift-out-of-bounds#1' > "$san_b"
+grep -Eq 'san_fp=[1-9]' "$san_b"
+grep -q "FALSE ALARM: UBSan" "$san_b"
 
 echo "== progen evolve smoke + byte-determinism (seeded, twice) =="
 ./target/release/compdiff progen evolve --seed 7 --generations 2 --population 6 \
