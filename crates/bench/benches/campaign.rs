@@ -1,17 +1,22 @@
-//! Campaign scaling: the same fixed workload at 1 worker vs 4 workers.
+//! Campaign scaling: the same fixed workload run in-process (thread
+//! workers) and across coordinator/worker *processes*, at 1 and 4
+//! workers each.
 //!
-//! On a multi-core machine 4 workers should finish the (embarrassingly
-//! parallel) job set at least 2x faster; on a single hardware thread the
-//! ratio honestly reports ~1x, so the >=2x assertion is gated on
-//! `available_parallelism() >= 4`.
+//! Honesty rules for the recorded baseline (`BENCH_campaign.json`):
+//! every row records its worker count and execution mode, the file
+//! records the machine's hardware thread count, and the 4-worker
+//! speedup is only measured when the machine actually has >= 4
+//! hardware threads — otherwise the file carries an explicit
+//! `speedup_4_workers_refused` entry instead of a meaningless ~1x
+//! ratio from an oversubscribed single core.
 
 use campaign::CampaignConfig;
 use compdiff::Json;
 use compdiff_bench::harness::{write_json, BenchGroup};
+use std::path::Path;
 
-fn workload(workers: usize) -> CampaignConfig {
+fn workload() -> CampaignConfig {
     CampaignConfig {
-        workers,
         execs_per_target: 400,
         shards_per_target: 4,
         target_filter: Some(
@@ -24,30 +29,89 @@ fn workload(workers: usize) -> CampaignConfig {
     }
 }
 
+fn threads(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        workers,
+        ..workload()
+    }
+}
+
+fn procs(workers: usize, exe: &Path) -> CampaignConfig {
+    CampaignConfig {
+        workers_proc: Some(workers),
+        worker_exe: Some(exe.to_path_buf()),
+        ..workload()
+    }
+}
+
+fn row(name: &str, workers: usize, mode: &str) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(format!("campaign/{name}"))),
+        ("workers", Json::Int(workers as i64)),
+        ("mode", Json::Str(mode.to_string())),
+    ])
+}
+
 fn main() {
     let mut g = BenchGroup::new("campaign");
     g.sample_size(5);
-    let one = g.bench("workers_1", || campaign::run(&workload(1)).unwrap());
-    let four = g.bench("workers_4", || campaign::run(&workload(4)).unwrap());
+    g.bench("threads_1", || campaign::run(&threads(1)).unwrap());
+    g.bench("threads_4", || campaign::run(&threads(4)).unwrap());
+    let mut rows = vec![
+        row("threads_1", 1, "threads"),
+        row("threads_4", 4, "threads"),
+    ];
+
+    // The multi-process rows need the `compdiff` binary on disk (it is
+    // the worker executable); probe via the same resolution chain the
+    // coordinator uses and skip honestly when it is absent.
+    let worker_exe = campaign::resolve_worker_exe(&workload());
+    let procs_pair = match &worker_exe {
+        Ok(exe) => {
+            let one = g.bench("procs_1", || campaign::run(&procs(1, exe)).unwrap());
+            let four = g.bench("procs_4", || campaign::run(&procs(4, exe)).unwrap());
+            rows.push(row("procs_1", 1, "processes"));
+            rows.push(row("procs_4", 4, "processes"));
+            Some((one, four))
+        }
+        Err(e) => {
+            println!("campaign/procs_*: skipped ({e}); build the compdiff binary first");
+            None
+        }
+    };
     let results = g.finish();
 
-    let speedup = one.median.as_secs_f64() / four.median.as_secs_f64();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!("campaign 4-worker speedup: {speedup:.2}x on {cores} hardware threads");
-    write_json(
-        "BENCH_campaign.json",
-        &results,
-        vec![
-            ("speedup_4_workers", Json::Float(speedup)),
-            ("hardware_threads", Json::Int(cores as i64)),
-        ],
-    );
-    if cores >= 4 {
-        assert!(
-            speedup >= 2.0,
-            "expected >=2x at 4 workers on {cores} cores, got {speedup:.2}x"
-        );
+    let mut extra = vec![
+        ("hardware_threads", Json::Int(cores as i64)),
+        ("rows", Json::Array(rows)),
+    ];
+    // The headline speedup is the *process* scaling path — measuring it
+    // on fewer hardware threads than workers would time contention, not
+    // scaling, so it is refused outright rather than recorded.
+    match procs_pair {
+        Some((ref one, ref four)) if cores >= 4 => {
+            let speedup = one.median.as_secs_f64() / four.median.as_secs_f64();
+            println!("campaign 4-process speedup: {speedup:.2}x on {cores} hardware threads");
+            extra.push(("speedup_4_workers", Json::Float(speedup)));
+            write_json("BENCH_campaign.json", &results, extra);
+            assert!(
+                speedup >= 1.8,
+                "expected >=1.8x at 4 worker processes on {cores} cores, got {speedup:.2}x"
+            );
+        }
+        Some(_) => {
+            let reason = format!("hardware_threads {cores} < workers 4; speedup not measured");
+            println!("campaign 4-process speedup refused: {reason}");
+            extra.push(("speedup_4_workers_refused", Json::Str(reason)));
+            write_json("BENCH_campaign.json", &results, extra);
+        }
+        None => {
+            let reason = "worker executable unavailable; speedup not measured".to_string();
+            extra.push(("speedup_4_workers_refused", Json::Str(reason)));
+            write_json("BENCH_campaign.json", &results, extra);
+        }
     }
 }

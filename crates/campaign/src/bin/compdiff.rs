@@ -12,7 +12,11 @@
 //! compdiff sancheck prog.mc [--json] # sanitizer meta-oracle (validate the sanitizers)
 //! compdiff sancheck --all            #   ... over the whole target catalog
 //! compdiff campaign [--workers N] [--execs-per-target N] [--resume DIR]
+//! compdiff campaign --workers-proc N  # coordinator over N worker processes
+//! compdiff campaign-worker --connect HOST:PORT   # one worker process
+//! compdiff campaign-status --connect HOST:PORT   # live campaign status
 //! compdiff progen generate|evolve|reduce   # evolutionary program generation
+
 //! ```
 
 use campaign::{CampaignConfig, StateError};
@@ -39,6 +43,8 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&args[1..]),
         "sancheck" => cmd_sancheck(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
+        "campaign-worker" => cmd_campaign_worker(&args[1..]),
+        "campaign-status" => cmd_campaign_status(&args[1..]),
         "progen" => cmd_progen(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -115,6 +121,15 @@ USAGE:
       --sancheck             post-fuzz sanitizer audit over every selected
                              target (publishes sancheck.* metrics)
       --vm-mode <m>          execution backend: interp|block (default block)
+      --workers-proc <n>     run as a coordinator over n worker *processes*
+                             (JSONL socket protocol; scales past one core)
+      --status-addr-out <p>  write the live status endpoint's host:port to <p>
+  compdiff campaign-worker --connect <host:port>
+                                         one worker process (spawned by the
+                                         coordinator; not normally run by hand)
+  compdiff campaign-status --connect <host:port>
+                                         query a running coordinator's live
+                                         status (progress + merged metrics)
   compdiff progen <subcommand> [options]  evolutionary program generation
     (all subcommands accept --vm-mode interp|block, default block)
     generate --seed <n> [--count <n>] [--out-dir <dir>]
@@ -522,6 +537,9 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         let plan = campaign::FaultPlan::parse(&spec, cfg.seed)
             .map_err(|e| format!("bad --fault-plan: {e}"))?;
         cfg.fault_plan = Some(std::sync::Arc::new(plan));
+        // The spec travels too, so coordinator mode can re-parse it in
+        // each worker process.
+        cfg.fault_plan_spec = Some(spec);
     }
     if let Some(list) = flag_value(args, "--targets") {
         cfg.target_filter = Some(list.split(',').map(|s| s.trim().to_string()).collect());
@@ -544,6 +562,12 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     if let Some(v) = flag_value(args, "--fixed-clock") {
         cfg.fixed_clock_us = Some(v.parse().map_err(|_| format!("bad --fixed-clock `{v}`"))?);
+    }
+    if let Some(v) = flag_value(args, "--workers-proc") {
+        cfg.workers_proc = Some(v.parse().map_err(|_| format!("bad --workers-proc `{v}`"))?);
+    }
+    if let Some(v) = flag_value(args, "--status-addr-out") {
+        cfg.status_addr_out = Some(PathBuf::from(v));
     }
     match (
         flag_value(args, "--resume"),
@@ -569,6 +593,24 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if report.aborted {
         println!("(aborted by --stop-after; rerun with --resume to finish)");
     }
+    Ok(())
+}
+
+/// One campaign worker process (spawned by a `--workers-proc`
+/// coordinator; see DESIGN.md §17). Not normally invoked by hand.
+fn cmd_campaign_worker(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--connect")
+        .ok_or("campaign-worker needs --connect <host:port> (coordinator address)")?;
+    campaign::run_worker(&addr)
+}
+
+/// Queries a running coordinator's status endpoint and pretty-prints
+/// the live progress object.
+fn cmd_campaign_status(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--connect")
+        .ok_or("campaign-status needs --connect <host:port> (coordinator address, as written by --status-addr-out)")?;
+    let status = campaign::query_status(&addr)?;
+    println!("{}", status.render_pretty());
     Ok(())
 }
 

@@ -1,0 +1,817 @@
+//! The coordinator side of the multi-process campaign (DESIGN.md §17).
+//!
+//! [`run_procs`] owns everything a campaign must have exactly one of:
+//! the shard queues and lease table, the checkpoint writer, the
+//! campaign-wide signature dedup (via the shared [`ResultHandler`]), and
+//! the metric registry the status endpoint and final snapshot read.
+//! Worker *processes* own nothing durable — they connect over a local
+//! TCP socket, receive the campaign config, and trade
+//! `lease_req`/`lease`/`done`/`failed` frames until the coordinator
+//! broadcasts `shutdown`.
+//!
+//! Determinism: shards are *partitioned* round-robin across the `n`
+//! logical worker indexes (no stealing), each job's RNG seed depends
+//! only on `(campaign seed, target, shard)`, retries re-queue at the
+//! same [`retry_backoff`] position the in-process pool uses, and events
+//! are buffered and re-sorted into canonical [`crate::EventKey`] order
+//! before they hit the recorder. A clean 1-worker-process campaign is
+//! therefore byte-identical — report and metrics stream — to the
+//! in-process `workers = 1` run, and any clean N-process campaign is
+//! byte-identical to itself across runs.
+//!
+//! Fault tolerance: a worker that dies or drops its connection
+//! mid-lease surfaces as EOF on its socket; the coordinator reclaims
+//! the lease as a [`FailureKind::Lost`] attempt (feeding the ordinary
+//! retry/quarantine policy) and respawns a replacement process while
+//! its shard queue is non-empty. A worker that hangs without renewing
+//! is reclaimed the same way after `lease_timeout_ms`.
+
+use crate::proto::{
+    config_frame, frame_type, lease_frame, read_frame, tagged, vm_from_json, write_frame,
+};
+use crate::scheduler::{retry_backoff, Decision, Job, JobFailure, JobOutput, JobResult};
+use crate::state::{FailureKind, JobRecord};
+use crate::telem::CampaignTelemetry;
+use crate::{
+    build_telemetry, prepare, CampaignConfig, CampaignError, CampaignReport, Prepared,
+    ResultHandler,
+};
+use compdiff::Json;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use targets::Target;
+use telemetry::{MetricRegistry, Telemetry};
+
+/// How often the main loop wakes with no traffic: lease-expiry scans and
+/// child reaping run at this cadence.
+const TICK: Duration = Duration::from_millis(200);
+
+/// Replacement processes granted beyond the initial `n` before the
+/// coordinator gives up (a crash-looping worker binary would otherwise
+/// respawn forever).
+const RESPAWN_SLACK: usize = 256;
+
+/// The lost-lease failure message for a closed connection (worker death
+/// or injected drop — indistinguishable at the socket, by design).
+const MSG_CONN_LOST: &str = "worker process lost mid-lease (connection closed)";
+
+/// Locates the worker executable the coordinator spawns: the config's
+/// `worker_exe` if set, else `$COMPDIFF_WORKER_EXE`, else the running
+/// `compdiff` binary itself, else a `compdiff` next to (or one directory
+/// above) the current executable — the latter finds `target/<profile>/
+/// compdiff` from test and bench binaries in `target/<profile>/deps/`.
+///
+/// # Errors
+///
+/// [`CampaignError::Proto`] when no candidate exists.
+pub fn resolve_worker_exe(cfg: &CampaignConfig) -> Result<PathBuf, CampaignError> {
+    if let Some(exe) = &cfg.worker_exe {
+        return Ok(exe.clone());
+    }
+    if let Ok(exe) = std::env::var("COMPDIFF_WORKER_EXE") {
+        return Ok(PathBuf::from(exe));
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| CampaignError::Proto(format!("cannot locate current executable: {e}")))?;
+    if exe.file_stem().and_then(|s| s.to_str()) == Some("compdiff") {
+        return Ok(exe);
+    }
+    if let Some(dir) = exe.parent() {
+        let sibling = dir.join("compdiff");
+        if sibling.is_file() {
+            return Ok(sibling);
+        }
+        if let Some(up) = dir.parent() {
+            let above = up.join("compdiff");
+            if above.is_file() {
+                return Ok(above);
+            }
+        }
+    }
+    Err(CampaignError::Proto(
+        "cannot locate the compdiff worker executable; set CampaignConfig::worker_exe \
+         or the COMPDIFF_WORKER_EXE environment variable"
+            .to_string(),
+    ))
+}
+
+/// What the socket threads deliver to the single-threaded main loop.
+enum Ev {
+    /// A worker process said hello; `out` feeds its writer thread and
+    /// `sever` is a handle the coordinator can `shutdown()` to force the
+    /// connection closed (dropping the writer alone does not EOF the
+    /// worker while other clones of the socket live).
+    Hello {
+        conn: u64,
+        out: mpsc::Sender<Json>,
+        sever: Option<TcpStream>,
+    },
+    /// One frame from a connected worker.
+    Frame { conn: u64, frame: Json },
+    /// The worker's connection closed (clean bye or mid-lease death).
+    Gone { conn: u64 },
+    /// A status client wants the live progress object.
+    Status { reply: mpsc::Sender<Json> },
+}
+
+/// Per-connection coordinator state.
+struct ConnState {
+    /// The logical worker index (deque) this process serves.
+    widx: usize,
+    /// Frames to the writer thread.
+    out: mpsc::Sender<Json>,
+    /// A socket handle for forcing the connection closed.
+    sever: Option<TcpStream>,
+    /// The lease this worker currently holds, if any.
+    lease: Option<u64>,
+    /// True if the worker asked for a lease while its deque was empty —
+    /// a retry landing there re-grants immediately.
+    parked: bool,
+}
+
+/// One outstanding lease.
+struct LeaseInfo {
+    job: Job,
+    conn: u64,
+    last_renew: Instant,
+}
+
+/// Reads one frame, forwards the stream to the main loop, and (for
+/// worker connections) owns the writer thread. Runs on its own thread
+/// per accepted connection.
+fn serve_conn(stream: TcpStream, id: u64, ev_tx: &mpsc::Sender<Ev>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let Ok(Some(first)) = read_frame(&mut reader) else {
+        return;
+    };
+    match frame_type(&first) {
+        Some("status") => {
+            let (tx, rx) = mpsc::channel();
+            if ev_tx.send(Ev::Status { reply: tx }).is_err() {
+                return;
+            }
+            if let Ok(reply) = rx.recv() {
+                let mut w = BufWriter::new(stream);
+                let _ = write_frame(&mut w, &reply);
+            }
+        }
+        Some("hello") => {
+            let sever = stream.try_clone().ok();
+            let (out_tx, out_rx) = mpsc::channel::<Json>();
+            let writer = std::thread::spawn(move || {
+                let mut w = BufWriter::new(stream);
+                for frame in out_rx {
+                    if write_frame(&mut w, &frame).is_err() {
+                        break;
+                    }
+                }
+            });
+            if ev_tx
+                .send(Ev::Hello {
+                    conn: id,
+                    out: out_tx,
+                    sever,
+                })
+                .is_err()
+            {
+                return;
+            }
+            while let Ok(Some(frame)) = read_frame(&mut reader) {
+                if ev_tx.send(Ev::Frame { conn: id, frame }).is_err() {
+                    break;
+                }
+            }
+            let _ = ev_tx.send(Ev::Gone { conn: id });
+            let _ = writer.join();
+        }
+        _ => {}
+    }
+}
+
+/// The single-threaded campaign brain: every field that must exist
+/// exactly once, mutated only from the event loop.
+struct Coordinator<'a> {
+    cfg: &'a CampaignConfig,
+    tel: &'a Arc<Telemetry>,
+    ctel: &'a CampaignTelemetry,
+    selected: &'a [Target],
+    handler: ResultHandler<'a>,
+    /// Logical worker indexes (deque count) — *not* live process count.
+    n: usize,
+    /// Per-index shard queues; index `i` gets jobs `i, i+n, i+2n, ...`.
+    deques: Vec<VecDeque<Job>>,
+    /// Jobs queued or leased but not yet resolved.
+    outstanding: usize,
+    conns: HashMap<u64, ConnState>,
+    leases: HashMap<u64, LeaseInfo>,
+    lease_seq: u64,
+    /// Worker indexes with no live connection serving them.
+    free_idx: BTreeSet<usize>,
+    /// Queued jobs dropped by quarantine sweeps.
+    swept: Vec<Job>,
+    stopping: bool,
+    finishing: bool,
+    children: Vec<Child>,
+    /// Total processes ever spawned (respawn-cap accounting).
+    spawned: usize,
+    /// Processes spawned but not yet hello'd.
+    pending_spawns: usize,
+    exe: PathBuf,
+    addr: String,
+    /// Latest metric snapshot per connection (a respawned process gets a
+    /// fresh connection id, so dead workers' final snapshots survive).
+    worker_metrics: HashMap<u64, Json>,
+    /// Summed worker-side binary-cache (hits, misses) from bye frames.
+    cache_sums: (u64, u64),
+    /// Summed worker-side cache block translations from bye frames.
+    blocks_sum: u64,
+    /// First unrecoverable protocol error; aborts the event loop.
+    fatal: Option<CampaignError>,
+}
+
+impl Coordinator<'_> {
+    fn fail(&mut self, e: CampaignError) {
+        self.fatal.get_or_insert(e);
+    }
+
+    fn ack(&self, conn: u64) {
+        if let Some(c) = self.conns.get(&conn) {
+            let _ = c.out.send(tagged("ack"));
+        }
+    }
+
+    /// Forces `conn`'s socket closed. Its serve thread will deliver
+    /// `Gone` shortly after.
+    fn sever(&self, conn: u64) {
+        if let Some(c) = self.conns.get(&conn) {
+            if let Some(s) = &c.sever {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    fn broadcast_shutdown(&self) {
+        for c in self.conns.values() {
+            let _ = c.out.send(tagged("shutdown"));
+        }
+    }
+
+    /// The free worker index most in need of a process: longest deque,
+    /// ties to the smallest index.
+    fn pick_index(&self) -> Option<usize> {
+        self.free_idx
+            .iter()
+            .copied()
+            .max_by_key(|&i| (self.deques[i].len(), std::cmp::Reverse(i)))
+    }
+
+    fn spawn_worker(&mut self) -> Result<(), CampaignError> {
+        if self.spawned >= self.n + RESPAWN_SLACK {
+            return Err(CampaignError::Proto(format!(
+                "worker respawn cap exceeded ({} spawns for {} worker slots)",
+                self.spawned, self.n
+            )));
+        }
+        let child = Command::new(&self.exe)
+            .args(["campaign-worker", "--connect", &self.addr])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                CampaignError::Proto(format!("cannot spawn worker `{}`: {e}", self.exe.display()))
+            })?;
+        self.children.push(child);
+        self.spawned += 1;
+        self.pending_spawns += 1;
+        self.ctel.workers_spawned.inc();
+        Ok(())
+    }
+
+    /// Spawns processes until every free index with queued work has one
+    /// on the way. The only respawn site, so a burst of lost leases
+    /// cannot over-spawn.
+    fn ensure_workers(&mut self) {
+        if self.finishing || self.stopping || self.fatal.is_some() {
+            return;
+        }
+        let needy = self
+            .free_idx
+            .iter()
+            .filter(|&&i| !self.deques[i].is_empty())
+            .count();
+        while self.pending_spawns < needy {
+            if let Err(e) = self.spawn_worker() {
+                self.fail(e);
+                return;
+            }
+        }
+    }
+
+    /// Resolves `job` as a lost lease (worker death, dropped connection,
+    /// or expiry) through the ordinary failure policy.
+    fn lost(&mut self, widx: usize, job: Job, message: &str) {
+        let decision = self.handler.on_result(JobResult::Failed(JobFailure {
+            worker: widx,
+            job,
+            target: self.selected[job.target_index].spec.name.clone(),
+            kind: FailureKind::Lost,
+            message: message.to_string(),
+            dur_us: 0,
+        }));
+        self.apply_decision(decision);
+    }
+
+    fn maybe_finish(&mut self) {
+        if !self.finishing && !self.stopping && self.outstanding == 0 {
+            self.finishing = true;
+            self.broadcast_shutdown();
+        }
+    }
+
+    fn apply_decision(&mut self, decision: Decision) {
+        match decision {
+            Decision::Continue => {
+                self.outstanding -= 1;
+                self.maybe_finish();
+            }
+            Decision::Retry(job) => {
+                // Identical backoff math to the in-process pool: the
+                // retry lands mid-deque at a position derived only from
+                // the campaign seed and the job identity.
+                let name = self.selected[job.target_index].spec.name.as_str();
+                let back = retry_backoff(self.cfg.seed, name, job.shard, job.attempt);
+                let d = (back % self.n as u64) as usize;
+                let dq = &mut self.deques[d];
+                let pos = ((back >> 32) as usize) % (dq.len() + 1);
+                dq.insert(pos, job);
+                let parked = self
+                    .conns
+                    .iter()
+                    .find(|(_, c)| c.widx == d && c.parked)
+                    .map(|(&id, _)| id);
+                match parked {
+                    Some(id) => self.try_grant(id),
+                    None => self.ensure_workers(),
+                }
+            }
+            Decision::Quarantine { target_index } => {
+                self.outstanding -= 1;
+                let mut removed = 0usize;
+                let swept = &mut self.swept;
+                for dq in &mut self.deques {
+                    dq.retain(|j| {
+                        let hit = j.target_index == target_index;
+                        if hit {
+                            swept.push(*j);
+                            removed += 1;
+                        }
+                        !hit
+                    });
+                }
+                self.outstanding -= removed;
+                self.maybe_finish();
+            }
+            Decision::Stop => {
+                self.stopping = true;
+                self.broadcast_shutdown();
+            }
+        }
+    }
+
+    /// Answers a `lease_req`: pop the connection's own deque (no
+    /// stealing — partitioning is what keeps N processes deterministic)
+    /// or park the worker until a retry lands there.
+    fn try_grant(&mut self, conn: u64) {
+        if self.finishing || self.stopping {
+            if let Some(c) = self.conns.get(&conn) {
+                let _ = c.out.send(tagged("shutdown"));
+            }
+            return;
+        }
+        let (widx, job) = {
+            let Some(c) = self.conns.get_mut(&conn) else {
+                return;
+            };
+            match self.deques[c.widx].pop_front() {
+                Some(job) => {
+                    c.parked = false;
+                    (c.widx, job)
+                }
+                None => {
+                    c.parked = true;
+                    return;
+                }
+            }
+        };
+        self.lease_seq += 1;
+        let lease = self.lease_seq;
+        self.ctel.leases_granted.inc();
+        if self
+            .cfg
+            .fault_plan
+            .as_deref()
+            .is_some_and(|p| p.fire_conn(lease))
+        {
+            // Injected connection drop: sever instead of granting. The
+            // popped job is immediately a lost lease; `Gone` follows and
+            // respawns a replacement for the queue.
+            self.sever(conn);
+            self.lost(widx, job, MSG_CONN_LOST);
+            return;
+        }
+        self.leases.insert(
+            lease,
+            LeaseInfo {
+                job,
+                conn,
+                last_renew: Instant::now(),
+            },
+        );
+        if let Some(c) = self.conns.get_mut(&conn) {
+            c.lease = Some(lease);
+            let _ = c.out.send(lease_frame(lease, job));
+        }
+    }
+
+    /// Applies a `done`/`failed` frame: resolve the lease, feed the
+    /// shared result handler, answer `ack`.
+    fn handle_result(&mut self, conn: u64, frame: &Json) {
+        if let Some(m) = frame.get("metrics") {
+            self.worker_metrics.insert(conn, m.clone());
+        }
+        let Some(lease) = frame.get("lease").and_then(Json::as_u64) else {
+            self.fail(CampaignError::Proto(
+                "result frame without a lease".to_string(),
+            ));
+            return;
+        };
+        let Some(li) = self.leases.remove(&lease) else {
+            // The lease was already reclaimed (expired or severed); the
+            // job re-ran elsewhere. First resolution won, drop this one.
+            self.ctel.stale_results.inc();
+            self.ack(conn);
+            return;
+        };
+        if let Some(c) = self.conns.get_mut(&conn) {
+            c.lease = None;
+        }
+        if self.stopping {
+            // Stop parity with the in-process pool: in-flight results
+            // are dropped, but the worker is still acked so it reaches
+            // its shutdown cleanly.
+            self.ack(conn);
+            return;
+        }
+        let widx = self.conns.get(&conn).map_or(0, |c| c.widx);
+        let result = if frame_type(frame) == Some("done") {
+            let record = frame
+                .get("record")
+                .ok_or_else(|| "done frame without a record".to_string())
+                .and_then(JobRecord::from_json);
+            match record {
+                Ok(record) => JobResult::Done(JobOutput {
+                    worker: widx,
+                    record,
+                    dur_us: frame.get("dur_us").and_then(Json::as_u64).unwrap_or(0),
+                    vm: frame.get("vm").map(vm_from_json).unwrap_or_default(),
+                }),
+                Err(e) => {
+                    self.fail(CampaignError::Proto(format!("bad done frame: {e}")));
+                    return;
+                }
+            }
+        } else {
+            let kind = frame
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "failed frame without a kind".to_string())
+                .and_then(FailureKind::parse);
+            match kind {
+                Ok(kind) => JobResult::Failed(JobFailure {
+                    worker: widx,
+                    job: li.job,
+                    target: self.selected[li.job.target_index].spec.name.clone(),
+                    kind,
+                    message: frame
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    dur_us: frame.get("dur_us").and_then(Json::as_u64).unwrap_or(0),
+                }),
+                Err(e) => {
+                    self.fail(CampaignError::Proto(format!("bad failed frame: {e}")));
+                    return;
+                }
+            }
+        };
+        let decision = self.handler.on_result(result);
+        self.apply_decision(decision);
+        self.ack(conn);
+    }
+
+    fn handle_frame(&mut self, conn: u64, frame: Json) {
+        match frame_type(&frame) {
+            Some("lease_req") => self.try_grant(conn),
+            Some("renew") => {
+                if let Some(l) = frame.get("lease").and_then(Json::as_u64) {
+                    if let Some(li) = self.leases.get_mut(&l) {
+                        li.last_renew = Instant::now();
+                    }
+                }
+            }
+            Some("done") | Some("failed") => self.handle_result(conn, &frame),
+            Some("bye") => {
+                let u = |k: &str| frame.get(k).and_then(Json::as_u64).unwrap_or(0);
+                self.cache_sums.0 += u("cache_hits");
+                self.cache_sums.1 += u("cache_misses");
+                self.blocks_sum += u("blocks_translated");
+                if let Some(m) = frame.get("metrics") {
+                    self.worker_metrics.insert(conn, m.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_gone(&mut self, conn: u64) {
+        let Some(c) = self.conns.remove(&conn) else {
+            return;
+        };
+        self.free_idx.insert(c.widx);
+        if let Some(lease) = c.lease {
+            if let Some(li) = self.leases.remove(&lease) {
+                if !self.stopping {
+                    self.lost(c.widx, li.job, MSG_CONN_LOST);
+                }
+            }
+        }
+        self.ensure_workers();
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Hello { conn, out, sever } => {
+                if self.finishing || self.stopping {
+                    // A straggler connecting after the campaign drained:
+                    // shut it down without tracking it.
+                    let _ = out.send(tagged("shutdown"));
+                    return;
+                }
+                self.pending_spawns = self.pending_spawns.saturating_sub(1);
+                let Some(widx) = self.pick_index() else {
+                    let _ = out.send(tagged("shutdown"));
+                    return;
+                };
+                self.free_idx.remove(&widx);
+                let _ = out.send(config_frame(self.cfg, self.selected));
+                self.conns.insert(
+                    conn,
+                    ConnState {
+                        widx,
+                        out,
+                        sever,
+                        lease: None,
+                        parked: false,
+                    },
+                );
+            }
+            Ev::Frame { conn, frame } => self.handle_frame(conn, frame),
+            Ev::Gone { conn } => self.handle_gone(conn),
+            Ev::Status { reply } => {
+                let _ = reply.send(self.status());
+            }
+        }
+    }
+
+    /// Reclaims leases whose workers stopped renewing. Wall-clock by
+    /// necessity (a hung worker is a wall-clock phenomenon), which is
+    /// why `lease_timeout_ms` must dwarf `renew_ms`.
+    fn expire_leases(&mut self) {
+        if self.cfg.lease_timeout_ms == 0 {
+            return;
+        }
+        let timeout = Duration::from_millis(self.cfg.lease_timeout_ms);
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, li)| li.last_renew.elapsed() >= timeout)
+            .map(|(&l, _)| l)
+            .collect();
+        for l in expired {
+            let Some(li) = self.leases.remove(&l) else {
+                continue;
+            };
+            self.ctel.leases_expired.inc();
+            let widx = self.conns.get(&li.conn).map_or(0, |c| c.widx);
+            if let Some(c) = self.conns.get_mut(&li.conn) {
+                c.lease = None;
+            }
+            // Sever: a late result from the hung worker must not race
+            // the re-run (and would be dropped as stale anyway).
+            self.sever(li.conn);
+            if !self.stopping {
+                self.lost(widx, li.job, "lease expired without renewal");
+            }
+        }
+    }
+
+    /// Reaps exited worker processes (avoids zombie accumulation during
+    /// long campaigns with respawns).
+    fn reap(&mut self) {
+        self.children
+            .retain_mut(|child| !matches!(child.try_wait(), Ok(Some(_))));
+    }
+
+    /// The live status object: progress counters plus a merged metric
+    /// snapshot (coordinator registry + every worker's latest snapshot).
+    fn status(&self) -> Json {
+        let reg = MetricRegistry::new();
+        reg.merge_snapshot(&self.tel.registry().snapshot());
+        for m in self.worker_metrics.values() {
+            reg.merge_snapshot(m);
+        }
+        let st = &self.handler.stats;
+        Json::obj(vec![
+            ("t", Json::Str("status".to_string())),
+            ("jobs_total", Json::Int(st.jobs_total as i64)),
+            ("jobs_done", Json::Int(st.jobs_done as i64)),
+            ("jobs_failed", Json::Int(st.jobs_failed as i64)),
+            ("execs", Json::Int(st.execs as i64)),
+            ("divergent", Json::Int(st.divergent as i64)),
+            ("signatures", Json::Int(st.signatures.len() as i64)),
+            ("failures", Json::Int(st.failures as i64)),
+            ("workers", Json::Int(self.conns.len() as i64)),
+            ("leases_active", Json::Int(self.leases.len() as i64)),
+            ("outstanding", Json::Int(self.outstanding as i64)),
+            ("metrics", reg.snapshot()),
+        ])
+    }
+}
+
+/// Runs the campaign as a coordinator over `cfg.workers_proc` worker
+/// processes. Same contract as the in-process path: identical results,
+/// identical report shape, partial results instead of aborts.
+pub(crate) fn run_procs(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
+    let n = cfg.workers_proc.unwrap_or(1).max(1);
+    let started = Instant::now();
+    let tel = build_telemetry(cfg)?;
+    let started_us = tel.now_micros();
+    let ctel = CampaignTelemetry::new(Arc::clone(&tel));
+    let Prepared {
+        selected,
+        pending,
+        state,
+        stats,
+        ledger,
+        policy,
+    } = prepare(cfg, &tel, &ctel, n)?;
+    let mut handler = ResultHandler::new(cfg, &tel, &ctel, &selected, state, stats, ledger, policy);
+    handler.started = started;
+    // Results arrive in socket order; buffering + the canonical EventKey
+    // sort is what keeps the recorded stream deterministic.
+    handler.buffer_events = true;
+
+    let exe = resolve_worker_exe(cfg)?;
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| CampaignError::Proto(format!("cannot bind coordinator socket: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CampaignError::Proto(format!("cannot read coordinator address: {e}")))?
+        .to_string();
+    if let Some(path) = &cfg.status_addr_out {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CampaignError::Proto(format!("cannot write status address file: {e}")))?;
+    }
+
+    let (ev_tx, ev_rx) = mpsc::channel::<Ev>();
+    let stop_accept = Arc::new(AtomicBool::new(false));
+    let accept_handle = {
+        let ev_tx = ev_tx.clone();
+        let stop_accept = Arc::clone(&stop_accept);
+        std::thread::spawn(move || {
+            let mut next_id: u64 = 0;
+            for stream in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                next_id += 1;
+                let id = next_id;
+                let ev_tx = ev_tx.clone();
+                std::thread::spawn(move || serve_conn(stream, id, &ev_tx));
+            }
+        })
+    };
+
+    let mut deques: Vec<VecDeque<Job>> = (0..n).map(|_| VecDeque::new()).collect();
+    for (i, &job) in pending.iter().enumerate() {
+        deques[i % n].push_back(job);
+    }
+    let mut co = Coordinator {
+        cfg,
+        tel: &tel,
+        ctel: &ctel,
+        selected: &selected,
+        handler,
+        n,
+        outstanding: pending.len(),
+        deques,
+        conns: HashMap::new(),
+        leases: HashMap::new(),
+        lease_seq: 0,
+        free_idx: (0..n).collect(),
+        swept: Vec::new(),
+        stopping: false,
+        finishing: false,
+        children: Vec::new(),
+        spawned: 0,
+        pending_spawns: 0,
+        exe,
+        addr: addr.clone(),
+        worker_metrics: HashMap::new(),
+        cache_sums: (0, 0),
+        blocks_sum: 0,
+        fatal: None,
+    };
+    if co.outstanding == 0 {
+        // Everything was replayed from the checkpoint; no workers needed.
+        co.finishing = true;
+    } else {
+        for _ in 0..n {
+            if let Err(e) = co.spawn_worker() {
+                co.fail(e);
+                break;
+            }
+        }
+    }
+
+    loop {
+        if co.fatal.is_some() {
+            break;
+        }
+        if (co.finishing || co.stopping) && co.conns.is_empty() {
+            break;
+        }
+        match ev_rx.recv_timeout(TICK) {
+            Ok(ev) => co.handle(ev),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                co.expire_leases();
+                co.reap();
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Teardown: stop accepting (the dummy connection unblocks the
+    // blocking accept), close every worker connection, reap children.
+    stop_accept.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(&addr);
+    let _ = accept_handle.join();
+    let Coordinator {
+        handler,
+        mut children,
+        swept,
+        worker_metrics,
+        cache_sums,
+        blocks_sum,
+        fatal,
+        ..
+    } = co;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for mut child in children.drain(..) {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) | Err(_) => break,
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+    if let Some(e) = fatal {
+        return Err(e);
+    }
+
+    // Fold every worker's final metric snapshot into the campaign
+    // registry (commutative merges — HashMap order does not matter), so
+    // the final snapshot reads identically to the in-process run.
+    for m in worker_metrics.values() {
+        tel.registry().merge_snapshot(m);
+    }
+    Ok(handler.finalize(&swept, &selected, cache_sums, blocks_sum, started_us))
+}

@@ -34,13 +34,21 @@
 //! fail@compile:jq*inf      every jq compile returns an error
 //! io@checkpoint:3          the 3rd checkpoint append fails
 //! io@checkpoint:any*inf    every checkpoint append fails
+//! die@tcpdump#0            the worker *process* running tcpdump#0 exits
+//! drop@conn:1              the coordinator severs the 1st lease grant
+//! drop@conn:any*2          ...the first 2 grants
 //! ```
 //!
 //! Kinds: `panic` (job or compile sites), `io` (job or checkpoint
-//! sites), `fail` (compile sites). `*count` bounds the attempt number a
-//! rule still fires at (`*inf` = every attempt); the default is 1, i.e.
-//! "fail once, let the retry succeed". Target names are not validated
-//! against the catalog — an unknown name simply never matches.
+//! sites), `fail` (compile sites), `die` (job sites; the worker process
+//! exits mid-lease — a no-op in in-process pools, which have no process
+//! to kill), `drop` (conn sites; the coordinator closes the connection
+//! instead of delivering a lease grant). `*count` bounds the attempt
+//! number a rule still fires at (`*inf` = every attempt); the default is
+//! 1, i.e. "fail once, let the retry succeed". For `conn:any` rules the
+//! count is a firing budget over grant sequence numbers, like
+//! `checkpoint:any`. Target names are not validated against the catalog
+//! — an unknown name simply never matches.
 
 use crate::scheduler::job_seed;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,6 +62,13 @@ pub enum FaultKind {
     Io,
     /// A compile returns an error instead of a binary.
     CompileFail,
+    /// The worker *process* exits mid-lease (coordinator/worker mode
+    /// only; the in-process pool ignores it — there is no process to
+    /// kill without taking the campaign down).
+    Die,
+    /// The coordinator severs the connection instead of delivering a
+    /// lease grant.
+    Drop,
 }
 
 /// Where a rule applies.
@@ -71,6 +86,9 @@ enum Site {
     Compile { target: Option<String> },
     /// A checkpoint append; `None` is a wildcard over sequence numbers.
     Checkpoint { index: Option<u64> },
+    /// A coordinator→worker lease grant, by grant sequence number;
+    /// `None` is a wildcard.
+    Conn { index: Option<u64> },
 }
 
 /// One `kind@site*count` rule.
@@ -165,6 +183,26 @@ impl FaultPlan {
             }
         })
     }
+
+    /// Consults conn-site rules for lease grant `seq` (1-based, counting
+    /// every grant the coordinator makes). Returns true if the
+    /// coordinator should sever the connection instead of delivering the
+    /// grant. Same budget semantics as [`Self::fire_checkpoint`]:
+    /// `conn:any*N` keeps a process-local firing budget.
+    pub fn fire_conn(&self, seq: u64) -> bool {
+        self.rules.iter().any(|r| {
+            let Site::Conn { index } = &r.site else {
+                return false;
+            };
+            match index {
+                Some(i) => *i == seq,
+                None => match r.count {
+                    None => true,
+                    Some(budget) => r.spent.fetch_add(1, Ordering::Relaxed) < budget,
+                },
+            }
+        })
+    }
 }
 
 fn parse_rule(raw: &str) -> Result<Rule, String> {
@@ -175,6 +213,8 @@ fn parse_rule(raw: &str) -> Result<Rule, String> {
         "panic" => FaultKind::Panic,
         "io" => FaultKind::Io,
         "fail" => FaultKind::CompileFail,
+        "die" => FaultKind::Die,
+        "drop" => FaultKind::Drop,
         other => return Err(format!("bad fault kind `{other}` in `{raw}`")),
     };
     let (site_str, count) = match rest.rsplit_once('*') {
@@ -198,6 +238,8 @@ fn parse_rule(raw: &str) -> Result<Rule, String> {
             FaultKind::Io,
             Site::Job { .. } | Site::Seeded { .. } | Site::Checkpoint { .. }
         ) | (FaultKind::CompileFail, Site::Compile { .. })
+            | (FaultKind::Die, Site::Job { .. } | Site::Seeded { .. })
+            | (FaultKind::Drop, Site::Conn { .. })
     );
     if !valid {
         return Err(format!(
@@ -227,6 +269,16 @@ fn parse_site(site: &str, raw: &str) -> Result<Site, String> {
             ),
         };
         return Ok(Site::Checkpoint { index });
+    }
+    if let Some(rest) = site.strip_prefix("conn:") {
+        let index = match wildcard(rest) {
+            None => None,
+            Some(n) => Some(
+                n.parse::<u64>()
+                    .map_err(|_| format!("bad conn index `{n}` in `{raw}`"))?,
+            ),
+        };
+        return Ok(Site::Conn { index });
     }
     if let Some(rest) = site.strip_prefix("seeded#") {
         let modulus = rest
@@ -331,6 +383,26 @@ mod tests {
     }
 
     #[test]
+    fn conn_sites_fire_by_grant_sequence() {
+        let p = FaultPlan::parse("drop@conn:2", 9).unwrap();
+        assert!(!p.fire_conn(1));
+        assert!(p.fire_conn(2));
+        assert!(!p.fire_conn(3));
+
+        let p = FaultPlan::parse("drop@conn:any*2", 9).unwrap();
+        assert!(p.fire_conn(1));
+        assert!(p.fire_conn(5), "index is irrelevant for `any`");
+        assert!(!p.fire_conn(6), "budget of 2 exhausted");
+
+        // die@ is a job-site kind and flows through fire_job like any
+        // other; the in-process pool ignores it.
+        let p = FaultPlan::parse("die@tcpdump#0", 9).unwrap();
+        assert_eq!(p.fire_job("tcpdump", 0, 1), Some(FaultKind::Die));
+        assert_eq!(p.fire_job("tcpdump", 0, 2), None, "default count is 1");
+        assert!(!p.fire_conn(1), "no conn rule in the plan");
+    }
+
+    #[test]
     fn invalid_specs_are_rejected() {
         for bad in [
             "",
@@ -343,6 +415,10 @@ mod tests {
             "panic@tcpdump#1*many",
             "panic@seeded#0",
             "io@checkpoint:x",
+            "panic@conn:1",
+            "drop@tcpdump#0",
+            "die@checkpoint:1",
+            "drop@conn:x",
         ] {
             assert!(
                 FaultPlan::parse(bad, 0).is_err(),

@@ -41,27 +41,32 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod coordinator;
 pub mod faults;
 pub mod policy;
+pub(crate) mod proto;
 pub mod scheduler;
 pub mod state;
 pub mod stats;
 pub mod telem;
+pub mod worker;
 
 pub use cache::{BinaryCache, CacheError, CompiledTarget};
+pub use coordinator::resolve_worker_exe;
 pub use faults::{FaultKind, FaultPlan};
 pub use policy::{Disposition, FaultLedger, RetryPolicy};
 pub use scheduler::{execs_for_shard, job_seed, retry_backoff, Decision, Job, JobResult};
 pub use state::{
     CampaignHeader, CampaignState, FailureKind, FailureRecord, JobRecord, StateError,
-    CHECKPOINT_FILE,
+    CHECKPOINT_FILE, LOCK_FILE,
 };
 pub use stats::{CampaignStats, TargetStats};
 pub use telem::CampaignTelemetry;
+pub use worker::{query_status, run_worker};
 
 use compdiff::{DiffConfig, Json};
 use minc_compile::CompilerImpl;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;
@@ -131,6 +136,26 @@ pub struct CampaignConfig {
     /// fuzzing finishes, publishing `sancheck.*` metrics (site counts,
     /// sanitizer false negatives/alarms, cross-impl verdict splits).
     pub sancheck: bool,
+    /// Run the campaign as a coordinator over this many worker
+    /// *processes* (the JSONL socket protocol; see DESIGN.md §17)
+    /// instead of the in-process thread pool. `None` (the default) keeps
+    /// the in-process path.
+    pub workers_proc: Option<usize>,
+    /// Worker executable the coordinator spawns; `None` resolves the
+    /// `compdiff` binary next to the current executable.
+    pub worker_exe: Option<PathBuf>,
+    /// The textual fault-plan spec, carried alongside `fault_plan` so
+    /// worker processes can re-parse it under the campaign seed
+    /// (`Arc<FaultPlan>` does not cross a process boundary).
+    pub fault_plan_spec: Option<String>,
+    /// Milliseconds without a renewal after which a lease is reclaimed
+    /// and its job re-queued; `0` disables expiry (coordinator mode).
+    pub lease_timeout_ms: u64,
+    /// Worker lease-renewal period in milliseconds (coordinator mode).
+    pub renew_ms: u64,
+    /// Write the coordinator's status-endpoint address (`host:port`
+    /// plus a newline) to this file once it is listening.
+    pub status_addr_out: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -157,6 +182,12 @@ impl Default for CampaignConfig {
             fixed_clock_us: None,
             batch_size: 16,
             sancheck: false,
+            workers_proc: None,
+            worker_exe: None,
+            fault_plan_spec: None,
+            lease_timeout_ms: 30_000,
+            renew_ms: 500,
+            status_addr_out: None,
         }
     }
 }
@@ -172,6 +203,11 @@ pub enum CampaignError {
     UnknownTarget(String),
     /// The `metrics_out` stream could not be created.
     Metrics(std::io::Error),
+    /// Invalid configuration (e.g. an unparseable fault-plan spec).
+    Config(String),
+    /// The coordinator/worker protocol failed (socket setup, worker
+    /// spawn, or a malformed frame).
+    Proto(String),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -180,6 +216,8 @@ impl std::fmt::Display for CampaignError {
             CampaignError::State(e) => write!(f, "{e}"),
             CampaignError::UnknownTarget(m) => write!(f, "{m}"),
             CampaignError::Metrics(e) => write!(f, "cannot open metrics stream: {e}"),
+            CampaignError::Config(m) => write!(f, "invalid campaign config: {m}"),
+            CampaignError::Proto(m) => write!(f, "campaign protocol error: {m}"),
         }
     }
 }
@@ -228,17 +266,87 @@ impl CampaignReport {
     }
 }
 
-/// Runs a campaign to completion (or to `stop_after_jobs`).
+/// Runs a campaign to completion (or to `stop_after_jobs`): the
+/// in-process thread pool by default, or a coordinator over
+/// `workers_proc` worker processes when that field is set.
 ///
 /// # Errors
 ///
 /// Fails if the target filter matches nothing, the checkpoint is
-/// unusable ([`StateError`]), or a target does not compile.
+/// unusable ([`StateError`]), the fault-plan spec does not parse, or —
+/// in coordinator mode — the protocol breaks down
+/// ([`CampaignError::Proto`]).
 pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
+    let mut cfg = cfg.clone();
+    if cfg.fault_plan.is_none() {
+        if let Some(spec) = &cfg.fault_plan_spec {
+            let plan = FaultPlan::parse(spec, cfg.seed).map_err(CampaignError::Config)?;
+            cfg.fault_plan = Some(Arc::new(plan));
+        }
+    }
+    if cfg.workers_proc.is_some() {
+        coordinator::run_procs(&cfg)
+    } else {
+        run_in_process(&cfg)
+    }
+}
+
+/// The original single-process campaign: a work-stealing thread pool in
+/// this process.
+fn run_in_process(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
     let started = Instant::now();
     let tel = build_telemetry(cfg)?;
     let started_us = tel.now_micros();
     let ctel = CampaignTelemetry::new(Arc::clone(&tel));
+    let Prepared {
+        selected,
+        pending,
+        state,
+        stats,
+        ledger,
+        policy,
+    } = prepare(cfg, &tel, &ctel, cfg.workers.max(1))?;
+
+    let cache = BinaryCache::new();
+    let mut handler = ResultHandler::new(cfg, &tel, &ctel, &selected, state, stats, ledger, policy);
+    handler.started = started;
+    let pool_outcome = scheduler::run_pool(&selected, &cache, cfg, &ctel, &pending, |result| {
+        handler.on_result(result)
+    });
+    Ok(handler.finalize(
+        &pool_outcome.swept,
+        &selected,
+        cache.counters(),
+        cache.blocks_translated(),
+        started_us,
+    ))
+}
+
+/// Everything a campaign (either mode) sets up before jobs run.
+pub(crate) struct Prepared {
+    /// The selected targets, in schedule order.
+    pub(crate) selected: Vec<Target>,
+    /// Jobs still to run (checkpoint-replayed ones are filtered out).
+    pub(crate) pending: Vec<Job>,
+    /// The open checkpoint, if checkpointing is enabled.
+    pub(crate) state: Option<CampaignState>,
+    /// The aggregator, pre-loaded with any checkpoint-replayed jobs.
+    pub(crate) stats: CampaignStats,
+    /// The retry/quarantine ledger, pre-loaded from the checkpoint.
+    pub(crate) ledger: FaultLedger,
+    /// The retry policy in force.
+    pub(crate) policy: RetryPolicy,
+}
+
+/// The shared campaign preamble: target selection, the pre-fuzz lint
+/// pass, checkpoint open (create or resume), failure-history replay, and
+/// the pending-job filter.
+pub(crate) fn prepare(
+    cfg: &CampaignConfig,
+    tel: &Arc<Telemetry>,
+    ctel: &CampaignTelemetry,
+    workers: usize,
+) -> Result<Prepared, CampaignError> {
     let selected: Vec<Target> = select_targets(cfg)?;
     let names: Vec<String> = selected.iter().map(|t| t.spec.name.to_string()).collect();
 
@@ -284,7 +392,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
             })
         })
         .collect();
-    let mut stats = CampaignStats::new(cfg.workers.max(1), all_jobs.len());
+    let mut stats = CampaignStats::new(workers, all_jobs.len());
     if let Some(st) = &state {
         for rec in st.done().values() {
             stats.absorb(None, rec);
@@ -329,11 +437,98 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
         pending.push(j);
     }
 
-    let cache = BinaryCache::new();
-    let mut aborted = false;
-    let mut degraded = false;
-    let mut live_resolved = 0usize;
-    let pool_outcome = scheduler::run_pool(&selected, &cache, cfg, &ctel, &pending, |result| {
+    Ok(Prepared {
+        selected,
+        pending,
+        state,
+        stats,
+        ledger,
+        policy,
+    })
+}
+
+/// Canonical event order for coordinator-mode buffering: `(target
+/// index, shard, done-after-failures flag, attempt, failure-before-
+/// quarantine rank)`. A clean single-worker in-process run emits its
+/// events in exactly this order already, so sorting buffered
+/// coordinator events by this key reproduces that stream byte for byte.
+pub(crate) type EventKey = (usize, u32, u8, u32, u8);
+
+/// One buffered telemetry event: canonical sort key, event name, fields.
+type BufferedEvent = (EventKey, &'static str, Vec<(&'static str, Json)>);
+
+/// The campaign's per-result state machine, shared verbatim by the
+/// in-process pool and the coordinator: checkpoint-then-aggregate,
+/// event emission, retry/quarantine dispositions, and `stop_after_jobs`
+/// accounting. The coordinator sets `buffer_events` so events can be
+/// re-sorted into canonical order before hitting the recorder (results
+/// arrive in socket order, which is not deterministic at N > 1).
+pub(crate) struct ResultHandler<'a> {
+    cfg: &'a CampaignConfig,
+    tel: &'a Arc<Telemetry>,
+    ctel: &'a CampaignTelemetry,
+    policy: RetryPolicy,
+    pub(crate) state: Option<CampaignState>,
+    pub(crate) degraded: bool,
+    pub(crate) stats: CampaignStats,
+    pub(crate) ledger: FaultLedger,
+    live_resolved: usize,
+    pub(crate) aborted: bool,
+    started: Instant,
+    pub(crate) buffer_events: bool,
+    buffered: Vec<BufferedEvent>,
+    target_index_of: BTreeMap<String, usize>,
+}
+
+impl<'a> ResultHandler<'a> {
+    #[allow(clippy::too_many_arguments)] // a constructor over `Prepared`'s parts
+    pub(crate) fn new(
+        cfg: &'a CampaignConfig,
+        tel: &'a Arc<Telemetry>,
+        ctel: &'a CampaignTelemetry,
+        selected: &[Target],
+        state: Option<CampaignState>,
+        stats: CampaignStats,
+        ledger: FaultLedger,
+        policy: RetryPolicy,
+    ) -> Self {
+        ResultHandler {
+            cfg,
+            tel,
+            ctel,
+            policy,
+            state,
+            degraded: false,
+            stats,
+            ledger,
+            live_resolved: 0,
+            aborted: false,
+            started: Instant::now(),
+            buffer_events: false,
+            buffered: Vec::new(),
+            target_index_of: selected
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.spec.name.to_string(), i))
+                .collect(),
+        }
+    }
+
+    /// Emits (or buffers) one event.
+    fn emit(&mut self, key: EventKey, name: &'static str, fields: Vec<(&'static str, Json)>) {
+        if !self.tel.events_enabled() {
+            return;
+        }
+        if self.buffer_events {
+            self.buffered.push((key, name, fields));
+        } else {
+            self.tel.event(name, fields);
+        }
+    }
+
+    /// Applies one resolved job attempt and returns the scheduler's next
+    /// move. Exactly the in-process coordinator loop's body.
+    pub(crate) fn on_result(&mut self, result: JobResult) -> Decision {
         let mut decision = Decision::Continue;
         match result {
             JobResult::Done(out) => {
@@ -341,66 +536,67 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
                 // only once its record is durably on disk (or
                 // checkpointing has been degraded away).
                 persist(
-                    &mut state,
-                    &mut degraded,
-                    &ctel,
-                    cfg.quiet,
+                    &mut self.state,
+                    &mut self.degraded,
+                    self.ctel,
+                    self.cfg.quiet,
                     Rec::Job(out.record.clone()),
                 );
-                stats.absorb(Some(out.worker), &out.record);
-                // Events are emitted only here, on the coordinating
-                // thread, in completion order — with one worker that
-                // order is deterministic.
-                if tel.events_enabled() {
-                    tel.event(
-                        "job",
-                        vec![
-                            ("target", Json::Str(out.record.target.clone())),
-                            ("shard", Json::Int(i64::from(out.record.shard))),
-                            ("worker", Json::Int(out.worker as i64)),
-                            ("dur_us", Json::Int(out.dur_us as i64)),
-                            ("execs", Json::Int(out.record.execs as i64)),
-                            ("oracle_execs", Json::Int(out.record.oracle_execs as i64)),
-                            ("divergent", Json::Int(out.record.divergent as i64)),
-                            ("crashes", Json::Int(out.record.crashes as i64)),
-                            ("signatures", Json::Int(out.record.signatures.len() as i64)),
-                            ("pages_restored", Json::Int(out.vm.pages_restored as i64)),
-                            (
-                                "pages_materialized",
-                                Json::Int(out.vm.pages_materialized as i64),
-                            ),
-                            (
-                                "bulk_builtin_ops",
-                                Json::Int(out.vm.bulk_builtin_ops as i64),
-                            ),
-                            (
-                                "fallback_builtin_ops",
-                                Json::Int(out.vm.fallback_builtin_ops as i64),
-                            ),
-                            ("block_exec", Json::Int(out.vm.block_exec as i64)),
-                            ("interp_fallback", Json::Int(out.vm.interp_fallback as i64)),
-                        ],
-                    );
-                }
-                if !cfg.quiet {
+                self.stats.absorb(Some(out.worker), &out.record);
+                let ti = self
+                    .target_index_of
+                    .get(&out.record.target)
+                    .copied()
+                    .unwrap_or(0);
+                self.emit(
+                    (ti, out.record.shard, 1, 0, 0),
+                    "job",
+                    vec![
+                        ("target", Json::Str(out.record.target.clone())),
+                        ("shard", Json::Int(i64::from(out.record.shard))),
+                        ("worker", Json::Int(out.worker as i64)),
+                        ("dur_us", Json::Int(out.dur_us as i64)),
+                        ("execs", Json::Int(out.record.execs as i64)),
+                        ("oracle_execs", Json::Int(out.record.oracle_execs as i64)),
+                        ("divergent", Json::Int(out.record.divergent as i64)),
+                        ("crashes", Json::Int(out.record.crashes as i64)),
+                        ("signatures", Json::Int(out.record.signatures.len() as i64)),
+                        ("pages_restored", Json::Int(out.vm.pages_restored as i64)),
+                        (
+                            "pages_materialized",
+                            Json::Int(out.vm.pages_materialized as i64),
+                        ),
+                        (
+                            "bulk_builtin_ops",
+                            Json::Int(out.vm.bulk_builtin_ops as i64),
+                        ),
+                        (
+                            "fallback_builtin_ops",
+                            Json::Int(out.vm.fallback_builtin_ops as i64),
+                        ),
+                        ("block_exec", Json::Int(out.vm.block_exec as i64)),
+                        ("interp_fallback", Json::Int(out.vm.interp_fallback as i64)),
+                    ],
+                );
+                if !self.cfg.quiet {
                     eprintln!(
                         "{} <- {}#{}",
-                        stats.progress_line(),
+                        self.stats.progress_line(),
                         out.record.target,
                         out.record.shard
                     );
                 }
             }
             JobResult::Failed(f) => {
-                stats.note_failure(&f.target);
+                self.stats.note_failure(&f.target);
                 if f.kind == FailureKind::Panic {
-                    ctel.worker_panics.inc();
+                    self.ctel.worker_panics.inc();
                 }
                 persist(
-                    &mut state,
-                    &mut degraded,
-                    &ctel,
-                    cfg.quiet,
+                    &mut self.state,
+                    &mut self.degraded,
+                    self.ctel,
+                    self.cfg.quiet,
                     Rec::Fail(FailureRecord {
                         target: f.target.clone(),
                         shard: f.job.shard,
@@ -410,24 +606,24 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
                     }),
                 );
                 let disposition =
-                    ledger.note_failure(&policy, &f.target, f.job.shard, f.job.attempt);
-                if tel.events_enabled() {
-                    tel.event(
-                        "failure",
-                        vec![
-                            ("target", Json::Str(f.target.clone())),
-                            ("shard", Json::Int(i64::from(f.job.shard))),
-                            ("attempt", Json::Int(i64::from(f.job.attempt))),
-                            ("kind", Json::Str(f.kind.to_string())),
-                            ("worker", Json::Int(f.worker as i64)),
-                            ("message", Json::Str(f.message.clone())),
-                        ],
-                    );
-                }
-                if !cfg.quiet {
+                    self.ledger
+                        .note_failure(&self.policy, &f.target, f.job.shard, f.job.attempt);
+                self.emit(
+                    (f.job.target_index, f.job.shard, 0, f.job.attempt, 0),
+                    "failure",
+                    vec![
+                        ("target", Json::Str(f.target.clone())),
+                        ("shard", Json::Int(i64::from(f.job.shard))),
+                        ("attempt", Json::Int(i64::from(f.job.attempt))),
+                        ("kind", Json::Str(f.kind.to_string())),
+                        ("worker", Json::Int(f.worker as i64)),
+                        ("message", Json::Str(f.message.clone())),
+                    ],
+                );
+                if !self.cfg.quiet {
                     eprintln!(
                         "{} !! {}#{} attempt {} failed ({}): {}",
-                        stats.progress_line(),
+                        self.stats.progress_line(),
                         f.target,
                         f.job.shard,
                         f.job.attempt,
@@ -437,8 +633,8 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
                 }
                 match disposition {
                     Disposition::Retry { next_attempt } => {
-                        stats.note_retry();
-                        ctel.job_retries.inc();
+                        self.stats.note_retry();
+                        self.ctel.job_retries.inc();
                         decision = Decision::Retry(Job {
                             target_index: f.job.target_index,
                             shard: f.job.shard,
@@ -446,29 +642,26 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
                         });
                     }
                     Disposition::Quarantine => {
-                        stats.note_failed_job();
-                        stats.note_quarantine(&f.target);
-                        ctel.targets_quarantined
-                            .set(ledger.quarantined.len() as u64);
-                        if tel.events_enabled() {
-                            tel.event(
-                                "quarantine",
-                                vec![
-                                    ("target", Json::Str(f.target.clone())),
-                                    (
-                                        "failures",
-                                        Json::Int(i64::from(
-                                            ledger
-                                                .target_failures
-                                                .get(&f.target)
-                                                .copied()
-                                                .unwrap_or(0),
-                                        )),
-                                    ),
-                                ],
-                            );
-                        }
-                        if !cfg.quiet {
+                        self.stats.note_failed_job();
+                        self.stats.note_quarantine(&f.target);
+                        self.ctel
+                            .targets_quarantined
+                            .set(self.ledger.quarantined.len() as u64);
+                        let failures = self
+                            .ledger
+                            .target_failures
+                            .get(&f.target)
+                            .copied()
+                            .unwrap_or(0);
+                        self.emit(
+                            (f.job.target_index, f.job.shard, 0, f.job.attempt, 1),
+                            "quarantine",
+                            vec![
+                                ("target", Json::Str(f.target.clone())),
+                                ("failures", Json::Int(i64::from(failures))),
+                            ],
+                        );
+                        if !self.cfg.quiet {
                             eprintln!("quarantined {} after repeated failures", f.target);
                         }
                         decision = Decision::Quarantine {
@@ -476,66 +669,99 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
                         };
                     }
                     Disposition::Exhausted | Disposition::AlreadyQuarantined => {
-                        stats.note_failed_job();
+                        self.stats.note_failed_job();
                     }
                 }
             }
         }
-        live_resolved += 1;
-        if cfg.progress_every > 0 && live_resolved.is_multiple_of(cfg.progress_every) {
-            let secs = started.elapsed().as_secs_f64().max(1e-9);
+        self.live_resolved += 1;
+        if self.cfg.progress_every > 0 && self.live_resolved.is_multiple_of(self.cfg.progress_every)
+        {
+            let secs = self.started.elapsed().as_secs_f64().max(1e-9);
             eprintln!(
                 "{} [{:.0} execs/sec]",
-                stats.progress_line(),
-                stats.execs as f64 / secs
+                self.stats.progress_line(),
+                self.stats.execs as f64 / secs
             );
         }
-        match cfg.stop_after_jobs {
-            Some(k) if live_resolved >= k => {
-                aborted = true;
+        match self.cfg.stop_after_jobs {
+            Some(k) if self.live_resolved >= k => {
+                self.aborted = true;
                 Decision::Stop
             }
             _ => decision,
         }
-    });
-    for j in &pool_outcome.swept {
-        stats.note_skipped(&selected[j.target_index].spec.name, 1);
     }
 
-    // Post-fuzz sanitizer audit: run the meta-oracle over every selected
-    // target so the metrics snapshot carries the sanitizer-trust evidence
-    // (`sancheck.*`) next to the divergence counters. Like the pre-fuzz
-    // lint this is metrics-only — no events — so the event stream stays
-    // byte-identical run to run.
-    if cfg.sancheck {
-        let scfg = sancheck::SancheckConfig {
-            vm: cfg.diff_config.vm.clone(),
-            ..sancheck::SancheckConfig::default()
-        };
-        for t in &selected {
-            let t0 = tel.now_micros();
-            if let Ok(report) = sancheck::check_source(&t.src, &scfg) {
-                ctel.record_sancheck(&report, tel.now_micros().saturating_sub(t0));
+    /// The shared campaign epilogue: quarantine-swept accounting, the
+    /// post-fuzz sanitizer audit, the final metric readings, buffered
+    /// events in canonical order, the metrics snapshot event, and the
+    /// report. Under a fixed clock, `elapsed` derives from the telemetry
+    /// clock so the report renders byte-identically across runs and
+    /// modes.
+    pub(crate) fn finalize(
+        mut self,
+        swept: &[Job],
+        selected: &[Target],
+        cache: (u64, u64),
+        blocks_translated: u64,
+        started_us: u64,
+    ) -> CampaignReport {
+        for j in swept {
+            self.stats
+                .note_skipped(&selected[j.target_index].spec.name, 1);
+        }
+
+        // Post-fuzz sanitizer audit: run the meta-oracle over every
+        // selected target so the metrics snapshot carries the
+        // sanitizer-trust evidence (`sancheck.*`) next to the divergence
+        // counters. Like the pre-fuzz lint this is metrics-only — no
+        // events — so the event stream stays byte-identical run to run.
+        if self.cfg.sancheck {
+            let scfg = sancheck::SancheckConfig {
+                vm: self.cfg.diff_config.vm.clone(),
+                ..sancheck::SancheckConfig::default()
+            };
+            for t in selected {
+                let t0 = self.tel.now_micros();
+                if let Ok(report) = sancheck::check_source(&t.src, &scfg) {
+                    self.ctel
+                        .record_sancheck(&report, self.tel.now_micros().saturating_sub(t0));
+                }
             }
         }
+
+        self.ctel.record_cache(cache);
+        self.ctel.record_blocks_translated(blocks_translated);
+        self.ctel.record_execs_per_sec(
+            self.stats.execs,
+            self.tel.now_micros().saturating_sub(started_us),
+        );
+        let mut buffered = std::mem::take(&mut self.buffered);
+        buffered.sort_by_key(|e| e.0);
+        for (_, name, fields) in buffered {
+            self.tel.event(name, fields);
+        }
+        let metrics = self.tel.registry().snapshot();
+        self.tel
+            .event("metrics", vec![("metrics", metrics.clone())]);
+        self.tel.flush();
+
+        let elapsed = if self.cfg.fixed_clock_us.is_some() {
+            Duration::from_micros(self.tel.now_micros().saturating_sub(started_us))
+        } else {
+            self.started.elapsed()
+        };
+        CampaignReport {
+            stats: self.stats,
+            elapsed,
+            cache,
+            checkpoint: self.state.map(|s| s.path().to_path_buf()),
+            aborted: self.aborted,
+            checkpoint_degraded: self.degraded,
+            metrics,
+        }
     }
-
-    ctel.record_cache(cache.counters());
-    ctel.record_blocks_translated(cache.blocks_translated());
-    ctel.record_execs_per_sec(stats.execs, tel.now_micros().saturating_sub(started_us));
-    let metrics = tel.registry().snapshot();
-    tel.event("metrics", vec![("metrics", metrics.clone())]);
-    tel.flush();
-
-    Ok(CampaignReport {
-        stats,
-        elapsed: started.elapsed(),
-        cache: cache.counters(),
-        checkpoint: state.map(|s| s.path().to_path_buf()),
-        aborted,
-        checkpoint_degraded: degraded,
-        metrics,
-    })
 }
 
 /// A checkpointable record, job or failure, for [`persist`].

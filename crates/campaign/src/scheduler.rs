@@ -141,16 +141,15 @@ pub fn retry_backoff(campaign_seed: u64, target: &str, shard: u32, attempt: u32)
     job_seed(campaign_seed ^ salt, target, shard)
 }
 
-/// Splits a target's execution budget across its shards; shard 0 absorbs
-/// the remainder so the budget is spent exactly.
+/// Splits a target's execution budget across its shards; the remainder
+/// `r` is spread one-exec-each over the first `r` shards, so the budget
+/// is spent exactly and no shard carries more than one extra exec (shard
+/// 0 used to absorb the whole remainder, making lease 0 up to
+/// `shards - 1` execs heavier than every other lease).
 pub fn execs_for_shard(execs_per_target: u64, shards: u32, shard: u32) -> u64 {
     let shards = u64::from(shards.max(1));
     let base = execs_per_target / shards;
-    if shard == 0 {
-        base + execs_per_target % shards
-    } else {
-        base
-    }
+    base + u64::from(u64::from(shard) < execs_per_target % shards)
 }
 
 /// Locks a mutex, shrugging off poison. The pool's shared state is only
@@ -372,6 +371,7 @@ pub fn run_pool(
     let faults = cfg.fault_plan.as_deref();
 
     let mut outcome = PoolOutcome::default();
+    ctel.workers_spawned.add(workers as u64);
     std::thread::scope(|scope| {
         for w in 0..workers {
             let tx = tx.clone();
@@ -401,6 +401,10 @@ pub fn run_pool(
                     }
                 };
                 let Some(job) = job else { break };
+                // A thread popping a job is the in-process analogue of a
+                // lease grant, so clean-run metric snapshots match the
+                // coordinator/worker mode byte for byte.
+                ctel.leases_granted.inc();
                 let target = &targets[job.target_index];
                 let start_us = ctel.tel.now_micros();
                 // The unwind boundary: a panic anywhere in the compile or
@@ -524,9 +528,24 @@ mod tests {
 
     #[test]
     fn shard_budgets_sum_to_target_budget() {
-        for (total, shards) in [(1_000u64, 4u32), (7u64, 3u32), (5u64, 8u32)] {
-            let sum: u64 = (0..shards).map(|s| execs_for_shard(total, shards, s)).sum();
+        for (total, shards) in [
+            (1_000u64, 4u32),
+            (7u64, 3u32),
+            (5u64, 8u32),
+            (2_001u64, 4u32),
+            (0u64, 3u32),
+        ] {
+            let budgets: Vec<u64> = (0..shards)
+                .map(|s| execs_for_shard(total, shards, s))
+                .collect();
+            let sum: u64 = budgets.iter().sum();
             assert_eq!(sum, total);
+            let max = budgets.iter().max().copied().unwrap_or(0);
+            let min = budgets.iter().min().copied().unwrap_or(0);
+            assert!(
+                max - min <= 1,
+                "remainder must be spread evenly, got {budgets:?} for {total}/{shards}"
+            );
         }
     }
 

@@ -36,6 +36,9 @@ pub const STATE_VERSION: i64 = 2;
 /// Name of the checkpoint file inside the campaign directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.jsonl";
 
+/// Name of the writer-lock sidecar next to [`CHECKPOINT_FILE`].
+pub const LOCK_FILE: &str = "checkpoint.lock";
+
 /// The campaign parameters a checkpoint is only valid for.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignHeader {
@@ -126,7 +129,7 @@ pub struct JobRecord {
 }
 
 impl JobRecord {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::obj(vec![
             ("type", Json::Str("job".to_string())),
             ("target", Json::Str(self.target.clone())),
@@ -139,7 +142,7 @@ impl JobRecord {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self, String> {
         if v.get("type").and_then(Json::as_str) != Some("job") {
             return Err("record line is not a job record".to_string());
         }
@@ -180,22 +183,28 @@ pub enum FailureKind {
     Compile,
     /// An I/O error surfaced inside the job.
     Io,
+    /// The worker *process* holding the job's lease died or stopped
+    /// renewing; the coordinator reclaimed the lease (coordinator/worker
+    /// mode only).
+    Lost,
 }
 
 impl FailureKind {
-    fn as_str(self) -> &'static str {
+    pub(crate) fn as_str(self) -> &'static str {
         match self {
             FailureKind::Panic => "panic",
             FailureKind::Compile => "compile",
             FailureKind::Io => "io",
+            FailureKind::Lost => "lost",
         }
     }
 
-    fn parse(s: &str) -> Result<Self, String> {
+    pub(crate) fn parse(s: &str) -> Result<Self, String> {
         match s {
             "panic" => Ok(FailureKind::Panic),
             "compile" => Ok(FailureKind::Compile),
             "io" => Ok(FailureKind::Io),
+            "lost" => Ok(FailureKind::Lost),
             other => Err(format!("unknown failure kind `{other}`")),
         }
     }
@@ -225,7 +234,7 @@ pub struct FailureRecord {
 }
 
 impl FailureRecord {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::obj(vec![
             ("type", Json::Str("failure".to_string())),
             ("target", Json::Str(self.target.clone())),
@@ -236,7 +245,7 @@ impl FailureRecord {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self, String> {
         if v.get("type").and_then(Json::as_str) != Some("failure") {
             return Err("record line is not a failure record".to_string());
         }
@@ -278,6 +287,15 @@ pub enum StateError {
     },
     /// The checkpoint was written by a campaign with different parameters.
     HeaderMismatch(String),
+    /// The checkpoint is held open for write by another live process. A
+    /// campaign checkpoint has exactly one writer (the coordinator); a
+    /// second writer would corrupt the `good_len` watermark.
+    Locked {
+        /// The lock sidecar's path.
+        path: PathBuf,
+        /// PID recorded in the lock file.
+        owner_pid: u64,
+    },
 }
 
 impl std::fmt::Display for StateError {
@@ -294,6 +312,12 @@ impl std::fmt::Display for StateError {
                 write!(f, "checkpoint corrupt at line {line}: {message}")
             }
             StateError::HeaderMismatch(m) => write!(f, "checkpoint header mismatch: {m}"),
+            StateError::Locked { path, owner_pid } => write!(
+                f,
+                "checkpoint is locked by live process {owner_pid} ({}); a campaign \
+                 checkpoint has exactly one writer — workers must not open it",
+                path.display()
+            ),
         }
     }
 }
@@ -306,10 +330,76 @@ impl From<std::io::Error> for StateError {
     }
 }
 
+/// An exclusive writer lock on a campaign directory: a `create_new`'d
+/// sidecar file ([`LOCK_FILE`]) holding the owner's PID. Acquired before
+/// the checkpoint itself is opened, released on drop. A lock whose owner
+/// is no longer alive (the coordinator was `kill -9`'d) is stale and is
+/// stolen; a lock whose owner is live is a hard [`StateError::Locked`]
+/// refusal — the single-writer invariant the `good_len` watermark
+/// depends on.
+#[derive(Debug)]
+struct StateLock {
+    path: PathBuf,
+}
+
+/// True when `pid` names a live process. `/proc` is authoritative on
+/// Linux; on targets without `/proc` every foreign lock reads as stale,
+/// which degrades to last-locker-wins rather than false refusals.
+fn pid_alive(pid: u64) -> bool {
+    if pid == u64::from(std::process::id()) {
+        return true;
+    }
+    if !Path::new("/proc").is_dir() {
+        return false;
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+impl StateLock {
+    fn acquire(dir: &Path) -> Result<Self, StateError> {
+        let path = dir.join(LOCK_FILE);
+        // Two tries: the second one runs only after a stale lock was
+        // unlinked (a concurrent live locker still refuses).
+        for _ in 0..2 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    writeln!(f, "{{\"pid\": {}}}", std::process::id())?;
+                    return Ok(StateLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let owner_pid = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|text| Json::parse(&text).ok())
+                        .and_then(|v| v.get("pid").and_then(Json::as_u64))
+                        .unwrap_or(0);
+                    if owner_pid != 0 && pid_alive(owner_pid) {
+                        return Err(StateError::Locked { path, owner_pid });
+                    }
+                    // Stale (dead owner or unreadable): steal and retry.
+                    std::fs::remove_file(&path)?;
+                }
+                Err(e) => return Err(StateError::Io(e)),
+            }
+        }
+        Err(StateError::Io(std::io::Error::other(format!(
+            "could not acquire checkpoint lock {} (contended)",
+            path.display()
+        ))))
+    }
+}
+
+impl Drop for StateLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// The live campaign state: finished jobs, failed attempts, and the
 /// append handle.
 pub struct CampaignState {
     path: PathBuf,
+    /// Held for the state's lifetime; releases [`LOCK_FILE`] on drop.
+    _lock: StateLock,
     file: BufWriter<File>,
     done: BTreeMap<(String, u32), JobRecord>,
     failures: Vec<FailureRecord>,
@@ -342,9 +432,14 @@ impl CampaignState {
     /// # Errors
     ///
     /// [`StateError::AlreadyExists`] if `dir` already has a checkpoint,
-    /// [`StateError::Io`] if the directory or file cannot be created.
+    /// [`StateError::Locked`] if another live process holds the writer
+    /// lock, [`StateError::Io`] if the directory or file cannot be
+    /// created.
     pub fn create(dir: &Path, header: &CampaignHeader) -> Result<Self, StateError> {
         std::fs::create_dir_all(dir)?;
+        // The writer lock comes first: if the checkpoint already exists
+        // the refusal below releases it on drop.
+        let lock = StateLock::acquire(dir)?;
         let path = dir.join(CHECKPOINT_FILE);
         let file = match OpenOptions::new().write(true).create_new(true).open(&path) {
             Ok(f) => f,
@@ -355,6 +450,7 @@ impl CampaignState {
         };
         let mut state = CampaignState {
             path,
+            _lock: lock,
             file: BufWriter::new(file),
             done: BTreeMap::new(),
             failures: Vec::new(),
@@ -378,13 +474,15 @@ impl CampaignState {
     ///
     /// [`StateError::HeaderMismatch`] if the checkpoint belongs to a
     /// campaign with different parameters, [`StateError::Corrupt`] if a
-    /// non-trailing line is unreadable.
+    /// non-trailing line is unreadable, [`StateError::Locked`] if
+    /// another live process holds the writer lock.
     pub fn resume(dir: &Path, header: &CampaignHeader) -> Result<Self, StateError> {
         enum Line {
             Header,
             Job(JobRecord),
             Fail(FailureRecord),
         }
+        let lock = StateLock::acquire(dir)?;
         let path = dir.join(CHECKPOINT_FILE);
         let text = std::fs::read_to_string(&path)?;
         let lines: Vec<&str> = text.lines().collect();
@@ -458,6 +556,7 @@ impl CampaignState {
         let seq = (done.len() + failures.len()) as u64;
         Ok(CampaignState {
             path,
+            _lock: lock,
             file: BufWriter::new(file),
             done,
             failures,
@@ -769,6 +868,51 @@ mod tests {
         let st = CampaignState::resume(&dir, &header()).unwrap();
         assert_eq!(st.done().len(), 2);
         assert!(st.is_done("mujs", 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// While a `CampaignState` is live, any second open of the same
+    /// directory — create *or* resume — is refused with a typed
+    /// `Locked` error naming the owning PID; dropping the state
+    /// releases the lock.
+    #[test]
+    fn second_writer_is_refused_while_lock_is_held() {
+        let dir = temp_dir("locked");
+        let st = CampaignState::create(&dir, &header()).unwrap();
+        for attempt in [
+            CampaignState::create(&dir, &header()),
+            CampaignState::resume(&dir, &header()),
+        ] {
+            match attempt {
+                Err(StateError::Locked { path, owner_pid }) => {
+                    assert_eq!(path, dir.join(LOCK_FILE));
+                    assert_eq!(owner_pid, u64::from(std::process::id()));
+                }
+                other => panic!("expected Locked, got {other:?}"),
+            }
+        }
+        drop(st);
+        assert!(!dir.join(LOCK_FILE).exists(), "drop must release the lock");
+        let st = CampaignState::resume(&dir, &header()).unwrap();
+        drop(st);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A lock left behind by a dead process (kill -9 skips Drop) is
+    /// stale and must be stolen, not refused forever.
+    #[test]
+    fn stale_lock_from_dead_process_is_stolen() {
+        let dir = temp_dir("stale-lock");
+        let st = CampaignState::create(&dir, &header()).unwrap();
+        drop(st);
+        // PIDs are bounded well below this on Linux (pid_max <= 2^22).
+        std::fs::write(dir.join(LOCK_FILE), "{\"pid\": 999999999}\n").unwrap();
+        let st = CampaignState::resume(&dir, &header()).unwrap();
+        drop(st);
+        // An unreadable lock file is treated as stale, too.
+        std::fs::write(dir.join(LOCK_FILE), "not json").unwrap();
+        let st = CampaignState::resume(&dir, &header()).unwrap();
+        drop(st);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

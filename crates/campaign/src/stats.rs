@@ -80,7 +80,14 @@ impl CampaignStats {
     pub fn absorb(&mut self, worker: Option<usize>, rec: &JobRecord) {
         self.jobs_done += 1;
         match worker {
-            Some(w) => self.per_worker_execs[w] += rec.execs,
+            Some(w) => {
+                // Grows on demand: in coordinator/worker mode a respawned
+                // worker process can carry an index past the initial count.
+                if self.per_worker_execs.len() <= w {
+                    self.per_worker_execs.resize(w + 1, 0);
+                }
+                self.per_worker_execs[w] += rec.execs;
+            }
             None => self.jobs_resumed += 1,
         }
         self.execs += rec.execs;

@@ -38,6 +38,18 @@ pub struct CampaignTelemetry {
     pub worker_panics: Arc<Counter>,
     /// `campaign.job_retries` — failed attempts that were requeued.
     pub job_retries: Arc<Counter>,
+    /// `campaign.leases_granted` — jobs handed to a worker (thread pops
+    /// in-process; lease grants in coordinator/worker mode).
+    pub leases_granted: Arc<Counter>,
+    /// `campaign.leases_expired` — leases reclaimed because the holding
+    /// worker process stopped renewing them.
+    pub leases_expired: Arc<Counter>,
+    /// `campaign.workers_spawned` — workers started (threads in-process;
+    /// processes, including respawns, in coordinator/worker mode).
+    pub workers_spawned: Arc<Counter>,
+    /// `campaign.stale_results` — results that arrived for a lease that
+    /// had already expired and been re-queued (the result is dropped).
+    pub stale_results: Arc<Counter>,
     /// `campaign.targets_quarantined` — targets degraded out of the
     /// schedule after repeated failures.
     pub targets_quarantined: Arc<Gauge>,
@@ -129,6 +141,10 @@ impl CampaignTelemetry {
             checkpoint_errors: r.counter("campaign.checkpoint_errors"),
             worker_panics: r.counter("campaign.worker_panics"),
             job_retries: r.counter("campaign.job_retries"),
+            leases_granted: r.counter("campaign.leases_granted"),
+            leases_expired: r.counter("campaign.leases_expired"),
+            workers_spawned: r.counter("campaign.workers_spawned"),
+            stale_results: r.counter("campaign.stale_results"),
             targets_quarantined: r.gauge("campaign.targets_quarantined"),
             cache_hits: r.gauge("campaign.cache_hits"),
             cache_misses: r.gauge("campaign.cache_misses"),

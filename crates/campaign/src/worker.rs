@@ -1,0 +1,217 @@
+//! The worker-process side of the coordinator/worker protocol
+//! (DESIGN.md §17): connect, receive the campaign config, then loop
+//! lease → run `run_job` → report, renewing the held lease from a
+//! daemon thread so a hung VM does not silently keep its lease.
+//!
+//! A worker is stateless beyond its own `BinaryCache` and VM sessions:
+//! all scheduling, checkpointing, dedup, and event emission live in the
+//! coordinator. Killing a worker at any point loses at most its
+//! in-flight lease, which the coordinator reclaims and re-queues.
+
+use crate::faults::FaultKind;
+use crate::proto::{
+    done_frame, failed_frame, frame_type, parse_config, read_frame, tagged, write_frame,
+};
+use crate::scheduler::{run_job, Job};
+use crate::state::FailureKind;
+use crate::{faults, BinaryCache, CacheError, CampaignTelemetry, FaultPlan};
+use compdiff::Json;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use telemetry::{MonotonicClock, NoopRecorder, Telemetry, TestClock};
+
+fn io_err(context: &str, e: std::io::Error) -> String {
+    format!("worker {context}: {e}")
+}
+
+fn send(writer: &Mutex<BufWriter<TcpStream>>, frame: &Json) -> Result<(), String> {
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    write_frame(&mut *w, frame).map_err(|e| io_err("send", e))
+}
+
+/// Runs one campaign worker process against the coordinator at `addr`
+/// (`host:port`). Returns when the coordinator sends `shutdown` or
+/// closes the connection.
+///
+/// # Errors
+///
+/// Returns a message when the connection fails, a frame is malformed,
+/// or the coordinator disappears mid-campaign.
+pub fn run_worker(addr: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone", e))?);
+    let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
+
+    send(
+        &writer,
+        &Json::obj(vec![
+            ("t", Json::Str("hello".to_string())),
+            ("pid", Json::Int(i64::from(std::process::id()))),
+        ]),
+    )?;
+    let first = read_frame(&mut reader)
+        .map_err(|e| io_err("read config", e))?
+        .ok_or("coordinator closed before sending config")?;
+    match frame_type(&first) {
+        // A late joiner: the campaign already drained. Exit quietly.
+        Some("shutdown") => return Ok(()),
+        Some("config") => {}
+        other => return Err(format!("expected config frame, got {other:?}")),
+    }
+    let (mut cfg, targets) = parse_config(&first)?;
+    if let Some(spec) = &cfg.fault_plan_spec {
+        cfg.fault_plan = Some(Arc::new(FaultPlan::parse(spec, cfg.seed)?));
+    }
+
+    // Worker telemetry: registry only (no recorder) — snapshots ride the
+    // `done`/`failed` frames and the coordinator merges them. Under a
+    // fixed clock every duration reads as zero, exactly like the
+    // in-process pool under the same clock.
+    let tel = match cfg.fixed_clock_us {
+        Some(t) => Telemetry::new(TestClock::fixed(t), NoopRecorder),
+        None => Telemetry::new(MonotonicClock::new(), NoopRecorder),
+    };
+    let ctel = CampaignTelemetry::new(Arc::clone(&tel));
+    let cache = BinaryCache::new();
+
+    // The lease currently held (0 = none), renewed by a daemon thread so
+    // long-running jobs keep their lease without the job loop's help.
+    let current_lease = Arc::new(AtomicU64::new(0));
+    {
+        let current_lease = Arc::clone(&current_lease);
+        let writer = Arc::clone(&writer);
+        let renew_ms = cfg.renew_ms.max(1);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_millis(renew_ms));
+            let lease = current_lease.load(Ordering::Relaxed);
+            if lease != 0 {
+                let frame = Json::obj(vec![
+                    ("t", Json::Str("renew".to_string())),
+                    ("lease", Json::Int(lease as i64)),
+                ]);
+                if send(&writer, &frame).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+
+    send(&writer, &tagged("lease_req"))?;
+    loop {
+        let Some(frame) = read_frame(&mut reader).map_err(|e| io_err("read", e))? else {
+            return Err("coordinator closed the connection mid-campaign".to_string());
+        };
+        match frame_type(&frame) {
+            Some("lease") => {
+                let u = |k: &str| {
+                    frame
+                        .get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("lease frame missing {k}"))
+                };
+                let lease = u("lease")?;
+                let job = Job {
+                    target_index: usize::try_from(u("target")?).map_err(|e| e.to_string())?,
+                    shard: u32::try_from(u("shard")?).map_err(|e| e.to_string())?,
+                    attempt: u32::try_from(u("attempt")?).map_err(|e| e.to_string())?,
+                };
+                let target = targets
+                    .get(job.target_index)
+                    .ok_or(format!("lease names unknown target {}", job.target_index))?;
+                // The worker-death injection point: exit *while holding
+                // the lease*, before any result frame, so the
+                // coordinator must reclaim via lease expiry / EOF.
+                if let Some(plan) = cfg.fault_plan.as_deref() {
+                    if plan.fire_job(&target.spec.name, job.shard, job.attempt)
+                        == Some(FaultKind::Die)
+                    {
+                        std::process::exit(137);
+                    }
+                }
+                current_lease.store(lease, Ordering::Relaxed);
+                let start_us = tel.now_micros();
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    let ct = cache
+                        .get_or_compile(
+                            target,
+                            &cfg.diff_config,
+                            cfg.fuzz_impl,
+                            cfg.fault_plan.as_deref(),
+                            job.attempt,
+                        )
+                        .map_err(|e| {
+                            let kind = match &e {
+                                CacheError::Frontend(_)
+                                | CacheError::Panic(_)
+                                | CacheError::Injected(_) => FailureKind::Compile,
+                            };
+                            (kind, e.to_string())
+                        })?;
+                    // Worker index 0 on the wire; the coordinator stamps
+                    // the connection's logical index into the output.
+                    run_job(&ct, &cfg, job, 0, &ctel)
+                }));
+                current_lease.store(0, Ordering::Relaxed);
+                let metrics = tel.registry().snapshot();
+                let reply = match attempt {
+                    Ok(Ok(out)) => done_frame(lease, &out.record, out.dur_us, &out.vm, metrics),
+                    Ok(Err((kind, message))) => failed_frame(
+                        lease,
+                        kind,
+                        &message,
+                        tel.now_micros().saturating_sub(start_us),
+                        metrics,
+                    ),
+                    Err(payload) => failed_frame(
+                        lease,
+                        FailureKind::Panic,
+                        &faults::panic_message(payload.as_ref()),
+                        tel.now_micros().saturating_sub(start_us),
+                        metrics,
+                    ),
+                };
+                send(&writer, &reply)?;
+            }
+            Some("ack") => send(&writer, &tagged("lease_req"))?,
+            Some("shutdown") => {
+                let (hits, misses) = cache.counters();
+                send(
+                    &writer,
+                    &Json::obj(vec![
+                        ("t", Json::Str("bye".to_string())),
+                        ("cache_hits", Json::Int(hits as i64)),
+                        ("cache_misses", Json::Int(misses as i64)),
+                        (
+                            "blocks_translated",
+                            Json::Int(cache.blocks_translated() as i64),
+                        ),
+                        ("metrics", tel.registry().snapshot()),
+                    ]),
+                )?;
+                return Ok(());
+            }
+            other => return Err(format!("unexpected frame {other:?}")),
+        }
+    }
+}
+
+/// Queries a running coordinator's status endpoint at `addr` (the
+/// address written via `--status-addr-out`) and returns the status
+/// object: job progress, lease/worker counts, and the merged metric
+/// snapshot.
+///
+/// # Errors
+///
+/// Returns a message when the connection or the reply fails.
+pub fn query_status(addr: &str) -> Result<Json, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone", e))?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &tagged("status")).map_err(|e| io_err("send", e))?;
+    read_frame(&mut reader)
+        .map_err(|e| io_err("read", e))?
+        .ok_or_else(|| "coordinator closed without replying".to_string())
+}

@@ -164,6 +164,29 @@ impl Histogram {
             ("buckets", Json::Array(buckets)),
         ])
     }
+
+    /// Merges another histogram's JSON form (the output of
+    /// [`to_json`](Histogram::to_json)) into this one: bucket counts add
+    /// bucket-for-bucket (each `[floor, count]` pair maps back to the
+    /// bucket whose floor it is) and the sums add, so folding
+    /// per-process snapshots together is exact at log2 resolution.
+    /// Malformed entries are ignored — a merge never fails.
+    pub fn merge_json(&self, v: &Json) {
+        if let Some(s) = v.get("sum").and_then(Json::as_u64) {
+            self.sum.fetch_add(s, Ordering::Relaxed);
+        }
+        let Some(pairs) = v.get("buckets").and_then(Json::as_array) else {
+            return;
+        };
+        for pair in pairs {
+            let Some(p) = pair.as_array() else { continue };
+            let floor = p.first().and_then(Json::as_u64);
+            let count = p.get(1).and_then(Json::as_u64);
+            if let (Some(floor), Some(count)) = (floor, count) {
+                self.buckets[bucket_of(floor)].fetch_add(count, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// The named-metric registry.
@@ -233,6 +256,36 @@ impl MetricRegistry {
             ("gauges", gauges),
             ("histograms", histograms),
         ])
+    }
+
+    /// Merges a [`snapshot`](MetricRegistry::snapshot) taken from another
+    /// registry (typically another *process*) into this one: counters
+    /// add, gauges take the maximum (high-water semantics — the only
+    /// cross-process reading that is order-independent), and histograms
+    /// merge bucket-for-bucket. Every operation is commutative and
+    /// associative, so merging N worker snapshots produces the same
+    /// registry regardless of arrival order. Unrecognized or malformed
+    /// entries are ignored.
+    pub fn merge_snapshot(&self, snap: &Json) {
+        if let Some(Json::Object(pairs)) = snap.get("counters") {
+            for (k, v) in pairs {
+                if let Some(n) = v.as_u64() {
+                    self.counter(k).add(n);
+                }
+            }
+        }
+        if let Some(Json::Object(pairs)) = snap.get("gauges") {
+            for (k, v) in pairs {
+                if let Some(n) = v.as_u64() {
+                    self.gauge(k).set_max(n);
+                }
+            }
+        }
+        if let Some(Json::Object(pairs)) = snap.get("histograms") {
+            for (k, v) in pairs {
+                self.histogram(k).merge_json(v);
+            }
+        }
     }
 }
 
@@ -310,5 +363,39 @@ mod tests {
             .unwrap();
         assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
         assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(300));
+    }
+
+    /// Merging per-process snapshots reproduces the registry a single
+    /// process would have built: counters add, gauges take the max,
+    /// histograms merge exactly at bucket resolution — and the merge is
+    /// order-independent.
+    #[test]
+    fn merge_snapshot_folds_remote_registries() {
+        let make = |execs: u64, depth: u64, lats: &[u64]| {
+            let r = MetricRegistry::new();
+            r.counter("fuzz.execs").add(execs);
+            r.gauge("queue_depth_max").set(depth);
+            for &v in lats {
+                r.histogram("job_us").record(v);
+            }
+            r
+        };
+        let a = make(10, 3, &[1, 100]);
+        let b = make(32, 9, &[2, 100, 4000]);
+
+        let combined = MetricRegistry::new();
+        combined.merge_snapshot(&a.snapshot());
+        combined.merge_snapshot(&b.snapshot());
+        assert_eq!(combined.counter("fuzz.execs").get(), 42);
+        assert_eq!(combined.gauge("queue_depth_max").get(), 9);
+        let h = combined.histogram("job_us");
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 4203);
+
+        // Order independence: the rendered snapshots are byte-identical.
+        let flipped = MetricRegistry::new();
+        flipped.merge_snapshot(&b.snapshot());
+        flipped.merge_snapshot(&a.snapshot());
+        assert_eq!(combined.snapshot().render(), flipped.snapshot().render());
     }
 }

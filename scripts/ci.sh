@@ -33,12 +33,17 @@ camp_a="$(mktemp)"
 camp_b="$(mktemp)"
 batch_a="$(mktemp)"
 batch_b="$(mktemp)"
+pcamp_a="$(mktemp)"
+pcamp_b="$(mktemp)"
+pcamp_ra="$(mktemp)"
+pcamp_rb="$(mktemp)"
+drop_smoke="$(mktemp)"
 progen_a="$(mktemp -d)"
 progen_b="$(mktemp -d)"
 san_a="$(mktemp)"
 san_b="$(mktemp)"
 san_dir="$(mktemp -d)"
-trap 'rm -rf "$lint_a" "$lint_b" "$smoke" "$camp_a" "$camp_b" "$batch_a" "$batch_b" "$progen_a" "$progen_b" "$san_a" "$san_b" "$san_dir"' EXIT
+trap 'rm -rf "$lint_a" "$lint_b" "$smoke" "$camp_a" "$camp_b" "$batch_a" "$batch_b" "$pcamp_a" "$pcamp_b" "$pcamp_ra" "$pcamp_rb" "$drop_smoke" "$progen_a" "$progen_b" "$san_a" "$san_b" "$san_dir"' EXIT
 
 echo "== smoke campaign with injected panic (must exit 0 with partial results) =="
 ./target/release/compdiff campaign --workers 2 --execs-per-target 120 --shards 2 \
@@ -75,6 +80,31 @@ echo "== batched-campaign byte-determinism (two runs, --batch-size 16) =="
     --metrics-out "$batch_b" --fixed-clock 0 --quiet > /dev/null
 cmp "$batch_a" "$batch_b"
 grep -q '"diff.batch_size"' "$batch_a"
+
+echo "== multi-process campaign byte-determinism (two runs, 2 worker processes) =="
+# A real coordinator + 2 worker *processes* over the socket protocol,
+# twice under a fixed clock: report and metrics stream must match byte
+# for byte (canonical-order event buffering + commutative registry
+# merges), and leases must actually have flowed over the wire.
+./target/release/compdiff campaign --workers-proc 2 --execs-per-target 150 --shards 2 \
+    --targets readelf,brotli --seed 11 \
+    --metrics-out "$pcamp_a" --fixed-clock 0 --quiet > "$pcamp_ra"
+./target/release/compdiff campaign --workers-proc 2 --execs-per-target 150 --shards 2 \
+    --targets readelf,brotli --seed 11 \
+    --metrics-out "$pcamp_b" --fixed-clock 0 --quiet > "$pcamp_rb"
+cmp "$pcamp_ra" "$pcamp_rb"
+cmp "$pcamp_a" "$pcamp_b"
+grep -q '"campaign.leases_granted":[1-9]' "$pcamp_a"
+
+echo "== multi-process campaign dropped-connection smoke (must exit 0 with partial results) =="
+# Every lease grant's connection is severed (drop@conn:any*inf) with
+# retries off: the coordinator must reclaim each lost lease, quarantine
+# the target, and still deliver a partial report with exit 0.
+./target/release/compdiff campaign --workers-proc 1 --execs-per-target 80 --shards 2 \
+    --targets tcpdump --seed 7 --max-retries 0 --quarantine-after 2 \
+    --fault-plan 'drop@conn:any*inf' --quiet > "$drop_smoke" 2> /dev/null
+grep -q "PARTIAL RESULTS" "$drop_smoke"
+grep -q "quarantined: tcpdump" "$drop_smoke"
 
 echo "== lint determinism (compdiff lint --all, twice) =="
 ./target/release/compdiff lint --all --workers 4 > "$lint_a"
